@@ -1,0 +1,119 @@
+//! Criterion benchmarks of the core algorithms: list scheduling,
+//! binding + utilization, gen/use dataflow, cluster decomposition, and
+//! cache simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use corepart_cache::cache::Cache;
+use corepart_cache::config::CacheConfig;
+use corepart_ir::cluster::decompose;
+use corepart_ir::dataflow::region_gen_use;
+use corepart_ir::interp::Interpreter;
+use corepart_ir::lower::lower;
+use corepart_ir::op::BlockId;
+use corepart_ir::parser::parse;
+use corepart_sched::binding::{bind, schedule_cluster, utilization};
+use corepart_tech::resource::{ResourceLibrary, ResourceSet};
+
+/// A synthetic kernel with `n` multiply-accumulate statements — scales
+/// the scheduling problem size.
+fn kernel_source(n: usize) -> String {
+    let mut body = String::new();
+    for i in 0..n {
+        body.push_str(&format!(
+            "acc = acc + x[(i + {i}) & 63] * {w} + (x[(i + {j}) & 63] >> {s});\n",
+            w = 3 + i % 5,
+            j = i + 1,
+            s = 1 + i % 3,
+        ));
+    }
+    format!(
+        r#"app bench; var x[64]; var acc = 0;
+        func main() {{
+            for (var i = 0; i < 64; i = i + 1) {{
+                {body}
+            }}
+            return acc;
+        }}"#
+    )
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = kernel_source(16);
+    c.bench_function("parse+lower/16-mac-kernel", |b| {
+        b.iter(|| lower(&parse(std::hint::black_box(&src)).expect("parses")).expect("lowers"))
+    });
+
+    let app = lower(&parse(&src).expect("parses")).expect("lowers");
+    c.bench_function("decompose/16-mac-kernel", |b| {
+        b.iter(|| decompose(std::hint::black_box(&app)))
+    });
+
+    let blocks: Vec<BlockId> = (0..app.blocks().len() as u32).map(BlockId).collect();
+    c.bench_function("gen_use/whole-app", |b| {
+        b.iter(|| region_gen_use(std::hint::black_box(&app), &blocks))
+    });
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let lib = ResourceLibrary::cmos6();
+    let set = ResourceSet::default_family()[2].clone();
+    let mut group = c.benchmark_group("schedule+bind");
+    for n in [4usize, 16, 64] {
+        let src = kernel_source(n);
+        let app = lower(&parse(&src).expect("parses")).expect("lowers");
+        let profile = Interpreter::new(&app).run(100_000_000).expect("runs");
+        let blocks = app
+            .structure()
+            .iter()
+            .find(|s| s.is_loop())
+            .expect("loop")
+            .blocks()
+            .to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let sched = schedule_cluster(std::hint::black_box(&app), &blocks, &set, &lib)
+                    .expect("schedules");
+                let binding = bind(&sched, &lib);
+                utilization(&sched, &binding, &profile, &lib)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache-sim");
+    for &assoc in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("1M-strided-reads", assoc),
+            &assoc,
+            |b, &assoc| {
+                let config = CacheConfig::new(
+                    8 * 1024,
+                    16,
+                    assoc,
+                    corepart_cache::config::Replacement::Lru,
+                    corepart_cache::config::WritePolicy::WriteBack,
+                    8,
+                )
+                .expect("valid cache config");
+                b.iter(|| {
+                    let mut cache = Cache::new(config.clone());
+                    for i in 0..1_000_000u32 {
+                        cache.read(0x1000 + (i * 52) % (64 * 1024));
+                    }
+                    cache.stats()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frontend, bench_scheduling, bench_cache
+}
+criterion_main!(benches);

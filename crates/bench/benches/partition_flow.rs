@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the end-to-end partitioning flow: the
+//! instruction-set simulation, the estimate-vs-verify phases, and the
+//! full Fig.-1 search on the two smallest paper applications.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use corepart::evaluate::Partition;
+use corepart::partition::Partitioner;
+use corepart::prepare::{prepare, Workload};
+use corepart::system::SystemConfig;
+use corepart_isa::simulator::{NullSink, SimConfig, Simulator};
+use corepart_workloads::by_name;
+
+fn bench_iss(c: &mut Criterion) {
+    let w = by_name("engine").expect("engine exists");
+    let config = SystemConfig::new();
+    let prepared = prepare(
+        w.app().expect("lowers"),
+        Workload::from_arrays(w.arrays(1)),
+        &config,
+    )
+    .expect("prepares");
+
+    c.bench_function("iss/engine-full-run", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&prepared.prog, &prepared.app);
+            for (name, data) in &prepared.workload.arrays {
+                sim.set_array(name, data).expect("arrays");
+            }
+            sim.run(&SimConfig::initial(1_000_000_000), &mut NullSink)
+                .expect("runs")
+        })
+    });
+}
+
+fn bench_partition_search(c: &mut Criterion) {
+    let config = SystemConfig::new();
+    for name in ["3d", "engine"] {
+        let w = by_name(name).expect("workload exists");
+        let prepared = prepare(
+            w.app().expect("lowers"),
+            Workload::from_arrays(w.arrays(1)),
+            &config,
+        )
+        .expect("prepares");
+        c.bench_function(&format!("partition-search/{name}"), |b| {
+            b.iter(|| {
+                let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+                partitioner.run().expect("search")
+            })
+        });
+    }
+}
+
+fn bench_estimate_vs_verify(c: &mut Criterion) {
+    let config = SystemConfig::new();
+    let w = by_name("3d").expect("3d exists");
+    let prepared = prepare(
+        w.app().expect("lowers"),
+        Workload::from_arrays(w.arrays(1)),
+        &config,
+    )
+    .expect("prepares");
+    let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+    let cand = partitioner
+        .candidates()
+        .into_iter()
+        .next()
+        .expect("candidate");
+    let partition = Partition::single(cand.cluster, config.resource_sets[2].clone());
+
+    c.bench_function("estimate/3d-single", |b| {
+        b.iter(|| {
+            partitioner
+                .estimate(std::hint::black_box(&partition))
+                .expect("estimates")
+        })
+    });
+    c.bench_function("verify/3d-single", |b| {
+        b.iter(|| {
+            partitioner
+                .evaluate(std::hint::black_box(&partition))
+                .expect("verifies")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_iss, bench_partition_search, bench_estimate_vs_verify
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation **A4** — cache adaptation after partitioning.
+//!
+//! §1 (footnote 2): "those other cores have to be adapted efficiently
+//! (e.g. size of memory, size of caches, cache policy etc.) according
+//! to the particular hw/sw partitioning chosen. This is because … the
+//! access pattern may change when a different hw/sw partition is used."
+//!
+//! This experiment partitions each application once, then sweeps the
+//! cache capacity of the *partitioned* system: after the hot kernel
+//! leaves the µP core, a far smaller instruction/data cache often
+//! suffices — shrinking it recovers further cache energy without
+//! hurting the (already reduced) miss ratios much.
+//!
+//! ```text
+//! cargo run --release -p corepart-bench --bin ablation_cache_adapt
+//! ```
+
+use corepart::partition::Partitioner;
+use corepart::prepare::{prepare, Workload};
+use corepart::system::SystemConfig;
+use corepart_bench::SEED;
+use corepart_workloads::all;
+
+fn main() {
+    println!("A4: cache-size adaptation of the partitioned design\n");
+    println!(
+        "{:<8} {:>7} {:>14} {:>10} {:>10}",
+        "app", "cache", "total energy", "i$ miss%", "d$ miss%"
+    );
+    for w in all() {
+        let base_config = SystemConfig::new();
+        let app = w.app().expect("bundled workload lowers");
+        let prepared = prepare(app, Workload::from_arrays(w.arrays(SEED)), &base_config)
+            .expect("bundled workload prepares");
+        let partitioner = Partitioner::new(&prepared, &base_config).expect("initial run");
+        let outcome = partitioner.run().expect("search");
+        let Some((partition, _)) = outcome.best else {
+            println!("{:<8} (no partition found — skipped)\n", w.name);
+            continue;
+        };
+
+        for kb in [1usize, 2, 4, 8] {
+            let icache = base_config
+                .icache
+                .with_size(kb * 1024)
+                .expect("power-of-two cache size");
+            let dcache = base_config
+                .dcache
+                .with_size(kb * 1024)
+                .expect("power-of-two cache size");
+            let config = base_config.clone().with_caches(icache, dcache);
+            // Re-evaluate the same partition under the adapted caches.
+            let prepared2 = prepare(
+                w.app().expect("lowers"),
+                Workload::from_arrays(w.arrays(SEED)),
+                &config,
+            )
+            .expect("prepares");
+            let p2 = Partitioner::new(&prepared2, &config).expect("initial");
+            match p2.evaluate(&partition) {
+                Ok(detail) => println!(
+                    "{:<8} {:>5}kB {:>14} {:>10.2} {:>10.2}",
+                    w.name,
+                    kb,
+                    format!("{}", detail.metrics.total_energy()),
+                    detail.metrics.icache_miss_ratio * 100.0,
+                    detail.metrics.dcache_miss_ratio * 100.0,
+                ),
+                Err(e) => println!("{:<8} {:>5}kB evaluation failed: {e}", w.name, kb),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,78 @@
+//! Extension experiment **E4** — operator chaining in the ASIC
+//! schedule.
+//!
+//! The paper's "simple list schedule" (Fig. 1 line 8) registers every
+//! operation result at a step boundary. Classic HLS chaining lets
+//! dependent fast operations (comparators, moves) share a control step
+//! when their combined combinational delay fits the clock period,
+//! shortening the schedule and raising the utilization of the slow
+//! units. This experiment re-schedules every application's hot cluster
+//! with chaining on and reports the change in static length, `U_R` and
+//! the ASIC-energy estimate.
+//!
+//! ```text
+//! cargo run --release -p corepart-bench --bin ablation_chaining
+//! ```
+
+use corepart::partition::Partitioner;
+use corepart::prepare::{prepare, Workload};
+use corepart::system::SystemConfig;
+use corepart_bench::SEED;
+use corepart_sched::binding::{bind, utilization, ClusterSchedule};
+use corepart_sched::dfg::BlockDfg;
+use corepart_sched::energy::estimate_energy;
+use corepart_sched::list::{list_schedule_opts, SchedOptions};
+use corepart_workloads::all;
+
+fn main() {
+    let config = SystemConfig::new();
+    println!("E4: operator chaining in the hot cluster's schedule (m-dsp set)\n");
+    println!(
+        "{:<8} {:<9} {:>8} {:>8} {:>14}",
+        "app", "chaining", "length", "U_R", "E_R estimate"
+    );
+    for w in all() {
+        let app = w.app().expect("bundled workload lowers");
+        let prepared = prepare(app, Workload::from_arrays(w.arrays(SEED)), &config)
+            .expect("bundled workload prepares");
+        let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+        let Some(top) = partitioner.candidates().into_iter().next() else {
+            println!("{:<8} (no candidates)\n", w.name);
+            continue;
+        };
+        let blocks = prepared.chain.cluster(top.cluster).blocks.clone();
+        let set = &config.resource_sets[2];
+
+        for (label, chaining) in [("off", false), ("on", true)] {
+            let schedules: Result<Vec<_>, _> = blocks
+                .iter()
+                .map(|&b| {
+                    let dfg = BlockDfg::build(&prepared.app, b);
+                    list_schedule_opts(&dfg, set, &config.library, SchedOptions { chaining })
+                })
+                .collect();
+            match schedules {
+                Ok(schedules) => {
+                    let sched = ClusterSchedule {
+                        blocks: blocks.clone(),
+                        schedules,
+                        set_name: set.name().to_owned(),
+                    };
+                    let binding = bind(&sched, &config.library);
+                    let util = utilization(&sched, &binding, &prepared.profile, &config.library);
+                    let e = estimate_energy(&util, &binding, &config.library);
+                    println!(
+                        "{:<8} {:<9} {:>8} {:>8.3} {:>14}",
+                        w.name,
+                        label,
+                        sched.static_length(),
+                        util.u_r,
+                        format!("{e}"),
+                    );
+                }
+                Err(e) => println!("{:<8} {:<9} infeasible: {e}", w.name, label),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation **A3** — the objective-function balance (factor `F` vs the
+//! hardware-effort weight).
+//!
+//! Fig. 1 line 13 scores candidates with
+//! `OF = F·E/E_0 + G·GEQ/GEQ_0`; §4 explains that the hardware term is
+//! what "rejects clusters that would result in an unacceptably high
+//! hardware effort" (the `trick` discussion). This sweep scales the
+//! *relative* hardware weight `G/F` and reports the chosen partition's
+//! saving and cell count: with hardware nearly free the partitioner
+//! grabs big savings at big cores; as hardware gets expensive it picks
+//! leaner cores and eventually refuses to synthesize anything.
+//!
+//! ```text
+//! cargo run --release -p corepart-bench --bin ablation_factor_f
+//! ```
+
+use corepart::system::SystemConfig;
+use corepart_bench::run_workload;
+use corepart_workloads::all;
+
+fn main() {
+    println!("A3: objective-function hardware-weight sweep (F = 1)\n");
+    println!(
+        "{:<8} {:>8} {:>10} {:>12} {:>10}",
+        "app", "G", "saving%", "HW cells", "clusters"
+    );
+    for w in all() {
+        for g in [0.0, 0.1, 0.2, 1.0, 5.0, 50.0] {
+            let config = SystemConfig::new().with_factors(1.0, g);
+            let result = run_workload(&w, &config);
+            match &result.outcome.best {
+                Some((partition, detail)) => {
+                    println!(
+                        "{:<8} {:>8.1} {:>10.1} {:>12} {:>10}",
+                        w.name,
+                        g,
+                        result.outcome.energy_saving_percent().unwrap_or(0.0),
+                        detail.metrics.geq.cells(),
+                        partition.clusters.len()
+                    );
+                }
+                None => {
+                    println!(
+                        "{:<8} {:>8.1} {:>10} {:>12} {:>10}",
+                        w.name, g, "--", "--", 0
+                    );
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation **A5** — comparison against performance-driven
+//! partitioning.
+//!
+//! §2 positions the paper against classic hardware/software partitioners
+//! whose "objective is to meet performance constraints while keeping
+//! the system cost as low as possible. But none of them provide power
+//! related optimization". This experiment runs both objectives on every
+//! application: the speedup-greedy baseline (hardware budget 20 k
+//! cells) and our energy-driven partitioner, then compares energy and
+//! cycles side by side.
+//!
+//! ```text
+//! cargo run --release -p corepart-bench --bin baseline_perf
+//! ```
+
+use corepart::baselines::performance_partition;
+use corepart::partition::Partitioner;
+use corepart::prepare::{prepare, Workload};
+use corepart::system::SystemConfig;
+use corepart_bench::SEED;
+use corepart_tech::units::GateEq;
+use corepart_workloads::all;
+
+fn main() {
+    println!("A5: energy-driven (ours) vs performance-driven (related work)\n");
+    println!(
+        "{:<8} {:<7} {:>10} {:>10} {:>12}",
+        "app", "method", "saving%", "chg%", "HW cells"
+    );
+    for w in all() {
+        let config = SystemConfig::new();
+        let app = w.app().expect("bundled workload lowers");
+        let prepared = prepare(app, Workload::from_arrays(w.arrays(SEED)), &config)
+            .expect("bundled workload prepares");
+        let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+
+        let ours = partitioner.run().expect("our search");
+        let perf = performance_partition(&partitioner, &config, GateEq::new(20_000))
+            .expect("perf baseline");
+
+        for (method, outcome) in [("energy", &ours), ("perf", &perf)] {
+            match &outcome.best {
+                Some((_, detail)) => println!(
+                    "{:<8} {:<7} {:>10.1} {:>10.1} {:>12}",
+                    w.name,
+                    method,
+                    outcome.energy_saving_percent().unwrap_or(0.0),
+                    outcome.time_change_percent().unwrap_or(0.0),
+                    detail.metrics.geq.cells()
+                ),
+                None => println!(
+                    "{:<8} {:<7} {:>10} {:>10} {:>12}",
+                    w.name, method, "--", "--", "--"
+                ),
+            }
+        }
+        println!();
+    }
+    println!(
+        "Expected shape: the perf method matches or beats on cycles but\n\
+         loses on energy wherever the fastest cluster is not the most\n\
+         energy-efficient one (and it has no notion of cache/memory energy)."
+    );
+}

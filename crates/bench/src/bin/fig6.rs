@@ -1,0 +1,30 @@
+//! Regenerates the paper's **Figure 6**: achieved energy savings and
+//! change of total execution time per application, as a text bar chart.
+//!
+//! ```text
+//! cargo run --release -p corepart-bench --bin fig6
+//! ```
+
+use corepart::report::{figure6, render_figure6, Table1, Table1Entry};
+use corepart::system::SystemConfig;
+use corepart_bench::run_all;
+
+fn main() {
+    let config = SystemConfig::new();
+    let results = run_all(&config);
+
+    let mut table = Table1::new();
+    for r in &results {
+        table.push(Table1Entry::from_outcome(r.app_name.clone(), &r.outcome));
+    }
+    let points = figure6(&table);
+    println!("{}", render_figure6(&points));
+
+    println!("series (app, energy saving %, exec-time change %):");
+    for p in &points {
+        println!(
+            "  {:<8} {:+7.2} {:+7.2}",
+            p.app, p.energy_saving, p.time_change
+        );
+    }
+}

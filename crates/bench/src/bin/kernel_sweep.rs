@@ -1,0 +1,57 @@
+//! Extension experiment **E2** — the partitioner across the DSP
+//! micro-kernel spectrum.
+//!
+//! The paper evaluates six whole applications; this sweep runs the same
+//! flow over seven classic kernels with distinct computational
+//! signatures (MAC-bound, recurrence-bound, shift/logic-bound,
+//! control-bound, butterfly) to map where low-power partitioning pays
+//! off and where the algorithm correctly declines:
+//!
+//! * `fir` / `dot` / `matmul` / `fft` — regular MAC kernels: large
+//!   savings expected.
+//! * `iir` — serial recurrence: savings with little or negative
+//!   speedup (the `trick` signature).
+//! * `crc` — bit-serial shifts/xors: the barrel shifter datapath's
+//!   moment.
+//! * `hist` — data-dependent control: the partitioner should find
+//!   little or nothing.
+//!
+//! ```text
+//! cargo run --release -p corepart-bench --bin kernel_sweep
+//! ```
+
+use corepart::flow::DesignFlow;
+use corepart::prepare::Workload;
+use corepart::system::SystemConfig;
+use corepart_bench::SEED;
+use corepart_workloads::kernels::default_suite;
+
+fn main() {
+    println!("E2: partitioning the DSP micro-kernel suite\n");
+    println!(
+        "{:<8} {:>10} {:>8} {:>10} {:>8} {:>8} {:>12}",
+        "kernel", "saving%", "chg%", "HW cells", "U_R", "U_uP", "set"
+    );
+    for k in default_suite(SEED) {
+        let flow = DesignFlow::with_config(SystemConfig::new());
+        let result = flow
+            .run_source(&k.source, Workload::from_arrays(k.arrays.clone()))
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        match &result.outcome.best {
+            Some((partition, detail)) => println!(
+                "{:<8} {:>10.1} {:>8.1} {:>10} {:>8.3} {:>8.3} {:>12}",
+                k.name,
+                result.outcome.energy_saving_percent().unwrap_or(0.0),
+                result.outcome.time_change_percent().unwrap_or(0.0),
+                detail.metrics.geq.cells(),
+                detail.u_r,
+                detail.u_up,
+                partition.set.name(),
+            ),
+            None => println!(
+                "{:<8} {:>10} {:>8} {:>10} {:>8} {:>8} {:>12}",
+                k.name, "--", "--", "--", "--", "--", "(none)"
+            ),
+        }
+    }
+}

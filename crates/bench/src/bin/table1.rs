@@ -1,0 +1,56 @@
+//! Regenerates the paper's **Table 1**: energy dissipation and
+//! execution time for the initial (I) and partitioned (P) design of all
+//! six applications.
+//!
+//! ```text
+//! cargo run --release -p corepart-bench --bin table1 [-- --json]
+//! ```
+//!
+//! With `--json`, emits the table as a JSON array (for plotting and CI
+//! dashboards) instead of the human-readable rendering.
+
+use corepart::json::table1_to_json;
+use corepart::report::{Table1, Table1Entry};
+use corepart::system::SystemConfig;
+use corepart_bench::run_all;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let config = SystemConfig::new();
+    let results = run_all(&config);
+
+    let mut table = Table1::new();
+    for r in &results {
+        table.push(Table1Entry::from_outcome(r.app_name.clone(), &r.outcome));
+    }
+    if json {
+        println!("{}", table1_to_json(&table));
+        return;
+    }
+    println!("Table 1: energy dissipation and execution time, initial (I) vs partitioned (P)\n");
+    println!("{table}");
+
+    println!("Partition details:");
+    for r in &results {
+        match &r.outcome.best {
+            Some((partition, detail)) => {
+                let clusters: Vec<String> = partition
+                    .clusters
+                    .iter()
+                    .map(|&c| r.prepared.chain.cluster(c).label.clone())
+                    .collect();
+                println!(
+                    "  {:<8} -> {} on {} | U_R={:.3} vs U_uP={:.3} | HW {} | comm {} words",
+                    r.app_name,
+                    clusters.join(" + "),
+                    partition.set.name(),
+                    detail.u_r,
+                    detail.u_up,
+                    detail.metrics.geq,
+                    detail.comm_words,
+                );
+            }
+            None => println!("  {:<8} -> no beneficial partition found", r.app_name),
+        }
+    }
+}

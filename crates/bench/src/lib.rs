@@ -1,0 +1,73 @@
+//! # corepart-bench
+//!
+//! Experiment-regeneration harness for the `corepart` reproduction of
+//! Henkel's DAC'99 low-power partitioning paper.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation
+//! (see DESIGN.md's experiment index):
+//!
+//! | binary                 | artifact |
+//! |------------------------|----------|
+//! | `table1`               | Table 1 — per-application energy/time breakdown |
+//! | `fig6`                 | Figure 6 — savings / time-change bar series |
+//! | `ablation_weighted_ur` | §3.4 note — GEQ-weighted vs uniform `U_R` |
+//! | `ablation_preselect`   | §3.2 — pre-selection budget `N_max` sweep |
+//! | `ablation_factor_f`    | §3.2/§4 — objective-function factor sweep |
+//! | `ablation_cache_adapt` | §1 — cache re-tuning after partitioning |
+//! | `baseline_perf`        | §2 — performance-driven partitioning baseline |
+//! | `ablation_scheduler`   | extension A6 — list vs force-directed scheduling |
+//! | `ablation_voltage`     | extension E1 — ASIC supply-voltage scaling |
+//! | `kernel_sweep`         | extension E2 — DSP micro-kernel suite |
+//! | `ablation_multicore`   | extension E3 — multi-ASIC-core split |
+//! | `ablation_chaining`    | extension E4 — operator chaining |
+//! | `ablation_compiler`    | extension E5 — software-compiler quality |
+//!
+//! The `criterion` benches (`benches/`) measure the algorithms
+//! themselves (list scheduling, binding, the partition loop, cache
+//! simulation).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use corepart::flow::{DesignFlow, FlowResult};
+use corepart::prepare::Workload;
+use corepart::system::SystemConfig;
+use corepart_workloads::{all, PaperWorkload};
+
+/// The deterministic input seed every experiment uses.
+pub const SEED: u64 = 1;
+
+/// Runs the full design flow on one paper workload.
+///
+/// # Panics
+///
+/// Panics when the bundled workload fails to simulate — that is a bug,
+/// not an input condition.
+pub fn run_workload(w: &PaperWorkload, config: &SystemConfig) -> FlowResult {
+    let app = w.app().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let workload = Workload::from_arrays(w.arrays(SEED));
+    let mut result = DesignFlow::with_config(config.clone())
+        .run_app(app, workload)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    // Report under the paper's row label rather than the DSL app name.
+    result.app_name = w.name.to_owned();
+    result
+}
+
+/// Runs the full design flow on all six applications.
+pub fn run_all(config: &SystemConfig) -> Vec<FlowResult> {
+    all().iter().map(|w| run_workload(w, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_smallest_app() {
+        let w = corepart_workloads::by_name("engine").expect("engine");
+        let result = run_workload(&w, &SystemConfig::new());
+        assert_eq!(result.app_name, "engine");
+        assert!(result.outcome.initial.total_energy().joules() > 0.0);
+    }
+}

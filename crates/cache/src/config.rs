@@ -1,0 +1,283 @@
+//! Cache geometry and policy configuration.
+//!
+//! The paper stresses that cache cores "have to be adapted efficiently
+//! (e.g. size of memory, size of caches, cache policy etc.) according to
+//! the particular hw/sw partitioning chosen" (§1 footnote); this module
+//! exposes exactly those knobs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Replacement policy of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// Least-recently-used.
+    Lru,
+    /// First-in-first-out.
+    Fifo,
+    /// Pseudo-random (deterministic xorshift, seeded per cache).
+    Random,
+}
+
+impl fmt::Display for Replacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Replacement::Lru => "lru",
+            Replacement::Fifo => "fifo",
+            Replacement::Random => "random",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Write policy of a data cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Write-back with write-allocate.
+    WriteBack,
+    /// Write-through, no write-allocate.
+    WriteThrough,
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WritePolicy::WriteBack => "write-back",
+            WritePolicy::WriteThrough => "write-through",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Invalid cache geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigCacheError {
+    message: String,
+}
+
+impl fmt::Display for ConfigCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cache configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigCacheError {}
+
+/// Full configuration of one cache core.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: usize,
+    line_bytes: usize,
+    associativity: usize,
+    replacement: Replacement,
+    write_policy: WritePolicy,
+    /// Extra µP stall cycles per line fill.
+    miss_penalty: u64,
+    /// Next-line prefetch on read misses (tagged prefetch, typical for
+    /// instruction caches of the era).
+    prefetch: bool,
+}
+
+impl CacheConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigCacheError`] unless sizes are powers of two,
+    /// non-zero, and `line * associativity` divides `size`.
+    pub fn new(
+        size_bytes: usize,
+        line_bytes: usize,
+        associativity: usize,
+        replacement: Replacement,
+        write_policy: WritePolicy,
+        miss_penalty: u64,
+    ) -> Result<Self, ConfigCacheError> {
+        let err = |m: &str| {
+            Err(ConfigCacheError {
+                message: m.to_owned(),
+            })
+        };
+        if size_bytes == 0 || line_bytes == 0 || associativity == 0 {
+            return err("sizes must be non-zero");
+        }
+        if !size_bytes.is_power_of_two() || !line_bytes.is_power_of_two() {
+            return err("size and line must be powers of two");
+        }
+        if line_bytes < 4 {
+            return err("line must hold at least one word");
+        }
+        if !size_bytes.is_multiple_of(line_bytes * associativity) {
+            return err("line * associativity must divide size");
+        }
+        Ok(CacheConfig {
+            size_bytes,
+            line_bytes,
+            associativity,
+            replacement,
+            write_policy,
+            miss_penalty,
+            prefetch: false,
+        })
+    }
+
+    /// The paper-era default instruction cache: 8 kB, 16 B lines,
+    /// direct-mapped, 8-cycle fill penalty.
+    pub fn default_icache() -> Self {
+        CacheConfig::new(
+            8 * 1024,
+            16,
+            1,
+            Replacement::Lru,
+            WritePolicy::WriteThrough,
+            8,
+        )
+        .expect("default icache geometry is valid")
+    }
+
+    /// The paper-era default data cache: 8 kB, 16 B lines,
+    /// direct-mapped, write-back, 8-cycle fill penalty.
+    pub fn default_dcache() -> Self {
+        CacheConfig::new(8 * 1024, 16, 1, Replacement::Lru, WritePolicy::WriteBack, 8)
+            .expect("default dcache geometry is valid")
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// Words per line.
+    pub fn line_words(&self) -> usize {
+        self.line_bytes / 4
+    }
+
+    /// Replacement policy.
+    pub fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
+    /// Write policy.
+    pub fn write_policy(&self) -> WritePolicy {
+        self.write_policy
+    }
+
+    /// µP stall cycles per line fill.
+    pub fn miss_penalty(&self) -> u64 {
+        self.miss_penalty
+    }
+
+    /// Whether next-line prefetch on read misses is enabled.
+    pub fn prefetch(&self) -> bool {
+        self.prefetch
+    }
+
+    /// Returns a copy with next-line prefetching enabled or disabled.
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Returns a copy with a different capacity.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CacheConfig::new`].
+    pub fn with_size(&self, size_bytes: usize) -> Result<Self, ConfigCacheError> {
+        CacheConfig::new(
+            size_bytes,
+            self.line_bytes,
+            self.associativity,
+            self.replacement,
+            self.write_policy,
+            self.miss_penalty,
+        )
+    }
+
+    /// Returns a copy with a different associativity.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CacheConfig::new`].
+    pub fn with_associativity(&self, associativity: usize) -> Result<Self, ConfigCacheError> {
+        CacheConfig::new(
+            self.size_bytes,
+            self.line_bytes,
+            associativity,
+            self.replacement,
+            self.write_policy,
+            self.miss_penalty,
+        )
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}kB/{}B/{}-way {} {}",
+            self.size_bytes / 1024,
+            self.line_bytes,
+            self.associativity,
+            self.replacement,
+            self.write_policy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_valid() {
+        let i = CacheConfig::default_icache();
+        assert_eq!(i.sets(), 512);
+        assert_eq!(i.line_words(), 4);
+        let d = CacheConfig::default_dcache();
+        assert_eq!(d.write_policy(), WritePolicy::WriteBack);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(CacheConfig::new(0, 16, 1, Replacement::Lru, WritePolicy::WriteBack, 8).is_err());
+        assert!(
+            CacheConfig::new(1000, 16, 1, Replacement::Lru, WritePolicy::WriteBack, 8).is_err()
+        );
+        assert!(CacheConfig::new(1024, 2, 1, Replacement::Lru, WritePolicy::WriteBack, 8).is_err());
+        assert!(
+            CacheConfig::new(1024, 16, 3, Replacement::Lru, WritePolicy::WriteBack, 8).is_err()
+        );
+    }
+
+    #[test]
+    fn with_size_and_associativity() {
+        let c = CacheConfig::default_dcache();
+        let big = c.with_size(32 * 1024).unwrap();
+        assert_eq!(big.sets(), 2048);
+        let assoc = c.with_associativity(4).unwrap();
+        assert_eq!(assoc.sets(), 128);
+        assert!(c.with_size(1000).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let c = CacheConfig::default_dcache();
+        assert_eq!(format!("{c}"), "8kB/16B/1-way lru write-back");
+    }
+}

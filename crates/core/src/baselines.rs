@@ -1,0 +1,235 @@
+//! Baseline partitioners for comparison.
+//!
+//! The related work the paper positions against (§2) partitions for
+//! *performance* under a cost budget, not for power. This module
+//! provides:
+//!
+//! * [`performance_partition`] — a speedup-greedy partitioner in the
+//!   spirit of the classic approaches ([4–9] in the paper): maximize
+//!   cycle reduction subject to a hardware budget, energy ignored.
+//! * [`random_partition`] — a seeded random choice, the sanity floor.
+//! * [`best_single_verified`] — an oracle that fully verifies *every*
+//!   single-cluster candidate and returns the true best; used to
+//!   measure how much the estimate-driven search loses.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use corepart_tech::units::GateEq;
+
+use crate::error::CorepartError;
+use crate::evaluate::{Partition, PartitionDetail};
+use crate::partition::{PartitionOutcome, Partitioner, SearchStats};
+
+/// Speedup-greedy baseline: picks the single (cluster, set) pair with
+/// the largest verified cycle reduction whose hardware stays within
+/// `geq_budget`, ignoring energy entirely.
+///
+/// # Errors
+///
+/// Simulation failures (infeasible sets are skipped).
+pub fn performance_partition(
+    partitioner: &Partitioner<'_>,
+    config: &crate::system::SystemConfig,
+    geq_budget: GateEq,
+) -> Result<PartitionOutcome, CorepartError> {
+    let candidates = partitioner.candidates();
+    let mut search = SearchStats {
+        candidates: candidates.len(),
+        ..SearchStats::default()
+    };
+    let initial_cycles = partitioner.initial().total_cycles();
+
+    let mut best: Option<(Partition, PartitionDetail)> = None;
+    for cand in &candidates {
+        for set in &config.resource_sets {
+            search.estimated += 1;
+            let partition = Partition::single(cand.cluster, set.clone());
+            match partitioner.evaluate(&partition) {
+                Ok(detail) => {
+                    search.verifications += 1;
+                    if detail.metrics.geq > geq_budget {
+                        continue;
+                    }
+                    if detail.metrics.total_cycles() >= initial_cycles {
+                        continue;
+                    }
+                    let better = best
+                        .as_ref()
+                        .map(|(_, b)| detail.metrics.total_cycles() < b.metrics.total_cycles())
+                        .unwrap_or(true);
+                    if better {
+                        best = Some((partition, detail));
+                    }
+                }
+                Err(CorepartError::Sched(_)) => search.infeasible += 1,
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    Ok(PartitionOutcome {
+        initial: partitioner.initial().clone(),
+        best,
+        search,
+    })
+}
+
+/// Random baseline: a uniformly random feasible (cluster, set) pair.
+///
+/// Deterministic for a given `seed`. Returns `Ok(None)` when no
+/// candidate is feasible.
+///
+/// # Errors
+///
+/// Simulation failures other than infeasibility.
+pub fn random_partition(
+    partitioner: &Partitioner<'_>,
+    config: &crate::system::SystemConfig,
+    seed: u64,
+) -> Result<Option<(Partition, PartitionDetail)>, CorepartError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let candidates = partitioner.candidates();
+    for (ci, _) in candidates.iter().enumerate() {
+        for (si, _) in config.resource_sets.iter().enumerate() {
+            pairs.push((ci, si));
+        }
+    }
+    pairs.shuffle(&mut rng);
+    for (ci, si) in pairs {
+        let partition = Partition::single(candidates[ci].cluster, config.resource_sets[si].clone());
+        match partitioner.evaluate(&partition) {
+            Ok(detail) => return Ok(Some((partition, detail))),
+            Err(CorepartError::Sched(_)) => continue,
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(None)
+}
+
+/// Oracle: verifies every single-cluster candidate × set and returns
+/// the one with the lowest total energy.
+///
+/// # Errors
+///
+/// Simulation failures other than infeasibility.
+pub fn best_single_verified(
+    partitioner: &Partitioner<'_>,
+    config: &crate::system::SystemConfig,
+) -> Result<Option<(Partition, PartitionDetail)>, CorepartError> {
+    let mut best: Option<(Partition, PartitionDetail)> = None;
+    for cand in partitioner.candidates() {
+        for set in &config.resource_sets {
+            let partition = Partition::single(cand.cluster, set.clone());
+            match partitioner.evaluate(&partition) {
+                Ok(detail) => {
+                    let better = best
+                        .as_ref()
+                        .map(|(_, b)| {
+                            detail.metrics.total_energy().joules()
+                                < b.metrics.total_energy().joules()
+                        })
+                        .unwrap_or(true);
+                    if better {
+                        best = Some((partition, detail));
+                    }
+                }
+                Err(CorepartError::Sched(_)) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::{prepare, Workload};
+    use crate::system::SystemConfig;
+    use corepart_ir::lower::lower;
+    use corepart_ir::parser::parse;
+
+    const DSP: &str = r#"app dsp; var x[256]; var y[256]; var s = 0;
+        func main() {
+            for (var i = 1; i < 255; i = i + 1) {
+                y[i] = (x[i - 1] * 3 + x[i] * 5 + x[i + 1] * 3) >> 4;
+            }
+            for (var j = 0; j < 256; j = j + 1) { s = s + y[j]; }
+            return s;
+        }"#;
+
+    fn setup(config: &SystemConfig) -> crate::prepare::PreparedApp {
+        let app = lower(&parse(DSP).unwrap()).unwrap();
+        prepare(
+            app,
+            Workload::from_arrays([(
+                "x",
+                (0..256)
+                    .map(|i| (i * 31 + 7) % 255 - 128)
+                    .collect::<Vec<i64>>(),
+            )]),
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn performance_baseline_improves_cycles() {
+        let config = SystemConfig::new();
+        let p = setup(&config);
+        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let outcome = performance_partition(&partitioner, &config, GateEq::new(20_000)).unwrap();
+        let (_, detail) = outcome.best.expect("perf baseline finds something");
+        assert!(detail.metrics.total_cycles() < outcome.initial.total_cycles());
+        assert!(detail.metrics.geq <= GateEq::new(20_000));
+    }
+
+    #[test]
+    fn our_partitioner_never_loses_on_energy_vs_perf_baseline() {
+        let config = SystemConfig::new();
+        let p = setup(&config);
+        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let ours = partitioner.run().unwrap();
+        let perf = performance_partition(&partitioner, &config, GateEq::new(20_000)).unwrap();
+        let ours_e = ours.best.as_ref().unwrap().1.metrics.total_energy();
+        let perf_e = perf.best.as_ref().unwrap().1.metrics.total_energy();
+        // Energy-driven must be at least as good on energy (within the
+        // estimate-vs-verify slack; allow 10%).
+        assert!(
+            ours_e.joules() <= perf_e.joules() * 1.10,
+            "ours {ours_e} vs perf {perf_e}"
+        );
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let config = SystemConfig::new();
+        let p = setup(&config);
+        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let a = random_partition(&partitioner, &config, 42)
+            .unwrap()
+            .unwrap();
+        let b = random_partition(&partitioner, &config, 42)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn oracle_at_least_as_good_as_any_single() {
+        let config = SystemConfig::new();
+        let p = setup(&config);
+        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let oracle = best_single_verified(&partitioner, &config)
+            .unwrap()
+            .unwrap();
+        let rand = random_partition(&partitioner, &config, 7).unwrap().unwrap();
+        assert!(
+            oracle.1.metrics.total_energy().joules()
+                <= rand.1.metrics.total_energy().joules() + 1e-15
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! `corepart` — command-line front end to the partitioning flow.
+//!
+//! ```text
+//! corepart partition <file.bdl> [--json] [--n-max N] [--factor-f F]
+//!                    [--factor-g G] [--array name=v1,v2,...]...
+//! corepart clusters  <file.bdl> [--array ...]...
+//! corepart disasm    <file.bdl>
+//! corepart schedule  <file.bdl> [--set-index I] [--array ...]...
+//! ```
+//!
+//! * `partition` — run the full Fig.-5 design flow; print the Table-1
+//!   rows (or JSON with `--json`).
+//! * `clusters` — show the cluster chain with gen/use summaries and
+//!   profiled invocation counts.
+//! * `disasm` — compile for the µP core and disassemble.
+//! * `schedule` — list-schedule the hottest cluster on one designer
+//!   resource set and render the Gantt chart.
+
+use std::process::ExitCode;
+
+use corepart::flow::DesignFlow;
+use corepart::json::outcome_to_json;
+use corepart::partition::Partitioner;
+use corepart::prepare::{prepare, Workload};
+use corepart::report::{Table1, Table1Entry};
+use corepart::system::SystemConfig;
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+
+struct Args {
+    command: String,
+    file: String,
+    json: bool,
+    set_index: usize,
+    arrays: Vec<(String, Vec<i64>)>,
+    n_max: Option<usize>,
+    factor_f: Option<f64>,
+    factor_g: Option<f64>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: corepart <partition|clusters|disasm|schedule> <file.bdl> \
+         [--json] [--set-index I] [--n-max N] [--factor-f F] [--factor-g G] \
+         [--array name=v1,v2,...]..."
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    let command = it.next().ok_or("missing command")?;
+    let file = it.next().ok_or("missing input file")?;
+    let mut args = Args {
+        command,
+        file,
+        json: false,
+        set_index: 2,
+        arrays: Vec::new(),
+        n_max: None,
+        factor_f: None,
+        factor_g: None,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => args.json = true,
+            "--set-index" => {
+                let v = it.next().ok_or("--set-index needs a value")?;
+                args.set_index = v.parse().map_err(|_| format!("bad set index `{v}`"))?;
+            }
+            "--n-max" => {
+                let v = it.next().ok_or("--n-max needs a value")?;
+                args.n_max = Some(v.parse().map_err(|_| format!("bad n-max `{v}`"))?);
+            }
+            "--factor-f" => {
+                let v = it.next().ok_or("--factor-f needs a value")?;
+                args.factor_f = Some(v.parse().map_err(|_| format!("bad factor `{v}`"))?);
+            }
+            "--factor-g" => {
+                let v = it.next().ok_or("--factor-g needs a value")?;
+                args.factor_g = Some(v.parse().map_err(|_| format!("bad factor `{v}`"))?);
+            }
+            "--array" => {
+                let spec = it.next().ok_or("--array needs name=v1,v2,...")?;
+                let (name, vals) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --array spec `{spec}`"))?;
+                let data: Result<Vec<i64>, _> =
+                    vals.split(',').map(|v| v.trim().parse::<i64>()).collect();
+                args.arrays.push((
+                    name.to_owned(),
+                    data.map_err(|_| format!("bad numbers in `{spec}`"))?,
+                ));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn config_from(args: &Args) -> SystemConfig {
+    let mut config = SystemConfig::new();
+    if let Some(n) = args.n_max {
+        config.n_max = n;
+    }
+    if let Some(f) = args.factor_f {
+        config.factor_f = f;
+    }
+    if let Some(g) = args.factor_g {
+        config.factor_g = g;
+    }
+    config
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let source = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
+    let config = config_from(args);
+    let workload = Workload::from_arrays(args.arrays.clone());
+
+    match args.command.as_str() {
+        "partition" => {
+            let flow = DesignFlow::with_config(config);
+            let result = flow
+                .run_source(&source, workload)
+                .map_err(|e| e.to_string())?;
+            if args.json {
+                println!("{}", outcome_to_json(&result.app_name, &result.outcome));
+            } else {
+                let mut table = Table1::new();
+                table.push(Table1Entry::from_outcome(&result.app_name, &result.outcome));
+                println!("{table}");
+                match &result.outcome.best {
+                    Some((partition, detail)) => println!(
+                        "chosen: {} cluster(s) on `{}` — {} hardware, U_R {:.3} vs U_uP {:.3}",
+                        partition.clusters.len(),
+                        partition.set.name(),
+                        detail.metrics.geq,
+                        detail.u_r,
+                        detail.u_up,
+                    ),
+                    None => println!("no partition beat the initial design"),
+                }
+            }
+            Ok(())
+        }
+        "clusters" => {
+            let app =
+                lower(&parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+            let prepared = prepare(app, workload, &config).map_err(|e| e.to_string())?;
+            println!("cluster chain of `{}`:", prepared.app.name());
+            for c in prepared.chain.iter() {
+                let inv =
+                    corepart_ir::cluster::cluster_invocations(&prepared.app, &prepared.profile, c);
+                println!("  {c} | {inv} invocation(s)");
+                println!(
+                    "      gen: {}",
+                    c.gen_use
+                        .gen
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+                println!(
+                    "      use: {}",
+                    c.gen_use
+                        .use_
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+            }
+            Ok(())
+        }
+        "disasm" => {
+            let app =
+                lower(&parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+            let prog = corepart_isa::codegen::compile(&app);
+            print!("{}", prog.disassemble());
+            Ok(())
+        }
+        "schedule" => {
+            let app =
+                lower(&parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+            let prepared = prepare(app, workload, &config).map_err(|e| e.to_string())?;
+            let partitioner = Partitioner::new(&prepared, &config).map_err(|e| e.to_string())?;
+            let cand = partitioner
+                .candidates()
+                .into_iter()
+                .next()
+                .ok_or("no candidate clusters")?;
+            let set = config
+                .resource_sets
+                .get(args.set_index)
+                .ok_or_else(|| format!("no resource set at index {}", args.set_index))?;
+            let blocks = prepared.chain.cluster(cand.cluster).blocks.clone();
+            let sched = corepart_sched::binding::schedule_cluster(
+                &prepared.app,
+                &blocks,
+                set,
+                &config.library,
+            )
+            .map_err(|e| e.to_string())?;
+            let binding = corepart_sched::binding::bind(&sched, &config.library);
+            print!(
+                "{}",
+                corepart_sched::gantt::render_cluster(&sched, &binding, &config.library)
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type of the `corepart` top-level crate.
+
+use std::error::Error;
+use std::fmt;
+
+use corepart_ir::error::IrError;
+use corepart_isa::simulator::SimError;
+use corepart_sched::list::SchedError;
+
+/// Any failure of the partitioning flow.
+#[derive(Debug)]
+pub enum CorepartError {
+    /// Frontend (parse/lower/interpret) failure.
+    Ir(IrError),
+    /// Instruction-set-simulation failure.
+    Sim(SimError),
+    /// Scheduling failure that was not recoverable by skipping the
+    /// candidate.
+    Sched(SchedError),
+    /// Invalid configuration or request.
+    Config {
+        /// What is wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CorepartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorepartError::Ir(e) => write!(f, "{e}"),
+            CorepartError::Sim(e) => write!(f, "{e}"),
+            CorepartError::Sched(e) => write!(f, "{e}"),
+            CorepartError::Config { message } => write!(f, "configuration error: {message}"),
+        }
+    }
+}
+
+impl Error for CorepartError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CorepartError::Ir(e) => Some(e),
+            CorepartError::Sim(e) => Some(e),
+            CorepartError::Sched(e) => Some(e),
+            CorepartError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<IrError> for CorepartError {
+    fn from(e: IrError) -> Self {
+        CorepartError::Ir(e)
+    }
+}
+
+impl From<SimError> for CorepartError {
+    fn from(e: SimError) -> Self {
+        CorepartError::Sim(e)
+    }
+}
+
+impl From<SchedError> for CorepartError {
+    fn from(e: SchedError) -> Self {
+        CorepartError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CorepartError::Config {
+            message: "n_max must be positive".into(),
+        };
+        assert!(e.to_string().contains("n_max"));
+        assert!(e.source().is_none());
+
+        let ir: CorepartError = IrError::Interp {
+            message: "boom".into(),
+        }
+        .into();
+        assert!(ir.source().is_some());
+        assert!(ir.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<CorepartError>();
+    }
+}

@@ -1,0 +1,412 @@
+//! Whole-system evaluation of design points.
+//!
+//! "It is an important feature of our approach that all system
+//! components are taken into consideration to estimate energy savings"
+//! (§4): a partition changes not only the µP and ASIC energies but the
+//! access patterns — and therefore the energies — of both caches and
+//! the main memory. This module runs the full simulation stack for the
+//! initial design ([`evaluate_initial`]) and for any candidate
+//! partition ([`evaluate_partition`]), producing the Table-1 metrics.
+//!
+//! A partitioned run executes the *same* machine program with the
+//! cluster blocks marked as hardware: the µP pays nothing for them, the
+//! caches never see their references, the ASIC core's energy comes from
+//! the bound schedule's switching-activity estimate, and the µP↔ASIC
+//! communication of §3.3 is charged per invocation (the *additional*
+//! transfers a/d of the shared-memory scheme: the µP's deposits and
+//! read-backs; the ASIC-side accesses b/c "occur in any case" and are
+//! already part of the ASIC's memory traffic).
+
+use std::collections::HashSet;
+
+use corepart_cache::hierarchy::Hierarchy;
+use corepart_ir::cluster::ClusterId;
+use corepart_ir::op::BlockId;
+use corepart_isa::isa::InstClass;
+use corepart_isa::profile::CoreUtilization;
+use corepart_isa::simulator::{MemSink, RunStats, SimConfig, Simulator};
+use corepart_sched::binding::{bind, schedule_cluster, utilization};
+use corepart_sched::datapath::{estimate_datapath, DatapathEstimate};
+use corepart_sched::energy::{estimate_energy, gate_level_energy, AsicEnergy};
+use corepart_tech::energy::MemoryEnergyModel;
+use corepart_tech::resource::ResourceSet;
+use corepart_tech::units::{Cycles, Energy};
+
+use crate::bus_transfer::transfer_counts;
+use crate::error::CorepartError;
+use crate::prepare::PreparedApp;
+use crate::system::{DesignMetrics, SystemConfig};
+
+/// A candidate hardware/software partition: which clusters move to the
+/// ASIC core and which designer resource set implements it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Clusters mapped to the ASIC core.
+    pub clusters: Vec<ClusterId>,
+    /// The resource set of the ASIC datapath.
+    pub set: ResourceSet,
+}
+
+impl Partition {
+    /// A single-cluster partition.
+    pub fn single(cluster: ClusterId, set: ResourceSet) -> Self {
+        Partition {
+            clusters: vec![cluster],
+            set,
+        }
+    }
+}
+
+/// Everything measured about one evaluated partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionDetail {
+    /// The Table-1 row.
+    pub metrics: DesignMetrics,
+    /// ASIC-core utilization `U_R^core`.
+    pub u_r: f64,
+    /// GEQ-weighted variant (ablation A1).
+    pub u_r_weighted: f64,
+    /// µP-core utilization `U_µP^core` while executing these clusters
+    /// in the initial design (the per-cluster gate value).
+    pub u_up: f64,
+    /// Datapath hardware breakdown.
+    pub datapath: DatapathEstimate,
+    /// ASIC energy detail (active/idle).
+    pub asic: AsicEnergy,
+    /// Total µP↔ASIC communication words.
+    pub comm_words: u64,
+    /// The quick Fig.-1-line-11 estimate (for estimate-vs-gate-level
+    /// comparisons).
+    pub quick_estimate: Energy,
+}
+
+struct HierarchySink<'a>(&'a mut Hierarchy);
+
+impl MemSink for HierarchySink<'_> {
+    fn ifetch(&mut self, addr: u32) {
+        self.0.ifetch(addr);
+    }
+    fn read(&mut self, addr: u32) {
+        self.0.dread(addr);
+    }
+    fn write(&mut self, addr: u32) {
+        self.0.dwrite(addr);
+    }
+}
+
+fn run_iss(
+    prepared: &PreparedApp,
+    config: &SystemConfig,
+    sim_config: &SimConfig,
+) -> Result<(RunStats, corepart_cache::hierarchy::HierarchyReport), CorepartError> {
+    let mut hierarchy = Hierarchy::new(
+        config.icache.clone(),
+        config.dcache.clone(),
+        &config.process,
+        config.memory_bytes,
+    );
+    let mut sim =
+        Simulator::with_energy_table(&prepared.prog, &prepared.app, config.energy_table.clone());
+    for (name, data) in &prepared.workload.arrays {
+        sim.set_array(name, data)?;
+    }
+    let stats = sim.run(sim_config, &mut HierarchySink(&mut hierarchy))?;
+    Ok((stats, hierarchy.report()))
+}
+
+/// Evaluates the initial (all-software) design.
+///
+/// Returns the metrics and the raw run statistics (per-block energy
+/// attribution is reused by pre-selection and `U_µP`).
+///
+/// # Errors
+///
+/// Simulation failures ([`CorepartError::Sim`]) or bad workload arrays.
+pub fn evaluate_initial(
+    prepared: &PreparedApp,
+    config: &SystemConfig,
+) -> Result<(DesignMetrics, RunStats), CorepartError> {
+    let (stats, report) = run_iss(prepared, config, &SimConfig::initial(config.max_cycles))?;
+    let stall_energy = config.energy_table.stall_per_cycle() * report.stall_cycles.count();
+    let metrics = DesignMetrics {
+        icache: report.icache_energy,
+        dcache: report.dcache_energy,
+        mem: report.mem_energy,
+        bus: Energy::ZERO,
+        up_core: stats.energy + stall_energy,
+        asic_core: None,
+        up_cycles: stats.cycles + report.stall_cycles,
+        asic_cycles: Cycles::ZERO,
+        geq: corepart_tech::units::GateEq::ZERO,
+        icache_miss_ratio: report.icache.miss_ratio(),
+        dcache_miss_ratio: report.dcache.miss_ratio(),
+    };
+    Ok((metrics, stats))
+}
+
+/// Evaluates a candidate partition end to end.
+///
+/// `initial_stats` is the initial run (for `U_µP`); get it from
+/// [`evaluate_initial`].
+///
+/// # Errors
+///
+/// [`CorepartError::Sched`] when the resource set cannot execute the
+/// cluster (the candidate is infeasible), or simulation failures.
+pub fn evaluate_partition(
+    prepared: &PreparedApp,
+    partition: &Partition,
+    initial_stats: &RunStats,
+    config: &SystemConfig,
+) -> Result<PartitionDetail, CorepartError> {
+    if partition.clusters.is_empty() {
+        return Err(CorepartError::Config {
+            message: "a partition needs at least one cluster".into(),
+        });
+    }
+    // Hardware blocks, in chain order.
+    let mut hw_blocks: Vec<BlockId> = Vec::new();
+    for &cid in &partition.clusters {
+        hw_blocks.extend(prepared.chain.cluster(cid).blocks.iter().copied());
+    }
+    let hw_set: HashSet<BlockId> = hw_blocks.iter().copied().collect();
+
+    // --- ASIC side: schedule, bind, utilization, energy (Fig. 1
+    // lines 8-11 and 14-15). ---
+    let sched = schedule_cluster(&prepared.app, &hw_blocks, &partition.set, &config.library)?;
+    let binding = bind(&sched, &config.library);
+    let util = utilization(&sched, &binding, &prepared.profile, &config.library);
+    let datapath = estimate_datapath(&sched, &binding, &config.library);
+    let asic = gate_level_energy(
+        &prepared.app,
+        &sched,
+        &binding,
+        &util,
+        &prepared.profile,
+        &config.library,
+        &config.process,
+    );
+    let quick_estimate = estimate_energy(&util, &binding, &config.library);
+
+    // --- µP + caches side. ---
+    let (stats, report) = run_iss(
+        prepared,
+        config,
+        &SimConfig::partitioned(config.max_cycles, hw_set),
+    )?;
+
+    // --- Communication (§3.3): µP deposits inputs, reads back
+    // outputs, once per invocation, with synergy between co-resident
+    // clusters. ---
+    let on_asic: HashSet<ClusterId> = partition.clusters.iter().copied().collect();
+    let mut words_in_total = 0u64;
+    let mut words_out_total = 0u64;
+    let mut invocations_total = 0u64;
+    for &cid in &partition.clusters {
+        let cluster = prepared.chain.cluster(cid);
+        let mut others = on_asic.clone();
+        others.remove(&cid);
+        let counts = transfer_counts(&prepared.chain, cid, &others);
+        let inv =
+            corepart_ir::cluster::cluster_invocations(&prepared.app, &prepared.profile, cluster);
+        words_in_total += counts.words_in * inv;
+        words_out_total += counts.words_out * inv;
+        invocations_total += inv;
+    }
+    let comm_words = words_in_total + words_out_total;
+
+    let mem_model = MemoryEnergyModel::analytical(&config.process, config.memory_bytes);
+    // µP deposits (writes) and read-backs (reads) over the bus into the
+    // shared memory.
+    let comm_bus = config.bus.write() * words_in_total + config.bus.read() * words_out_total;
+    let comm_mem =
+        mem_model.write_word() * words_in_total + mem_model.read_word() * words_out_total;
+    let comm_up_energy = config.energy_table.base(InstClass::Store, 1) * words_in_total
+        + config.energy_table.base(InstClass::Load, 1) * words_out_total;
+    let comm_cycles = Cycles::new(
+        comm_words * config.comm_cycles_per_word + invocations_total * config.comm_handshake_cycles,
+    );
+
+    // --- The ASIC's own shared-memory traffic crosses the bus too. ---
+    let asic_mem =
+        mem_model.read_word() * stats.hw_loads + mem_model.write_word() * stats.hw_stores;
+    let asic_bus = config.bus.read() * stats.hw_loads + config.bus.write() * stats.hw_stores;
+
+    let stall_energy = config.energy_table.stall_per_cycle() * report.stall_cycles.count();
+    // Per-cluster comparison value (what the Fig.-1-line-9 gate used).
+    let u_up = CoreUtilization::for_blocks(initial_stats, &hw_blocks).mean();
+
+    let metrics = DesignMetrics {
+        icache: report.icache_energy,
+        dcache: report.dcache_energy,
+        mem: report.mem_energy + comm_mem + asic_mem,
+        bus: comm_bus + asic_bus,
+        up_core: stats.energy + stall_energy + comm_up_energy,
+        asic_core: Some(asic.total()),
+        up_cycles: stats.cycles + report.stall_cycles + comm_cycles,
+        asic_cycles: asic.cycles,
+        geq: datapath.total(),
+        icache_miss_ratio: report.icache.miss_ratio(),
+        dcache_miss_ratio: report.dcache.miss_ratio(),
+    };
+
+    Ok(PartitionDetail {
+        metrics,
+        u_r: util.u_r,
+        u_r_weighted: util.u_r_weighted,
+        u_up,
+        datapath,
+        asic,
+        comm_words,
+        quick_estimate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::{prepare, Workload};
+    use corepart_ir::lower::lower;
+    use corepart_ir::parser::parse;
+
+    fn prepared(src: &str, workload: Workload) -> PreparedApp {
+        let app = lower(&parse(src).unwrap()).unwrap();
+        prepare(app, workload, &SystemConfig::new()).unwrap()
+    }
+
+    const DSP: &str = r#"app dsp; var x[128]; var y[128]; var s = 0;
+        func main() {
+            for (var i = 1; i < 127; i = i + 1) {
+                y[i] = (x[i - 1] + 2 * x[i] + x[i + 1]) >> 2;
+            }
+            for (var j = 0; j < 128; j = j + 1) { s = s + y[j]; }
+            return s;
+        }"#;
+
+    fn dsp_workload() -> Workload {
+        Workload::from_arrays([("x", (0..128).map(|i| (i * 13) % 97).collect::<Vec<i64>>())])
+    }
+
+    #[test]
+    fn initial_metrics_sensible() {
+        let p = prepared(DSP, dsp_workload());
+        let config = SystemConfig::new();
+        let (m, stats) = evaluate_initial(&p, &config).unwrap();
+        assert!(m.up_core.joules() > 0.0);
+        assert!(m.icache.joules() > 0.0);
+        assert!(m.dcache.joules() > 0.0);
+        assert!(m.asic_core.is_none());
+        assert_eq!(m.asic_cycles, Cycles::ZERO);
+        assert!(m.up_cycles.count() >= stats.cycles.count());
+        // The µP core should dominate system energy in the initial
+        // design (as in every Table-1 "I" row).
+        assert!(m.up_core.joules() > m.dcache.joules());
+    }
+
+    #[test]
+    fn partition_moves_energy_to_asic() {
+        let p = prepared(DSP, dsp_workload());
+        let config = SystemConfig::new();
+        let (initial, stats) = evaluate_initial(&p, &config).unwrap();
+        let hot = p.chain.iter().find(|c| c.is_loop()).unwrap().id;
+        let part = Partition::single(hot, config.resource_sets[2].clone());
+        let d = evaluate_partition(&p, &part, &stats, &config).unwrap();
+
+        assert!(d.metrics.asic_core.is_some());
+        assert!(d.metrics.asic_cycles.count() > 0);
+        assert!(d.metrics.geq.cells() > 0);
+        // The µP sheds the hot loop.
+        assert!(d.metrics.up_cycles < initial.up_cycles);
+        assert!(d.metrics.up_core < initial.up_core);
+        // Whole-system saving for this DSP kernel.
+        let saving = d.metrics.energy_saving_vs(&initial).unwrap();
+        assert!(saving > 0.0, "expected savings, got {saving:.1}%");
+        // Utilization comparison available.
+        assert!(d.u_r > 0.0 && d.u_up > 0.0);
+        assert!(d.comm_words > 0);
+    }
+
+    #[test]
+    fn icache_energy_collapses_when_hot_loop_leaves() {
+        // The `trick`-row effect: i-cache energy drops by orders of
+        // magnitude when the µP no longer fetches the hot loop.
+        let p = prepared(DSP, dsp_workload());
+        let config = SystemConfig::new();
+        let (initial, stats) = evaluate_initial(&p, &config).unwrap();
+        let hot = p.chain.iter().find(|c| c.is_loop()).unwrap().id;
+        let part = Partition::single(hot, config.resource_sets[2].clone());
+        let d = evaluate_partition(&p, &part, &stats, &config).unwrap();
+        assert!(
+            d.metrics.icache.joules() < initial.icache.joules() * 0.8,
+            "i-cache {} vs initial {}",
+            d.metrics.icache,
+            initial.icache
+        );
+    }
+
+    #[test]
+    fn infeasible_set_is_sched_error() {
+        let p = prepared(
+            "app t; var g = 100; func main() { while (g > 1) { g = g / 3; } }",
+            Workload::empty(),
+        );
+        let config = SystemConfig::new();
+        let (_, stats) = evaluate_initial(&p, &config).unwrap();
+        let hot = p.chain.iter().find(|c| c.is_loop()).unwrap().id;
+        // s-scalar has no divider.
+        let part = Partition::single(hot, config.resource_sets[1].clone());
+        let err = evaluate_partition(&p, &part, &stats, &config).unwrap_err();
+        assert!(matches!(err, CorepartError::Sched(_)));
+    }
+
+    #[test]
+    fn empty_partition_rejected() {
+        let p = prepared(DSP, dsp_workload());
+        let config = SystemConfig::new();
+        let (_, stats) = evaluate_initial(&p, &config).unwrap();
+        let part = Partition {
+            clusters: vec![],
+            set: config.resource_sets[0].clone(),
+        };
+        assert!(matches!(
+            evaluate_partition(&p, &part, &stats, &config),
+            Err(CorepartError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn two_cluster_partition_shares_one_datapath() {
+        let p = prepared(DSP, dsp_workload());
+        let config = SystemConfig::new();
+        let (_, stats) = evaluate_initial(&p, &config).unwrap();
+        let loops: Vec<ClusterId> = p
+            .chain
+            .iter()
+            .filter(|c| c.is_loop())
+            .map(|c| c.id)
+            .collect();
+        assert!(loops.len() >= 2);
+        let single = evaluate_partition(
+            &p,
+            &Partition::single(loops[0], config.resource_sets[2].clone()),
+            &stats,
+            &config,
+        )
+        .unwrap();
+        let double = evaluate_partition(
+            &p,
+            &Partition {
+                clusters: loops.clone(),
+                set: config.resource_sets[2].clone(),
+            },
+            &stats,
+            &config,
+        )
+        .unwrap();
+        // Shared datapath: two clusters cost far less than 2x one
+        // cluster's hardware.
+        assert!(double.metrics.geq.cells() < 2 * single.metrics.geq.cells());
+        // And more ASIC cycles get executed.
+        assert!(double.metrics.asic_cycles > single.metrics.asic_cycles);
+    }
+}

@@ -1,0 +1,286 @@
+//! Systematic design-space exploration.
+//!
+//! §3.5 describes an interactive loop: "the designer will make use of
+//! his/her interaction possibilities to provide the partitioning
+//! algorithms with different parameters". This module automates that
+//! loop: sweep any combination of knobs (resource sets, objective
+//! balance, cache geometry), collect every verified design point, and
+//! extract the energy/hardware/performance Pareto frontier a designer
+//! would actually choose from.
+
+use corepart_ir::cdfg::Application;
+use corepart_tech::units::{Cycles, Energy, GateEq};
+
+use crate::error::CorepartError;
+use crate::partition::Partitioner;
+use crate::prepare::{prepare, Workload};
+use crate::system::SystemConfig;
+
+/// One explored design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Human-readable description of the knob settings.
+    pub label: String,
+    /// Total system energy.
+    pub energy: Energy,
+    /// Total execution cycles.
+    pub cycles: Cycles,
+    /// Additional hardware.
+    pub geq: GateEq,
+    /// Energy saving vs the sweep's initial design, percent.
+    pub saving_percent: f64,
+    /// Whether this point is the all-software design.
+    pub is_initial: bool,
+}
+
+impl DesignPoint {
+    /// True when `self` dominates `other` (no worse on all three
+    /// axes, strictly better on at least one).
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let le = self.energy.joules() <= other.energy.joules()
+            && self.cycles <= other.cycles
+            && self.geq <= other.geq;
+        let lt = self.energy.joules() < other.energy.joules()
+            || self.cycles < other.cycles
+            || self.geq < other.geq;
+        le && lt
+    }
+}
+
+/// Results of one exploration sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exploration {
+    /// Every evaluated point (including the initial design).
+    pub points: Vec<DesignPoint>,
+}
+
+impl Exploration {
+    /// The Pareto-optimal subset over (energy, cycles, hardware).
+    ///
+    /// Coincident points (identical on all three axes) are reported
+    /// once, keeping the first label.
+    pub fn pareto_frontier(&self) -> Vec<&DesignPoint> {
+        let mut frontier: Vec<&DesignPoint> = Vec::new();
+        for p in self
+            .points
+            .iter()
+            .filter(|p| !self.points.iter().any(|q| q.dominates(p)))
+        {
+            let coincident = frontier
+                .iter()
+                .any(|q| q.energy == p.energy && q.cycles == p.cycles && q.geq == p.geq);
+            if !coincident {
+                frontier.push(p);
+            }
+        }
+        frontier
+    }
+
+    /// The minimum-energy point.
+    pub fn min_energy(&self) -> Option<&DesignPoint> {
+        self.points.iter().min_by(|a, b| {
+            a.energy
+                .joules()
+                .partial_cmp(&b.energy.joules())
+                .expect("finite energies")
+        })
+    }
+
+    /// The minimum-cycles point.
+    pub fn min_cycles(&self) -> Option<&DesignPoint> {
+        self.points.iter().min_by_key(|p| p.cycles)
+    }
+
+    /// Renders the frontier as an aligned table.
+    pub fn render_frontier(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>14} {:>12} {:>10} {:>9}\n",
+            "design point", "energy", "cycles", "HW cells", "saving%"
+        ));
+        let mut frontier = self.pareto_frontier();
+        frontier.sort_by(|a, b| {
+            a.energy
+                .joules()
+                .partial_cmp(&b.energy.joules())
+                .expect("finite energies")
+        });
+        for p in frontier {
+            out.push_str(&format!(
+                "{:<28} {:>14} {:>12} {:>10} {:>9.1}\n",
+                p.label,
+                format!("{}", p.energy),
+                p.cycles.to_string(),
+                p.geq.cells(),
+                p.saving_percent,
+            ));
+        }
+        out
+    }
+}
+
+/// Explores an application over a family of configurations.
+///
+/// Each configuration is a `(label, SystemConfig)` pair; the sweep
+/// re-prepares and re-partitions under each one, recording the chosen
+/// design (or the initial design when no partition wins). The initial
+/// design of the *first* configuration is included as the baseline
+/// point.
+///
+/// # Errors
+///
+/// Propagates preparation/simulation failures; configurations whose
+/// search finds nothing contribute their initial design instead.
+pub fn explore<F>(
+    app_source: F,
+    workload: &Workload,
+    configs: &[(String, SystemConfig)],
+) -> Result<Exploration, CorepartError>
+where
+    F: Fn() -> Result<Application, CorepartError>,
+{
+    if configs.is_empty() {
+        return Err(CorepartError::Config {
+            message: "exploration needs at least one configuration".into(),
+        });
+    }
+    let mut points = Vec::new();
+    let mut baseline: Option<Energy> = None;
+
+    for (label, config) in configs {
+        let prepared = prepare(app_source()?, workload.clone(), config)?;
+        let partitioner = Partitioner::new(&prepared, config)?;
+        let initial = partitioner.initial().clone();
+        let base = *baseline.get_or_insert_with(|| initial.total_energy());
+        if points.is_empty() {
+            points.push(DesignPoint {
+                label: "initial (all software)".into(),
+                energy: initial.total_energy(),
+                cycles: initial.total_cycles(),
+                geq: GateEq::ZERO,
+                saving_percent: 0.0,
+                is_initial: true,
+            });
+        }
+        let outcome = partitioner.run()?;
+        let (energy, cycles, geq) = match &outcome.best {
+            Some((_, detail)) => (
+                detail.metrics.total_energy(),
+                detail.metrics.total_cycles(),
+                detail.metrics.geq,
+            ),
+            None => (initial.total_energy(), initial.total_cycles(), GateEq::ZERO),
+        };
+        points.push(DesignPoint {
+            label: label.clone(),
+            energy,
+            cycles,
+            geq,
+            saving_percent: energy.percent_saving(base).unwrap_or(0.0),
+            is_initial: false,
+        });
+    }
+    Ok(Exploration { points })
+}
+
+/// Convenience: the standard sweep over objective hardware weights.
+pub fn hardware_weight_sweep(weights: &[f64], base: &SystemConfig) -> Vec<(String, SystemConfig)> {
+    weights
+        .iter()
+        .map(|&g| {
+            (
+                format!("G = {g}"),
+                base.clone().with_factors(base.factor_f, g),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corepart_ir::lower::lower;
+    use corepart_ir::parser::parse;
+
+    const SRC: &str = r#"app explore; var x[96]; var y[96];
+        func main() {
+            for (var i = 1; i < 95; i = i + 1) {
+                y[i] = x[i] * 7 + (x[i - 1] >> 2);
+            }
+            return y[40];
+        }"#;
+
+    fn app() -> Result<Application, CorepartError> {
+        Ok(lower(&parse(SRC)?)?)
+    }
+
+    fn workload() -> Workload {
+        Workload::from_arrays([("x", (0..96).collect::<Vec<i64>>())])
+    }
+
+    #[test]
+    fn sweep_produces_points_and_frontier() {
+        let configs = hardware_weight_sweep(&[0.0, 0.2, 2.0], &SystemConfig::new());
+        let ex = explore(app, &workload(), &configs).expect("sweep runs");
+        // initial + 3 sweep points.
+        assert_eq!(ex.points.len(), 4);
+        let frontier = ex.pareto_frontier();
+        assert!(!frontier.is_empty());
+        // The minimum-energy point must be on the frontier.
+        let min_e = ex.min_energy().expect("non-empty");
+        assert!(frontier.iter().any(|p| p.label == min_e.label));
+        // The initial point is dominated by a successful partition.
+        assert!(ex
+            .points
+            .iter()
+            .any(|p| !p.is_initial && p.energy < ex.points[0].energy));
+        let text = ex.render_frontier();
+        assert!(text.contains("design point"));
+    }
+
+    #[test]
+    fn domination_is_strict_partial_order() {
+        let a = DesignPoint {
+            label: "a".into(),
+            energy: Energy::from_microjoules(10.0),
+            cycles: Cycles::new(100),
+            geq: GateEq::new(0),
+            saving_percent: 0.0,
+            is_initial: false,
+        };
+        let b = DesignPoint {
+            label: "b".into(),
+            energy: Energy::from_microjoules(5.0),
+            cycles: Cycles::new(100),
+            geq: GateEq::new(0),
+            saving_percent: 50.0,
+            is_initial: false,
+        };
+        assert!(b.dominates(&a));
+        assert!(!a.dominates(&b));
+        assert!(!a.dominates(&a), "irreflexive");
+        // Incomparable pair: trade energy for cycles.
+        let c = DesignPoint {
+            label: "c".into(),
+            energy: Energy::from_microjoules(7.0),
+            cycles: Cycles::new(50),
+            geq: GateEq::new(500),
+            saving_percent: 30.0,
+            is_initial: false,
+        };
+        assert!(!b.dominates(&c) && !c.dominates(&b));
+    }
+
+    #[test]
+    fn empty_config_list_rejected() {
+        assert!(explore(app, &workload(), &[]).is_err());
+    }
+
+    #[test]
+    fn min_accessors() {
+        let configs = hardware_weight_sweep(&[0.2], &SystemConfig::new());
+        let ex = explore(app, &workload(), &configs).expect("sweep runs");
+        assert!(ex.min_energy().is_some());
+        assert!(ex.min_cycles().is_some());
+    }
+}

@@ -1,0 +1,145 @@
+//! The end-to-end design flow of Fig. 5 — one call from behavioral
+//! source text to a verified partition.
+//!
+//! `Application → graph → clusters → pre-selection → list schedule →
+//! U_R → OF → synthesis estimate → gate-level verification → total
+//! energy check`, with the designer's interaction points exposed as
+//! [`SystemConfig`] knobs.
+
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+
+use crate::error::CorepartError;
+use crate::partition::{PartitionOutcome, Partitioner};
+use crate::prepare::{prepare, PreparedApp, Workload};
+use crate::report::Table1Entry;
+use crate::system::SystemConfig;
+
+/// The result of one complete flow run.
+#[derive(Debug)]
+pub struct FlowResult {
+    /// The application name (from the `app <name>;` declaration).
+    pub app_name: String,
+    /// The prepared application (profile, compiled program, clusters).
+    pub prepared: PreparedApp,
+    /// The partitioning outcome (initial + best partition + search
+    /// statistics).
+    pub outcome: PartitionOutcome,
+}
+
+impl FlowResult {
+    /// This run as a Table-1 entry.
+    pub fn table1_entry(&self) -> Table1Entry {
+        Table1Entry::from_outcome(self.app_name.clone(), &self.outcome)
+    }
+}
+
+/// The design flow driver.
+#[derive(Debug, Clone, Default)]
+pub struct DesignFlow {
+    config: SystemConfig,
+}
+
+impl DesignFlow {
+    /// A flow with the paper-default configuration.
+    pub fn new() -> Self {
+        DesignFlow {
+            config: SystemConfig::new(),
+        }
+    }
+
+    /// A flow with a custom configuration.
+    pub fn with_config(config: SystemConfig) -> Self {
+        DesignFlow { config }
+    }
+
+    /// The configuration (designer interaction point).
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut SystemConfig {
+        &mut self.config
+    }
+
+    /// Runs the full flow on behavioral source text.
+    ///
+    /// # Errors
+    ///
+    /// Parse/lowering errors, bad workloads, or simulation failures.
+    pub fn run_source(
+        &self,
+        source: &str,
+        workload: Workload,
+    ) -> Result<FlowResult, CorepartError> {
+        let program = parse(source)?;
+        let app = lower(&program)?;
+        self.run_app(app, workload)
+    }
+
+    /// Runs the full flow on an already-lowered application.
+    ///
+    /// # Errors
+    ///
+    /// Bad workloads or simulation failures.
+    pub fn run_app(
+        &self,
+        app: corepart_ir::cdfg::Application,
+        workload: Workload,
+    ) -> Result<FlowResult, CorepartError> {
+        let app_name = app.name().to_owned();
+        let prepared = prepare(app, workload, &self.config)?;
+        let outcome = {
+            let partitioner = Partitioner::new(&prepared, &self.config)?;
+            partitioner.run()?
+        };
+        Ok(FlowResult {
+            app_name,
+            prepared,
+            outcome,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_to_verified_partition() {
+        let flow = DesignFlow::new();
+        let result = flow
+            .run_source(
+                r#"app flowdemo; var x[128]; var y[128];
+                func main() {
+                    for (var i = 0; i < 128; i = i + 1) {
+                        y[i] = x[i] * 7 + (x[i] >> 3);
+                    }
+                }"#,
+                Workload::from_arrays([("x", (0..128).collect::<Vec<i64>>())]),
+            )
+            .unwrap();
+        assert_eq!(result.app_name, "flowdemo");
+        assert!(result.outcome.best.is_some());
+        let entry = result.table1_entry();
+        assert_eq!(entry.app, "flowdemo");
+        assert!(entry.saving_percent().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let flow = DesignFlow::new();
+        let err = flow.run_source("app broken; func main() {", Workload::empty());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn config_accessors() {
+        let mut flow = DesignFlow::new();
+        flow.config_mut().n_max = 3;
+        assert_eq!(flow.config().n_max, 3);
+        let custom = DesignFlow::with_config(SystemConfig::new().with_n_max(2));
+        assert_eq!(custom.config().n_max, 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Machine-readable (JSON) export of reports.
+//!
+//! The text renderings in [`crate::report`] serve humans; downstream
+//! tooling (plotting scripts, CI dashboards) wants structured output.
+//! The writer here is deliberately dependency-free: the report types
+//! are flat records of numbers and names, so a small escaper suffices.
+
+use std::fmt::Write as _;
+
+use crate::partition::PartitionOutcome;
+use crate::report::{Figure6Point, Table1, Table1Entry};
+use crate::system::DesignMetrics;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Serializes one design point (all energies in joules, cycle counts
+/// raw, hardware in cells).
+pub fn metrics_to_json(m: &DesignMetrics) -> String {
+    format!(
+        concat!(
+            "{{\"icache_j\":{},\"dcache_j\":{},\"mem_j\":{},\"bus_j\":{},",
+            "\"up_core_j\":{},\"asic_core_j\":{},\"total_j\":{},",
+            "\"up_cycles\":{},\"asic_cycles\":{},\"total_cycles\":{},",
+            "\"geq_cells\":{},\"icache_miss\":{},\"dcache_miss\":{}}}"
+        ),
+        num(m.icache.joules()),
+        num(m.dcache.joules()),
+        num(m.mem.joules()),
+        num(m.bus.joules()),
+        num(m.up_core.joules()),
+        m.asic_core
+            .map(|e| num(e.joules()))
+            .unwrap_or_else(|| "null".to_owned()),
+        num(m.total_energy().joules()),
+        m.up_cycles.count(),
+        m.asic_cycles.count(),
+        m.total_cycles().count(),
+        m.geq.cells(),
+        num(m.icache_miss_ratio),
+        num(m.dcache_miss_ratio),
+    )
+}
+
+/// Serializes one Table-1 entry.
+pub fn entry_to_json(e: &Table1Entry) -> String {
+    format!(
+        concat!(
+            "{{\"app\":\"{}\",\"initial\":{},\"partitioned\":{},",
+            "\"energy_saving_pct\":{},\"time_change_pct\":{}}}"
+        ),
+        esc(&e.app),
+        metrics_to_json(&e.initial),
+        e.partitioned
+            .as_ref()
+            .map(metrics_to_json)
+            .unwrap_or_else(|| "null".to_owned()),
+        e.saving_percent()
+            .map(num)
+            .unwrap_or_else(|| "null".to_owned()),
+        e.time_change_percent()
+            .map(num)
+            .unwrap_or_else(|| "null".to_owned()),
+    )
+}
+
+/// Serializes a whole table as a JSON array.
+pub fn table1_to_json(t: &Table1) -> String {
+    let rows: Vec<String> = t.entries().iter().map(entry_to_json).collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Serializes the Figure-6 series.
+pub fn figure6_to_json(points: &[Figure6Point]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"app\":\"{}\",\"energy_saving_pct\":{},\"time_change_pct\":{}}}",
+                esc(&p.app),
+                num(p.energy_saving),
+                num(p.time_change),
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Serializes a partitioning outcome (initial + optional best +
+/// search statistics).
+pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
+    let best = outcome
+        .best
+        .as_ref()
+        .map(|(partition, detail)| {
+            let clusters: Vec<String> =
+                partition.clusters.iter().map(|c| c.0.to_string()).collect();
+            format!(
+                concat!(
+                    "{{\"clusters\":[{}],\"set\":\"{}\",\"metrics\":{},",
+                    "\"u_r\":{},\"u_up\":{},\"comm_words\":{}}}"
+                ),
+                clusters.join(","),
+                esc(partition.set.name()),
+                metrics_to_json(&detail.metrics),
+                num(detail.u_r),
+                num(detail.u_up),
+                detail.comm_words,
+            )
+        })
+        .unwrap_or_else(|| "null".to_owned());
+    let s = &outcome.search;
+    format!(
+        concat!(
+            "{{\"app\":\"{}\",\"initial\":{},\"best\":{},",
+            "\"search\":{{\"candidates\":{},\"estimated\":{},",
+            "\"rejected_by_utilization\":{},\"infeasible\":{},",
+            "\"growth_steps\":{},\"verifications\":{}}}}}"
+        ),
+        esc(name),
+        metrics_to_json(&outcome.initial),
+        best,
+        s.candidates,
+        s.estimated,
+        s.rejected_by_utilization,
+        s.infeasible,
+        s.growth_steps,
+        s.verifications,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corepart_tech::units::{Cycles, Energy, GateEq};
+
+    fn metrics() -> DesignMetrics {
+        DesignMetrics {
+            icache: Energy::from_microjoules(1.0),
+            dcache: Energy::from_microjoules(2.0),
+            mem: Energy::from_microjoules(3.0),
+            bus: Energy::ZERO,
+            up_core: Energy::from_microjoules(4.0),
+            asic_core: Some(Energy::from_microjoules(5.0)),
+            up_cycles: Cycles::new(100),
+            asic_cycles: Cycles::new(50),
+            geq: GateEq::new(1234),
+            icache_miss_ratio: 0.0125,
+            dcache_miss_ratio: 0.5,
+        }
+    }
+
+    #[test]
+    fn metrics_json_well_formed() {
+        let j = metrics_to_json(&metrics());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"geq_cells\":1234"));
+        assert!(j.contains("\"total_cycles\":150"));
+        // 5 µJ in joules, however the constructor's float rounding and
+        // Rust's float printer render it.
+        let expected = format!("\"asic_core_j\":{}", Energy::from_microjoules(5.0).joules());
+        assert!(j.contains(&expected), "{j}");
+        // Balanced braces / quotes.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn null_asic_for_initial_design() {
+        let mut m = metrics();
+        m.asic_core = None;
+        let j = metrics_to_json(&m);
+        assert!(j.contains("\"asic_core_j\":null"));
+    }
+
+    #[test]
+    fn entry_and_table_json() {
+        let e = Table1Entry {
+            app: "3d \"quoted\"".into(),
+            initial: metrics(),
+            partitioned: None,
+        };
+        let j = entry_to_json(&e);
+        assert!(j.contains("3d \\\"quoted\\\""));
+        assert!(j.contains("\"partitioned\":null"));
+        let mut t = Table1::new();
+        t.push(e);
+        let tj = table1_to_json(&t);
+        assert!(tj.starts_with('[') && tj.ends_with(']'));
+    }
+
+    #[test]
+    fn figure6_json() {
+        let pts = vec![Figure6Point {
+            app: "mpg".into(),
+            energy_saving: 43.2,
+            time_change: -52.9,
+        }];
+        let j = figure6_to_json(&pts);
+        assert!(j.contains("\"energy_saving_pct\":43.2"));
+        assert!(j.contains("-52.9"));
+    }
+
+    #[test]
+    fn escaping_control_chars() {
+        assert_eq!(esc("a\nb"), "a\\nb");
+        assert_eq!(esc("a\\b"), "a\\\\b");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,111 @@
+//! The objective function `OF` of Fig. 1 line 13.
+//!
+//! `OF = F · (E_R + E_µP + E_rest)/E_0 + G · GEQ/GEQ_0` — a
+//! superposition of the normalized total system energy and the
+//! normalized additional hardware effort. `F` "is a factor given by the
+//! designer to balance the objective function between energy
+//! consumption and possible other design constraints" (§3.2); the
+//! hardware term (the "…" of line 13) is what makes the algorithm
+//! "reject clusters that would result in an unacceptably high hardware
+//! effort" (§4, the `trick` discussion).
+//!
+//! Lower is better; the initial design scores `OF = F` (energy ratio 1,
+//! no extra hardware).
+
+use corepart_tech::units::{Energy, GateEq};
+
+use crate::system::SystemConfig;
+
+/// An objective function bound to a normalization baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objective {
+    factor_f: f64,
+    factor_g: f64,
+    e_norm: Energy,
+    geq_norm: GateEq,
+}
+
+impl Objective {
+    /// Builds the objective from the designer's config and the initial
+    /// design's total energy (`E_0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e_norm` is non-positive — normalize against a real
+    /// initial design.
+    pub fn new(config: &SystemConfig, e_norm: Energy) -> Self {
+        assert!(
+            e_norm.joules() > 0.0,
+            "objective normalization energy must be positive"
+        );
+        Objective {
+            factor_f: config.factor_f,
+            factor_g: config.factor_g,
+            e_norm,
+            geq_norm: config.geq_norm,
+        }
+    }
+
+    /// Evaluates `OF` for a design with the given total energy and
+    /// additional hardware.
+    pub fn value(&self, total_energy: Energy, geq: GateEq) -> f64 {
+        let e_term = self.factor_f * (total_energy / self.e_norm);
+        let hw_term = self.factor_g * geq.ratio(self.geq_norm).unwrap_or(0.0);
+        e_term + hw_term
+    }
+
+    /// The initial design's score (`F`, by construction).
+    pub fn initial_value(&self) -> f64 {
+        self.factor_f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(f: f64, g: f64) -> Objective {
+        let config = SystemConfig::new().with_factors(f, g);
+        Objective::new(&config, Energy::from_millijoules(10.0))
+    }
+
+    #[test]
+    fn initial_scores_f() {
+        let o = obj(1.0, 0.2);
+        assert_eq!(o.initial_value(), 1.0);
+        assert!((o.value(Energy::from_millijoules(10.0), GateEq::ZERO) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_halving_halves_term() {
+        let o = obj(1.0, 0.0);
+        let v = o.value(Energy::from_millijoules(5.0), GateEq::new(8_000));
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hardware_term_penalizes() {
+        let o = obj(1.0, 0.2);
+        let cheap = o.value(Energy::from_millijoules(5.0), GateEq::new(4_000));
+        let pricey = o.value(Energy::from_millijoules(5.0), GateEq::new(32_000));
+        assert!(pricey > cheap);
+        // 32k cells at GEQ_0 = 16k and G = 0.2 adds 0.4.
+        assert!((pricey - (0.5 + 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_f_drowns_hardware_term() {
+        let big_f = obj(10.0, 0.2);
+        let a = big_f.value(Energy::from_millijoules(5.0), GateEq::ZERO);
+        let b = big_f.value(Energy::from_millijoules(5.0), GateEq::new(16_000));
+        assert!((b - a - 0.2).abs() < 1e-12);
+        assert!(a >= 5.0 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_normalization_panics() {
+        let config = SystemConfig::new();
+        let _ = Objective::new(&config, Energy::ZERO);
+    }
+}

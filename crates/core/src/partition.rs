@@ -1,0 +1,495 @@
+//! The low-power partitioning loop — the Fig. 1 algorithm.
+//!
+//! The search follows the paper's two-phase structure:
+//!
+//! * **Estimate phase** (lines 3–13): for every pre-selected cluster ×
+//!   every designer resource set, list-schedule, bind and compute
+//!   `U_R^core`; reject candidates that do not beat the µP's
+//!   utilization (`U_R > U_µP`, line 9); score survivors with the
+//!   objective function using the *quick* energy estimates. This never
+//!   runs a simulation — it is the fast inner loop the pre-selection
+//!   exists to keep small.
+//! * **Verification phase** (lines 14–15): the best-`OF` candidate is
+//!   "synthesized" (full datapath estimate) and verified by the
+//!   whole-system simulation: ISS + caches + memory + gate-level-style
+//!   ASIC energy. Only a verified improvement is reported.
+//!
+//! On top of the single-cluster loop, [`Partitioner::run`] grows the
+//! chosen partition greedily: neighbouring clusters whose addition
+//! improves the (estimated, then verified) objective join the ASIC
+//! core, benefiting from the synergy discounts of Fig. 3.
+
+use std::collections::HashSet;
+
+use corepart_ir::cluster::ClusterId;
+use corepart_isa::profile::CoreUtilization;
+use corepart_isa::simulator::RunStats;
+use corepart_sched::binding::{bind, schedule_cluster, utilization};
+use corepart_sched::datapath::estimate_datapath;
+use corepart_sched::energy::estimate_energy;
+use corepart_tech::energy::MemoryEnergyModel;
+use corepart_tech::units::Energy;
+
+use crate::bus_transfer::transfer_counts;
+use crate::error::CorepartError;
+use crate::evaluate::{evaluate_initial, evaluate_partition, Partition, PartitionDetail};
+use crate::objective::Objective;
+use crate::prepare::PreparedApp;
+use crate::preselect::{preselect, CandidateScore};
+use crate::system::{DesignMetrics, SystemConfig};
+
+/// Counters describing how the search went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Clusters surviving pre-selection.
+    pub candidates: usize,
+    /// (cluster, set) pairs estimated.
+    pub estimated: usize,
+    /// Pairs rejected by the `U_R > U_µP` test (Fig. 1 line 9).
+    pub rejected_by_utilization: usize,
+    /// Pairs whose resource set could not execute the cluster.
+    pub infeasible: usize,
+    /// Greedy growth steps that improved the objective.
+    pub growth_steps: usize,
+    /// Full verifications run (Fig. 1 lines 14–15).
+    pub verifications: usize,
+}
+
+/// The result of a partitioning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionOutcome {
+    /// The initial design's metrics (Table 1 "I" row).
+    pub initial: DesignMetrics,
+    /// The verified best partition (Table 1 "P" row), or `None` when no
+    /// candidate beat the initial design.
+    pub best: Option<(Partition, PartitionDetail)>,
+    /// Search statistics.
+    pub search: SearchStats,
+}
+
+impl PartitionOutcome {
+    /// Energy saving of the chosen partition in percent, if one was
+    /// found.
+    pub fn energy_saving_percent(&self) -> Option<f64> {
+        self.best
+            .as_ref()
+            .and_then(|(_, d)| d.metrics.energy_saving_vs(&self.initial))
+    }
+
+    /// Execution-time change of the chosen partition in percent
+    /// (negative = faster), if one was found.
+    pub fn time_change_percent(&self) -> Option<f64> {
+        self.best
+            .as_ref()
+            .and_then(|(_, d)| d.metrics.time_change_vs(&self.initial))
+    }
+}
+
+/// One estimated candidate (estimate phase output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatedCandidate {
+    /// The candidate partition.
+    pub partition: Partition,
+    /// Its ASIC utilization.
+    pub u_r: f64,
+    /// The estimated objective value.
+    pub of_value: f64,
+    /// The estimated total system energy.
+    pub energy: Energy,
+}
+
+/// The partitioner, bound to a prepared application and a system
+/// configuration.
+#[derive(Debug)]
+pub struct Partitioner<'a> {
+    prepared: &'a PreparedApp,
+    config: &'a SystemConfig,
+    initial: DesignMetrics,
+    initial_stats: RunStats,
+    u_up: f64,
+    objective: Objective,
+}
+
+impl<'a> Partitioner<'a> {
+    /// Evaluates the initial design and sets up the objective function.
+    ///
+    /// # Errors
+    ///
+    /// Configuration or simulation failures.
+    pub fn new(prepared: &'a PreparedApp, config: &'a SystemConfig) -> Result<Self, CorepartError> {
+        config.validate()?;
+        let (initial, initial_stats) = evaluate_initial(prepared, config)?;
+        let u_up = CoreUtilization::from_stats(&initial_stats).mean();
+        let objective = Objective::new(config, initial.total_energy());
+        Ok(Partitioner {
+            prepared,
+            config,
+            initial,
+            initial_stats,
+            u_up,
+            objective,
+        })
+    }
+
+    /// The initial design's metrics.
+    pub fn initial(&self) -> &DesignMetrics {
+        &self.initial
+    }
+
+    /// The prepared application this partitioner works on.
+    pub fn prepared(&self) -> &PreparedApp {
+        self.prepared
+    }
+
+    /// The system configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        self.config
+    }
+
+    /// The initial run's statistics (per-block attribution).
+    pub fn initial_stats(&self) -> &RunStats {
+        &self.initial_stats
+    }
+
+    /// `U_µP^core` of the initial run.
+    pub fn u_up(&self) -> f64 {
+        self.u_up
+    }
+
+    /// The objective function in use.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// The pre-selected candidate clusters (Fig. 1 line 5).
+    pub fn candidates(&self) -> Vec<CandidateScore> {
+        preselect(self.prepared, &self.initial_stats, self.config)
+    }
+
+    /// Fully evaluates (verifies) one partition — Fig. 1 lines 14–15.
+    ///
+    /// # Errors
+    ///
+    /// Infeasible resource sets or simulation failures.
+    pub fn evaluate(&self, partition: &Partition) -> Result<PartitionDetail, CorepartError> {
+        evaluate_partition(self.prepared, partition, &self.initial_stats, self.config)
+    }
+
+    /// The objective value of a verified design.
+    pub fn objective_value(&self, metrics: &DesignMetrics) -> f64 {
+        self.objective.value(metrics.total_energy(), metrics.geq)
+    }
+
+    /// Estimate phase for one candidate partition (no simulation):
+    /// schedule + bind + `U_R` + quick energies + `OF`.
+    ///
+    /// Returns `Ok(None)` when the candidate fails the `U_R > U_µP`
+    /// test of Fig. 1 line 9.
+    ///
+    /// # Errors
+    ///
+    /// [`CorepartError::Sched`] when the set cannot execute the
+    /// clusters.
+    pub fn estimate(
+        &self,
+        partition: &Partition,
+    ) -> Result<Option<EstimatedCandidate>, CorepartError> {
+        self.estimate_inner(partition, true)
+    }
+
+    /// Like [`Partitioner::estimate`], with the Fig.-1-line-9
+    /// utilization gate optional: the gate screens *seed* clusters, but
+    /// greedy growth is judged by the objective alone (a grown
+    /// partition's combined `U_R` may dip below `U_µP` while still
+    /// lowering total energy, e.g. when absorbing the small glue
+    /// cluster between two hot loops).
+    fn estimate_inner(
+        &self,
+        partition: &Partition,
+        enforce_gate: bool,
+    ) -> Result<Option<EstimatedCandidate>, CorepartError> {
+        let mut hw_blocks = Vec::new();
+        for &cid in &partition.clusters {
+            hw_blocks.extend(self.prepared.chain.cluster(cid).blocks.iter().copied());
+        }
+        let sched = schedule_cluster(
+            &self.prepared.app,
+            &hw_blocks,
+            &partition.set,
+            &self.config.library,
+        )?;
+        let binding = bind(&sched, &self.config.library);
+        let util = utilization(
+            &sched,
+            &binding,
+            &self.prepared.profile,
+            &self.config.library,
+        );
+
+        // Fig. 1 line 9: only clusters that utilize the ASIC datapath
+        // better than the µP utilizes itself *while running this
+        // cluster* can save energy (per-cluster comparison, §3.2).
+        let u_up_region = CoreUtilization::for_blocks(&self.initial_stats, &hw_blocks).mean();
+        if enforce_gate && util.u_r <= self.config.gate_margin * u_up_region {
+            return Ok(None);
+        }
+
+        // Line 11: quick ASIC-energy estimate.
+        let e_r = estimate_energy(&util, &binding, &self.config.library);
+
+        // Line 12: remaining software energy.
+        let e_cluster: Energy = partition
+            .clusters
+            .iter()
+            .map(|&cid| {
+                self.initial_stats
+                    .energy_of(&self.prepared.chain.cluster(cid).blocks)
+            })
+            .sum();
+        let e_up = self.initial.up_core - e_cluster;
+
+        // Communication energy (the E_Trans of line 4, with synergy
+        // among the chosen clusters).
+        let on_asic: HashSet<ClusterId> = partition.clusters.iter().copied().collect();
+        let mem_model =
+            MemoryEnergyModel::analytical(&self.config.process, self.config.memory_bytes);
+        let mut e_comm = Energy::ZERO;
+        for &cid in &partition.clusters {
+            let cluster = self.prepared.chain.cluster(cid);
+            let mut others = on_asic.clone();
+            others.remove(&cid);
+            let counts = transfer_counts(&self.prepared.chain, cid, &others);
+            let inv = corepart_ir::cluster::cluster_invocations(
+                &self.prepared.app,
+                &self.prepared.profile,
+                cluster,
+            );
+            e_comm += (self.config.bus.write() + mem_model.write_word()) * (counts.words_in * inv)
+                + (self.config.bus.read() + mem_model.read_word()) * (counts.words_out * inv);
+        }
+
+        // E_rest: the other cores, taken from the initial design at
+        // estimate time (the verification re-simulates them).
+        let e_rest = self.initial.icache + self.initial.dcache + self.initial.mem;
+
+        let datapath = estimate_datapath(&sched, &binding, &self.config.library);
+        let energy = e_r + e_up + e_comm + e_rest;
+        let of_value = self.objective.value(energy, datapath.total());
+
+        Ok(Some(EstimatedCandidate {
+            partition: partition.clone(),
+            u_r: util.u_r,
+            of_value,
+            energy,
+        }))
+    }
+
+    /// Runs the full Fig. 1 search: pre-selection, the estimate loop
+    /// over clusters × resource sets, greedy multi-cluster growth, and
+    /// final verification.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures during verification (estimate-phase
+    /// infeasibilities are skipped and counted instead).
+    pub fn run(&self) -> Result<PartitionOutcome, CorepartError> {
+        let candidates = self.candidates();
+        let mut search = SearchStats {
+            candidates: candidates.len(),
+            ..SearchStats::default()
+        };
+
+        // --- Estimate loop (Fig. 1 lines 6-13). ---
+        let mut best_est: Option<EstimatedCandidate> = None;
+        for cand in &candidates {
+            for set in &self.config.resource_sets {
+                search.estimated += 1;
+                let partition = Partition::single(cand.cluster, set.clone());
+                match self.estimate(&partition) {
+                    Ok(Some(est)) => {
+                        if est.of_value < self.objective.initial_value()
+                            && best_est
+                                .as_ref()
+                                .map(|b| est.of_value < b.of_value)
+                                .unwrap_or(true)
+                        {
+                            best_est = Some(est);
+                        }
+                    }
+                    Ok(None) => search.rejected_by_utilization += 1,
+                    Err(CorepartError::Sched(_)) => search.infeasible += 1,
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+
+        let Some(mut best) = best_est else {
+            return Ok(PartitionOutcome {
+                initial: self.initial.clone(),
+                best: None,
+                search,
+            });
+        };
+
+        // --- Greedy growth: co-locate more clusters on the ASIC core
+        // while the estimated objective keeps improving. ---
+        loop {
+            let chosen: HashSet<ClusterId> = best.partition.clusters.iter().copied().collect();
+            let mut improved = false;
+            for cand in &candidates {
+                if chosen.contains(&cand.cluster) {
+                    continue;
+                }
+                let mut grown = best.partition.clone();
+                grown.clusters.push(cand.cluster);
+                grown.clusters.sort();
+                search.estimated += 1;
+                match self.estimate_inner(&grown, false) {
+                    Ok(Some(est)) if est.of_value < best.of_value => {
+                        best = est;
+                        improved = true;
+                        search.growth_steps += 1;
+                        break;
+                    }
+                    Ok(Some(_)) | Ok(None) => {}
+                    Err(CorepartError::Sched(_)) => search.infeasible += 1,
+                    Err(other) => return Err(other),
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        // --- Verification (Fig. 1 lines 14-15 + the §3.5 "could the
+        // total system energy be reduced?" check). ---
+        search.verifications += 1;
+        let detail = self.evaluate(&best.partition)?;
+        let verified_better =
+            detail.metrics.total_energy().joules() < self.initial.total_energy().joules();
+
+        Ok(PartitionOutcome {
+            initial: self.initial.clone(),
+            best: verified_better.then_some((best.partition, detail)),
+            search,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::{prepare, Workload};
+    use corepart_ir::lower::lower;
+    use corepart_ir::parser::parse;
+
+    fn make(src: &str, workload: Workload, config: &SystemConfig) -> PreparedApp {
+        let app = lower(&parse(src).unwrap()).unwrap();
+        prepare(app, workload, config).unwrap()
+    }
+
+    const DSP: &str = r#"app dsp; var x[256]; var y[256]; var s = 0;
+        func main() {
+            for (var i = 1; i < 255; i = i + 1) {
+                y[i] = (x[i - 1] * 3 + x[i] * 5 + x[i + 1] * 3) >> 4;
+            }
+            for (var j = 0; j < 256; j = j + 1) { s = s + y[j]; }
+            return s;
+        }"#;
+
+    fn dsp_workload() -> Workload {
+        Workload::from_arrays([(
+            "x",
+            (0..256)
+                .map(|i| (i * 31 + 7) % 255 - 128)
+                .collect::<Vec<i64>>(),
+        )])
+    }
+
+    #[test]
+    fn finds_an_energy_saving_partition() {
+        let config = SystemConfig::new();
+        let p = make(DSP, dsp_workload(), &config);
+        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let outcome = partitioner.run().unwrap();
+        let (partition, detail) = outcome.best.as_ref().expect("a partition must be found");
+        assert!(!partition.clusters.is_empty());
+        let saving = outcome.energy_saving_percent().unwrap();
+        assert!(
+            saving > 20.0,
+            "DSP kernel should save substantially, got {saving:.1}%"
+        );
+        // Utilization test held.
+        assert!(detail.u_r > partitioner.u_up());
+        // Hardware stayed in the paper's band.
+        assert!(detail.metrics.geq.cells() < 40_000);
+        assert!(outcome.search.candidates > 0);
+        assert!(outcome.search.estimated > 0);
+    }
+
+    #[test]
+    fn estimate_rejects_low_utilization() {
+        let config = SystemConfig::new();
+        let p = make(DSP, dsp_workload(), &config);
+        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let hot = p.chain.iter().find(|c| c.is_loop()).unwrap().id;
+        // The huge xl-dsp set on a modest kernel: utilization dives.
+        let est = partitioner
+            .estimate(&Partition::single(hot, config.resource_sets[4].clone()))
+            .unwrap();
+        let est_small = partitioner
+            .estimate(&Partition::single(hot, config.resource_sets[2].clone()))
+            .unwrap();
+        if let (Some(l), Some(s)) = (&est, &est_small) {
+            assert!(s.u_r >= l.u_r);
+        }
+        // At least one variant must pass the utilization test.
+        assert!(est.is_some() || est_small.is_some());
+    }
+
+    #[test]
+    fn control_code_yields_no_partition() {
+        // Irregular, branchy, low-reuse code: no cluster should beat
+        // the initial design.
+        let config = SystemConfig::new();
+        let p = make(
+            r#"app ctl; var s = 0;
+            func main() {
+                if (s == 0) { s = 1; } else { s = 2; }
+                if (s > 1) { s = s - 1; }
+                return s;
+            }"#,
+            Workload::empty(),
+            &config,
+        );
+        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let outcome = partitioner.run().unwrap();
+        assert!(outcome.best.is_none());
+    }
+
+    #[test]
+    fn factor_f_changes_the_choice() {
+        // With a crushing hardware weight, nothing is worth synthesis.
+        let config_hw = SystemConfig::new().with_factors(1.0, 1000.0);
+        let p = make(DSP, dsp_workload(), &config_hw);
+        let partitioner = Partitioner::new(&p, &config_hw).unwrap();
+        let outcome = partitioner.run().unwrap();
+        assert!(
+            outcome.best.is_none(),
+            "a 1000x hardware weight must reject every candidate"
+        );
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let config = SystemConfig::new();
+        let p = make(DSP, dsp_workload(), &config);
+        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let outcome = partitioner.run().unwrap();
+        assert!(outcome.energy_saving_percent().is_some());
+        assert!(outcome.time_change_percent().is_some());
+        assert!(partitioner.initial().up_core.joules() > 0.0);
+        assert!(partitioner.initial_stats().cycles.count() > 0);
+        assert!(partitioner.objective().initial_value() > 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Table-1 and Figure-6 style reporting.
+//!
+//! [`Table1`] renders the paper's result table: one "I"(nitial) and one
+//! "P"(artitioned) row per application with the per-core energy
+//! breakdown, savings, execution cycles and time change.
+//! [`figure6`] renders the bar-series of Figure 6 (energy saving %
+//! and execution-time change % per application) as aligned text.
+
+use std::fmt;
+
+use corepart_tech::units::Energy;
+
+use crate::partition::PartitionOutcome;
+use crate::system::DesignMetrics;
+
+/// One application's entry in the results table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Entry {
+    /// Application name.
+    pub app: String,
+    /// The initial design.
+    pub initial: DesignMetrics,
+    /// The partitioned design, when one was found.
+    pub partitioned: Option<DesignMetrics>,
+}
+
+impl Table1Entry {
+    /// Builds an entry from a partitioning outcome.
+    pub fn from_outcome(app: impl Into<String>, outcome: &PartitionOutcome) -> Self {
+        Table1Entry {
+            app: app.into(),
+            initial: outcome.initial.clone(),
+            partitioned: outcome.best.as_ref().map(|(_, d)| d.metrics.clone()),
+        }
+    }
+
+    /// Energy saving in percent (None without a partition).
+    pub fn saving_percent(&self) -> Option<f64> {
+        self.partitioned
+            .as_ref()
+            .and_then(|p| p.energy_saving_vs(&self.initial))
+    }
+
+    /// Execution-time change in percent (negative = faster).
+    pub fn time_change_percent(&self) -> Option<f64> {
+        self.partitioned
+            .as_ref()
+            .and_then(|p| p.time_change_vs(&self.initial))
+    }
+}
+
+/// The full results table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table1 {
+    entries: Vec<Table1Entry>,
+}
+
+impl Table1 {
+    /// An empty table.
+    pub fn new() -> Self {
+        Table1::default()
+    }
+
+    /// Adds one application's entry.
+    pub fn push(&mut self, entry: Table1Entry) {
+        self.entries.push(entry);
+    }
+
+    /// The entries.
+    pub fn entries(&self) -> &[Table1Entry] {
+        &self.entries
+    }
+}
+
+fn fmt_energy(e: Energy) -> String {
+    format!("{e:.3}")
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<8} {:>1} | {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8} | {:>13} {:>13} {:>13} {:>8}",
+            "App.", "", "i-cache", "d-cache", "mem", "uP core", "ASIC core", "total",
+            "Sav%", "uP cyc", "ASIC cyc", "total cyc", "Chg%"
+        )?;
+        writeln!(f, "{}", "-".repeat(172))?;
+        for e in &self.entries {
+            let i = &e.initial;
+            writeln!(
+                f,
+                "{:<8} {:>1} | {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8} | {:>13} {:>13} {:>13} {:>8}",
+                e.app,
+                "I",
+                fmt_energy(i.icache),
+                fmt_energy(i.dcache),
+                fmt_energy(i.mem + i.bus),
+                fmt_energy(i.up_core),
+                "n/a",
+                fmt_energy(i.total_energy()),
+                e.saving_percent()
+                    .map(|s| format!("{:.2}", -s))
+                    .unwrap_or_else(|| "--".into()),
+                i.up_cycles.to_string(),
+                "n/a",
+                i.total_cycles().to_string(),
+                e.time_change_percent()
+                    .map(|c| format!("{c:.2}"))
+                    .unwrap_or_else(|| "--".into()),
+            )?;
+            match &e.partitioned {
+                Some(p) => {
+                    writeln!(
+                        f,
+                        "{:<8} {:>1} | {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8} | {:>13} {:>13} {:>13} {:>8}",
+                        "",
+                        "P",
+                        fmt_energy(p.icache),
+                        fmt_energy(p.dcache),
+                        fmt_energy(p.mem + p.bus),
+                        fmt_energy(p.up_core),
+                        p.asic_core.map(fmt_energy).unwrap_or_else(|| "n/a".into()),
+                        fmt_energy(p.total_energy()),
+                        "",
+                        p.up_cycles.to_string(),
+                        p.asic_cycles.to_string(),
+                        p.total_cycles().to_string(),
+                        "",
+                    )?;
+                }
+                None => {
+                    writeln!(
+                        f,
+                        "{:<8} {:>1} | {:>136}",
+                        "", "P", "(no partition beat the initial design)"
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One bar pair of Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure6Point {
+    /// Application name.
+    pub app: String,
+    /// Energy saving in percent (positive = saved).
+    pub energy_saving: f64,
+    /// Execution-time change in percent (negative = faster).
+    pub time_change: f64,
+}
+
+/// Extracts the Figure-6 series from table entries (skipping apps with
+/// no partition).
+pub fn figure6(table: &Table1) -> Vec<Figure6Point> {
+    table
+        .entries()
+        .iter()
+        .filter_map(|e| {
+            Some(Figure6Point {
+                app: e.app.clone(),
+                energy_saving: e.saving_percent()?,
+                time_change: e.time_change_percent()?,
+            })
+        })
+        .collect()
+}
+
+/// Renders the Figure-6 series as a horizontal text bar chart.
+pub fn render_figure6(points: &[Figure6Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6: energy savings and change of total execution time\n");
+    out.push_str("  (#: energy saving %, =: exec-time change %; left of | is negative)\n\n");
+    let scale = 0.5; // chars per percent
+    for p in points {
+        let bar = |v: f64, c: char| -> String {
+            let len = (v.abs() * scale).round() as usize;
+            let bar: String = std::iter::repeat_n(c, len.min(80)).collect();
+            if v < 0.0 {
+                format!("{bar:>40}|{:<40}", "")
+            } else {
+                format!("{:>40}|{bar:<40}", "")
+            }
+        };
+        out.push_str(&format!(
+            "{:<8} energy {:+7.2}% {}\n",
+            p.app,
+            p.energy_saving,
+            bar(p.energy_saving, '#')
+        ));
+        out.push_str(&format!(
+            "{:<8} time   {:+7.2}% {}\n",
+            "",
+            p.time_change,
+            bar(p.time_change, '=')
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corepart_tech::units::{Cycles, GateEq};
+
+    fn metrics(up_uj: f64, asic_uj: Option<f64>, upc: u64, ac: u64) -> DesignMetrics {
+        DesignMetrics {
+            icache: Energy::from_microjoules(100.0),
+            dcache: Energy::from_microjoules(20.0),
+            mem: Energy::from_microjoules(30.0),
+            bus: Energy::ZERO,
+            up_core: Energy::from_microjoules(up_uj),
+            asic_core: asic_uj.map(Energy::from_microjoules),
+            up_cycles: Cycles::new(upc),
+            asic_cycles: Cycles::new(ac),
+            geq: GateEq::new(9_000),
+            icache_miss_ratio: 0.01,
+            dcache_miss_ratio: 0.02,
+        }
+    }
+
+    fn entry(name: &str) -> Table1Entry {
+        Table1Entry {
+            app: name.into(),
+            initial: metrics(500.0, None, 40_000, 0),
+            partitioned: Some(metrics(100.0, Some(30.0), 20_000, 5_000)),
+        }
+    }
+
+    #[test]
+    fn table_renders_both_rows() {
+        let mut t = Table1::new();
+        t.push(entry("3d"));
+        let s = t.to_string();
+        assert!(s.contains("3d"));
+        assert!(s.contains(" I "));
+        assert!(s.contains(" P "));
+        assert!(s.contains("n/a"));
+        // Savings column: (650-280)/650 = 56.9% -> printed as -56.9x.
+        assert!(s.contains("-56.9"), "{s}");
+    }
+
+    #[test]
+    fn table_handles_missing_partition() {
+        let mut t = Table1::new();
+        t.push(Table1Entry {
+            app: "trick".into(),
+            initial: metrics(500.0, None, 40_000, 0),
+            partitioned: None,
+        });
+        let s = t.to_string();
+        assert!(s.contains("no partition"));
+    }
+
+    #[test]
+    fn figure6_extraction_and_render() {
+        let mut t = Table1::new();
+        t.push(entry("mpg"));
+        let pts = figure6(&t);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].energy_saving > 0.0);
+        assert!(pts[0].time_change < 0.0);
+        let chart = render_figure6(&pts);
+        assert!(chart.contains("mpg"));
+        assert!(chart.contains('#'));
+        assert!(chart.contains('='));
+    }
+
+    #[test]
+    fn entry_percentages() {
+        let e = entry("x");
+        let s = e.saving_percent().unwrap();
+        assert!((s - (650.0 - 280.0) / 650.0 * 100.0).abs() < 0.01);
+        let c = e.time_change_percent().unwrap();
+        assert!((c - (25_000.0 - 40_000.0) / 40_000.0 * 100.0).abs() < 0.01);
+    }
+}

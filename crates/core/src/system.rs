@@ -1,0 +1,278 @@
+//! System configuration and whole-system design metrics.
+//!
+//! The target architecture (Fig. 2 a) is a µP core, an I-cache, a
+//! D-cache, a main-memory core and (after partitioning) an ASIC core,
+//! all on a shared bus. [`SystemConfig`] bundles every model parameter;
+//! [`DesignMetrics`] is one row of the paper's Table 1: the per-core
+//! energy breakdown plus execution time of a design point.
+
+use corepart_cache::config::CacheConfig;
+use corepart_isa::energy::EnergyTable;
+use corepart_tech::energy::BusEnergyModel;
+use corepart_tech::process::CmosProcess;
+use corepart_tech::resource::{ResourceLibrary, ResourceSet};
+use corepart_tech::units::{Cycles, Energy, GateEq};
+
+use crate::error::CorepartError;
+
+/// Full configuration of the modelled system and the partitioning
+/// algorithm's designer knobs (§3.5: "the designer does have manifold
+/// possibilities of interaction").
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Fabrication process (default: CMOS6 0.8µ).
+    pub process: CmosProcess,
+    /// Datapath resource library (default: CMOS6 library).
+    pub library: ResourceLibrary,
+    /// Designer-supplied candidate resource sets (3–5, §3.2).
+    pub resource_sets: Vec<ResourceSet>,
+    /// Instruction-cache geometry.
+    pub icache: CacheConfig,
+    /// Data-cache geometry.
+    pub dcache: CacheConfig,
+    /// Main-memory core capacity in bytes.
+    pub memory_bytes: usize,
+    /// Shared-bus energy model.
+    pub bus: BusEnergyModel,
+    /// µP instruction-level energy table.
+    pub energy_table: EnergyTable,
+    /// Simulation cycle guard (0 = unlimited).
+    pub max_cycles: u64,
+    /// Pre-selection budget `N_max^c` (Fig. 1 line 5).
+    pub n_max: usize,
+    /// Objective-function energy weight `F` (Fig. 1 line 13).
+    pub factor_f: f64,
+    /// Objective-function hardware weight (the "…" of line 13).
+    pub factor_g: f64,
+    /// Hardware-effort normalization `GEQ_0`.
+    pub geq_norm: GateEq,
+    /// µP cycles per transferred word during µP↔ASIC communication.
+    pub comm_cycles_per_word: u64,
+    /// Fixed µP handshake cycles per ASIC invocation.
+    pub comm_handshake_cycles: u64,
+    /// Margin of the Fig.-1-line-9 utilization gate: a candidate passes
+    /// when `U_R > gate_margin · U_µP`. The default 0.9 accounts for
+    /// the ASIC datapath having no fetch/decode/control overhead in its
+    /// utilization denominator — at *equal* rates the ASIC already
+    /// dissipates less — while still screening clearly-worse clusters.
+    pub gate_margin: f64,
+    /// Run the IR optimizer (constant/copy propagation, DCE) before
+    /// profiling and codegen. Off by default: the paper's era-typical
+    /// embedded compiler produced naive code, and the calibration
+    /// assumes it. Turning it on makes the software baseline stronger
+    /// (experiment E5).
+    pub optimize_ir: bool,
+}
+
+impl SystemConfig {
+    /// The paper-era default system: CMOS6 process, 8 kB caches, 1 MB
+    /// memory, 8 mm bus, the default resource-set family, `F = 1`,
+    /// hardware weight 0.2 against a 16 k-cell normalization.
+    pub fn new() -> Self {
+        let process = CmosProcess::cmos6();
+        let library = ResourceLibrary::for_process(&process);
+        let bus = BusEnergyModel::analytical(&process, 8.0);
+        let energy_table = EnergyTable::for_process(&process);
+        SystemConfig {
+            process,
+            library,
+            resource_sets: ResourceSet::default_family(),
+            icache: CacheConfig::default_icache(),
+            dcache: CacheConfig::default_dcache(),
+            memory_bytes: 1 << 20,
+            bus,
+            energy_table,
+            max_cycles: 2_000_000_000,
+            n_max: 8,
+            factor_f: 1.0,
+            factor_g: 0.2,
+            geq_norm: GateEq::new(16_000),
+            comm_cycles_per_word: 2,
+            comm_handshake_cycles: 4,
+            gate_margin: 0.9,
+            optimize_ir: false,
+        }
+    }
+
+    /// Validates designer knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`CorepartError::Config`] on nonsensical values (no resource
+    /// sets, zero `n_max`, non-positive factors, zero `GEQ_0`).
+    pub fn validate(&self) -> Result<(), CorepartError> {
+        let err = |m: &str| {
+            Err(CorepartError::Config {
+                message: m.to_owned(),
+            })
+        };
+        if self.resource_sets.is_empty() {
+            return err("at least one resource set is required");
+        }
+        if self.n_max == 0 {
+            return err("n_max must be positive");
+        }
+        if self.factor_f <= 0.0 || self.factor_f.is_nan() {
+            return err("factor F must be positive");
+        }
+        if self.factor_g < 0.0 {
+            return err("hardware factor must be non-negative");
+        }
+        if self.geq_norm == GateEq::ZERO {
+            return err("GEQ normalization must be non-zero");
+        }
+        if self.gate_margin <= 0.0 || self.gate_margin.is_nan() {
+            return err("utilization gate margin must be positive");
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with different cache geometries (the §1-footnote
+    /// adaptation knob).
+    pub fn with_caches(mut self, icache: CacheConfig, dcache: CacheConfig) -> Self {
+        self.icache = icache;
+        self.dcache = dcache;
+        self
+    }
+
+    /// Returns a copy with a different objective-function balance.
+    pub fn with_factors(mut self, f: f64, g: f64) -> Self {
+        self.factor_f = f;
+        self.factor_g = g;
+        self
+    }
+
+    /// Returns a copy with a different pre-selection budget.
+    pub fn with_n_max(mut self, n_max: usize) -> Self {
+        self.n_max = n_max;
+        self
+    }
+
+    /// Returns a copy with different candidate resource sets.
+    pub fn with_resource_sets(mut self, sets: Vec<ResourceSet>) -> Self {
+        self.resource_sets = sets;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::new()
+    }
+}
+
+/// One design point's whole-system measurements — a Table 1 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignMetrics {
+    /// Instruction-cache energy.
+    pub icache: Energy,
+    /// Data-cache energy.
+    pub dcache: Energy,
+    /// Main-memory energy.
+    pub mem: Energy,
+    /// Shared-bus energy (µP↔ASIC communication + ASIC memory
+    /// traffic); folded into the `mem` column when printing Table 1.
+    pub bus: Energy,
+    /// µP core energy (instruction-level + stalls).
+    pub up_core: Energy,
+    /// ASIC core energy (`None` for the initial design).
+    pub asic_core: Option<Energy>,
+    /// µP core execution cycles (including miss stalls and
+    /// communication).
+    pub up_cycles: Cycles,
+    /// ASIC core execution cycles.
+    pub asic_cycles: Cycles,
+    /// Additional hardware effort of the ASIC core.
+    pub geq: GateEq,
+    /// I-cache miss ratio (for cache-adaptation studies).
+    pub icache_miss_ratio: f64,
+    /// D-cache miss ratio.
+    pub dcache_miss_ratio: f64,
+}
+
+impl DesignMetrics {
+    /// Total system energy (all cores + bus).
+    pub fn total_energy(&self) -> Energy {
+        self.icache
+            + self.dcache
+            + self.mem
+            + self.bus
+            + self.up_core
+            + self.asic_core.unwrap_or(Energy::ZERO)
+    }
+
+    /// Total execution time in cycles (µP and ASIC run mutually
+    /// exclusively — "whenever one of the cores is performing, all the
+    /// other cores are shut down", §3.1).
+    pub fn total_cycles(&self) -> Cycles {
+        self.up_cycles + self.asic_cycles
+    }
+
+    /// Energy saving versus a baseline, in percent (positive = saved).
+    pub fn energy_saving_vs(&self, baseline: &DesignMetrics) -> Option<f64> {
+        self.total_energy().percent_saving(baseline.total_energy())
+    }
+
+    /// Execution-time change versus a baseline in percent (negative =
+    /// faster), the paper's "Chg%" column.
+    pub fn time_change_vs(&self, baseline: &DesignMetrics) -> Option<f64> {
+        self.total_cycles().percent_change(baseline.total_cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(SystemConfig::new().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(SystemConfig::new()
+            .with_resource_sets(vec![])
+            .validate()
+            .is_err());
+        assert!(SystemConfig::new().with_n_max(0).validate().is_err());
+        assert!(SystemConfig::new()
+            .with_factors(0.0, 0.2)
+            .validate()
+            .is_err());
+        assert!(SystemConfig::new()
+            .with_factors(1.0, -0.1)
+            .validate()
+            .is_err());
+        let mut c = SystemConfig::new();
+        c.geq_norm = GateEq::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    fn metrics(up: f64, asic: Option<f64>, upc: u64, ac: u64) -> DesignMetrics {
+        DesignMetrics {
+            icache: Energy::from_microjoules(10.0),
+            dcache: Energy::from_microjoules(5.0),
+            mem: Energy::from_microjoules(3.0),
+            bus: Energy::from_microjoules(1.0),
+            up_core: Energy::from_microjoules(up),
+            asic_core: asic.map(Energy::from_microjoules),
+            up_cycles: Cycles::new(upc),
+            asic_cycles: Cycles::new(ac),
+            geq: GateEq::ZERO,
+            icache_miss_ratio: 0.0,
+            dcache_miss_ratio: 0.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_savings() {
+        let initial = metrics(81.0, None, 1000, 0);
+        let part = metrics(20.0, Some(11.0), 500, 200);
+        assert!((initial.total_energy().microjoules() - 100.0).abs() < 1e-9);
+        assert!((part.total_energy().microjoules() - 50.0).abs() < 1e-9);
+        assert!((part.energy_saving_vs(&initial).unwrap() - 50.0).abs() < 1e-9);
+        assert!((part.time_change_vs(&initial).unwrap() + 30.0).abs() < 1e-9);
+        assert_eq!(part.total_cycles(), Cycles::new(700));
+    }
+}

@@ -1,0 +1,269 @@
+//! Abstract syntax tree of the behavioral description language.
+//!
+//! Applications enter the partitioning flow as "a behavioral
+//! description" (§3.2). `corepart` accepts a small, C-like language with
+//! integer scalars, fixed-size global arrays (which live in the shared
+//! memory of Fig. 2 a), functions, loops and conditionals — enough to
+//! express the paper's DSP-style workloads.
+//!
+//! A program can be built by parsing source text
+//! ([`crate::parser::parse`]) or programmatically via these types.
+
+use std::fmt;
+
+use crate::op::{BinOp, UnOp};
+
+/// A source location (1-based line/column) for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A whole behavioral-description program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The application name (`app <name>;`).
+    pub name: String,
+    /// Named integer constants.
+    pub consts: Vec<ConstDecl>,
+    /// Global scalar variables.
+    pub globals: Vec<GlobalDecl>,
+    /// Global arrays (shared-memory resident).
+    pub arrays: Vec<ArrayDecl>,
+    /// Function definitions. Execution starts at `main`.
+    pub funcs: Vec<FuncDecl>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDecl> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up an array by name.
+    pub fn array(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+}
+
+/// `const NAME = <int>;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDecl {
+    /// Constant name.
+    pub name: String,
+    /// Folded value.
+    pub value: i64,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// `var NAME = <int>;` at top level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Initial value.
+    pub init: i64,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// `var NAME[<len>];` at top level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// Number of (word-sized) elements.
+    pub len: u32,
+    /// Declaration site.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Definition site.
+    pub span: Span,
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array element.
+    Index(String, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var x = e;` — declares a local.
+    VarDecl {
+        /// Local name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+        /// Site.
+        span: Span,
+    },
+    /// `lv = e;`
+    Assign {
+        /// Target location.
+        target: LValue,
+        /// Assigned value.
+        value: Expr,
+        /// Site.
+        span: Span,
+    },
+    /// `if (c) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch statements.
+        then_body: Vec<Stmt>,
+        /// Else-branch statements (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Site.
+        span: Span,
+    },
+    /// `while (c) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Site.
+        span: Span,
+    },
+    /// `for (init; c; step) { .. }` — sugar over `while`.
+    For {
+        /// Init statement (VarDecl or Assign).
+        init: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+        /// Step statement (Assign).
+        step: Box<Stmt>,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Site.
+        span: Span,
+    },
+    /// `return e?;`
+    Return {
+        /// Optional return value.
+        value: Option<Expr>,
+        /// Site.
+        span: Span,
+    },
+    /// An expression evaluated for effect (a call).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Site.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The statement's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::VarDecl { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Expr { span, .. } => *span,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Scalar variable or named constant reference.
+    Var(String, Span),
+    /// Array element read.
+    Index(String, Box<Expr>, Span),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, Span),
+    /// Binary operation. `&&`/`||` are lowered to bitwise on 0/1 values
+    /// (the language has no short-circuit evaluation).
+    Binary(BinOp, Box<Expr>, Box<Expr>, Span),
+    /// Function call.
+    Call(String, Vec<Expr>, Span),
+}
+
+impl Expr {
+    /// The expression's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s)
+            | Expr::Var(_, s)
+            | Expr::Index(_, _, s)
+            | Expr::Unary(_, _, s)
+            | Expr::Binary(_, _, _, s)
+            | Expr::Call(_, _, s) => *s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_lookup() {
+        let p = Program {
+            name: "t".into(),
+            consts: vec![],
+            globals: vec![],
+            arrays: vec![ArrayDecl {
+                name: "buf".into(),
+                len: 16,
+                span: Span::default(),
+            }],
+            funcs: vec![FuncDecl {
+                name: "main".into(),
+                params: vec![],
+                body: vec![],
+                span: Span::default(),
+            }],
+        };
+        assert!(p.func("main").is_some());
+        assert!(p.func("other").is_none());
+        assert_eq!(p.array("buf").unwrap().len, 16);
+    }
+
+    #[test]
+    fn spans_accessible() {
+        let s = Span { line: 3, col: 7 };
+        let e = Expr::Int(1, s);
+        assert_eq!(e.span(), s);
+        assert_eq!(format!("{s}"), "3:7");
+        let st = Stmt::Return {
+            value: None,
+            span: s,
+        };
+        assert_eq!(st.span(), s);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types of the IR crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::Span;
+
+/// Errors produced while parsing, lowering or interpreting a behavioral
+/// description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// Lexical error.
+    Lex {
+        /// Where it occurred.
+        span: Span,
+        /// What went wrong.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Where it occurred.
+        span: Span,
+        /// What went wrong.
+        message: String,
+    },
+    /// Semantic error during lowering (undefined names, arity
+    /// mismatches, recursion, …).
+    Lower {
+        /// Where it occurred (best effort).
+        span: Span,
+        /// What went wrong.
+        message: String,
+    },
+    /// Runtime error in the profiling interpreter.
+    Interp {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            IrError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            IrError::Lower { span, message } => write!(f, "lowering error at {span}: {message}"),
+            IrError::Interp { message } => write!(f, "interpreter error: {message}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = IrError::Parse {
+            span: Span { line: 4, col: 2 },
+            message: "expected `;`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 4:2: expected `;`");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<IrError>();
+    }
+}

@@ -1,0 +1,462 @@
+//! Lexer for the behavioral description language.
+
+use std::fmt;
+
+use crate::ast::Span;
+use crate::error::IrError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+    /// Keyword `app`.
+    App,
+    /// Keyword `const`.
+    Const,
+    /// Keyword `var`.
+    Var,
+    /// Keyword `func`.
+    Func,
+    /// Keyword `if`.
+    If,
+    /// Keyword `else`.
+    Else,
+    /// Keyword `while`.
+    While,
+    /// Keyword `for`.
+    For,
+    /// Keyword `return`.
+    Return,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::App => f.write_str("app"),
+            Tok::Const => f.write_str("const"),
+            Tok::Var => f.write_str("var"),
+            Tok::Func => f.write_str("func"),
+            Tok::If => f.write_str("if"),
+            Tok::Else => f.write_str("else"),
+            Tok::While => f.write_str("while"),
+            Tok::For => f.write_str("for"),
+            Tok::Return => f.write_str("return"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::Semi => f.write_str(";"),
+            Tok::Comma => f.write_str(","),
+            Tok::Assign => f.write_str("="),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Star => f.write_str("*"),
+            Tok::Slash => f.write_str("/"),
+            Tok::Percent => f.write_str("%"),
+            Tok::Amp => f.write_str("&"),
+            Tok::Pipe => f.write_str("|"),
+            Tok::Caret => f.write_str("^"),
+            Tok::Tilde => f.write_str("~"),
+            Tok::Bang => f.write_str("!"),
+            Tok::AmpAmp => f.write_str("&&"),
+            Tok::PipePipe => f.write_str("||"),
+            Tok::Shl => f.write_str("<<"),
+            Tok::Shr => f.write_str(">>"),
+            Tok::EqEq => f.write_str("=="),
+            Tok::NotEq => f.write_str("!="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
+            Tok::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenizes `src` into a vector ending with [`Tok::Eof`].
+///
+/// Supports `//` line comments and `/* ... */` block comments, decimal
+/// and `0x` hexadecimal integer literals.
+///
+/// # Errors
+///
+/// Returns [`IrError::Lex`] on unknown characters, malformed numbers or
+/// unterminated block comments.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, IrError> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! span {
+        () => {
+            Span { line, col }
+        };
+    }
+    macro_rules! advance {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < bytes.len() {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Comments
+        if c == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance!(1);
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                let start = span!();
+                advance!(2);
+                let mut closed = false;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance!(2);
+                        closed = true;
+                        break;
+                    }
+                    advance!(1);
+                }
+                if !closed {
+                    return Err(IrError::Lex {
+                        span: start,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                continue;
+            }
+        }
+        let sp = span!();
+        // Numbers
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut value: i64;
+            if c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
+                advance!(2);
+                let hex_start = i;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    advance!(1);
+                }
+                if i == hex_start {
+                    return Err(IrError::Lex {
+                        span: sp,
+                        message: "hex literal needs digits".into(),
+                    });
+                }
+                value = i64::from_str_radix(&src[hex_start..i], 16).map_err(|_| IrError::Lex {
+                    span: sp,
+                    message: format!("hex literal `{}` out of range", &src[start..i]),
+                })?;
+            } else {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    advance!(1);
+                }
+                value = src[start..i].parse().map_err(|_| IrError::Lex {
+                    span: sp,
+                    message: format!("integer literal `{}` out of range", &src[start..i]),
+                })?;
+            }
+            // Reject identifier characters glued to the number.
+            if i < bytes.len() && (bytes[i].is_ascii_alphabetic() || bytes[i] == b'_') {
+                return Err(IrError::Lex {
+                    span: sp,
+                    message: "identifier cannot start with a digit".into(),
+                });
+            }
+            let _ = &mut value;
+            toks.push(SpannedTok {
+                tok: Tok::Int(value),
+                span: sp,
+            });
+            continue;
+        }
+        // Identifiers / keywords
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                advance!(1);
+            }
+            let word = &src[start..i];
+            let tok = match word {
+                "app" => Tok::App,
+                "const" => Tok::Const,
+                "var" => Tok::Var,
+                "func" => Tok::Func,
+                "if" => Tok::If,
+                "else" => Tok::Else,
+                "while" => Tok::While,
+                "for" => Tok::For,
+                "return" => Tok::Return,
+                _ => Tok::Ident(word.to_owned()),
+            };
+            toks.push(SpannedTok { tok, span: sp });
+            continue;
+        }
+        // Operators / punctuation
+        let two = if i + 1 < bytes.len() {
+            Some((c, bytes[i + 1]))
+        } else {
+            None
+        };
+        let (tok, len) = match two {
+            Some((b'&', b'&')) => (Tok::AmpAmp, 2),
+            Some((b'|', b'|')) => (Tok::PipePipe, 2),
+            Some((b'<', b'<')) => (Tok::Shl, 2),
+            Some((b'>', b'>')) => (Tok::Shr, 2),
+            Some((b'=', b'=')) => (Tok::EqEq, 2),
+            Some((b'!', b'=')) => (Tok::NotEq, 2),
+            Some((b'<', b'=')) => (Tok::Le, 2),
+            Some((b'>', b'=')) => (Tok::Ge, 2),
+            _ => {
+                let t = match c {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b';' => Tok::Semi,
+                    b',' => Tok::Comma,
+                    b'=' => Tok::Assign,
+                    b'+' => Tok::Plus,
+                    b'-' => Tok::Minus,
+                    b'*' => Tok::Star,
+                    b'/' => Tok::Slash,
+                    b'%' => Tok::Percent,
+                    b'&' => Tok::Amp,
+                    b'|' => Tok::Pipe,
+                    b'^' => Tok::Caret,
+                    b'~' => Tok::Tilde,
+                    b'!' => Tok::Bang,
+                    b'<' => Tok::Lt,
+                    b'>' => Tok::Gt,
+                    other => {
+                        return Err(IrError::Lex {
+                            span: sp,
+                            message: format!("unexpected character `{}`", other as char),
+                        });
+                    }
+                };
+                (t, 1)
+            }
+        };
+        advance!(len);
+        toks.push(SpannedTok { tok, span: sp });
+    }
+
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        span: span!(),
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("app foo func while whileX"),
+            vec![
+                Tok::App,
+                Tok::Ident("foo".into()),
+                Tok::Func,
+                Tok::While,
+                Tok::Ident("whileX".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("0 42 0xff 0x10"),
+            vec![
+                Tok::Int(0),
+                Tok::Int(42),
+                Tok::Int(255),
+                Tok::Int(16),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("<< >> == != <= >= && ||"),
+            vec![
+                Tok::Shl,
+                Tok::Shr,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn single_char_operators_disambiguate() {
+        assert_eq!(
+            toks("< = > & | ! ~"),
+            vec![
+                Tok::Lt,
+                Tok::Assign,
+                Tok::Gt,
+                Tok::Amp,
+                Tok::Pipe,
+                Tok::Bang,
+                Tok::Tilde,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // line\n b /* block\n over lines */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_cols() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].span, Span { line: 1, col: 1 });
+        assert_eq!(ts[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn error_on_unknown_char() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn error_on_unterminated_comment() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn error_on_digit_prefixed_ident() {
+        assert!(lex("123abc").is_err());
+    }
+
+    #[test]
+    fn error_on_bare_hex_prefix() {
+        assert!(lex("0x").is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! # corepart-ir
+//!
+//! Behavioral-description frontend and control/data-flow graph for the
+//! `corepart` low-power hardware/software partitioning library.
+//!
+//! The paper's flow starts from "a behavioral description of an
+//! application" (§3.2); this crate provides that entry point:
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — a small C-like behavioral
+//!   description language (integers, fixed-size shared-memory arrays,
+//!   functions, loops, conditionals).
+//! * [`lower`] — lowering with full inlining into an
+//!   [`cdfg::Application`], the graph `G = {V, E}` of Fig. 1 step 1,
+//!   together with the structure tree that drives cluster decomposition.
+//! * [`dataflow`] — `gen[·]`/`use[·]` and liveness analyses in the sense
+//!   of Aho/Sethi/Ullman, as used by the paper's bus-transfer estimation
+//!   (§3.3).
+//! * [`cluster`] — structural cluster decomposition (Fig. 1 step 2) into
+//!   a linear cluster chain (Fig. 2 b).
+//! * [`interp`] — a profiling interpreter providing block execution
+//!   counts (`#ex_times`, §3.4 footnote 14) and operand activity
+//!   statistics for downstream switching-energy estimation.
+//!
+//! ## Example
+//!
+//! ```
+//! use corepart_ir::{lower::lower, parser::parse};
+//!
+//! let program = parse(r#"
+//!     app demo;
+//!     var buf[64];
+//!     func main() {
+//!         for (var i = 0; i < 64; i = i + 1) {
+//!             buf[i] = i * 3;
+//!         }
+//!     }
+//! "#)?;
+//! let app = lower(&program)?;
+//! assert_eq!(app.name(), "demo");
+//! # Ok::<(), corepart_ir::error::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod cdfg;
+pub mod cluster;
+pub mod dataflow;
+pub mod domtree;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod lower;
+pub mod op;
+pub mod opt;
+pub mod parser;
+pub mod pretty;
+
+pub use cdfg::{Application, StructNode};
+pub use cluster::{Cluster, ClusterChain};
+pub use domtree::{verify_structure, DomTree};
+pub use error::IrError;
+pub use interp::{ExecProfile, Interpreter};
+pub use op::{ArrayId, BinOp, BlockId, Inst, Operand, Terminator, UnOp, VarId};

@@ -1,0 +1,863 @@
+//! Lowering from the behavioral AST to the [`Application`] CDFG.
+//!
+//! All function calls are inlined (the partitioner and the downstream
+//! compilers operate on a single whole-program graph), so recursion is
+//! rejected. While lowering, a structure tree is recorded: which basic
+//! blocks belong to which source loop / branch / inlined call — the
+//! structural information the cluster decomposition of Fig. 1 step 2
+//! consumes.
+//!
+//! ```
+//! use corepart_ir::parser::parse;
+//! use corepart_ir::lower::lower;
+//!
+//! let prog = parse("app t; var a[4]; func main() { a[0] = 1; }")?;
+//! let app = lower(&prog)?;
+//! assert_eq!(app.name(), "t");
+//! assert!(app.inst_count() >= 1);
+//! # Ok::<(), corepart_ir::error::IrError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, FuncDecl, LValue, Program, Span, Stmt};
+use crate::cdfg::{Application, ArrayInfo, Block, StructNode, VarInfo};
+use crate::error::IrError;
+use crate::op::{ArrayId, BlockId, Inst, Operand, Terminator, VarId};
+
+/// Lowers a parsed program into a fully inlined [`Application`].
+///
+/// # Errors
+///
+/// Returns [`IrError::Lower`] on undefined names, arity mismatches,
+/// assignment to constants, recursion, or a missing `main`.
+pub fn lower(prog: &Program) -> Result<Application, IrError> {
+    let main = prog.func("main").ok_or_else(|| IrError::Lower {
+        span: Span::default(),
+        message: "program has no `main` function".into(),
+    })?;
+    if !main.params.is_empty() {
+        return Err(IrError::Lower {
+            span: main.span,
+            message: "`main` must not take parameters".into(),
+        });
+    }
+
+    let mut lw = Lowerer::new(prog)?;
+    let mut frame = Frame {
+        locals: HashMap::new(),
+        ret_var: None,
+        pending_returns: Vec::new(),
+    };
+    // Entry block.
+    let entry = lw.new_block();
+    lw.cur = entry;
+    lw.call_stack.push("main".to_owned());
+    let structure = lw.lower_stmts(&main.body, &mut frame)?;
+    lw.call_stack.pop();
+    // The last open block keeps its placeholder `ret`.
+
+    Ok(Application::from_parts(
+        prog.name.clone(),
+        lw.vars,
+        lw.arrays,
+        lw.blocks,
+        entry,
+        lw.globals_init,
+        structure,
+    ))
+}
+
+struct Frame {
+    locals: HashMap<String, VarId>,
+    /// Destination of `return e` when inlined (None in `main`).
+    ret_var: Option<VarId>,
+    /// Blocks whose terminator must be patched to jump to the inline
+    /// continuation.
+    pending_returns: Vec<BlockId>,
+}
+
+struct Lowerer<'a> {
+    prog: &'a Program,
+    vars: Vec<VarInfo>,
+    arrays: Vec<ArrayInfo>,
+    array_ids: HashMap<String, ArrayId>,
+    consts: HashMap<String, i64>,
+    globals: HashMap<String, VarId>,
+    globals_init: Vec<(VarId, i64)>,
+    blocks: Vec<Block>,
+    cur: BlockId,
+    call_stack: Vec<String>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(prog: &'a Program) -> Result<Self, IrError> {
+        let mut consts = HashMap::new();
+        for c in &prog.consts {
+            if consts.insert(c.name.clone(), c.value).is_some() {
+                return Err(IrError::Lower {
+                    span: c.span,
+                    message: format!("constant `{}` declared twice", c.name),
+                });
+            }
+        }
+        let mut arrays = Vec::new();
+        let mut array_ids = HashMap::new();
+        let mut base = 0u32;
+        for a in &prog.arrays {
+            if array_ids
+                .insert(a.name.clone(), ArrayId(arrays.len() as u32))
+                .is_some()
+            {
+                return Err(IrError::Lower {
+                    span: a.span,
+                    message: format!("array `{}` declared twice", a.name),
+                });
+            }
+            arrays.push(ArrayInfo {
+                name: a.name.clone(),
+                len: a.len,
+                base_word: base,
+            });
+            base = base.checked_add(a.len).ok_or(IrError::Lower {
+                span: a.span,
+                message: "total array size overflows the address space".into(),
+            })?;
+        }
+        let mut lw = Lowerer {
+            prog,
+            vars: Vec::new(),
+            arrays,
+            array_ids,
+            consts,
+            globals: HashMap::new(),
+            globals_init: Vec::new(),
+            blocks: Vec::new(),
+            cur: BlockId(0),
+            call_stack: Vec::new(),
+        };
+        for g in &prog.globals {
+            if lw.globals.contains_key(&g.name) {
+                return Err(IrError::Lower {
+                    span: g.span,
+                    message: format!("global `{}` declared twice", g.name),
+                });
+            }
+            let v = lw.fresh_var(Some(g.name.clone()));
+            lw.globals.insert(g.name.clone(), v);
+            lw.globals_init.push((v, g.init));
+        }
+        Ok(lw)
+    }
+
+    fn fresh_var(&mut self, name: Option<String>) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo { name });
+        id
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            insts: Vec::new(),
+            term: Terminator::Return(None),
+        });
+        id
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.blocks[self.cur.0 as usize].insts.push(inst);
+    }
+
+    fn seal(&mut self, block: BlockId, term: Terminator) {
+        self.blocks[block.0 as usize].term = term;
+    }
+
+    fn err<T>(&self, span: Span, message: impl Into<String>) -> Result<T, IrError> {
+        Err(IrError::Lower {
+            span,
+            message: message.into(),
+        })
+    }
+
+    /// Lowers a statement list, returning its structure nodes.
+    ///
+    /// Invariant: on entry `self.cur` is the most recently created
+    /// block; on exit `self.cur` is again the most recently created
+    /// block and still open (placeholder terminator).
+    fn lower_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        frame: &mut Frame,
+    ) -> Result<Vec<StructNode>, IrError> {
+        let mut nodes: Vec<StructNode> = Vec::new();
+        let mut run_start = self.cur.0;
+        let mut run_mark = self.blocks.len() as u32;
+
+        macro_rules! close_run {
+            () => {{
+                let end = self.blocks.len() as u32;
+                let mut blocks: Vec<BlockId> = vec![BlockId(run_start)];
+                blocks.extend((run_mark..end).map(BlockId).filter(|b| b.0 != run_start));
+                let has_insts = blocks
+                    .iter()
+                    .any(|b| !self.blocks[b.0 as usize].insts.is_empty());
+                if has_insts {
+                    nodes.push(StructNode::Straight { blocks });
+                }
+            }};
+        }
+        macro_rules! open_run {
+            () => {{
+                run_start = self.cur.0;
+                run_mark = self.blocks.len() as u32;
+            }};
+        }
+
+        for stmt in stmts {
+            match stmt {
+                Stmt::VarDecl { name, init, span } => {
+                    let val = self.lower_expr(init, frame)?;
+                    let v = self.fresh_var(Some(name.clone()));
+                    frame.locals.insert(name.clone(), v);
+                    self.emit(copy_inst(v, val));
+                    let _ = span;
+                }
+                Stmt::Assign {
+                    target,
+                    value,
+                    span,
+                } => {
+                    self.lower_assign(target, value, *span, frame)?;
+                }
+                Stmt::Return { value, span } => {
+                    let op = match value {
+                        Some(e) => Some(self.lower_expr(e, frame)?),
+                        None => None,
+                    };
+                    if let Some(ret) = frame.ret_var {
+                        if let Some(op) = op {
+                            self.emit(copy_inst(ret, op));
+                        }
+                        frame.pending_returns.push(self.cur);
+                    } else {
+                        self.seal(self.cur, Terminator::Return(op));
+                    }
+                    let _ = span;
+                    // Continue into an unreachable block so later
+                    // statements still lower.
+                    self.cur = self.new_block();
+                }
+                Stmt::Expr { expr, span } => {
+                    if let Expr::Call(name, args, cspan) = expr {
+                        // Statement-level call: becomes an `Inlined`
+                        // structure node (functions are clusters, §3.2).
+                        let mut arg_vals = Vec::with_capacity(args.len());
+                        for a in args {
+                            arg_vals.push(self.lower_expr(a, frame)?);
+                        }
+                        close_run!();
+                        let region_start = self.blocks.len() as u32;
+                        let entry = self.new_block();
+                        self.seal(self.cur, Terminator::Jump(entry));
+                        self.cur = entry;
+                        let (body_nodes, _ret) = self.inline_call(name, &arg_vals, *cspan)?;
+                        let region_end = self.blocks.len() as u32;
+                        let cont = self.new_block();
+                        self.seal(self.cur, Terminator::Jump(cont));
+                        self.cur = cont;
+                        nodes.push(StructNode::Inlined {
+                            label: name.clone(),
+                            body: body_nodes,
+                            all_blocks: (region_start..region_end).map(BlockId).collect(),
+                        });
+                        open_run!();
+                    } else {
+                        // Pure expression statement: evaluate for effect
+                        // (there are none, but keep semantics simple).
+                        let _ = self.lower_expr(expr, frame)?;
+                        let _ = span;
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span,
+                } => {
+                    close_run!();
+                    let region_start = self.blocks.len() as u32;
+                    let cond_entry = self.new_block();
+                    self.seal(self.cur, Terminator::Jump(cond_entry));
+                    self.cur = cond_entry;
+                    let cv = self.lower_expr(cond, frame)?;
+                    let cond_exit = self.cur;
+                    let cond_end = self.blocks.len() as u32;
+
+                    let then_start = self.new_block();
+                    self.cur = then_start;
+                    let then_nodes = self.lower_stmts(then_body, frame)?;
+                    let then_exit = self.cur;
+
+                    let (else_target, else_nodes, else_exit) = if else_body.is_empty() {
+                        (None, Vec::new(), None)
+                    } else {
+                        let else_start = self.new_block();
+                        self.cur = else_start;
+                        let en = self.lower_stmts(else_body, frame)?;
+                        (Some(else_start), en, Some(self.cur))
+                    };
+
+                    let region_end = self.blocks.len() as u32;
+                    let join = self.new_block();
+                    self.seal(
+                        cond_exit,
+                        Terminator::Branch {
+                            cond: cv,
+                            then_block: then_start,
+                            else_block: else_target.unwrap_or(join),
+                        },
+                    );
+                    self.seal(then_exit, Terminator::Jump(join));
+                    if let Some(ee) = else_exit {
+                        self.seal(ee, Terminator::Jump(join));
+                    }
+                    self.cur = join;
+                    nodes.push(StructNode::Branch {
+                        label: format!("if@{span}"),
+                        cond_blocks: (region_start..cond_end).map(BlockId).collect(),
+                        then_body: then_nodes,
+                        else_body: else_nodes,
+                        all_blocks: (region_start..region_end).map(BlockId).collect(),
+                    });
+                    open_run!();
+                }
+                Stmt::While { cond, body, span } => {
+                    close_run!();
+                    let node = self.lower_loop(None, cond, None, body, *span, frame)?;
+                    nodes.push(node);
+                    open_run!();
+                }
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    span,
+                } => {
+                    // The init runs once in the enclosing run.
+                    self.lower_simple(init, frame)?;
+                    close_run!();
+                    let node = self.lower_loop(None, cond, Some(step), body, *span, frame)?;
+                    nodes.push(node);
+                    open_run!();
+                }
+            }
+        }
+        close_run!();
+        Ok(nodes)
+    }
+
+    /// Lowers a loop (while, or for when `step` is given).
+    fn lower_loop(
+        &mut self,
+        _label: Option<String>,
+        cond: &Expr,
+        step: Option<&Stmt>,
+        body: &[Stmt],
+        span: Span,
+        frame: &mut Frame,
+    ) -> Result<StructNode, IrError> {
+        let region_start = self.blocks.len() as u32;
+        let header = self.new_block();
+        self.seal(self.cur, Terminator::Jump(header));
+        self.cur = header;
+        let cv = self.lower_expr(cond, frame)?;
+        let cond_exit = self.cur;
+        let header_end = self.blocks.len() as u32;
+
+        let body_start = self.new_block();
+        self.cur = body_start;
+        let body_nodes = self.lower_stmts(body, frame)?;
+        if let Some(step) = step {
+            self.lower_simple(step, frame)?;
+        }
+        self.seal(self.cur, Terminator::Jump(header));
+
+        let region_end = self.blocks.len() as u32;
+        let exit = self.new_block();
+        self.seal(
+            cond_exit,
+            Terminator::Branch {
+                cond: cv,
+                then_block: body_start,
+                else_block: exit,
+            },
+        );
+        self.cur = exit;
+        Ok(StructNode::Loop {
+            label: format!("loop@{span}"),
+            header_blocks: (region_start..header_end).map(BlockId).collect(),
+            body: body_nodes,
+            all_blocks: (region_start..region_end).map(BlockId).collect(),
+        })
+    }
+
+    /// Lowers a simple statement (declaration, assignment or expression)
+    /// straight into the current block — used for `for` init/step
+    /// headers, which belong to no structure run of their own.
+    ///
+    /// Compound statements are rejected by the grammar in these
+    /// positions, but handle them defensively.
+    fn lower_simple(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<(), IrError> {
+        match stmt {
+            Stmt::VarDecl { name, init, .. } => {
+                let val = self.lower_expr(init, frame)?;
+                let v = self.fresh_var(Some(name.clone()));
+                frame.locals.insert(name.clone(), v);
+                self.emit(copy_inst(v, val));
+                Ok(())
+            }
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => self.lower_assign(target, value, *span, frame),
+            Stmt::Expr { expr, .. } => {
+                let _ = self.lower_expr(expr, frame)?;
+                Ok(())
+            }
+            other => self.err(
+                other.span(),
+                "only simple statements are allowed in `for` headers",
+            ),
+        }
+    }
+
+    fn lower_assign(
+        &mut self,
+        target: &LValue,
+        value: &Expr,
+        span: Span,
+        frame: &mut Frame,
+    ) -> Result<(), IrError> {
+        match target {
+            LValue::Var(name) => {
+                let val = self.lower_expr(value, frame)?;
+                if let Some(&v) = frame.locals.get(name) {
+                    self.emit(copy_inst(v, val));
+                } else if let Some(&v) = self.globals.get(name) {
+                    self.emit(copy_inst(v, val));
+                } else if self.consts.contains_key(name) {
+                    return self.err(span, format!("cannot assign to constant `{name}`"));
+                } else {
+                    return self.err(span, format!("assignment to undefined variable `{name}`"));
+                }
+                Ok(())
+            }
+            LValue::Index(name, idx) => {
+                let &array = self.array_ids.get(name).ok_or_else(|| IrError::Lower {
+                    span,
+                    message: format!("store to undefined array `{name}`"),
+                })?;
+                let iv = self.lower_expr(idx, frame)?;
+                let vv = self.lower_expr(value, frame)?;
+                self.emit(Inst::Store {
+                    array,
+                    index: iv,
+                    value: vv,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, expr: &Expr, frame: &mut Frame) -> Result<Operand, IrError> {
+        match expr {
+            Expr::Int(v, _) => Ok(Operand::Const(*v)),
+            Expr::Var(name, span) => {
+                if let Some(&v) = frame.locals.get(name) {
+                    Ok(Operand::Var(v))
+                } else if let Some(&v) = self.globals.get(name) {
+                    Ok(Operand::Var(v))
+                } else if let Some(&c) = self.consts.get(name) {
+                    Ok(Operand::Const(c))
+                } else {
+                    self.err(*span, format!("undefined variable `{name}`"))
+                }
+            }
+            Expr::Index(name, idx, span) => {
+                let &array = self.array_ids.get(name).ok_or_else(|| IrError::Lower {
+                    span: *span,
+                    message: format!("read of undefined array `{name}`"),
+                })?;
+                let iv = self.lower_expr(idx, frame)?;
+                let dst = self.fresh_var(None);
+                self.emit(Inst::Load {
+                    dst,
+                    array,
+                    index: iv,
+                });
+                Ok(Operand::Var(dst))
+            }
+            Expr::Unary(op, e, _) => {
+                let v = self.lower_expr(e, frame)?;
+                if let Operand::Const(c) = v {
+                    return Ok(Operand::Const(op.eval(c)));
+                }
+                let dst = self.fresh_var(None);
+                self.emit(Inst::Unary {
+                    dst,
+                    op: *op,
+                    src: v,
+                });
+                Ok(Operand::Var(dst))
+            }
+            Expr::Binary(op, l, r, _) => {
+                let lv = self.lower_expr(l, frame)?;
+                let rv = self.lower_expr(r, frame)?;
+                if let (Operand::Const(a), Operand::Const(b)) = (lv, rv) {
+                    return Ok(Operand::Const(op.eval(a, b)));
+                }
+                let dst = self.fresh_var(None);
+                self.emit(Inst::Binary {
+                    dst,
+                    op: *op,
+                    lhs: lv,
+                    rhs: rv,
+                });
+                Ok(Operand::Var(dst))
+            }
+            Expr::Call(name, args, span) => {
+                let mut arg_vals = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_vals.push(self.lower_expr(a, frame)?);
+                }
+                let (_nodes, ret) = self.inline_call(name, &arg_vals, *span)?;
+                Ok(ret)
+            }
+        }
+    }
+
+    /// Inlines a call to `name` with pre-lowered argument operands.
+    ///
+    /// Returns the callee's structure nodes and the return-value
+    /// operand. On return, `self.cur` is the inline continuation point
+    /// (open block).
+    fn inline_call(
+        &mut self,
+        name: &str,
+        args: &[Operand],
+        span: Span,
+    ) -> Result<(Vec<StructNode>, Operand), IrError> {
+        let func: &FuncDecl = self.prog.func(name).ok_or_else(|| IrError::Lower {
+            span,
+            message: format!("call to undefined function `{name}`"),
+        })?;
+        if func.params.len() != args.len() {
+            return self.err(
+                span,
+                format!(
+                    "function `{name}` takes {} argument(s), {} given",
+                    func.params.len(),
+                    args.len()
+                ),
+            );
+        }
+        if self.call_stack.iter().any(|f| f == name) {
+            return self.err(
+                span,
+                format!(
+                    "recursion detected: {} -> {name} (the language is fully inlined)",
+                    self.call_stack.join(" -> ")
+                ),
+            );
+        }
+
+        let ret_var = self.fresh_var(Some(format!("{name}.ret")));
+        self.emit(Inst::Const {
+            dst: ret_var,
+            value: 0,
+        });
+        let mut locals = HashMap::new();
+        for (p, &a) in func.params.iter().zip(args) {
+            let pv = self.fresh_var(Some(format!("{name}.{p}")));
+            self.emit(copy_inst(pv, a));
+            locals.insert(p.clone(), pv);
+        }
+        let mut callee_frame = Frame {
+            locals,
+            ret_var: Some(ret_var),
+            pending_returns: Vec::new(),
+        };
+        self.call_stack.push(name.to_owned());
+        let nodes = self.lower_stmts(&func.body, &mut callee_frame)?;
+        self.call_stack.pop();
+
+        // The fall-through end of the body plus all return sites
+        // continue at a fresh block.
+        let cont = self.new_block();
+        self.seal(self.cur, Terminator::Jump(cont));
+        for b in callee_frame.pending_returns {
+            self.seal(b, Terminator::Jump(cont));
+        }
+        self.cur = cont;
+        Ok((nodes, Operand::Var(ret_var)))
+    }
+}
+
+fn copy_inst(dst: VarId, src: Operand) -> Inst {
+    match src {
+        Operand::Const(c) => Inst::Const { dst, value: c },
+        v => Inst::Copy { dst, src: v },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BinOp;
+    use crate::parser::parse;
+
+    fn app(src: &str) -> Application {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    fn lower_err(src: &str) -> IrError {
+        lower(&parse(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn lowers_straight_line() {
+        let a = app("app t; var g = 2; func main() { var x = g + 3; g = x * 2; }");
+        assert_eq!(a.globals_init().len(), 1);
+        assert!(a.inst_count() >= 2);
+        // One straight structure node.
+        assert_eq!(a.structure().len(), 1);
+        assert!(matches!(a.structure()[0], StructNode::Straight { .. }));
+    }
+
+    #[test]
+    fn const_folding_in_expressions() {
+        let a = app("app t; const K = 6; func main() { var x = 2 * K + 1; }");
+        // 2*6+1 folds to 13 -> single Const into x.
+        let entry = a.block(a.entry());
+        assert!(entry
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Const { value: 13, .. })));
+    }
+
+    #[test]
+    fn lowers_if_structure() {
+        let a = app(
+            "app t; var g = 0; func main() { var x = 1; if (x > 0) { g = 1; } else { g = 2; } g = 3; }",
+        );
+        let kinds: Vec<_> = a.structure().iter().map(|n| n.label()).collect();
+        assert_eq!(a.structure().len(), 3, "{kinds:?}");
+        assert!(matches!(a.structure()[1], StructNode::Branch { .. }));
+    }
+
+    #[test]
+    fn lowers_while_loop_with_backedge() {
+        let a = app("app t; var g = 10; func main() { while (g > 0) { g = g - 1; } }");
+        assert!(a.structure().iter().any(|n| n.is_loop()));
+        // There must be a back edge: some block jumps to a lower-id block.
+        let mut has_backedge = false;
+        for (bi, b) in a.blocks().iter().enumerate() {
+            for s in b.term.successors() {
+                if (s.0 as usize) <= bi {
+                    has_backedge = true;
+                }
+            }
+        }
+        assert!(has_backedge);
+    }
+
+    #[test]
+    fn for_loop_desugars() {
+        let a = app(
+            "app t; var acc = 0; func main() { for (var i = 0; i < 8; i = i + 1) { acc = acc + i; } }",
+        );
+        let loops: Vec<_> = a.structure().iter().filter(|n| n.is_loop()).collect();
+        assert_eq!(loops.len(), 1);
+        if let StructNode::Loop {
+            header_blocks,
+            all_blocks,
+            ..
+        } = loops[0]
+        {
+            assert!(!header_blocks.is_empty());
+            assert!(all_blocks.len() >= header_blocks.len());
+        }
+    }
+
+    #[test]
+    fn nested_loops_nest_in_structure() {
+        let a = app(r#"app t; var acc = 0;
+            func main() {
+                for (var i = 0; i < 4; i = i + 1) {
+                    for (var j = 0; j < 4; j = j + 1) {
+                        acc = acc + i * j;
+                    }
+                }
+            }"#);
+        let outer = a.structure().iter().find(|n| n.is_loop()).unwrap();
+        let inner_loops = outer.children().iter().filter(|n| n.is_loop()).count();
+        assert_eq!(inner_loops, 1);
+    }
+
+    #[test]
+    fn statement_call_becomes_inlined_node() {
+        let a = app(r#"app t; var g = 0;
+            func inc() { g = g + 1; }
+            func main() { inc(); inc(); }"#);
+        let inlined: Vec<_> = a
+            .structure()
+            .iter()
+            .filter(|n| matches!(n, StructNode::Inlined { .. }))
+            .collect();
+        assert_eq!(inlined.len(), 2);
+        assert_eq!(inlined[0].label(), "inc");
+    }
+
+    #[test]
+    fn expression_call_inlines_without_node() {
+        let a = app(r#"app t; var g = 0;
+            func add(x, y) { return x + y; }
+            func main() { g = add(1, g); }"#);
+        assert!(a
+            .structure()
+            .iter()
+            .all(|n| !matches!(n, StructNode::Inlined { .. })));
+        // But the add happened: a Binary Add exists.
+        let has_add = a.blocks().iter().any(|b| {
+            b.insts
+                .iter()
+                .any(|i| matches!(i, Inst::Binary { op: BinOp::Add, .. }))
+        });
+        assert!(has_add);
+    }
+
+    #[test]
+    fn return_value_plumbed_through_ret_var() {
+        let a = app(r#"app t; var g = 0;
+            func f(x) { if (x > 0) { return 10; } return 20; }
+            func main() { g = f(1); }"#);
+        // Both return sites must copy into the same ret var; the
+        // function must have produced at least two constant stores 10/20.
+        let consts: Vec<i64> = a
+            .blocks()
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter_map(|i| match i {
+                Inst::Const { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert!(consts.contains(&10) && consts.contains(&20));
+    }
+
+    #[test]
+    fn array_load_store() {
+        let a = app("app t; var buf[8]; func main() { buf[1] = buf[0] + 1; }");
+        let entry = a.block(a.entry());
+        assert!(entry.insts.iter().any(|i| matches!(i, Inst::Load { .. })));
+        assert!(entry.insts.iter().any(|i| matches!(i, Inst::Store { .. })));
+        assert_eq!(a.memory_words(), 8);
+        assert_eq!(a.array(ArrayId(0)).base_word, 0);
+    }
+
+    #[test]
+    fn arrays_get_consecutive_bases() {
+        let a = app("app t; var x[8]; var y[4]; var z[2]; func main() { }");
+        assert_eq!(a.arrays()[0].base_word, 0);
+        assert_eq!(a.arrays()[1].base_word, 8);
+        assert_eq!(a.arrays()[2].base_word, 12);
+        assert_eq!(a.memory_words(), 14);
+    }
+
+    #[test]
+    fn error_no_main() {
+        let e = lower_err("app t; func helper() { }");
+        assert!(e.to_string().contains("no `main`"));
+    }
+
+    #[test]
+    fn error_undefined_var() {
+        let e = lower_err("app t; func main() { var x = y; }");
+        assert!(e.to_string().contains("undefined variable `y`"));
+    }
+
+    #[test]
+    fn error_undefined_function() {
+        let e = lower_err("app t; func main() { nope(); }");
+        assert!(e.to_string().contains("undefined function"));
+    }
+
+    #[test]
+    fn error_arity_mismatch() {
+        let e = lower_err("app t; func f(a, b) { } func main() { f(1); }");
+        assert!(e.to_string().contains("takes 2 argument(s)"));
+    }
+
+    #[test]
+    fn error_recursion() {
+        let e = lower_err("app t; func f(x) { return f(x); } func main() { f(1); }");
+        assert!(e.to_string().contains("recursion"));
+    }
+
+    #[test]
+    fn error_mutual_recursion() {
+        let e = lower_err(
+            "app t; func f(x) { return g(x); } func g(x) { return f(x); } func main() { f(1); }",
+        );
+        assert!(e.to_string().contains("recursion"));
+    }
+
+    #[test]
+    fn error_assign_to_const() {
+        let e = lower_err("app t; const K = 1; func main() { K = 2; }");
+        assert!(e.to_string().contains("cannot assign to constant"));
+    }
+
+    #[test]
+    fn error_duplicate_declarations() {
+        assert!(lower(&parse("app t; const A = 1; const A = 2; func main() {}").unwrap()).is_err());
+        assert!(lower(&parse("app t; var g = 1; var g = 2; func main() {}").unwrap()).is_err());
+        assert!(lower(&parse("app t; var a[2]; var a[3]; func main() {}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable_but_lowers() {
+        let a = app("app t; var g = 0; func main() { return; g = 1; }");
+        // Lowered fine; entry's terminator is a return.
+        assert!(matches!(a.block(a.entry()).term, Terminator::Return(None)));
+    }
+
+    #[test]
+    fn structure_blocks_are_disjoint() {
+        let a = app(r#"app t; var acc = 0; var buf[16];
+            func main() {
+                acc = 1;
+                for (var i = 0; i < 16; i = i + 1) { buf[i] = i; }
+                if (acc > 0) { acc = 2; } else { acc = 3; }
+                while (acc > 0) { acc = acc - 1; }
+                acc = 9;
+            }"#);
+        fn collect(nodes: &[StructNode], out: &mut Vec<BlockId>) {
+            for n in nodes {
+                match n {
+                    StructNode::Straight { blocks } => out.extend(blocks),
+                    _ => out.extend(n.blocks()),
+                }
+            }
+        }
+        let mut all = Vec::new();
+        collect(a.structure(), &mut all);
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "structure nodes share blocks");
+    }
+}

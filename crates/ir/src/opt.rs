@@ -1,0 +1,354 @@
+//! Block-local IR optimizations: constant propagation, copy
+//! propagation and dead-code elimination.
+//!
+//! The lowering is deliberately naive (one temp per sub-expression);
+//! these passes clean the graph up the way a production behavioral
+//! compiler would before scheduling/codegen, and they are *strictly
+//! semantics-preserving* — the property tests pit the optimized program
+//! against the original on the interpreter.
+//!
+//! The passes are opt-in (the paper-calibrated flow runs unoptimized
+//! code, matching the era's embedded compilers); use them via
+//! [`optimize`].
+
+use std::collections::HashMap;
+
+use crate::cdfg::{Application, Block};
+use crate::op::{Inst, Operand, Terminator, VarId};
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Operands rewritten to constants.
+    pub consts_propagated: usize,
+    /// Operands rewritten through copies.
+    pub copies_propagated: usize,
+    /// Instructions removed as dead.
+    pub dead_removed: usize,
+    /// Binary/unary ops folded to constants.
+    pub folded: usize,
+}
+
+impl OptStats {
+    /// Total rewrites performed.
+    pub fn total(&self) -> usize {
+        self.consts_propagated + self.copies_propagated + self.dead_removed + self.folded
+    }
+}
+
+/// Optimizes an application (to a fixpoint) and reports what changed.
+///
+/// Global scalars (those with initializers) are conservatively treated
+/// as live-out everywhere; all other defs are dead only when no
+/// instruction or terminator anywhere reads them.
+///
+/// Loads with unused results are removed too: array reads have no
+/// side effect in this IR (an out-of-bounds index in dead code stops
+/// trapping after optimization — the usual compiler contract).
+pub fn optimize(app: &Application) -> (Application, OptStats) {
+    let mut stats = OptStats::default();
+    let mut blocks: Vec<Block> = app.blocks().to_vec();
+
+    loop {
+        let mut changed = false;
+
+        // --- Block-local constant & copy propagation + folding. ---
+        for block in &mut blocks {
+            // Value state per variable within the block.
+            let mut known: HashMap<VarId, Operand> = HashMap::new();
+            let resolve = |known: &HashMap<VarId, Operand>, op: Operand| -> Operand {
+                match op {
+                    Operand::Var(v) => known.get(&v).copied().unwrap_or(op),
+                    c => c,
+                }
+            };
+            for inst in &mut block.insts {
+                // Rewrite uses first.
+                let mut local_consts = 0usize;
+                let mut local_copies = 0usize;
+                let mut rewrite = |op: &mut Operand| {
+                    let new = resolve(&known, *op);
+                    if new != *op {
+                        match new {
+                            Operand::Const(_) => local_consts += 1,
+                            Operand::Var(_) => local_copies += 1,
+                        }
+                        *op = new;
+                    }
+                };
+                match inst {
+                    Inst::Copy { src, .. } | Inst::Unary { src, .. } => rewrite(src),
+                    Inst::Binary { lhs, rhs, .. } => {
+                        rewrite(lhs);
+                        rewrite(rhs);
+                    }
+                    Inst::Load { index, .. } => rewrite(index),
+                    Inst::Store { index, value, .. } => {
+                        rewrite(index);
+                        rewrite(value);
+                    }
+                    Inst::Const { .. } => {}
+                    Inst::Call { args, .. } => args.iter_mut().for_each(rewrite),
+                }
+                if local_consts + local_copies > 0 {
+                    changed = true;
+                    stats.consts_propagated += local_consts;
+                    stats.copies_propagated += local_copies;
+                }
+
+                // Fold now-constant operations.
+                let folded: Option<(VarId, i64)> = match *inst {
+                    Inst::Unary {
+                        dst,
+                        op,
+                        src: Operand::Const(c),
+                    } => Some((dst, op.eval(c))),
+                    Inst::Binary {
+                        dst,
+                        op,
+                        lhs: Operand::Const(a),
+                        rhs: Operand::Const(b),
+                    } => Some((dst, op.eval(a, b))),
+                    _ => None,
+                };
+                if let Some((dst, value)) = folded {
+                    *inst = Inst::Const { dst, value };
+                    stats.folded += 1;
+                    changed = true;
+                }
+
+                // Update value state.
+                match inst {
+                    Inst::Const { dst, value } => {
+                        known.insert(*dst, Operand::Const(*value));
+                    }
+                    Inst::Copy { dst, src } => {
+                        let resolved = resolve(&known, *src);
+                        // A copy of a var that is itself overwritten
+                        // later must not leak; invalidate on redefinition
+                        // below keeps this sound because `known` maps to
+                        // *operands valid right now* and any redefinition
+                        // of the source invalidates entries pointing at
+                        // it.
+                        known.insert(*dst, resolved);
+                    }
+                    _ => {
+                        if let Some(d) = inst.def() {
+                            known.remove(&d);
+                        }
+                    }
+                }
+                // Invalidate mappings that referenced a redefined var.
+                if let Some(d) = inst.def() {
+                    known.retain(|_, v| v.as_var() != Some(d));
+                }
+            }
+            // Rewrite the terminator's operand.
+            match &mut block.term {
+                Terminator::Branch { cond, .. } => {
+                    let new = resolve(&known, *cond);
+                    if new != *cond {
+                        *cond = new;
+                        changed = true;
+                        stats.copies_propagated += 1;
+                    }
+                }
+                Terminator::Return(Some(op)) => {
+                    let new = resolve(&known, *op);
+                    if new != *op {
+                        *op = new;
+                        changed = true;
+                        stats.copies_propagated += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // --- Global dead-code elimination. ---
+        let mut used = vec![false; app.vars().len()];
+        for &(v, _) in app.globals_init() {
+            used[v.0 as usize] = true; // observable state
+        }
+        for block in &blocks {
+            for inst in &block.insts {
+                for u in inst.uses() {
+                    used[u.0 as usize] = true;
+                }
+            }
+            if let Some(u) = block.term.use_var() {
+                used[u.0 as usize] = true;
+            }
+        }
+        for block in &mut blocks {
+            let before = block.insts.len();
+            block.insts.retain(|inst| match inst.def() {
+                Some(d) => {
+                    // Stores/calls have effects beyond the def; they
+                    // define nothing/optionally, handled below.
+                    used[d.0 as usize] || matches!(inst, Inst::Call { .. })
+                }
+                None => true, // Store: side effect, keep
+            });
+            let removed = before - block.insts.len();
+            if removed > 0 {
+                stats.dead_removed += removed;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let optimized = Application::from_parts(
+        app.name().to_owned(),
+        app.vars().to_vec(),
+        app.arrays().to_vec(),
+        blocks,
+        app.entry(),
+        app.globals_init().to_vec(),
+        app.structure().to_vec(),
+    );
+    (optimized, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::lower::lower;
+    use crate::parser::parse;
+    use proptest::prelude::*;
+
+    fn app(src: &str) -> Application {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    fn run(a: &Application, arrays: &[(&str, Vec<i64>)]) -> (Option<i64>, Vec<Vec<i64>>) {
+        let mut it = Interpreter::new(a);
+        for (n, d) in arrays {
+            it.set_array(n, d).unwrap();
+        }
+        let r = it.run(10_000_000).unwrap().return_value;
+        let mem: Vec<Vec<i64>> = a
+            .arrays()
+            .iter()
+            .map(|info| it.array(&info.name).unwrap().to_vec())
+            .collect();
+        (r, mem)
+    }
+
+    #[test]
+    fn removes_dead_temps() {
+        let a = app("app t; var g = 0; func main() { var unused = 5 + g; g = 2; return g; }");
+        let (o, stats) = optimize(&a);
+        assert!(stats.dead_removed > 0, "{stats:?}");
+        assert!(o.inst_count() < a.inst_count());
+        assert_eq!(run(&o, &[]).0, run(&a, &[]).0);
+    }
+
+    #[test]
+    fn propagates_copies_through_chains() {
+        let a = app("app t; var g = 7; func main() { var x = g; var y = x; var z = y; return z; }");
+        let (o, stats) = optimize(&a);
+        assert!(stats.copies_propagated > 0);
+        assert_eq!(run(&o, &[]).0, Some(7));
+        // The chain collapses: few instructions remain.
+        assert!(o.inst_count() <= a.inst_count());
+    }
+
+    #[test]
+    fn folds_constants_across_statements() {
+        let a = app("app t; func main() { var x = 3; var y = x * 4; return y + 1; }");
+        let (o, stats) = optimize(&a);
+        assert!(stats.folded > 0 || stats.copies_propagated > 0);
+        assert_eq!(run(&o, &[]).0, Some(13));
+    }
+
+    #[test]
+    fn preserves_stores_and_loop_semantics() {
+        let src = r#"app t; var buf[16]; var s = 0;
+            func main() {
+                for (var i = 0; i < 16; i = i + 1) { buf[i] = i * 3; }
+                for (var j = 0; j < 16; j = j + 1) { s = s + buf[j]; }
+                return s;
+            }"#;
+        let a = app(src);
+        let (o, _) = optimize(&a);
+        let (r1, m1) = run(&a, &[]);
+        let (r2, m2) = run(&o, &[]);
+        assert_eq!(r1, r2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn copy_invalidation_on_source_redefinition() {
+        // y = x; x = 9; return y  — y must keep the OLD x.
+        let a =
+            app("app t; var g = 0; func main() { var x = 4; var y = x; x = 9; g = x; return y; }");
+        let (o, _) = optimize(&a);
+        assert_eq!(run(&o, &[]).0, Some(4));
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let a = app(
+            "app t; var g = 1; func main() { var x = g + 0; var y = x; while (y > 0) { y = y - 1; } return y; }",
+        );
+        let (o1, _) = optimize(&a);
+        let (o2, s2) = optimize(&o1);
+        assert_eq!(o1.inst_count(), o2.inst_count());
+        assert_eq!(s2.dead_removed, 0);
+    }
+
+    fn arb_src() -> impl Strategy<Value = String> {
+        (-20i64..20, -20i64..20, 1i64..10, 0usize..5).prop_map(|(a, b, trips, flavor)| {
+            let extra = match flavor {
+                0 => "var dead = a * b + 3;".to_owned(),
+                1 => "var c1 = a; var c2 = c1; a = c2 + 1;".to_owned(),
+                2 => "out[1] = a & b;".to_owned(),
+                3 => "var k = 5 * 4; a = a + k;".to_owned(),
+                _ => "if (a > b) { a = b; } else { b = a; }".to_owned(),
+            };
+            format!(
+                r#"app p; var out[4];
+                    func main() {{
+                        var a = {a};
+                        var b = {b};
+                        for (var i = 0; i < {trips}; i = i + 1) {{
+                            {extra}
+                            a = a + b;
+                            b = b ^ i;
+                        }}
+                        out[0] = a;
+                        return a - b;
+                    }}"#
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Optimization never changes observable behaviour.
+        #[test]
+        fn optimize_preserves_semantics(src in arb_src()) {
+            let a = app(&src);
+            let (o, _) = optimize(&a);
+            let (r1, m1) = run(&a, &[]);
+            let (r2, m2) = run(&o, &[]);
+            prop_assert_eq!(r1, r2);
+            prop_assert_eq!(m1, m2);
+        }
+
+        /// Optimization never grows the program.
+        #[test]
+        fn optimize_never_grows(src in arb_src()) {
+            let a = app(&src);
+            let (o, _) = optimize(&a);
+            prop_assert!(o.inst_count() <= a.inst_count());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Pretty-printer for the behavioral AST.
+//!
+//! Emits source text that re-parses to an equivalent program — the
+//! round-trip property is enforced by the property tests in this
+//! module. Useful for dumping programmatically built ASTs, for
+//! normalizing user sources, and as a debugging aid when lowering
+//! misbehaves.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Expr, LValue, Program, Stmt};
+use crate::op::{BinOp, UnOp};
+
+/// Renders a whole program as parseable source text.
+pub fn print_program(prog: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "app {};", prog.name);
+    for c in &prog.consts {
+        let _ = writeln!(out, "const {} = {};", c.name, c.value);
+    }
+    for g in &prog.globals {
+        let _ = writeln!(out, "var {} = {};", g.name, g.init);
+    }
+    for a in &prog.arrays {
+        let _ = writeln!(out, "var {}[{}];", a.name, a.len);
+    }
+    for f in &prog.funcs {
+        let _ = writeln!(out, "func {}({}) {{", f.name, f.params.join(", "));
+        for s in &f.body {
+            print_stmt(&mut out, s, 1);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match stmt {
+        Stmt::VarDecl { name, init, .. } => {
+            let _ = writeln!(out, "var {name} = {};", print_expr(init));
+        }
+        Stmt::Assign { target, value, .. } => {
+            let t = match target {
+                LValue::Var(n) => n.clone(),
+                LValue::Index(n, idx) => format!("{n}[{}]", print_expr(idx)),
+            };
+            let _ = writeln!(out, "{t} = {};", print_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            for s in then_body {
+                print_stmt(out, s, level + 1);
+            }
+            if else_body.is_empty() {
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            } else {
+                indent(out, level);
+                let _ = writeln!(out, "}} else {{");
+                for s in else_body {
+                    print_stmt(out, s, level + 1);
+                }
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            for s in body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            let init_s = print_simple_stmt(init);
+            let step_s = print_simple_stmt(step);
+            let _ = writeln!(out, "for ({init_s}; {}; {step_s}) {{", print_expr(cond));
+            for s in body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", print_expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "return;");
+            }
+        },
+        Stmt::Expr { expr, .. } => {
+            let _ = writeln!(out, "{};", print_expr(expr));
+        }
+    }
+}
+
+fn print_simple_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::VarDecl { name, init, .. } => format!("var {name} = {}", print_expr(init)),
+        Stmt::Assign { target, value, .. } => {
+            let t = match target {
+                LValue::Var(n) => n.clone(),
+                LValue::Index(n, idx) => format!("{n}[{}]", print_expr(idx)),
+            };
+            format!("{t} = {}", print_expr(value))
+        }
+        Stmt::Expr { expr, .. } => print_expr(expr),
+        other => unreachable!("compound statement in for header: {other:?}"),
+    }
+}
+
+/// Renders an expression, fully parenthesized (re-parses to an
+/// identical tree regardless of operator precedence).
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Int(v, _) => {
+            if *v < 0 {
+                // `-9223372036854775808` won't re-lex as a literal;
+                // parenthesized negation of the positive magnitude is
+                // safe for everything above i64::MIN (the parser folds
+                // it back into a constant).
+                format!("(0 - {})", (*v as i128).unsigned_abs())
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Var(n, _) => n.clone(),
+        Expr::Index(n, idx, _) => format!("{n}[{}]", print_expr(idx)),
+        Expr::Unary(op, e, _) => {
+            let o = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            };
+            format!("({o}{})", print_expr(e))
+        }
+        Expr::Binary(op, l, r, _) => {
+            let o = binop_token(*op);
+            format!("({} {o} {})", print_expr(l), print_expr(r))
+        }
+        Expr::Call(n, args, _) => {
+            let a: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{n}({})", a.join(", "))
+        }
+    }
+}
+
+fn binop_token(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::lower::lower;
+    use crate::parser::parse;
+    use proptest::prelude::*;
+
+    const SAMPLE: &str = r#"app sample;
+        const K = 3;
+        var g = 7;
+        var buf[16];
+        func helper(a, b) { return a * b + K; }
+        func main() {
+            for (var i = 0; i < 16; i = i + 1) {
+                buf[i] = helper(i, g);
+                if (buf[i] > 20) { buf[i] = 20; } else { buf[i] = buf[i] + 1; }
+            }
+            while (g > 0) { g = g - 1; }
+            return buf[5];
+        }"#;
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let p1 = parse(SAMPLE).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap();
+        // Compare observable behaviour, not ASTs (spans differ).
+        let a1 = lower(&p1).unwrap();
+        let a2 = lower(&p2).unwrap();
+        let r1 = Interpreter::new(&a1).run(1_000_000).unwrap();
+        let r2 = Interpreter::new(&a2).run(1_000_000).unwrap();
+        assert_eq!(r1.return_value, r2.return_value);
+        assert_eq!(r1.loads, r2.loads);
+        assert_eq!(r1.stores, r2.stores);
+    }
+
+    #[test]
+    fn double_print_is_fixpoint() {
+        let p1 = parse(SAMPLE).unwrap();
+        let s1 = print_program(&p1);
+        let s2 = print_program(&parse(&s1).unwrap());
+        assert_eq!(s1, s2, "printing must be a normal form");
+    }
+
+    #[test]
+    fn negative_literals_roundtrip() {
+        let p = parse("app t; func main() { var x = 0 - 5; return x * (0 - 3); }").unwrap();
+        let printed = print_program(&p);
+        let p2 = parse(&printed).unwrap();
+        let r = Interpreter::new(&lower(&p2).unwrap()).run(1000).unwrap();
+        assert_eq!(r.return_value, Some(15));
+    }
+
+    fn arb_expr_src() -> impl Strategy<Value = String> {
+        let leaf = prop_oneof![
+            Just("a".to_owned()),
+            (-100i64..100).prop_map(|v| {
+                if v < 0 {
+                    format!("(0 - {})", -v)
+                } else {
+                    v.to_string()
+                }
+            }),
+        ];
+        leaf.prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} + {r})")),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} * {r})")),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} ^ {r})")),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} < {r})")),
+                inner.prop_map(|e| format!("(~{e})")),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// print(parse(e)) re-parses to the same runtime value.
+        #[test]
+        fn expr_roundtrip_behaviour(e in arb_expr_src(), a in -50i64..50) {
+            let src = format!("app t; var g = {a}; func main() {{ var a = g; return {e}; }}");
+            let p1 = parse(&src).expect("generated source parses");
+            let printed = print_program(&p1);
+            let p2 = parse(&printed).expect("printed source parses");
+            let r1 = Interpreter::new(&lower(&p1).expect("lowers"))
+                .run(1_000_000).expect("runs");
+            let r2 = Interpreter::new(&lower(&p2).expect("lowers"))
+                .run(1_000_000).expect("runs");
+            prop_assert_eq!(r1.return_value, r2.return_value);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Robustness properties of the DSL front end: arbitrary byte soup must
+//! never panic the lexer/parser — errors, yes; crashes, no.
+
+use proptest::prelude::*;
+
+use corepart_ir::lexer::lex;
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer totalizes: any string either tokenizes or returns a
+    /// located error.
+    #[test]
+    fn lexer_never_panics(src in ".{0,200}") {
+        let _ = lex(&src);
+    }
+
+    /// Same for printable-ASCII-heavy inputs that look more like code.
+    #[test]
+    fn lexer_never_panics_on_codey_input(
+        src in "[a-z0-9 +\\-*/%<>=!&|^~(){}\\[\\];,\n]{0,300}"
+    ) {
+        let _ = lex(&src);
+    }
+
+    /// The parser totalizes over token streams.
+    #[test]
+    fn parser_never_panics(
+        src in "[a-z0-9 +\\-*/%<>=!&|^~(){}\\[\\];,\n]{0,300}"
+    ) {
+        let _ = parse(&src);
+    }
+
+    /// Parser + lowering never panic on syntactically plausible
+    /// fragments wrapped in a valid skeleton.
+    #[test]
+    fn lowering_never_panics_on_arbitrary_bodies(
+        body in "[a-z0-9 +\\-*/%<>=;()]{0,120}"
+    ) {
+        let src = format!("app fuzz; var g = 0; func main() {{ {body} }}");
+        if let Ok(prog) = parse(&src) {
+            let _ = lower(&prog);
+        }
+    }
+
+    /// Every successfully lowered program passes structural
+    /// verification and interprets without panicking (errors allowed).
+    #[test]
+    fn lowered_programs_are_wellformed(
+        a in -50i64..50,
+        b in -50i64..50,
+        op in 0usize..5,
+    ) {
+        let ops = ["+", "-", "*", "/", "%"];
+        let src = format!(
+            "app f; var g = {a}; func main() {{ var x = g {} {b}; while (x > 0) {{ x = x - 7; }} return x; }}",
+            ops[op]
+        );
+        let prog = parse(&src).expect("skeleton parses");
+        let app = lower(&prog).expect("skeleton lowers");
+        prop_assert!(corepart_ir::domtree::verify_structure(&app).is_empty());
+        let _ = corepart_ir::interp::Interpreter::new(&app).run(100_000);
+    }
+}
+
+#[test]
+fn error_messages_carry_locations() {
+    // A spot check that diagnostics stay useful.
+    for bad in [
+        "app x",                                // missing ;
+        "app x; func main() { var = 3; }",      // missing name
+        "app x; func main() { a[; }",           // broken index
+        "app x; const K = f(); func main() {}", // non-const
+    ] {
+        let err = parse(bad).expect_err("must fail");
+        let msg = err.to_string();
+        assert!(msg.contains(':'), "diagnostic without location: {msg}");
+    }
+}

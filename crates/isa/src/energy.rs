@@ -1,0 +1,148 @@
+//! Instruction-level energy model of the µP core.
+//!
+//! Follows Tiwari/Malik/Wolfe's measurement methodology (the paper's
+//! reference \[12\], explicitly named as "one basis for our partitioning
+//! approach"): each instruction class has a *base energy cost*, and a
+//! *circuit-state overhead* is added whenever consecutive instructions
+//! come from different classes. Pipeline stall cycles (cache misses)
+//! burn a reduced idle energy because the non-gated core keeps clocking
+//! (§3.1's "wasted energy").
+//!
+//! The table is calibrated to a SPARCLite-class embedded core in the
+//! CMOS6 0.8µ process: ≈0.5–0.6 W at 40 MHz, i.e. ≈13–15 nJ per active
+//! cycle, matching the per-cycle energies implied by the paper's
+//! Table 1 (e.g. `3d`: 566.78 µJ / 39 712 cycles ≈ 14 nJ/cycle).
+
+use std::collections::BTreeMap;
+
+use corepart_tech::process::CmosProcess;
+use corepart_tech::units::Energy;
+
+use crate::isa::InstClass;
+
+/// Per-class base energies and the inter-instruction overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyTable {
+    base_per_cycle: BTreeMap<InstClass, Energy>,
+    inter_inst_overhead: Energy,
+    stall_per_cycle: Energy,
+}
+
+impl EnergyTable {
+    /// The SPARCLite/CMOS6 calibration used in the paper's experiments.
+    pub fn sparclite_cmos6() -> Self {
+        Self::for_process(&CmosProcess::cmos6())
+    }
+
+    /// Builds the table for an arbitrary process by scaling the CMOS6
+    /// calibration with the process's gate-switch energy and clock.
+    pub fn for_process(process: &CmosProcess) -> Self {
+        // Scale factor relative to CMOS6 (1.5 pJ/gate-switch).
+        let scale = process.gate_switch_energy().picojoules() / 1.5;
+        let nj = |v: f64| Energy::from_nanojoules(v * scale);
+        let base_per_cycle = [
+            (InstClass::Alu, 13.0),
+            (InstClass::Shift, 13.5),
+            (InstClass::Mul, 16.0),
+            (InstClass::Div, 14.0),
+            (InstClass::Load, 18.0),
+            (InstClass::Store, 17.0),
+            (InstClass::Branch, 12.0),
+            (InstClass::Move, 10.0),
+        ]
+        .into_iter()
+        .map(|(c, v)| (c, nj(v)))
+        .collect();
+        EnergyTable {
+            base_per_cycle,
+            inter_inst_overhead: nj(2.5),
+            stall_per_cycle: nj(9.0),
+        }
+    }
+
+    /// Base energy of one cycle executing an instruction of `class`.
+    pub fn base_per_cycle(&self, class: InstClass) -> Energy {
+        self.base_per_cycle[&class]
+    }
+
+    /// Base energy of a whole instruction of `class` lasting
+    /// `latency` cycles.
+    pub fn base(&self, class: InstClass, latency: u64) -> Energy {
+        self.base_per_cycle[&class] * latency
+    }
+
+    /// Circuit-state overhead charged when the instruction class
+    /// changes between consecutive instructions.
+    pub fn inter_inst_overhead(&self) -> Energy {
+        self.inter_inst_overhead
+    }
+
+    /// Energy of one pipeline-stall cycle (core clocking but idle).
+    pub fn stall_per_cycle(&self) -> Energy {
+        self.stall_per_cycle
+    }
+
+    /// Average active-cycle energy across all classes — a quick
+    /// sanity-check/normalization figure.
+    pub fn mean_active_cycle(&self) -> Energy {
+        let total: Energy = self.base_per_cycle.values().copied().sum();
+        total / self.base_per_cycle.len() as f64
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        EnergyTable::sparclite_cmos6()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_class() {
+        let t = EnergyTable::sparclite_cmos6();
+        for c in InstClass::ALL {
+            assert!(t.base_per_cycle(c).joules() > 0.0, "{c}");
+        }
+    }
+
+    #[test]
+    fn per_cycle_energy_in_expected_band() {
+        let t = EnergyTable::sparclite_cmos6();
+        let m = t.mean_active_cycle().nanojoules();
+        assert!((8.0..25.0).contains(&m), "mean = {m} nJ");
+    }
+
+    #[test]
+    fn loads_cost_more_than_moves() {
+        let t = EnergyTable::sparclite_cmos6();
+        assert!(t.base_per_cycle(InstClass::Load) > t.base_per_cycle(InstClass::Move));
+    }
+
+    #[test]
+    fn multi_cycle_base_scales() {
+        let t = EnergyTable::sparclite_cmos6();
+        let one = t.base(InstClass::Mul, 1);
+        let five = t.base(InstClass::Mul, 5);
+        assert!((five.joules() / one.joules() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_cheaper_than_active() {
+        let t = EnergyTable::sparclite_cmos6();
+        assert!(t.stall_per_cycle() < t.base_per_cycle(InstClass::Alu));
+        assert!(t.stall_per_cycle().joules() > 0.0);
+    }
+
+    #[test]
+    fn scales_with_process() {
+        let half = CmosProcess::cmos6().scaled_to(0.4);
+        let t6 = EnergyTable::sparclite_cmos6();
+        let th = EnergyTable::for_process(&half);
+        // 0.4µ switch energy is 1/8 of CMOS6.
+        let ratio = t6.base_per_cycle(InstClass::Alu) / th.base_per_cycle(InstClass::Alu);
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+}

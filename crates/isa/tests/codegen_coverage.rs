@@ -1,0 +1,138 @@
+//! Exhaustive operator-level equivalence between the IR interpreter and
+//! the compiled ISS — every DSL operator, both operand shapes
+//! (var/const), plus the unary forms, checked over a grid of values
+//! including the classic edge cases.
+
+use corepart_ir::interp::Interpreter;
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+use corepart_isa::codegen::compile;
+use corepart_isa::simulator::{NullSink, SimConfig, Simulator};
+
+fn both(src: &str) -> (Option<i64>, i64) {
+    let app = lower(&parse(src).expect("parses")).expect("lowers");
+    let interp = Interpreter::new(&app).run(1_000_000).expect("interprets");
+    let prog = compile(&app);
+    let stats = Simulator::new(&prog, &app)
+        .run(&SimConfig::initial(10_000_000), &mut NullSink)
+        .expect("simulates");
+    (interp.return_value, stats.return_value)
+}
+
+const EDGE_VALUES: [i64; 9] = [
+    0,
+    1,
+    -1,
+    2,
+    -7,
+    63,
+    255,
+    -1_000_003,
+    4_294_967_296, // 2^32: catches accidental 32-bit truncation
+];
+
+#[test]
+fn every_binary_operator_var_var() {
+    let ops = [
+        "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=", ">", ">=",
+    ];
+    for op in ops {
+        for &a in &EDGE_VALUES {
+            for &b in &EDGE_VALUES {
+                // Mask shift amounts so both sides use defined behaviour.
+                let rhs = if op == "<<" || op == ">>" {
+                    "(y & 31)".to_owned()
+                } else {
+                    "y".to_owned()
+                };
+                let src = format!(
+                    "app t; var g = 0; func main() {{ var x = {a}; var y = {b}; g = x {op} {rhs}; return g; }}"
+                );
+                let (i, s) = both(&src);
+                assert_eq!(i, Some(s), "{a} {op} {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_binary_operator_var_const() {
+    let ops = ["+", "-", "*", "/", "%", "&", "|", "^"];
+    for op in ops {
+        for &a in &EDGE_VALUES {
+            let src = format!("app t; var g = {a}; func main() {{ return g {op} 13; }}");
+            let (i, s) = both(&src);
+            assert_eq!(i, Some(s), "{a} {op} 13");
+        }
+    }
+}
+
+#[test]
+fn unary_operators() {
+    for &a in &EDGE_VALUES {
+        for (expr, label) in [
+            ("0 - g".to_owned(), "neg"),
+            ("!g".to_owned(), "not"),
+            ("~g".to_owned(), "bitnot"),
+            ("-g".to_owned(), "unary-neg"),
+        ] {
+            let src = format!("app t; var g = {a}; func main() {{ return {expr}; }}");
+            let (i, s) = both(&src);
+            assert_eq!(i, Some(s), "{label}({a})");
+        }
+    }
+}
+
+#[test]
+fn division_and_remainder_signs() {
+    // Truncating division sign conventions must agree.
+    for (a, b) in [(7, 2), (-7, 2), (7, -2), (-7, -2), (5, 0), (-5, 0)] {
+        let src = format!(
+            "app t; var p = {a}; var q = {b}; func main() {{ return p / q * 1000 + p % q; }}"
+        );
+        let (i, s) = both(&src);
+        assert_eq!(i, Some(s), "{a} /% {b}");
+    }
+}
+
+#[test]
+fn shift_semantics_match() {
+    for sh in 0..40i64 {
+        let src = format!(
+            "app t; var v = -123456789; func main() {{ return (v << ({sh} & 31)) + (v >> ({sh} & 31)); }}"
+        );
+        let (i, s) = both(&src);
+        assert_eq!(i, Some(s), "shift {sh}");
+    }
+}
+
+#[test]
+fn nested_call_expression_results_match() {
+    let src = r#"app t;
+        func mad(a, b, c) { return a * b + c; }
+        func twice(x) { return mad(x, 2, 0); }
+        func main() { return mad(twice(3), twice(4), mad(1, 2, 3)); }"#;
+    let (i, s) = both(src);
+    assert_eq!(i, Some(s));
+    assert_eq!(s, 6 * 8 + 5);
+}
+
+#[test]
+fn deeply_nested_control_flow_matches() {
+    let src = r#"app t; var acc = 0;
+        func main() {
+            for (var i = 0; i < 5; i = i + 1) {
+                for (var j = 0; j < 5; j = j + 1) {
+                    if ((i + j) % 2 == 0) {
+                        if (i > j) { acc = acc + i * 10; }
+                        else { acc = acc + j; }
+                    } else {
+                        while (acc % 3 != 0) { acc = acc + 1; }
+                    }
+                }
+            }
+            return acc;
+        }"#;
+    let (i, s) = both(src);
+    assert_eq!(i, Some(s));
+}

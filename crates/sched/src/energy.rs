@@ -1,0 +1,317 @@
+//! ASIC-core energy estimation.
+//!
+//! Two estimators, mirroring the paper's flow:
+//!
+//! 1. [`estimate_energy`] — the quick utilization-based estimate of
+//!    Fig. 1 line 11, `E_R = U_R · Σ_rs (P_av^rs · N_cyc^rs · T_cyc^rs)`,
+//!    used inside the partitioning loop where thousands of candidates
+//!    are compared.
+//! 2. [`gate_level_energy`] — the verification estimate of Fig. 1 line
+//!    15 ("Estimate energy (gate-level)"). The paper runs a gate-level
+//!    simulation with switching-energy calculation; we reconstruct it as
+//!    a switching-activity model over the bound datapath driven by the
+//!    profiled per-operation toggle statistics — active units pay
+//!    data-dependent switching energy, idle-but-clocked units pay the
+//!    reduced idle activity of §3.1.
+
+use corepart_ir::cdfg::Application;
+use corepart_ir::interp::ExecProfile;
+use corepart_tech::process::CmosProcess;
+use corepart_tech::resource::ResourceLibrary;
+use corepart_tech::units::{Cycles, Energy, Seconds};
+
+use crate::binding::{Binding, ClusterSchedule, Utilization};
+
+/// The quick estimate of Fig. 1 line 11.
+///
+/// `N_cyc^rs` is read as "cycles the resource exists in the running
+/// schedule" (instances × N_cyc^c), so the product is the always-on
+/// energy of the datapath and the `U_R` factor scales it down to the
+/// actively-used share.
+pub fn estimate_energy(util: &Utilization, binding: &Binding, lib: &ResourceLibrary) -> Energy {
+    let always_on: Energy = binding
+        .instances
+        .iter()
+        .map(|(&kind, &n)| {
+            let spec = lib.expect_spec(kind);
+            spec.p_av() * (spec.t_cyc() * (util.n_cyc * u64::from(n)))
+        })
+        .sum();
+    always_on * util.u_r
+}
+
+/// Result of the gate-level (switching-activity) estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicEnergy {
+    /// Energy of actively computing units, scaled by profiled toggle
+    /// activity.
+    pub active: Energy,
+    /// Energy of idle-but-clocked units.
+    pub idle: Energy,
+    /// Total ASIC execution cycles (`N_cyc^c`).
+    pub cycles: Cycles,
+    /// The ASIC clock period (the slowest instantiated unit).
+    pub clock_period: Seconds,
+}
+
+impl AsicEnergy {
+    /// Total core energy.
+    pub fn total(&self) -> Energy {
+        self.active + self.idle
+    }
+}
+
+/// Gate-level-style energy estimation of a bound cluster schedule.
+///
+/// Per executed operation: `P_av · T_cyc · latency`, scaled by a
+/// data-dependent activity factor derived from the profiled Hamming
+/// toggles of that operation's operands (an op whose inputs barely
+/// change switches less logic). Idle instances are charged the
+/// process's idle-activity fraction for every cycle they sit in the
+/// running schedule.
+pub fn gate_level_energy(
+    app: &Application,
+    sched: &ClusterSchedule,
+    binding: &Binding,
+    util: &Utilization,
+    profile: &ExecProfile,
+    lib: &ResourceLibrary,
+    process: &CmosProcess,
+) -> AsicEnergy {
+    let _ = app;
+    let idle_frac = process.idle_activity() / process.active_activity();
+
+    let mut active = Energy::ZERO;
+    for (bi, block_sched) in sched.schedules.iter().enumerate() {
+        let block = sched.blocks[bi];
+        let ex_times = profile.block_counts[block.0 as usize];
+        if ex_times == 0 {
+            continue;
+        }
+        for (ii, slot) in block_sched.slots.iter().enumerate() {
+            let spec = lib.expect_spec(slot.kind);
+            let act = &profile.activity[block.0 as usize][ii];
+            // Normalize toggles to a [0.25, 1.25] activity scale around
+            // the library's average-case calibration: ~16 of 64 input
+            // bits toggling is "average".
+            let toggles = act.avg_input_toggles() + act.avg_output_toggles();
+            let alpha = (0.25 + toggles / 32.0).min(1.25);
+            let e_op = spec.p_av() * (spec.t_cyc() * slot.latency) * alpha;
+            active += e_op * ex_times;
+        }
+    }
+
+    // Idle energy: every instantiated instance is clocked for all
+    // N_cyc^c cycles; subtract its busy cycles.
+    let mut idle = Energy::ZERO;
+    for (&(kind, instance), &busy) in &util.busy {
+        let spec = lib.expect_spec(kind);
+        let idle_cycles = util.n_cyc.saturating_sub(busy);
+        idle += spec.p_av() * (spec.t_cyc() * idle_cycles) * idle_frac;
+        let _ = instance;
+    }
+
+    let clock_period = binding
+        .instances
+        .keys()
+        .map(|&k| lib.expect_spec(k).t_cyc())
+        .fold(Seconds::ZERO, |a, b| if b > a { b } else { a });
+
+    AsicEnergy {
+        active,
+        idle,
+        cycles: Cycles::new(util.n_cyc),
+        clock_period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{bind, schedule_cluster, utilization};
+    use corepart_ir::interp::Interpreter;
+    use corepart_ir::lower::lower;
+    use corepart_ir::op::BlockId;
+    use corepart_ir::parser::parse;
+    use corepart_tech::resource::ResourceSet;
+
+    struct Ctx {
+        app: Application,
+        profile: ExecProfile,
+        sched: ClusterSchedule,
+        binding: Binding,
+        util: Utilization,
+        lib: ResourceLibrary,
+    }
+
+    fn ctx(src: &str, set_idx: usize, inputs: Option<(&str, Vec<i64>)>) -> Ctx {
+        let app = lower(&parse(src).unwrap()).unwrap();
+        let mut interp = Interpreter::new(&app);
+        if let Some((name, data)) = &inputs {
+            interp.set_array(name, data).unwrap();
+        }
+        let profile = interp.run(50_000_000).unwrap();
+        let lib = ResourceLibrary::cmos6();
+        let set = &ResourceSet::default_family()[set_idx];
+        let blocks: Vec<BlockId> = app
+            .structure()
+            .iter()
+            .find(|n| n.is_loop())
+            .expect("loop")
+            .blocks()
+            .to_vec();
+        let sched = schedule_cluster(&app, &blocks, set, &lib).unwrap();
+        let binding = bind(&sched, &lib);
+        let util = utilization(&sched, &binding, &profile, &lib);
+        Ctx {
+            app,
+            profile,
+            sched,
+            binding,
+            util,
+            lib,
+        }
+    }
+
+    const KERNEL: &str = r#"app t; var x[64]; var y[64];
+        func main() {
+            for (var i = 1; i < 63; i = i + 1) {
+                y[i] = (x[i - 1] * 3 + x[i] * 4 + x[i + 1]) >> 3;
+            }
+        }"#;
+
+    #[test]
+    fn quick_estimate_positive_and_scales_with_u() {
+        let c = ctx(KERNEL, 2, None);
+        let e = estimate_energy(&c.util, &c.binding, &c.lib);
+        assert!(e.joules() > 0.0);
+        // Doubling U_R doubles the estimate.
+        let mut u2 = c.util.clone();
+        u2.u_r *= 0.5;
+        let e2 = estimate_energy(&u2, &c.binding, &c.lib);
+        assert!((e.joules() / e2.joules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_level_has_active_and_idle_parts() {
+        let c = ctx(KERNEL, 2, None);
+        let g = gate_level_energy(
+            &c.app,
+            &c.sched,
+            &c.binding,
+            &c.util,
+            &c.profile,
+            &c.lib,
+            &CmosProcess::cmos6(),
+        );
+        assert!(g.active.joules() > 0.0);
+        assert!(g.idle.joules() > 0.0);
+        assert!((g.total().joules() - (g.active + g.idle).joules()).abs() < 1e-18);
+        assert!(g.cycles.count() > 0);
+        assert!(g.clock_period.nanos() > 0.0);
+    }
+
+    #[test]
+    fn estimate_and_gate_level_within_factor_four() {
+        // The quick estimate must be a usable proxy for the verification
+        // number, otherwise the partition loop would optimize the wrong
+        // thing.
+        let c = ctx(KERNEL, 2, None);
+        let quick = estimate_energy(&c.util, &c.binding, &c.lib);
+        let fine = gate_level_energy(
+            &c.app,
+            &c.sched,
+            &c.binding,
+            &c.util,
+            &c.profile,
+            &c.lib,
+            &CmosProcess::cmos6(),
+        )
+        .total();
+        let ratio = quick / fine;
+        assert!(
+            (0.25..4.0).contains(&ratio),
+            "quick {quick} vs gate-level {fine} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn toggle_heavy_data_costs_more() {
+        let src = r#"app t; var x[64]; var y[64];
+            func main() {
+                for (var i = 0; i < 64; i = i + 1) {
+                    y[i] = x[i] * 5 + (x[i] >> 2);
+                }
+            }"#;
+        let hot: Vec<i64> = (0..64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    0x5555_5555
+                } else {
+                    -0x5555_5556
+                }
+            })
+            .collect();
+        let cold = vec![7i64; 64];
+        let ch = ctx(src, 2, Some(("x", hot)));
+        let cc = ctx(src, 2, Some(("x", cold)));
+        let p = CmosProcess::cmos6();
+        let eh = gate_level_energy(
+            &ch.app,
+            &ch.sched,
+            &ch.binding,
+            &ch.util,
+            &ch.profile,
+            &ch.lib,
+            &p,
+        );
+        let ec = gate_level_energy(
+            &cc.app,
+            &cc.sched,
+            &cc.binding,
+            &cc.util,
+            &cc.profile,
+            &cc.lib,
+            &p,
+        );
+        assert!(
+            eh.active > ec.active,
+            "alternating data must switch more: {} vs {}",
+            eh.active,
+            ec.active
+        );
+    }
+
+    #[test]
+    fn higher_utilization_means_less_idle_share() {
+        // m-dsp (tighter) vs xl-dsp (wider) on the same kernel: the
+        // wider datapath has more idle-clocked hardware.
+        let cm = ctx(KERNEL, 2, None);
+        let cx = ctx(KERNEL, 4, None);
+        let p = CmosProcess::cmos6();
+        let gm = gate_level_energy(
+            &cm.app,
+            &cm.sched,
+            &cm.binding,
+            &cm.util,
+            &cm.profile,
+            &cm.lib,
+            &p,
+        );
+        let gx = gate_level_energy(
+            &cx.app,
+            &cx.sched,
+            &cx.binding,
+            &cx.util,
+            &cx.profile,
+            &cx.lib,
+            &p,
+        );
+        let idle_share_m = gm.idle.joules() / gm.total().joules();
+        let idle_share_x = gx.idle.joules() / gx.total().joules();
+        assert!(
+            idle_share_m <= idle_share_x + 1e-9,
+            "m-dsp idle share {idle_share_m} vs xl {idle_share_x}"
+        );
+    }
+}

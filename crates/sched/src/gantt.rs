@@ -1,0 +1,157 @@
+//! Text Gantt rendering of block schedules.
+//!
+//! Shows, per resource instance, which control steps it is busy in —
+//! the picture an HLS designer draws to sanity-check a schedule, and
+//! the visual counterpart of the paper's `Glob_RS_List[cs][rs][is]`
+//! occupancy matrix.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use corepart_tech::resource::{ResourceKind, ResourceLibrary};
+
+use crate::binding::{Binding, ClusterSchedule};
+use crate::list::BlockSchedule;
+
+/// Renders one block's schedule with anonymous per-kind lanes.
+///
+/// Each row is a resource instance; `#` marks busy steps, `.` idle
+/// ones. Operations are numbered in instruction order where they start.
+pub fn render_block(sched: &BlockSchedule) -> String {
+    if sched.slots.is_empty() {
+        return "(empty schedule)\n".to_owned();
+    }
+    // Assign display lanes per kind (lowest free lane, like binding).
+    // One lane holds `(start, end, op_index)` intervals.
+    type Lane = Vec<(u64, u64, usize)>;
+    let mut lanes: BTreeMap<ResourceKind, Vec<Lane>> = BTreeMap::new();
+    for (op, slot) in sched.slots.iter().enumerate() {
+        let kind_lanes = lanes.entry(slot.kind).or_default();
+        let interval = (slot.step, slot.step + slot.latency);
+        let lane = kind_lanes.iter().position(|l| {
+            l.iter()
+                .all(|&(s, e, _)| interval.0 >= e || s >= interval.1)
+        });
+        let li = match lane {
+            Some(i) => i,
+            None => {
+                kind_lanes.push(Vec::new());
+                kind_lanes.len() - 1
+            }
+        };
+        kind_lanes[li].push((interval.0, interval.1, op));
+    }
+
+    let width = sched.length as usize;
+    let mut out = String::new();
+    let _ = writeln!(out, "steps: 0..{}", sched.length);
+    for (kind, kind_lanes) in &lanes {
+        for (li, lane) in kind_lanes.iter().enumerate() {
+            let mut row = vec!['.'; width];
+            for &(s, e, op) in lane {
+                for t in s..e {
+                    row[t as usize] = '#';
+                }
+                // Mark the start with the op index (mod 10) for
+                // traceability.
+                row[s as usize] = char::from_digit((op % 10) as u32, 10).unwrap_or('#');
+            }
+            let _ = writeln!(
+                out,
+                "{:<12} {}",
+                format!("{kind}[{li}]"),
+                row.into_iter().collect::<String>()
+            );
+        }
+    }
+    out
+}
+
+/// Renders a whole bound cluster schedule, block by block, with the
+/// binding's instance numbering and a per-instance busy total.
+pub fn render_cluster(sched: &ClusterSchedule, binding: &Binding, lib: &ResourceLibrary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cluster on `{}`: {} block(s), {} instance(s), GEQ_RS = {}",
+        sched.set_name,
+        sched.blocks.len(),
+        binding.total_instances(),
+        binding.geq_rs,
+    );
+    for (&kind, &n) in &binding.instances {
+        let _ = writeln!(out, "  {n} x {kind} ({} each)", lib.expect_spec(kind).geq());
+    }
+    for (bi, bs) in sched.schedules.iter().enumerate() {
+        let _ = writeln!(out, "-- {} ({} steps)", sched.blocks[bi], bs.length);
+        out.push_str(&render_block(bs));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{bind, schedule_cluster};
+    use crate::dfg::BlockDfg;
+    use crate::list::list_schedule;
+    use corepart_ir::lower::lower;
+    use corepart_ir::op::BlockId;
+    use corepart_ir::parser::parse;
+    use corepart_tech::resource::ResourceSet;
+
+    const SRC: &str = r#"app t; var x[32]; var y[32];
+        func main() {
+            for (var i = 1; i < 31; i = i + 1) {
+                y[i] = x[i] * 3 + (x[i - 1] >> 1);
+            }
+        }"#;
+
+    #[test]
+    fn block_gantt_marks_busy_steps() {
+        let app = lower(&parse(SRC).unwrap()).unwrap();
+        let bid = (0..app.blocks().len() as u32)
+            .map(BlockId)
+            .max_by_key(|&b| app.block(b).insts.len())
+            .unwrap();
+        let dfg = BlockDfg::build(&app, bid);
+        let lib = ResourceLibrary::cmos6();
+        let set = &ResourceSet::default_family()[2];
+        let sched = list_schedule(&dfg, set, &lib).unwrap();
+        let g = render_block(&sched);
+        assert!(g.contains("steps: 0.."));
+        assert!(g.contains("memport[0]"));
+        assert!(g.contains('#') || g.chars().any(|c| c.is_ascii_digit()));
+        // Row width matches the schedule length.
+        for line in g.lines().skip(1) {
+            let cells = line.split_whitespace().nth(1).expect("row");
+            assert_eq!(cells.chars().count(), sched.length as usize, "{line}");
+        }
+    }
+
+    #[test]
+    fn cluster_gantt_lists_instances() {
+        let app = lower(&parse(SRC).unwrap()).unwrap();
+        let lib = ResourceLibrary::cmos6();
+        let set = &ResourceSet::default_family()[2];
+        let blocks = app
+            .structure()
+            .iter()
+            .find(|n| n.is_loop())
+            .unwrap()
+            .blocks()
+            .to_vec();
+        let sched = schedule_cluster(&app, &blocks, set, &lib).unwrap();
+        let binding = bind(&sched, &lib);
+        let g = render_cluster(&sched, &binding, &lib);
+        assert!(g.contains("GEQ_RS"));
+        assert!(g.contains("x multiplier"));
+        assert!(g.contains("-- bb"));
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let g = render_block(&BlockSchedule::empty());
+        assert!(g.contains("empty"));
+    }
+}

@@ -1,0 +1,523 @@
+//! ASAP/ALAP analysis and resource-constrained list scheduling —
+//! `do_list_schedule(c_i, rs_i)` of Fig. 1 line 8.
+//!
+//! "A simple list schedule is performed on the current cluster in order
+//! to prepare the following step" (§3.2). Priority is mobility
+//! (ALAP − ASAP): zero-mobility operations sit on the critical path and
+//! go first, the classic list-scheduling heuristic.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use corepart_tech::resource::{OpClass, ResourceKind, ResourceLibrary, ResourceSet};
+
+use crate::dfg::BlockDfg;
+
+/// Scheduling failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// No resource in the designer's set can execute this class.
+    NoResource {
+        /// The unexecutable class.
+        class: OpClass,
+        /// The resource set's name.
+        set: String,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoResource { class, set } => write!(
+                f,
+                "resource set `{set}` has no resource able to execute {class} operations"
+            ),
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+/// Assignment of one operation in the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSlot {
+    /// Start control step.
+    pub step: u64,
+    /// Executing resource kind.
+    pub kind: ResourceKind,
+    /// Occupancy in control steps.
+    pub latency: u64,
+}
+
+/// The schedule of one basic block on the candidate datapath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSchedule {
+    /// Per-instruction slots (same indexing as the block's `insts`).
+    pub slots: Vec<OpSlot>,
+    /// Schedule length in control steps (all ops completed).
+    pub length: u64,
+}
+
+impl BlockSchedule {
+    /// An empty schedule (empty block): zero length.
+    pub fn empty() -> Self {
+        BlockSchedule {
+            slots: Vec::new(),
+            length: 0,
+        }
+    }
+
+    /// Maximum concurrent instances of `kind` required by this
+    /// schedule (accounting multi-cycle occupancy).
+    pub fn peak_usage(&self, kind: ResourceKind) -> u32 {
+        let mut peak = 0u32;
+        for t in 0..self.length {
+            let busy = self
+                .slots
+                .iter()
+                .filter(|s| s.kind == kind && s.step <= t && t < s.step + s.latency)
+                .count() as u32;
+            peak = peak.max(busy);
+        }
+        peak
+    }
+}
+
+/// ASAP start times (unconstrained resources, earliest-latency kinds).
+pub fn asap(dfg: &BlockDfg, lib: &ResourceLibrary) -> Vec<u64> {
+    let lat = min_latencies(dfg, lib);
+    let mut start = vec![0u64; dfg.len()];
+    for i in 0..dfg.len() {
+        for &p in &dfg.preds[i] {
+            start[i] = start[i].max(start[p] + lat[p]);
+        }
+    }
+    start
+}
+
+/// ALAP start times against the ASAP-critical-path bound.
+pub fn alap(dfg: &BlockDfg, lib: &ResourceLibrary) -> Vec<u64> {
+    let lat = min_latencies(dfg, lib);
+    let asap_start = asap(dfg, lib);
+    let total: u64 = (0..dfg.len())
+        .map(|i| asap_start[i] + lat[i])
+        .max()
+        .unwrap_or(0);
+    let mut finish = vec![total; dfg.len()];
+    for i in (0..dfg.len()).rev() {
+        for &s in &dfg.succs[i] {
+            finish[i] = finish[i].min(finish[s] - lat[s]);
+        }
+    }
+    (0..dfg.len()).map(|i| finish[i] - lat[i]).collect()
+}
+
+fn min_latencies(dfg: &BlockDfg, lib: &ResourceLibrary) -> Vec<u64> {
+    dfg.classes
+        .iter()
+        .map(|&c| {
+            lib.candidates_for(c)
+                .iter()
+                .map(|&k| lib.expect_spec(k).latency())
+                .min()
+                .unwrap_or(1)
+        })
+        .collect()
+}
+
+/// Scheduling options.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SchedOptions {
+    /// Operator chaining: dependent single-cycle operations may share a
+    /// control step when their combined combinational delay fits the
+    /// datapath clock period (the classic HLS latency optimization; the
+    /// paper's "simple list schedule" does not chain, so the default is
+    /// off).
+    pub chaining: bool,
+}
+
+/// List-schedules one block under the designer's resource set.
+///
+/// # Errors
+///
+/// [`SchedError::NoResource`] when an operation class cannot execute on
+/// any resource present in `set`.
+pub fn list_schedule(
+    dfg: &BlockDfg,
+    set: &ResourceSet,
+    lib: &ResourceLibrary,
+) -> Result<BlockSchedule, SchedError> {
+    list_schedule_opts(dfg, set, lib, SchedOptions::default())
+}
+
+/// List scheduling with explicit [`SchedOptions`].
+///
+/// # Errors
+///
+/// [`SchedError::NoResource`] as for [`list_schedule`].
+pub fn list_schedule_opts(
+    dfg: &BlockDfg,
+    set: &ResourceSet,
+    lib: &ResourceLibrary,
+    options: SchedOptions,
+) -> Result<BlockSchedule, SchedError> {
+    if dfg.is_empty() {
+        return Ok(BlockSchedule::empty());
+    }
+    // Feasibility: every class must have a candidate with capacity.
+    for &class in &dfg.classes {
+        let ok = lib.candidates_for(class).iter().any(|&k| set.count(k) > 0);
+        if !ok {
+            return Err(SchedError::NoResource {
+                class,
+                set: set.name().to_owned(),
+            });
+        }
+    }
+
+    let asap_t = asap(dfg, lib);
+    let alap_t = alap(dfg, lib);
+    let mobility: Vec<u64> = (0..dfg.len())
+        .map(|i| alap_t[i].saturating_sub(asap_t[i]))
+        .collect();
+
+    let n = dfg.len();
+    let mut slots: Vec<Option<OpSlot>> = vec![None; n];
+    let mut finish: Vec<u64> = vec![u64::MAX; n];
+    // Combinational depth (ns) at which each op's result settles within
+    // its control step — the chaining budget bookkeeping.
+    let mut chain_depth: Vec<f64> = vec![0.0; n];
+    let mut remaining = n;
+    // In-flight occupancy: (kind -> Vec<finish_step>).
+    let mut busy: BTreeMap<ResourceKind, Vec<u64>> = BTreeMap::new();
+    let mut t: u64 = 0;
+
+    // The datapath clock period: the slowest resource the designer put
+    // in the set bounds the step length chaining must fit into.
+    let period_ns = set
+        .iter()
+        .map(|(k, _)| lib.expect_spec(k).t_cyc().nanos())
+        .fold(0.0f64, f64::max);
+
+    while remaining > 0 {
+        // Release completed occupancies.
+        for fs in busy.values_mut() {
+            fs.retain(|&f| f > t);
+        }
+        // With chaining, an op scheduled this step can enable its
+        // same-step successors — iterate to a fixpoint within the step.
+        loop {
+            let mut scheduled_any = false;
+            // Ready ops: unscheduled, every pred either completed by t
+            // or (chaining) a single-cycle op placed earlier in step t.
+            let mut ready: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    slots[i].is_none()
+                        && dfg.preds[i].iter().all(|&p| {
+                            (finish[p] != u64::MAX && finish[p] <= t)
+                                || (options.chaining
+                                    && slots[p]
+                                        .map(|s| s.step == t && s.latency == 1)
+                                        .unwrap_or(false))
+                        })
+                })
+                .collect();
+            ready.sort_by_key(|&i| (mobility[i], i));
+
+            for i in ready {
+                let class = dfg.classes[i];
+                // Smallest candidate with a free instance this step.
+                let chosen = lib.candidates_for(class).into_iter().find(|&k| {
+                    set.count(k) > 0
+                        && (busy.get(&k).map(|v| v.len()).unwrap_or(0) as u32) < set.count(k)
+                });
+                let Some(kind) = chosen else { continue };
+                let spec = lib.expect_spec(kind);
+                let latency = spec.latency();
+
+                // Chain-depth feasibility.
+                let mut depth_in = 0.0f64;
+                let mut feasible = true;
+                for &p in &dfg.preds[i] {
+                    if finish[p] != u64::MAX && finish[p] <= t {
+                        continue; // registered input, depth 0
+                    }
+                    // Same-step chained predecessor.
+                    if latency > 1 {
+                        // Multi-cycle units latch their inputs at the
+                        // step boundary — they cannot chain.
+                        feasible = false;
+                        break;
+                    }
+                    depth_in = depth_in.max(chain_depth[p]);
+                }
+                if !feasible {
+                    continue;
+                }
+                let depth = depth_in + spec.t_cyc().nanos();
+                if options.chaining && depth > period_ns + 1e-9 {
+                    continue; // would violate the clock period
+                }
+
+                slots[i] = Some(OpSlot {
+                    step: t,
+                    kind,
+                    latency,
+                });
+                finish[i] = t + latency;
+                chain_depth[i] = depth;
+                busy.entry(kind).or_default().push(t + latency);
+                remaining -= 1;
+                scheduled_any = true;
+            }
+            if !scheduled_any || !options.chaining {
+                break;
+            }
+        }
+        t += 1;
+        debug_assert!(
+            t < 1_000_000,
+            "list scheduler failed to make progress (cyclic DFG?)"
+        );
+    }
+
+    let length = finish.iter().copied().max().unwrap_or(0);
+    Ok(BlockSchedule {
+        slots: slots.into_iter().map(|s| s.expect("scheduled")).collect(),
+        length,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corepart_ir::cdfg::Application;
+    use corepart_ir::lower::lower;
+    use corepart_ir::op::BlockId;
+    use corepart_ir::parser::parse;
+    use corepart_tech::resource::ResourceKind;
+
+    fn dfg_of(src: &str) -> BlockDfg {
+        let app: Application = lower(&parse(src).unwrap()).unwrap();
+        let bid = (0..app.blocks().len() as u32)
+            .map(BlockId)
+            .max_by_key(|&b| app.block(b).insts.len())
+            .unwrap();
+        BlockDfg::build(&app, bid)
+    }
+
+    fn lib() -> ResourceLibrary {
+        ResourceLibrary::cmos6()
+    }
+
+    #[test]
+    fn asap_respects_chains() {
+        let dfg = dfg_of("app t; var g = 1; func main() { g = ((g + 1) * 2) + 3; }");
+        let lib = lib();
+        let a = asap(&dfg, &lib);
+        // Start times must be non-decreasing along every edge.
+        for i in 0..dfg.len() {
+            for &p in &dfg.preds[i] {
+                assert!(a[i] > a[p], "ASAP start of {i} not after pred {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn alap_not_before_asap() {
+        let dfg =
+            dfg_of("app t; var g = 1; var h = 2; func main() { g = g * h + (h << 2) - (g & h); }");
+        let lib = lib();
+        let a = asap(&dfg, &lib);
+        let l = alap(&dfg, &lib);
+        for i in 0..dfg.len() {
+            assert!(l[i] >= a[i], "op {i}: alap {} < asap {}", l[i], a[i]);
+        }
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let dfg =
+            dfg_of("app t; var a[8]; var g = 1; func main() { a[g] = a[g - 1] * 2 + a[g + 1]; }");
+        let set = ResourceSet::default_family()[2].clone(); // m-dsp
+        let s = list_schedule(&dfg, &set, &lib()).unwrap();
+        for i in 0..dfg.len() {
+            for &p in &dfg.preds[i] {
+                assert!(
+                    s.slots[i].step >= s.slots[p].step + s.slots[p].latency,
+                    "op {i} starts before pred {p} finishes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_respects_capacity() {
+        let dfg = dfg_of(
+            "app t; var g=1; var h=2; var i=3; var j=4; var o=0;
+             func main() { o = g*h + h*i + i*j + j*g + g*i + h*j; }",
+        );
+        let set = ResourceSet::builder("one-mul")
+            .with(ResourceKind::Alu, 2)
+            .with(ResourceKind::Multiplier, 1)
+            .with(ResourceKind::MemPort, 1)
+            .build();
+        let s = list_schedule(&dfg, &set, &lib()).unwrap();
+        assert!(s.peak_usage(ResourceKind::Multiplier) <= 1);
+        assert!(s.peak_usage(ResourceKind::Alu) <= 2);
+    }
+
+    #[test]
+    fn more_resources_never_lengthen() {
+        let dfg = dfg_of(
+            "app t; var a[16]; func main() { a[8] = a[0]*a[1] + a[2]*a[3] + a[4]*a[5] + a[6]*a[7]; }",
+        );
+        let family = ResourceSet::default_family();
+        let lib = lib();
+        let mut prev = u64::MAX;
+        for set in &family[2..] {
+            // only sets that include a multiplier
+            let s = list_schedule(&dfg, set, &lib).unwrap();
+            assert!(
+                s.length <= prev,
+                "set {} lengthened schedule: {} > {prev}",
+                set.name(),
+                s.length
+            );
+            prev = s.length;
+        }
+    }
+
+    #[test]
+    fn missing_resource_is_error() {
+        let dfg = dfg_of("app t; var g = 7; func main() { g = g / 3; }");
+        let set = ResourceSet::builder("no-div")
+            .with(ResourceKind::Alu, 1)
+            .with(ResourceKind::MemPort, 1)
+            .build();
+        let err = list_schedule(&dfg, &set, &lib()).unwrap_err();
+        assert!(matches!(err, SchedError::NoResource { .. }));
+        assert!(err.to_string().contains("no-div"));
+    }
+
+    #[test]
+    fn empty_block_schedules_empty() {
+        let dfg = BlockDfg {
+            block: BlockId(0),
+            classes: vec![],
+            preds: vec![],
+            succs: vec![],
+        };
+        let set = ResourceSet::default_family()[0].clone();
+        let s = list_schedule(&dfg, &set, &lib()).unwrap();
+        assert_eq!(s.length, 0);
+        assert!(s.slots.is_empty());
+    }
+
+    #[test]
+    fn chaining_shortens_dependency_chains() {
+        // A comparator chain: each comparison settles in 12.5 ns, so
+        // two fit the 25 ns step (the memory port pins the period).
+        // Adders at 15 ns deliberately do NOT chain pairwise — that is
+        // covered by `chaining_respects_clock_period`.
+        let dfg = dfg_of("app t; var g = 1; func main() { g = ((((g < 9) < 8) < 7) < 6) < 5; }");
+        let lib = lib();
+        let set = ResourceSet::builder("cmps")
+            .with(ResourceKind::Comparator, 4)
+            .with(ResourceKind::Alu, 1)
+            .with(ResourceKind::MemPort, 1)
+            .build();
+        let plain = list_schedule_opts(&dfg, &set, &lib, SchedOptions::default()).unwrap();
+        let chained =
+            list_schedule_opts(&dfg, &set, &lib, SchedOptions { chaining: true }).unwrap();
+        assert!(
+            chained.length < plain.length,
+            "chaining {} vs plain {}",
+            chained.length,
+            plain.length
+        );
+        // Dependencies still hold in the chained sense: a consumer is
+        // in the same step or later than each producer.
+        for i in 0..dfg.len() {
+            for &p in &dfg.preds[i] {
+                assert!(chained.slots[i].step >= chained.slots[p].step);
+            }
+        }
+    }
+
+    #[test]
+    fn chaining_respects_clock_period() {
+        // Two dependent 15 ns adds exceed the 25 ns period: chaining
+        // must NOT pack them into one step.
+        let dfg = dfg_of("app t; var g = 1; func main() { g = (g + 1) + 2; }");
+        let lib = lib();
+        let set = ResourceSet::builder("adders")
+            .with(ResourceKind::Adder, 2)
+            .with(ResourceKind::Alu, 1) // the copy into `g` needs a Move unit
+            .with(ResourceKind::MemPort, 1)
+            .build();
+        let s = list_schedule_opts(&dfg, &set, &lib, SchedOptions { chaining: true }).unwrap();
+        let adds: Vec<&OpSlot> = s
+            .slots
+            .iter()
+            .filter(|sl| sl.kind == ResourceKind::Adder)
+            .collect();
+        assert_eq!(adds.len(), 2);
+        assert_ne!(adds[0].step, adds[1].step, "15+15 ns cannot fit 25 ns");
+    }
+
+    #[test]
+    fn chaining_never_chains_into_multicycle_ops() {
+        let dfg = dfg_of("app t; var g = 2; func main() { g = (g + 1) * 3; }");
+        let lib = lib();
+        let set = ResourceSet::default_family()[2].clone();
+        let s = list_schedule_opts(&dfg, &set, &lib, SchedOptions { chaining: true }).unwrap();
+        // The multiply must start strictly after its (chained or not)
+        // add completes its step.
+        let mul = s
+            .slots
+            .iter()
+            .position(|sl| sl.kind == ResourceKind::Multiplier)
+            .expect("multiply scheduled");
+        for &p in &dfg.preds[mul] {
+            assert!(
+                s.slots[mul].step >= s.slots[p].step + s.slots[p].latency,
+                "multiply chained illegally"
+            );
+        }
+    }
+
+    #[test]
+    fn default_options_match_plain_schedule() {
+        let dfg =
+            dfg_of("app t; var a[8]; var g = 1; func main() { a[g] = a[g - 1] * 2 + a[g + 1]; }");
+        let set = ResourceSet::default_family()[2].clone();
+        let lib = lib();
+        let plain = list_schedule(&dfg, &set, &lib).unwrap();
+        let opt = list_schedule_opts(&dfg, &set, &lib, SchedOptions::default()).unwrap();
+        assert_eq!(plain, opt);
+    }
+
+    #[test]
+    fn multi_cycle_ops_occupy_resources() {
+        // Two multiplies on one multiplier: second starts after first's
+        // 2-cycle occupancy ends.
+        let dfg = dfg_of("app t; var g=3; var h=5; var o=0; func main() { o = g*g + h*h; }");
+        let set = ResourceSet::builder("tiny")
+            .with(ResourceKind::Alu, 1)
+            .with(ResourceKind::Multiplier, 1)
+            .with(ResourceKind::MemPort, 1)
+            .build();
+        let s = list_schedule(&dfg, &set, &lib()).unwrap();
+        let muls: Vec<&OpSlot> = s
+            .slots
+            .iter()
+            .filter(|sl| sl.kind == ResourceKind::Multiplier)
+            .collect();
+        assert_eq!(muls.len(), 2);
+        let (a, b) = (muls[0], muls[1]);
+        let (first, second) = if a.step <= b.step { (a, b) } else { (b, a) };
+        assert!(second.step >= first.step + first.latency);
+    }
+}

@@ -1,0 +1,352 @@
+//! Analytical energy models for caches, main memory and the system bus.
+//!
+//! The paper feeds "analytical models for main memory energy consumption
+//! and caches … with parameters (feature sizes, capacitances) of a 0.8µ
+//! CMOS process" (§4) and charges each µP↔ASIC transfer an energy
+//! `E_bus read/write` (§3.3, Fig. 3 step 5). This module reconstructs
+//! those models from first principles: SRAM array geometry for caches, a
+//! DRAM-style page model for main memory, and a capacitive wire model for
+//! the on-chip system bus.
+//!
+//! The models are *per-event*: the trace-driven simulators in
+//! `corepart-cache` count events and multiply by these energies.
+
+use crate::process::CmosProcess;
+use crate::units::Energy;
+
+/// Analytical per-access energy model of an on-chip SRAM cache.
+///
+/// First-order CACTI-style decomposition: row decode + wordline +
+/// bitlines + sense amps for the data array, the same for the tag array,
+/// plus comparator and output drivers. Energies scale with the geometry
+/// implied by `(size, line, associativity)`.
+///
+/// ```
+/// use corepart_tech::energy::CacheEnergyModel;
+/// use corepart_tech::process::CmosProcess;
+///
+/// let p = CmosProcess::cmos6();
+/// let small = CacheEnergyModel::analytical(&p, 1024, 16, 1);
+/// let large = CacheEnergyModel::analytical(&p, 16 * 1024, 16, 1);
+/// // Bigger arrays burn more energy per access.
+/// assert!(large.read_hit().joules() > small.read_hit().joules());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEnergyModel {
+    read_hit: Energy,
+    write_hit: Energy,
+    tag_probe: Energy,
+    line_fill: Energy,
+    line_writeback: Energy,
+}
+
+impl CacheEnergyModel {
+    /// Builds the model from cache geometry under a given process.
+    ///
+    /// * `size_bytes` — total data capacity.
+    /// * `line_bytes` — line (block) size.
+    /// * `associativity` — ways per set (1 = direct-mapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is degenerate (zero sizes, line larger
+    /// than the cache, or a non-power-of-two configuration).
+    pub fn analytical(
+        process: &CmosProcess,
+        size_bytes: usize,
+        line_bytes: usize,
+        associativity: usize,
+    ) -> Self {
+        assert!(size_bytes > 0 && line_bytes > 0 && associativity > 0);
+        assert!(
+            size_bytes.is_multiple_of(line_bytes * associativity),
+            "cache geometry must divide evenly"
+        );
+        assert!(size_bytes.is_power_of_two() && line_bytes.is_power_of_two());
+
+        let sets = size_bytes / (line_bytes * associativity);
+        let esw = process.gate_switch_energy();
+
+        // Row decode: log2(sets) stages of predecoding, a handful of
+        // gates each.
+        let decode_gates = 6.0 * (sets.max(2) as f64).log2();
+        // Bitline energy: one access precharges/discharges the bitlines
+        // of one set across all ways; column height is `sets`, so the
+        // bitline capacitance grows linearly with sets. Charged for
+        // line_bytes*8 columns of the selected way plus tag columns of
+        // all ways. Scale factor 0.12 ≈ bit-cell drain cap relative to a
+        // gate equivalent.
+        let bitline_per_col = 0.12 * sets as f64;
+        let data_cols = (line_bytes * 8) as f64;
+        let tag_bits = 28.0; // ~32-bit address minus index/offset
+        let tag_cols = tag_bits * associativity as f64;
+        // Sense amps + output drivers: a few gates per read-out bit.
+        let sense_gates = 3.0 * (data_cols + tag_cols);
+        let comparator_gates = 1.5 * tag_bits * associativity as f64;
+
+        let tag_probe = esw * (decode_gates + bitline_per_col * tag_cols + comparator_gates);
+        let word_cols = 32.0; // one word read/written on a hit
+        let read_hit =
+            tag_probe + esw * (bitline_per_col * word_cols + sense_gates * (word_cols / data_cols));
+        // Writes drive bitlines full-swing: slightly costlier than reads.
+        let write_hit = tag_probe + esw * (bitline_per_col * word_cols * 1.4);
+        // A fill writes the whole line.
+        let line_fill = tag_probe + esw * (bitline_per_col * data_cols * 1.4);
+        let line_writeback = esw * (bitline_per_col * data_cols);
+
+        CacheEnergyModel {
+            read_hit,
+            write_hit,
+            tag_probe,
+            line_fill,
+            line_writeback,
+        }
+    }
+
+    /// Builds a model from explicit per-event energies (for calibration
+    /// or unit tests).
+    pub fn from_energies(
+        read_hit: Energy,
+        write_hit: Energy,
+        tag_probe: Energy,
+        line_fill: Energy,
+        line_writeback: Energy,
+    ) -> Self {
+        CacheEnergyModel {
+            read_hit,
+            write_hit,
+            tag_probe,
+            line_fill,
+            line_writeback,
+        }
+    }
+
+    /// Energy of a read hit (tag probe + word read-out).
+    pub fn read_hit(&self) -> Energy {
+        self.read_hit
+    }
+
+    /// Energy of a write hit.
+    pub fn write_hit(&self) -> Energy {
+        self.write_hit
+    }
+
+    /// Energy of a miss's tag probe (the array lookup that failed).
+    pub fn tag_probe(&self) -> Energy {
+        self.tag_probe
+    }
+
+    /// Energy of filling one line from the next level.
+    pub fn line_fill(&self) -> Energy {
+        self.line_fill
+    }
+
+    /// Energy of writing one dirty line back.
+    pub fn line_writeback(&self) -> Energy {
+        self.line_writeback
+    }
+}
+
+/// Per-access energy model of the main memory core.
+///
+/// Off-datapath but on-chip (the paper's SOC integrates the memory
+/// core); modelled as a DRAM-like array with a fixed page-activation
+/// energy plus a per-word transfer energy. Main-memory accesses are an
+/// order of magnitude costlier than cache hits, which is what makes the
+/// cache-aware accounting of Table 1 matter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryEnergyModel {
+    read_word: Energy,
+    write_word: Energy,
+}
+
+impl MemoryEnergyModel {
+    /// Builds the model for a memory of `size_bytes` under `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero.
+    pub fn analytical(process: &CmosProcess, size_bytes: usize) -> Self {
+        assert!(size_bytes > 0);
+        let esw = process.gate_switch_energy();
+        // Page activation dominates; grows slowly (log) with capacity.
+        // Calibrated so a main-memory word access costs several times a
+        // cache hit — the relation that makes cache-aware accounting
+        // matter in Table 1.
+        let pages = (size_bytes / 2048).max(2) as f64;
+        let activate_gates = 8_000.0 + 800.0 * pages.log2();
+        let transfer_gates = 220.0;
+        let read = esw * (activate_gates + transfer_gates);
+        // Writes also restore the page: ~15% costlier.
+        let write = esw * ((activate_gates + transfer_gates) * 1.15);
+        MemoryEnergyModel {
+            read_word: read,
+            write_word: write,
+        }
+    }
+
+    /// Builds from explicit energies.
+    pub fn from_energies(read_word: Energy, write_word: Energy) -> Self {
+        MemoryEnergyModel {
+            read_word,
+            write_word,
+        }
+    }
+
+    /// Energy to read one word.
+    pub fn read_word(&self) -> Energy {
+        self.read_word
+    }
+
+    /// Energy to write one word.
+    pub fn write_word(&self) -> Energy {
+        self.write_word
+    }
+}
+
+/// Energy model of the shared system bus connecting µP core, ASIC core,
+/// caches and memory (Fig. 2 a).
+///
+/// Each µP↔ASIC communication in the paper's pre-selection estimate
+/// costs `E_bus read/write` (Fig. 3 step 5); reads and writes "imply
+/// different amounts of energy" (footnote 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusEnergyModel {
+    read: Energy,
+    write: Energy,
+}
+
+impl BusEnergyModel {
+    /// Builds the model for an on-chip bus of `wire_length_mm` under
+    /// `process`.
+    ///
+    /// Wire capacitance ≈ 0.2 pF/mm (0.8µ metal); a transfer switches
+    /// address + data (64 wires) at ~50 % activity. A read additionally
+    /// pays the turnaround/handshake cycle, making it slightly costlier
+    /// than a posted write.
+    pub fn analytical(process: &CmosProcess, wire_length_mm: f64) -> Self {
+        assert!(wire_length_mm > 0.0);
+        let v = process.supply_voltage();
+        let c_wire = 0.2e-12 * wire_length_mm; // per wire, farads
+        let wires = 64.0;
+        let activity = 0.5;
+        let transfer = Energy::from_joules(activity * wires * c_wire * v * v);
+        BusEnergyModel {
+            read: transfer * 1.25,
+            write: transfer,
+        }
+    }
+
+    /// Builds from explicit per-transfer energies.
+    pub fn from_energies(read: Energy, write: Energy) -> Self {
+        BusEnergyModel { read, write }
+    }
+
+    /// Energy of one word read over the bus.
+    pub fn read(&self) -> Energy {
+        self.read
+    }
+
+    /// Energy of one word written over the bus.
+    pub fn write(&self) -> Energy {
+        self.write
+    }
+
+    /// Mean of read and write energy — the `E_bus read/write` constant
+    /// used in Fig. 3 step 5 when the transfer direction mix is unknown.
+    pub fn read_write_avg(&self) -> Energy {
+        (self.read + self.write) * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CmosProcess {
+        CmosProcess::cmos6()
+    }
+
+    #[test]
+    fn cache_energy_grows_with_size() {
+        let e1 = CacheEnergyModel::analytical(&p(), 1 << 10, 16, 1);
+        let e2 = CacheEnergyModel::analytical(&p(), 1 << 14, 16, 1);
+        assert!(e2.read_hit().joules() > e1.read_hit().joules());
+        assert!(e2.line_fill().joules() > e1.line_fill().joules());
+    }
+
+    #[test]
+    fn cache_energy_grows_with_associativity() {
+        // More ways -> more tag columns probed per access.
+        let dm = CacheEnergyModel::analytical(&p(), 1 << 13, 16, 1);
+        let w4 = CacheEnergyModel::analytical(&p(), 1 << 13, 16, 4);
+        assert!(w4.tag_probe().joules() > dm.tag_probe().joules());
+    }
+
+    #[test]
+    fn fill_costs_more_than_hit() {
+        let m = CacheEnergyModel::analytical(&p(), 1 << 13, 32, 2);
+        assert!(m.line_fill().joules() > m.read_hit().joules());
+        assert!(m.write_hit().joules() >= m.read_hit().joules() * 0.5);
+    }
+
+    #[test]
+    fn cache_hit_energy_plausible_magnitude() {
+        // An 8kB 0.8µ cache hit should land in the 0.1–10 nJ band.
+        let m = CacheEnergyModel::analytical(&p(), 8 << 10, 16, 1);
+        let nj = m.read_hit().nanojoules();
+        assert!((0.05..50.0).contains(&nj), "read hit = {nj} nJ");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn bad_cache_geometry_panics() {
+        let _ = CacheEnergyModel::analytical(&p(), 1000, 16, 3);
+    }
+
+    #[test]
+    fn memory_access_much_costlier_than_cache_hit() {
+        let cache = CacheEnergyModel::analytical(&p(), 8 << 10, 16, 1);
+        let mem = MemoryEnergyModel::analytical(&p(), 1 << 20);
+        assert!(mem.read_word().joules() > 2.0 * cache.read_hit().joules());
+    }
+
+    #[test]
+    fn memory_write_costlier_than_read() {
+        let mem = MemoryEnergyModel::analytical(&p(), 1 << 20);
+        assert!(mem.write_word().joules() > mem.read_word().joules());
+    }
+
+    #[test]
+    fn memory_energy_grows_with_capacity() {
+        let a = MemoryEnergyModel::analytical(&p(), 64 << 10);
+        let b = MemoryEnergyModel::analytical(&p(), 4 << 20);
+        assert!(b.read_word().joules() > a.read_word().joules());
+    }
+
+    #[test]
+    fn bus_read_costlier_than_write() {
+        let bus = BusEnergyModel::analytical(&p(), 8.0);
+        assert!(bus.read().joules() > bus.write().joules());
+        let avg = bus.read_write_avg().joules();
+        assert!(avg > bus.write().joules() && avg < bus.read().joules());
+    }
+
+    #[test]
+    fn bus_energy_scales_with_length() {
+        let short = BusEnergyModel::analytical(&p(), 2.0);
+        let long = BusEnergyModel::analytical(&p(), 10.0);
+        assert!((long.read().joules() / short.read().joules() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_energies_round_trips() {
+        let e = Energy::from_nanojoules(1.0);
+        let bus = BusEnergyModel::from_energies(e, e * 0.5);
+        assert_eq!(bus.read(), e);
+        let mem = MemoryEnergyModel::from_energies(e, e);
+        assert_eq!(mem.write_word(), e);
+        let c = CacheEnergyModel::from_energies(e, e, e, e, e);
+        assert_eq!(c.line_writeback(), e);
+    }
+}

@@ -1,0 +1,47 @@
+//! # corepart-tech
+//!
+//! Technology substrate for the `corepart` low-power hardware/software
+//! partitioning library — the reconstruction of the CMOS6 0.8µ models
+//! that underpin Henkel's DAC'99 evaluation.
+//!
+//! This crate provides:
+//!
+//! * [`units`] — dimension-safe newtypes for energy, power, time, cycle
+//!   counts, gate equivalents and frequency.
+//! * [`process`] — CMOS process descriptors ([`process::CmosProcess`])
+//!   with first-order dynamic-energy relations.
+//! * [`resource`] — datapath resource kinds, the CMOS6 resource library
+//!   (`GEQ`, `P_av`, `T_cyc` per resource, paper §3.2/§3.4) and designer
+//!   [`resource::ResourceSet`]s.
+//! * [`energy`] — analytical per-event energy models for caches, main
+//!   memory and the shared system bus (paper §3.3/§4).
+//!
+//! ## Example
+//!
+//! ```
+//! use corepart_tech::process::CmosProcess;
+//! use corepart_tech::resource::{OpClass, ResourceLibrary};
+//! use corepart_tech::energy::BusEnergyModel;
+//!
+//! let process = CmosProcess::cmos6();
+//! let lib = ResourceLibrary::for_process(&process);
+//! let mul = lib.candidates_for(OpClass::Multiply)[0];
+//! let spec = lib.expect_spec(mul);
+//! println!("{mul}: {} @ {}", spec.geq(), spec.p_av());
+//!
+//! let bus = BusEnergyModel::analytical(&process, 8.0);
+//! println!("bus transfer ≈ {}", bus.read_write_avg());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod energy;
+pub mod process;
+pub mod resource;
+pub mod units;
+
+pub use energy::{BusEnergyModel, CacheEnergyModel, MemoryEnergyModel};
+pub use process::CmosProcess;
+pub use resource::{OpClass, ResourceKind, ResourceLibrary, ResourceSet, ResourceSpec};
+pub use units::{Cycles, Energy, Frequency, GateEq, Power, Seconds};

@@ -1,0 +1,291 @@
+//! CMOS process technology parameters.
+//!
+//! The paper's experiments use a 0.8µ CMOS process ("CMOS6") for the
+//! gate-level library and analytical cache/memory models. We reconstruct
+//! a process descriptor carrying the handful of electrical parameters
+//! those models need: supply voltage, per-gate switched capacitance, and
+//! a reference clock.
+//!
+//! All derived energies follow the standard dynamic-power relation
+//! `E = α · C · V²` per switching event; leakage is negligible at 0.8µ
+//! and is not modelled (as in the paper, which only accounts for
+//! switching energy).
+
+use crate::units::{Energy, Frequency, Power, Seconds};
+
+/// Parameters of a CMOS fabrication process.
+///
+/// ```
+/// use corepart_tech::process::CmosProcess;
+///
+/// let p = CmosProcess::cmos6();
+/// assert_eq!(p.feature_size_um(), 0.8);
+/// // One gate switching once at CMOS6 costs on the order of a picojoule.
+/// assert!(p.gate_switch_energy().picojoules() > 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmosProcess {
+    name: String,
+    feature_size_um: f64,
+    supply_voltage: f64,
+    /// Switched capacitance of one gate equivalent (farads).
+    gate_capacitance: f64,
+    /// Default activity factor for "not actively used" circuits that keep
+    /// switching because the core has no gated clocks (§3.1).
+    idle_activity: f64,
+    /// Activity factor for actively used circuits.
+    active_activity: f64,
+    clock: Frequency,
+}
+
+impl CmosProcess {
+    /// The CMOS6 0.8µ process used throughout the paper's evaluation.
+    ///
+    /// Calibration: 5 V supply, ~60 fF of switched capacitance per gate
+    /// equivalent (typical for 0.8µ standard cells including local
+    /// wiring), 40 MHz system clock (SPARCLite-era). One full-swing gate
+    /// transition then costs `C·V² = 1.5 pJ`.
+    pub fn cmos6() -> Self {
+        CmosProcess {
+            name: "CMOS6 0.8u".to_owned(),
+            feature_size_um: 0.8,
+            supply_voltage: 5.0,
+            gate_capacitance: 60e-15,
+            idle_activity: 0.25,
+            active_activity: 0.5,
+            clock: Frequency::from_megahertz(40.0),
+        }
+    }
+
+    /// A hypothetical scaled variant of this process.
+    ///
+    /// Linear shrink of feature size with quadratic capacitance scaling
+    /// and linear voltage scaling — a first-order constant-field scaling
+    /// model, useful for "what if we re-ran this at 0.35µ" exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_feature_um` is not positive.
+    pub fn scaled_to(&self, new_feature_um: f64) -> Self {
+        assert!(new_feature_um > 0.0, "feature size must be positive");
+        let s = new_feature_um / self.feature_size_um;
+        CmosProcess {
+            name: format!("{} scaled to {new_feature_um}u", self.name),
+            feature_size_um: new_feature_um,
+            supply_voltage: self.supply_voltage * s,
+            gate_capacitance: self.gate_capacitance * s,
+            idle_activity: self.idle_activity,
+            active_activity: self.active_activity,
+            clock: Frequency::from_hertz(self.clock.hertz() / s),
+        }
+    }
+
+    /// A variant of this process running at a reduced supply voltage —
+    /// the knob behind multiple-voltage system design (the paper's
+    /// related work \[10\], Hong/Kirovski DAC'98).
+    ///
+    /// Switching energy falls quadratically with `vdd`; gate delay
+    /// rises per the alpha-power law `d ∝ V / (V − V_t)^α` with
+    /// `α = 1.3` and `V_t = 0.8 V` (typical for 0.8µ), so the returned
+    /// process's clock is derated accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `V_t < vdd <=` the current supply (this models
+    /// *down*-scaling an existing design).
+    pub fn at_voltage(&self, vdd: f64) -> Self {
+        const VT: f64 = 0.8;
+        const ALPHA: f64 = 1.3;
+        assert!(
+            vdd > VT && vdd <= self.supply_voltage,
+            "voltage {vdd} V outside ({VT}, {}]",
+            self.supply_voltage
+        );
+        let delay = |v: f64| v / (v - VT).powf(ALPHA);
+        let derate = delay(vdd) / delay(self.supply_voltage);
+        CmosProcess {
+            name: format!("{} @ {vdd:.1}V", self.name),
+            feature_size_um: self.feature_size_um,
+            supply_voltage: vdd,
+            gate_capacitance: self.gate_capacitance,
+            idle_activity: self.idle_activity,
+            active_activity: self.active_activity,
+            clock: Frequency::from_hertz(self.clock.hertz() / derate),
+        }
+    }
+
+    /// The clock-derating factor of [`CmosProcess::at_voltage`] for a
+    /// given supply, relative to this process (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Same domain as [`CmosProcess::at_voltage`].
+    pub fn delay_derating(&self, vdd: f64) -> f64 {
+        self.clock.hertz() / self.at_voltage(vdd).clock.hertz()
+    }
+
+    /// Process name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Drawn feature size in micrometres.
+    pub fn feature_size_um(&self) -> f64 {
+        self.feature_size_um
+    }
+
+    /// Supply voltage in volts.
+    pub fn supply_voltage(&self) -> f64 {
+        self.supply_voltage
+    }
+
+    /// Switched capacitance per gate equivalent, in farads.
+    pub fn gate_capacitance(&self) -> f64 {
+        self.gate_capacitance
+    }
+
+    /// System clock of cores built in this process.
+    pub fn clock(&self) -> Frequency {
+        self.clock
+    }
+
+    /// Clock period.
+    pub fn clock_period(&self) -> Seconds {
+        self.clock.period()
+    }
+
+    /// Returns a copy with a different system clock.
+    pub fn with_clock(mut self, clock: Frequency) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Energy of one full-swing transition of one gate equivalent:
+    /// `C · V²`.
+    pub fn gate_switch_energy(&self) -> Energy {
+        Energy::from_joules(self.gate_capacitance * self.supply_voltage * self.supply_voltage)
+    }
+
+    /// Activity factor of circuits that are *not* actively used but keep
+    /// switching because the core lacks gated clocks (§3.1 "wasted
+    /// energy").
+    pub fn idle_activity(&self) -> f64 {
+        self.idle_activity
+    }
+
+    /// Activity factor of actively used circuits.
+    pub fn active_activity(&self) -> f64 {
+        self.active_activity
+    }
+
+    /// Average dynamic power of a block of `geq` gate equivalents
+    /// switching with activity `alpha` at the process clock:
+    /// `P = α · geq · C · V² · f`.
+    pub fn block_power(&self, geq: u64, alpha: f64) -> Power {
+        let e_per_cycle = self.gate_switch_energy() * (geq as f64) * alpha;
+        Power::from_watts(e_per_cycle.joules() * self.clock.hertz())
+    }
+
+    /// Energy dissipated by a block of `geq` gate equivalents over
+    /// `cycles` clock cycles at activity `alpha`.
+    pub fn block_energy(&self, geq: u64, alpha: f64, cycles: u64) -> Energy {
+        self.gate_switch_energy() * (geq as f64) * alpha * (cycles as f64)
+    }
+}
+
+impl Default for CmosProcess {
+    /// The default process is CMOS6, as used in the paper.
+    fn default() -> Self {
+        CmosProcess::cmos6()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmos6_parameters() {
+        let p = CmosProcess::cmos6();
+        assert_eq!(p.feature_size_um(), 0.8);
+        assert_eq!(p.supply_voltage(), 5.0);
+        assert!((p.clock().megahertz() - 40.0).abs() < 1e-9);
+        // C*V^2 = 60fF * 25 = 1.5 pJ
+        assert!((p.gate_switch_energy().picojoules() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_power_scales_linearly() {
+        let p = CmosProcess::cmos6();
+        let p1 = p.block_power(1000, 0.5);
+        let p2 = p.block_power(2000, 0.5);
+        assert!((p2.watts() / p1.watts() - 2.0).abs() < 1e-9);
+        let p3 = p.block_power(1000, 0.25);
+        assert!((p1.watts() / p3.watts() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_energy_consistent_with_power() {
+        let p = CmosProcess::cmos6();
+        // Energy over N cycles == power * (N * period)
+        let e = p.block_energy(5000, 0.5, 1_000_000);
+        let via_power =
+            p.block_power(5000, 0.5) * Seconds::from_secs(1_000_000.0 / p.clock().hertz());
+        assert!((e.joules() - via_power.joules()).abs() / e.joules() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_reduces_energy_cubically() {
+        let p = CmosProcess::cmos6();
+        let half = p.scaled_to(0.4);
+        // C scales by 1/2, V^2 by 1/4 -> switch energy by 1/8.
+        let ratio = p.gate_switch_energy() / half.gate_switch_energy();
+        assert!((ratio - 8.0).abs() < 1e-9);
+        // Clock doubles.
+        assert!((half.clock().megahertz() - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaling_to_zero_panics() {
+        let _ = CmosProcess::cmos6().scaled_to(0.0);
+    }
+
+    #[test]
+    fn voltage_scaling_quadratic_energy_slower_clock() {
+        let p = CmosProcess::cmos6();
+        let low = p.at_voltage(3.3);
+        let e_ratio = p.gate_switch_energy() / low.gate_switch_energy();
+        assert!(((5.0f64 / 3.3).powi(2) - e_ratio).abs() < 1e-9);
+        assert!(low.clock().hertz() < p.clock().hertz());
+        assert!(p.delay_derating(3.3) > 1.0);
+        // Monotone: lower voltage -> slower still.
+        assert!(p.delay_derating(2.4) > p.delay_derating(3.3));
+    }
+
+    #[test]
+    fn voltage_identity_at_nominal() {
+        let p = CmosProcess::cmos6();
+        let same = p.at_voltage(5.0);
+        assert!((same.clock().hertz() - p.clock().hertz()).abs() < 1e-6);
+        assert!((p.delay_derating(5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn voltage_below_threshold_panics() {
+        let _ = CmosProcess::cmos6().at_voltage(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn voltage_above_nominal_panics() {
+        let _ = CmosProcess::cmos6().at_voltage(6.0);
+    }
+
+    #[test]
+    fn with_clock_overrides() {
+        let p = CmosProcess::cmos6().with_clock(Frequency::from_megahertz(20.0));
+        assert!((p.clock_period().nanos() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,625 @@
+//! Hardware resource types, specifications, libraries and designer
+//! resource sets.
+//!
+//! The paper's partitioner reasons about "resources" — ALUs, multipliers,
+//! shifters, … — inside a core (§3.1). Each resource type has a hardware
+//! effort in gate equivalents (`GEQ(rs_π)` in Fig. 4), an average power
+//! `P_av^rs` (derived from the CMOS6 library, footnote 7), and a minimum
+//! cycle time `T_cyc^rs` (Fig. 1 line 11). The designer specifies 3–5
+//! candidate *resource sets* (#ALUs, #multipliers, #shifters, …) per
+//! application (§3.2, line 7 of Fig. 1); the scheduler is run once per
+//! set.
+//!
+//! Several resource types may be able to execute the same operation
+//! (an `ALU` and a plain `Adder` can both add); the Fig. 4 binding
+//! algorithm consults the candidate list *sorted by increasing size*, so
+//! the smallest — and therefore most energy-efficient — resource is
+//! preferred (footnote 13).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::process::CmosProcess;
+use crate::units::{GateEq, Power, Seconds};
+
+/// Classes of operations that hardware resources execute.
+///
+/// The IR's fine-grained opcodes collapse onto these classes for
+/// scheduling and binding purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Addition / subtraction.
+    AddSub,
+    /// Bitwise logic (and/or/xor/not).
+    Logic,
+    /// Comparisons producing a flag.
+    Compare,
+    /// Multiplication.
+    Multiply,
+    /// Division / remainder.
+    Divide,
+    /// Constant and variable shifts.
+    Shift,
+    /// Load/store to the shared memory (when executed on the ASIC core).
+    MemAccess,
+    /// Register-to-register moves and selects.
+    Move,
+}
+
+impl OpClass {
+    /// All operation classes, in a stable order.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::AddSub,
+        OpClass::Logic,
+        OpClass::Compare,
+        OpClass::Multiply,
+        OpClass::Divide,
+        OpClass::Shift,
+        OpClass::MemAccess,
+        OpClass::Move,
+    ];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::AddSub => "add/sub",
+            OpClass::Logic => "logic",
+            OpClass::Compare => "compare",
+            OpClass::Multiply => "multiply",
+            OpClass::Divide => "divide",
+            OpClass::Shift => "shift",
+            OpClass::MemAccess => "mem-access",
+            OpClass::Move => "move",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A type of datapath resource (`rs_π` in the paper's notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceKind {
+    /// A plain carry-lookahead adder/subtractor.
+    Adder,
+    /// A full ALU: add/sub, logic, compare.
+    Alu,
+    /// A parallel array multiplier.
+    Multiplier,
+    /// A sequential divider.
+    Divider,
+    /// A barrel shifter.
+    BarrelShifter,
+    /// A magnitude comparator.
+    Comparator,
+    /// A port to the shared memory (address + data registers, handshake).
+    MemPort,
+    /// Interconnect/steering logic handling register moves.
+    MoveUnit,
+}
+
+impl ResourceKind {
+    /// All resource kinds, in a stable order.
+    pub const ALL: [ResourceKind; 8] = [
+        ResourceKind::Adder,
+        ResourceKind::Alu,
+        ResourceKind::Multiplier,
+        ResourceKind::Divider,
+        ResourceKind::BarrelShifter,
+        ResourceKind::Comparator,
+        ResourceKind::MemPort,
+        ResourceKind::MoveUnit,
+    ];
+
+    /// The operation classes this resource kind can execute.
+    pub fn supported_ops(self) -> &'static [OpClass] {
+        match self {
+            ResourceKind::Adder => &[OpClass::AddSub],
+            ResourceKind::Alu => &[
+                OpClass::AddSub,
+                OpClass::Logic,
+                OpClass::Compare,
+                OpClass::Move,
+            ],
+            ResourceKind::Multiplier => &[OpClass::Multiply],
+            ResourceKind::Divider => &[OpClass::Divide],
+            ResourceKind::BarrelShifter => &[OpClass::Shift],
+            ResourceKind::Comparator => &[OpClass::Compare],
+            ResourceKind::MemPort => &[OpClass::MemAccess],
+            ResourceKind::MoveUnit => &[OpClass::Move],
+        }
+    }
+
+    /// True if this resource kind can execute operations of `class`.
+    pub fn supports(self, class: OpClass) -> bool {
+        self.supported_ops().contains(&class)
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceKind::Adder => "adder",
+            ResourceKind::Alu => "alu",
+            ResourceKind::Multiplier => "multiplier",
+            ResourceKind::Divider => "divider",
+            ResourceKind::BarrelShifter => "shifter",
+            ResourceKind::Comparator => "comparator",
+            ResourceKind::MemPort => "memport",
+            ResourceKind::MoveUnit => "moveunit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Specification of one resource type in a technology library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceSpec {
+    kind: ResourceKind,
+    geq: GateEq,
+    p_av: Power,
+    t_cyc: Seconds,
+    latency: u64,
+}
+
+impl ResourceSpec {
+    /// Creates a specification.
+    ///
+    /// `latency` is the number of clock cycles one operation occupies the
+    /// resource (`#ex_cycs` in Fig. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero.
+    pub fn new(kind: ResourceKind, geq: GateEq, p_av: Power, t_cyc: Seconds, latency: u64) -> Self {
+        assert!(
+            latency > 0,
+            "a resource latency of zero cycles is meaningless"
+        );
+        ResourceSpec {
+            kind,
+            geq,
+            p_av,
+            t_cyc,
+            latency,
+        }
+    }
+
+    /// The resource kind this spec describes.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// Hardware effort, `GEQ(rs_π)` in Fig. 4.
+    pub fn geq(&self) -> GateEq {
+        self.geq
+    }
+
+    /// Average power while clocked, `P_av^rs` (§3.1, footnote 7).
+    pub fn p_av(&self) -> Power {
+        self.p_av
+    }
+
+    /// Minimum cycle time, `T_cyc^rs` (Fig. 1 line 11).
+    pub fn t_cyc(&self) -> Seconds {
+        self.t_cyc
+    }
+
+    /// Cycles one operation occupies this resource.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
+/// A technology library mapping each resource kind to its specification.
+///
+/// ```
+/// use corepart_tech::resource::{OpClass, ResourceKind, ResourceLibrary};
+///
+/// let lib = ResourceLibrary::cmos6();
+/// // The adder is smaller than the ALU, so it comes first in the
+/// // candidate list (Fig. 4's Sorted_RS_List).
+/// let cands = lib.candidates_for(OpClass::AddSub);
+/// assert_eq!(cands[0], ResourceKind::Adder);
+/// assert!(cands.contains(&ResourceKind::Alu));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceLibrary {
+    specs: BTreeMap<ResourceKind, ResourceSpec>,
+}
+
+impl ResourceLibrary {
+    /// An empty library. Use [`ResourceLibrary::insert`] to populate.
+    pub fn new() -> Self {
+        ResourceLibrary {
+            specs: BTreeMap::new(),
+        }
+    }
+
+    /// The CMOS6 0.8µ library used in the paper's evaluation.
+    ///
+    /// Gate counts are typical 32-bit datapath figures for the era; the
+    /// average powers follow from the process parameters
+    /// (`P = α·GEQ·C·V²·f`, see [`CmosProcess::block_power`]).
+    pub fn cmos6() -> Self {
+        Self::for_process(&CmosProcess::cmos6())
+    }
+
+    /// Builds a library for an arbitrary process by deriving each
+    /// resource's average power from its gate count.
+    pub fn for_process(process: &CmosProcess) -> Self {
+        let period = process.clock_period();
+        let alpha = process.active_activity();
+        // (kind, gate equivalents, latency cycles, cycle-time factor)
+        // The cycle-time factor models that a multiplier's critical path
+        // is longer than an adder's; t_cyc = factor * process period.
+        let table: &[(ResourceKind, u64, u64, f64)] = &[
+            (ResourceKind::Adder, 450, 1, 0.6),
+            (ResourceKind::Alu, 1_400, 1, 0.8),
+            (ResourceKind::Multiplier, 6_500, 2, 1.0),
+            (ResourceKind::Divider, 5_200, 12, 1.0),
+            (ResourceKind::BarrelShifter, 1_100, 1, 0.7),
+            (ResourceKind::Comparator, 350, 1, 0.5),
+            // The ASIC reaches the shared memory directly over the bus
+            // (Fig. 2 a) — no cache in front of it, hence the 4-cycle
+            // access latency (vs. the µP's single-cycle cache hits).
+            (ResourceKind::MemPort, 900, 4, 1.0),
+            (ResourceKind::MoveUnit, 250, 1, 0.4),
+        ];
+        let mut lib = ResourceLibrary::new();
+        for &(kind, geq, latency, tf) in table {
+            let spec = ResourceSpec::new(
+                kind,
+                GateEq::new(geq),
+                process.block_power(geq, alpha),
+                period * tf,
+                latency,
+            );
+            lib.insert(spec);
+        }
+        lib
+    }
+
+    /// Inserts (or replaces) a resource specification.
+    pub fn insert(&mut self, spec: ResourceSpec) -> Option<ResourceSpec> {
+        self.specs.insert(spec.kind(), spec)
+    }
+
+    /// Looks up the specification for a kind.
+    pub fn spec(&self, kind: ResourceKind) -> Option<&ResourceSpec> {
+        self.specs.get(&kind)
+    }
+
+    /// Looks up a spec, panicking with a helpful message when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not in the library.
+    pub fn expect_spec(&self, kind: ResourceKind) -> &ResourceSpec {
+        self.specs
+            .get(&kind)
+            .unwrap_or_else(|| panic!("resource kind `{kind}` missing from library"))
+    }
+
+    /// Iterates over all specifications in kind order.
+    pub fn iter(&self) -> impl Iterator<Item = &ResourceSpec> {
+        self.specs.values()
+    }
+
+    /// Number of resource kinds in the library.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the library has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// All resource kinds able to execute `class`, sorted by increasing
+    /// hardware effort.
+    ///
+    /// This is the basis of Fig. 4's `Sorted_RS_List`: "sorted according
+    /// to the increasing size of a resource", so that the first element
+    /// is "the smallest and therefore the most energy efficient one"
+    /// (footnote 13).
+    pub fn candidates_for(&self, class: OpClass) -> Vec<ResourceKind> {
+        let mut v: Vec<ResourceKind> = self
+            .specs
+            .values()
+            .filter(|s| s.kind().supports(class))
+            .map(|s| s.kind())
+            .collect();
+        v.sort_by_key(|k| (self.specs[k].geq(), *k));
+        v
+    }
+}
+
+impl Default for ResourceLibrary {
+    /// The default library is the CMOS6 library used in the paper.
+    fn default() -> Self {
+        ResourceLibrary::cmos6()
+    }
+}
+
+/// A designer-specified resource allocation for a candidate ASIC core:
+/// how many instances of each resource kind the designer is willing to
+/// spend (§3.2: "the designer tells the partitioning algorithm how much
+/// hardware (#ALUs, #multipliers, #shifters, …) they are willing to
+/// spend").
+///
+/// ```
+/// use corepart_tech::resource::{ResourceKind, ResourceSet};
+///
+/// let set = ResourceSet::builder("custom")
+///     .with(ResourceKind::Alu, 2)
+///     .with(ResourceKind::Multiplier, 1)
+///     .build();
+/// assert_eq!(set.count(ResourceKind::Alu), 2);
+/// assert_eq!(set.count(ResourceKind::Divider), 0);
+/// assert_eq!(set.total_instances(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSet {
+    name: String,
+    counts: BTreeMap<ResourceKind, u32>,
+}
+
+impl ResourceSet {
+    /// Starts building a named resource set.
+    pub fn builder(name: impl Into<String>) -> ResourceSetBuilder {
+        ResourceSetBuilder {
+            name: name.into(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// The set's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instances of `kind` in this set (0 when absent).
+    pub fn count(&self, kind: ResourceKind) -> u32 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(kind, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceKind, u32)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// Total number of resource instances (`N_is` summed over kinds).
+    pub fn total_instances(&self) -> u32 {
+        self.counts.values().sum()
+    }
+
+    /// Total hardware effort of the full allocation under `lib`.
+    ///
+    /// Note the Fig. 4 algorithm computes the effort of the *used*
+    /// instances (`GEQ_RS`); this is the upper bound if every instance
+    /// were instantiated.
+    pub fn total_geq(&self, lib: &ResourceLibrary) -> GateEq {
+        self.counts
+            .iter()
+            .map(|(&k, &c)| {
+                lib.spec(k)
+                    .map(|s| s.geq() * u64::from(c))
+                    .unwrap_or(GateEq::ZERO)
+            })
+            .sum()
+    }
+
+    /// The default family of designer resource sets.
+    ///
+    /// "Due to our design praxis 3 to 5 sets are given, depending on the
+    /// complexity of an application" (§3.2). These five presets span a
+    /// tiny move-dominated datapath up to a wide DSP datapath.
+    pub fn default_family() -> Vec<ResourceSet> {
+        vec![
+            ResourceSet::builder("xs-control")
+                .with(ResourceKind::Alu, 1)
+                .with(ResourceKind::MemPort, 1)
+                .build(),
+            ResourceSet::builder("s-scalar")
+                .with(ResourceKind::Alu, 1)
+                .with(ResourceKind::Adder, 1)
+                .with(ResourceKind::BarrelShifter, 1)
+                .with(ResourceKind::MemPort, 1)
+                .build(),
+            ResourceSet::builder("m-dsp")
+                .with(ResourceKind::Alu, 1)
+                .with(ResourceKind::Adder, 1)
+                .with(ResourceKind::Multiplier, 1)
+                .with(ResourceKind::BarrelShifter, 1)
+                .with(ResourceKind::MemPort, 1)
+                .build(),
+            ResourceSet::builder("l-dsp")
+                .with(ResourceKind::Alu, 2)
+                .with(ResourceKind::Adder, 2)
+                .with(ResourceKind::Multiplier, 1)
+                .with(ResourceKind::BarrelShifter, 1)
+                .with(ResourceKind::MemPort, 2)
+                .build(),
+            ResourceSet::builder("xl-dsp")
+                .with(ResourceKind::Alu, 2)
+                .with(ResourceKind::Adder, 2)
+                .with(ResourceKind::Multiplier, 2)
+                .with(ResourceKind::Divider, 1)
+                .with(ResourceKind::BarrelShifter, 2)
+                .with(ResourceKind::MemPort, 2)
+                .build(),
+        ]
+    }
+}
+
+impl fmt::Display for ResourceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.name)?;
+        let mut first = true;
+        for (k, c) in self.iter() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}x{k}")?;
+            first = false;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Builder for [`ResourceSet`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct ResourceSetBuilder {
+    name: String,
+    counts: BTreeMap<ResourceKind, u32>,
+}
+
+impl ResourceSetBuilder {
+    /// Sets the instance count of `kind`. A count of zero removes it.
+    pub fn with(mut self, kind: ResourceKind, count: u32) -> Self {
+        if count == 0 {
+            self.counts.remove(&kind);
+        } else {
+            self.counts.insert(kind, count);
+        }
+        self
+    }
+
+    /// Finalizes the set.
+    pub fn build(self) -> ResourceSet {
+        ResourceSet {
+            name: self.name,
+            counts: self.counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_op_class_has_a_candidate_in_cmos6() {
+        let lib = ResourceLibrary::cmos6();
+        for class in OpClass::ALL {
+            assert!(
+                !lib.candidates_for(class).is_empty(),
+                "no resource can execute {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_sorted_by_increasing_size() {
+        let lib = ResourceLibrary::cmos6();
+        for class in OpClass::ALL {
+            let cands = lib.candidates_for(class);
+            for w in cands.windows(2) {
+                assert!(
+                    lib.expect_spec(w[0]).geq() <= lib.expect_spec(w[1]).geq(),
+                    "candidates for {class} not sorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_add_candidate_is_plain_adder() {
+        let lib = ResourceLibrary::cmos6();
+        assert_eq!(lib.candidates_for(OpClass::AddSub)[0], ResourceKind::Adder);
+    }
+
+    #[test]
+    fn compare_prefers_comparator_over_alu() {
+        let lib = ResourceLibrary::cmos6();
+        let cands = lib.candidates_for(OpClass::Compare);
+        assert_eq!(cands[0], ResourceKind::Comparator);
+        assert!(cands.contains(&ResourceKind::Alu));
+    }
+
+    #[test]
+    fn multiplier_larger_and_hungrier_than_alu() {
+        let lib = ResourceLibrary::cmos6();
+        let mul = lib.expect_spec(ResourceKind::Multiplier);
+        let alu = lib.expect_spec(ResourceKind::Alu);
+        assert!(mul.geq() > alu.geq());
+        assert!(mul.p_av().watts() > alu.p_av().watts());
+    }
+
+    #[test]
+    fn resource_set_builder_and_accessors() {
+        let set = ResourceSet::builder("t")
+            .with(ResourceKind::Alu, 2)
+            .with(ResourceKind::Multiplier, 1)
+            .with(ResourceKind::Divider, 3)
+            .with(ResourceKind::Divider, 0) // remove again
+            .build();
+        assert_eq!(set.count(ResourceKind::Alu), 2);
+        assert_eq!(set.count(ResourceKind::Divider), 0);
+        assert_eq!(set.total_instances(), 3);
+        assert_eq!(set.name(), "t");
+    }
+
+    #[test]
+    fn resource_set_total_geq() {
+        let lib = ResourceLibrary::cmos6();
+        let set = ResourceSet::builder("t").with(ResourceKind::Alu, 2).build();
+        assert_eq!(
+            set.total_geq(&lib),
+            lib.expect_spec(ResourceKind::Alu).geq() * 2
+        );
+    }
+
+    #[test]
+    fn default_family_is_three_to_five_sets() {
+        let family = ResourceSet::default_family();
+        assert!((3..=5).contains(&family.len()));
+        // Every set must contain a memory port — the ASIC must reach the
+        // shared memory (Fig. 2a).
+        for set in &family {
+            assert!(set.count(ResourceKind::MemPort) >= 1, "{}", set.name());
+        }
+    }
+
+    #[test]
+    fn family_is_ordered_by_increasing_hardware() {
+        let lib = ResourceLibrary::cmos6();
+        let family = ResourceSet::default_family();
+        for w in family.windows(2) {
+            assert!(w[0].total_geq(&lib) <= w[1].total_geq(&lib));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let set = ResourceSet::builder("s")
+            .with(ResourceKind::Alu, 1)
+            .with(ResourceKind::Multiplier, 2)
+            .build();
+        let s = format!("{set}");
+        assert!(s.contains("1xalu"));
+        assert!(s.contains("2xmultiplier"));
+        assert_eq!(format!("{}", OpClass::Multiply), "multiply");
+        assert_eq!(format!("{}", ResourceKind::BarrelShifter), "shifter");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from library")]
+    fn expect_spec_panics_on_missing() {
+        let lib = ResourceLibrary::new();
+        let _ = lib.expect_spec(ResourceKind::Alu);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn zero_latency_spec_panics() {
+        use crate::units::{Power, Seconds};
+        let _ = ResourceSpec::new(
+            ResourceKind::Alu,
+            GateEq::new(1),
+            Power::ZERO,
+            Seconds::ZERO,
+            0,
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests of the dimension-safe unit types: algebraic laws the
+//! rest of the stack silently relies on.
+
+use proptest::prelude::*;
+
+use corepart_tech::process::CmosProcess;
+use corepart_tech::units::{Cycles, Energy, GateEq, Power, Seconds};
+
+fn joules() -> impl Strategy<Value = f64> {
+    // Positive, finite, spanning pJ..kJ.
+    (1e-12f64..1e3).prop_map(|v| v)
+}
+
+proptest! {
+    #[test]
+    fn energy_addition_commutes(a in joules(), b in joules()) {
+        let (ea, eb) = (Energy::from_joules(a), Energy::from_joules(b));
+        prop_assert_eq!((ea + eb).joules(), (eb + ea).joules());
+    }
+
+    #[test]
+    fn energy_sum_matches_fold(vals in prop::collection::vec(joules(), 0..40)) {
+        let total: Energy = vals.iter().map(|&v| Energy::from_joules(v)).sum();
+        let folded: f64 = vals.iter().sum();
+        prop_assert!((total.joules() - folded).abs() <= 1e-12 * folded.abs().max(1.0));
+    }
+
+    #[test]
+    fn power_time_product_scales_linearly(w in 1e-6f64..1e2, s in 1e-9f64..1e0, k in 1u64..1000) {
+        let e1 = Power::from_watts(w) * Seconds::from_secs(s);
+        let ek = Power::from_watts(w) * (Seconds::from_secs(s) * k);
+        prop_assert!((ek.joules() / e1.joules() - k as f64).abs() < 1e-9 * k as f64);
+    }
+
+    #[test]
+    fn percent_saving_and_change_are_negatives(a in joules(), b in joules()) {
+        let (ea, eb) = (Energy::from_joules(a), Energy::from_joules(b));
+        let saving = ea.percent_saving(eb).expect("non-zero baseline");
+        let change = ea.percent_change(eb).expect("non-zero baseline");
+        prop_assert!((saving + change).abs() < 1e-9 * (saving.abs() + change.abs()).max(1.0));
+    }
+
+    #[test]
+    fn cycles_display_roundtrips_through_comma_removal(n in 0u64..10_000_000_000) {
+        let shown = format!("{}", Cycles::new(n));
+        let back: u64 = shown.replace(',', "").parse().expect("digits");
+        prop_assert_eq!(back, n);
+    }
+
+    #[test]
+    fn cycles_at_period_linear(n in 0u64..1_000_000, ns in 1.0f64..100.0) {
+        let t = Cycles::new(n).at_period(Seconds::from_nanos(ns));
+        prop_assert!((t.nanos() - n as f64 * ns).abs() < 1e-6 * (n as f64 * ns).max(1.0));
+    }
+
+    #[test]
+    fn gate_eq_ratio_inverse(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let ra = GateEq::new(a).ratio(GateEq::new(b)).expect("non-zero");
+        let rb = GateEq::new(b).ratio(GateEq::new(a)).expect("non-zero");
+        prop_assert!((ra * rb - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_energy_equals_power_times_time(
+        geq in 1u64..100_000,
+        alpha in 0.01f64..1.0,
+        cycles in 1u64..10_000_000,
+    ) {
+        let p = CmosProcess::cmos6();
+        let direct = p.block_energy(geq, alpha, cycles);
+        let via_power = p.block_power(geq, alpha)
+            * Seconds::from_secs(cycles as f64 / p.clock().hertz());
+        prop_assert!(
+            (direct.joules() - via_power.joules()).abs()
+                <= 1e-9 * direct.joules().max(1e-30)
+        );
+    }
+
+    #[test]
+    fn voltage_scaling_monotone(v1 in 1.0f64..4.9, v2 in 1.0f64..4.9) {
+        let p = CmosProcess::cmos6();
+        let (lo, hi) = if v1 < v2 { (v1, v2) } else { (v2, v1) };
+        // Lower voltage: less switch energy, more delay.
+        prop_assert!(
+            p.at_voltage(lo).gate_switch_energy() <= p.at_voltage(hi).gate_switch_energy()
+        );
+        prop_assert!(p.delay_derating(lo) >= p.delay_derating(hi));
+    }
+
+    #[test]
+    fn energy_display_parses_back_to_same_magnitude(v in 1e-12f64..1e2) {
+        let e = Energy::from_joules(v);
+        let shown = format!("{e}");
+        // Strip the unit suffix and rescale.
+        let (num_part, scale) = if let Some(s) = shown.strip_suffix("mJ") {
+            (s, 1e-3)
+        } else if let Some(s) = shown.strip_suffix("µJ") {
+            (s, 1e-6)
+        } else if let Some(s) = shown.strip_suffix("nJ") {
+            (s, 1e-9)
+        } else if let Some(s) = shown.strip_suffix("pJ") {
+            (s, 1e-12)
+        } else {
+            (shown.strip_suffix('J').expect("unit"), 1.0)
+        };
+        let parsed: f64 = num_part.parse().expect("number");
+        let back = parsed * scale;
+        // Display keeps 3 decimals -> 0.1% relative tolerance space.
+        prop_assert!((back - v).abs() <= 2e-3 * v.max(1e-30), "{shown} vs {v}");
+    }
+}

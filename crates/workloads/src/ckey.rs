@@ -1,0 +1,92 @@
+//! `ckey` — a complex chroma-key algorithm.
+//!
+//! Per-pixel chroma distance against a key colour with soft-edge alpha
+//! blending. The paper notes this was "the less memory-intensive one" —
+//! its Table-1 cache/memory energies are ≈0 — so the pixels are
+//! generated procedurally from a PRNG recurrence and reduced to a
+//! checksum, keeping the working set in registers and the data-cache
+//! share negligible.
+
+/// Number of pixels processed.
+pub const NPIX: i64 = 24_000;
+
+/// The behavioral source.
+pub const SOURCE: &str = r#"
+app ckey;
+
+const NPIX = 24000;
+const KEY_R = 20;
+const KEY_G = 190;
+const KEY_B = 70;
+const BG_R = 120;
+const BG_G = 110;
+const BG_B = 140;
+
+var out[4];
+
+func main() {
+    var accr = 0;
+    var accg = 0;
+    var accb = 0;
+    var state = 12345;
+    for (var i = 0; i < NPIX; i = i + 1) {
+        // Procedural pixel (xorshift-ish LCG keeps memory cold).
+        state = (state * 196613 + 12345) & 0xFFFFFF;
+        var r = (state >> 16) & 255;
+        var g = (state >> 8) & 255;
+        var b = state & 255;
+
+        // Chroma distance to the key colour (L1 in RGB).
+        var dr = r - KEY_R;
+        var mr = dr >> 63;
+        dr = (dr ^ mr) - mr;
+        var dg = g - KEY_G;
+        var mg = dg >> 63;
+        dg = (dg ^ mg) - mg;
+        var db = b - KEY_B;
+        var mb = db >> 63;
+        db = (db ^ mb) - mb;
+        var dist = dr * 2 + dg * 4 + db;
+
+        // Soft-edge alpha: 0 inside the key, 256 far away.
+        var alpha = dist - 96;
+        if (alpha < 0) {
+            alpha = 0;
+        }
+        if (alpha > 256) {
+            alpha = 256;
+        }
+
+        // Blend foreground over the studio background.
+        accr = accr + ((alpha * r + (256 - alpha) * BG_R) >> 8);
+        accg = accg + ((alpha * g + (256 - alpha) * BG_G) >> 8);
+        accb = accb + ((alpha * b + (256 - alpha) * BG_B) >> 8);
+    }
+    // Gamma/exposure correction: a divide-bound serial recurrence that
+    // utilizes no datapath well — it stays on the uP core, like the
+    // 70 % of ckey's cycles the paper's partition left in software.
+    var gamma = 1024;
+    var state2 = 98765;
+    for (var k = 0; k < NPIX / 4; k = k + 1) {
+        state2 = (state2 * 48271) & 0x7FFFFFFF;
+        var lum = (state2 >> 8) & 1023;
+        gamma = gamma + (lum * 256) / (gamma + 64) - 128;
+        if (gamma < 256) {
+            gamma = 256;
+        }
+        if (gamma > 4096) {
+            gamma = 4096;
+        }
+    }
+    out[0] = accr;
+    out[1] = accg;
+    out[2] = accb;
+    out[3] = gamma;
+    return accr + accg + accb + gamma;
+}
+"#;
+
+/// `ckey` needs no input arrays (pixels are procedural).
+pub fn arrays(_seed: u64) -> Vec<(String, Vec<i64>)> {
+    Vec::new()
+}

@@ -1,0 +1,73 @@
+//! `digs` — a smoothing algorithm for digital images.
+//!
+//! A 3×3 weighted smoothing kernel over a grey-scale image followed by
+//! a delta/threshold pass. Essentially the whole application is one
+//! regular loop nest — the paper's best case, where partitioning
+//! removes almost everything from the µP core (94 % saving, the
+//! largest ASIC core at just under 16 k cells).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length.
+pub const SIDE: usize = 40;
+
+/// The behavioral source.
+pub const SOURCE: &str = r#"
+app digs;
+
+const SIDE = 40;
+
+var img[1600];
+var smooth[1600];
+
+func main() {
+    // 3x3 weighted smoothing (Gaussian-ish integer weights, /16 via
+    // shift).
+    for (var y = 1; y < SIDE - 1; y = y + 1) {
+        for (var x = 1; x < SIDE - 1; x = x + 1) {
+            var p = y * SIDE + x;
+            var acc = img[p] * 4
+                + (img[p - 1] + img[p + 1] + img[p - SIDE] + img[p + SIDE]) * 2
+                + img[p - SIDE - 1] + img[p - SIDE + 1]
+                + img[p + SIDE - 1] + img[p + SIDE + 1];
+            smooth[p] = acc >> 4;
+        }
+    }
+    // Edge-preservation pass: keep the original where smoothing moved
+    // the value too far.
+    var changed = 0;
+    for (var y2 = 1; y2 < SIDE - 1; y2 = y2 + 1) {
+        for (var x2 = 1; x2 < SIDE - 1; x2 = x2 + 1) {
+            var q = y2 * SIDE + x2;
+            var d = smooth[q] - img[q];
+            var m = d >> 63;
+            d = (d ^ m) - m;
+            if (d > 24) {
+                smooth[q] = img[q];
+                changed = changed + 1;
+            }
+        }
+    }
+    return changed;
+}
+"#;
+
+/// A deterministic test image: smooth gradient + salt-and-pepper noise
+/// (so both passes do real work).
+pub fn arrays(seed: u64) -> Vec<(String, Vec<i64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut img = vec![0i64; SIDE * SIDE];
+    for y in 0..SIDE {
+        for x in 0..SIDE {
+            let base = (x as i64 * 3 + y as i64 * 2) % 200;
+            let noise = if rng.gen_ratio(1, 12) {
+                rng.gen_range(-120..120)
+            } else {
+                rng.gen_range(-4..5)
+            };
+            img[y * SIDE + x] = (base + noise).clamp(0, 255);
+        }
+    }
+    vec![("img".to_owned(), img)]
+}

@@ -1,0 +1,398 @@
+//! A library of classic DSP micro-kernels.
+//!
+//! Beyond the six paper applications, these parameterized kernels give
+//! exploration examples and benchmarks a spectrum of computational
+//! signatures: MAC-bound (`fir`, `dot_product`, `matmul`), recurrence-
+//! bound (`iir`), shift/logic-bound (`crc32`), control-bound
+//! (`histogram`), and butterfly-structured (`fft_stage`). Each source
+//! is generated for a requested size, so scaling studies are one call
+//! away.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated kernel: source text plus its input arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (also the DSL `app` name).
+    pub name: String,
+    /// Behavioral source text.
+    pub source: String,
+    /// Seeded input arrays.
+    pub arrays: Vec<(String, Vec<i64>)>,
+}
+
+fn rng_vec(rng: &mut StdRng, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `y[i] = Σ_k h[k]·x[i−k]` — the MAC workhorse.
+///
+/// # Panics
+///
+/// Panics if `taps` is 0 or `n <= taps`.
+pub fn fir(n: usize, taps: usize, seed: u64) -> Kernel {
+    assert!(taps > 0 && n > taps, "need n > taps > 0");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = String::new();
+    for k in 0..taps {
+        if k > 0 {
+            acc.push_str(" + ");
+        }
+        acc.push_str(&format!("x[i - {k}] * h[{k}]"));
+    }
+    let source = format!(
+        r#"app fir;
+var x[{n}];
+var h[{taps}];
+var y[{n}];
+func main() {{
+    for (var i = {taps}; i < {n}; i = i + 1) {{
+        y[i] = ({acc}) >> 6;
+    }}
+    return y[{n} - 1];
+}}"#
+    );
+    Kernel {
+        name: "fir".into(),
+        source,
+        arrays: vec![
+            ("x".into(), rng_vec(&mut rng, n, -128, 128)),
+            ("h".into(), rng_vec(&mut rng, taps, 1, 32)),
+        ],
+    }
+}
+
+/// `acc = Σ a[i]·b[i]`.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn dot_product(n: usize, seed: u64) -> Kernel {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let source = format!(
+        r#"app dot;
+var a[{n}];
+var b[{n}];
+func main() {{
+    var acc = 0;
+    for (var i = 0; i < {n}; i = i + 1) {{
+        acc = acc + a[i] * b[i];
+    }}
+    return acc;
+}}"#
+    );
+    Kernel {
+        name: "dot".into(),
+        source,
+        arrays: vec![
+            ("a".into(), rng_vec(&mut rng, n, -64, 64)),
+            ("b".into(), rng_vec(&mut rng, n, -64, 64)),
+        ],
+    }
+}
+
+/// `C = A·B` over `n×n` matrices (row-major).
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn matmul(n: usize, seed: u64) -> Kernel {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nn = n * n;
+    let source = format!(
+        r#"app matmul;
+var a[{nn}];
+var b[{nn}];
+var c[{nn}];
+func main() {{
+    for (var i = 0; i < {n}; i = i + 1) {{
+        for (var j = 0; j < {n}; j = j + 1) {{
+            var acc = 0;
+            for (var k = 0; k < {n}; k = k + 1) {{
+                acc = acc + a[i * {n} + k] * b[k * {n} + j];
+            }}
+            c[i * {n} + j] = acc;
+        }}
+    }}
+    return c[0];
+}}"#
+    );
+    Kernel {
+        name: "matmul".into(),
+        source,
+        arrays: vec![
+            ("a".into(), rng_vec(&mut rng, nn, -16, 16)),
+            ("b".into(), rng_vec(&mut rng, nn, -16, 16)),
+        ],
+    }
+}
+
+/// A second-order IIR (biquad) recurrence — serial by construction.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn iir(n: usize, seed: u64) -> Kernel {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let source = format!(
+        r#"app iir;
+var x[{n}];
+var y[{n}];
+func main() {{
+    var z1 = 0;
+    var z2 = 0;
+    for (var i = 0; i < {n}; i = i + 1) {{
+        var v = x[i];
+        var o = (v * 1229 + z1) >> 12;
+        z1 = (v * 2458 + z2) - o * 1843;
+        z2 = v * 1229 - o * 717;
+        y[i] = o;
+    }}
+    return y[{n} - 1];
+}}"#
+    );
+    Kernel {
+        name: "iir".into(),
+        source,
+        arrays: vec![("x".into(), rng_vec(&mut rng, n, -2048, 2048))],
+    }
+}
+
+/// Bitwise CRC-32 over a message — shift/xor bound, no multiplies.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn crc32(n: usize, seed: u64) -> Kernel {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let source = format!(
+        r#"app crc;
+var msg[{n}];
+func main() {{
+    var crc = 0xFFFF;
+    for (var i = 0; i < {n}; i = i + 1) {{
+        crc = crc ^ (msg[i] & 255);
+        for (var b = 0; b < 8; b = b + 1) {{
+            var lsb = crc & 1;
+            crc = crc >> 1;
+            if (lsb != 0) {{
+                crc = crc ^ 0xA001;
+            }}
+        }}
+    }}
+    return crc;
+}}"#
+    );
+    Kernel {
+        name: "crc".into(),
+        source,
+        arrays: vec![("msg".into(), rng_vec(&mut rng, n, 0, 256))],
+    }
+}
+
+/// A 256-bin histogram — data-dependent stores, control-bound.
+///
+/// # Panics
+///
+/// Panics if `n` is 0.
+pub fn histogram(n: usize, seed: u64) -> Kernel {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let source = format!(
+        r#"app hist;
+var pixels[{n}];
+var bins[256];
+func main() {{
+    for (var i = 0; i < {n}; i = i + 1) {{
+        var v = pixels[i] & 255;
+        bins[v] = bins[v] + 1;
+    }}
+    var peak = 0;
+    for (var b = 0; b < 256; b = b + 1) {{
+        if (bins[b] > peak) {{
+            peak = bins[b];
+        }}
+    }}
+    return peak;
+}}"#
+    );
+    Kernel {
+        name: "hist".into(),
+        source,
+        arrays: vec![("pixels".into(), rng_vec(&mut rng, n, 0, 256))],
+    }
+}
+
+/// One radix-2 FFT butterfly stage over `n` complex points
+/// (interleaved re/im, fixed-point twiddles).
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two ≥ 4.
+pub fn fft_stage(n: usize, seed: u64) -> Kernel {
+    assert!(
+        n.is_power_of_two() && n >= 4,
+        "n must be a power of two >= 4"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = n / 2;
+    let source = format!(
+        r#"app fft;
+var re[{n}];
+var im[{n}];
+var wr[{half}];
+var wi[{half}];
+func main() {{
+    for (var k = 0; k < {half}; k = k + 1) {{
+        var tr = (re[k + {half}] * wr[k] - im[k + {half}] * wi[k]) >> 10;
+        var ti = (re[k + {half}] * wi[k] + im[k + {half}] * wr[k]) >> 10;
+        var ar = re[k];
+        var ai = im[k];
+        re[k] = ar + tr;
+        im[k] = ai + ti;
+        re[k + {half}] = ar - tr;
+        im[k + {half}] = ai - ti;
+    }}
+    return re[0] + im[0];
+}}"#
+    );
+    Kernel {
+        name: "fft".into(),
+        source,
+        arrays: vec![
+            ("re".into(), rng_vec(&mut rng, n, -512, 512)),
+            ("im".into(), rng_vec(&mut rng, n, -512, 512)),
+            ("wr".into(), rng_vec(&mut rng, half, -1024, 1024)),
+            ("wi".into(), rng_vec(&mut rng, half, -1024, 1024)),
+        ],
+    }
+}
+
+/// All kernels at moderate default sizes (for sweeps and benches).
+pub fn default_suite(seed: u64) -> Vec<Kernel> {
+    vec![
+        fir(128, 8, seed),
+        dot_product(256, seed),
+        matmul(12, seed),
+        iir(256, seed),
+        crc32(64, seed),
+        histogram(512, seed),
+        fft_stage(64, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corepart_ir::interp::Interpreter;
+    use corepart_ir::lower::lower;
+    use corepart_ir::parser::parse;
+
+    fn run(k: &Kernel) -> i64 {
+        let app = lower(&parse(&k.source).unwrap_or_else(|e| panic!("{}: {e}", k.name)))
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let mut interp = Interpreter::new(&app);
+        for (name, data) in &k.arrays {
+            interp.set_array(name, data).unwrap();
+        }
+        interp
+            .run(100_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name))
+            .return_value
+            .unwrap_or_else(|| panic!("{} returned nothing", k.name))
+    }
+
+    #[test]
+    fn all_default_kernels_run() {
+        for k in default_suite(5) {
+            let _ = run(&k);
+        }
+    }
+
+    #[test]
+    fn dot_product_matches_reference() {
+        let k = dot_product(64, 9);
+        let expect: i64 = k.arrays[0]
+            .1
+            .iter()
+            .zip(&k.arrays[1].1)
+            .map(|(a, b)| a * b)
+            .sum();
+        assert_eq!(run(&k), expect);
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let n = 6;
+        let k = matmul(n, 11);
+        let a = &k.arrays[0].1;
+        let b = &k.arrays[1].1;
+        let mut c00 = 0i64;
+        for t in 0..n {
+            c00 += a[t] * b[t * n];
+        }
+        assert_eq!(run(&k), c00);
+    }
+
+    #[test]
+    fn crc_matches_reference() {
+        let k = crc32(32, 13);
+        let msg = &k.arrays[0].1;
+        let mut crc: i64 = 0xFFFF;
+        for &byte in msg {
+            crc ^= byte & 255;
+            for _ in 0..8 {
+                let lsb = crc & 1;
+                crc >>= 1;
+                if lsb != 0 {
+                    crc ^= 0xA001;
+                }
+            }
+        }
+        assert_eq!(run(&k), crc);
+    }
+
+    #[test]
+    fn histogram_peak_matches_reference() {
+        let k = histogram(200, 17);
+        let mut bins = [0i64; 256];
+        for &p in &k.arrays[0].1 {
+            bins[(p & 255) as usize] += 1;
+        }
+        assert_eq!(run(&k), *bins.iter().max().expect("non-empty"));
+    }
+
+    #[test]
+    fn kernels_deterministic_per_seed() {
+        assert_eq!(fir(64, 4, 3), fir(64, 4, 3));
+        assert_ne!(
+            dot_product(64, 3).arrays,
+            dot_product(64, 4).arrays,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let _ = fft_stage(12, 1);
+    }
+
+    #[test]
+    fn kernels_partition_sensibly() {
+        // The MAC-bound kernels should find partitions; run the full
+        // flow on a small FIR as a smoke check.
+        use corepart::flow::DesignFlow;
+        use corepart::prepare::Workload;
+        let k = fir(96, 6, 21);
+        let result = DesignFlow::new()
+            .run_source(&k.source, Workload::from_arrays(k.arrays.clone()))
+            .expect("flow runs");
+        assert!(result.outcome.best.is_some(), "FIR must partition");
+    }
+}

@@ -1,0 +1,115 @@
+//! `MPG` — an MPEG-II-encoder-style workload.
+//!
+//! The computational signature of an MPEG-II encoder's inner loop:
+//! full-search block motion estimation (sum of absolute differences
+//! over a ±4 search window) followed by a separable 8×8 transform and
+//! quantization of the residual. Motion estimation dominates — it is
+//! the cluster the partitioner should move, reproducing the paper's
+//! MPG row (≈43 % energy saving, large execution-time win).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Current-block side (16×16 macroblock).
+pub const BLK: usize = 16;
+/// Reference-window side.
+pub const WIN: usize = 24;
+
+/// The behavioral source.
+pub const SOURCE: &str = r#"
+app mpg;
+
+const BLK = 16;
+const WIN = 24;
+const RANGE = 8;
+
+var cur[256];
+var refwin[576];
+var resid[256];
+var coeff[256];
+var quant[256];
+var mv[3];
+
+func main() {
+    // --- Motion estimation: full search over an 8x8 displacement
+    // grid; the dominating, highly regular cluster. ---
+    mv[0] = 1 << 30;
+    for (var dy = 0; dy < RANGE; dy = dy + 1) {
+        for (var dx = 0; dx < RANGE; dx = dx + 1) {
+            var sad = 0;
+            for (var y = 0; y < BLK; y = y + 1) {
+                for (var x = 0; x < BLK; x = x + 1) {
+                    var d = cur[y * BLK + x] - refwin[(y + dy) * WIN + x + dx];
+                    var m = d >> 63;
+                    sad = sad + ((d ^ m) - m);
+                }
+            }
+            if (sad < mv[0]) {
+                mv[0] = sad;
+                mv[1] = dx;
+                mv[2] = dy;
+            }
+        }
+    }
+
+    // --- Residual against the best match. ---
+    for (var ry = 0; ry < BLK; ry = ry + 1) {
+        for (var rx = 0; rx < BLK; rx = rx + 1) {
+            resid[ry * BLK + rx] =
+                cur[ry * BLK + rx] - refwin[(ry + mv[2]) * WIN + rx + mv[1]];
+        }
+    }
+
+    // --- Separable 4-tap "DCT-like" transform (integer butterflies). ---
+    for (var ty = 0; ty < BLK; ty = ty + 1) {
+        for (var tx = 0; tx < BLK; tx = tx + 1) {
+            var a = resid[ty * BLK + tx];
+            var b = resid[ty * BLK + ((tx + 1) & 15)];
+            var c = resid[((ty + 1) & 15) * BLK + tx];
+            coeff[ty * BLK + tx] = (a * 17 + b * 9 + c * 9) >> 5;
+        }
+    }
+
+    // --- Quantization with a dead zone (branchy, modest size). ---
+    var nz = 0;
+    for (var q = 0; q < 256; q = q + 1) {
+        var v = coeff[q] / 12;
+        if (v > -2) {
+            if (v < 2) {
+                v = 0;
+            }
+        }
+        quant[q] = v;
+        if (v != 0) {
+            nz = nz + 1;
+        }
+    }
+    return nz + mv[0];
+}
+"#;
+
+/// Deterministic inputs: a textured current block and a shifted, noisy
+/// reference window (so the search has a meaningful minimum).
+pub fn arrays(seed: u64) -> Vec<(String, Vec<i64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = vec![0i64; BLK * BLK];
+    for y in 0..BLK {
+        for x in 0..BLK {
+            cur[y * BLK + x] = ((x as i64 * 13 + y as i64 * 7) % 97) + rng.gen_range(0..8);
+        }
+    }
+    // Reference = current shifted by (3, 2) + noise, embedded in the
+    // window.
+    let mut refwin = vec![0i64; WIN * WIN];
+    for y in 0..WIN {
+        for x in 0..WIN {
+            refwin[y * WIN + x] = rng.gen_range(0..96);
+        }
+    }
+    for y in 0..BLK {
+        for x in 0..BLK {
+            refwin[(y + 2) * WIN + x + 3] = cur[y * BLK + x] + rng.gen_range(-2..3);
+        }
+    }
+    vec![("cur".to_owned(), cur), ("refwin".to_owned(), refwin)]
+}

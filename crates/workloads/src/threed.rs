@@ -1,0 +1,77 @@
+//! `3d` — "an algorithm for computing 3D vectors of a motion picture".
+//!
+//! Fixed-point (Q8) 3×3 matrix transform plus translation over a vertex
+//! list, followed by a light view-space accumulation pass that stays
+//! software-friendly. The transform loop is the multiply-rich hot
+//! cluster the partitioner is expected to move; the paper's row shows a
+//! modest 35 % saving with a small, rarely-clocked ASIC core.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of vertices.
+pub const NV: usize = 96;
+
+/// The behavioral source.
+pub const SOURCE: &str = r#"
+app threed;
+
+const NV = 96;
+
+var vx[96];
+var vy[96];
+var vz[96];
+var ox[96];
+var oy[96];
+var oz[96];
+var mat[12];
+
+func main() {
+    // Hot cluster: fixed-point matrix transform of every vertex.
+    for (var i = 0; i < NV; i = i + 1) {
+        var x = vx[i];
+        var y = vy[i];
+        var z = vz[i];
+        ox[i] = (mat[0] * x + mat[1] * y + mat[2] * z + mat[9]) >> 8;
+        oy[i] = (mat[3] * x + mat[4] * y + mat[5] * z + mat[10]) >> 8;
+        oz[i] = (mat[6] * x + mat[7] * y + mat[8] * z + mat[11]) >> 8;
+    }
+    // View-space post-pass: clamp behind-camera vertices, accumulate a
+    // screen-space checksum (control-flow-heavy, stays on the uP core).
+    var acc = 0;
+    for (var j = 0; j < NV; j = j + 1) {
+        var depth = oz[j];
+        if (depth < 16) {
+            depth = 16;
+        }
+        var sx = (ox[j] << 7) / depth;
+        var sy = (oy[j] << 7) / depth;
+        acc = acc + sx + sy;
+    }
+    return acc;
+}
+"#;
+
+/// Deterministic input arrays: vertex coordinates and a Q8 rotation
+/// matrix.
+pub fn arrays(seed: u64) -> Vec<(String, Vec<i64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coord =
+        |rng: &mut StdRng| -> Vec<i64> { (0..NV).map(|_| rng.gen_range(-256..256)).collect() };
+    // Q8 rotation-ish matrix (rows roughly orthonormal) + translation.
+    let mat: Vec<i64> = vec![
+        221, -128, 0, //
+        128, 221, 0, //
+        0, 0, 256, //
+        512, 256, 2048,
+    ];
+    vec![
+        ("vx".to_owned(), coord(&mut rng)),
+        ("vy".to_owned(), coord(&mut rng)),
+        (
+            "vz".to_owned(),
+            (0..NV).map(|_| rng.gen_range(32..512)).collect(),
+        ),
+        ("mat".to_owned(), mat),
+    ]
+}

@@ -1,0 +1,58 @@
+//! `trick` — a trick-animation algorithm.
+//!
+//! Frame-sequential onion-skinning: every output sample is a recursive
+//! blend of the previous output sample, the current source sample and a
+//! decaying motion state. The recurrences (`state`, `dst[i-1]`)
+//! serialize the computation completely, and three shared-memory
+//! accesses per sample dominate — on the ASIC core this executes
+//! slower than on the cache-assisted µP (the memory port's uncached
+//! 4-cycle accesses cannot be overlapped), yet burns far less energy.
+//! This is the paper's one row where the partition *costs* execution
+//! time (+69.6 %) while still saving ~95 % energy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Animation frames.
+pub const FRAMES: usize = 24;
+/// Samples per frame.
+pub const SAMPLES: usize = 480;
+
+/// The behavioral source.
+pub const SOURCE: &str = r#"
+app trick;
+
+const FRAMES = 24;
+const SAMPLES = 480;
+
+var src[480];
+var dst[480];
+var trail[64];
+var ghost[24];
+
+func main() {
+    var state = 7;
+    for (var f = 0; f < FRAMES; f = f + 1) {
+        // Serial onion-skin blend with a state-indexed ghost trail:
+        // every sample makes six shared-memory accesses, two of them
+        // address-dependent on the running state — no instruction-level
+        // parallelism to hide the ASIC's uncached memory latency behind.
+        for (var i = 1; i < SAMPLES; i = i + 1) {
+            state = (state + src[i]) >> 1;
+            var t = trail[state & 63];
+            dst[i] = (dst[i - 1] + dst[i] + t + state) >> 1;
+            trail[state & 63] = (t + dst[i]) >> 1;
+        }
+        ghost[f] = dst[SAMPLES - 1];
+        state = state + f;
+    }
+    return state;
+}
+"#;
+
+/// Deterministic source samples.
+pub fn arrays(seed: u64) -> Vec<(String, Vec<i64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let src: Vec<i64> = (0..SAMPLES).map(|_| rng.gen_range(0..256)).collect();
+    vec![("src".to_owned(), src)]
+}

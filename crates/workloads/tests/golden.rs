@@ -1,0 +1,69 @@
+//! Golden-value regression tests: the paper workloads' observable
+//! results under seed 1 are pinned, so any semantic drift in the
+//! frontend, interpreter or workload sources is caught immediately.
+//!
+//! If a deliberate workload change lands, re-derive the constants with
+//! the ignored `print_goldens` helper below.
+
+use corepart_ir::interp::Interpreter;
+use corepart_workloads::{all, by_name};
+
+fn run_return_value(name: &str) -> i64 {
+    let w = by_name(name).expect("workload exists");
+    let app = w.app().expect("lowers");
+    let mut interp = Interpreter::new(&app);
+    for (arr, data) in w.arrays(1) {
+        interp.set_array(&arr, &data).expect("array");
+    }
+    interp
+        .run(400_000_000)
+        .expect("terminates")
+        .return_value
+        .expect("returns a value")
+}
+
+#[test]
+fn golden_return_values_seed1() {
+    let expected: &[(&str, i64)] = &[
+        ("3d", golden("3d")),
+        ("MPG", golden("MPG")),
+        ("ckey", golden("ckey")),
+        ("digs", golden("digs")),
+        ("engine", golden("engine")),
+        ("trick", golden("trick")),
+    ];
+    for &(name, want) in expected {
+        assert_eq!(run_return_value(name), want, "{name} drifted");
+    }
+}
+
+/// The pinned values. Kept in one place so re-pinning is one edit.
+fn golden(name: &str) -> i64 {
+    match name {
+        // Derived once from the canonical sources at seed 1; see
+        // `print_goldens`.
+        "3d" => GOLDEN_3D,
+        "MPG" => GOLDEN_MPG,
+        "ckey" => GOLDEN_CKEY,
+        "digs" => GOLDEN_DIGS,
+        "engine" => GOLDEN_ENGINE,
+        "trick" => GOLDEN_TRICK,
+        other => panic!("no golden for {other}"),
+    }
+}
+
+include!("golden_data/values.rs");
+
+/// `cargo test -p corepart-workloads --test golden -- --ignored
+/// print_goldens --nocapture` regenerates the constants.
+#[test]
+#[ignore = "generator, not a test"]
+fn print_goldens() {
+    for w in all() {
+        println!(
+            "const GOLDEN_{}: i64 = {};",
+            w.name.to_uppercase(),
+            run_return_value(w.name)
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Design-space exploration: sweep the objective-function balance and
+//! the candidate resource sets for one application, mapping the
+//! energy-vs-hardware frontier a designer would examine before
+//! committing to a core.
+//!
+//! ```text
+//! cargo run --release -p corepart --example design_space_exploration
+//! ```
+
+use corepart::error::CorepartError;
+use corepart::partition::Partitioner;
+use corepart::prepare::{prepare, Workload};
+use corepart::system::SystemConfig;
+use corepart::tech::resource::{ResourceKind, ResourceSet};
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+
+/// A 2-D correlator: rich design space (multipliers vs adders vs
+/// memory ports all matter).
+const SOURCE: &str = r#"
+app correlator;
+
+const N = 48;
+const TAPS = 8;
+
+var signal[48];
+var pattern[8];
+var corr[48];
+
+func main() {
+    for (var i = 0; i < N - TAPS; i = i + 1) {
+        var acc = 0;
+        for (var t = 0; t < TAPS; t = t + 1) {
+            acc = acc + signal[i + t] * pattern[t];
+        }
+        corr[i] = acc >> 4;
+    }
+    var best = 0;
+    var best_i = 0;
+    for (var j = 0; j < N - TAPS; j = j + 1) {
+        if (corr[j] > best) {
+            best = corr[j];
+            best_i = j;
+        }
+    }
+    return best_i;
+}
+"#;
+
+fn main() -> Result<(), CorepartError> {
+    let signal: Vec<i64> = (0..48).map(|i| ((i * 13) % 29) - 14).collect();
+    let pattern: Vec<i64> = vec![1, 3, 7, 11, 11, 7, 3, 1];
+    let workload = Workload::from_arrays([("signal", signal), ("pattern", pattern)]);
+
+    // Axis 1: hardware-cost pressure (objective-function balance).
+    println!("=== hardware-weight sweep (default resource-set family) ===");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "G", "saving%", "chg%", "cells"
+    );
+    for g in [0.0, 0.2, 1.0, 4.0, 16.0] {
+        let config = SystemConfig::new().with_factors(1.0, g);
+        let app = lower(&parse(SOURCE)?)?;
+        let prepared = prepare(app, workload.clone(), &config)?;
+        let outcome = Partitioner::new(&prepared, &config)?.run()?;
+        match &outcome.best {
+            Some((_, detail)) => println!(
+                "{:>6.1} {:>10.1} {:>10.1} {:>10}",
+                g,
+                outcome.energy_saving_percent().unwrap_or(0.0),
+                outcome.time_change_percent().unwrap_or(0.0),
+                detail.metrics.geq.cells(),
+            ),
+            None => println!("{g:>6.1} {:>10} {:>10} {:>10}", "--", "--", "--"),
+        }
+    }
+
+    // Axis 2: datapath width (forcing one specific set at a time).
+    println!("\n=== datapath-width sweep (G = 0.2) ===");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>8}",
+        "set", "saving%", "chg%", "cells", "U_R"
+    );
+    for (name, muls, alus, ports) in [
+        ("1mul-1alu", 1u32, 1u32, 1u32),
+        ("1mul-2alu", 1, 2, 1),
+        ("2mul-2alu", 2, 2, 2),
+        ("4mul-4alu", 4, 4, 2),
+    ] {
+        let set = ResourceSet::builder(name)
+            .with(ResourceKind::Multiplier, muls)
+            .with(ResourceKind::Alu, alus)
+            .with(ResourceKind::Adder, 1)
+            .with(ResourceKind::BarrelShifter, 1)
+            .with(ResourceKind::MemPort, ports)
+            .build();
+        let config = SystemConfig::new().with_resource_sets(vec![set]);
+        let app = lower(&parse(SOURCE)?)?;
+        let prepared = prepare(app, workload.clone(), &config)?;
+        let outcome = Partitioner::new(&prepared, &config)?.run()?;
+        match &outcome.best {
+            Some((_, detail)) => println!(
+                "{:>12} {:>10.1} {:>10.1} {:>10} {:>8.3}",
+                name,
+                outcome.energy_saving_percent().unwrap_or(0.0),
+                outcome.time_change_percent().unwrap_or(0.0),
+                detail.metrics.geq.cells(),
+                detail.u_r,
+            ),
+            None => println!(
+                "{:>12} {:>10} {:>10} {:>10} {:>8}",
+                name, "--", "--", "--", "--"
+            ),
+        }
+    }
+    println!(
+        "\nReading the frontier: wider datapaths shorten the ASIC schedule but\n\
+         dilute utilization — past the knee the extra hardware only adds idle\n\
+         switching energy, which is exactly the paper's premise (§3.1)."
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Pareto-frontier extraction with the [`corepart::explore`] API — the
+//! automated version of §3.5's designer-interaction loop, applied to a
+//! generated micro-kernel.
+//!
+//! ```text
+//! cargo run --release -p corepart --example pareto_frontier
+//! ```
+
+use corepart::error::CorepartError;
+use corepart::explore::{explore, hardware_weight_sweep};
+use corepart::prepare::Workload;
+use corepart::system::SystemConfig;
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+use corepart_workloads::kernels::fir;
+
+fn main() -> Result<(), CorepartError> {
+    // A 12-tap FIR at seed 7 — any kernel from the suite works.
+    let kernel = fir(192, 12, 7);
+    let workload = Workload::from_arrays(kernel.arrays.clone());
+
+    // Sweep the objective's hardware weight, plus two cache variants.
+    let mut configs = hardware_weight_sweep(&[0.0, 0.2, 1.0, 4.0], &SystemConfig::new());
+    for kb in [2usize, 4] {
+        let base = SystemConfig::new();
+        let icache = base.icache.with_size(kb * 1024).expect("power of two");
+        let dcache = base.dcache.with_size(kb * 1024).expect("power of two");
+        configs.push((
+            format!("G = 0.2, {kb}kB caches"),
+            base.with_caches(icache, dcache),
+        ));
+    }
+
+    let source = kernel.source.clone();
+    let exploration = explore(move || Ok(lower(&parse(&source)?)?), &workload, &configs)?;
+
+    println!(
+        "explored {} design points for `{}`\n",
+        exploration.points.len(),
+        kernel.name
+    );
+    println!("Pareto frontier (energy / cycles / hardware):\n");
+    print!("{}", exploration.render_frontier());
+
+    let best_e = exploration.min_energy().expect("non-empty");
+    let best_t = exploration.min_cycles().expect("non-empty");
+    println!(
+        "\nminimum-energy point: {} ({})",
+        best_e.label, best_e.energy
+    );
+    println!(
+        "minimum-cycles point: {} ({} cycles)",
+        best_t.label, best_t.cycles
+    );
+    Ok(())
+}

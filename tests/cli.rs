@@ -1,0 +1,167 @@
+//! Integration tests of the `corepart` command-line front end.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_corepart"))
+}
+
+fn sample_file() -> tempfile::NamedFile {
+    let mut f = tempfile::NamedFile::new();
+    write!(
+        f.file,
+        r#"app clidemo;
+var x[48];
+var y[48];
+func main() {{
+    for (var i = 1; i < 47; i = i + 1) {{
+        y[i] = x[i] * 3 + x[i - 1];
+    }}
+    var s = 0;
+    for (var j = 0; j < 48; j = j + 1) {{ s = s + y[j]; }}
+    return s;
+}}
+"#
+    )
+    .expect("write sample");
+    f
+}
+
+/// Minimal stand-in for the tempfile crate (not a dependency): a file
+/// in the target tmpdir with a unique-enough name, removed on drop.
+mod tempfile {
+    use std::fs::File;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+    pub struct NamedFile {
+        pub file: File,
+        pub path: PathBuf,
+    }
+
+    impl NamedFile {
+        pub fn new() -> Self {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("corepart-cli-test-{}-{n}.bdl", std::process::id()));
+            let file = File::create(&path).expect("create temp file");
+            NamedFile { file, path }
+        }
+    }
+
+    impl Drop for NamedFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[test]
+fn partition_command_prints_table() {
+    let f = sample_file();
+    let out = bin()
+        .args(["partition", f.path.to_str().expect("utf8 path")])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("clidemo"), "{text}");
+    assert!(text.contains("i-cache"));
+}
+
+#[test]
+fn partition_json_is_emitted() {
+    let f = sample_file();
+    let out = bin()
+        .args(["partition", f.path.to_str().expect("utf8"), "--json"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert!(text.contains("\"app\":\"clidemo\""));
+    assert!(text.contains("\"search\""));
+}
+
+#[test]
+fn clusters_and_disasm_and_schedule_work() {
+    let f = sample_file();
+    for (cmd, needle) in [
+        ("clusters", "cluster chain"),
+        ("disasm", "halt"),
+        ("schedule", "GEQ_RS"),
+    ] {
+        let out = bin()
+            .args([cmd, f.path.to_str().expect("utf8")])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{cmd}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains(needle),
+            "{cmd} output missing `{needle}`: {text}"
+        );
+    }
+}
+
+#[test]
+fn array_flag_sets_inputs() {
+    let f = sample_file();
+    let out = bin()
+        .args([
+            "partition",
+            f.path.to_str().expect("utf8"),
+            "--array",
+            "x=1,2,3,4,5",
+            "--json",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn bad_usage_fails_gracefully() {
+    // Unknown command.
+    let f = sample_file();
+    let out = bin()
+        .args(["frobnicate", f.path.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+
+    // Missing file.
+    let out = bin()
+        .args(["partition", "/nonexistent/nope.bdl"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    // Bad array spec.
+    let out = bin()
+        .args([
+            "partition",
+            f.path.to_str().expect("utf8"),
+            "--array",
+            "oops",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,146 @@
+//! End-to-end integration: behavioral source → verified partition,
+//! exercising every crate through the public API.
+
+use corepart::flow::DesignFlow;
+use corepart::prepare::Workload;
+use corepart::system::SystemConfig;
+
+const CONV: &str = r#"
+app conv;
+
+const N = 96;
+
+var x[96];
+var h[4];
+var y[96];
+
+func main() {
+    for (var i = 3; i < N; i = i + 1) {
+        y[i] = (x[i] * h[0] + x[i - 1] * h[1] + x[i - 2] * h[2] + x[i - 3] * h[3]) >> 6;
+    }
+    var energy = 0;
+    for (var j = 0; j < N; j = j + 1) {
+        energy = energy + y[j] * y[j];
+    }
+    return energy;
+}
+"#;
+
+fn conv_workload() -> Workload {
+    Workload::from_arrays([
+        (
+            "x",
+            (0..96)
+                .map(|i| ((i * 29 + 3) % 200) - 100)
+                .collect::<Vec<i64>>(),
+        ),
+        ("h", vec![13, 25, 25, 13]),
+    ])
+}
+
+#[test]
+fn dsp_kernel_partition_saves_energy_and_time() {
+    let result = DesignFlow::new()
+        .run_source(CONV, conv_workload())
+        .expect("flow succeeds");
+    let outcome = &result.outcome;
+    let (partition, detail) = outcome.best.as_ref().expect("partition found");
+
+    // Savings in the paper's band for a regular DSP kernel.
+    let saving = outcome.energy_saving_percent().expect("saving defined");
+    assert!(
+        (35.0..=96.0).contains(&saving),
+        "saving {saving:.1}% out of band"
+    );
+    // Performance maintained or improved.
+    let chg = outcome.time_change_percent().expect("change defined");
+    assert!(chg < 0.0, "expected a speedup, got {chg:+.1}%");
+    // The utilization argument held (within the configured gate
+    // margin).
+    let config = SystemConfig::new();
+    assert!(detail.u_r > config.gate_margin * detail.u_up);
+    // Hardware effort plausible (paper: < 16k cells; we allow slack).
+    assert!(detail.metrics.geq.cells() < 25_000);
+    assert!(!partition.clusters.is_empty());
+}
+
+#[test]
+fn partitioned_system_preserves_program_semantics() {
+    // The initial and partitioned ISS runs must compute identical
+    // results (the partition only moves work, never changes it).
+    use corepart::evaluate::{evaluate_initial, Partition};
+    use corepart::partition::Partitioner;
+    use corepart::prepare::prepare;
+    use corepart_ir::{lower::lower, parser::parse};
+
+    let config = SystemConfig::new();
+    let app = lower(&parse(CONV).expect("parses")).expect("lowers");
+    let prepared = prepare(app, conv_workload(), &config).expect("prepares");
+    let (_, initial_stats) = evaluate_initial(&prepared, &config).expect("initial");
+
+    let partitioner = Partitioner::new(&prepared, &config).expect("partitioner");
+    for cand in partitioner.candidates() {
+        let partition = Partition::single(cand.cluster, config.resource_sets[2].clone());
+        if let Ok(_detail) = partitioner.evaluate(&partition) {
+            // evaluate_partition runs the same program functionally;
+            // cross-check against the profiling interpreter's result.
+            assert_eq!(
+                Some(initial_stats.return_value),
+                prepared.profile.return_value,
+                "ISS and interpreter disagree"
+            );
+        }
+    }
+}
+
+#[test]
+fn objective_knobs_change_outcomes() {
+    // Crushing hardware cost => no partition; free hardware => the
+    // largest savings the search can find.
+    let expensive = DesignFlow::with_config(SystemConfig::new().with_factors(1.0, 500.0))
+        .run_source(CONV, conv_workload())
+        .expect("flow succeeds");
+    assert!(expensive.outcome.best.is_none());
+
+    let free = DesignFlow::with_config(SystemConfig::new().with_factors(1.0, 0.0))
+        .run_source(CONV, conv_workload())
+        .expect("flow succeeds");
+    let default = DesignFlow::new()
+        .run_source(CONV, conv_workload())
+        .expect("flow succeeds");
+    let s_free = free.outcome.energy_saving_percent().expect("found");
+    let s_def = default.outcome.energy_saving_percent().expect("found");
+    assert!(
+        s_free >= s_def - 1.0,
+        "free hardware should not save less: {s_free:.1} vs {s_def:.1}"
+    );
+}
+
+#[test]
+fn report_renders_for_flow_result() {
+    use corepart::report::{figure6, Table1};
+    let result = DesignFlow::new()
+        .run_source(CONV, conv_workload())
+        .expect("flow succeeds");
+    let mut table = Table1::new();
+    table.push(result.table1_entry());
+    let text = table.to_string();
+    assert!(text.contains("conv"));
+    assert!(text.contains(" I "));
+    assert!(text.contains(" P "));
+    let pts = figure6(&table);
+    assert_eq!(pts.len(), 1);
+    assert!(pts[0].energy_saving > 0.0);
+}
+
+#[test]
+fn search_statistics_are_consistent() {
+    let result = DesignFlow::new()
+        .run_source(CONV, conv_workload())
+        .expect("flow succeeds");
+    let s = &result.outcome.search;
+    assert!(s.candidates > 0);
+    assert!(s.estimated >= s.candidates);
+    assert!(s.verifications >= 1);
+    assert!(s.rejected_by_utilization + s.infeasible <= s.estimated);
+}
