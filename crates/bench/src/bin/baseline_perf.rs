@@ -1,5 +1,6 @@
 //! Ablation **A5** — comparison against performance-driven
-//! partitioning.
+//! partitioning, plus the reproducible perf baseline for the search
+//! engine itself.
 //!
 //! §2 positions the paper against classic hardware/software partitioners
 //! whose "objective is to meet performance constraints while keeping
@@ -9,17 +10,86 @@
 //! cells) and our energy-driven partitioner, then compares energy and
 //! cycles side by side.
 //!
+//! On top of the A5 table, the binary times an 8-point
+//! hardware-weight sweep on `mpg` and `engine` two ways — the seed's
+//! sequential path (fresh preparation, baseline simulation and
+//! schedule cache per configuration, one thread) against the shared,
+//! parallel [`explore`] engine — checks the design points are
+//! bit-identical, and writes everything to `BENCH_partition.json`.
+//!
 //! ```text
 //! cargo run --release -p corepart-bench --bin baseline_perf
 //! ```
 
+use std::time::Instant;
+
 use corepart::baselines::performance_partition;
+use corepart::explore::{explore, hardware_weight_sweep, DesignPoint};
+use corepart::json::outcome_to_json;
+use corepart::parallel::resolve_threads;
 use corepart::partition::Partitioner;
 use corepart::prepare::{prepare, Workload};
 use corepart::system::SystemConfig;
 use corepart_bench::SEED;
 use corepart_tech::units::GateEq;
-use corepart_workloads::all;
+use corepart_workloads::{all, by_name};
+
+/// The seed's exploration path: every configuration prepares,
+/// simulates and schedules from scratch, one after the other. Kept
+/// here as the reference the parallel engine is measured against; the
+/// point-assembly mirrors [`explore`] so the outputs are comparable
+/// verbatim.
+fn sequential_sweep(
+    w: &corepart_workloads::PaperWorkload,
+    configs: &[(String, SystemConfig)],
+) -> Vec<DesignPoint> {
+    let workload = Workload::from_arrays(w.arrays(SEED));
+    let mut outcomes = Vec::with_capacity(configs.len());
+    for (_, config) in configs {
+        let app = w.app().expect("bundled workload lowers");
+        let prepared = prepare(app, workload.clone(), config).expect("bundled workload prepares");
+        let outcome = Partitioner::new(&prepared, config)
+            .expect("initial run")
+            .run()
+            .expect("search");
+        outcomes.push(outcome);
+    }
+
+    let first_initial = &outcomes[0].initial;
+    let base = first_initial.total_energy();
+    let mut points = Vec::with_capacity(configs.len() + 1);
+    points.push(DesignPoint {
+        label: "initial (all software)".into(),
+        energy: first_initial.total_energy(),
+        cycles: first_initial.total_cycles(),
+        geq: GateEq::ZERO,
+        saving_percent: 0.0,
+        is_initial: true,
+    });
+    for ((label, _), outcome) in configs.iter().zip(&outcomes) {
+        let (energy, cycles, geq) = match &outcome.best {
+            Some((_, detail)) => (
+                detail.metrics.total_energy(),
+                detail.metrics.total_cycles(),
+                detail.metrics.geq,
+            ),
+            None => (
+                outcome.initial.total_energy(),
+                outcome.initial.total_cycles(),
+                GateEq::ZERO,
+            ),
+        };
+        points.push(DesignPoint {
+            label: label.clone(),
+            energy,
+            cycles,
+            geq,
+            saving_percent: energy.percent_saving(base).unwrap_or(0.0),
+            is_initial: false,
+        });
+    }
+    points
+}
 
 fn main() {
     println!("A5: energy-driven (ours) vs performance-driven (related work)\n");
@@ -27,6 +97,7 @@ fn main() {
         "{:<8} {:<7} {:>10} {:>10} {:>12}",
         "app", "method", "saving%", "chg%", "HW cells"
     );
+    let mut outcome_rows: Vec<String> = Vec::new();
     for w in all() {
         let config = SystemConfig::new();
         let app = w.app().expect("bundled workload lowers");
@@ -37,6 +108,7 @@ fn main() {
         let ours = partitioner.run().expect("our search");
         let perf = performance_partition(&partitioner, &config, GateEq::new(20_000))
             .expect("perf baseline");
+        outcome_rows.push(outcome_to_json(w.name, &ours));
 
         for (method, outcome) in [("energy", &ours), ("perf", &perf)] {
             match &outcome.best {
@@ -61,4 +133,74 @@ fn main() {
          loses on energy wherever the fastest cluster is not the most\n\
          energy-efficient one (and it has no notion of cache/memory energy)."
     );
+
+    // Engine perf baseline: 8-point hardware-weight sweep, seed's
+    // sequential path vs the shared, parallel engine.
+    let weights = [0.0, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 16.0];
+    let threads = resolve_threads(0);
+    println!(
+        "\nsweep timing ({} points, {} threads):\n",
+        weights.len(),
+        threads
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>9} {:>10}",
+        "app", "seq ms", "engine ms", "speedup", "identical"
+    );
+    let mut sweep_rows: Vec<String> = Vec::new();
+    for name in ["mpg", "engine"] {
+        let w = by_name(name).expect("paper workload exists");
+        let seq_configs = hardware_weight_sweep(&weights, &SystemConfig::new().with_threads(1));
+
+        let seq_start = Instant::now();
+        let seq_points = sequential_sweep(&w, &seq_configs);
+        let seq_nanos = seq_start.elapsed().as_nanos();
+
+        let app = w.app().expect("bundled workload lowers");
+        let workload = Workload::from_arrays(w.arrays(SEED));
+        let par_configs = hardware_weight_sweep(&weights, &SystemConfig::new());
+        let par_start = Instant::now();
+        let exploration = explore(&app, &workload, &par_configs).expect("sweep runs");
+        let par_nanos = par_start.elapsed().as_nanos();
+
+        let identical = seq_points == exploration.points;
+        let speedup = seq_nanos as f64 / par_nanos.max(1) as f64;
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>8.2}x {:>10}",
+            name,
+            seq_nanos as f64 / 1e6,
+            par_nanos as f64 / 1e6,
+            speedup,
+            identical
+        );
+        sweep_rows.push(format!(
+            concat!(
+                "{{\"app\":\"{}\",\"points\":{},\"threads\":{},",
+                "\"seq_nanos\":{},\"par_nanos\":{},\"speedup\":{:.4},",
+                "\"identical\":{}}}"
+            ),
+            name,
+            weights.len(),
+            threads,
+            seq_nanos,
+            par_nanos,
+            speedup,
+            identical
+        ));
+        assert!(
+            identical,
+            "parallel sweep must reproduce the sequential points bit-for-bit"
+        );
+    }
+
+    let json = format!(
+        "{{\"seed\":{},\"threads\":{},\"workloads\":[{}],\"sweep\":[{}]}}\n",
+        SEED,
+        threads,
+        outcome_rows.join(","),
+        sweep_rows.join(",")
+    );
+    let path = "BENCH_partition.json";
+    std::fs::write(path, &json).expect("write BENCH_partition.json");
+    println!("\nwrote {path}");
 }

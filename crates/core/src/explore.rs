@@ -7,14 +7,31 @@
 //! balance, cache geometry), collect every verified design point, and
 //! extract the energy/hardware/performance Pareto frontier a designer
 //! would actually choose from.
+//!
+//! The sweep is engineered for breadth: configurations that lower the
+//! application identically share one [`prepare`] pass, configurations
+//! whose initial (all-software) design is identical — e.g. a pure
+//! objective-factor sweep — share one baseline simulation, every
+//! configuration with the same resource library shares one
+//! [`ScheduleCache`], and the per-configuration searches run in
+//! parallel ([`crate::parallel::par_map`]) with results folded in
+//! configuration order, so a sweep's points are bit-identical for any
+//! thread count.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use corepart_ir::cdfg::Application;
+use corepart_isa::simulator::RunStats;
+use corepart_sched::cache::ScheduleCache;
 use corepart_tech::units::{Cycles, Energy, GateEq};
 
 use crate::error::CorepartError;
-use crate::partition::Partitioner;
-use crate::prepare::{prepare, Workload};
-use crate::system::SystemConfig;
+use crate::evaluate::evaluate_initial;
+use crate::parallel::{par_map, resolve_threads};
+use crate::partition::{Partitioner, ScheduleKey};
+use crate::prepare::{prepare, PreparedApp, Workload};
+use crate::system::{DesignMetrics, SystemConfig};
 
 /// One explored design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,21 +76,59 @@ impl Exploration {
     ///
     /// Coincident points (identical on all three axes) are reported
     /// once, keeping the first label.
+    ///
+    /// Runs in `O(n log n)`: points are visited in (energy, cycles,
+    /// hardware, input-order) order, so every point that could
+    /// disqualify `p` — a dominator, or a coincident point earlier in
+    /// the input — is visited before `p`. A cycles→hardware staircase
+    /// (least hardware seen at any cycle count ≤ c, strictly
+    /// decreasing) then answers "is some earlier point ≤ `p` on the
+    /// remaining two axes" in one ordered-map probe; since earlier
+    /// visits also mean energy ≤ `p.energy`, a positive probe is
+    /// exactly a dominator or an earlier coincident point, matching
+    /// the quadratic all-pairs scan this replaces.
     pub fn pareto_frontier(&self) -> Vec<&DesignPoint> {
-        let mut frontier: Vec<&DesignPoint> = Vec::new();
-        for p in self
-            .points
-            .iter()
-            .filter(|p| !self.points.iter().any(|q| q.dominates(p)))
-        {
-            let coincident = frontier
-                .iter()
-                .any(|q| q.energy == p.energy && q.cycles == p.cycles && q.geq == p.geq);
-            if !coincident {
-                frontier.push(p);
+        let mut order: Vec<usize> = (0..self.points.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (&self.points[a], &self.points[b]);
+            pa.energy
+                .joules()
+                .total_cmp(&pb.energy.joules())
+                .then(pa.cycles.cmp(&pb.cycles))
+                .then(pa.geq.cmp(&pb.geq))
+                .then(a.cmp(&b))
+        });
+
+        let mut staircase: BTreeMap<Cycles, GateEq> = BTreeMap::new();
+        let mut keep = vec![false; self.points.len()];
+        for &i in &order {
+            let p = &self.points[i];
+            let covered = staircase
+                .range(..=p.cycles)
+                .next_back()
+                .is_some_and(|(_, &geq)| geq <= p.geq);
+            if covered {
+                continue;
             }
+            keep[i] = true;
+            // Insert (cycles, geq) and evict the staircase steps it
+            // obsoletes (same or more cycles, same or more hardware),
+            // preserving the strictly-decreasing-hardware invariant.
+            let obsolete: Vec<Cycles> = staircase
+                .range(p.cycles..)
+                .take_while(|(_, &geq)| geq >= p.geq)
+                .map(|(&cycles, _)| cycles)
+                .collect();
+            for cycles in obsolete {
+                staircase.remove(&cycles);
+            }
+            staircase.insert(p.cycles, p.geq);
         }
-        frontier
+        self.points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| keep[i].then_some(p))
+            .collect()
     }
 
     /// The minimum-energy point.
@@ -119,57 +174,153 @@ impl Exploration {
     }
 }
 
+/// What [`prepare`] actually consumes from a configuration: two
+/// configs with equal fingerprints share one prepared application.
+fn prep_fingerprint(config: &SystemConfig) -> String {
+    format!("{:?}|{:?}", config.optimize_ir, config.max_cycles)
+}
+
+/// What [`evaluate_initial`] consumes on top of preparation: equal
+/// fingerprints (within a prep group) share one baseline simulation.
+fn baseline_fingerprint(config: &SystemConfig) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}",
+        config.icache, config.dcache, config.process, config.memory_bytes, config.energy_table
+    )
+}
+
+/// What cached schedules depend on besides the prepared application.
+fn library_fingerprint(config: &SystemConfig) -> String {
+    format!("{:?}", config.library)
+}
+
+/// One prepared application shared by every configuration with the
+/// same [`prep_fingerprint`], with its memoized baselines and caches.
+struct PrepGroup {
+    prepared: PreparedApp,
+    /// `(baseline fingerprint, evaluate_initial result)`.
+    baselines: Vec<(String, (DesignMetrics, RunStats))>,
+    /// `(library fingerprint, shared schedule cache)`.
+    caches: Vec<(String, Arc<ScheduleCache<ScheduleKey>>)>,
+}
+
 /// Explores an application over a family of configurations.
 ///
 /// Each configuration is a `(label, SystemConfig)` pair; the sweep
-/// re-prepares and re-partitions under each one, recording the chosen
-/// design (or the initial design when no partition wins). The initial
-/// design of the *first* configuration is included as the baseline
-/// point.
+/// partitions under each one, recording the chosen design (or the
+/// initial design when no partition wins). The initial design of the
+/// *first* configuration is included as the baseline point.
+///
+/// Preparation, the baseline simulation, and the schedule cache are
+/// shared across configurations wherever their settings allow (see the
+/// module docs), and the searches run in parallel; the resulting
+/// points are identical to running each configuration from scratch,
+/// sequentially.
 ///
 /// # Errors
 ///
 /// Propagates preparation/simulation failures; configurations whose
 /// search finds nothing contribute their initial design instead.
-pub fn explore<F>(
-    app_source: F,
+pub fn explore(
+    app: &Application,
     workload: &Workload,
     configs: &[(String, SystemConfig)],
-) -> Result<Exploration, CorepartError>
-where
-    F: Fn() -> Result<Application, CorepartError>,
-{
+) -> Result<Exploration, CorepartError> {
     if configs.is_empty() {
         return Err(CorepartError::Config {
             message: "exploration needs at least one configuration".into(),
         });
     }
-    let mut points = Vec::new();
-    let mut baseline: Option<Energy> = None;
 
-    for (label, config) in configs {
-        let prepared = prepare(app_source()?, workload.clone(), config)?;
-        let partitioner = Partitioner::new(&prepared, config)?;
-        let initial = partitioner.initial().clone();
-        let base = *baseline.get_or_insert_with(|| initial.total_energy());
-        if points.is_empty() {
-            points.push(DesignPoint {
-                label: "initial (all software)".into(),
-                energy: initial.total_energy(),
-                cycles: initial.total_cycles(),
-                geq: GateEq::ZERO,
-                saving_percent: 0.0,
-                is_initial: true,
-            });
-        }
-        let outcome = partitioner.run()?;
+    // Phase 1 (sequential): prepare and simulate the distinct
+    // baselines, assigning each configuration its shared pieces.
+    let mut groups: Vec<(String, PrepGroup)> = Vec::new();
+    // Per configuration: (group, baseline index, cache index).
+    let mut assignments: Vec<(usize, usize, usize)> = Vec::with_capacity(configs.len());
+    for (_, config) in configs {
+        config.validate()?;
+        let pf = prep_fingerprint(config);
+        let gi = match groups.iter().position(|(f, _)| *f == pf) {
+            Some(gi) => gi,
+            None => {
+                let prepared = prepare(app.clone(), workload.clone(), config)?;
+                groups.push((
+                    pf,
+                    PrepGroup {
+                        prepared,
+                        baselines: Vec::new(),
+                        caches: Vec::new(),
+                    },
+                ));
+                groups.len() - 1
+            }
+        };
+        let group = &mut groups[gi].1;
+        let bf = baseline_fingerprint(config);
+        let bi = match group.baselines.iter().position(|(f, _)| *f == bf) {
+            Some(bi) => bi,
+            None => {
+                let baseline = evaluate_initial(&group.prepared, config)?;
+                group.baselines.push((bf, baseline));
+                group.baselines.len() - 1
+            }
+        };
+        let lf = library_fingerprint(config);
+        let ci = match group.caches.iter().position(|(f, _)| *f == lf) {
+            Some(ci) => ci,
+            None => {
+                group.caches.push((lf, Arc::new(ScheduleCache::new())));
+                group.caches.len() - 1
+            }
+        };
+        assignments.push((gi, bi, ci));
+    }
+
+    // Phase 2 (parallel): one search per configuration, folded back in
+    // configuration order.
+    let threads = resolve_threads(configs[0].1.threads);
+    let jobs: Vec<usize> = (0..configs.len()).collect();
+    let outcomes = par_map(&jobs, threads, |_, &i| {
+        let (_, config) = &configs[i];
+        let (gi, bi, ci) = assignments[i];
+        let group = &groups[gi].1;
+        let (initial, initial_stats) = &group.baselines[bi].1;
+        let partitioner = Partitioner::with_baseline(
+            &group.prepared,
+            config,
+            initial.clone(),
+            initial_stats.clone(),
+            Arc::clone(&group.caches[ci].1),
+        )?;
+        partitioner.run()
+    });
+
+    // Phase 3 (sequential): assemble the points.
+    let (gi, bi, _) = assignments[0];
+    let first_initial = &groups[gi].1.baselines[bi].1 .0;
+    let base = first_initial.total_energy();
+    let mut points = Vec::with_capacity(configs.len() + 1);
+    points.push(DesignPoint {
+        label: "initial (all software)".into(),
+        energy: first_initial.total_energy(),
+        cycles: first_initial.total_cycles(),
+        geq: GateEq::ZERO,
+        saving_percent: 0.0,
+        is_initial: true,
+    });
+    for ((label, _), outcome) in configs.iter().zip(outcomes) {
+        let outcome = outcome?;
         let (energy, cycles, geq) = match &outcome.best {
             Some((_, detail)) => (
                 detail.metrics.total_energy(),
                 detail.metrics.total_cycles(),
                 detail.metrics.geq,
             ),
-            None => (initial.total_energy(), initial.total_cycles(), GateEq::ZERO),
+            None => (
+                outcome.initial.total_energy(),
+                outcome.initial.total_cycles(),
+                GateEq::ZERO,
+            ),
         };
         points.push(DesignPoint {
             label: label.clone(),
@@ -210,8 +361,8 @@ mod tests {
             return y[40];
         }"#;
 
-    fn app() -> Result<Application, CorepartError> {
-        Ok(lower(&parse(SRC)?)?)
+    fn app() -> Application {
+        lower(&parse(SRC).unwrap()).unwrap()
     }
 
     fn workload() -> Workload {
@@ -221,7 +372,7 @@ mod tests {
     #[test]
     fn sweep_produces_points_and_frontier() {
         let configs = hardware_weight_sweep(&[0.0, 0.2, 2.0], &SystemConfig::new());
-        let ex = explore(app, &workload(), &configs).expect("sweep runs");
+        let ex = explore(&app(), &workload(), &configs).expect("sweep runs");
         // initial + 3 sweep points.
         assert_eq!(ex.points.len(), 4);
         let frontier = ex.pareto_frontier();
@@ -273,13 +424,13 @@ mod tests {
 
     #[test]
     fn empty_config_list_rejected() {
-        assert!(explore(app, &workload(), &[]).is_err());
+        assert!(explore(&app(), &workload(), &[]).is_err());
     }
 
     #[test]
     fn min_accessors() {
         let configs = hardware_weight_sweep(&[0.2], &SystemConfig::new());
-        let ex = explore(app, &workload(), &configs).expect("sweep runs");
+        let ex = explore(&app(), &workload(), &configs).expect("sweep runs");
         assert!(ex.min_energy().is_some());
         assert!(ex.min_cycles().is_some());
     }

@@ -138,7 +138,9 @@ pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
             "{{\"app\":\"{}\",\"initial\":{},\"best\":{},",
             "\"search\":{{\"candidates\":{},\"estimated\":{},",
             "\"rejected_by_utilization\":{},\"infeasible\":{},",
-            "\"growth_steps\":{},\"verifications\":{}}}}}"
+            "\"growth_steps\":{},\"verifications\":{},",
+            "\"cache_hits\":{},\"cache_misses\":{},",
+            "\"estimate_nanos\":{},\"growth_nanos\":{},\"verify_nanos\":{}}}}}"
         ),
         esc(name),
         metrics_to_json(&outcome.initial),
@@ -149,6 +151,11 @@ pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
         s.infeasible,
         s.growth_steps,
         s.verifications,
+        s.cache_hits,
+        s.cache_misses,
+        s.estimate_nanos,
+        s.growth_nanos,
+        s.verify_nanos,
     )
 }
 

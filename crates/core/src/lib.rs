@@ -58,6 +58,7 @@ pub mod flow;
 pub mod json;
 pub mod multicore;
 pub mod objective;
+pub mod parallel;
 pub mod partition;
 pub mod prepare;
 pub mod preselect;
@@ -69,7 +70,8 @@ pub use evaluate::{evaluate_initial, evaluate_partition, Partition, PartitionDet
 pub use explore::{explore, DesignPoint, Exploration};
 pub use flow::{DesignFlow, FlowResult};
 pub use multicore::{evaluate_multicore, split_search, MultiCorePartition};
-pub use partition::{PartitionOutcome, Partitioner, SearchStats};
+pub use parallel::{par_map, resolve_threads};
+pub use partition::{PartitionOutcome, Partitioner, ScheduleKey, SearchStats};
 pub use prepare::{prepare, PreparedApp, Workload};
 pub use report::{figure6, render_figure6, Figure6Point, Table1, Table1Entry};
 pub use system::{DesignMetrics, SystemConfig};

@@ -18,28 +18,51 @@
 //! chosen partition greedily: neighbouring clusters whose addition
 //! improves the (estimated, then verified) objective join the ASIC
 //! core, benefiting from the synergy discounts of Fig. 3.
+//!
+//! ## The parallel, memoizing engine
+//!
+//! The estimate grid (candidates × resource sets) and each growth
+//! round are parallel maps ([`crate::parallel::par_map`]) whose
+//! results are folded **sequentially in candidate order**: the strict
+//! `<` comparison keeps the first-in-order winner on ties and each
+//! growth round adopts the first improving candidate in order, exactly
+//! what the sequential scan did. Schedules are memoized in a
+//! [`ScheduleCache`] (one compute per key even under races), so both
+//! the chosen partition *and* the statistics are bit-identical for
+//! every [`SystemConfig::threads`] value.
 
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
 
 use corepart_ir::cluster::ClusterId;
 use corepart_isa::profile::CoreUtilization;
 use corepart_isa::simulator::RunStats;
 use corepart_sched::binding::{bind, schedule_cluster, utilization};
+use corepart_sched::cache::{ScheduleCache, ScheduledCluster};
 use corepart_sched::datapath::estimate_datapath;
 use corepart_sched::energy::estimate_energy;
 use corepart_tech::energy::MemoryEnergyModel;
+use corepart_tech::resource::ResourceKind;
 use corepart_tech::units::Energy;
 
 use crate::bus_transfer::transfer_counts;
 use crate::error::CorepartError;
 use crate::evaluate::{evaluate_initial, evaluate_partition, Partition, PartitionDetail};
 use crate::objective::Objective;
+use crate::parallel::{par_map, resolve_threads};
 use crate::prepare::PreparedApp;
 use crate::preselect::{preselect, CandidateScore};
 use crate::system::{DesignMetrics, SystemConfig};
 
+/// The memoization key of one synthesis request: the partition's
+/// clusters (in partition order — block order matters to the
+/// scheduler) plus the resource set's identity (name and exact
+/// contents).
+pub type ScheduleKey = (Vec<ClusterId>, String, Vec<(ResourceKind, u32)>);
+
 /// Counters describing how the search went.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SearchStats {
     /// Clusters surviving pre-selection.
     pub candidates: usize,
@@ -53,7 +76,34 @@ pub struct SearchStats {
     pub growth_steps: usize,
     /// Full verifications run (Fig. 1 lines 14–15).
     pub verifications: usize,
+    /// Schedule-cache lookups served from memory during this run.
+    pub cache_hits: u64,
+    /// Schedule-cache lookups that ran the scheduler (distinct keys).
+    pub cache_misses: u64,
+    /// Wall time of the estimate phase, nanoseconds.
+    pub estimate_nanos: u64,
+    /// Wall time of the greedy growth phase, nanoseconds.
+    pub growth_nanos: u64,
+    /// Wall time of the verification phase, nanoseconds.
+    pub verify_nanos: u64,
 }
+
+impl PartialEq for SearchStats {
+    /// Wall-time fields are excluded: two runs are equal when they did
+    /// the same work, however long the clock said it took.
+    fn eq(&self, other: &Self) -> bool {
+        self.candidates == other.candidates
+            && self.estimated == other.estimated
+            && self.rejected_by_utilization == other.rejected_by_utilization
+            && self.infeasible == other.infeasible
+            && self.growth_steps == other.growth_steps
+            && self.verifications == other.verifications
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+    }
+}
+
+impl Eq for SearchStats {}
 
 /// The result of a partitioning run.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +158,8 @@ pub struct Partitioner<'a> {
     initial_stats: RunStats,
     u_up: f64,
     objective: Objective,
+    cache: Arc<ScheduleCache<ScheduleKey>>,
+    threads: usize,
 }
 
 impl<'a> Partitioner<'a> {
@@ -119,16 +171,76 @@ impl<'a> Partitioner<'a> {
     pub fn new(prepared: &'a PreparedApp, config: &'a SystemConfig) -> Result<Self, CorepartError> {
         config.validate()?;
         let (initial, initial_stats) = evaluate_initial(prepared, config)?;
+        Ok(Self::assemble(
+            prepared,
+            config,
+            initial,
+            initial_stats,
+            Arc::new(ScheduleCache::new()),
+        ))
+    }
+
+    /// Like [`Partitioner::new`], but with the initial-design baseline
+    /// and the schedule cache injected instead of computed.
+    ///
+    /// This is how [`crate::explore`] shares one baseline simulation
+    /// and one schedule cache across every configuration that differs
+    /// only in objective factors: the caller guarantees that `initial`
+    /// / `initial_stats` were produced by [`evaluate_initial`] for an
+    /// equivalent configuration, and that every partitioner sharing
+    /// `cache` uses the same prepared application, profile and
+    /// resource library.
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation failures.
+    pub fn with_baseline(
+        prepared: &'a PreparedApp,
+        config: &'a SystemConfig,
+        initial: DesignMetrics,
+        initial_stats: RunStats,
+        cache: Arc<ScheduleCache<ScheduleKey>>,
+    ) -> Result<Self, CorepartError> {
+        config.validate()?;
+        Ok(Self::assemble(
+            prepared,
+            config,
+            initial,
+            initial_stats,
+            cache,
+        ))
+    }
+
+    fn assemble(
+        prepared: &'a PreparedApp,
+        config: &'a SystemConfig,
+        initial: DesignMetrics,
+        initial_stats: RunStats,
+        cache: Arc<ScheduleCache<ScheduleKey>>,
+    ) -> Self {
         let u_up = CoreUtilization::from_stats(&initial_stats).mean();
         let objective = Objective::new(config, initial.total_energy());
-        Ok(Partitioner {
+        let threads = resolve_threads(config.threads);
+        Partitioner {
             prepared,
             config,
             initial,
             initial_stats,
             u_up,
             objective,
-        })
+            cache,
+            threads,
+        }
+    }
+
+    /// The schedule cache backing this partitioner's estimates.
+    pub fn schedule_cache(&self) -> &Arc<ScheduleCache<ScheduleKey>> {
+        &self.cache
+    }
+
+    /// The resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The initial design's metrics.
@@ -212,19 +324,36 @@ impl<'a> Partitioner<'a> {
         for &cid in &partition.clusters {
             hw_blocks.extend(self.prepared.chain.cluster(cid).blocks.iter().copied());
         }
-        let sched = schedule_cluster(
-            &self.prepared.app,
-            &hw_blocks,
-            &partition.set,
-            &self.config.library,
-        )?;
-        let binding = bind(&sched, &self.config.library);
-        let util = utilization(
-            &sched,
-            &binding,
-            &self.prepared.profile,
-            &self.config.library,
+        let key: ScheduleKey = (
+            partition.clusters.clone(),
+            partition.set.name().to_owned(),
+            partition.set.iter().collect(),
         );
+        let synth = self.cache.get_or_compute(key, || {
+            let sched = schedule_cluster(
+                &self.prepared.app,
+                &hw_blocks,
+                &partition.set,
+                &self.config.library,
+            )?;
+            let binding = bind(&sched, &self.config.library);
+            let util = utilization(
+                &sched,
+                &binding,
+                &self.prepared.profile,
+                &self.config.library,
+            );
+            Ok(ScheduledCluster {
+                sched,
+                binding,
+                util,
+            })
+        })?;
+        let ScheduledCluster {
+            sched,
+            binding,
+            util,
+        } = &*synth;
 
         // Fig. 1 line 9: only clusters that utilize the ASIC datapath
         // better than the µP utilizes itself *while running this
@@ -235,7 +364,7 @@ impl<'a> Partitioner<'a> {
         }
 
         // Line 11: quick ASIC-energy estimate.
-        let e_r = estimate_energy(&util, &binding, &self.config.library);
+        let e_r = estimate_energy(util, binding, &self.config.library);
 
         // Line 12: remaining software energy.
         let e_cluster: Energy = partition
@@ -272,7 +401,7 @@ impl<'a> Partitioner<'a> {
         // estimate time (the verification re-simulates them).
         let e_rest = self.initial.icache + self.initial.dcache + self.initial.mem;
 
-        let datapath = estimate_datapath(&sched, &binding, &self.config.library);
+        let datapath = estimate_datapath(sched, binding, &self.config.library);
         let energy = e_r + e_up + e_comm + e_rest;
         let of_value = self.objective.value(energy, datapath.total());
 
@@ -298,32 +427,48 @@ impl<'a> Partitioner<'a> {
             candidates: candidates.len(),
             ..SearchStats::default()
         };
+        let (hits_before, misses_before) = (self.cache.hits(), self.cache.misses());
 
-        // --- Estimate loop (Fig. 1 lines 6-13). ---
+        // --- Estimate loop (Fig. 1 lines 6-13): the whole candidate ×
+        // resource-set grid is estimated in parallel, then folded
+        // sequentially in grid order — the strict `<` keeps the
+        // first-in-order winner on ties, so the result is identical to
+        // the sequential scan for any thread count. ---
+        let estimate_started = Instant::now();
+        let grid: Vec<Partition> = candidates
+            .iter()
+            .flat_map(|cand| {
+                self.config
+                    .resource_sets
+                    .iter()
+                    .map(|set| Partition::single(cand.cluster, set.clone()))
+            })
+            .collect();
+        search.estimated += grid.len();
+        let estimates = par_map(&grid, self.threads, |_, partition| self.estimate(partition));
         let mut best_est: Option<EstimatedCandidate> = None;
-        for cand in &candidates {
-            for set in &self.config.resource_sets {
-                search.estimated += 1;
-                let partition = Partition::single(cand.cluster, set.clone());
-                match self.estimate(&partition) {
-                    Ok(Some(est)) => {
-                        if est.of_value < self.objective.initial_value()
-                            && best_est
-                                .as_ref()
-                                .map(|b| est.of_value < b.of_value)
-                                .unwrap_or(true)
-                        {
-                            best_est = Some(est);
-                        }
+        for result in estimates {
+            match result {
+                Ok(Some(est)) => {
+                    if est.of_value < self.objective.initial_value()
+                        && best_est
+                            .as_ref()
+                            .map(|b| est.of_value < b.of_value)
+                            .unwrap_or(true)
+                    {
+                        best_est = Some(est);
                     }
-                    Ok(None) => search.rejected_by_utilization += 1,
-                    Err(CorepartError::Sched(_)) => search.infeasible += 1,
-                    Err(other) => return Err(other),
                 }
+                Ok(None) => search.rejected_by_utilization += 1,
+                Err(CorepartError::Sched(_)) => search.infeasible += 1,
+                Err(other) => return Err(other),
             }
         }
+        search.estimate_nanos = estimate_started.elapsed().as_nanos() as u64;
 
         let Some(mut best) = best_est else {
+            search.cache_hits = self.cache.hits() - hits_before;
+            search.cache_misses = self.cache.misses() - misses_before;
             return Ok(PartitionOutcome {
                 initial: self.initial.clone(),
                 best: None,
@@ -332,24 +477,37 @@ impl<'a> Partitioner<'a> {
         };
 
         // --- Greedy growth: co-locate more clusters on the ASIC core
-        // while the estimated objective keeps improving. ---
+        // while the estimated objective keeps improving. Each round
+        // estimates every remaining candidate in parallel, then adopts
+        // the first improving one in candidate order — the same
+        // cluster the sequential scan-and-break selected. ---
+        let growth_started = Instant::now();
         loop {
             let chosen: HashSet<ClusterId> = best.partition.clusters.iter().copied().collect();
+            let grown: Vec<Partition> = candidates
+                .iter()
+                .filter(|cand| !chosen.contains(&cand.cluster))
+                .map(|cand| {
+                    let mut grown = best.partition.clone();
+                    grown.clusters.push(cand.cluster);
+                    grown.clusters.sort();
+                    grown
+                })
+                .collect();
+            if grown.is_empty() {
+                break;
+            }
+            search.estimated += grown.len();
+            let estimates = par_map(&grown, self.threads, |_, partition| {
+                self.estimate_inner(partition, false)
+            });
             let mut improved = false;
-            for cand in &candidates {
-                if chosen.contains(&cand.cluster) {
-                    continue;
-                }
-                let mut grown = best.partition.clone();
-                grown.clusters.push(cand.cluster);
-                grown.clusters.sort();
-                search.estimated += 1;
-                match self.estimate_inner(&grown, false) {
-                    Ok(Some(est)) if est.of_value < best.of_value => {
+            for result in estimates {
+                match result {
+                    Ok(Some(est)) if !improved && est.of_value < best.of_value => {
                         best = est;
                         improved = true;
                         search.growth_steps += 1;
-                        break;
                     }
                     Ok(Some(_)) | Ok(None) => {}
                     Err(CorepartError::Sched(_)) => search.infeasible += 1,
@@ -360,13 +518,18 @@ impl<'a> Partitioner<'a> {
                 break;
             }
         }
+        search.growth_nanos = growth_started.elapsed().as_nanos() as u64;
 
         // --- Verification (Fig. 1 lines 14-15 + the §3.5 "could the
         // total system energy be reduced?" check). ---
+        let verify_started = Instant::now();
         search.verifications += 1;
         let detail = self.evaluate(&best.partition)?;
         let verified_better =
             detail.metrics.total_energy().joules() < self.initial.total_energy().joules();
+        search.verify_nanos = verify_started.elapsed().as_nanos() as u64;
+        search.cache_hits = self.cache.hits() - hits_before;
+        search.cache_misses = self.cache.misses() - misses_before;
 
         Ok(PartitionOutcome {
             initial: self.initial.clone(),

@@ -62,6 +62,12 @@ pub struct SystemConfig {
     /// assumes it. Turning it on makes the software baseline stronger
     /// (experiment E5).
     pub optimize_ir: bool,
+    /// Worker threads for the parallel estimate grid and the
+    /// exploration sweep. `0` (the default) resolves automatically:
+    /// `COREPART_THREADS`, then `RAYON_NUM_THREADS`, then the machine's
+    /// available parallelism. Results are bit-identical for every
+    /// value — the knob only trades wall time.
+    pub threads: usize,
 }
 
 impl SystemConfig {
@@ -91,6 +97,7 @@ impl SystemConfig {
             comm_handshake_cycles: 4,
             gate_margin: 0.9,
             optimize_ir: false,
+            threads: 0,
         }
     }
 
@@ -151,6 +158,14 @@ impl SystemConfig {
     /// Returns a copy with different candidate resource sets.
     pub fn with_resource_sets(mut self, sets: Vec<ResourceSet>) -> Self {
         self.resource_sets = sets;
+        self
+    }
+
+    /// Returns a copy with an explicit worker-thread count (`0` =
+    /// automatic). `1` forces the fully sequential engine; any other
+    /// value produces bit-identical results in less wall time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

@@ -1,0 +1,669 @@
+//! Offline subset of the `proptest` 1.x API.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the slice of proptest its property tests use: the
+//! [`proptest!`] macro, `prop_assert*`, [`prop_oneof!`], [`Just`],
+//! numeric-range and regex-literal strategies, tuples,
+//! `prop::collection::vec`, `prop_map`, `prop_recursive`, and
+//! [`any`](arbitrary::any).
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) but is not minimized.
+//! * **Deterministic inputs.** Each test function derives its RNG seed
+//!   from its own path, so runs are reproducible and independent of
+//!   execution order; there is no persistence file.
+//! * **Regex strategies** support the subset the tests use: `.`,
+//!   character classes with ranges and escapes, and `{lo,hi}`
+//!   repetition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner types: configuration, errors, and the case RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (the `proptest_config` attribute).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property check.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// The outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// The deterministic case generator handed to strategies.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// An RNG seeded from the test's path, so each test is
+        /// reproducible independently of execution order.
+        pub fn for_test(test_path: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+}
+
+/// Strategy combinators: how random values are described.
+pub mod strategy {
+    use std::sync::Arc;
+
+    use rand::Rng as _;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Recursive structures: up to `depth` levels where each level
+        /// picks the leaf or one recursion step (the `_desired_size` /
+        /// `_expected_branch` tuning knobs of the real crate are
+        /// accepted and ignored).
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(cur).boxed();
+                cur = Union::new(vec![leaf.clone(), branch]).boxed();
+            }
+            cur
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice among strategies (the [`crate::prop_oneof!`]
+    /// macro).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A uniform union of the given options.
+        ///
+        /// # Panics
+        ///
+        /// When `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.0.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),+) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+    int_range_strategy!(i32, u32, i64, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let u: f64 = rng.0.gen();
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    // --- Regex-literal string strategies (the proptest `&str` form) ---
+
+    enum Atom {
+        /// Any printable ASCII character, newline or tab (`.`).
+        Any,
+        /// An explicit character set (`[...]`).
+        Class(Vec<char>),
+        /// A literal character.
+        Lit(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        lo: usize,
+        hi: usize,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated [..] in regex strategy: {pattern}"));
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = chars.next().expect("dangling escape");
+                    let lit = match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    set.push(lit);
+                    prev = Some(lit);
+                }
+                '-' => {
+                    // A range when flanked; a literal '-' otherwise.
+                    match (prev, chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            chars.next();
+                            assert!(lo <= hi, "bad class range {lo}-{hi} in: {pattern}");
+                            // `lo` is already in `set`.
+                            let mut c = lo as u32 + 1;
+                            while c <= hi as u32 {
+                                set.push(char::from_u32(c).expect("valid char"));
+                                c += 1;
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            set.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                other => {
+                    set.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        assert!(!set.is_empty(), "empty [..] in regex strategy: {pattern}");
+        set
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+        pattern: &str,
+    ) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut spec = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                let (lo, hi) = spec
+                    .split_once(',')
+                    .unwrap_or_else(|| panic!("only {{lo,hi}} repetition supported: {pattern}"));
+                let lo: usize = lo.trim().parse().expect("repetition lower bound");
+                let hi: usize = hi.trim().parse().expect("repetition upper bound");
+                assert!(lo <= hi, "bad repetition {{{spec}}} in: {pattern}");
+                return (lo, hi);
+            }
+            spec.push(c);
+        }
+        panic!("unterminated {{..}} in regex strategy: {pattern}");
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => Atom::Class(parse_class(&mut chars, pattern)),
+                '\\' => {
+                    let e = chars.next().expect("dangling escape");
+                    Atom::Lit(match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    })
+                }
+                other => Atom::Lit(other),
+            };
+            let (lo, hi) = parse_repeat(&mut chars, pattern);
+            pieces.push(Piece { atom, lo, hi });
+        }
+        pieces
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse_pattern(self) {
+                let n = rng.0.gen_range(piece.lo..=piece.hi);
+                for _ in 0..n {
+                    match &piece.atom {
+                        Atom::Lit(c) => out.push(*c),
+                        Atom::Class(set) => out.push(set[rng.0.gen_range(0..set.len())]),
+                        Atom::Any => {
+                            // Printable ASCII plus newline/tab: enough
+                            // to fuzz a text front end.
+                            let i = rng.0.gen_range(0..97u32);
+                            out.push(match i {
+                                95 => '\n',
+                                96 => '\t',
+                                p => char::from_u32(0x20 + p).expect("printable"),
+                            });
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+
+    /// A size specification for generated collections.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy type `any` returns.
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// `any::<bool>()`.
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.0.gen::<u32>() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ..)`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pname:pat in $pstrat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $pname = $crate::strategy::Strategy::generate(&($pstrat), &mut __rng);)+
+                let __result: $crate::test_runner::TestCaseResult =
+                    (|| -> $crate::test_runner::TestCaseResult { $body; Ok(()) })();
+                if let Err(__e) = __result {
+                    panic!(
+                        "proptest {} case {}/{} failed: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+/// Asserts inside a property (fails the case instead of panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?} == {:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?} == {:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Module-style access (`prop::collection::vec`), as in the real
+    /// prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_generate_in_domain() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..500 {
+            let v = (1i64..12).generate(&mut rng);
+            assert!((1..12).contains(&v));
+            let f = (1e-3f64..1e3).generate(&mut rng);
+            assert!((1e-3..1e3).contains(&f));
+            let (a, b) = ((0u32..4), (0usize..3)).generate(&mut rng);
+            assert!(a < 4 && b < 3);
+            let s = (0i64..5).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(s % 2 == 0 && s < 10);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = "[a-c0-1 \\-;]{2,5}".generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars().all(|c| "abc01 -;".contains(c)),
+                "unexpected char in {s:?}"
+            );
+            let t = ".{0,20}".generate(&mut rng);
+            assert!(t.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        let mut rng = TestRng::for_test("recursive");
+        let leaf = prop_oneof![Just("x".to_owned()), Just("y".to_owned())];
+        let expr = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(l, r)| format!("({l}+{r})"))
+        });
+        for _ in 0..100 {
+            let s = expr.generate(&mut rng);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_size() {
+        let mut rng = TestRng::for_test("vecs");
+        for _ in 0..100 {
+            let v = crate::collection::vec((0u32..10, any::<bool>()), 1..7).generate(&mut rng);
+            assert!((1..=6).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0u64..100, s in "[ab]{1,3}") {
+            prop_assert!(x < 100);
+            prop_assert_eq!(s.len(), s.chars().count());
+            if s.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+}

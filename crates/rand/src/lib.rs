@@ -1,0 +1,538 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of `rand` it actually uses. The implementation is
+//! **bit-exact** with `rand 0.8.5` + `rand_chacha 0.3.1` for that
+//! slice — `StdRng::seed_from_u64`, integer `gen_range`, `gen_ratio`,
+//! `shuffle`/`choose` — so every pinned golden value and every number
+//! in EXPERIMENTS.md derived under the real crates stays valid:
+//!
+//! * `StdRng` is ChaCha12 with a 64-word `BlockRng` buffer, replicating
+//!   `rand_core`'s `next_u32`/`next_u64` read pattern (including the
+//!   straddling read at the buffer boundary).
+//! * `seed_from_u64` is `rand_core`'s PCG32 seed expansion.
+//! * Integer `gen_range` is the widening-multiply rejection sampler of
+//!   `UniformInt::sample_single_inclusive`.
+//! * `gen_ratio` is `Bernoulli::from_ratio` (fixed-point compare).
+//! * `shuffle` is the reverse Fisher–Yates of `SliceRandom`.
+//!
+//! The golden-value regression tests in `corepart-workloads` double as
+//! the compatibility vector: they were derived under the real crates
+//! and still pass against this one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the PCG32 stream
+    /// `rand_core 0.6` uses, then seeds the generator.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod chacha {
+    /// The ChaCha12 block function with a 64-bit block counter and zero
+    /// nonce — the `rand_chacha 0.3` keystream layout.
+    pub(crate) struct ChaCha12 {
+        key: [u32; 8],
+        pub(crate) counter: u64,
+    }
+
+    const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    #[inline(always)]
+    fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    impl ChaCha12 {
+        pub(crate) fn new(seed: &[u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (i, k) in key.iter_mut().enumerate() {
+                *k = u32::from_le_bytes([
+                    seed[4 * i],
+                    seed[4 * i + 1],
+                    seed[4 * i + 2],
+                    seed[4 * i + 3],
+                ]);
+            }
+            ChaCha12 { key, counter: 0 }
+        }
+
+        /// One 16-word keystream block at `counter`.
+        pub(crate) fn block(&self, counter: u64, out: &mut [u32]) {
+            let mut init = [0u32; 16];
+            init[..4].copy_from_slice(&CONSTANTS);
+            init[4..12].copy_from_slice(&self.key);
+            init[12] = counter as u32;
+            init[13] = (counter >> 32) as u32;
+            // Words 14-15: zero nonce/stream.
+            let mut s = init;
+            for _ in 0..6 {
+                quarter(&mut s, 0, 4, 8, 12);
+                quarter(&mut s, 1, 5, 9, 13);
+                quarter(&mut s, 2, 6, 10, 14);
+                quarter(&mut s, 3, 7, 11, 15);
+                quarter(&mut s, 0, 5, 10, 15);
+                quarter(&mut s, 1, 6, 11, 12);
+                quarter(&mut s, 2, 7, 8, 13);
+                quarter(&mut s, 3, 4, 9, 14);
+            }
+            for (o, (w, i)) in out.iter_mut().zip(s.iter().zip(init.iter())) {
+                *o = w.wrapping_add(*i);
+            }
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::chacha::ChaCha12;
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: ChaCha12, as in `rand 0.8`.
+    ///
+    /// Reproduces `rand_core`'s `BlockRng` buffering: a 64-word buffer
+    /// (four ChaCha blocks) refilled at once, with `next_u64` reading
+    /// two consecutive words — including the split read when only one
+    /// word remains in the buffer.
+    pub struct StdRng {
+        core: ChaCha12,
+        buf: [u32; 64],
+        index: usize,
+    }
+
+    impl StdRng {
+        fn generate(&mut self) {
+            for b in 0..4u64 {
+                let start = (b as usize) * 16;
+                self.core
+                    .block(self.core.counter + b, &mut self.buf[start..start + 16]);
+            }
+            self.core.counter += 4;
+        }
+
+        fn generate_and_set(&mut self, index: usize) {
+            self.generate();
+            self.index = index;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            StdRng {
+                core: ChaCha12::new(&seed),
+                buf: [0u32; 64],
+                index: 64, // buffer empty: first use refills
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= self.buf.len() {
+                self.generate_and_set(0);
+            }
+            let value = self.buf[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let read_u64 =
+                |buf: &[u32], index: usize| u64::from(buf[index + 1]) << 32 | u64::from(buf[index]);
+            let len = self.buf.len();
+            let index = self.index;
+            if index < len - 1 {
+                self.index += 2;
+                read_u64(&self.buf, index)
+            } else if index >= len {
+                self.generate_and_set(2);
+                read_u64(&self.buf, 0)
+            } else {
+                // One word left: it becomes the low half, the first word
+                // of the fresh buffer the high half.
+                let x = u64::from(self.buf[len - 1]);
+                self.generate_and_set(1);
+                let y = u64::from(self.buf[0]);
+                (y << 32) | x
+            }
+        }
+    }
+}
+
+/// Distributions over random words.
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types that map generator output to values.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" full-range distribution of each primitive.
+    pub struct Standard;
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Distribution<i32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+            rng.next_u32() as i32
+        }
+    }
+    impl Distribution<i64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            (rng.next_u32() as i32) < 0
+        }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A boolean distribution with fixed-point probability, matching
+    /// `rand 0.8`'s `Bernoulli`.
+    pub struct Bernoulli {
+        p_int: u64,
+    }
+
+    const ALWAYS_TRUE: u64 = u64::MAX;
+    const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+    impl Bernoulli {
+        /// A distribution returning `true` with probability `p`.
+        ///
+        /// # Panics
+        ///
+        /// When `p` is outside `[0, 1]`.
+        pub fn new(p: f64) -> Bernoulli {
+            if !(0.0..1.0).contains(&p) {
+                assert!(p == 1.0, "Bernoulli probability out of range: {p}");
+                return Bernoulli { p_int: ALWAYS_TRUE };
+            }
+            Bernoulli {
+                p_int: (p * SCALE) as u64,
+            }
+        }
+
+        /// `true` with probability `numerator / denominator`.
+        ///
+        /// # Panics
+        ///
+        /// When `numerator > denominator`.
+        pub fn from_ratio(numerator: u32, denominator: u32) -> Bernoulli {
+            assert!(
+                numerator <= denominator,
+                "Bernoulli ratio {numerator}/{denominator} out of range"
+            );
+            if numerator == denominator {
+                return Bernoulli { p_int: ALWAYS_TRUE };
+            }
+            let p_int = ((u64::from(numerator) << 32) / u64::from(denominator)) << 32;
+            Bernoulli { p_int }
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() < self.p_int
+        }
+    }
+}
+
+mod uniform {
+    use super::RngCore;
+
+    /// Types with a built-in uniform-range sampler.
+    ///
+    /// A single blanket `SampleRange` impl hangs off this trait (rather
+    /// than one impl per concrete range type) so integer literals in
+    /// `gen_range(-2..3)` unify with the surrounding expression instead
+    /// of falling back to `i32`, exactly as with the real crate.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Samples uniformly from `low..=high`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+        /// `v - 1`, to convert a half-open bound to an inclusive one.
+        fn dec(v: Self) -> Self;
+    }
+
+    /// A range usable with [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_single_inclusive(self.start, T::dec(self.end), rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = (*self.start(), *self.end());
+            assert!(low <= high, "gen_range: empty range");
+            T::sample_single_inclusive(low, high, rng)
+        }
+    }
+
+    // `UniformInt::sample_single_inclusive` of rand 0.8.5: widening
+    // multiply with the bitmask-free rejection zone.
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $sample:ident, $u_large:ty, $wide:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                    if range == 0 {
+                        // The full type range.
+                        return rng.$sample() as $ty;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: $u_large = rng.$sample() as $u_large;
+                        let wide = (v as $wide) * (range as $wide);
+                        let hi = (wide >> (<$u_large>::BITS)) as $u_large;
+                        let lo = wide as $u_large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn dec(v: $ty) -> $ty {
+                    v - 1
+                }
+            }
+        };
+    }
+
+    uniform_int_impl!(i64, u64, next_u64, u64, u128);
+    uniform_int_impl!(u64, u64, next_u64, u64, u128);
+    uniform_int_impl!(i32, u32, next_u32, u32, u64);
+    uniform_int_impl!(u32, u32, next_u32, u32, u64);
+    // 64-bit platforms: usize takes the u64 path, as in rand 0.8.
+    uniform_int_impl!(usize, usize, next_u64, u64, u128);
+}
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Convenience sampling methods, as on `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A value from the type's full-range [`distributions::Standard`]
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
+    }
+
+    /// A uniform value from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.sample(distributions::Bernoulli::new(p))
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        self.sample(distributions::Bernoulli::from_ratio(numerator, denominator))
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers, as in `rand::seq`.
+pub mod seq {
+    use super::Rng;
+    use super::RngCore;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles in place (reverse Fisher–Yates, as in `rand 0.8`).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-120i64..120);
+            assert!((-120..120).contains(&v));
+            let u = rng.gen_range(0usize..=17);
+            assert!(u <= 17);
+        }
+    }
+
+    #[test]
+    fn mixed_u32_u64_reads_straddle_buffer() {
+        // Exercise the split read at the 64-word buffer boundary: 63
+        // u32 reads leave one word, the next u64 must straddle.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..63 {
+            rng.gen::<u32>();
+        }
+        let v = rng.gen::<u64>();
+        let w = rng.gen::<u64>();
+        assert_ne!(v, w);
+    }
+
+    #[test]
+    fn gen_ratio_rate_roughly_matches() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..12_000).filter(|_| rng.gen_ratio(1, 12)).count();
+        assert!((700..1300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,218 @@
+//! Memoization of the estimate phase's expensive trio.
+//!
+//! The Fig. 1 search — and any §3.5 sweep over objective factors —
+//! requests the same (cluster set, resource set) synthesis over and
+//! over: [`schedule_cluster`](crate::binding::schedule_cluster),
+//! [`bind`](crate::binding::bind) and
+//! [`utilization`](crate::binding::utilization) do not depend on the
+//! objective weights at all, only on the application, the profile, the
+//! blocks and the candidate datapath. [`ScheduleCache`] memoizes the
+//! trio under a caller-chosen key (the partitioner keys by cluster-id
+//! list plus resource-set identity).
+//!
+//! Concurrency: each key's entry is backed by its own [`OnceLock`], so
+//! racing lookups block on the single computation instead of computing
+//! twice. Exactly one miss is therefore charged per distinct key no
+//! matter how many threads race, which keeps the hit/miss counters —
+//! and everything derived from them — deterministic for a fixed
+//! workload regardless of thread count.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::binding::{Binding, ClusterSchedule, Utilization};
+use crate::list::SchedError;
+
+/// The memoized product of one cluster-on-datapath synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledCluster {
+    /// The list schedule of every block.
+    pub sched: ClusterSchedule,
+    /// The instance binding and `GEQ_RS`.
+    pub binding: Binding,
+    /// The utilization rate `U_R^core`.
+    pub util: Utilization,
+}
+
+type Slot = Arc<OnceLock<Result<Arc<ScheduledCluster>, SchedError>>>;
+
+/// A concurrent, compute-once cache of [`ScheduledCluster`]s.
+///
+/// Infeasible results ([`SchedError`]) are cached too: a resource set
+/// that cannot execute a cluster never will, and greedy growth keeps
+/// re-asking about the same infeasible combinations.
+#[derive(Debug, Default)]
+pub struct ScheduleCache<K> {
+    map: Mutex<HashMap<K, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash> ScheduleCache<K> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScheduleCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the entry for `key`, running `compute` on the first
+    /// request. Concurrent lookups of the same key block on the one
+    /// computation rather than repeating it.
+    ///
+    /// # Errors
+    ///
+    /// The (cached) [`SchedError`] when the synthesis is infeasible.
+    pub fn get_or_compute<F>(&self, key: K, compute: F) -> Result<Arc<ScheduledCluster>, SchedError>
+    where
+        F: FnOnce() -> Result<ScheduledCluster, SchedError>,
+    {
+        let slot: Slot = {
+            let mut map = self.map.lock().expect("schedule cache poisoned");
+            Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+        };
+        let mut computed = false;
+        let result = slot.get_or_init(|| {
+            computed = true;
+            compute().map(Arc::new)
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the computation (= distinct keys seen).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("schedule cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{bind, schedule_cluster, utilization};
+    use corepart_ir::interp::Interpreter;
+    use corepart_ir::lower::lower;
+    use corepart_ir::parser::parse;
+    use corepart_tech::resource::{ResourceLibrary, ResourceSet};
+
+    fn fixture() -> (
+        corepart_ir::cdfg::Application,
+        corepart_ir::interp::ExecProfile,
+    ) {
+        let app = lower(
+            &parse(
+                r#"app cachetest; var x[32]; var y[32];
+                func main() {
+                    for (var i = 1; i < 32; i = i + 1) {
+                        y[i] = x[i] * 5 + x[i - 1] * 3;
+                    }
+                    return y[7];
+                }"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let profile = Interpreter::new(&app).run(1_000_000).unwrap();
+        (app, profile)
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_value() {
+        let (app, profile) = fixture();
+        let lib = ResourceLibrary::cmos6();
+        let set = &ResourceSet::default_family()[2];
+        let blocks = app
+            .structure()
+            .iter()
+            .find(|n| n.is_loop())
+            .unwrap()
+            .blocks()
+            .to_vec();
+
+        let cache: ScheduleCache<u32> = ScheduleCache::new();
+        let compute = || {
+            let sched = schedule_cluster(&app, &blocks, set, &lib)?;
+            let binding = bind(&sched, &lib);
+            let util = utilization(&sched, &binding, &profile, &lib);
+            Ok(ScheduledCluster {
+                sched,
+                binding,
+                util,
+            })
+        };
+        let first = cache.get_or_compute(7, compute).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let mut ran_again = false;
+        let second = cache
+            .get_or_compute(7, || {
+                ran_again = true;
+                unreachable!("cached key must not recompute")
+            })
+            .unwrap();
+        assert!(!ran_again);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&first, &second));
+        // The cached trio equals a fresh computation.
+        let fresh = schedule_cluster(&app, &blocks, set, &lib).unwrap();
+        assert_eq!(first.sched, fresh);
+        assert_eq!(first.binding, bind(&fresh, &lib));
+        assert_eq!(
+            first.util,
+            utilization(&fresh, &first.binding, &profile, &lib)
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn infeasible_results_are_cached() {
+        let (app, _profile) = fixture();
+        // An empty resource set cannot execute anything.
+        let empty = ResourceSet::builder("empty").build();
+        let lib = ResourceLibrary::cmos6();
+        let blocks = app
+            .structure()
+            .iter()
+            .find(|n| n.is_loop())
+            .unwrap()
+            .blocks()
+            .to_vec();
+
+        let cache: ScheduleCache<&str> = ScheduleCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let r = cache.get_or_compute("empty", || {
+                calls += 1;
+                let sched = schedule_cluster(&app, &blocks, &empty, &lib)?;
+                let binding = bind(&sched, &lib);
+                unreachable!("{binding:?}")
+            });
+            assert!(r.is_err());
+        }
+        assert_eq!(calls, 1);
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`datapath`] — register/mux/controller overhead on top of `GEQ_RS`.
 //! * [`energy`] — the quick `E_R` estimate (Fig. 1 line 11) and the
 //!   switching-activity "gate-level" verification estimate (line 15).
+//! * [`cache`] — compute-once memoization of the schedule/bind/
+//!   utilization trio for repeated estimate queries.
 //!
 //! ## Example
 //!
@@ -44,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod binding;
+pub mod cache;
 pub mod datapath;
 pub mod dfg;
 pub mod energy;
@@ -52,6 +55,7 @@ pub mod gantt;
 pub mod list;
 
 pub use binding::{bind, schedule_cluster, utilization, Binding, ClusterSchedule, Utilization};
+pub use cache::{ScheduleCache, ScheduledCluster};
 pub use datapath::{estimate_datapath, DatapathEstimate};
 pub use dfg::{op_class_of, BlockDfg};
 pub use energy::{estimate_energy, gate_level_energy, AsicEnergy};

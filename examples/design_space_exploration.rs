@@ -8,6 +8,7 @@
 //! ```
 
 use corepart::error::CorepartError;
+use corepart::explore::{explore, hardware_weight_sweep};
 use corepart::partition::Partitioner;
 use corepart::prepare::{prepare, Workload};
 use corepart::system::SystemConfig;
@@ -52,30 +53,33 @@ fn main() -> Result<(), CorepartError> {
     let pattern: Vec<i64> = vec![1, 3, 7, 11, 11, 7, 3, 1];
     let workload = Workload::from_arrays([("signal", signal), ("pattern", pattern)]);
 
+    let app = lower(&parse(SOURCE)?)?;
+
     // Axis 1: hardware-cost pressure (objective-function balance).
+    // `explore` shares one preparation, one baseline simulation and
+    // one schedule cache across the whole sweep — the points are the
+    // same as re-running from scratch per weight, only faster.
     println!("=== hardware-weight sweep (default resource-set family) ===");
     println!(
-        "{:>6} {:>10} {:>10} {:>10}",
-        "G", "saving%", "chg%", "cells"
+        "{:>24} {:>10} {:>12} {:>10}",
+        "point", "saving%", "cycles", "cells"
     );
-    for g in [0.0, 0.2, 1.0, 4.0, 16.0] {
-        let config = SystemConfig::new().with_factors(1.0, g);
-        let app = lower(&parse(SOURCE)?)?;
-        let prepared = prepare(app, workload.clone(), &config)?;
-        let outcome = Partitioner::new(&prepared, &config)?.run()?;
-        match &outcome.best {
-            Some((_, detail)) => println!(
-                "{:>6.1} {:>10.1} {:>10.1} {:>10}",
-                g,
-                outcome.energy_saving_percent().unwrap_or(0.0),
-                outcome.time_change_percent().unwrap_or(0.0),
-                detail.metrics.geq.cells(),
-            ),
-            None => println!("{g:>6.1} {:>10} {:>10} {:>10}", "--", "--", "--"),
-        }
+    let configs = hardware_weight_sweep(&[0.0, 0.2, 1.0, 4.0, 16.0], &SystemConfig::new());
+    let exploration = explore(&app, &workload, &configs)?;
+    for p in &exploration.points {
+        println!(
+            "{:>24} {:>10.1} {:>12} {:>10}",
+            p.label,
+            p.saving_percent,
+            p.cycles.to_string(),
+            p.geq.cells(),
+        );
     }
 
     // Axis 2: datapath width (forcing one specific set at a time).
+    // Preparation only depends on the lowering knobs, so one prepared
+    // app serves every datapath-width configuration.
+    let prepared = prepare(app, workload, &SystemConfig::new())?;
     println!("\n=== datapath-width sweep (G = 0.2) ===");
     println!(
         "{:>12} {:>10} {:>10} {:>10} {:>8}",
@@ -95,8 +99,6 @@ fn main() -> Result<(), CorepartError> {
             .with(ResourceKind::MemPort, ports)
             .build();
         let config = SystemConfig::new().with_resource_sets(vec![set]);
-        let app = lower(&parse(SOURCE)?)?;
-        let prepared = prepare(app, workload.clone(), &config)?;
         let outcome = Partitioner::new(&prepared, &config)?.run()?;
         match &outcome.best {
             Some((_, detail)) => println!(

@@ -31,8 +31,8 @@ fn main() -> Result<(), CorepartError> {
         ));
     }
 
-    let source = kernel.source.clone();
-    let exploration = explore(move || Ok(lower(&parse(&source)?)?), &workload, &configs)?;
+    let app = lower(&parse(&kernel.source)?)?;
+    let exploration = explore(&app, &workload, &configs)?;
 
     println!(
         "explored {} design points for `{}`\n",

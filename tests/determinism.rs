@@ -1,0 +1,156 @@
+//! Determinism guarantees of the parallel, memoizing search engine.
+//!
+//! The engine promises bit-identical results for every thread count
+//! ([`SystemConfig::threads`]): the estimate grid and the growth
+//! rounds are parallel maps folded sequentially in candidate order,
+//! and the schedule cache computes each key exactly once. These tests
+//! pin that promise on the six paper workloads, on a full exploration
+//! sweep, and — property-style — on the memoized schedule results
+//! themselves.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use corepart::explore::{explore, hardware_weight_sweep};
+use corepart::partition::{Partitioner, ScheduleKey};
+use corepart::prepare::{prepare, Workload};
+use corepart::sched::binding::{bind, schedule_cluster, utilization};
+use corepart::sched::cache::{ScheduleCache, ScheduledCluster};
+use corepart::system::SystemConfig;
+use corepart_workloads::{all, by_name};
+
+#[test]
+fn parallel_search_matches_sequential_on_all_six_workloads() {
+    for w in all() {
+        let sequential_config = SystemConfig::new().with_threads(1);
+        let parallel_config = SystemConfig::new().with_threads(4);
+        // Preparation ignores the thread knob: share it.
+        let prepared = prepare(
+            w.app().expect("workload lowers"),
+            Workload::from_arrays(w.arrays(1)),
+            &sequential_config,
+        )
+        .expect("workload prepares");
+
+        let sequential = Partitioner::new(&prepared, &sequential_config)
+            .expect("initial run")
+            .run()
+            .expect("sequential search");
+        let parallel = Partitioner::new(&prepared, &parallel_config)
+            .expect("initial run")
+            .run()
+            .expect("parallel search");
+
+        // PartitionOutcome equality covers the initial metrics, the
+        // chosen partition + its verified detail, and the search
+        // statistics (wall times excluded by design).
+        assert_eq!(sequential, parallel, "outcome diverged on `{}`", w.name);
+        assert_eq!(
+            sequential.search.cache_hits, parallel.search.cache_hits,
+            "cache hits diverged on `{}`",
+            w.name
+        );
+        assert_eq!(
+            sequential.search.cache_misses, parallel.search.cache_misses,
+            "cache misses diverged on `{}`",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn exploration_sweep_is_thread_count_invariant() {
+    let w = by_name("digs").expect("digs exists");
+    let app = w.app().expect("lowers");
+    let workload = Workload::from_arrays(w.arrays(1));
+    let weights = [0.0, 0.1, 0.2, 0.5, 1.0, 2.0];
+
+    let sweep = |threads: usize| {
+        let configs = hardware_weight_sweep(&weights, &SystemConfig::new().with_threads(threads));
+        explore(&app, &workload, &configs).expect("sweep runs")
+    };
+    let sequential = sweep(1);
+    let parallel = sweep(3);
+
+    // DesignPoint is PartialEq over raw f64s: bit-identical or bust.
+    assert_eq!(sequential.points, parallel.points);
+    assert_eq!(
+        sequential
+            .pareto_frontier()
+            .iter()
+            .map(|p| p.label.clone())
+            .collect::<Vec<_>>(),
+        parallel
+            .pareto_frontier()
+            .iter()
+            .map(|p| p.label.clone())
+            .collect::<Vec<_>>(),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Memoized schedule results equal freshly computed ones for any
+    /// cluster subset and any resource set, and repeat lookups are
+    /// served from the cache.
+    #[test]
+    fn memoized_schedules_equal_fresh_computation(
+        picks in prop::collection::vec(0usize..64, 1..5),
+        set_index in 0usize..5,
+    ) {
+        let w = by_name("trick").expect("trick exists");
+        let config = SystemConfig::new();
+        let prepared = prepare(
+            w.app().expect("lowers"),
+            Workload::from_arrays(w.arrays(1)),
+            &config,
+        )
+        .expect("prepares");
+
+        // Map the raw picks onto actual cluster ids, dedup, sort —
+        // the canonical partition order.
+        let cluster_ids: Vec<_> = prepared.chain.iter().map(|c| c.id).collect();
+        let mut clusters: Vec<_> = picks
+            .iter()
+            .map(|&p| cluster_ids[p % cluster_ids.len()])
+            .collect();
+        clusters.sort();
+        clusters.dedup();
+        let set = &config.resource_sets[set_index % config.resource_sets.len()];
+
+        let mut blocks = Vec::new();
+        for &cid in &clusters {
+            blocks.extend(prepared.chain.cluster(cid).blocks.iter().copied());
+        }
+
+        let cache: Arc<ScheduleCache<ScheduleKey>> = Arc::new(ScheduleCache::new());
+        let key: ScheduleKey = (clusters.clone(), set.name().to_owned(), set.iter().collect());
+        let compute = || {
+            let sched = schedule_cluster(&prepared.app, &blocks, set, &config.library)?;
+            let binding = bind(&sched, &config.library);
+            let util = utilization(&sched, &binding, &prepared.profile, &config.library);
+            Ok(ScheduledCluster { sched, binding, util })
+        };
+
+        let fresh = compute();
+        let cached_first = cache.get_or_compute(key.clone(), compute);
+        let cached_again = cache.get_or_compute(key, || unreachable!("must be cached"));
+
+        match (fresh, cached_first, cached_again) {
+            (Ok(fresh), Ok(first), Ok(again)) => {
+                prop_assert_eq!(&fresh, &*first);
+                prop_assert!(Arc::ptr_eq(&first, &again));
+                prop_assert_eq!(cache.misses(), 1);
+                prop_assert_eq!(cache.hits(), 1);
+            }
+            (Err(fresh_err), Err(first_err), Err(again_err)) => {
+                // Infeasibility must be cached faithfully too.
+                prop_assert_eq!(&fresh_err, &first_err);
+                prop_assert_eq!(&first_err, &again_err);
+            }
+            other => prop_assert!(false, "cache/fresh disagreement: {:?}", other),
+        }
+    }
+}
