@@ -10,39 +10,50 @@
 //! cells) and our energy-driven partitioner, then compares energy and
 //! cycles side by side.
 //!
-//! On top of the A5 table, the binary times an 8-point
-//! hardware-weight sweep on `mpg` and `engine` two ways — the seed's
+//! On top of the A5 table, the binary measures the trace-replay
+//! verification engine on every application — direct instruction-set
+//! simulation of the chosen partition versus a replay of the captured
+//! reference trace, checked bit-identical — and times an 8-point
+//! hardware-weight sweep on `mpg` and `engine` two ways: the seed's
 //! sequential path (fresh preparation, baseline simulation and
 //! schedule cache per configuration, one thread) against the shared,
-//! parallel [`explore`] engine — checks the design points are
-//! bit-identical, and writes everything to `BENCH_partition.json`.
+//! parallel [`explore`] engine. Everything lands in
+//! `BENCH_partition.json`.
 //!
 //! ```text
-//! cargo run --release -p corepart-bench --bin baseline_perf
+//! cargo run --release -p corepart-bench --bin baseline_perf [app]
 //! ```
+//!
+//! With an `app` argument (one of the six Table-1 names), only that
+//! application is processed — the CI smoke job runs `baseline_perf
+//! engine`.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use corepart::baselines::performance_partition;
+use corepart::cache::hierarchy::Hierarchy;
+use corepart::cache::HierarchyReport;
+use corepart::evaluate::{evaluate_partition, evaluate_partition_with};
 use corepart::explore::{explore, hardware_weight_sweep, DesignPoint};
+use corepart::ir::op::BlockId;
+use corepart::isa::simulator::{MemSink, RunStats, SimConfig, Simulator};
 use corepart::json::outcome_to_json;
 use corepart::parallel::resolve_threads;
-use corepart::partition::Partitioner;
-use corepart::prepare::{prepare, Workload};
+use corepart::partition::{PartitionOutcome, Partitioner};
+use corepart::prepare::{prepare, PreparedApp, Workload};
 use corepart::system::SystemConfig;
+use corepart::verify::replay_run;
 use corepart_bench::SEED;
 use corepart_tech::units::GateEq;
-use corepart_workloads::{all, by_name};
+use corepart_workloads::{all, by_name, PaperWorkload};
 
 /// The seed's exploration path: every configuration prepares,
 /// simulates and schedules from scratch, one after the other. Kept
 /// here as the reference the parallel engine is measured against; the
 /// point-assembly mirrors [`explore`] so the outputs are comparable
 /// verbatim.
-fn sequential_sweep(
-    w: &corepart_workloads::PaperWorkload,
-    configs: &[(String, SystemConfig)],
-) -> Vec<DesignPoint> {
+fn sequential_sweep(w: &PaperWorkload, configs: &[(String, SystemConfig)]) -> Vec<DesignPoint> {
     let workload = Workload::from_arrays(w.arrays(SEED));
     let mut outcomes = Vec::with_capacity(configs.len());
     for (_, config) in configs {
@@ -91,14 +102,151 @@ fn sequential_sweep(
     points
 }
 
+struct HSink<'a>(&'a mut Hierarchy);
+
+impl MemSink for HSink<'_> {
+    fn ifetch(&mut self, addr: u32) {
+        self.0.ifetch(addr);
+    }
+    fn read(&mut self, addr: u32) {
+        self.0.dread(addr);
+    }
+    fn write(&mut self, addr: u32) {
+        self.0.dwrite(addr);
+    }
+}
+
+/// The direct (no-replay) µP + cache-hierarchy verification of one
+/// hardware-block set: a fresh instruction-set simulation with array
+/// re-initialization — exactly what every candidate cost before the
+/// replay engine existed.
+fn direct_verify(
+    prepared: &PreparedApp,
+    config: &SystemConfig,
+    hw_set: &HashSet<BlockId>,
+) -> (RunStats, HierarchyReport) {
+    let mut hierarchy = Hierarchy::new(
+        config.icache.clone(),
+        config.dcache.clone(),
+        &config.process,
+        config.memory_bytes,
+    );
+    let mut sim =
+        Simulator::with_energy_table(&prepared.prog, &prepared.app, config.energy_table.clone());
+    for (name, data) in &prepared.workload.arrays {
+        sim.set_array(name, data).expect("workload array");
+    }
+    let stats = sim
+        .run(
+            &SimConfig::partitioned(config.max_cycles, hw_set.clone()),
+            &mut HSink(&mut hierarchy),
+        )
+        .expect("direct simulation");
+    (stats, hierarchy.report())
+}
+
+/// Times replay-based verification against direct simulation on the
+/// search's chosen partition. Returns the `"verify":{...}` JSON
+/// fragment, or `None` when the search found no partition or the
+/// capture was unavailable.
+fn measure_verify(
+    prepared: &PreparedApp,
+    config: &SystemConfig,
+    partitioner: &Partitioner<'_>,
+    ours: &PartitionOutcome,
+    name: &str,
+) -> Option<String> {
+    const REPS: usize = 3;
+    let (partition, _) = ours.best.as_ref()?;
+    let engine = partitioner.replay_engine()?;
+
+    let mut hw_set: HashSet<BlockId> = HashSet::new();
+    for &cid in &partition.clusters {
+        hw_set.extend(prepared.chain.cluster(cid).blocks.iter().copied());
+    }
+
+    let mut direct_nanos = u128::MAX;
+    let mut direct = None;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        let run = direct_verify(prepared, config, &hw_set);
+        direct_nanos = direct_nanos.min(started.elapsed().as_nanos());
+        direct = Some(run);
+    }
+    let (direct_stats, direct_report) = direct.expect("at least one rep");
+
+    let mut replay_nanos = u128::MAX;
+    let mut replayed = None;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        let run = replay_run(prepared, config, engine.trace(), &hw_set).expect("replay");
+        replay_nanos = replay_nanos.min(started.elapsed().as_nanos());
+        replayed = Some(run);
+    }
+    let replayed = replayed.expect("at least one rep");
+
+    // Bit-identical at the simulation level *and* through the full
+    // evaluation path the search uses.
+    let detail_direct =
+        evaluate_partition(prepared, partition, partitioner.initial_stats(), config)
+            .expect("direct evaluation");
+    let detail_replayed = evaluate_partition_with(
+        prepared,
+        partition,
+        partitioner.initial_stats(),
+        config,
+        None,
+        Some(engine.as_ref()),
+    )
+    .expect("replayed evaluation");
+    let identical = direct_stats == replayed.stats
+        && direct_report == replayed.report
+        && detail_direct == detail_replayed;
+
+    let speedup = direct_nanos as f64 / replay_nanos.max(1) as f64;
+    println!(
+        "{:<8} {:>12.2} {:>12.2} {:>8.2}x {:>10}",
+        name,
+        direct_nanos as f64 / 1e6,
+        replay_nanos as f64 / 1e6,
+        speedup,
+        identical
+    );
+    Some(format!(
+        concat!(
+            "\"verify\":{{\"direct_nanos\":{},\"replay_nanos\":{},",
+            "\"speedup\":{:.4},\"identical\":{}}}"
+        ),
+        direct_nanos, replay_nanos, speedup, identical
+    ))
+}
+
 fn main() {
+    let filter = std::env::args().nth(1);
+    let selected: Vec<PaperWorkload> = match filter.as_deref() {
+        Some(name) => match by_name(name) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!(
+                    "unknown workload {name:?}; expected one of: 3d MPG ckey digs engine trick"
+                );
+                std::process::exit(2);
+            }
+        },
+        None => all(),
+    };
+
     println!("A5: energy-driven (ours) vs performance-driven (related work)\n");
     println!(
         "{:<8} {:<7} {:>10} {:>10} {:>12}",
         "app", "method", "saving%", "chg%", "HW cells"
     );
-    let mut outcome_rows: Vec<String> = Vec::new();
-    for w in all() {
+    struct Prepared {
+        w: PaperWorkload,
+        ours: PartitionOutcome,
+    }
+    let mut runs: Vec<(Prepared, SystemConfig)> = Vec::new();
+    for w in selected {
         let config = SystemConfig::new();
         let app = w.app().expect("bundled workload lowers");
         let prepared = prepare(app, Workload::from_arrays(w.arrays(SEED)), &config)
@@ -108,7 +256,6 @@ fn main() {
         let ours = partitioner.run().expect("our search");
         let perf = performance_partition(&partitioner, &config, GateEq::new(20_000))
             .expect("perf baseline");
-        outcome_rows.push(outcome_to_json(w.name, &ours));
 
         for (method, outcome) in [("energy", &ours), ("perf", &perf)] {
             match &outcome.best {
@@ -127,12 +274,37 @@ fn main() {
             }
         }
         println!();
+        runs.push((Prepared { w, ours }, config));
     }
     println!(
         "Expected shape: the perf method matches or beats on cycles but\n\
          loses on energy wherever the fastest cluster is not the most\n\
          energy-efficient one (and it has no notion of cache/memory energy)."
     );
+
+    // Replay-vs-direct verification timing on every selected
+    // application's chosen partition.
+    println!("\nverification: trace replay vs direct simulation\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>9} {:>10}",
+        "app", "direct ms", "replay ms", "speedup", "identical"
+    );
+    let mut outcome_rows: Vec<String> = Vec::new();
+    for (run, config) in &runs {
+        // Re-prepare (cheap next to the searches above) so the verify
+        // measurement owns a partitioner with a fresh replay engine.
+        let app = run.w.app().expect("bundled workload lowers");
+        let prepared = prepare(app, Workload::from_arrays(run.w.arrays(SEED)), config)
+            .expect("bundled workload prepares");
+        let partitioner = Partitioner::new(&prepared, config).expect("initial run");
+        let verify = measure_verify(&prepared, config, &partitioner, &run.ours, run.w.name);
+        let oj = outcome_to_json(run.w.name, &run.ours);
+        outcome_rows.push(match verify {
+            // Splice the verify object into the outcome record.
+            Some(v) => format!("{},{}}}", &oj[..oj.len() - 1], v),
+            None => oj,
+        });
+    }
 
     // Engine perf baseline: 8-point hardware-weight sweep, seed's
     // sequential path vs the shared, parallel engine.
@@ -147,8 +319,12 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>9} {:>10}",
         "app", "seq ms", "engine ms", "speedup", "identical"
     );
+    let sweep_apps: Vec<&'static str> = match filter.as_deref() {
+        Some(name) => vec![by_name(name).expect("validated above").name],
+        None => vec!["mpg", "engine"],
+    };
     let mut sweep_rows: Vec<String> = Vec::new();
-    for name in ["mpg", "engine"] {
+    for name in sweep_apps {
         let w = by_name(name).expect("paper workload exists");
         let seq_configs = hardware_weight_sweep(&weights, &SystemConfig::new().with_threads(1));
 

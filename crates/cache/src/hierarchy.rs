@@ -56,6 +56,20 @@ impl fmt::Display for HierarchyReport {
     }
 }
 
+/// One recorded µP-side memory reference, replayable through
+/// [`Hierarchy::apply`]. The three variants mirror the three
+/// `MemSink` callbacks the live simulation drives (instruction fetch,
+/// data read, data write).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// An instruction fetch from the address.
+    IFetch(u32),
+    /// A data read from the address.
+    Read(u32),
+    /// A data write to the address.
+    Write(u32),
+}
+
 /// The simulated hierarchy.
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
@@ -216,6 +230,26 @@ impl Hierarchy {
         self.mem_writes += 1;
     }
 
+    /// Feeds one recorded reference into the hierarchy — the replay
+    /// entry point of the trace engine. `apply` dispatches to the same
+    /// [`Hierarchy::ifetch`]/[`Hierarchy::dread`]/[`Hierarchy::dwrite`]
+    /// the live simulation drives, so replaying a captured stream in
+    /// order reproduces the [`HierarchyReport`] bit for bit.
+    pub fn apply(&mut self, event: MemEvent) {
+        match event {
+            MemEvent::IFetch(addr) => self.ifetch(addr),
+            MemEvent::Read(addr) => self.dread(addr),
+            MemEvent::Write(addr) => self.dwrite(addr),
+        }
+    }
+
+    /// Replays a whole reference stream through [`Hierarchy::apply`].
+    pub fn replay<I: IntoIterator<Item = MemEvent>>(&mut self, events: I) {
+        for event in events {
+            self.apply(event);
+        }
+    }
+
     /// The accumulated report.
     pub fn report(&self) -> HierarchyReport {
         HierarchyReport {
@@ -341,6 +375,27 @@ mod tests {
         assert!((r.total_energy().joules() - sum.joules()).abs() < 1e-18);
         let disp = format!("{r}");
         assert!(disp.contains("i$"));
+    }
+
+    #[test]
+    fn replayed_events_match_live_calls() {
+        let mut live = hierarchy();
+        let mut events = Vec::new();
+        for i in 0..512u32 {
+            live.ifetch(0x0010_0000 + (i % 128) * 4);
+            events.push(MemEvent::IFetch(0x0010_0000 + (i % 128) * 4));
+            if i % 3 == 0 {
+                live.dread(0x1000 + (i % 64) * 4);
+                events.push(MemEvent::Read(0x1000 + (i % 64) * 4));
+            }
+            if i % 7 == 0 {
+                live.dwrite(0x2000 + i * 4);
+                events.push(MemEvent::Write(0x2000 + i * 4));
+            }
+        }
+        let mut replayed = hierarchy();
+        replayed.replay(events);
+        assert_eq!(live.report(), replayed.report());
     }
 
     #[test]

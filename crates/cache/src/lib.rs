@@ -40,4 +40,4 @@ pub mod hierarchy;
 
 pub use cache::{AccessOutcome, Cache, CacheStats};
 pub use config::{CacheConfig, Replacement, WritePolicy};
-pub use hierarchy::{Hierarchy, HierarchyReport};
+pub use hierarchy::{Hierarchy, HierarchyReport, MemEvent};

@@ -20,6 +20,7 @@ use corepart_tech::units::GateEq;
 
 use crate::error::CorepartError;
 use crate::evaluate::{Partition, PartitionDetail};
+use crate::parallel::par_map;
 use crate::partition::{PartitionOutcome, Partitioner, SearchStats};
 
 /// Speedup-greedy baseline: picks the single (cluster, set) pair with
@@ -41,31 +42,48 @@ pub fn performance_partition(
     };
     let initial_cycles = partitioner.initial().total_cycles();
 
+    // Verify the whole grid in parallel (each verification replays the
+    // captured trace, memoized per hardware-block set), then fold in
+    // grid order — identical winner and tie-breaks to the sequential
+    // scan.
+    let grid: Vec<Partition> = candidates
+        .iter()
+        .flat_map(|cand| {
+            config
+                .resource_sets
+                .iter()
+                .map(|set| Partition::single(cand.cluster, set.clone()))
+        })
+        .collect();
+    search.estimated += grid.len();
+    let results = par_map(&grid, partitioner.threads(), |_, partition| {
+        partitioner.evaluate(partition)
+    });
+
     let mut best: Option<(Partition, PartitionDetail)> = None;
-    for cand in &candidates {
-        for set in &config.resource_sets {
-            search.estimated += 1;
-            let partition = Partition::single(cand.cluster, set.clone());
-            match partitioner.evaluate(&partition) {
-                Ok(detail) => {
-                    search.verifications += 1;
-                    if detail.metrics.geq > geq_budget {
-                        continue;
-                    }
-                    if detail.metrics.total_cycles() >= initial_cycles {
-                        continue;
-                    }
-                    let better = best
-                        .as_ref()
-                        .map(|(_, b)| detail.metrics.total_cycles() < b.metrics.total_cycles())
-                        .unwrap_or(true);
-                    if better {
-                        best = Some((partition, detail));
-                    }
+    for (partition, result) in grid.into_iter().zip(results) {
+        match result {
+            Ok(detail) => {
+                search.verifications += 1;
+                if partitioner.replay_engine().is_some() {
+                    search.replayed += 1;
                 }
-                Err(CorepartError::Sched(_)) => search.infeasible += 1,
-                Err(other) => return Err(other),
+                if detail.metrics.geq > geq_budget {
+                    continue;
+                }
+                if detail.metrics.total_cycles() >= initial_cycles {
+                    continue;
+                }
+                let better = best
+                    .as_ref()
+                    .map(|(_, b)| detail.metrics.total_cycles() < b.metrics.total_cycles())
+                    .unwrap_or(true);
+                if better {
+                    best = Some((partition, detail));
+                }
             }
+            Err(CorepartError::Sched(_)) => search.infeasible += 1,
+            Err(other) => return Err(other),
         }
     }
 
@@ -119,26 +137,35 @@ pub fn best_single_verified(
     partitioner: &Partitioner<'_>,
     config: &crate::system::SystemConfig,
 ) -> Result<Option<(Partition, PartitionDetail)>, CorepartError> {
+    let grid: Vec<Partition> = partitioner
+        .candidates()
+        .iter()
+        .flat_map(|cand| {
+            config
+                .resource_sets
+                .iter()
+                .map(|set| Partition::single(cand.cluster, set.clone()))
+        })
+        .collect();
+    let results = par_map(&grid, partitioner.threads(), |_, partition| {
+        partitioner.evaluate(partition)
+    });
     let mut best: Option<(Partition, PartitionDetail)> = None;
-    for cand in partitioner.candidates() {
-        for set in &config.resource_sets {
-            let partition = Partition::single(cand.cluster, set.clone());
-            match partitioner.evaluate(&partition) {
-                Ok(detail) => {
-                    let better = best
-                        .as_ref()
-                        .map(|(_, b)| {
-                            detail.metrics.total_energy().joules()
-                                < b.metrics.total_energy().joules()
-                        })
-                        .unwrap_or(true);
-                    if better {
-                        best = Some((partition, detail));
-                    }
+    for (partition, result) in grid.into_iter().zip(results) {
+        match result {
+            Ok(detail) => {
+                let better = best
+                    .as_ref()
+                    .map(|(_, b)| {
+                        detail.metrics.total_energy().joules() < b.metrics.total_energy().joules()
+                    })
+                    .unwrap_or(true);
+                if better {
+                    best = Some((partition, detail));
                 }
-                Err(CorepartError::Sched(_)) => continue,
-                Err(other) => return Err(other),
             }
+            Err(CorepartError::Sched(_)) => continue,
+            Err(other) => return Err(other),
         }
     }
     Ok(best)

@@ -18,6 +18,7 @@
 //! already part of the ASIC's memory traffic).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use corepart_cache::hierarchy::Hierarchy;
 use corepart_ir::cluster::ClusterId;
@@ -25,17 +26,22 @@ use corepart_ir::op::BlockId;
 use corepart_isa::isa::InstClass;
 use corepart_isa::profile::CoreUtilization;
 use corepart_isa::simulator::{MemSink, RunStats, SimConfig, Simulator};
+use corepart_isa::trace::{ReferenceTrace, TraceBuilder};
 use corepart_sched::binding::{bind, schedule_cluster, utilization};
+use corepart_sched::cache::{ScheduleCache, ScheduledCluster};
 use corepart_sched::datapath::{estimate_datapath, DatapathEstimate};
 use corepart_sched::energy::{estimate_energy, gate_level_energy, AsicEnergy};
+use corepart_sched::list::SchedError;
 use corepart_tech::energy::MemoryEnergyModel;
 use corepart_tech::resource::ResourceSet;
 use corepart_tech::units::{Cycles, Energy};
 
 use crate::bus_transfer::transfer_counts;
 use crate::error::CorepartError;
+use crate::partition::{schedule_key, ScheduleKey};
 use crate::prepare::PreparedApp;
 use crate::system::{DesignMetrics, SystemConfig};
+use crate::verify::ReplayEngine;
 
 /// A candidate hardware/software partition: which clusters move to the
 /// ASIC core and which designer resource set implements it.
@@ -80,7 +86,7 @@ pub struct PartitionDetail {
     pub quick_estimate: Energy,
 }
 
-struct HierarchySink<'a>(&'a mut Hierarchy);
+pub(crate) struct HierarchySink<'a>(pub(crate) &'a mut Hierarchy);
 
 impl MemSink for HierarchySink<'_> {
     fn ifetch(&mut self, addr: u32) {
@@ -126,7 +132,47 @@ pub fn evaluate_initial(
     prepared: &PreparedApp,
     config: &SystemConfig,
 ) -> Result<(DesignMetrics, RunStats), CorepartError> {
-    let (stats, report) = run_iss(prepared, config, &SimConfig::initial(config.max_cycles))?;
+    let (metrics, stats, _) = evaluate_initial_captured(prepared, config, 0)?;
+    Ok((metrics, stats))
+}
+
+/// [`evaluate_initial`] with the reference-trace capture piggybacked
+/// on the one simulation: the executed pc stream and every load/store
+/// address are recorded (up to `cap_bytes` of encoded trace) while the
+/// initial design is evaluated, at no extra simulation cost.
+///
+/// The third element is `None` when `cap_bytes` is 0 or the encoded
+/// trace outgrew the cap — callers then verify candidates by direct
+/// simulation instead of replay. Metrics and statistics are unaffected
+/// by the capture either way.
+///
+/// # Errors
+///
+/// Simulation failures ([`CorepartError::Sim`]) or bad workload arrays.
+pub fn evaluate_initial_captured(
+    prepared: &PreparedApp,
+    config: &SystemConfig,
+    cap_bytes: usize,
+) -> Result<(DesignMetrics, RunStats, Option<ReferenceTrace>), CorepartError> {
+    let mut hierarchy = Hierarchy::new(
+        config.icache.clone(),
+        config.dcache.clone(),
+        &config.process,
+        config.memory_bytes,
+    );
+    let mut sim =
+        Simulator::with_energy_table(&prepared.prog, &prepared.app, config.energy_table.clone());
+    for (name, data) in &prepared.workload.arrays {
+        sim.set_array(name, data)?;
+    }
+    let mut builder = TraceBuilder::new(cap_bytes);
+    let stats = sim.run_recorded(
+        &SimConfig::initial(config.max_cycles),
+        &mut HierarchySink(&mut hierarchy),
+        &mut builder,
+    )?;
+    let trace = builder.finish(stats.return_value);
+    let report = hierarchy.report();
     let stall_energy = config.energy_table.stall_per_cycle() * report.stall_cycles.count();
     let metrics = DesignMetrics {
         icache: report.icache_energy,
@@ -141,7 +187,7 @@ pub fn evaluate_initial(
         icache_miss_ratio: report.icache.miss_ratio(),
         dcache_miss_ratio: report.dcache.miss_ratio(),
     };
-    Ok((metrics, stats))
+    Ok((metrics, stats, trace))
 }
 
 /// Evaluates a candidate partition end to end.
@@ -159,6 +205,29 @@ pub fn evaluate_partition(
     initial_stats: &RunStats,
     config: &SystemConfig,
 ) -> Result<PartitionDetail, CorepartError> {
+    evaluate_partition_with(prepared, partition, initial_stats, config, None, None)
+}
+
+/// [`evaluate_partition`] with the two memoization layers injected:
+/// `schedules` serves the schedule/bind/utilization trio from the
+/// estimate phase's [`ScheduleCache`], and `replay` serves the µP +
+/// cache-hierarchy side by replaying the captured reference trace
+/// ([`ReplayEngine`]) instead of re-running the instruction-set
+/// simulator. Either layer may be absent; the computed
+/// [`PartitionDetail`] is bit-identical in all four combinations.
+///
+/// # Errors
+///
+/// [`CorepartError::Sched`] when the resource set cannot execute the
+/// cluster (the candidate is infeasible), or simulation failures.
+pub fn evaluate_partition_with(
+    prepared: &PreparedApp,
+    partition: &Partition,
+    initial_stats: &RunStats,
+    config: &SystemConfig,
+    schedules: Option<&ScheduleCache<ScheduleKey>>,
+    replay: Option<&ReplayEngine>,
+) -> Result<PartitionDetail, CorepartError> {
     if partition.clusters.is_empty() {
         return Err(CorepartError::Config {
             message: "a partition needs at least one cluster".into(),
@@ -173,27 +242,50 @@ pub fn evaluate_partition(
 
     // --- ASIC side: schedule, bind, utilization, energy (Fig. 1
     // lines 8-11 and 14-15). ---
-    let sched = schedule_cluster(&prepared.app, &hw_blocks, &partition.set, &config.library)?;
-    let binding = bind(&sched, &config.library);
-    let util = utilization(&sched, &binding, &prepared.profile, &config.library);
-    let datapath = estimate_datapath(&sched, &binding, &config.library);
+    let compute = || -> Result<ScheduledCluster, SchedError> {
+        let sched = schedule_cluster(&prepared.app, &hw_blocks, &partition.set, &config.library)?;
+        let binding = bind(&sched, &config.library);
+        let util = utilization(&sched, &binding, &prepared.profile, &config.library);
+        Ok(ScheduledCluster {
+            sched,
+            binding,
+            util,
+        })
+    };
+    let synth: Arc<ScheduledCluster> = match schedules {
+        Some(cache) => cache.get_or_compute(schedule_key(partition), compute)?,
+        None => Arc::new(compute()?),
+    };
+    let ScheduledCluster {
+        sched,
+        binding,
+        util,
+    } = &*synth;
+    let datapath = estimate_datapath(sched, binding, &config.library);
     let asic = gate_level_energy(
         &prepared.app,
-        &sched,
-        &binding,
-        &util,
+        sched,
+        binding,
+        util,
         &prepared.profile,
         &config.library,
         &config.process,
     );
-    let quick_estimate = estimate_energy(&util, &binding, &config.library);
+    let quick_estimate = estimate_energy(util, binding, &config.library);
 
-    // --- µP + caches side. ---
-    let (stats, report) = run_iss(
-        prepared,
-        config,
-        &SimConfig::partitioned(config.max_cycles, hw_set),
-    )?;
+    // --- µP + caches side: replay the reference trace when a capture
+    // is available, simulate directly otherwise (bit-identical). ---
+    let (stats, report) = match replay {
+        Some(engine) => {
+            let run = engine.verify(config, &hw_set)?;
+            (run.stats.clone(), run.report.clone())
+        }
+        None => run_iss(
+            prepared,
+            config,
+            &SimConfig::partitioned(config.max_cycles, hw_set),
+        )?,
+    };
 
     // --- Communication (§3.3): µP deposits inputs, reads back
     // outputs, once per invocation, with synergy between co-resident

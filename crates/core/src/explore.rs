@@ -27,11 +27,12 @@ use corepart_sched::cache::ScheduleCache;
 use corepart_tech::units::{Cycles, Energy, GateEq};
 
 use crate::error::CorepartError;
-use crate::evaluate::evaluate_initial;
+use crate::evaluate::evaluate_initial_captured;
 use crate::parallel::{par_map, resolve_threads};
 use crate::partition::{Partitioner, ScheduleKey};
 use crate::prepare::{prepare, PreparedApp, Workload};
 use crate::system::{DesignMetrics, SystemConfig};
+use crate::verify::ReplayEngine;
 
 /// One explored design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,8 +181,12 @@ fn prep_fingerprint(config: &SystemConfig) -> String {
     format!("{:?}|{:?}", config.optimize_ir, config.max_cycles)
 }
 
-/// What [`evaluate_initial`] consumes on top of preparation: equal
-/// fingerprints (within a prep group) share one baseline simulation.
+/// What [`evaluate_initial_captured`] consumes on top of preparation:
+/// equal fingerprints (within a prep group) share one baseline
+/// simulation, its captured reference trace and the replay engine
+/// built from it. `trace_cap_bytes` is deliberately excluded — replay
+/// and direct verification are bit-identical, so sharing across
+/// different caps changes wall time only.
 fn baseline_fingerprint(config: &SystemConfig) -> String {
     format!(
         "{:?}|{:?}|{:?}|{:?}|{:?}",
@@ -194,12 +199,17 @@ fn library_fingerprint(config: &SystemConfig) -> String {
     format!("{:?}", config.library)
 }
 
+/// One memoized initial-design evaluation: metrics, run statistics,
+/// and the replay engine built from the same captured run (absent
+/// when the capture overflowed the trace cap).
+type Baseline = (DesignMetrics, RunStats, Option<Arc<ReplayEngine>>);
+
 /// One prepared application shared by every configuration with the
 /// same [`prep_fingerprint`], with its memoized baselines and caches.
 struct PrepGroup {
     prepared: PreparedApp,
-    /// `(baseline fingerprint, evaluate_initial result)`.
-    baselines: Vec<(String, (DesignMetrics, RunStats))>,
+    /// `(baseline fingerprint, shared initial-design evaluation)`.
+    baselines: Vec<(String, Baseline)>,
     /// `(library fingerprint, shared schedule cache)`.
     caches: Vec<(String, Arc<ScheduleCache<ScheduleKey>>)>,
 }
@@ -260,8 +270,10 @@ pub fn explore(
         let bi = match group.baselines.iter().position(|(f, _)| *f == bf) {
             Some(bi) => bi,
             None => {
-                let baseline = evaluate_initial(&group.prepared, config)?;
-                group.baselines.push((bf, baseline));
+                let (initial, initial_stats, trace) =
+                    evaluate_initial_captured(&group.prepared, config, config.trace_cap_bytes)?;
+                let replay = trace.map(|t| Arc::new(ReplayEngine::new(&group.prepared, config, t)));
+                group.baselines.push((bf, (initial, initial_stats, replay)));
                 group.baselines.len() - 1
             }
         };
@@ -284,13 +296,14 @@ pub fn explore(
         let (_, config) = &configs[i];
         let (gi, bi, ci) = assignments[i];
         let group = &groups[gi].1;
-        let (initial, initial_stats) = &group.baselines[bi].1;
+        let (initial, initial_stats, replay) = &group.baselines[bi].1;
         let partitioner = Partitioner::with_baseline(
             &group.prepared,
             config,
             initial.clone(),
             initial_stats.clone(),
             Arc::clone(&group.caches[ci].1),
+            replay.clone(),
         )?;
         partitioner.run()
     });

@@ -138,7 +138,7 @@ pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
             "{{\"app\":\"{}\",\"initial\":{},\"best\":{},",
             "\"search\":{{\"candidates\":{},\"estimated\":{},",
             "\"rejected_by_utilization\":{},\"infeasible\":{},",
-            "\"growth_steps\":{},\"verifications\":{},",
+            "\"growth_steps\":{},\"verifications\":{},\"replayed\":{},",
             "\"cache_hits\":{},\"cache_misses\":{},",
             "\"estimate_nanos\":{},\"growth_nanos\":{},\"verify_nanos\":{}}}}}"
         ),
@@ -151,6 +151,7 @@ pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
         s.infeasible,
         s.growth_steps,
         s.verifications,
+        s.replayed,
         s.cache_hits,
         s.cache_misses,
         s.estimate_nanos,

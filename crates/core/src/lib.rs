@@ -64,17 +64,22 @@ pub mod prepare;
 pub mod preselect;
 pub mod report;
 pub mod system;
+pub mod verify;
 
 pub use error::CorepartError;
-pub use evaluate::{evaluate_initial, evaluate_partition, Partition, PartitionDetail};
+pub use evaluate::{
+    evaluate_initial, evaluate_initial_captured, evaluate_partition, evaluate_partition_with,
+    Partition, PartitionDetail,
+};
 pub use explore::{explore, DesignPoint, Exploration};
 pub use flow::{DesignFlow, FlowResult};
 pub use multicore::{evaluate_multicore, split_search, MultiCorePartition};
 pub use parallel::{par_map, resolve_threads};
-pub use partition::{PartitionOutcome, Partitioner, ScheduleKey, SearchStats};
+pub use partition::{schedule_key, PartitionOutcome, Partitioner, ScheduleKey, SearchStats};
 pub use prepare::{prepare, PreparedApp, Workload};
 pub use report::{figure6, render_figure6, Figure6Point, Table1, Table1Entry};
 pub use system::{DesignMetrics, SystemConfig};
+pub use verify::{replay_run, ReplayEngine, VerifiedRun};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

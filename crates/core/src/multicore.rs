@@ -26,7 +26,7 @@ use corepart_sched::energy::gate_level_energy;
 use corepart_tech::units::{Cycles, Energy, GateEq};
 
 use crate::error::CorepartError;
-use crate::evaluate::{evaluate_partition, Partition};
+use crate::evaluate::Partition;
 use crate::partition::Partitioner;
 use crate::system::DesignMetrics;
 
@@ -128,7 +128,7 @@ pub fn evaluate_multicore(
                 clusters: union.clusters.clone(),
                 set: c.set.clone(),
             };
-            evaluate_partition(prepared, &candidate, partitioner.initial_stats(), config).ok()
+            partitioner.evaluate(&candidate).ok()
         })
         .ok_or(CorepartError::Config {
             message: "no core's resource set can execute the union of clusters".into(),

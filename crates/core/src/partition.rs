@@ -30,6 +30,13 @@
 //! [`ScheduleCache`] (one compute per key even under races), so both
 //! the chosen partition *and* the statistics are bit-identical for
 //! every [`SystemConfig::threads`] value.
+//!
+//! Verification reuses both memoization layers: the winning
+//! candidate's schedule trio was already computed during the estimate
+//! phase (a guaranteed cache hit), and the µP + cache-hierarchy
+//! simulation is served by the trace-replay engine
+//! ([`crate::verify`]) captured during the initial run — one
+//! simulation per workload, bit-identical re-accounting per candidate.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -48,18 +55,32 @@ use corepart_tech::units::Energy;
 
 use crate::bus_transfer::transfer_counts;
 use crate::error::CorepartError;
-use crate::evaluate::{evaluate_initial, evaluate_partition, Partition, PartitionDetail};
+use crate::evaluate::{
+    evaluate_initial_captured, evaluate_partition_with, Partition, PartitionDetail,
+};
 use crate::objective::Objective;
 use crate::parallel::{par_map, resolve_threads};
 use crate::prepare::PreparedApp;
 use crate::preselect::{preselect, CandidateScore};
 use crate::system::{DesignMetrics, SystemConfig};
+use crate::verify::ReplayEngine;
 
 /// The memoization key of one synthesis request: the partition's
 /// clusters (in partition order — block order matters to the
 /// scheduler) plus the resource set's identity (name and exact
 /// contents).
 pub type ScheduleKey = (Vec<ClusterId>, String, Vec<(ResourceKind, u32)>);
+
+/// The [`ScheduleKey`] of one candidate partition — the estimate
+/// phase and the verification path build it identically, which is
+/// what lets verification reuse estimate-phase cache entries.
+pub fn schedule_key(partition: &Partition) -> ScheduleKey {
+    (
+        partition.clusters.clone(),
+        partition.set.name().to_owned(),
+        partition.set.iter().collect(),
+    )
+}
 
 /// Counters describing how the search went.
 #[derive(Debug, Clone, Copy, Default)]
@@ -76,6 +97,9 @@ pub struct SearchStats {
     pub growth_steps: usize,
     /// Full verifications run (Fig. 1 lines 14–15).
     pub verifications: usize,
+    /// Verifications served by the trace-replay engine instead of a
+    /// fresh instruction-set simulation.
+    pub replayed: usize,
     /// Schedule-cache lookups served from memory during this run.
     pub cache_hits: u64,
     /// Schedule-cache lookups that ran the scheduler (distinct keys).
@@ -89,8 +113,10 @@ pub struct SearchStats {
 }
 
 impl PartialEq for SearchStats {
-    /// Wall-time fields are excluded: two runs are equal when they did
-    /// the same work, however long the clock said it took.
+    /// Wall-time fields and the `replayed` mechanism counter are
+    /// excluded: two runs are equal when they computed the same
+    /// results, however long the clock said it took and whichever
+    /// (bit-identical) verification path served them.
     fn eq(&self, other: &Self) -> bool {
         self.candidates == other.candidates
             && self.estimated == other.estimated
@@ -159,37 +185,47 @@ pub struct Partitioner<'a> {
     u_up: f64,
     objective: Objective,
     cache: Arc<ScheduleCache<ScheduleKey>>,
+    replay: Option<Arc<ReplayEngine>>,
     threads: usize,
 }
 
 impl<'a> Partitioner<'a> {
-    /// Evaluates the initial design and sets up the objective function.
+    /// Evaluates the initial design — capturing the reference trace for
+    /// replay-based verification, see
+    /// [`SystemConfig::trace_cap_bytes`](crate::system::SystemConfig::trace_cap_bytes)
+    /// — and sets up the objective function.
     ///
     /// # Errors
     ///
     /// Configuration or simulation failures.
     pub fn new(prepared: &'a PreparedApp, config: &'a SystemConfig) -> Result<Self, CorepartError> {
         config.validate()?;
-        let (initial, initial_stats) = evaluate_initial(prepared, config)?;
+        let (initial, initial_stats, trace) =
+            evaluate_initial_captured(prepared, config, config.trace_cap_bytes)?;
+        let replay = trace.map(|t| Arc::new(ReplayEngine::new(prepared, config, t)));
         Ok(Self::assemble(
             prepared,
             config,
             initial,
             initial_stats,
             Arc::new(ScheduleCache::new()),
+            replay,
         ))
     }
 
-    /// Like [`Partitioner::new`], but with the initial-design baseline
-    /// and the schedule cache injected instead of computed.
+    /// Like [`Partitioner::new`], but with the initial-design baseline,
+    /// the schedule cache and the (optional) replay engine injected
+    /// instead of computed.
     ///
-    /// This is how [`crate::explore`] shares one baseline simulation
-    /// and one schedule cache across every configuration that differs
-    /// only in objective factors: the caller guarantees that `initial`
-    /// / `initial_stats` were produced by [`evaluate_initial`] for an
-    /// equivalent configuration, and that every partitioner sharing
-    /// `cache` uses the same prepared application, profile and
-    /// resource library.
+    /// This is how [`crate::explore`] shares one baseline simulation,
+    /// one schedule cache and one reference-trace capture across every
+    /// configuration that differs only in objective factors: the caller
+    /// guarantees that `initial` / `initial_stats` / `replay` were
+    /// produced by
+    /// [`evaluate_initial_captured`](crate::evaluate::evaluate_initial_captured)
+    /// for an equivalent configuration, and that every partitioner
+    /// sharing `cache` or `replay` uses the same prepared application,
+    /// profile, resource library and baseline system parameters.
     ///
     /// # Errors
     ///
@@ -200,6 +236,7 @@ impl<'a> Partitioner<'a> {
         initial: DesignMetrics,
         initial_stats: RunStats,
         cache: Arc<ScheduleCache<ScheduleKey>>,
+        replay: Option<Arc<ReplayEngine>>,
     ) -> Result<Self, CorepartError> {
         config.validate()?;
         Ok(Self::assemble(
@@ -208,6 +245,7 @@ impl<'a> Partitioner<'a> {
             initial,
             initial_stats,
             cache,
+            replay,
         ))
     }
 
@@ -217,6 +255,7 @@ impl<'a> Partitioner<'a> {
         initial: DesignMetrics,
         initial_stats: RunStats,
         cache: Arc<ScheduleCache<ScheduleKey>>,
+        replay: Option<Arc<ReplayEngine>>,
     ) -> Self {
         let u_up = CoreUtilization::from_stats(&initial_stats).mean();
         let objective = Objective::new(config, initial.total_energy());
@@ -229,6 +268,7 @@ impl<'a> Partitioner<'a> {
             u_up,
             objective,
             cache,
+            replay,
             threads,
         }
     }
@@ -236,6 +276,13 @@ impl<'a> Partitioner<'a> {
     /// The schedule cache backing this partitioner's estimates.
     pub fn schedule_cache(&self) -> &Arc<ScheduleCache<ScheduleKey>> {
         &self.cache
+    }
+
+    /// The replay engine backing verifications, when the reference
+    /// trace was captured (absent when `trace_cap_bytes` is 0 or the
+    /// capture overflowed the cap).
+    pub fn replay_engine(&self) -> Option<&Arc<ReplayEngine>> {
+        self.replay.as_ref()
     }
 
     /// The resolved worker-thread count.
@@ -280,11 +327,25 @@ impl<'a> Partitioner<'a> {
 
     /// Fully evaluates (verifies) one partition — Fig. 1 lines 14–15.
     ///
+    /// The schedule trio is served from (and feeds) this partitioner's
+    /// [`ScheduleCache`] — the estimate phase already computed the
+    /// winning candidate's entry, so verification hits it — and the
+    /// µP/cache-hierarchy side replays the captured reference trace
+    /// when one is available, falling back to direct simulation
+    /// otherwise. Both layers are bit-identical to the uncached path.
+    ///
     /// # Errors
     ///
     /// Infeasible resource sets or simulation failures.
     pub fn evaluate(&self, partition: &Partition) -> Result<PartitionDetail, CorepartError> {
-        evaluate_partition(self.prepared, partition, &self.initial_stats, self.config)
+        evaluate_partition_with(
+            self.prepared,
+            partition,
+            &self.initial_stats,
+            self.config,
+            Some(&self.cache),
+            self.replay.as_deref(),
+        )
     }
 
     /// The objective value of a verified design.
@@ -324,12 +385,7 @@ impl<'a> Partitioner<'a> {
         for &cid in &partition.clusters {
             hw_blocks.extend(self.prepared.chain.cluster(cid).blocks.iter().copied());
         }
-        let key: ScheduleKey = (
-            partition.clusters.clone(),
-            partition.set.name().to_owned(),
-            partition.set.iter().collect(),
-        );
-        let synth = self.cache.get_or_compute(key, || {
+        let synth = self.cache.get_or_compute(schedule_key(partition), || {
             let sched = schedule_cluster(
                 &self.prepared.app,
                 &hw_blocks,
@@ -524,6 +580,9 @@ impl<'a> Partitioner<'a> {
         // total system energy be reduced?" check). ---
         let verify_started = Instant::now();
         search.verifications += 1;
+        if self.replay.is_some() {
+            search.replayed += 1;
+        }
         let detail = self.evaluate(&best.partition)?;
         let verified_better =
             detail.metrics.total_energy().joules() < self.initial.total_energy().joules();

@@ -68,6 +68,19 @@ pub struct SystemConfig {
     /// available parallelism. Results are bit-identical for every
     /// value — the knob only trades wall time.
     pub threads: usize,
+    /// Byte cap of the reference-trace capture backing the replay
+    /// verification engine ([`crate::verify`]). The initial simulation
+    /// records its executed pc stream and load/store addresses
+    /// (delta-encoded varints in 256 KiB segments, roughly one byte per
+    /// executed instruction) so every candidate verification replays
+    /// the capture instead of re-simulating. When the encoded trace
+    /// would exceed this cap, the capture is discarded mid-run and
+    /// verification transparently falls back to direct simulation —
+    /// results are bit-identical either way, only wall time changes.
+    /// `0` disables capture entirely. Default: 128 MiB, comfortably
+    /// above the ~6 MiB the longest paper workload (`ckey`, 5.2 M
+    /// cycles) needs.
+    pub trace_cap_bytes: usize,
 }
 
 impl SystemConfig {
@@ -98,6 +111,7 @@ impl SystemConfig {
             gate_margin: 0.9,
             optimize_ir: false,
             threads: 0,
+            trace_cap_bytes: 128 << 20,
         }
     }
 
@@ -166,6 +180,13 @@ impl SystemConfig {
     /// value produces bit-identical results in less wall time.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns a copy with a different reference-trace byte cap (`0`
+    /// disables capture; verification then always simulates directly).
+    pub fn with_trace_cap(mut self, cap_bytes: usize) -> Self {
+        self.trace_cap_bytes = cap_bytes;
         self
     }
 }

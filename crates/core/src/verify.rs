@@ -1,0 +1,249 @@
+//! The trace-replay verification engine.
+//!
+//! Verification (Fig. 1 lines 14–15) is the expensive end of the
+//! search: a full instruction-set simulation plus the cache hierarchy
+//! per candidate. But [`SimConfig::hw_blocks`] changes *accounting*
+//! only — every candidate executes the identical instruction stream —
+//! so the engine simulates **once** per prepared application/workload
+//! (capturing the reference trace during the initial-design
+//! evaluation, [`crate::evaluate::evaluate_initial_captured`]) and
+//! verifies each candidate by *replaying* that capture with the
+//! candidate's hardware-block set applied at replay time: no
+//! re-interpretation, no re-decoding, no `set_array`
+//! re-initialization.
+//!
+//! Replay reproduces [`RunStats`] and [`HierarchyReport`] **bit for
+//! bit** (the same `f64` operations in the same order as the direct
+//! simulation), and results are memoized per (trace fingerprint,
+//! hardware-block set) in the same compute-once [`MemoCache`] the
+//! schedule trio uses — distinct candidates that induce the same
+//! hardware-block set (e.g. the same clusters under different resource
+//! sets) share one replay.
+//!
+//! When the capture was discarded (byte cap exceeded, or capture
+//! disabled), there is no engine and callers fall back to direct
+//! simulation — see [`SystemConfig::trace_cap_bytes`].
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use corepart_cache::hierarchy::Hierarchy;
+use corepart_cache::HierarchyReport;
+use corepart_ir::op::BlockId;
+use corepart_isa::simulator::{RunStats, SimConfig, SimError};
+use corepart_isa::trace::{ReferenceTrace, TraceReplayer};
+use corepart_sched::cache::MemoCache;
+
+use crate::evaluate::HierarchySink;
+use crate::prepare::PreparedApp;
+use crate::system::SystemConfig;
+
+/// The product of one verified partitioned run — the µP-side
+/// statistics plus the cache-hierarchy report, whether obtained by
+/// direct simulation or by trace replay (bit-identical by
+/// construction, pinned by `tests/determinism.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedRun {
+    /// µP-core run statistics.
+    pub stats: RunStats,
+    /// I-cache/D-cache/memory report.
+    pub report: HierarchyReport,
+}
+
+/// Replays `trace` once under `hw_blocks`, uncached: builds the per-pc
+/// replay table, streams the µP-side references through a fresh cache
+/// hierarchy, and returns the verified run.
+///
+/// This is the one-shot path ([`ReplayEngine`] memoizes it); it is
+/// also what benchmarks and equivalence tests call directly.
+///
+/// # Errors
+///
+/// [`SimError::CycleLimit`] exactly when the equivalent direct
+/// simulation would hit it; other [`SimError`]s only on a trace that
+/// does not belong to `prepared`.
+pub fn replay_run(
+    prepared: &PreparedApp,
+    config: &SystemConfig,
+    trace: &ReferenceTrace,
+    hw_blocks: &HashSet<BlockId>,
+) -> Result<VerifiedRun, SimError> {
+    let replayer = TraceReplayer::new(&prepared.prog, &prepared.app, &config.energy_table);
+    replay_with(&replayer, trace, config, hw_blocks)
+}
+
+fn replay_with(
+    replayer: &TraceReplayer,
+    trace: &ReferenceTrace,
+    config: &SystemConfig,
+    hw_blocks: &HashSet<BlockId>,
+) -> Result<VerifiedRun, SimError> {
+    let mut hierarchy = Hierarchy::new(
+        config.icache.clone(),
+        config.dcache.clone(),
+        &config.process,
+        config.memory_bytes,
+    );
+    let sim_config = SimConfig::partitioned(config.max_cycles, hw_blocks.clone());
+    let stats = replayer.replay(trace, &sim_config, &mut HierarchySink(&mut hierarchy))?;
+    Ok(VerifiedRun {
+        stats,
+        report: hierarchy.report(),
+    })
+}
+
+/// A memoizing replay engine bound to one captured reference trace.
+///
+/// The engine owns the capture, the precomputed per-pc replay table,
+/// and a compute-once cache keyed by the sorted hardware-block set
+/// (the trace fingerprint is fixed per engine, so the pair uniquely
+/// identifies a verified run). Like the schedule cache, one engine
+/// must only be shared across configurations with equal baseline
+/// parameters (caches, process, memory, energy table, cycle guard) —
+/// [`crate::explore`] guarantees this by keying shared engines on the
+/// baseline fingerprint.
+#[derive(Debug)]
+pub struct ReplayEngine {
+    trace: Arc<ReferenceTrace>,
+    replayer: TraceReplayer,
+    cache: MemoCache<Vec<BlockId>, VerifiedRun, SimError>,
+}
+
+impl ReplayEngine {
+    /// Builds the engine (precomputes the per-pc replay table) for a
+    /// trace captured from `prepared` under `config`.
+    pub fn new(prepared: &PreparedApp, config: &SystemConfig, trace: ReferenceTrace) -> Self {
+        ReplayEngine {
+            replayer: TraceReplayer::new(&prepared.prog, &prepared.app, &config.energy_table),
+            trace: Arc::new(trace),
+            cache: MemoCache::new(),
+        }
+    }
+
+    /// The capture this engine replays.
+    pub fn trace(&self) -> &ReferenceTrace {
+        &self.trace
+    }
+
+    /// Verifies the hardware-block set `hw_blocks`: replays the capture
+    /// on first request, serves the shared result afterwards.
+    ///
+    /// # Errors
+    ///
+    /// The (cached) [`SimError`] when the replay fails — exactly when
+    /// the equivalent direct simulation would.
+    pub fn verify(
+        &self,
+        config: &SystemConfig,
+        hw_blocks: &HashSet<BlockId>,
+    ) -> Result<Arc<VerifiedRun>, SimError> {
+        let mut key: Vec<BlockId> = hw_blocks.iter().copied().collect();
+        key.sort_unstable();
+        self.cache.get_or_compute(key, || {
+            replay_with(&self.replayer, &self.trace, config, hw_blocks)
+        })
+    }
+
+    /// Replays actually executed (= distinct hardware-block sets seen).
+    pub fn replays(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Verifications served from the memo without replaying.
+    pub fn hits(&self) -> u64 {
+        self.cache.hits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{evaluate_initial_captured, evaluate_partition, Partition};
+    use crate::prepare::{prepare, Workload};
+    use corepart_ir::lower::lower;
+    use corepart_ir::parser::parse;
+
+    const DSP: &str = r#"app dsp; var x[128]; var y[128]; var s = 0;
+        func main() {
+            for (var i = 1; i < 127; i = i + 1) {
+                y[i] = (x[i - 1] + 2 * x[i] + x[i + 1]) >> 2;
+            }
+            for (var j = 0; j < 128; j = j + 1) { s = s + y[j]; }
+            return s;
+        }"#;
+
+    fn setup() -> (PreparedApp, SystemConfig) {
+        let config = SystemConfig::new();
+        let app = lower(&parse(DSP).unwrap()).unwrap();
+        let workload =
+            Workload::from_arrays([("x", (0..128).map(|i| (i * 13) % 97).collect::<Vec<i64>>())]);
+        (prepare(app, workload, &config).unwrap(), config)
+    }
+
+    #[test]
+    fn replayed_verification_equals_direct_simulation() {
+        let (prepared, config) = setup();
+        let (_, stats, trace) =
+            evaluate_initial_captured(&prepared, &config, config.trace_cap_bytes).unwrap();
+        let trace = trace.expect("small workload fits any sane cap");
+        let engine = ReplayEngine::new(&prepared, &config, trace);
+
+        let hot = prepared.chain.iter().find(|c| c.is_loop()).unwrap().id;
+        let partition = Partition::single(hot, config.resource_sets[2].clone());
+        let hw_blocks: HashSet<BlockId> =
+            prepared.chain.cluster(hot).blocks.iter().copied().collect();
+
+        // Direct path (no caches, no replay).
+        let direct = evaluate_partition(&prepared, &partition, &stats, &config).unwrap();
+        // Replay path, twice: second verify must be served from memo.
+        let first = engine.verify(&config, &hw_blocks).unwrap();
+        let again = engine.verify(&config, &hw_blocks).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!((engine.replays(), engine.hits()), (1, 1));
+
+        // The replayed µP+cache side is bit-identical to what the
+        // direct evaluation measured (miss ratios pin the hierarchy,
+        // up_core pins the RunStats energy path).
+        let via_engine = crate::evaluate::evaluate_partition_with(
+            &prepared,
+            &partition,
+            &stats,
+            &config,
+            None,
+            Some(&engine),
+        )
+        .unwrap();
+        assert_eq!(direct, via_engine);
+    }
+
+    #[test]
+    fn one_shot_replay_matches_engine() {
+        let (prepared, config) = setup();
+        let (_, _, trace) =
+            evaluate_initial_captured(&prepared, &config, config.trace_cap_bytes).unwrap();
+        let trace = trace.expect("capture fits");
+        let hot = prepared.chain.iter().find(|c| c.is_loop()).unwrap().id;
+        let hw_blocks: HashSet<BlockId> =
+            prepared.chain.cluster(hot).blocks.iter().copied().collect();
+
+        let one_shot = replay_run(&prepared, &config, &trace, &hw_blocks).unwrap();
+        let engine = ReplayEngine::new(&prepared, &config, trace);
+        let memoized = engine.verify(&config, &hw_blocks).unwrap();
+        assert_eq!(one_shot, *memoized);
+        assert!(engine.trace().events() > 0);
+    }
+
+    #[test]
+    fn zero_cap_yields_no_trace() {
+        let (prepared, config) = setup();
+        let (metrics_off, stats_off, trace) =
+            evaluate_initial_captured(&prepared, &config, 0).unwrap();
+        assert!(trace.is_none());
+        // And the capture never perturbs the evaluation itself.
+        let (metrics_on, stats_on, trace_on) =
+            evaluate_initial_captured(&prepared, &config, usize::MAX).unwrap();
+        assert!(trace_on.is_some());
+        assert_eq!(metrics_off, metrics_on);
+        assert_eq!(stats_off, stats_on);
+    }
+}

@@ -16,6 +16,8 @@
 //!   [`simulator::SimConfig::hw_blocks`]).
 //! * [`energy`] — per-instruction base energies + circuit-state
 //!   overhead.
+//! * [`trace`] — reference-trace capture and bit-exact replay: one
+//!   simulation per workload, arbitrarily many `hw_blocks` accountings.
 //! * [`profile`] — the µP core's resource-utilization rate `U_µP`
 //!   (Fig. 1 line 9).
 //!
@@ -44,9 +46,14 @@ pub mod energy;
 pub mod isa;
 pub mod profile;
 pub mod simulator;
+pub mod trace;
 
 pub use codegen::{compile, compile_with_profile, MachProgram};
 pub use energy::EnergyTable;
 pub use isa::{AluOp, InstClass, MachInst, Reg, RegImm};
 pub use profile::{CoreResource, CoreUtilization};
-pub use simulator::{MemSink, NullSink, RunStats, SimConfig, SimError, Simulator, TraceEntry};
+pub use simulator::{
+    ExecRecorder, MemSink, NullRecorder, NullSink, RunStats, SimConfig, SimError, Simulator,
+    TraceEntry,
+};
+pub use trace::{ReferenceTrace, TraceBuilder, TraceReplayer};

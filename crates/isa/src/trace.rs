@@ -1,0 +1,852 @@
+//! Reference-trace capture and replay.
+//!
+//! [`SimConfig::hw_blocks`](crate::simulator::SimConfig::hw_blocks)
+//! changes *accounting only* — a partitioned run executes exactly the
+//! same instruction stream as the initial run, because hardware-mapped
+//! blocks still execute functionally. Verification therefore does not
+//! need to re-interpret the program per candidate: one captured
+//! reference execution (the pc stream plus the data addresses of every
+//! load/store, in order) contains everything the energy and cache
+//! accounting consume, and any candidate's `hw_blocks` filter can be
+//! applied at *replay* time.
+//!
+//! * [`TraceBuilder`] is an [`ExecRecorder`] that encodes the streams
+//!   compactly while [`Simulator::run_recorded`] executes once.
+//! * [`ReferenceTrace`] is the finished, immutable capture.
+//! * [`TraceReplayer`] re-runs the accounting of
+//!   [`Simulator::run`](crate::simulator::Simulator::run) over a trace
+//!   for any hardware-block set, reproducing [`RunStats`] — and the
+//!   [`MemSink`] reference stream — **bit for bit** (the same `f64`
+//!   operations in the same order).
+//!
+//! ## Bounded memory
+//!
+//! The pc stream is run-length encoded — execution is sequential
+//! except at taken branches, so each maximal `pc, pc+1, …` stretch
+//! becomes one `(start delta, length)` zigzag-LEB128 varint pair —
+//! and the data stream holds one fixed-width 4-byte record per access
+//! (decode speed beats the byte or two a varint would save). Both
+//! streams live in fixed-size segments, so a long run costs a few
+//! bytes per *branch* plus four bytes per data access and never
+//! reallocates large buffers. A caller-supplied byte cap bounds
+//! the total: when the encoded size would exceed it, the builder frees
+//! everything and [`TraceBuilder::finish`] returns `None` — callers
+//! fall back to direct simulation, trading time for memory, never
+//! correctness.
+
+use corepart_ir::cdfg::Application;
+use corepart_ir::op::BlockId;
+use corepart_tech::units::{Cycles, Energy};
+
+use crate::codegen::{MachProgram, SLOT_BASE};
+use crate::energy::EnergyTable;
+use crate::isa::{InstClass, MachInst};
+use crate::simulator::{ExecRecorder, MemSink, RunStats, SimConfig, SimError, TraceEntry};
+
+/// Segment size of the chunked encoding. Small enough that a capture
+/// never holds one huge allocation, large enough that the segment list
+/// stays short (a 5M-cycle run is ~20 segments).
+const SEGMENT_BYTES: usize = 256 * 1024;
+
+/// A segmented varint byte stream. Varints never straddle a segment
+/// boundary: a new segment is started whenever the current one has
+/// reached [`SEGMENT_BYTES`], and each segment keeps 10 spare bytes of
+/// capacity (the longest LEB128 encoding of a `u64`).
+#[derive(Debug, Clone, Default)]
+struct SegStream {
+    segments: Vec<Vec<u8>>,
+    bytes: usize,
+}
+
+impl SegStream {
+    fn put(&mut self, mut v: u64) {
+        let segment = match self.segments.last_mut() {
+            Some(s) if s.len() < SEGMENT_BYTES => s,
+            _ => {
+                self.segments.push(Vec::with_capacity(SEGMENT_BYTES + 10));
+                self.segments.last_mut().expect("just pushed")
+            }
+        };
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                segment.push(byte);
+                self.bytes += 1;
+                return;
+            }
+            segment.push(byte | 0x80);
+            self.bytes += 1;
+        }
+    }
+
+    /// Appends a fixed-width little-endian `u32` record (used by the
+    /// data-address stream, where decode speed beats the byte or two a
+    /// varint would save).
+    fn put_u32(&mut self, v: u32) {
+        let segment = match self.segments.last_mut() {
+            Some(s) if s.len() < SEGMENT_BYTES => s,
+            _ => {
+                self.segments.push(Vec::with_capacity(SEGMENT_BYTES + 10));
+                self.segments.last_mut().expect("just pushed")
+            }
+        };
+        segment.extend_from_slice(&v.to_le_bytes());
+        self.bytes += 4;
+    }
+
+    fn reader(&self) -> SegReader<'_> {
+        SegReader {
+            segments: &self.segments,
+            segment: 0,
+            offset: 0,
+        }
+    }
+}
+
+/// Sequential decoder over a [`SegStream`].
+#[derive(Debug, Clone)]
+struct SegReader<'a> {
+    segments: &'a [Vec<u8>],
+    segment: usize,
+    offset: usize,
+}
+
+impl SegReader<'_> {
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            let s = self.segments.get(self.segment)?;
+            if self.offset < s.len() {
+                break;
+            }
+            self.segment += 1;
+            self.offset = 0;
+        }
+        let s = &self.segments[self.segment];
+        let mut v: u64 = 0;
+        let mut shift = 0;
+        loop {
+            let byte = *s.get(self.offset)?;
+            self.offset += 1;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Decodes one fixed-width record written by [`SegStream::put_u32`]
+    /// (records never straddle a segment boundary).
+    #[inline]
+    fn next_u32(&mut self) -> Option<u32> {
+        loop {
+            let s = self.segments.get(self.segment)?;
+            if self.offset < s.len() {
+                break;
+            }
+            self.segment += 1;
+            self.offset = 0;
+        }
+        let s = &self.segments[self.segment];
+        let bytes = s.get(self.offset..self.offset + 4)?;
+        self.offset += 4;
+        Some(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Decoder of the fixed-width data-address stream.
+#[derive(Debug, Clone)]
+struct AddrReader<'a> {
+    inner: SegReader<'a>,
+}
+
+impl AddrReader<'_> {
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        self.inner.next_u32()
+    }
+}
+
+/// Decoder of the run-length-encoded pc stream: yields one
+/// `(start pc, length)` pair per maximal sequential stretch.
+#[derive(Debug, Clone)]
+struct RunReader<'a> {
+    inner: SegReader<'a>,
+    prev_start: i64,
+}
+
+impl RunReader<'_> {
+    fn next(&mut self) -> Option<(u32, u64)> {
+        let delta = unzigzag(self.inner.next()?);
+        let start = self.prev_start + delta;
+        self.prev_start = start;
+        let len = self.inner.next()?;
+        Some((u32::try_from(start).ok()?, len))
+    }
+}
+
+/// The immutable capture of one reference execution: the executed pc
+/// stream, the data-address stream (one entry per executed load/store,
+/// in execution order), and the run's return value.
+///
+/// A trace is tied to the exact ([`MachProgram`], workload) pair it was
+/// captured from; the [`fingerprint`](ReferenceTrace::fingerprint)
+/// identifies that pair for memoization.
+#[derive(Debug, Clone)]
+pub struct ReferenceTrace {
+    pcs: SegStream,
+    addrs: SegStream,
+    events: u64,
+    data_events: u64,
+    return_value: i64,
+    fingerprint: u64,
+}
+
+impl ReferenceTrace {
+    /// Executed instructions recorded (µP- and hardware-mapped alike).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Recorded data accesses (loads + stores).
+    pub fn data_events(&self) -> u64 {
+        self.data_events
+    }
+
+    /// Encoded size in bytes (excluding constant-size bookkeeping).
+    pub fn bytes(&self) -> usize {
+        self.pcs.bytes + self.addrs.bytes
+    }
+
+    /// The run's return value (register `r1` at `halt`).
+    pub fn return_value(&self) -> i64 {
+        self.return_value
+    }
+
+    /// FNV-1a hash over the encoded streams and event counts —
+    /// identifies the (program, workload) execution for memo keys.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn pc_reader(&self) -> RunReader<'_> {
+        RunReader {
+            inner: self.pcs.reader(),
+            prev_start: 0,
+        }
+    }
+
+    fn addr_reader(&self) -> AddrReader<'_> {
+        AddrReader {
+            inner: self.addrs.reader(),
+        }
+    }
+}
+
+/// An [`ExecRecorder`] that builds a [`ReferenceTrace`] while the
+/// simulator runs, under a byte cap.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    pcs: SegStream,
+    addrs: SegStream,
+    prev_run_start: i64,
+    run_start: u32,
+    run_len: u64,
+    events: u64,
+    data_events: u64,
+    cap_bytes: usize,
+    overflowed: bool,
+}
+
+impl TraceBuilder {
+    /// A builder that keeps at most `cap_bytes` of encoded trace.
+    /// `0` disables capture entirely (every event overflows), which is
+    /// the transparent path to "always simulate directly".
+    pub fn new(cap_bytes: usize) -> Self {
+        TraceBuilder {
+            pcs: SegStream::default(),
+            addrs: SegStream::default(),
+            prev_run_start: 0,
+            run_start: 0,
+            run_len: 0,
+            events: 0,
+            data_events: 0,
+            cap_bytes,
+            overflowed: cap_bytes == 0,
+        }
+    }
+
+    /// Whether the cap was exceeded (the capture was discarded).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    fn flush_run(&mut self) {
+        if self.run_len > 0 {
+            self.pcs
+                .put(zigzag(i64::from(self.run_start) - self.prev_run_start));
+            self.pcs.put(self.run_len);
+            self.prev_run_start = i64::from(self.run_start);
+            self.run_len = 0;
+            self.spill_if_over_cap();
+        }
+    }
+
+    fn spill_if_over_cap(&mut self) {
+        if self.pcs.bytes + self.addrs.bytes > self.cap_bytes {
+            self.overflowed = true;
+            // Free the memory eagerly: the rest of the run keeps
+            // executing, and the half-trace is useless.
+            self.pcs = SegStream::default();
+            self.addrs = SegStream::default();
+        }
+    }
+
+    /// Seals the capture. `return_value` is the finished run's return
+    /// value ([`RunStats::return_value`]). Returns `None` when the cap
+    /// was exceeded.
+    pub fn finish(mut self, return_value: i64) -> Option<ReferenceTrace> {
+        if self.overflowed {
+            return None;
+        }
+        self.flush_run();
+        if self.overflowed {
+            return None;
+        }
+        // FNV-1a over counts, return value, then both byte streams.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for v in [
+            self.events,
+            self.data_events,
+            self.return_value_bits(return_value),
+        ] {
+            for byte in v.to_le_bytes() {
+                eat(byte);
+            }
+        }
+        for stream in [&self.pcs, &self.addrs] {
+            for segment in &stream.segments {
+                for &byte in segment {
+                    eat(byte);
+                }
+            }
+        }
+        Some(ReferenceTrace {
+            pcs: self.pcs,
+            addrs: self.addrs,
+            events: self.events,
+            data_events: self.data_events,
+            return_value,
+            fingerprint: h,
+        })
+    }
+
+    fn return_value_bits(&self, return_value: i64) -> u64 {
+        return_value as u64
+    }
+}
+
+impl ExecRecorder for TraceBuilder {
+    fn inst(&mut self, pc: u32) {
+        if self.overflowed {
+            return;
+        }
+        // Run-length encoding: extend the current sequential stretch,
+        // or emit it and start a new one at a taken branch.
+        if self.run_len > 0 && pc == self.run_start + (self.run_len as u32) {
+            self.run_len += 1;
+        } else {
+            self.flush_run();
+            self.run_start = pc;
+            self.run_len = 1;
+        }
+        self.events += 1;
+    }
+
+    fn data(&mut self, addr: u32) {
+        if self.overflowed {
+            return;
+        }
+        self.addrs.put_u32(addr);
+        self.data_events += 1;
+        self.spill_if_over_cap();
+    }
+}
+
+/// Whether (and how) an instruction touches data memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessKind {
+    None,
+    Load,
+    Store,
+}
+
+/// Everything the accounting loop needs about one pc, precomputed.
+#[derive(Debug, Clone, Copy)]
+struct PcInfo {
+    inst: MachInst,
+    class: InstClass,
+    class_index: usize,
+    latency: u64,
+    block: BlockId,
+    block_index: usize,
+    is_block_start: bool,
+    inst_addr: u32,
+    /// `EnergyTable::base(class, latency)` — a pure function of the
+    /// two, so precomputing preserves the exact bits.
+    base_energy: Energy,
+    access: AccessKind,
+}
+
+/// Replays a [`ReferenceTrace`] through the accounting of
+/// [`Simulator::run`](crate::simulator::Simulator::run) for an
+/// arbitrary hardware-block set.
+///
+/// Construction precomputes a per-pc table (class, latency, block,
+/// base energy, …); [`TraceReplayer::replay`] then walks the decoded
+/// pc/address streams executing *only* the accounting — no instruction
+/// semantics, no register file, no data memory — in exactly the order
+/// the direct run performs it, so every counter and every `f64` in the
+/// resulting [`RunStats`] is bit-identical to a fresh
+/// `Simulator::run` with the same [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct TraceReplayer {
+    info: Vec<PcInfo>,
+    n_blocks: usize,
+    inter_inst_overhead: Energy,
+}
+
+impl TraceReplayer {
+    /// Builds the replay table for one compiled program.
+    pub fn new(prog: &MachProgram, app: &Application, energy: &EnergyTable) -> Self {
+        let info = prog
+            .insts()
+            .iter()
+            .enumerate()
+            .map(|(pc, &inst)| {
+                let pc = pc as u32;
+                let block = prog.block_of(pc);
+                let class = InstClass::of(&inst);
+                let latency = inst.latency();
+                PcInfo {
+                    inst,
+                    class,
+                    class_index: InstClass::ALL
+                        .iter()
+                        .position(|&c| c == class)
+                        .expect("class in ALL"),
+                    latency,
+                    block,
+                    block_index: block.0 as usize,
+                    is_block_start: prog.block_start(block) == pc,
+                    inst_addr: prog.inst_addr(pc),
+                    base_energy: energy.base(class, latency),
+                    access: match inst {
+                        MachInst::Ldw { .. } => AccessKind::Load,
+                        MachInst::Stw { .. } => AccessKind::Store,
+                        _ => AccessKind::None,
+                    },
+                }
+            })
+            .collect();
+        TraceReplayer {
+            info,
+            n_blocks: app.blocks().len(),
+            inter_inst_overhead: energy.inter_inst_overhead(),
+        }
+    }
+
+    /// Replays `trace` under `config`, streaming the µP-side references
+    /// into `sink` — the bit-exact equivalent of
+    /// `Simulator::run(config, sink)` for the captured execution.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] exactly when the direct run would hit
+    /// it; [`SimError::BadPc`]/[`SimError::BadAccess`] only on a
+    /// corrupt or mismatched trace.
+    pub fn replay<S: MemSink>(
+        &self,
+        trace: &ReferenceTrace,
+        config: &SimConfig,
+        sink: &mut S,
+    ) -> Result<RunStats, SimError> {
+        let mut stats = RunStats {
+            cycles: Cycles::ZERO,
+            energy: Energy::ZERO,
+            inst_counts: InstClass::ALL.iter().map(|&c| (c, 0)).collect(),
+            class_cycles: InstClass::ALL.iter().map(|&c| (c, 0)).collect(),
+            block_class_cycles: vec![[0; 8]; self.n_blocks],
+            class_switches: 0,
+            block_counts: vec![0; self.n_blocks],
+            block_cycles: vec![0; self.n_blocks],
+            block_energy: vec![Energy::ZERO; self.n_blocks],
+            hw_block_entries: std::collections::HashMap::new(),
+            hw_loads: 0,
+            hw_stores: 0,
+            sw_reads: 0,
+            sw_writes: 0,
+            sw_ifetches: 0,
+            return_value: 0,
+            trace: Vec::new(),
+        };
+
+        // Per-block hardware flag, indexable in O(1) on the hot path.
+        let mut is_hw_block = vec![false; self.n_blocks];
+        for b in &config.hw_blocks {
+            if let Some(flag) = is_hw_block.get_mut(b.0 as usize) {
+                *flag = true;
+            }
+        }
+
+        let mut cycles: u64 = 0;
+        let mut prev_class: Option<InstClass> = None;
+        let mut prev_block: Option<BlockId> = None;
+        let mut prev_was_hw = false;
+        let mut runs = trace.pc_reader();
+        let mut addrs = trace.addr_reader();
+
+        // One decoded (start, length) pair per sequential stretch; the
+        // per-instruction body below is byte-for-byte the accounting of
+        // the direct run, just driven from the precomputed table.
+        while let Some((start, len)) = runs.next() {
+            let lo = start as usize;
+            let hi = lo
+                .checked_add(len as usize)
+                .filter(|&hi| hi <= self.info.len())
+                .ok_or(SimError::BadPc { pc: start })?;
+            for (off, info) in self.info[lo..hi].iter().enumerate() {
+                let pc = start + off as u32;
+                let is_hw = is_hw_block[info.block_index];
+
+                // Block-entry accounting.
+                if prev_block != Some(info.block) && info.is_block_start {
+                    stats.block_counts[info.block_index] += 1;
+                    if is_hw && !prev_was_hw {
+                        *stats.hw_block_entries.entry(info.block).or_insert(0) += 1;
+                    }
+                }
+                prev_block = Some(info.block);
+                prev_was_hw = is_hw;
+
+                if !is_hw {
+                    cycles += info.latency;
+                    if config.max_cycles > 0 && cycles > config.max_cycles {
+                        return Err(SimError::CycleLimit {
+                            limit: config.max_cycles,
+                        });
+                    }
+                    let mut e = info.base_energy;
+                    if let Some(p) = prev_class {
+                        if p != info.class {
+                            e += self.inter_inst_overhead;
+                            stats.class_switches += 1;
+                        }
+                    }
+                    prev_class = Some(info.class);
+                    stats.energy += e;
+                    stats.block_cycles[info.block_index] += info.latency;
+                    stats.block_energy[info.block_index] += e;
+                    *stats.inst_counts.get_mut(&info.class).expect("class") += 1;
+                    *stats.class_cycles.get_mut(&info.class).expect("class") += info.latency;
+                    stats.block_class_cycles[info.block_index][info.class_index] += info.latency;
+                    stats.sw_ifetches += 1;
+                    sink.ifetch(info.inst_addr);
+                    if stats.trace.len() < config.trace_limit {
+                        stats.trace.push(TraceEntry {
+                            pc,
+                            inst: info.inst,
+                            cycles,
+                        });
+                    }
+                } else {
+                    // Leaving the µP's instruction stream resets the
+                    // circuit-state history.
+                    prev_class = None;
+                }
+
+                match info.access {
+                    AccessKind::Load => {
+                        let addr = addrs.next().ok_or(SimError::BadAccess { addr: 0, pc })?;
+                        if is_hw {
+                            if addr < SLOT_BASE {
+                                stats.hw_loads += 1;
+                            }
+                        } else {
+                            stats.sw_reads += 1;
+                            sink.read(addr);
+                        }
+                    }
+                    AccessKind::Store => {
+                        let addr = addrs.next().ok_or(SimError::BadAccess { addr: 0, pc })?;
+                        if is_hw {
+                            if addr < SLOT_BASE {
+                                stats.hw_stores += 1;
+                            }
+                        } else {
+                            stats.sw_writes += 1;
+                            sink.write(addr);
+                        }
+                    }
+                    AccessKind::None => {}
+                }
+            }
+        }
+
+        stats.cycles = Cycles::new(cycles);
+        stats.return_value = trace.return_value;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+    use crate::simulator::{NullSink, Simulator};
+    use corepart_ir::lower::lower;
+    use corepart_ir::parser::parse;
+    use std::collections::HashSet;
+
+    fn setup(src: &str) -> (Application, MachProgram) {
+        let app = lower(&parse(src).unwrap()).unwrap();
+        let prog = compile(&app);
+        (app, prog)
+    }
+
+    const TWO_LOOPS: &str = r#"app t; var a[32]; var acc = 0;
+        func main() {
+            for (var i = 0; i < 32; i = i + 1) { a[i] = a[i] * 3 + 1; }
+            for (var j = 0; j < 32; j = j + 1) { acc = acc + a[j]; }
+            return acc;
+        }"#;
+
+    fn capture(
+        app: &Application,
+        prog: &MachProgram,
+        input: Option<(&str, &[i64])>,
+    ) -> (RunStats, ReferenceTrace) {
+        let mut sim = Simulator::new(prog, app);
+        if let Some((name, data)) = input {
+            sim.set_array(name, data).unwrap();
+        }
+        let mut builder = TraceBuilder::new(usize::MAX);
+        let stats = sim
+            .run_recorded(&SimConfig::initial(10_000_000), &mut NullSink, &mut builder)
+            .unwrap();
+        let trace = builder.finish(stats.return_value).expect("under cap");
+        (stats, trace)
+    }
+
+    #[test]
+    fn varint_zigzag_roundtrip() {
+        let mut s = SegStream::default();
+        let values = [
+            0i64,
+            1,
+            -1,
+            2,
+            -2,
+            127,
+            -128,
+            300_000,
+            -300_000,
+            i64::from(u32::MAX),
+        ];
+        for &v in &values {
+            s.put(zigzag(v));
+        }
+        let mut r = s.reader();
+        for &v in &values {
+            assert_eq!(unzigzag(r.next().unwrap()), v);
+        }
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn segments_stay_bounded() {
+        let mut s = SegStream::default();
+        for i in 0..2_000_000u64 {
+            s.put(i % 7);
+        }
+        for segment in &s.segments {
+            assert!(segment.len() <= SEGMENT_BYTES + 10);
+            assert!(segment.capacity() <= SEGMENT_BYTES + 10);
+        }
+        assert!(s.segments.len() > 1);
+    }
+
+    #[test]
+    fn replay_matches_direct_initial_run() {
+        let input: Vec<i64> = (0..32).map(|i| i % 5).collect();
+        let (app, prog) = setup(TWO_LOOPS);
+        let (direct, trace) = capture(&app, &prog, Some(("a", &input)));
+
+        let replayer = TraceReplayer::new(&prog, &app, &EnergyTable::default());
+        let replayed = replayer
+            .replay(&trace, &SimConfig::initial(10_000_000), &mut NullSink)
+            .unwrap();
+        assert_eq!(direct, replayed);
+    }
+
+    #[test]
+    fn replay_matches_direct_partitioned_run() {
+        let input: Vec<i64> = (0..32).map(|i| (i * 13) % 9 - 4).collect();
+        let (app, prog) = setup(TWO_LOOPS);
+        let (_, trace) = capture(&app, &prog, Some(("a", &input)));
+        let first_loop = app.structure().iter().find(|n| n.is_loop()).expect("loop");
+        let hw: HashSet<BlockId> = first_loop.blocks().iter().copied().collect();
+
+        let mut sim = Simulator::new(&prog, &app);
+        sim.set_array("a", &input).unwrap();
+        let direct = sim
+            .run(
+                &SimConfig::partitioned(10_000_000, hw.clone()),
+                &mut NullSink,
+            )
+            .unwrap();
+
+        let replayer = TraceReplayer::new(&prog, &app, &EnergyTable::default());
+        let replayed = replayer
+            .replay(
+                &trace,
+                &SimConfig::partitioned(10_000_000, hw),
+                &mut NullSink,
+            )
+            .unwrap();
+        assert_eq!(direct, replayed);
+        assert!(replayed.hw_loads > 0);
+    }
+
+    #[test]
+    fn replay_reproduces_the_sink_stream() {
+        #[derive(Default, PartialEq, Debug)]
+        struct Log(Vec<(u8, u32)>);
+        impl MemSink for Log {
+            fn ifetch(&mut self, a: u32) {
+                self.0.push((0, a));
+            }
+            fn read(&mut self, a: u32) {
+                self.0.push((1, a));
+            }
+            fn write(&mut self, a: u32) {
+                self.0.push((2, a));
+            }
+        }
+        let (app, prog) = setup(TWO_LOOPS);
+        let mut sim = Simulator::new(&prog, &app);
+        let mut builder = TraceBuilder::new(usize::MAX);
+        let mut direct_log = Log::default();
+        let stats = sim
+            .run_recorded(
+                &SimConfig::initial(10_000_000),
+                &mut direct_log,
+                &mut builder,
+            )
+            .unwrap();
+        let trace = builder.finish(stats.return_value).unwrap();
+
+        let replayer = TraceReplayer::new(&prog, &app, &EnergyTable::default());
+        let mut replay_log = Log::default();
+        replayer
+            .replay(&trace, &SimConfig::initial(10_000_000), &mut replay_log)
+            .unwrap();
+        assert_eq!(direct_log, replay_log);
+    }
+
+    #[test]
+    fn replay_supports_debug_tracing() {
+        let (app, prog) = setup(TWO_LOOPS);
+        let (_, trace) = capture(&app, &prog, None);
+        let replayer = TraceReplayer::new(&prog, &app, &EnergyTable::default());
+        let stats = replayer
+            .replay(
+                &trace,
+                &SimConfig::initial(10_000_000).with_trace(16),
+                &mut NullSink,
+            )
+            .unwrap();
+        assert_eq!(stats.trace.len(), 16);
+    }
+
+    #[test]
+    fn replay_enforces_the_cycle_limit() {
+        let (app, prog) = setup(TWO_LOOPS);
+        let (direct, trace) = capture(&app, &prog, None);
+        assert!(direct.cycles.count() > 100);
+        let replayer = TraceReplayer::new(&prog, &app, &EnergyTable::default());
+        let err = replayer
+            .replay(&trace, &SimConfig::initial(100), &mut NullSink)
+            .unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn cap_overflow_discards_the_capture() {
+        let (app, prog) = setup(TWO_LOOPS);
+        let mut sim = Simulator::new(&prog, &app);
+        let mut builder = TraceBuilder::new(64);
+        let stats = sim
+            .run_recorded(&SimConfig::initial(10_000_000), &mut NullSink, &mut builder)
+            .unwrap();
+        assert!(builder.overflowed());
+        assert!(builder.finish(stats.return_value).is_none());
+        // The run itself is unaffected by the overflow.
+        let fresh = Simulator::new(&prog, &app)
+            .run(&SimConfig::initial(10_000_000), &mut NullSink)
+            .unwrap();
+        assert_eq!(stats, fresh);
+    }
+
+    #[test]
+    fn zero_cap_disables_capture() {
+        let builder = TraceBuilder::new(0);
+        assert!(builder.overflowed());
+        assert!(builder.finish(0).is_none());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_workloads() {
+        let (app, prog) = setup(TWO_LOOPS);
+        let a: Vec<i64> = (0..32).collect();
+        let b: Vec<i64> = (0..32).map(|i| i * 2).collect();
+        let (_, ta) = capture(&app, &prog, Some(("a", &a)));
+        let (_, tb) = capture(&app, &prog, Some(("a", &b)));
+        let (_, ta2) = capture(&app, &prog, Some(("a", &a)));
+        // Same execution -> same fingerprint; different data -> the
+        // address/pc streams diverge and so does the hash.
+        assert_eq!(ta.fingerprint(), ta2.fingerprint());
+        assert_ne!(ta.fingerprint(), tb.fingerprint());
+        assert!(ta.bytes() > 0);
+        assert!(ta.events() > 0);
+        assert!(ta.data_events() > 0);
+    }
+
+    #[test]
+    fn trace_is_compact() {
+        let (app, prog) = setup(TWO_LOOPS);
+        let (direct, trace) = capture(&app, &prog, None);
+        // Mostly ±1 pc deltas and word-stride addresses: ~1 byte per
+        // event plus ~1-2 bytes per data access.
+        let events = direct.block_counts.iter().sum::<u64>() + direct.sw_ifetches;
+        assert!(
+            (trace.bytes() as u64) < 4 * events,
+            "{} bytes for ~{} events",
+            trace.bytes(),
+            events
+        );
+    }
+}

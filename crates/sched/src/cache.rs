@@ -36,43 +36,66 @@ pub struct ScheduledCluster {
     pub util: Utilization,
 }
 
-type Slot = Arc<OnceLock<Result<Arc<ScheduledCluster>, SchedError>>>;
+type Slot<V, E> = Arc<OnceLock<Result<Arc<V>, E>>>;
 
-/// A concurrent, compute-once cache of [`ScheduledCluster`]s.
+/// A concurrent, compute-once memo table: each key's value (or error)
+/// is computed exactly once, and every later lookup shares the same
+/// `Arc`. [`ScheduleCache`] is the instantiation for the schedule trio;
+/// the trace-replay engine reuses the same structure for verified runs,
+/// keyed by (trace fingerprint, hardware-block set).
 ///
-/// Infeasible results ([`SchedError`]) are cached too: a resource set
-/// that cannot execute a cluster never will, and greedy growth keeps
-/// re-asking about the same infeasible combinations.
-#[derive(Debug, Default)]
-pub struct ScheduleCache<K> {
-    map: Mutex<HashMap<K, Slot>>,
+/// Errors are cached too: a resource set that cannot execute a cluster
+/// never will, and greedy growth keeps re-asking about the same
+/// infeasible combinations.
+pub struct MemoCache<K, V, E> {
+    map: Mutex<HashMap<K, Slot<V, E>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl<K: Eq + Hash> ScheduleCache<K> {
-    /// An empty cache.
-    pub fn new() -> Self {
-        ScheduleCache {
+/// A concurrent, compute-once cache of [`ScheduledCluster`]s — the
+/// schedule-trio instantiation of [`MemoCache`].
+pub type ScheduleCache<K> = MemoCache<K, ScheduledCluster, SchedError>;
+
+impl<K, V, E> Default for MemoCache<K, V, E> {
+    fn default() -> Self {
+        MemoCache {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
+}
+
+impl<K, V, E> std::fmt::Debug for MemoCache<K, V, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoCache")
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Eq + Hash, V, E: Clone> MemoCache<K, V, E> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
 
     /// Returns the entry for `key`, running `compute` on the first
     /// request. Concurrent lookups of the same key block on the one
-    /// computation rather than repeating it.
+    /// computation rather than repeating it; exactly one miss is
+    /// charged per distinct key no matter how many threads race.
     ///
     /// # Errors
     ///
-    /// The (cached) [`SchedError`] when the synthesis is infeasible.
-    pub fn get_or_compute<F>(&self, key: K, compute: F) -> Result<Arc<ScheduledCluster>, SchedError>
+    /// The (cached) `E` when the computation failed.
+    pub fn get_or_compute<F>(&self, key: K, compute: F) -> Result<Arc<V>, E>
     where
-        F: FnOnce() -> Result<ScheduledCluster, SchedError>,
+        F: FnOnce() -> Result<V, E>,
     {
-        let slot: Slot = {
-            let mut map = self.map.lock().expect("schedule cache poisoned");
+        let slot: Slot<V, E> = {
+            let mut map = self.map.lock().expect("memo cache poisoned");
             Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
         };
         let mut computed = false;
@@ -100,7 +123,7 @@ impl<K: Eq + Hash> ScheduleCache<K> {
 
     /// Distinct keys stored.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("schedule cache poisoned").len()
+        self.map.lock().expect("memo cache poisoned").len()
     }
 
     /// Whether the cache holds no entries.

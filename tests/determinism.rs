@@ -7,18 +7,75 @@
 //! pin that promise on the six paper workloads, on a full exploration
 //! sweep, and — property-style — on the memoized schedule results
 //! themselves.
+//!
+//! The same promise extends to the trace-replay verification engine:
+//! replaying the captured reference trace under any hardware-block set
+//! must reproduce the direct simulation's [`RunStats`] and
+//! [`HierarchyReport`] bit for bit, and a search that falls back to
+//! direct simulation (capture over cap) must produce the identical
+//! outcome.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
+use corepart::cache::hierarchy::Hierarchy;
+use corepart::cache::HierarchyReport;
 use corepart::explore::{explore, hardware_weight_sweep};
+use corepart::ir::lower::lower;
+use corepart::ir::op::BlockId;
+use corepart::ir::parser::parse;
+use corepart::isa::simulator::{MemSink, RunStats, SimConfig, Simulator};
 use corepart::partition::{Partitioner, ScheduleKey};
-use corepart::prepare::{prepare, Workload};
+use corepart::prepare::{prepare, PreparedApp, Workload};
 use corepart::sched::binding::{bind, schedule_cluster, utilization};
 use corepart::sched::cache::{ScheduleCache, ScheduledCluster};
 use corepart::system::SystemConfig;
+use corepart::verify::replay_run;
 use corepart_workloads::{all, by_name};
+
+struct HierarchyMemSink<'a>(&'a mut Hierarchy);
+
+impl MemSink for HierarchyMemSink<'_> {
+    fn ifetch(&mut self, addr: u32) {
+        self.0.ifetch(addr);
+    }
+    fn read(&mut self, addr: u32) {
+        self.0.dread(addr);
+    }
+    fn write(&mut self, addr: u32) {
+        self.0.dwrite(addr);
+    }
+}
+
+/// Direct (non-replay) partitioned simulation: fresh interpreter, fresh
+/// hierarchy, arrays re-initialized — the reference the replay engine
+/// must match bit for bit.
+fn direct_partitioned(
+    prepared: &PreparedApp,
+    config: &SystemConfig,
+    hw: &HashSet<BlockId>,
+) -> (RunStats, HierarchyReport) {
+    let mut hierarchy = Hierarchy::new(
+        config.icache.clone(),
+        config.dcache.clone(),
+        &config.process,
+        config.memory_bytes,
+    );
+    let mut sim =
+        Simulator::with_energy_table(&prepared.prog, &prepared.app, config.energy_table.clone());
+    for (name, data) in &prepared.workload.arrays {
+        sim.set_array(name, data).expect("workload array");
+    }
+    let stats = sim
+        .run(
+            &SimConfig::partitioned(config.max_cycles, hw.clone()),
+            &mut HierarchyMemSink(&mut hierarchy),
+        )
+        .expect("direct simulation");
+    (stats, hierarchy.report())
+}
 
 #[test]
 fn parallel_search_matches_sequential_on_all_six_workloads() {
@@ -152,5 +209,174 @@ proptest! {
             }
             other => prop_assert!(false, "cache/fresh disagreement: {:?}", other),
         }
+    }
+}
+
+#[test]
+fn replay_matches_direct_simulation_on_all_six_workloads() {
+    // Fixed regression case per paper workload: the hardware-block set
+    // of the top pre-selected cluster, verified once by direct
+    // simulation and once by replaying the captured reference trace.
+    for w in all() {
+        let config = SystemConfig::new();
+        let prepared = prepare(
+            w.app().expect("workload lowers"),
+            Workload::from_arrays(w.arrays(1)),
+            &config,
+        )
+        .expect("workload prepares");
+        let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+        let engine = partitioner
+            .replay_engine()
+            .expect("every paper workload fits the default trace cap");
+
+        let top = partitioner
+            .candidates()
+            .first()
+            .cloned()
+            .expect("pre-selection keeps a candidate");
+        let hw: HashSet<BlockId> = prepared
+            .chain
+            .cluster(top.cluster)
+            .blocks
+            .iter()
+            .copied()
+            .collect();
+
+        let (direct_stats, direct_report) = direct_partitioned(&prepared, &config, &hw);
+        let replayed = replay_run(&prepared, &config, engine.trace(), &hw).expect("replay");
+        assert_eq!(
+            direct_stats, replayed.stats,
+            "RunStats diverged on `{}`",
+            w.name
+        );
+        assert_eq!(
+            direct_report, replayed.report,
+            "HierarchyReport diverged on `{}`",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn verification_reuses_estimate_phase_schedule_cache_on_mpg() {
+    // The verification path builds the same `ScheduleKey` the estimate
+    // phase used, so the winner's schedule trio must be a cache hit —
+    // this used to report `cache_hits: 0` on all six workloads.
+    let w = by_name("MPG").expect("MPG exists");
+    let config = SystemConfig::new();
+    let prepared = prepare(
+        w.app().expect("lowers"),
+        Workload::from_arrays(w.arrays(1)),
+        &config,
+    )
+    .expect("prepares");
+    let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+    let outcome = partitioner.run().expect("search");
+    assert!(outcome.best.is_some(), "mpg finds a partition");
+    assert!(
+        outcome.search.cache_hits > 0,
+        "verification must hit the estimate phase's schedule-cache entry, got {:?}",
+        outcome.search
+    );
+    assert_eq!(outcome.search.replayed, 1, "one replayed verification");
+}
+
+#[test]
+fn tiny_trace_cap_falls_back_to_identical_direct_search() {
+    // A 16-byte cap discards every capture; the search silently falls
+    // back to direct simulation and must produce the same outcome.
+    let w = by_name("digs").expect("digs exists");
+    let replay_config = SystemConfig::new();
+    let fallback_config = SystemConfig::new().with_trace_cap(16);
+    let prepared = prepare(
+        w.app().expect("lowers"),
+        Workload::from_arrays(w.arrays(1)),
+        &replay_config,
+    )
+    .expect("prepares");
+
+    let with_replay = Partitioner::new(&prepared, &replay_config).expect("initial run");
+    assert!(with_replay.replay_engine().is_some());
+    let without_replay = Partitioner::new(&prepared, &fallback_config).expect("initial run");
+    assert!(
+        without_replay.replay_engine().is_none(),
+        "16-byte cap overflows"
+    );
+
+    let replayed = with_replay.run().expect("replayed search");
+    let direct = without_replay.run().expect("direct search");
+    assert_eq!(replayed, direct);
+    assert!(replayed.search.replayed > 0);
+    assert_eq!(direct.search.replayed, 0);
+}
+
+const REPLAY_PROGRAMS: [&str; 3] = [
+    r#"app p0; var a[32]; var s = 0;
+    func main() {
+        for (var i = 0; i < 32; i = i + 1) { a[i] = a[i] * 3 + i; }
+        for (var j = 0; j < 32; j = j + 1) { s = s + a[j]; }
+        return s;
+    }"#,
+    r#"app p1; var x[24]; var y[24]; var t = 0;
+    func main() {
+        for (var i = 1; i < 23; i = i + 1) {
+            y[i] = (x[i - 1] + x[i] * 2 + x[i + 1]) >> 2;
+        }
+        for (var j = 0; j < 24; j = j + 1) {
+            if (y[j] > 4) { t = t + y[j]; } else { t = t - 1; }
+        }
+        return t;
+    }"#,
+    r#"app p2; var b[16]; var acc = 1;
+    func main() {
+        for (var i = 0; i < 16; i = i + 1) {
+            b[i] = (b[i] ^ (i << 2)) & 255;
+            while (b[i] > 9) { b[i] = b[i] - 7; }
+        }
+        for (var j = 0; j < 16; j = j + 1) { acc = acc + b[j] * b[j]; }
+        return acc;
+    }"#,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replaying the captured trace under an arbitrary hardware-block
+    /// subset reproduces the direct partitioned simulation bit for bit
+    /// — `RunStats` and `HierarchyReport` alike — on random small
+    /// programs with random inputs.
+    #[test]
+    fn replay_is_bit_identical_for_random_hw_subsets(
+        program in 0usize..3,
+        seed in 0i64..1000,
+        mask in prop::collection::vec(any::<bool>(), 64..65),
+    ) {
+        let config = SystemConfig::new();
+        let app = lower(&parse(REPLAY_PROGRAMS[program]).expect("parses")).expect("lowers");
+        let array = app.arrays().first().map(|a| a.name.clone()).expect("has an array");
+        let len = app.arrays().first().map(|a| a.len).expect("array length");
+        let input: Vec<i64> = (0..len as i64).map(|i| (i * 7 + seed) % 19 - 9).collect();
+        let prepared = prepare(
+            app,
+            Workload::from_arrays([(array.as_str(), input)]),
+            &config,
+        )
+        .expect("prepares");
+
+        let hw: HashSet<BlockId> = (0..prepared.app.blocks().len())
+            .filter(|&b| mask[b % mask.len()])
+            .map(|b| BlockId(b as u32))
+            .collect();
+
+        let (_, _, trace) =
+            corepart::evaluate::evaluate_initial_captured(&prepared, &config, usize::MAX)
+                .expect("initial run");
+        let trace = trace.expect("tiny program fits");
+
+        let (direct_stats, direct_report) = direct_partitioned(&prepared, &config, &hw);
+        let replayed = replay_run(&prepared, &config, &trace, &hw).expect("replay");
+        prop_assert_eq!(&direct_stats, &replayed.stats);
+        prop_assert_eq!(&direct_report, &replayed.report);
     }
 }
