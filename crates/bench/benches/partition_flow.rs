@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use corepart::engine::Engine;
 use corepart::evaluate::Partition;
 use corepart::partition::Partitioner;
 use corepart::prepare::{prepare, Workload};
@@ -34,18 +35,18 @@ fn bench_iss(c: &mut Criterion) {
 }
 
 fn bench_partition_search(c: &mut Criterion) {
-    let config = SystemConfig::new();
     for name in ["3d", "engine"] {
         let w = by_name(name).expect("workload exists");
-        let prepared = prepare(
-            w.app().expect("lowers"),
-            Workload::from_arrays(w.arrays(1)),
-            &config,
-        )
-        .expect("prepares");
+        let app = w.app().expect("lowers");
+        let workload = Workload::from_arrays(w.arrays(1));
         c.bench_function(&format!("partition-search/{name}"), |b| {
             b.iter(|| {
-                let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+                // A fresh engine per iteration: this benchmark measures
+                // the cold search (baseline simulation + estimate grid +
+                // growth + verification), not pool reuse.
+                let engine = Engine::new(SystemConfig::new()).expect("engine");
+                let session = engine.session(&app, &workload);
+                let partitioner = Partitioner::new(&session).expect("initial run");
                 partitioner.run().expect("search")
             })
         });
@@ -53,21 +54,22 @@ fn bench_partition_search(c: &mut Criterion) {
 }
 
 fn bench_estimate_vs_verify(c: &mut Criterion) {
-    let config = SystemConfig::new();
     let w = by_name("3d").expect("3d exists");
-    let prepared = prepare(
-        w.app().expect("lowers"),
-        Workload::from_arrays(w.arrays(1)),
-        &config,
-    )
-    .expect("prepares");
-    let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+    let app = w.app().expect("lowers");
+    let workload = Workload::from_arrays(w.arrays(1));
+    let engine = Engine::new(SystemConfig::new()).expect("engine");
+    let session = engine.session(&app, &workload);
+    let config = session.config();
+    let partitioner = Partitioner::new(&session).expect("initial run");
     let cand = partitioner
         .candidates()
         .into_iter()
         .next()
         .expect("candidate");
-    let partition = Partition::single(cand.cluster, config.resource_sets[2].clone());
+    let partition = Partition::single(
+        cand.cluster,
+        config.resource_set(2).expect("set exists").clone(),
+    );
 
     c.bench_function("estimate/3d-single", |b| {
         b.iter(|| {

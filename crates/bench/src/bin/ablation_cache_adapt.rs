@@ -15,8 +15,9 @@
 //! cargo run --release -p corepart-bench --bin ablation_cache_adapt
 //! ```
 
+use corepart::engine::Engine;
 use corepart::partition::Partitioner;
-use corepart::prepare::{prepare, Workload};
+use corepart::prepare::Workload;
 use corepart::system::SystemConfig;
 use corepart_bench::SEED;
 use corepart_workloads::all;
@@ -30,9 +31,13 @@ fn main() {
     for w in all() {
         let base_config = SystemConfig::new();
         let app = w.app().expect("bundled workload lowers");
-        let prepared = prepare(app, Workload::from_arrays(w.arrays(SEED)), &base_config)
-            .expect("bundled workload prepares");
-        let partitioner = Partitioner::new(&prepared, &base_config).expect("initial run");
+        let workload = Workload::from_arrays(w.arrays(SEED));
+        // One engine per application: every cache geometry below shares
+        // the prepared app and the schedule cache; only the baseline
+        // simulation splits per cache configuration.
+        let engine = Engine::new(base_config.clone()).expect("engine");
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).expect("initial run");
         let outcome = partitioner.run().expect("search");
         let Some((partition, _)) = outcome.best else {
             println!("{:<8} (no partition found — skipped)\n", w.name);
@@ -50,13 +55,10 @@ fn main() {
                 .expect("power-of-two cache size");
             let config = base_config.clone().with_caches(icache, dcache);
             // Re-evaluate the same partition under the adapted caches.
-            let prepared2 = prepare(
-                w.app().expect("lowers"),
-                Workload::from_arrays(w.arrays(SEED)),
-                &config,
-            )
-            .expect("prepares");
-            let p2 = Partitioner::new(&prepared2, &config).expect("initial");
+            let adapted = engine
+                .session_with_config(&app, &workload, config)
+                .expect("valid config");
+            let p2 = Partitioner::new(&adapted).expect("initial");
             match p2.evaluate(&partition) {
                 Ok(detail) => println!(
                     "{:<8} {:>5}kB {:>14} {:>10.2} {:>10.2}",

@@ -14,8 +14,9 @@
 //! cargo run --release -p corepart-bench --bin ablation_chaining
 //! ```
 
+use corepart::engine::Engine;
 use corepart::partition::Partitioner;
-use corepart::prepare::{prepare, Workload};
+use corepart::prepare::Workload;
 use corepart::system::SystemConfig;
 use corepart_bench::SEED;
 use corepart_sched::binding::{bind, utilization, ClusterSchedule};
@@ -33,9 +34,11 @@ fn main() {
     );
     for w in all() {
         let app = w.app().expect("bundled workload lowers");
-        let prepared = prepare(app, Workload::from_arrays(w.arrays(SEED)), &config)
-            .expect("bundled workload prepares");
-        let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+        let workload = Workload::from_arrays(w.arrays(SEED));
+        let engine = Engine::new(config.clone()).expect("engine");
+        let session = engine.session(&app, &workload);
+        let prepared = session.prepared().expect("bundled workload prepares");
+        let partitioner = Partitioner::new(&session).expect("initial run");
         let Some(top) = partitioner.candidates().into_iter().next() else {
             println!("{:<8} (no candidates)\n", w.name);
             continue;

@@ -13,9 +13,10 @@
 //! cargo run --release -p corepart-bench --bin ablation_multicore
 //! ```
 
+use corepart::engine::Engine;
 use corepart::multicore::split_search;
 use corepart::partition::Partitioner;
-use corepart::prepare::{prepare, Workload};
+use corepart::prepare::Workload;
 use corepart::system::SystemConfig;
 use corepart_bench::SEED;
 use corepart_workloads::all;
@@ -29,9 +30,10 @@ fn main() {
     );
     for w in all() {
         let app = w.app().expect("bundled workload lowers");
-        let prepared = prepare(app, Workload::from_arrays(w.arrays(SEED)), &config)
-            .expect("bundled workload prepares");
-        let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+        let workload = Workload::from_arrays(w.arrays(SEED));
+        let engine = Engine::new(config.clone()).expect("engine");
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).expect("initial run");
         match split_search(&partitioner).expect("split search") {
             Some((mc, detail)) => {
                 let per_core: Vec<String> = detail

@@ -14,8 +14,9 @@
 //! cargo run --release -p corepart-bench --bin ablation_voltage
 //! ```
 
+use corepart::engine::Engine;
 use corepart::partition::Partitioner;
-use corepart::prepare::{prepare, Workload};
+use corepart::prepare::Workload;
 use corepart::system::SystemConfig;
 use corepart_bench::SEED;
 use corepart_tech::units::{Cycles, Energy};
@@ -30,9 +31,10 @@ fn main() {
     );
     for w in all() {
         let app = w.app().expect("bundled workload lowers");
-        let prepared = prepare(app, Workload::from_arrays(w.arrays(SEED)), &config)
-            .expect("bundled workload prepares");
-        let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+        let workload = Workload::from_arrays(w.arrays(SEED));
+        let engine = Engine::new(config.clone()).expect("engine");
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).expect("initial run");
         let outcome = partitioner.run().expect("search");
         let Some((_, detail)) = &outcome.best else {
             println!("{:<8} (no partition found)\n", w.name);

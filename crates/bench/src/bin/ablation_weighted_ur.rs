@@ -16,9 +16,10 @@
 //! cargo run --release -p corepart-bench --bin ablation_weighted_ur
 //! ```
 
+use corepart::engine::Engine;
 use corepart::evaluate::Partition;
 use corepart::partition::Partitioner;
-use corepart::prepare::{prepare, Workload};
+use corepart::prepare::Workload;
 use corepart::system::SystemConfig;
 use corepart_bench::SEED;
 use corepart_workloads::all;
@@ -35,9 +36,11 @@ fn main() {
     let mut comparisons = 0usize;
     for w in all() {
         let app = w.app().expect("bundled workload lowers");
-        let prepared = prepare(app, Workload::from_arrays(w.arrays(SEED)), &config)
-            .expect("bundled workload prepares");
-        let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+        let workload = Workload::from_arrays(w.arrays(SEED));
+        let engine = Engine::new(config.clone()).expect("engine");
+        let session = engine.session(&app, &workload);
+        let prepared = session.prepared().expect("bundled workload prepares");
+        let partitioner = Partitioner::new(&session).expect("initial run");
         let set = config.resource_sets[2].clone(); // m-dsp
 
         let mut rows: Vec<(String, f64, f64)> = Vec::new();

@@ -34,6 +34,7 @@ use std::time::Instant;
 use corepart::baselines::performance_partition;
 use corepart::cache::hierarchy::Hierarchy;
 use corepart::cache::HierarchyReport;
+use corepart::engine::Engine;
 use corepart::evaluate::{evaluate_partition, evaluate_partition_with};
 use corepart::explore::{explore, hardware_weight_sweep, DesignPoint};
 use corepart::ir::op::BlockId;
@@ -41,7 +42,7 @@ use corepart::isa::simulator::{MemSink, RunStats, SimConfig, Simulator};
 use corepart::json::outcome_to_json;
 use corepart::parallel::resolve_threads;
 use corepart::partition::{PartitionOutcome, Partitioner};
-use corepart::prepare::{prepare, PreparedApp, Workload};
+use corepart::prepare::{PreparedApp, Workload};
 use corepart::system::SystemConfig;
 use corepart::verify::replay_run;
 use corepart_bench::SEED;
@@ -49,8 +50,9 @@ use corepart_tech::units::GateEq;
 use corepart_workloads::{all, by_name, PaperWorkload};
 
 /// The seed's exploration path: every configuration prepares,
-/// simulates and schedules from scratch, one after the other. Kept
-/// here as the reference the parallel engine is measured against; the
+/// simulates and schedules from scratch, one after the other — a fresh
+/// [`Engine`] per configuration, so nothing is pooled. Kept here as
+/// the reference the shared engine is measured against; the
 /// point-assembly mirrors [`explore`] so the outputs are comparable
 /// verbatim.
 fn sequential_sweep(w: &PaperWorkload, configs: &[(String, SystemConfig)]) -> Vec<DesignPoint> {
@@ -58,8 +60,9 @@ fn sequential_sweep(w: &PaperWorkload, configs: &[(String, SystemConfig)]) -> Ve
     let mut outcomes = Vec::with_capacity(configs.len());
     for (_, config) in configs {
         let app = w.app().expect("bundled workload lowers");
-        let prepared = prepare(app, workload.clone(), config).expect("bundled workload prepares");
-        let outcome = Partitioner::new(&prepared, config)
+        let engine = Engine::new(config.clone()).expect("engine");
+        let session = engine.session(&app, &workload);
+        let outcome = Partitioner::new(&session)
             .expect("initial run")
             .run()
             .expect("search");
@@ -249,12 +252,13 @@ fn main() {
     for w in selected {
         let config = SystemConfig::new();
         let app = w.app().expect("bundled workload lowers");
-        let prepared = prepare(app, Workload::from_arrays(w.arrays(SEED)), &config)
-            .expect("bundled workload prepares");
-        let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+        let workload = Workload::from_arrays(w.arrays(SEED));
+        let engine = Engine::new(config.clone()).expect("engine");
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).expect("initial run");
 
         let ours = partitioner.run().expect("our search");
-        let perf = performance_partition(&partitioner, &config, GateEq::new(20_000))
+        let perf = performance_partition(&partitioner, session.config(), GateEq::new(20_000))
             .expect("perf baseline");
 
         for (method, outcome) in [("energy", &ours), ("perf", &perf)] {
@@ -291,13 +295,16 @@ fn main() {
     );
     let mut outcome_rows: Vec<String> = Vec::new();
     for (run, config) in &runs {
-        // Re-prepare (cheap next to the searches above) so the verify
-        // measurement owns a partitioner with a fresh replay engine.
+        // A fresh engine (cheap next to the searches above) so the
+        // verify measurement owns a partitioner with a fresh replay
+        // engine.
         let app = run.w.app().expect("bundled workload lowers");
-        let prepared = prepare(app, Workload::from_arrays(run.w.arrays(SEED)), config)
-            .expect("bundled workload prepares");
-        let partitioner = Partitioner::new(&prepared, config).expect("initial run");
-        let verify = measure_verify(&prepared, config, &partitioner, &run.ours, run.w.name);
+        let workload = Workload::from_arrays(run.w.arrays(SEED));
+        let factory = Engine::new(config.clone()).expect("engine");
+        let session = factory.session(&app, &workload);
+        let prepared = session.prepared().expect("bundled workload prepares");
+        let partitioner = Partitioner::new(&session).expect("initial run");
+        let verify = measure_verify(prepared, config, &partitioner, &run.ours, run.w.name);
         let oj = outcome_to_json(run.w.name, &run.ours);
         outcome_rows.push(match verify {
             // Splice the verify object into the outcome record.

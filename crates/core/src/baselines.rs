@@ -174,8 +174,10 @@ pub fn best_single_verified(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prepare::{prepare, Workload};
+    use crate::engine::Engine;
+    use crate::prepare::Workload;
     use crate::system::SystemConfig;
+    use corepart_ir::cdfg::Application;
     use corepart_ir::lower::lower;
     use corepart_ir::parser::parse;
 
@@ -188,27 +190,24 @@ mod tests {
             return s;
         }"#;
 
-    fn setup(config: &SystemConfig) -> crate::prepare::PreparedApp {
+    fn setup() -> (Engine, Application, Workload) {
         let app = lower(&parse(DSP).unwrap()).unwrap();
-        prepare(
-            app,
-            Workload::from_arrays([(
-                "x",
-                (0..256)
-                    .map(|i| (i * 31 + 7) % 255 - 128)
-                    .collect::<Vec<i64>>(),
-            )]),
-            config,
-        )
-        .unwrap()
+        let workload = Workload::from_arrays([(
+            "x",
+            (0..256)
+                .map(|i| (i * 31 + 7) % 255 - 128)
+                .collect::<Vec<i64>>(),
+        )]);
+        (Engine::new(SystemConfig::new()).unwrap(), app, workload)
     }
 
     #[test]
     fn performance_baseline_improves_cycles() {
-        let config = SystemConfig::new();
-        let p = setup(&config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
-        let outcome = performance_partition(&partitioner, &config, GateEq::new(20_000)).unwrap();
+        let (engine, app, workload) = setup();
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
+        let outcome =
+            performance_partition(&partitioner, session.config(), GateEq::new(20_000)).unwrap();
         let (_, detail) = outcome.best.expect("perf baseline finds something");
         assert!(detail.metrics.total_cycles() < outcome.initial.total_cycles());
         assert!(detail.metrics.geq <= GateEq::new(20_000));
@@ -216,11 +215,12 @@ mod tests {
 
     #[test]
     fn our_partitioner_never_loses_on_energy_vs_perf_baseline() {
-        let config = SystemConfig::new();
-        let p = setup(&config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let (engine, app, workload) = setup();
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
         let ours = partitioner.run().unwrap();
-        let perf = performance_partition(&partitioner, &config, GateEq::new(20_000)).unwrap();
+        let perf =
+            performance_partition(&partitioner, session.config(), GateEq::new(20_000)).unwrap();
         let ours_e = ours.best.as_ref().unwrap().1.metrics.total_energy();
         let perf_e = perf.best.as_ref().unwrap().1.metrics.total_energy();
         // Energy-driven must be at least as good on energy (within the
@@ -233,13 +233,13 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_per_seed() {
-        let config = SystemConfig::new();
-        let p = setup(&config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
-        let a = random_partition(&partitioner, &config, 42)
+        let (engine, app, workload) = setup();
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
+        let a = random_partition(&partitioner, session.config(), 42)
             .unwrap()
             .unwrap();
-        let b = random_partition(&partitioner, &config, 42)
+        let b = random_partition(&partitioner, session.config(), 42)
             .unwrap()
             .unwrap();
         assert_eq!(a.0, b.0);
@@ -247,13 +247,15 @@ mod tests {
 
     #[test]
     fn oracle_at_least_as_good_as_any_single() {
-        let config = SystemConfig::new();
-        let p = setup(&config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
-        let oracle = best_single_verified(&partitioner, &config)
+        let (engine, app, workload) = setup();
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
+        let oracle = best_single_verified(&partitioner, session.config())
             .unwrap()
             .unwrap();
-        let rand = random_partition(&partitioner, &config, 7).unwrap().unwrap();
+        let rand = random_partition(&partitioner, session.config(), 7)
+            .unwrap()
+            .unwrap();
         assert!(
             oracle.1.metrics.total_energy().joules()
                 <= rand.1.metrics.total_energy().joules() + 1e-15

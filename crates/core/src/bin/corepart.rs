@@ -3,13 +3,20 @@
 //! ```text
 //! corepart partition <file.bdl> [--json] [--n-max N] [--factor-f F]
 //!                    [--factor-g G] [--array name=v1,v2,...]...
+//! corepart explore   <file.bdl> [--json] [--array ...]...
 //! corepart clusters  <file.bdl> [--array ...]...
 //! corepart disasm    <file.bdl>
 //! corepart schedule  <file.bdl> [--set-index I] [--array ...]...
 //! ```
 //!
+//! Every command also accepts the global `--threads N` flag (0 =
+//! automatic).
+//!
 //! * `partition` — run the full Fig.-5 design flow; print the Table-1
 //!   rows (or JSON with `--json`).
+//! * `explore` — sweep the objective hardware weight (§3.5 design-
+//!   space exploration) and render the Pareto frontier (or the full
+//!   point set as JSON with `--json`).
 //! * `clusters` — show the cluster chain with gen/use summaries and
 //!   profiled invocation counts.
 //! * `disasm` — compile for the µP core and disassemble.
@@ -18,14 +25,20 @@
 
 use std::process::ExitCode;
 
+use corepart::engine::Engine;
+use corepart::explore::{explore, hardware_weight_sweep};
 use corepart::flow::DesignFlow;
-use corepart::json::outcome_to_json;
+use corepart::json::{exploration_to_json, outcome_to_json};
 use corepart::partition::Partitioner;
-use corepart::prepare::{prepare, Workload};
+use corepart::prepare::Workload;
 use corepart::report::{Table1, Table1Entry};
 use corepart::system::SystemConfig;
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
+
+/// The default `explore` sweep over objective hardware weights
+/// (factor G), from "hardware is free" to "hardware is precious".
+const EXPLORE_WEIGHTS: [f64; 7] = [0.0, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0];
 
 struct Args {
     command: String,
@@ -36,13 +49,14 @@ struct Args {
     n_max: Option<usize>,
     factor_f: Option<f64>,
     factor_g: Option<f64>,
+    threads: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: corepart <partition|clusters|disasm|schedule> <file.bdl> \
-         [--json] [--set-index I] [--n-max N] [--factor-f F] [--factor-g G] \
-         [--array name=v1,v2,...]..."
+        "usage: corepart <partition|explore|clusters|disasm|schedule> <file.bdl> \
+         [--json] [--threads N] [--set-index I] [--n-max N] [--factor-f F] \
+         [--factor-g G] [--array name=v1,v2,...]..."
     );
     ExitCode::from(2)
 }
@@ -60,10 +74,15 @@ fn parse_args() -> Result<Args, String> {
         n_max: None,
         factor_f: None,
         factor_g: None,
+        threads: None,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--json" => args.json = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = Some(v.parse().map_err(|_| format!("bad thread count `{v}`"))?);
+            }
             "--set-index" => {
                 let v = it.next().ok_or("--set-index needs a value")?;
                 args.set_index = v.parse().map_err(|_| format!("bad set index `{v}`"))?;
@@ -109,6 +128,9 @@ fn config_from(args: &Args) -> SystemConfig {
     if let Some(g) = args.factor_g {
         config.factor_g = g;
     }
+    if let Some(t) = args.threads {
+        config.threads = t;
+    }
     config
 }
 
@@ -143,10 +165,24 @@ fn run(args: &Args) -> Result<(), String> {
             }
             Ok(())
         }
+        "explore" => {
+            let app =
+                lower(&parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+            let configs = hardware_weight_sweep(&EXPLORE_WEIGHTS, &config);
+            let ex = explore(&app, &workload, &configs).map_err(|e| e.to_string())?;
+            if args.json {
+                println!("{}", exploration_to_json(&ex));
+            } else {
+                print!("{}", ex.render_frontier());
+            }
+            Ok(())
+        }
         "clusters" => {
             let app =
                 lower(&parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
-            let prepared = prepare(app, workload, &config).map_err(|e| e.to_string())?;
+            let engine = Engine::new(config).map_err(|e| e.to_string())?;
+            let session = engine.session(&app, &workload);
+            let prepared = session.prepared().map_err(|e| e.to_string())?;
             println!("cluster chain of `{}`:", prepared.app.name());
             for c in prepared.chain.iter() {
                 let inv =
@@ -183,17 +219,19 @@ fn run(args: &Args) -> Result<(), String> {
         "schedule" => {
             let app =
                 lower(&parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
-            let prepared = prepare(app, workload, &config).map_err(|e| e.to_string())?;
-            let partitioner = Partitioner::new(&prepared, &config).map_err(|e| e.to_string())?;
+            let engine = Engine::new(config).map_err(|e| e.to_string())?;
+            let session = engine.session(&app, &workload);
+            let config = session.config();
+            let prepared = session.prepared().map_err(|e| e.to_string())?;
+            let partitioner = Partitioner::new(&session).map_err(|e| e.to_string())?;
             let cand = partitioner
                 .candidates()
                 .into_iter()
                 .next()
                 .ok_or("no candidate clusters")?;
             let set = config
-                .resource_sets
-                .get(args.set_index)
-                .ok_or_else(|| format!("no resource set at index {}", args.set_index))?;
+                .resource_set(args.set_index)
+                .map_err(|e| e.to_string())?;
             let blocks = prepared.chain.cluster(cand.cluster).blocks.clone();
             let sched = corepart_sched::binding::schedule_cluster(
                 &prepared.app,

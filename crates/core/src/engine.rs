@@ -1,0 +1,575 @@
+//! The Engine/Session spine — one shared-artifact core behind every
+//! entry point.
+//!
+//! Henkel's Fig. 5 flow is a pipeline of reusable stage products:
+//! preparing an application (profile, compiled program, cluster
+//! chain), simulating its initial all-software design (baseline
+//! metrics plus the captured reference trace), and memoizing candidate
+//! schedules are each computed **once** and consumed by everything
+//! downstream — the Fig. 1 search, design-space exploration, the
+//! multi-core split search, the CLI, benches and reports.
+//!
+//! * An [`Engine`] owns the base [`SystemConfig`], the resolved thread
+//!   policy, and three compute-once artifact pools (generalized
+//!   [`MemoCache`]s) keyed by *fingerprints* — the exact configuration
+//!   fields each stage consumes. Two sessions whose configurations
+//!   agree on a stage's fingerprint share that stage's artifact, even
+//!   when they disagree elsewhere (e.g. an objective-factor sweep
+//!   shares one baseline simulation across every weight).
+//! * A [`Session`] is opened per `(Application, Workload,
+//!   config-group)` and owns *references into* the pools: the typed
+//!   stage artifacts `PreparedApp → Baseline → Arc<ScheduleCache>`,
+//!   each resolved lazily and exactly once on first use.
+//!
+//! [`Session::stats`] reports per-stage wall time, whether each
+//! artifact was freshly computed or served from a sibling session, and
+//! the pass-through schedule-cache / replay hit counters.
+//!
+//! This module is the **only** place in `corepart` that constructs
+//! `PreparedApp` baselines, [`ScheduleCache`]s, or [`ReplayEngine`]s —
+//! every consumer goes through a session.
+//!
+//! ## Laziness rules
+//!
+//! * Opening a session performs no work beyond fingerprinting.
+//! * `prepared()` triggers preparation; `baseline()` triggers
+//!   preparation + the initial-design simulation (capturing the
+//!   reference trace, see [`SystemConfig::trace_cap_bytes`]);
+//!   `schedule_cache()` allocates (or joins) the shared cache.
+//! * Failures are memoized too: a configuration that cannot prepare
+//!   or simulate fails identically — and exactly once — for every
+//!   session sharing the artifact.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use corepart_ir::cdfg::Application;
+use corepart_sched::cache::{MemoCache, ScheduleCache};
+
+use crate::error::CorepartError;
+use crate::evaluate::evaluate_initial_captured;
+use crate::parallel::resolve_threads;
+use crate::partition::ScheduleKey;
+use crate::prepare::{prepare, PreparedApp, Workload};
+use crate::system::{DesignMetrics, SystemConfig};
+use crate::verify::ReplayEngine;
+use corepart_isa::simulator::RunStats;
+
+/// The initial-design stage artifact of one baseline group: Table 1's
+/// "I" row, the per-block run statistics every estimate consumes, and
+/// the replay engine built from the same captured run (absent when the
+/// capture overflowed [`SystemConfig::trace_cap_bytes`] or the cap
+/// is 0).
+#[derive(Debug)]
+pub struct Baseline {
+    /// The initial design's metrics.
+    pub metrics: DesignMetrics,
+    /// The initial run's statistics (per-block attribution).
+    pub stats: RunStats,
+    /// The memoizing trace-replay engine, when a capture exists.
+    pub replay: Option<Arc<ReplayEngine>>,
+}
+
+/// 64-bit FNV-1a over a fingerprint string — stable, dependency-free,
+/// and fast enough for the once-per-session key computation.
+fn fnv64(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What [`prepare`] consumes from a configuration: sessions whose
+/// configurations agree here (for the same application + workload)
+/// share one prepared application.
+fn prep_fingerprint(config: &SystemConfig) -> String {
+    format!("{:?}|{:?}", config.optimize_ir, config.max_cycles)
+}
+
+/// What the baseline simulation consumes on top of preparation.
+///
+/// `trace_cap_bytes` is *included*: a session configured with a
+/// different cap owns a different baseline artifact (its replay engine
+/// may be present or absent), so e.g. a `trace_cap_bytes = 0` session
+/// genuinely falls back to direct verification instead of borrowing a
+/// sibling's capture.
+fn baseline_fingerprint(config: &SystemConfig) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{}",
+        config.icache,
+        config.dcache,
+        config.process,
+        config.memory_bytes,
+        config.energy_table,
+        config.trace_cap_bytes
+    )
+}
+
+/// What cached schedules depend on besides the prepared application.
+fn library_fingerprint(config: &SystemConfig) -> String {
+    format!("{:?}", config.library)
+}
+
+/// The partitioning engine: the base configuration, the resolved
+/// thread policy, and the compute-once artifact pools shared by every
+/// [`Session`] it opens.
+///
+/// One engine serves many concurrent sessions; all pools are
+/// thread-safe and compute each artifact exactly once per key, even
+/// under races (see [`MemoCache`]).
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: SystemConfig,
+    threads: usize,
+    prepared: MemoCache<String, PreparedApp, CorepartError>,
+    baselines: MemoCache<String, Baseline, CorepartError>,
+    schedules: MemoCache<String, ScheduleCache<ScheduleKey>, CorepartError>,
+}
+
+impl Engine {
+    /// An engine over `config` (validated here, once, for every
+    /// session opened with [`Engine::session`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CorepartError::Config`] when the configuration is invalid.
+    pub fn new(config: SystemConfig) -> Result<Self, CorepartError> {
+        config.validate()?;
+        let threads = resolve_threads(config.threads);
+        Ok(Engine {
+            config,
+            threads,
+            prepared: MemoCache::new(),
+            baselines: MemoCache::new(),
+            schedules: MemoCache::new(),
+        })
+    }
+
+    /// The engine's base configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The resolved worker-thread count every session inherits.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Opens a session on the engine's own configuration.
+    ///
+    /// No work happens here — stage artifacts are resolved lazily on
+    /// first use (see the module docs).
+    pub fn session(&self, app: &Application, workload: &Workload) -> Session<'_> {
+        Session::open(self, app.clone(), workload.clone(), self.config.clone())
+    }
+
+    /// Opens a session on a *different* configuration (one config
+    /// group of a sweep), still sharing this engine's artifact pools
+    /// wherever the stage fingerprints agree.
+    ///
+    /// # Errors
+    ///
+    /// [`CorepartError::Config`] when `config` is invalid.
+    pub fn session_with_config(
+        &self,
+        app: &Application,
+        workload: &Workload,
+        config: SystemConfig,
+    ) -> Result<Session<'_>, CorepartError> {
+        config.validate()?;
+        Ok(Session::open(self, app.clone(), workload.clone(), config))
+    }
+}
+
+/// Per-stage accounting cells of one session (interior mutability so
+/// `&Session` resolves artifacts from parallel workers).
+#[derive(Debug, Default)]
+struct StageCells {
+    prepare_nanos: AtomicU64,
+    prepare_shared: AtomicBool,
+    baseline_nanos: AtomicU64,
+    baseline_shared: AtomicBool,
+}
+
+/// A point-in-time snapshot of one session's per-stage accounting —
+/// wall time per stage, whether the artifact was computed here or
+/// served from a sibling session, and the pass-through schedule-cache
+/// and replay counters. Taken with [`Session::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Wall time resolving the prepared application, nanoseconds
+    /// (0 when not yet resolved).
+    pub prepare_nanos: u64,
+    /// True when the prepared application was served from the engine
+    /// pool (a sibling session computed it).
+    pub prepare_shared: bool,
+    /// Wall time resolving the baseline (initial-design simulation +
+    /// trace capture), nanoseconds (0 when not yet resolved).
+    pub baseline_nanos: u64,
+    /// True when the baseline was served from the engine pool.
+    pub baseline_shared: bool,
+    /// Schedule-cache lookups served from memory so far.
+    pub schedule_cache_hits: u64,
+    /// Schedule-cache lookups that ran the scheduler (distinct keys).
+    pub schedule_cache_misses: u64,
+    /// Replays actually executed (distinct hardware-block sets).
+    pub replays: u64,
+    /// Verifications served by the replay memo without replaying.
+    pub replay_hits: u64,
+}
+
+/// One partitioning session: an `(Application, Workload,
+/// config-group)` binding whose stage artifacts are created lazily,
+/// exactly once, and shared through the owning [`Engine`]'s pools.
+///
+/// Sessions are `Sync`: exploration resolves many sessions' artifacts
+/// from parallel workers, and the compute-once pools guarantee each
+/// distinct artifact is still computed exactly once.
+#[derive(Debug)]
+pub struct Session<'e> {
+    engine: &'e Engine,
+    app: Application,
+    workload: Workload,
+    config: SystemConfig,
+    prep_key: String,
+    baseline_key: String,
+    cache_key: String,
+    prepared: OnceLock<Result<Arc<PreparedApp>, CorepartError>>,
+    baseline: OnceLock<Result<Arc<Baseline>, CorepartError>>,
+    schedules: OnceLock<Arc<ScheduleCache<ScheduleKey>>>,
+    cells: StageCells,
+}
+
+impl<'e> Session<'e> {
+    fn open(
+        engine: &'e Engine,
+        app: Application,
+        workload: Workload,
+        config: SystemConfig,
+    ) -> Self {
+        // The application/workload identity is their full (Debug)
+        // content, hashed; the name is kept alongside for readability
+        // of keys in logs and tests.
+        let identity = format!(
+            "{}#{:016x}",
+            app.name(),
+            fnv64(&format!("{app:?}|{workload:?}"))
+        );
+        let prep_key = format!("{identity}|{}", prep_fingerprint(&config));
+        let baseline_key = format!("{prep_key}|{}", baseline_fingerprint(&config));
+        let cache_key = format!("{prep_key}|{}", library_fingerprint(&config));
+        Session {
+            engine,
+            app,
+            workload,
+            config,
+            prep_key,
+            baseline_key,
+            cache_key,
+            prepared: OnceLock::new(),
+            baseline: OnceLock::new(),
+            schedules: OnceLock::new(),
+            cells: StageCells::default(),
+        }
+    }
+
+    /// The session's configuration (its config group's, not
+    /// necessarily the engine's base).
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The application this session partitions.
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// The workload driving profiling and simulation.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The engine this session shares artifacts through.
+    pub fn engine(&self) -> &'e Engine {
+        self.engine
+    }
+
+    /// The resolved worker-thread count (inherited from the engine
+    /// when this session's config leaves `threads` at 0).
+    pub fn threads(&self) -> usize {
+        if self.config.threads == 0 {
+            self.engine.threads
+        } else {
+            resolve_threads(self.config.threads)
+        }
+    }
+
+    /// The prepared application — profile, compiled program, cluster
+    /// chain — resolved on first call (Fig. 5's front half).
+    ///
+    /// # Errors
+    ///
+    /// The memoized preparation failure, identical on every call.
+    pub fn prepared(&self) -> Result<&PreparedApp, CorepartError> {
+        match self.prepared_slot() {
+            Ok(arc) => Ok(arc.as_ref()),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Like [`Session::prepared`], but handing out the shared
+    /// ownership ([`Arc`]) — what [`crate::flow::FlowResult`] stores.
+    ///
+    /// # Errors
+    ///
+    /// The memoized preparation failure.
+    pub fn prepared_arc(&self) -> Result<Arc<PreparedApp>, CorepartError> {
+        match self.prepared_slot() {
+            Ok(arc) => Ok(Arc::clone(arc)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    fn prepared_slot(&self) -> &Result<Arc<PreparedApp>, CorepartError> {
+        self.prepared.get_or_init(|| {
+            let started = Instant::now();
+            let mut computed = false;
+            let result = self
+                .engine
+                .prepared
+                .get_or_compute(self.prep_key.clone(), || {
+                    computed = true;
+                    prepare(self.app.clone(), self.workload.clone(), &self.config)
+                });
+            self.cells
+                .prepare_nanos
+                .store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.cells
+                .prepare_shared
+                .store(!computed, Ordering::Relaxed);
+            result
+        })
+    }
+
+    /// The initial-design baseline — [`DesignMetrics`], per-block
+    /// [`RunStats`], and the replay engine built from the captured
+    /// reference trace (absent when the capture overflowed
+    /// [`SystemConfig::trace_cap_bytes`] or the cap is 0). Resolved on
+    /// first call; triggers preparation if needed.
+    ///
+    /// [`DesignMetrics`]: crate::system::DesignMetrics
+    /// [`RunStats`]: corepart_isa::simulator::RunStats
+    ///
+    /// # Errors
+    ///
+    /// The memoized preparation or simulation failure.
+    pub fn baseline(&self) -> Result<&Baseline, CorepartError> {
+        // Resolve preparation first so its wall time is charged to the
+        // prepare stage, not folded into the baseline's.
+        let prepared = self.prepared_arc()?;
+        let slot = self.baseline.get_or_init(|| {
+            let started = Instant::now();
+            let mut computed = false;
+            let result = self
+                .engine
+                .baselines
+                .get_or_compute(self.baseline_key.clone(), || {
+                    computed = true;
+                    let (metrics, stats, trace) = evaluate_initial_captured(
+                        &prepared,
+                        &self.config,
+                        self.config.trace_cap_bytes,
+                    )?;
+                    let replay =
+                        trace.map(|t| Arc::new(ReplayEngine::new(&prepared, &self.config, t)));
+                    Ok(Baseline {
+                        metrics,
+                        stats,
+                        replay,
+                    })
+                });
+            self.cells
+                .baseline_nanos
+                .store(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.cells
+                .baseline_shared
+                .store(!computed, Ordering::Relaxed);
+            result
+        });
+        match slot {
+            Ok(arc) => Ok(arc.as_ref()),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The replay engine backing verifications, when the reference
+    /// trace was captured. Resolves the baseline if needed.
+    ///
+    /// # Errors
+    ///
+    /// The memoized preparation or simulation failure.
+    pub fn replay_engine(&self) -> Result<Option<&Arc<ReplayEngine>>, CorepartError> {
+        Ok(self.baseline()?.replay.as_ref())
+    }
+
+    /// The schedule cache shared by every session with the same
+    /// prepared application and resource library — allocated (or
+    /// joined) on first call.
+    pub fn schedule_cache(&self) -> &Arc<ScheduleCache<ScheduleKey>> {
+        self.schedules.get_or_init(|| {
+            self.engine
+                .schedules
+                .get_or_compute(self.cache_key.clone(), || Ok(ScheduleCache::new()))
+                // The compute closure is infallible; the pool's error
+                // arm is unreachable, but degrade to a private cache
+                // rather than panicking if it ever weren't.
+                .unwrap_or_else(|_| Arc::new(ScheduleCache::new()))
+        })
+    }
+
+    /// A snapshot of this session's per-stage accounting (see
+    /// [`SessionStats`]). Stages not yet resolved report zeros.
+    pub fn stats(&self) -> SessionStats {
+        let cache = self.schedules.get();
+        let replay = self
+            .baseline
+            .get()
+            .and_then(|slot| slot.as_ref().ok())
+            .and_then(|b| b.replay.as_ref());
+        SessionStats {
+            prepare_nanos: self.cells.prepare_nanos.load(Ordering::Relaxed),
+            prepare_shared: self.cells.prepare_shared.load(Ordering::Relaxed),
+            baseline_nanos: self.cells.baseline_nanos.load(Ordering::Relaxed),
+            baseline_shared: self.cells.baseline_shared.load(Ordering::Relaxed),
+            schedule_cache_hits: cache.map_or(0, |c| c.hits()),
+            schedule_cache_misses: cache.map_or(0, |c| c.misses()),
+            replays: replay.map_or(0, |r| r.replays()),
+            replay_hits: replay.map_or(0, |r| r.hits()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use corepart_ir::lower::lower;
+    use corepart_ir::parser::parse;
+
+    const SRC: &str = r#"app spine; var x[96]; var y[96];
+        func main() {
+            for (var i = 1; i < 95; i = i + 1) {
+                y[i] = x[i] * 7 + (x[i - 1] >> 2);
+            }
+            return y[40];
+        }"#;
+
+    fn app() -> Application {
+        lower(&parse(SRC).unwrap()).unwrap()
+    }
+
+    fn workload() -> Workload {
+        Workload::from_arrays([("x", (0..96).collect::<Vec<i64>>())])
+    }
+
+    #[test]
+    fn artifacts_are_lazy_and_shared_between_sessions() {
+        let engine = Engine::new(SystemConfig::new()).unwrap();
+        let a = engine.session(&app(), &workload());
+        // Opening did no work.
+        assert_eq!(a.stats(), SessionStats::default());
+
+        let prepared_a = a.prepared_arc().unwrap();
+        assert!(!a.stats().prepare_shared, "first session computes");
+
+        let b = engine.session(&app(), &workload());
+        let prepared_b = b.prepared_arc().unwrap();
+        assert!(
+            Arc::ptr_eq(&prepared_a, &prepared_b),
+            "same (app, workload, prep fingerprint) must share one PreparedApp"
+        );
+        assert!(b.stats().prepare_shared, "second session is served");
+
+        // Baselines share too, and carry the replay engine.
+        let base_a = a.baseline().unwrap();
+        let base_b = b.baseline().unwrap();
+        assert_eq!(base_a.metrics, base_b.metrics);
+        assert!(!a.stats().baseline_shared);
+        assert!(b.stats().baseline_shared);
+        assert!(base_a.replay.is_some(), "default cap captures the trace");
+
+        // One shared schedule cache per (prep, library) group.
+        assert!(Arc::ptr_eq(a.schedule_cache(), b.schedule_cache()));
+    }
+
+    #[test]
+    fn objective_factor_groups_share_baseline_but_cap_splits_it() {
+        let engine = Engine::new(SystemConfig::new()).unwrap();
+        let (app, workload) = (app(), workload());
+        let sweep = engine
+            .session_with_config(&app, &workload, SystemConfig::new().with_factors(1.0, 4.0))
+            .unwrap();
+        let base = engine.session(&app, &workload);
+        let m1 = base.baseline().unwrap().metrics.clone();
+        let m2 = sweep.baseline().unwrap().metrics.clone();
+        assert_eq!(m1, m2);
+        assert!(
+            sweep.stats().baseline_shared,
+            "factor sweep shares the baseline"
+        );
+
+        // A different trace cap owns a different baseline artifact:
+        // the capped session must NOT inherit a sibling's capture.
+        let capped = engine
+            .session_with_config(&app, &workload, SystemConfig::new().with_trace_cap(0))
+            .unwrap();
+        assert!(capped.replay_engine().unwrap().is_none());
+        assert!(!capped.stats().baseline_shared);
+        assert_eq!(capped.baseline().unwrap().metrics, m1);
+    }
+
+    #[test]
+    fn failures_are_memoized_and_cloned() {
+        // max_cycles = 1 starves the profiling interpreter.
+        let config = SystemConfig::new();
+        let mut starved = config.clone();
+        starved.max_cycles = 1;
+        let engine = Engine::new(starved).unwrap();
+        let s1 = engine.session(&app(), &workload());
+        let s2 = engine.session(&app(), &workload());
+        let e1 = s1.prepared().unwrap_err();
+        let e2 = s2.prepared().unwrap_err();
+        assert_eq!(format!("{e1}"), format!("{e2}"));
+        assert!(
+            s2.stats().prepare_shared,
+            "the failure is shared, not recomputed"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_at_open() {
+        let mut bad = SystemConfig::new();
+        bad.n_max = 0;
+        assert!(Engine::new(bad.clone()).is_err());
+        let engine = Engine::new(SystemConfig::new()).unwrap();
+        assert!(engine
+            .session_with_config(&app(), &workload(), bad)
+            .is_err());
+    }
+
+    #[test]
+    fn session_stats_track_search_counters() {
+        let engine = Engine::new(SystemConfig::new()).unwrap();
+        let session = engine.session(&app(), &workload());
+        let partitioner = Partitioner::new(&session).unwrap();
+        partitioner.run().unwrap();
+        let stats = session.stats();
+        assert!(stats.schedule_cache_misses > 0);
+        assert!(stats.prepare_nanos > 0);
+        assert!(stats.baseline_nanos > 0);
+        assert_eq!(stats.replays, 1, "one verification, one replay");
+    }
+}

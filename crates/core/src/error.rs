@@ -8,7 +8,12 @@ use corepart_isa::simulator::SimError;
 use corepart_sched::list::SchedError;
 
 /// Any failure of the partitioning flow.
-#[derive(Debug)]
+///
+/// The type is `Clone` so that compute-once artifact pools
+/// ([`crate::engine`]) can memoize failures alongside successes: a
+/// configuration that fails to prepare or simulate fails identically
+/// for every session that shares the artifact.
+#[derive(Debug, Clone)]
 pub enum CorepartError {
     /// Frontend (parse/lower/interpret) failure.
     Ir(IrError),

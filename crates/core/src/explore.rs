@@ -8,31 +8,28 @@
 //! extract the energy/hardware/performance Pareto frontier a designer
 //! would actually choose from.
 //!
-//! The sweep is engineered for breadth: configurations that lower the
-//! application identically share one [`prepare`] pass, configurations
-//! whose initial (all-software) design is identical — e.g. a pure
-//! objective-factor sweep — share one baseline simulation, every
-//! configuration with the same resource library shares one
-//! [`ScheduleCache`], and the per-configuration searches run in
-//! parallel ([`crate::parallel::par_map`]) with results folded in
-//! configuration order, so a sweep's points are bit-identical for any
-//! thread count.
+//! The sweep is engineered for breadth: every configuration opens one
+//! [`Session`](crate::engine::Session) on a shared [`Engine`], whose compute-once artifact
+//! pools make configurations that lower the application identically
+//! share one preparation pass, configurations whose initial
+//! (all-software) design is identical — e.g. a pure objective-factor
+//! sweep — share one baseline simulation, and every configuration with
+//! the same resource library share one schedule cache. The
+//! per-configuration searches run in parallel
+//! ([`crate::parallel::par_map`]) with results folded in configuration
+//! order, so a sweep's points are bit-identical for any thread count.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use corepart_ir::cdfg::Application;
-use corepart_isa::simulator::RunStats;
-use corepart_sched::cache::ScheduleCache;
 use corepart_tech::units::{Cycles, Energy, GateEq};
 
+use crate::engine::Engine;
 use crate::error::CorepartError;
-use crate::evaluate::evaluate_initial_captured;
-use crate::parallel::{par_map, resolve_threads};
-use crate::partition::{Partitioner, ScheduleKey};
-use crate::prepare::{prepare, PreparedApp, Workload};
-use crate::system::{DesignMetrics, SystemConfig};
-use crate::verify::ReplayEngine;
+use crate::parallel::par_map;
+use crate::partition::Partitioner;
+use crate::prepare::Workload;
+use crate::system::SystemConfig;
 
 /// One explored design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,12 +131,9 @@ impl Exploration {
 
     /// The minimum-energy point.
     pub fn min_energy(&self) -> Option<&DesignPoint> {
-        self.points.iter().min_by(|a, b| {
-            a.energy
-                .joules()
-                .partial_cmp(&b.energy.joules())
-                .expect("finite energies")
-        })
+        self.points
+            .iter()
+            .min_by(|a, b| a.energy.joules().total_cmp(&b.energy.joules()))
     }
 
     /// The minimum-cycles point.
@@ -155,12 +149,7 @@ impl Exploration {
             "design point", "energy", "cycles", "HW cells", "saving%"
         ));
         let mut frontier = self.pareto_frontier();
-        frontier.sort_by(|a, b| {
-            a.energy
-                .joules()
-                .partial_cmp(&b.energy.joules())
-                .expect("finite energies")
-        });
+        frontier.sort_by(|a, b| a.energy.joules().total_cmp(&b.energy.joules()));
         for p in frontier {
             out.push_str(&format!(
                 "{:<28} {:>14} {:>12} {:>10} {:>9.1}\n",
@@ -175,57 +164,20 @@ impl Exploration {
     }
 }
 
-/// What [`prepare`] actually consumes from a configuration: two
-/// configs with equal fingerprints share one prepared application.
-fn prep_fingerprint(config: &SystemConfig) -> String {
-    format!("{:?}|{:?}", config.optimize_ir, config.max_cycles)
-}
-
-/// What [`evaluate_initial_captured`] consumes on top of preparation:
-/// equal fingerprints (within a prep group) share one baseline
-/// simulation, its captured reference trace and the replay engine
-/// built from it. `trace_cap_bytes` is deliberately excluded — replay
-/// and direct verification are bit-identical, so sharing across
-/// different caps changes wall time only.
-fn baseline_fingerprint(config: &SystemConfig) -> String {
-    format!(
-        "{:?}|{:?}|{:?}|{:?}|{:?}",
-        config.icache, config.dcache, config.process, config.memory_bytes, config.energy_table
-    )
-}
-
-/// What cached schedules depend on besides the prepared application.
-fn library_fingerprint(config: &SystemConfig) -> String {
-    format!("{:?}", config.library)
-}
-
-/// One memoized initial-design evaluation: metrics, run statistics,
-/// and the replay engine built from the same captured run (absent
-/// when the capture overflowed the trace cap).
-type Baseline = (DesignMetrics, RunStats, Option<Arc<ReplayEngine>>);
-
-/// One prepared application shared by every configuration with the
-/// same [`prep_fingerprint`], with its memoized baselines and caches.
-struct PrepGroup {
-    prepared: PreparedApp,
-    /// `(baseline fingerprint, shared initial-design evaluation)`.
-    baselines: Vec<(String, Baseline)>,
-    /// `(library fingerprint, shared schedule cache)`.
-    caches: Vec<(String, Arc<ScheduleCache<ScheduleKey>>)>,
-}
-
 /// Explores an application over a family of configurations.
 ///
 /// Each configuration is a `(label, SystemConfig)` pair; the sweep
-/// partitions under each one, recording the chosen design (or the
-/// initial design when no partition wins). The initial design of the
-/// *first* configuration is included as the baseline point.
+/// opens one [`Session`](crate::engine::Session) per configuration on
+/// a single shared [`Engine`] and partitions under each one, recording
+/// the chosen design (or the initial design when no partition wins).
+/// The initial design of the *first* configuration is included as the
+/// baseline point.
 ///
 /// Preparation, the baseline simulation, and the schedule cache are
-/// shared across configurations wherever their settings allow (see the
-/// module docs), and the searches run in parallel; the resulting
-/// points are identical to running each configuration from scratch,
-/// sequentially.
+/// shared across configurations wherever their stage fingerprints
+/// allow (see [`crate::engine`]), and the searches run in parallel;
+/// the resulting points are identical to running each configuration
+/// from scratch, sequentially.
 ///
 /// # Errors
 ///
@@ -242,75 +194,23 @@ pub fn explore(
         });
     }
 
-    // Phase 1 (sequential): prepare and simulate the distinct
-    // baselines, assigning each configuration its shared pieces.
-    let mut groups: Vec<(String, PrepGroup)> = Vec::new();
-    // Per configuration: (group, baseline index, cache index).
-    let mut assignments: Vec<(usize, usize, usize)> = Vec::with_capacity(configs.len());
+    // One engine, one session per configuration. Opening sessions is
+    // free; the compute-once pools resolve each distinct artifact
+    // exactly once even though the workers race for them.
+    let engine = Engine::new(configs[0].1.clone())?;
+    let mut sessions = Vec::with_capacity(configs.len());
     for (_, config) in configs {
-        config.validate()?;
-        let pf = prep_fingerprint(config);
-        let gi = match groups.iter().position(|(f, _)| *f == pf) {
-            Some(gi) => gi,
-            None => {
-                let prepared = prepare(app.clone(), workload.clone(), config)?;
-                groups.push((
-                    pf,
-                    PrepGroup {
-                        prepared,
-                        baselines: Vec::new(),
-                        caches: Vec::new(),
-                    },
-                ));
-                groups.len() - 1
-            }
-        };
-        let group = &mut groups[gi].1;
-        let bf = baseline_fingerprint(config);
-        let bi = match group.baselines.iter().position(|(f, _)| *f == bf) {
-            Some(bi) => bi,
-            None => {
-                let (initial, initial_stats, trace) =
-                    evaluate_initial_captured(&group.prepared, config, config.trace_cap_bytes)?;
-                let replay = trace.map(|t| Arc::new(ReplayEngine::new(&group.prepared, config, t)));
-                group.baselines.push((bf, (initial, initial_stats, replay)));
-                group.baselines.len() - 1
-            }
-        };
-        let lf = library_fingerprint(config);
-        let ci = match group.caches.iter().position(|(f, _)| *f == lf) {
-            Some(ci) => ci,
-            None => {
-                group.caches.push((lf, Arc::new(ScheduleCache::new())));
-                group.caches.len() - 1
-            }
-        };
-        assignments.push((gi, bi, ci));
+        sessions.push(engine.session_with_config(app, workload, config.clone())?);
     }
 
-    // Phase 2 (parallel): one search per configuration, folded back in
-    // configuration order.
-    let threads = resolve_threads(configs[0].1.threads);
-    let jobs: Vec<usize> = (0..configs.len()).collect();
-    let outcomes = par_map(&jobs, threads, |_, &i| {
-        let (_, config) = &configs[i];
-        let (gi, bi, ci) = assignments[i];
-        let group = &groups[gi].1;
-        let (initial, initial_stats, replay) = &group.baselines[bi].1;
-        let partitioner = Partitioner::with_baseline(
-            &group.prepared,
-            config,
-            initial.clone(),
-            initial_stats.clone(),
-            Arc::clone(&group.caches[ci].1),
-            replay.clone(),
-        )?;
-        partitioner.run()
+    // One search per configuration, folded back in configuration
+    // order.
+    let outcomes = par_map(&sessions, engine.threads(), |_, session| {
+        Partitioner::new(session)?.run()
     });
 
-    // Phase 3 (sequential): assemble the points.
-    let (gi, bi, _) = assignments[0];
-    let first_initial = &groups[gi].1.baselines[bi].1 .0;
+    // Assemble the points.
+    let first_initial = &sessions[0].baseline()?.metrics;
     let base = first_initial.total_energy();
     let mut points = Vec::with_capacity(configs.len() + 1);
     points.push(DesignPoint {

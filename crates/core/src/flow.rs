@@ -6,12 +6,15 @@
 //! energy check`, with the designer's interaction points exposed as
 //! [`SystemConfig`] knobs.
 
+use std::sync::Arc;
+
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
 
+use crate::engine::Engine;
 use crate::error::CorepartError;
 use crate::partition::{PartitionOutcome, Partitioner};
-use crate::prepare::{prepare, PreparedApp, Workload};
+use crate::prepare::{PreparedApp, Workload};
 use crate::report::Table1Entry;
 use crate::system::SystemConfig;
 
@@ -20,8 +23,9 @@ use crate::system::SystemConfig;
 pub struct FlowResult {
     /// The application name (from the `app <name>;` declaration).
     pub app_name: String,
-    /// The prepared application (profile, compiled program, clusters).
-    pub prepared: PreparedApp,
+    /// The prepared application (profile, compiled program, clusters)
+    /// — shared ownership of the session's stage artifact.
+    pub prepared: Arc<PreparedApp>,
     /// The partitioning outcome (initial + best partition + search
     /// statistics).
     pub outcome: PartitionOutcome,
@@ -89,14 +93,12 @@ impl DesignFlow {
         workload: Workload,
     ) -> Result<FlowResult, CorepartError> {
         let app_name = app.name().to_owned();
-        let prepared = prepare(app, workload, &self.config)?;
-        let outcome = {
-            let partitioner = Partitioner::new(&prepared, &self.config)?;
-            partitioner.run()?
-        };
+        let engine = Engine::new(self.config.clone())?;
+        let session = engine.session(&app, &workload);
+        let outcome = Partitioner::new(&session)?.run()?;
         Ok(FlowResult {
             app_name,
-            prepared,
+            prepared: session.prepared_arc()?,
             outcome,
         })
     }

@@ -7,6 +7,7 @@
 
 use std::fmt::Write as _;
 
+use crate::explore::Exploration;
 use crate::partition::PartitionOutcome;
 use crate::report::{Figure6Point, Table1, Table1Entry};
 use crate::system::DesignMetrics;
@@ -160,9 +161,38 @@ pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
     )
 }
 
+/// Serializes an exploration sweep: every design point with its
+/// Pareto-frontier membership.
+pub fn exploration_to_json(ex: &Exploration) -> String {
+    let frontier = ex.pareto_frontier();
+    let rows: Vec<String> = ex
+        .points
+        .iter()
+        .map(|p| {
+            let on_frontier = frontier.iter().any(|f| std::ptr::eq(*f, p));
+            format!(
+                concat!(
+                    "{{\"label\":\"{}\",\"energy_j\":{},\"cycles\":{},",
+                    "\"geq_cells\":{},\"saving_pct\":{},\"initial\":{},",
+                    "\"pareto\":{}}}"
+                ),
+                esc(&p.label),
+                num(p.energy.joules()),
+                p.cycles.count(),
+                p.geq.cells(),
+                num(p.saving_percent),
+                p.is_initial,
+                on_frontier,
+            )
+        })
+        .collect();
+    format!("{{\"points\":[{}]}}", rows.join(","))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explore::DesignPoint;
     use corepart_tech::units::{Cycles, Energy, GateEq};
 
     fn metrics() -> DesignMetrics {
@@ -237,5 +267,33 @@ mod tests {
         assert_eq!(esc("a\nb"), "a\\nb");
         assert_eq!(esc("a\\b"), "a\\\\b");
         assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn exploration_json_marks_frontier_membership() {
+        let dominated = DesignPoint {
+            label: "worse".into(),
+            energy: Energy::from_microjoules(10.0),
+            cycles: Cycles::new(200),
+            geq: GateEq::new(5000),
+            saving_percent: -5.0,
+            is_initial: false,
+        };
+        let winner = DesignPoint {
+            label: "better".into(),
+            energy: Energy::from_microjoules(5.0),
+            cycles: Cycles::new(100),
+            geq: GateEq::new(1000),
+            saving_percent: 50.0,
+            is_initial: false,
+        };
+        let ex = Exploration {
+            points: vec![dominated, winner],
+        };
+        let j = exploration_to_json(&ex);
+        assert!(j.starts_with("{\"points\":[") && j.ends_with("]}"));
+        assert!(j.contains("\"label\":\"worse\",") && j.contains("\"pareto\":false"));
+        assert!(j.contains("\"label\":\"better\",") && j.contains("\"pareto\":true"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

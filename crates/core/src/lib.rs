@@ -51,6 +51,7 @@
 
 pub mod baselines;
 pub mod bus_transfer;
+pub mod engine;
 pub mod error;
 pub mod evaluate;
 pub mod explore;
@@ -66,6 +67,7 @@ pub mod report;
 pub mod system;
 pub mod verify;
 
+pub use engine::{Baseline, Engine, Session, SessionStats};
 pub use error::CorepartError;
 pub use evaluate::{
     evaluate_initial, evaluate_initial_captured, evaluate_partition, evaluate_partition_with,
@@ -75,7 +77,7 @@ pub use explore::{explore, DesignPoint, Exploration};
 pub use flow::{DesignFlow, FlowResult};
 pub use multicore::{evaluate_multicore, split_search, MultiCorePartition};
 pub use parallel::{par_map, resolve_threads};
-pub use partition::{schedule_key, PartitionOutcome, Partitioner, ScheduleKey, SearchStats};
+pub use partition::{PartitionOutcome, Partitioner, ScheduleKey, SearchStats};
 pub use prepare::{prepare, PreparedApp, Workload};
 pub use report::{figure6, render_figure6, Figure6Point, Table1, Table1Entry};
 pub use system::{DesignMetrics, SystemConfig};

@@ -20,7 +20,7 @@
 //! simulation is shared).
 
 use corepart_ir::cluster::ClusterId;
-use corepart_sched::binding::{bind, schedule_cluster, utilization};
+use corepart_sched::cache::ScheduledCluster;
 use corepart_sched::datapath::estimate_datapath;
 use corepart_sched::energy::gate_level_energy;
 use corepart_tech::units::{Cycles, Energy, GateEq};
@@ -140,19 +140,22 @@ pub fn evaluate_multicore(
     let mut asic_cycles = Cycles::ZERO;
     let mut geq = GateEq::ZERO;
     for core in &mc.cores {
-        let mut blocks = Vec::new();
-        for &cid in &core.clusters {
-            blocks.extend(prepared.chain.cluster(cid).blocks.iter().copied());
-        }
-        let sched = schedule_cluster(&prepared.app, &blocks, &core.set, &config.library)?;
-        let binding = bind(&sched, &config.library);
-        let util = utilization(&sched, &binding, &prepared.profile, &config.library);
-        let datapath = estimate_datapath(&sched, &binding, &config.library);
+        // Served from the session's shared schedule cache: the
+        // single-core estimate phase already synthesized most
+        // candidate cores, so split evaluation stops re-scheduling
+        // what the search already computed.
+        let synth = partitioner.scheduled(core)?;
+        let ScheduledCluster {
+            sched,
+            binding,
+            util,
+        } = &*synth;
+        let datapath = estimate_datapath(sched, binding, &config.library);
         let asic = gate_level_energy(
             &prepared.app,
-            &sched,
-            &binding,
-            &util,
+            sched,
+            binding,
+            util,
             &prepared.profile,
             &config.library,
             &config.process,
@@ -246,8 +249,10 @@ pub fn split_search(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prepare::{prepare, Workload};
+    use crate::engine::Engine;
+    use crate::prepare::Workload;
     use crate::system::SystemConfig;
+    use corepart_ir::cdfg::Application;
     use corepart_ir::lower::lower;
     use corepart_ir::parser::parse;
 
@@ -264,24 +269,20 @@ mod tests {
             return z[7];
         }"#;
 
-    fn setup(config: &SystemConfig) -> crate::prepare::PreparedApp {
+    fn setup(config: SystemConfig) -> (Engine, Application, Workload) {
         let app = lower(&parse(MIXED).unwrap()).unwrap();
-        prepare(
-            app,
-            Workload::from_arrays([(
-                "x",
-                (0..128).map(|i| (i * 37) % 251 - 125).collect::<Vec<i64>>(),
-            )]),
-            config,
-        )
-        .unwrap()
+        let workload = Workload::from_arrays([(
+            "x",
+            (0..128).map(|i| (i * 37) % 251 - 125).collect::<Vec<i64>>(),
+        )]);
+        (Engine::new(config).unwrap(), app, workload)
     }
 
     #[test]
     fn single_core_wrapper_matches_plain_evaluation() {
-        let config = SystemConfig::new();
-        let p = setup(&config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let (engine, app, workload) = setup(SystemConfig::new());
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
         let outcome = partitioner.run().unwrap();
         let (single, detail) = outcome.best.unwrap();
         let mc = MultiCorePartition::single(single);
@@ -297,14 +298,21 @@ mod tests {
 
     #[test]
     fn overlapping_cores_rejected() {
-        let config = SystemConfig::new();
-        let p = setup(&config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
-        let hot = p.chain.iter().find(|c| c.is_loop()).unwrap().id;
+        let (engine, app, workload) = setup(SystemConfig::new());
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
+        let config = session.config();
+        let hot = partitioner
+            .prepared()
+            .chain
+            .iter()
+            .find(|c| c.is_loop())
+            .unwrap()
+            .id;
         let mc = MultiCorePartition {
             cores: vec![
-                Partition::single(hot, config.resource_sets[2].clone()),
-                Partition::single(hot, config.resource_sets[1].clone()),
+                Partition::single(hot, config.resource_set(2).unwrap().clone()),
+                Partition::single(hot, config.resource_set(1).unwrap().clone()),
             ],
         };
         assert!(matches!(
@@ -315,18 +323,18 @@ mod tests {
 
     #[test]
     fn empty_multicore_rejected() {
-        let config = SystemConfig::new();
-        let p = setup(&config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let (engine, app, workload) = setup(SystemConfig::new());
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
         let mc = MultiCorePartition { cores: vec![] };
         assert!(evaluate_multicore(&partitioner, &mc).is_err());
     }
 
     #[test]
     fn split_search_never_worse_than_single_core() {
-        let config = SystemConfig::new();
-        let p = setup(&config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let (engine, app, workload) = setup(SystemConfig::new());
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
         let outcome = partitioner.run().unwrap();
         let (_, single_detail) = outcome.best.as_ref().unwrap();
         let single_of = partitioner.objective().value(
@@ -348,5 +356,45 @@ mod tests {
         // Per-core summaries consistent with the totals.
         let sum: Energy = detail.cores.iter().map(|c| c.energy).sum();
         assert!((sum.joules() - detail.metrics.asic_core.unwrap().joules()).abs() < 1e-15);
+    }
+
+    /// Regression for the PR-3 bugfix: the multi-core path used to
+    /// call the scheduler and simulator directly, re-synthesizing and
+    /// re-simulating per core combination. Routed through the
+    /// session's shared artifacts, the `mpg` split search must serve
+    /// its per-core schedules from the cache entries the single-core
+    /// search already computed, and its union verifications from the
+    /// replay memo.
+    #[test]
+    fn split_search_reuses_schedule_cache_and_replay_on_mpg() {
+        let w = corepart_workloads::by_name("mpg").expect("paper workload");
+        let app = w.app().expect("workload lowers");
+        let workload = Workload::from_arrays(w.arrays(0xC0DE));
+        let engine = Engine::new(SystemConfig::new()).unwrap();
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
+
+        // The single-core search populates the caches...
+        partitioner.run().unwrap();
+        let after_run = session.stats();
+        assert_eq!(after_run.replays, 1, "one verification, one replay");
+
+        // ...and the split search must reuse them instead of
+        // re-scheduling / re-simulating.
+        let result = split_search(&partitioner).unwrap();
+        assert!(result.is_some(), "mpg finds a partition");
+        let after_split = session.stats();
+        assert!(
+            after_split.schedule_cache_hits > after_run.schedule_cache_hits,
+            "per-core synthesis must hit the shared schedule cache: {after_split:?}"
+        );
+        assert!(
+            after_split.replay_hits > after_run.replay_hits,
+            "union verification must be served by the replay engine: {after_split:?}"
+        );
+        assert_eq!(
+            after_split.replays, after_run.replays,
+            "no new simulations for an already-verified cluster union"
+        );
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The partitioner's hot loops — the candidate × resource-set estimate
 //! grid, the greedy-growth rounds, and the configuration sweep of
-//! [`crate::explore`] — are embarrassingly parallel maps whose results
+//! [`crate::explore`](mod@crate::explore) — are embarrassingly parallel maps whose results
 //! must nevertheless be folded *in input order* so that ties break
 //! identically on every thread count. [`par_map`] provides exactly
 //! that: an order-preserving parallel map over a slice built on

@@ -54,12 +54,11 @@ use corepart_tech::resource::ResourceKind;
 use corepart_tech::units::Energy;
 
 use crate::bus_transfer::transfer_counts;
+use crate::engine::Session;
 use crate::error::CorepartError;
-use crate::evaluate::{
-    evaluate_initial_captured, evaluate_partition_with, Partition, PartitionDetail,
-};
+use crate::evaluate::{evaluate_partition_with, Partition, PartitionDetail};
 use crate::objective::Objective;
-use crate::parallel::{par_map, resolve_threads};
+use crate::parallel::par_map;
 use crate::prepare::PreparedApp;
 use crate::preselect::{preselect, CandidateScore};
 use crate::system::{DesignMetrics, SystemConfig};
@@ -74,7 +73,7 @@ pub type ScheduleKey = (Vec<ClusterId>, String, Vec<(ResourceKind, u32)>);
 /// The [`ScheduleKey`] of one candidate partition — the estimate
 /// phase and the verification path build it identically, which is
 /// what lets verification reuse estimate-phase cache entries.
-pub fn schedule_key(partition: &Partition) -> ScheduleKey {
+pub(crate) fn schedule_key(partition: &Partition) -> ScheduleKey {
     (
         partition.clusters.clone(),
         partition.set.name().to_owned(),
@@ -174,14 +173,17 @@ pub struct EstimatedCandidate {
     pub energy: Energy,
 }
 
-/// The partitioner, bound to a prepared application and a system
-/// configuration.
+/// The partitioner, bound to one [`Session`]'s stage artifacts: the
+/// prepared application, the initial-design baseline (metrics, run
+/// statistics, replay engine) and the shared schedule cache all come
+/// from — and are shared through — the session's [`crate::engine`]
+/// pools.
 #[derive(Debug)]
 pub struct Partitioner<'a> {
     prepared: &'a PreparedApp,
     config: &'a SystemConfig,
-    initial: DesignMetrics,
-    initial_stats: RunStats,
+    initial: &'a DesignMetrics,
+    initial_stats: &'a RunStats,
     u_up: f64,
     objective: Objective,
     cache: Arc<ScheduleCache<ScheduleKey>>,
@@ -190,87 +192,31 @@ pub struct Partitioner<'a> {
 }
 
 impl<'a> Partitioner<'a> {
-    /// Evaluates the initial design — capturing the reference trace for
-    /// replay-based verification, see
-    /// [`SystemConfig::trace_cap_bytes`](crate::system::SystemConfig::trace_cap_bytes)
-    /// — and sets up the objective function.
+    /// Opens the partitioner on a session, resolving the session's
+    /// prepared application and initial-design baseline (lazily
+    /// computed, shared with sibling sessions — see
+    /// [`crate::engine`]), and sets up the objective function.
     ///
     /// # Errors
     ///
-    /// Configuration or simulation failures.
-    pub fn new(prepared: &'a PreparedApp, config: &'a SystemConfig) -> Result<Self, CorepartError> {
-        config.validate()?;
-        let (initial, initial_stats, trace) =
-            evaluate_initial_captured(prepared, config, config.trace_cap_bytes)?;
-        let replay = trace.map(|t| Arc::new(ReplayEngine::new(prepared, config, t)));
-        Ok(Self::assemble(
+    /// The session's memoized preparation or simulation failure.
+    pub fn new(session: &'a Session<'_>) -> Result<Self, CorepartError> {
+        let prepared = session.prepared()?;
+        let baseline = session.baseline()?;
+        let config = session.config();
+        let u_up = CoreUtilization::from_stats(&baseline.stats).mean();
+        let objective = Objective::new(config, baseline.metrics.total_energy());
+        Ok(Partitioner {
             prepared,
             config,
-            initial,
-            initial_stats,
-            Arc::new(ScheduleCache::new()),
-            replay,
-        ))
-    }
-
-    /// Like [`Partitioner::new`], but with the initial-design baseline,
-    /// the schedule cache and the (optional) replay engine injected
-    /// instead of computed.
-    ///
-    /// This is how [`crate::explore`] shares one baseline simulation,
-    /// one schedule cache and one reference-trace capture across every
-    /// configuration that differs only in objective factors: the caller
-    /// guarantees that `initial` / `initial_stats` / `replay` were
-    /// produced by
-    /// [`evaluate_initial_captured`](crate::evaluate::evaluate_initial_captured)
-    /// for an equivalent configuration, and that every partitioner
-    /// sharing `cache` or `replay` uses the same prepared application,
-    /// profile, resource library and baseline system parameters.
-    ///
-    /// # Errors
-    ///
-    /// Configuration validation failures.
-    pub fn with_baseline(
-        prepared: &'a PreparedApp,
-        config: &'a SystemConfig,
-        initial: DesignMetrics,
-        initial_stats: RunStats,
-        cache: Arc<ScheduleCache<ScheduleKey>>,
-        replay: Option<Arc<ReplayEngine>>,
-    ) -> Result<Self, CorepartError> {
-        config.validate()?;
-        Ok(Self::assemble(
-            prepared,
-            config,
-            initial,
-            initial_stats,
-            cache,
-            replay,
-        ))
-    }
-
-    fn assemble(
-        prepared: &'a PreparedApp,
-        config: &'a SystemConfig,
-        initial: DesignMetrics,
-        initial_stats: RunStats,
-        cache: Arc<ScheduleCache<ScheduleKey>>,
-        replay: Option<Arc<ReplayEngine>>,
-    ) -> Self {
-        let u_up = CoreUtilization::from_stats(&initial_stats).mean();
-        let objective = Objective::new(config, initial.total_energy());
-        let threads = resolve_threads(config.threads);
-        Partitioner {
-            prepared,
-            config,
-            initial,
-            initial_stats,
+            initial: &baseline.metrics,
+            initial_stats: &baseline.stats,
             u_up,
             objective,
-            cache,
-            replay,
-            threads,
-        }
+            cache: Arc::clone(session.schedule_cache()),
+            replay: baseline.replay.clone(),
+            threads: session.threads(),
+        })
     }
 
     /// The schedule cache backing this partitioner's estimates.
@@ -292,7 +238,7 @@ impl<'a> Partitioner<'a> {
 
     /// The initial design's metrics.
     pub fn initial(&self) -> &DesignMetrics {
-        &self.initial
+        self.initial
     }
 
     /// The prepared application this partitioner works on.
@@ -307,7 +253,7 @@ impl<'a> Partitioner<'a> {
 
     /// The initial run's statistics (per-block attribution).
     pub fn initial_stats(&self) -> &RunStats {
-        &self.initial_stats
+        self.initial_stats
     }
 
     /// `U_µP^core` of the initial run.
@@ -322,7 +268,7 @@ impl<'a> Partitioner<'a> {
 
     /// The pre-selected candidate clusters (Fig. 1 line 5).
     pub fn candidates(&self) -> Vec<CandidateScore> {
-        preselect(self.prepared, &self.initial_stats, self.config)
+        preselect(self.prepared, self.initial_stats, self.config)
     }
 
     /// Fully evaluates (verifies) one partition — Fig. 1 lines 14–15.
@@ -341,11 +287,49 @@ impl<'a> Partitioner<'a> {
         evaluate_partition_with(
             self.prepared,
             partition,
-            &self.initial_stats,
+            self.initial_stats,
             self.config,
             Some(&self.cache),
             self.replay.as_deref(),
         )
+    }
+
+    /// The memoized schedule trio — list schedule, binding,
+    /// utilization — of one candidate partition, served from (and
+    /// feeding) the session's shared [`ScheduleCache`]. This is the
+    /// synthesis step every consumer shares: the estimate phase, full
+    /// verification, and the multi-core per-core evaluation all hit
+    /// the same entries.
+    ///
+    /// # Errors
+    ///
+    /// The (memoized) [`CorepartError::Sched`] when the partition's
+    /// resource set cannot execute its clusters.
+    pub fn scheduled(&self, partition: &Partition) -> Result<Arc<ScheduledCluster>, CorepartError> {
+        let mut hw_blocks = Vec::new();
+        for &cid in &partition.clusters {
+            hw_blocks.extend(self.prepared.chain.cluster(cid).blocks.iter().copied());
+        }
+        Ok(self.cache.get_or_compute(schedule_key(partition), || {
+            let sched = schedule_cluster(
+                &self.prepared.app,
+                &hw_blocks,
+                &partition.set,
+                &self.config.library,
+            )?;
+            let binding = bind(&sched, &self.config.library);
+            let util = utilization(
+                &sched,
+                &binding,
+                &self.prepared.profile,
+                &self.config.library,
+            );
+            Ok(ScheduledCluster {
+                sched,
+                binding,
+                util,
+            })
+        })?)
     }
 
     /// The objective value of a verified design.
@@ -385,26 +369,7 @@ impl<'a> Partitioner<'a> {
         for &cid in &partition.clusters {
             hw_blocks.extend(self.prepared.chain.cluster(cid).blocks.iter().copied());
         }
-        let synth = self.cache.get_or_compute(schedule_key(partition), || {
-            let sched = schedule_cluster(
-                &self.prepared.app,
-                &hw_blocks,
-                &partition.set,
-                &self.config.library,
-            )?;
-            let binding = bind(&sched, &self.config.library);
-            let util = utilization(
-                &sched,
-                &binding,
-                &self.prepared.profile,
-                &self.config.library,
-            );
-            Ok(ScheduledCluster {
-                sched,
-                binding,
-                util,
-            })
-        })?;
+        let synth = self.scheduled(partition)?;
         let ScheduledCluster {
             sched,
             binding,
@@ -414,7 +379,7 @@ impl<'a> Partitioner<'a> {
         // Fig. 1 line 9: only clusters that utilize the ASIC datapath
         // better than the µP utilizes itself *while running this
         // cluster* can save energy (per-cluster comparison, §3.2).
-        let u_up_region = CoreUtilization::for_blocks(&self.initial_stats, &hw_blocks).mean();
+        let u_up_region = CoreUtilization::for_blocks(self.initial_stats, &hw_blocks).mean();
         if enforce_gate && util.u_r <= self.config.gate_margin * u_up_region {
             return Ok(None);
         }
@@ -601,13 +566,19 @@ impl<'a> Partitioner<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prepare::{prepare, Workload};
+    use crate::engine::Engine;
+    use crate::prepare::Workload;
+    use corepart_ir::cdfg::Application;
     use corepart_ir::lower::lower;
     use corepart_ir::parser::parse;
 
-    fn make(src: &str, workload: Workload, config: &SystemConfig) -> PreparedApp {
+    fn make(
+        src: &str,
+        workload: Workload,
+        config: SystemConfig,
+    ) -> (Engine, Application, Workload) {
         let app = lower(&parse(src).unwrap()).unwrap();
-        prepare(app, workload, config).unwrap()
+        (Engine::new(config).unwrap(), app, workload)
     }
 
     const DSP: &str = r#"app dsp; var x[256]; var y[256]; var s = 0;
@@ -630,9 +601,9 @@ mod tests {
 
     #[test]
     fn finds_an_energy_saving_partition() {
-        let config = SystemConfig::new();
-        let p = make(DSP, dsp_workload(), &config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let (engine, app, workload) = make(DSP, dsp_workload(), SystemConfig::new());
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
         let outcome = partitioner.run().unwrap();
         let (partition, detail) = outcome.best.as_ref().expect("a partition must be found");
         assert!(!partition.clusters.is_empty());
@@ -651,16 +622,29 @@ mod tests {
 
     #[test]
     fn estimate_rejects_low_utilization() {
-        let config = SystemConfig::new();
-        let p = make(DSP, dsp_workload(), &config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
-        let hot = p.chain.iter().find(|c| c.is_loop()).unwrap().id;
+        let (engine, app, workload) = make(DSP, dsp_workload(), SystemConfig::new());
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
+        let config = session.config();
+        let hot = partitioner
+            .prepared()
+            .chain
+            .iter()
+            .find(|c| c.is_loop())
+            .unwrap()
+            .id;
         // The huge xl-dsp set on a modest kernel: utilization dives.
         let est = partitioner
-            .estimate(&Partition::single(hot, config.resource_sets[4].clone()))
+            .estimate(&Partition::single(
+                hot,
+                config.resource_set(4).unwrap().clone(),
+            ))
             .unwrap();
         let est_small = partitioner
-            .estimate(&Partition::single(hot, config.resource_sets[2].clone()))
+            .estimate(&Partition::single(
+                hot,
+                config.resource_set(2).unwrap().clone(),
+            ))
             .unwrap();
         if let (Some(l), Some(s)) = (&est, &est_small) {
             assert!(s.u_r >= l.u_r);
@@ -673,8 +657,7 @@ mod tests {
     fn control_code_yields_no_partition() {
         // Irregular, branchy, low-reuse code: no cluster should beat
         // the initial design.
-        let config = SystemConfig::new();
-        let p = make(
+        let (engine, app, workload) = make(
             r#"app ctl; var s = 0;
             func main() {
                 if (s == 0) { s = 1; } else { s = 2; }
@@ -682,9 +665,10 @@ mod tests {
                 return s;
             }"#,
             Workload::empty(),
-            &config,
+            SystemConfig::new(),
         );
-        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
         let outcome = partitioner.run().unwrap();
         assert!(outcome.best.is_none());
     }
@@ -692,9 +676,13 @@ mod tests {
     #[test]
     fn factor_f_changes_the_choice() {
         // With a crushing hardware weight, nothing is worth synthesis.
-        let config_hw = SystemConfig::new().with_factors(1.0, 1000.0);
-        let p = make(DSP, dsp_workload(), &config_hw);
-        let partitioner = Partitioner::new(&p, &config_hw).unwrap();
+        let (engine, app, workload) = make(
+            DSP,
+            dsp_workload(),
+            SystemConfig::new().with_factors(1.0, 1000.0),
+        );
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
         let outcome = partitioner.run().unwrap();
         assert!(
             outcome.best.is_none(),
@@ -704,9 +692,9 @@ mod tests {
 
     #[test]
     fn outcome_accessors() {
-        let config = SystemConfig::new();
-        let p = make(DSP, dsp_workload(), &config);
-        let partitioner = Partitioner::new(&p, &config).unwrap();
+        let (engine, app, workload) = make(DSP, dsp_workload(), SystemConfig::new());
+        let session = engine.session(&app, &workload);
+        let partitioner = Partitioner::new(&session).unwrap();
         let outcome = partitioner.run().unwrap();
         assert!(outcome.energy_saving_percent().is_some());
         assert!(outcome.time_change_percent().is_some());

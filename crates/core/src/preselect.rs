@@ -76,12 +76,7 @@ pub fn preselect(
         })
         .filter(|s| s.score.joules() > 0.0)
         .collect();
-    scored.sort_by(|a, b| {
-        b.score
-            .joules()
-            .partial_cmp(&a.score.joules())
-            .expect("finite scores")
-    });
+    scored.sort_by(|a, b| b.score.joules().total_cmp(&a.score.joules()));
     scored.truncate(config.n_max);
     scored
 }

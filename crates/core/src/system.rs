@@ -175,6 +175,26 @@ impl SystemConfig {
         self
     }
 
+    /// The designer resource set at `index` — the checked replacement
+    /// for indexing `resource_sets` directly (the CLI's `--set-index`
+    /// feeds user input straight into this).
+    ///
+    /// # Errors
+    ///
+    /// [`CorepartError::Config`] naming the index and the available
+    /// range when `index` is out of bounds.
+    pub fn resource_set(&self, index: usize) -> Result<&ResourceSet, CorepartError> {
+        self.resource_sets
+            .get(index)
+            .ok_or_else(|| CorepartError::Config {
+                message: format!(
+                    "no resource set at index {index}: {} sets are configured (0..={})",
+                    self.resource_sets.len(),
+                    self.resource_sets.len().saturating_sub(1)
+                ),
+            })
+    }
+
     /// Returns a copy with an explicit worker-thread count (`0` =
     /// automatic). `1` forces the fully sequential engine; any other
     /// value produces bit-identical results in less wall time.
@@ -263,6 +283,20 @@ mod tests {
     #[test]
     fn default_config_validates() {
         assert!(SystemConfig::new().validate().is_ok());
+    }
+
+    #[test]
+    fn resource_set_rejects_out_of_range_index() {
+        let config = SystemConfig::new();
+        let n = config.resource_sets.len();
+        assert!(config.resource_set(n.saturating_sub(1)).is_ok());
+        let err = config.resource_set(99).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("no resource set at index 99"),
+            "unexpected message: {message}"
+        );
+        assert!(message.contains(&format!("{n} sets")), "{message}");
     }
 
     #[test]

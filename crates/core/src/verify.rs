@@ -100,8 +100,8 @@ fn replay_with(
 /// identifies a verified run). Like the schedule cache, one engine
 /// must only be shared across configurations with equal baseline
 /// parameters (caches, process, memory, energy table, cycle guard) —
-/// [`crate::explore`] guarantees this by keying shared engines on the
-/// baseline fingerprint.
+/// [`crate::engine`] guarantees this by pooling replay engines inside
+/// the baseline artifact, keyed on the baseline fingerprint.
 #[derive(Debug)]
 pub struct ReplayEngine {
     trace: Arc<ReferenceTrace>,
@@ -158,8 +158,9 @@ impl ReplayEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
     use crate::evaluate::{evaluate_initial_captured, evaluate_partition, Partition};
-    use crate::prepare::{prepare, Workload};
+    use crate::prepare::Workload;
     use corepart_ir::lower::lower;
     use corepart_ir::parser::parse;
 
@@ -172,32 +173,36 @@ mod tests {
             return s;
         }"#;
 
-    fn setup() -> (PreparedApp, SystemConfig) {
-        let config = SystemConfig::new();
+    fn setup() -> (Engine, corepart_ir::cdfg::Application, Workload) {
         let app = lower(&parse(DSP).unwrap()).unwrap();
         let workload =
             Workload::from_arrays([("x", (0..128).map(|i| (i * 13) % 97).collect::<Vec<i64>>())]);
-        (prepare(app, workload, &config).unwrap(), config)
+        (Engine::new(SystemConfig::new()).unwrap(), app, workload)
     }
 
     #[test]
     fn replayed_verification_equals_direct_simulation() {
-        let (prepared, config) = setup();
-        let (_, stats, trace) =
-            evaluate_initial_captured(&prepared, &config, config.trace_cap_bytes).unwrap();
-        let trace = trace.expect("small workload fits any sane cap");
-        let engine = ReplayEngine::new(&prepared, &config, trace);
+        let (factory, app, workload) = setup();
+        let session = factory.session(&app, &workload);
+        let prepared = session.prepared().unwrap();
+        let config = session.config();
+        let baseline = session.baseline().unwrap();
+        let stats = &baseline.stats;
+        let engine = baseline
+            .replay
+            .as_ref()
+            .expect("small workload fits any sane cap");
 
         let hot = prepared.chain.iter().find(|c| c.is_loop()).unwrap().id;
-        let partition = Partition::single(hot, config.resource_sets[2].clone());
+        let partition = Partition::single(hot, config.resource_set(2).unwrap().clone());
         let hw_blocks: HashSet<BlockId> =
             prepared.chain.cluster(hot).blocks.iter().copied().collect();
 
         // Direct path (no caches, no replay).
-        let direct = evaluate_partition(&prepared, &partition, &stats, &config).unwrap();
+        let direct = evaluate_partition(prepared, &partition, stats, config).unwrap();
         // Replay path, twice: second verify must be served from memo.
-        let first = engine.verify(&config, &hw_blocks).unwrap();
-        let again = engine.verify(&config, &hw_blocks).unwrap();
+        let first = engine.verify(config, &hw_blocks).unwrap();
+        let again = engine.verify(config, &hw_blocks).unwrap();
         assert!(Arc::ptr_eq(&first, &again));
         assert_eq!((engine.replays(), engine.hits()), (1, 1));
 
@@ -205,12 +210,12 @@ mod tests {
         // direct evaluation measured (miss ratios pin the hierarchy,
         // up_core pins the RunStats energy path).
         let via_engine = crate::evaluate::evaluate_partition_with(
-            &prepared,
+            prepared,
             &partition,
-            &stats,
-            &config,
+            stats,
+            config,
             None,
-            Some(&engine),
+            Some(engine),
         )
         .unwrap();
         assert_eq!(direct, via_engine);
@@ -218,30 +223,37 @@ mod tests {
 
     #[test]
     fn one_shot_replay_matches_engine() {
-        let (prepared, config) = setup();
-        let (_, _, trace) =
-            evaluate_initial_captured(&prepared, &config, config.trace_cap_bytes).unwrap();
-        let trace = trace.expect("capture fits");
+        let (factory, app, workload) = setup();
+        let session = factory.session(&app, &workload);
+        let prepared = session.prepared().unwrap();
+        let config = session.config();
+        let engine = session
+            .replay_engine()
+            .unwrap()
+            .expect("capture fits")
+            .clone();
         let hot = prepared.chain.iter().find(|c| c.is_loop()).unwrap().id;
         let hw_blocks: HashSet<BlockId> =
             prepared.chain.cluster(hot).blocks.iter().copied().collect();
 
-        let one_shot = replay_run(&prepared, &config, &trace, &hw_blocks).unwrap();
-        let engine = ReplayEngine::new(&prepared, &config, trace);
-        let memoized = engine.verify(&config, &hw_blocks).unwrap();
+        let one_shot = replay_run(prepared, config, engine.trace(), &hw_blocks).unwrap();
+        let memoized = engine.verify(config, &hw_blocks).unwrap();
         assert_eq!(one_shot, *memoized);
         assert!(engine.trace().events() > 0);
     }
 
     #[test]
     fn zero_cap_yields_no_trace() {
-        let (prepared, config) = setup();
+        let (factory, app, workload) = setup();
+        let session = factory.session(&app, &workload);
+        let prepared = session.prepared().unwrap();
+        let config = session.config();
         let (metrics_off, stats_off, trace) =
-            evaluate_initial_captured(&prepared, &config, 0).unwrap();
+            evaluate_initial_captured(prepared, config, 0).unwrap();
         assert!(trace.is_none());
         // And the capture never perturbs the evaluation itself.
         let (metrics_on, stats_on, trace_on) =
-            evaluate_initial_captured(&prepared, &config, usize::MAX).unwrap();
+            evaluate_initial_captured(prepared, config, usize::MAX).unwrap();
         assert!(trace_on.is_some());
         assert_eq!(metrics_off, metrics_on);
         assert_eq!(stats_off, stats_on);

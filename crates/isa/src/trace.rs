@@ -11,7 +11,7 @@
 //! applied at *replay* time.
 //!
 //! * [`TraceBuilder`] is an [`ExecRecorder`] that encodes the streams
-//!   compactly while [`Simulator::run_recorded`] executes once.
+//!   compactly while [`Simulator::run_recorded`](crate::simulator::Simulator::run_recorded) executes once.
 //! * [`ReferenceTrace`] is the finished, immutable capture.
 //! * [`TraceReplayer`] re-runs the accounting of
 //!   [`Simulator::run`](crate::simulator::Simulator::run) over a trace

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no crates.io access, so this workspace
 //! vendors the slice of proptest its property tests use: the
-//! [`proptest!`] macro, `prop_assert*`, [`prop_oneof!`], [`Just`],
+//! [`proptest!`] macro, `prop_assert*`, [`prop_oneof!`], [`Just`](strategy::Just),
 //! numeric-range and regex-literal strategies, tuples,
 //! `prop::collection::vec`, `prop_map`, `prop_recursive`, and
 //! [`any`](arbitrary::any).
@@ -429,7 +429,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

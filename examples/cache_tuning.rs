@@ -12,10 +12,10 @@
 //! cargo run --release -p corepart --example cache_tuning
 //! ```
 
+use corepart::engine::Engine;
 use corepart::error::CorepartError;
-use corepart::evaluate::evaluate_initial;
 use corepart::partition::Partitioner;
-use corepart::prepare::{prepare, Workload};
+use corepart::prepare::Workload;
 use corepart::system::SystemConfig;
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
@@ -57,11 +57,16 @@ fn main() -> Result<(), CorepartError> {
         .collect();
     let workload = Workload::from_arrays([("img", img)]);
 
-    // Find the partition once, under the default 8 kB caches.
+    // One engine for the whole sweep: every cache geometry shares the
+    // prepared app and the schedule cache; only the baseline splits
+    // (the cache cores are part of the baseline fingerprint).
     let base_config = SystemConfig::new();
     let app = lower(&parse(SOURCE)?)?;
-    let prepared = prepare(app, workload.clone(), &base_config)?;
-    let partitioner = Partitioner::new(&prepared, &base_config)?;
+    let engine = Engine::new(base_config.clone())?;
+
+    // Find the partition once, under the default 8 kB caches.
+    let session = engine.session(&app, &workload);
+    let partitioner = Partitioner::new(&session)?;
     let outcome = partitioner.run()?;
     let Some((partition, _)) = outcome.best else {
         println!("no partition found — nothing to tune");
@@ -82,9 +87,9 @@ fn main() -> Result<(), CorepartError> {
             .with_size(kb * 1024)
             .expect("power-of-two size");
         let config = base_config.clone().with_caches(icache, dcache);
-        let prepared = prepare(lower(&parse(SOURCE)?)?, workload.clone(), &config)?;
-        let (initial, _) = evaluate_initial(&prepared, &config)?;
-        let p = Partitioner::new(&prepared, &config)?;
+        let tuned = engine.session_with_config(&app, &workload, config)?;
+        let initial = &tuned.baseline()?.metrics;
+        let p = Partitioner::new(&tuned)?;
         let detail = p.evaluate(&partition)?;
         println!(
             "{:>5}kB | {:>14} {:>9.2} | {:>14} {:>9.2}",

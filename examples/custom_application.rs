@@ -11,10 +11,11 @@
 //! cargo run --release -p corepart --example custom_application
 //! ```
 
+use corepart::engine::Engine;
 use corepart::error::CorepartError;
 use corepart::evaluate::Partition;
 use corepart::partition::Partitioner;
-use corepart::prepare::{prepare, Workload};
+use corepart::prepare::Workload;
 use corepart::system::SystemConfig;
 use corepart::tech::resource::{ResourceKind, ResourceSet};
 use corepart_ir::lower::lower;
@@ -81,14 +82,18 @@ fn main() -> Result<(), CorepartError> {
             ((phase as i64) - 100) * 24
         })
         .collect();
-    let prepared = prepare(app, Workload::from_arrays([("input", samples)]), &config)?;
+    let workload = Workload::from_arrays([("input", samples)]);
+    let engine = Engine::new(config)?;
+    let session = engine.session(&app, &workload);
+    let config = session.config();
+    let prepared = session.prepared()?;
 
     println!("Cluster chain:");
     for c in prepared.chain.iter() {
         println!("  {c}");
     }
 
-    let partitioner = Partitioner::new(&prepared, &config)?;
+    let partitioner = Partitioner::new(&session)?;
     println!(
         "\nInitial design: {} total, {} cycles, U_uP = {:.3}",
         partitioner.initial().total_energy(),

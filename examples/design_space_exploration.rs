@@ -7,10 +7,11 @@
 //! cargo run --release -p corepart --example design_space_exploration
 //! ```
 
+use corepart::engine::Engine;
 use corepart::error::CorepartError;
 use corepart::explore::{explore, hardware_weight_sweep};
 use corepart::partition::Partitioner;
-use corepart::prepare::{prepare, Workload};
+use corepart::prepare::Workload;
 use corepart::system::SystemConfig;
 use corepart::tech::resource::{ResourceKind, ResourceSet};
 use corepart_ir::lower::lower;
@@ -77,9 +78,10 @@ fn main() -> Result<(), CorepartError> {
     }
 
     // Axis 2: datapath width (forcing one specific set at a time).
-    // Preparation only depends on the lowering knobs, so one prepared
-    // app serves every datapath-width configuration.
-    let prepared = prepare(app, workload, &SystemConfig::new())?;
+    // Preparation and the baseline simulation only depend on knobs the
+    // resource sets don't touch, so one engine serves every
+    // datapath-width configuration from its shared pools.
+    let engine = Engine::new(SystemConfig::new())?;
     println!("\n=== datapath-width sweep (G = 0.2) ===");
     println!(
         "{:>12} {:>10} {:>10} {:>10} {:>8}",
@@ -99,7 +101,8 @@ fn main() -> Result<(), CorepartError> {
             .with(ResourceKind::MemPort, ports)
             .build();
         let config = SystemConfig::new().with_resource_sets(vec![set]);
-        let outcome = Partitioner::new(&prepared, &config)?.run()?;
+        let session = engine.session_with_config(&app, &workload, config)?;
+        let outcome = Partitioner::new(&session)?.run()?;
         match &outcome.best {
             Some((_, detail)) => println!(
                 "{:>12} {:>10.1} {:>10.1} {:>10} {:>8.3}",

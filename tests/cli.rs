@@ -116,6 +116,88 @@ fn clusters_and_disasm_and_schedule_work() {
 }
 
 #[test]
+fn explore_command_prints_frontier() {
+    let f = sample_file();
+    let out = bin()
+        .args(["explore", f.path.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("initial (all software)"), "{text}");
+    assert!(text.contains("G = "), "{text}");
+}
+
+#[test]
+fn explore_json_marks_pareto_membership() {
+    let f = sample_file();
+    let out = bin()
+        .args(["explore", f.path.to_str().expect("utf8"), "--json"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.trim_start().starts_with("{\"points\":["), "{text}");
+    assert!(text.contains("\"pareto\":true"), "{text}");
+    assert!(text.contains("\"initial\":true"), "{text}");
+}
+
+#[test]
+fn threads_flag_is_accepted_and_output_matches_default() {
+    let f = sample_file();
+    let path = f.path.to_str().expect("utf8");
+    let default = bin()
+        .args(["partition", path, "--json"])
+        .output()
+        .expect("runs");
+    let single = bin()
+        .args(["partition", path, "--json", "--threads", "1"])
+        .output()
+        .expect("runs");
+    assert!(default.status.success() && single.status.success());
+    // Thread count must not change the chosen design: compare the
+    // JSON up to the timing-carrying "search" object.
+    let strip = |raw: &[u8]| {
+        let text = String::from_utf8_lossy(raw).into_owned();
+        let cut = text.find("\"search\"").expect("search key");
+        text[..cut].to_owned()
+    };
+    assert_eq!(strip(&default.stdout), strip(&single.stdout));
+
+    let bad = bin()
+        .args(["partition", path, "--threads", "zebra"])
+        .output()
+        .expect("runs");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("bad thread count"));
+}
+
+#[test]
+fn out_of_range_set_index_reports_config_error() {
+    let f = sample_file();
+    let out = bin()
+        .args([
+            "schedule",
+            f.path.to_str().expect("utf8"),
+            "--set-index",
+            "99",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no resource set at index 99"), "{err}");
+}
+
+#[test]
 fn array_flag_sets_inputs() {
     let f = sample_file();
     let out = bin()

@@ -22,6 +22,7 @@ use proptest::prelude::*;
 
 use corepart::cache::hierarchy::Hierarchy;
 use corepart::cache::HierarchyReport;
+use corepart::engine::Engine;
 use corepart::explore::{explore, hardware_weight_sweep};
 use corepart::ir::lower::lower;
 use corepart::ir::op::BlockId;
@@ -80,24 +81,19 @@ fn direct_partitioned(
 #[test]
 fn parallel_search_matches_sequential_on_all_six_workloads() {
     for w in all() {
-        let sequential_config = SystemConfig::new().with_threads(1);
-        let parallel_config = SystemConfig::new().with_threads(4);
-        // Preparation ignores the thread knob: share it.
-        let prepared = prepare(
-            w.app().expect("workload lowers"),
-            Workload::from_arrays(w.arrays(1)),
-            &sequential_config,
-        )
-        .expect("workload prepares");
-
-        let sequential = Partitioner::new(&prepared, &sequential_config)
-            .expect("initial run")
-            .run()
-            .expect("sequential search");
-        let parallel = Partitioner::new(&prepared, &parallel_config)
-            .expect("initial run")
-            .run()
-            .expect("parallel search");
+        let app = w.app().expect("workload lowers");
+        let workload = Workload::from_arrays(w.arrays(1));
+        // Two isolated engines: the thread knob is not part of any
+        // stage fingerprint, so sessions on a shared engine would also
+        // share the schedule cache and the second search would see the
+        // first one's entries — this test wants two cold searches.
+        let search = |threads: usize| {
+            let engine = Engine::new(SystemConfig::new().with_threads(threads)).expect("engine");
+            let session = engine.session(&app, &workload);
+            Partitioner::new(&session).expect("initial run").run()
+        };
+        let sequential = search(1).expect("sequential search");
+        let parallel = search(4).expect("parallel search");
 
         // PartitionOutcome equality covers the initial metrics, the
         // chosen partition + its verified detail, and the search
@@ -218,14 +214,13 @@ fn replay_matches_direct_simulation_on_all_six_workloads() {
     // of the top pre-selected cluster, verified once by direct
     // simulation and once by replaying the captured reference trace.
     for w in all() {
-        let config = SystemConfig::new();
-        let prepared = prepare(
-            w.app().expect("workload lowers"),
-            Workload::from_arrays(w.arrays(1)),
-            &config,
-        )
-        .expect("workload prepares");
-        let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+        let app = w.app().expect("workload lowers");
+        let workload = Workload::from_arrays(w.arrays(1));
+        let factory = Engine::new(SystemConfig::new()).expect("engine");
+        let session = factory.session(&app, &workload);
+        let config = session.config();
+        let prepared = session.prepared().expect("workload prepares");
+        let partitioner = Partitioner::new(&session).expect("initial run");
         let engine = partitioner
             .replay_engine()
             .expect("every paper workload fits the default trace cap");
@@ -243,8 +238,8 @@ fn replay_matches_direct_simulation_on_all_six_workloads() {
             .copied()
             .collect();
 
-        let (direct_stats, direct_report) = direct_partitioned(&prepared, &config, &hw);
-        let replayed = replay_run(&prepared, &config, engine.trace(), &hw).expect("replay");
+        let (direct_stats, direct_report) = direct_partitioned(prepared, config, &hw);
+        let replayed = replay_run(prepared, config, engine.trace(), &hw).expect("replay");
         assert_eq!(
             direct_stats, replayed.stats,
             "RunStats diverged on `{}`",
@@ -264,14 +259,11 @@ fn verification_reuses_estimate_phase_schedule_cache_on_mpg() {
     // phase used, so the winner's schedule trio must be a cache hit —
     // this used to report `cache_hits: 0` on all six workloads.
     let w = by_name("MPG").expect("MPG exists");
-    let config = SystemConfig::new();
-    let prepared = prepare(
-        w.app().expect("lowers"),
-        Workload::from_arrays(w.arrays(1)),
-        &config,
-    )
-    .expect("prepares");
-    let partitioner = Partitioner::new(&prepared, &config).expect("initial run");
+    let app = w.app().expect("lowers");
+    let workload = Workload::from_arrays(w.arrays(1));
+    let engine = Engine::new(SystemConfig::new()).expect("engine");
+    let session = engine.session(&app, &workload);
+    let partitioner = Partitioner::new(&session).expect("initial run");
     let outcome = partitioner.run().expect("search");
     assert!(outcome.best.is_some(), "mpg finds a partition");
     assert!(
@@ -287,18 +279,20 @@ fn tiny_trace_cap_falls_back_to_identical_direct_search() {
     // A 16-byte cap discards every capture; the search silently falls
     // back to direct simulation and must produce the same outcome.
     let w = by_name("digs").expect("digs exists");
-    let replay_config = SystemConfig::new();
-    let fallback_config = SystemConfig::new().with_trace_cap(16);
-    let prepared = prepare(
-        w.app().expect("lowers"),
-        Workload::from_arrays(w.arrays(1)),
-        &replay_config,
-    )
-    .expect("prepares");
+    let app = w.app().expect("lowers");
+    let workload = Workload::from_arrays(w.arrays(1));
+    // Isolated engines — outcome equality includes the schedule-cache
+    // hit/miss counters, so both searches must start cold. The trace
+    // cap is part of the baseline fingerprint, so the capped session
+    // genuinely has no replay engine to fall back on.
+    let replay_engine = Engine::new(SystemConfig::new()).expect("engine");
+    let replay_session = replay_engine.session(&app, &workload);
+    let fallback_engine = Engine::new(SystemConfig::new().with_trace_cap(16)).expect("engine");
+    let fallback_session = fallback_engine.session(&app, &workload);
 
-    let with_replay = Partitioner::new(&prepared, &replay_config).expect("initial run");
+    let with_replay = Partitioner::new(&replay_session).expect("initial run");
     assert!(with_replay.replay_engine().is_some());
-    let without_replay = Partitioner::new(&prepared, &fallback_config).expect("initial run");
+    let without_replay = Partitioner::new(&fallback_session).expect("initial run");
     assert!(
         without_replay.replay_engine().is_none(),
         "16-byte cap overflows"

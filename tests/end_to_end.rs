@@ -68,19 +68,22 @@ fn dsp_kernel_partition_saves_energy_and_time() {
 fn partitioned_system_preserves_program_semantics() {
     // The initial and partitioned ISS runs must compute identical
     // results (the partition only moves work, never changes it).
-    use corepart::evaluate::{evaluate_initial, Partition};
+    use corepart::engine::Engine;
+    use corepart::evaluate::Partition;
     use corepart::partition::Partitioner;
-    use corepart::prepare::prepare;
     use corepart_ir::{lower::lower, parser::parse};
 
-    let config = SystemConfig::new();
     let app = lower(&parse(CONV).expect("parses")).expect("lowers");
-    let prepared = prepare(app, conv_workload(), &config).expect("prepares");
-    let (_, initial_stats) = evaluate_initial(&prepared, &config).expect("initial");
+    let engine = Engine::new(SystemConfig::new()).expect("engine");
+    let session = engine.session(&app, &conv_workload());
+    let config = session.config();
+    let prepared = session.prepared().expect("prepares");
+    let initial_stats = &session.baseline().expect("initial").stats;
 
-    let partitioner = Partitioner::new(&prepared, &config).expect("partitioner");
+    let partitioner = Partitioner::new(&session).expect("partitioner");
     for cand in partitioner.candidates() {
-        let partition = Partition::single(cand.cluster, config.resource_sets[2].clone());
+        let set = config.resource_set(2).expect("set exists").clone();
+        let partition = Partition::single(cand.cluster, set);
         if let Ok(_detail) = partitioner.evaluate(&partition) {
             // evaluate_partition runs the same program functionally;
             // cross-check against the profiling interpreter's result.

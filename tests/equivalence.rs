@@ -1,0 +1,140 @@
+//! Old-flow vs new-flow equivalence: the Engine/Session spine must be
+//! a pure refactor of the result surface.
+//!
+//! Two independently constructed flows — the default configuration
+//! (replay-backed verification, automatic thread count) and a
+//! deliberately stripped one (`threads = 1`, `trace_cap = 0`, i.e. the
+//! sequential, direct-simulation path the pre-engine code ran) — must
+//! produce bit-identical design metrics, Table-1 renderings, and JSON
+//! exports on all six paper workloads. A shared-engine exploration
+//! sweep must likewise equal one fresh engine per configuration.
+
+use corepart::engine::Engine;
+use corepart::explore::{explore, hardware_weight_sweep, DesignPoint, Exploration};
+use corepart::json::{entry_to_json, table1_to_json};
+use corepart::partition::{PartitionOutcome, Partitioner};
+use corepart::prepare::Workload;
+use corepart::report::{Table1, Table1Entry};
+use corepart::system::SystemConfig;
+use corepart_tech::units::GateEq;
+use corepart_workloads::{all, by_name};
+
+fn run_flow(config: SystemConfig, w: &corepart_workloads::PaperWorkload) -> PartitionOutcome {
+    let app = w.app().expect("workload lowers");
+    let workload = Workload::from_arrays(w.arrays(1));
+    let engine = Engine::new(config).expect("engine");
+    let session = engine.session(&app, &workload);
+    Partitioner::new(&session)
+        .expect("initial run")
+        .run()
+        .expect("search")
+}
+
+#[test]
+fn replayed_flow_equals_direct_sequential_flow_on_all_six_workloads() {
+    for w in all() {
+        let default = run_flow(SystemConfig::new(), &w);
+        let stripped = run_flow(SystemConfig::new().with_threads(1).with_trace_cap(0), &w);
+
+        // The replay-backed default search must replay; the stripped
+        // flow must not — and nothing else may differ.
+        assert!(default.search.replayed > 0, "`{}` did not replay", w.name);
+        assert_eq!(stripped.search.replayed, 0);
+
+        // Outcome equality covers initial metrics, the chosen partition
+        // with its verified detail, and the (timing-free) search stats.
+        assert_eq!(default, stripped, "outcome diverged on `{}`", w.name);
+
+        // Bit-identical renderings and JSON exports.
+        let table = |o: &PartitionOutcome| {
+            let mut t = Table1::new();
+            t.push(Table1Entry::from_outcome(w.name, o));
+            t
+        };
+        let (td, ts) = (table(&default), table(&stripped));
+        assert_eq!(
+            td.to_string(),
+            ts.to_string(),
+            "Table 1 diverged on `{}`",
+            w.name
+        );
+        assert_eq!(
+            table1_to_json(&td),
+            table1_to_json(&ts),
+            "table JSON diverged on `{}`",
+            w.name
+        );
+        assert_eq!(
+            entry_to_json(&td.entries()[0]),
+            entry_to_json(&ts.entries()[0]),
+            "entry JSON diverged on `{}`",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn shared_engine_sweep_equals_fresh_engine_per_config() {
+    let w = by_name("ckey").expect("ckey exists");
+    let app = w.app().expect("lowers");
+    let workload = Workload::from_arrays(w.arrays(1));
+    let weights = [0.0, 0.2, 1.0, 4.0];
+    let configs = hardware_weight_sweep(&weights, &SystemConfig::new());
+
+    // The shared path: one engine, artifacts pooled across the sweep.
+    let shared = explore(&app, &workload, &configs).expect("sweep runs");
+
+    // The reference path: every configuration from scratch.
+    let mut points = Vec::new();
+    let first = Engine::new(configs[0].1.clone()).expect("engine");
+    let first_session = first.session(&app, &workload);
+    let initial = &first_session.baseline().expect("baseline").metrics;
+    let base = initial.total_energy();
+    points.push(DesignPoint {
+        label: "initial (all software)".into(),
+        energy: initial.total_energy(),
+        cycles: initial.total_cycles(),
+        geq: GateEq::ZERO,
+        saving_percent: 0.0,
+        is_initial: true,
+    });
+    for (label, config) in &configs {
+        let outcome = run_flow(config.clone(), &w);
+        let (energy, cycles, geq) = match &outcome.best {
+            Some((_, detail)) => (
+                detail.metrics.total_energy(),
+                detail.metrics.total_cycles(),
+                detail.metrics.geq,
+            ),
+            None => (
+                outcome.initial.total_energy(),
+                outcome.initial.total_cycles(),
+                GateEq::ZERO,
+            ),
+        };
+        points.push(DesignPoint {
+            label: label.clone(),
+            energy,
+            cycles,
+            geq,
+            saving_percent: energy.percent_saving(base).unwrap_or(0.0),
+            is_initial: false,
+        });
+    }
+    let fresh = Exploration { points };
+
+    // DesignPoint is PartialEq over raw f64s: bit-identical or bust.
+    assert_eq!(shared.points, fresh.points);
+    assert_eq!(
+        shared
+            .pareto_frontier()
+            .iter()
+            .map(|p| p.label.as_str())
+            .collect::<Vec<_>>(),
+        fresh
+            .pareto_frontier()
+            .iter()
+            .map(|p| p.label.as_str())
+            .collect::<Vec<_>>(),
+    );
+}
