@@ -1,0 +1,93 @@
+//! The `conform` binary: CI entry point for the conformance sweep.
+//!
+//! ```text
+//! conform [--seed N] [--cases N] [--fault-every N] [--max-shrink N]
+//!         [--report PATH] [--verbose]
+//! ```
+//!
+//! Exit codes: 0 all oracles held, 1 violations found (report written),
+//! 2 usage error.
+
+use std::process::ExitCode;
+
+use corepart_conform::report::summary_to_json;
+use corepart_conform::runner::{run, RunnerOptions};
+
+const USAGE: &str = "usage: conform [--seed N] [--cases N] [--fault-every N] \
+                     [--max-shrink N] [--report PATH] [--verbose]";
+
+fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag} needs an unsigned integer, got '{value}'"))
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<(RunnerOptions, String), String> {
+    let mut options = RunnerOptions::default();
+    let mut report_path = "conform-report.json".to_string();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => options.seed = parse_u64("--seed", args.next())?,
+            "--cases" => options.cases = parse_u64("--cases", args.next())?,
+            "--fault-every" => options.fault_every = parse_u64("--fault-every", args.next())?,
+            "--max-shrink" => {
+                options.max_shrink_steps = parse_u64("--max-shrink", args.next())? as usize;
+            }
+            "--report" => {
+                report_path = args.next().ok_or("--report needs a path")?;
+            }
+            "--verbose" => options.verbose = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok((options, report_path))
+}
+
+fn main() -> ExitCode {
+    let (options, report_path) = match parse_args(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "conform: seed {} | {} cases | fault battery every {} cases",
+        options.seed, options.cases, options.fault_every
+    );
+    let summary = run(&options);
+    println!(
+        "conform: {} cases run, {} with fault injection, {} violation(s)",
+        summary.cases_run,
+        summary.fault_cases,
+        summary.failures.len()
+    );
+
+    if summary.passed() {
+        return ExitCode::SUCCESS;
+    }
+
+    for failure in &summary.failures {
+        eprintln!(
+            "violation: case {} (seed {}) oracle '{}': {}",
+            failure.case_index, failure.case_seed, failure.oracle, failure.detail
+        );
+        eprintln!(
+            "  shrunk {} -> {} nodes in {} steps; reproducer:\n{}",
+            failure.size_before, failure.size_after, failure.shrink_steps, failure.source
+        );
+    }
+    let json = summary_to_json(&summary);
+    match std::fs::write(&report_path, &json) {
+        Ok(()) => eprintln!("failure report written to {report_path}"),
+        Err(e) => eprintln!("error: could not write {report_path}: {e}"),
+    }
+    ExitCode::FAILURE
+}

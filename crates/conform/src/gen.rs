@@ -1,0 +1,902 @@
+//! Structured BDL application generator.
+//!
+//! Extends the string-template `arb_program` idea of
+//! `tests/cross_crate_props.rs` into a proper library: applications
+//! are generated as a structural AST ([`GenApp`]) covering exactly the
+//! cluster shapes the paper's §3.2 decomposition partitions over —
+//! nested loop nests, conditionals and (inlined) helper functions —
+//! plus arrays with a deterministic workload. Because the AST is
+//! structural, a failing application can be *shrunk*
+//! ([`shrink_candidates`]) by removing statements, collapsing
+//! conditionals and reducing trip counts while staying well-formed:
+//! every generated or shrunk app parses, lowers, and terminates.
+//!
+//! Well-formedness invariants the generator maintains:
+//!
+//! * every array index is masked to the (power-of-two) array length,
+//!   so accesses are always in bounds;
+//! * shift amounts are masked to `& 7`;
+//! * loops are counted `for` loops with bounded trip counts, so every
+//!   execution terminates (division by zero evaluates to 0 in both
+//!   the interpreter and the ISS, so `/` and `%` are unrestricted);
+//! * every name is declared before use and declared once.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Arithmetic operators the generator draws from (shifts get their
+/// right-hand side masked at render time).
+const BIN_OPS: [&str; 10] = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"];
+/// Comparison operators for `if`/loop conditions.
+const CMP_OPS: [&str; 6] = ["<", ">", "<=", ">=", "==", "!="];
+/// Power-of-two array lengths (mask-indexable).
+const ARRAY_LENS: [u32; 4] = [8, 16, 32, 64];
+
+/// A generated expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An integer literal.
+    Const(i64),
+    /// A scalar in scope (global, loop variable, or helper parameter).
+    Var(String),
+    /// An array element; the index is masked to the array length at
+    /// render time, so it is always in bounds.
+    Elem {
+        /// Index into [`GenApp::arrays`].
+        array: usize,
+        /// The (unmasked) index expression.
+        index: Box<Expr>,
+    },
+    /// A binary arithmetic operation.
+    Bin {
+        /// The operator token (one of `+ - * / % & | ^ << >>`).
+        op: &'static str,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A comparison (generated only as `if`-condition roots).
+    Cmp {
+        /// The comparison token (one of `< > <= >= == !=`).
+        op: &'static str,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A global scalar.
+    Var(String),
+    /// An array element (index masked at render time).
+    Elem {
+        /// Index into [`GenApp::arrays`].
+        array: usize,
+        /// The (unmasked) index expression.
+        index: Expr,
+    },
+}
+
+/// A generated statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target = value;`
+    Assign {
+        /// Where the value goes.
+        target: Target,
+        /// The value.
+        value: Expr,
+    },
+    /// `target = helper(args...);` — a helper call whose result lands
+    /// in a global scalar.
+    Call {
+        /// The global scalar receiving the result.
+        target: String,
+        /// Index into [`GenApp::helpers`].
+        func: usize,
+        /// Argument expressions (matches the helper's arity).
+        args: Vec<Expr>,
+    },
+    /// A counted loop: `for (var v = 0; v < trips; v = v + 1) { ... }`.
+    For {
+        /// The loop variable (unique per loop).
+        var: String,
+        /// The trip count.
+        trips: u32,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// A conditional; `else_body` may be empty.
+    If {
+        /// The condition (a [`Expr::Cmp`] root).
+        cond: Expr,
+        /// The `then` branch.
+        then_body: Vec<Stmt>,
+        /// The `else` branch (omitted when empty).
+        else_body: Vec<Stmt>,
+    },
+}
+
+/// A generated array plus its deterministic workload contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenArray {
+    /// The array name.
+    pub name: String,
+    /// Its (power-of-two) length.
+    pub len: u32,
+    /// The workload data loaded before every simulation.
+    pub values: Vec<i64>,
+}
+
+/// A generated helper function (inlined by lowering).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenFunc {
+    /// The function name.
+    pub name: String,
+    /// Parameter names (unique across the app).
+    pub params: Vec<String>,
+    /// Local declarations, as `(name, initializer)` pairs.
+    pub locals: Vec<(String, Expr)>,
+    /// Body statements (assignments to locals, bounded loops).
+    pub body: Vec<Stmt>,
+    /// The returned expression.
+    pub ret: Expr,
+}
+
+/// A generated application: renders to BDL source
+/// ([`GenApp::source`]) and carries its own workload
+/// ([`GenApp::workload_arrays`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenApp {
+    /// The `app` name.
+    pub name: String,
+    /// Global arrays with workload data.
+    pub arrays: Vec<GenArray>,
+    /// Global scalars, as `(name, initializer)` pairs.
+    pub globals: Vec<(String, i64)>,
+    /// Helper functions callable from `main`.
+    pub helpers: Vec<GenFunc>,
+    /// The body of `main`.
+    pub main: Vec<Stmt>,
+    /// The expression `main` returns.
+    pub ret: Expr,
+}
+
+/// Book-keeping while generating: names in scope and fresh-name
+/// counters.
+struct Ctx {
+    scope: Vec<String>,
+    next_loop_var: u32,
+}
+
+/// Generates one application from a case seed. The same seed always
+/// yields the same application (the vendored `rand` shim is
+/// deterministic and platform-independent).
+pub fn generate(seed: u64) -> GenApp {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let arrays: Vec<GenArray> = (0..rng.gen_range(1..=3usize))
+        .map(|i| {
+            let len = ARRAY_LENS[rng.gen_range(0..ARRAY_LENS.len())];
+            GenArray {
+                name: format!("a{i}"),
+                len,
+                values: (0..len).map(|_| rng.gen_range(-64i64..=64)).collect(),
+            }
+        })
+        .collect();
+
+    let globals: Vec<(String, i64)> = (0..rng.gen_range(2..=4usize))
+        .map(|i| (format!("g{i}"), rng.gen_range(-16i64..=16)))
+        .collect();
+
+    let helpers: Vec<GenFunc> = (0..rng.gen_range(0..=2usize))
+        .map(|h| gen_helper(&mut rng, h, &arrays))
+        .collect();
+
+    let mut ctx = Ctx {
+        scope: globals.iter().map(|(n, _)| n.clone()).collect(),
+        next_loop_var: 0,
+    };
+    let main = gen_block(&mut rng, &mut ctx, &arrays, &globals, &helpers, 0, 3, 3, 5);
+
+    // The return value folds every global in, so any divergence in
+    // computed state shows up in `return_value` too.
+    let mut ret = Expr::Var(globals[0].0.clone());
+    for (name, _) in &globals[1..] {
+        ret = Expr::Bin {
+            op: "+",
+            lhs: Box::new(ret),
+            rhs: Box::new(Expr::Var(name.clone())),
+        };
+    }
+
+    GenApp {
+        name: format!("gen{}", seed % 1_000_000),
+        arrays,
+        globals,
+        helpers,
+        main,
+        ret,
+    }
+}
+
+fn gen_helper(rng: &mut StdRng, index: usize, arrays: &[GenArray]) -> GenFunc {
+    let name = format!("h{index}");
+    let params: Vec<String> = (0..rng.gen_range(1..=2usize))
+        .map(|p| format!("h{index}p{p}"))
+        .collect();
+    // Locals and body are straight-line over params/locals/constants
+    // (helpers never touch globals; array reads are allowed in the
+    // return expression). An optional bounded loop adds an inlined
+    // loop cluster.
+    let mut scope = params.clone();
+    let locals: Vec<(String, Expr)> = (0..rng.gen_range(0..=1usize))
+        .map(|t| {
+            let name = format!("h{index}t{t}");
+            let init = gen_arith(rng, &scope, arrays, 2, false);
+            scope.push(name.clone());
+            (name, init)
+        })
+        .collect();
+    let mut body = Vec::new();
+    if !locals.is_empty() && rng.gen_bool(0.5) {
+        let target = locals[0].0.clone();
+        let var = format!("h{index}k");
+        scope.push(var.clone());
+        let value = gen_arith(rng, &scope, arrays, 2, false);
+        scope.pop();
+        body.push(Stmt::For {
+            var,
+            trips: rng.gen_range(2..=8),
+            body: vec![Stmt::Assign {
+                target: Target::Var(target),
+                value,
+            }],
+        });
+    }
+    let ret = gen_arith(rng, &scope, arrays, 2, true);
+    GenFunc {
+        name,
+        params,
+        locals,
+        body,
+        ret,
+    }
+}
+
+/// A random arithmetic expression over the scalars in `scope`,
+/// constants, and (when `allow_elem`) array elements.
+fn gen_arith(
+    rng: &mut StdRng,
+    scope: &[String],
+    arrays: &[GenArray],
+    depth: u32,
+    allow_elem: bool,
+) -> Expr {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return match rng.gen_range(0..3u32) {
+            0 => Expr::Const(rng.gen_range(-16i64..=16)),
+            1 if !scope.is_empty() => Expr::Var(scope[rng.gen_range(0..scope.len())].clone()),
+            _ if allow_elem && !arrays.is_empty() => {
+                let array = rng.gen_range(0..arrays.len());
+                let index = Box::new(if scope.is_empty() || rng.gen_bool(0.3) {
+                    Expr::Const(rng.gen_range(0i64..=16))
+                } else {
+                    Expr::Var(scope[rng.gen_range(0..scope.len())].clone())
+                });
+                Expr::Elem { array, index }
+            }
+            _ => Expr::Const(rng.gen_range(-16i64..=16)),
+        };
+    }
+    Expr::Bin {
+        op: BIN_OPS[rng.gen_range(0..BIN_OPS.len())],
+        lhs: Box::new(gen_arith(rng, scope, arrays, depth - 1, allow_elem)),
+        rhs: Box::new(gen_arith(rng, scope, arrays, depth - 1, allow_elem)),
+    }
+}
+
+fn gen_cond(rng: &mut StdRng, scope: &[String], arrays: &[GenArray]) -> Expr {
+    Expr::Cmp {
+        op: CMP_OPS[rng.gen_range(0..CMP_OPS.len())],
+        lhs: Box::new(gen_arith(rng, scope, arrays, 2, true)),
+        rhs: Box::new(gen_arith(rng, scope, arrays, 2, true)),
+    }
+}
+
+fn gen_target(
+    rng: &mut StdRng,
+    scope_globals: &[(String, i64)],
+    arrays: &[GenArray],
+    ctx: &Ctx,
+) -> Target {
+    if !arrays.is_empty() && rng.gen_bool(0.4) {
+        let array = rng.gen_range(0..arrays.len());
+        let index = if ctx.scope.is_empty() || rng.gen_bool(0.3) {
+            Expr::Const(rng.gen_range(0i64..=16))
+        } else {
+            Expr::Var(ctx.scope[rng.gen_range(0..ctx.scope.len())].clone())
+        };
+        Target::Elem { array, index }
+    } else {
+        let g = rng.gen_range(0..scope_globals.len());
+        Target::Var(scope_globals[g].0.clone())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_block(
+    rng: &mut StdRng,
+    ctx: &mut Ctx,
+    arrays: &[GenArray],
+    globals: &[(String, i64)],
+    helpers: &[GenFunc],
+    loop_depth: u32,
+    max_loop_depth: u32,
+    // Remaining nesting budget; decremented by *every* nested block
+    // (loop or conditional), so generation always terminates.
+    nest: u32,
+    max_stmts: usize,
+) -> Vec<Stmt> {
+    let n = rng.gen_range(1..=max_stmts.max(1));
+    let mut stmts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = rng.gen_range(0..100u32);
+        if roll < 35 && loop_depth < max_loop_depth && nest > 0 {
+            // A counted loop with a unique loop variable.
+            let var = format!("i{}", ctx.next_loop_var);
+            ctx.next_loop_var += 1;
+            let trips = rng.gen_range(2..=10u32);
+            ctx.scope.push(var.clone());
+            let body = gen_block(
+                rng,
+                ctx,
+                arrays,
+                globals,
+                helpers,
+                loop_depth + 1,
+                max_loop_depth,
+                nest - 1,
+                3,
+            );
+            ctx.scope.pop();
+            stmts.push(Stmt::For { var, trips, body });
+        } else if roll < 55 && nest > 0 {
+            let cond = gen_cond(rng, &ctx.scope, arrays);
+            let then_body = gen_block(
+                rng,
+                ctx,
+                arrays,
+                globals,
+                helpers,
+                loop_depth,
+                max_loop_depth,
+                nest - 1,
+                2,
+            );
+            let else_body = if rng.gen_bool(0.5) {
+                gen_block(
+                    rng,
+                    ctx,
+                    arrays,
+                    globals,
+                    helpers,
+                    loop_depth,
+                    max_loop_depth,
+                    nest - 1,
+                    2,
+                )
+            } else {
+                Vec::new()
+            };
+            stmts.push(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        } else if roll < 70 && !helpers.is_empty() {
+            let func = rng.gen_range(0..helpers.len());
+            let args = (0..helpers[func].params.len())
+                .map(|_| gen_arith(rng, &ctx.scope, arrays, 2, true))
+                .collect();
+            let target = globals[rng.gen_range(0..globals.len())].0.clone();
+            stmts.push(Stmt::Call { target, func, args });
+        } else {
+            stmts.push(Stmt::Assign {
+                target: gen_target(rng, globals, arrays, ctx),
+                value: gen_arith(rng, &ctx.scope, arrays, 3, true),
+            });
+        }
+    }
+    stmts
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+impl GenApp {
+    /// Renders the application to BDL source text.
+    pub fn source(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("app {};\n", self.name));
+        for a in &self.arrays {
+            out.push_str(&format!("var {}[{}];\n", a.name, a.len));
+        }
+        for (name, init) in &self.globals {
+            out.push_str(&format!("var {name} = {init};\n"));
+        }
+        for f in &self.helpers {
+            out.push_str(&format!("func {}({}) {{\n", f.name, f.params.join(", ")));
+            for (name, init) in &f.locals {
+                out.push_str(&format!("    var {name} = {};\n", self.expr(init)));
+            }
+            for s in &f.body {
+                self.stmt(&mut out, s, 1);
+            }
+            out.push_str(&format!("    return {};\n}}\n", self.expr(&f.ret)));
+        }
+        out.push_str("func main() {\n");
+        for s in &self.main {
+            self.stmt(&mut out, s, 1);
+        }
+        out.push_str(&format!("    return {};\n}}\n", self.expr(&self.ret)));
+        out
+    }
+
+    /// The workload arrays — `(name, contents)` pairs for
+    /// `Workload::from_arrays`.
+    pub fn workload_arrays(&self) -> Vec<(String, Vec<i64>)> {
+        self.arrays
+            .iter()
+            .map(|a| (a.name.clone(), a.values.clone()))
+            .collect()
+    }
+
+    fn stmt(&self, out: &mut String, s: &Stmt, indent: usize) {
+        let pad = "    ".repeat(indent);
+        match s {
+            Stmt::Assign { target, value } => {
+                out.push_str(&format!(
+                    "{pad}{} = {};\n",
+                    self.target(target),
+                    self.expr(value)
+                ));
+            }
+            Stmt::Call { target, func, args } => {
+                let rendered: Vec<String> = args.iter().map(|a| self.expr(a)).collect();
+                out.push_str(&format!(
+                    "{pad}{target} = {}({});\n",
+                    self.helpers[*func].name,
+                    rendered.join(", ")
+                ));
+            }
+            Stmt::For { var, trips, body } => {
+                out.push_str(&format!(
+                    "{pad}for (var {var} = 0; {var} < {trips}; {var} = {var} + 1) {{\n"
+                ));
+                for inner in body {
+                    self.stmt(out, inner, indent + 1);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                out.push_str(&format!("{pad}if ({}) {{\n", self.expr(cond)));
+                for inner in then_body {
+                    self.stmt(out, inner, indent + 1);
+                }
+                if else_body.is_empty() {
+                    out.push_str(&format!("{pad}}}\n"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    for inner in else_body {
+                        self.stmt(out, inner, indent + 1);
+                    }
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+        }
+    }
+
+    fn target(&self, t: &Target) -> String {
+        match t {
+            Target::Var(name) => name.clone(),
+            Target::Elem { array, index } => {
+                let a = &self.arrays[*array];
+                format!("{}[({}) & {}]", a.name, self.expr(index), a.len - 1)
+            }
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::Const(v) => {
+                if *v < 0 {
+                    format!("({v})")
+                } else {
+                    v.to_string()
+                }
+            }
+            Expr::Var(name) => name.clone(),
+            Expr::Elem { array, index } => {
+                let a = &self.arrays[*array];
+                format!("{}[({}) & {}]", a.name, self.expr(index), a.len - 1)
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                if *op == "<<" || *op == ">>" {
+                    format!("({} {op} ({} & 7))", self.expr(lhs), self.expr(rhs))
+                } else {
+                    format!("({} {op} {})", self.expr(lhs), self.expr(rhs))
+                }
+            }
+            Expr::Cmp { op, lhs, rhs } => {
+                format!("({} {op} {})", self.expr(lhs), self.expr(rhs))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+/// All one-edit-smaller variants of `app`, each still well-formed:
+/// statement removals, loop trip reductions, conditional collapses,
+/// top-level expression simplifications, and removals of unreferenced
+/// helpers/arrays/globals. The runner greedily descends through these
+/// while the original oracle keeps failing.
+pub fn shrink_candidates(app: &GenApp) -> Vec<GenApp> {
+    let mut out = Vec::new();
+
+    for variant in block_variants(&app.main) {
+        let mut candidate = app.clone();
+        candidate.main = variant;
+        out.push(candidate);
+    }
+    for (h, helper) in app.helpers.iter().enumerate() {
+        for variant in block_variants(&helper.body) {
+            let mut candidate = app.clone();
+            candidate.helpers[h].body = variant;
+            out.push(candidate);
+        }
+    }
+
+    // Remove helpers no call statement references.
+    for h in 0..app.helpers.len() {
+        if !block_calls(&app.main, h) {
+            let mut candidate = app.clone();
+            candidate.helpers.remove(h);
+            reindex_calls(&mut candidate.main, h);
+            out.push(candidate);
+        }
+    }
+
+    // Remove arrays nothing references.
+    for a in 0..app.arrays.len() {
+        if !app_uses_array(app, a) {
+            let mut candidate = app.clone();
+            candidate.arrays.remove(a);
+            reindex_arrays_app(&mut candidate, a);
+            out.push(candidate);
+        }
+    }
+
+    // Shrink the return expression.
+    for simpler in expr_variants(&app.ret) {
+        let mut candidate = app.clone();
+        candidate.ret = simpler;
+        out.push(candidate);
+    }
+
+    out
+}
+
+/// One-edit variants of a statement list: per-statement removal,
+/// recursive body edits, trip reduction, conditional collapse, and
+/// assignment-value simplification.
+fn block_variants(stmts: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    for (i, s) in stmts.iter().enumerate() {
+        // Removal.
+        let mut removed = stmts.to_vec();
+        removed.remove(i);
+        out.push(removed);
+
+        match s {
+            Stmt::For { var, trips, body } => {
+                if *trips > 1 {
+                    let mut v = stmts.to_vec();
+                    v[i] = Stmt::For {
+                        var: var.clone(),
+                        trips: 1,
+                        body: body.clone(),
+                    };
+                    out.push(v);
+                }
+                for inner in block_variants(body) {
+                    let mut v = stmts.to_vec();
+                    v[i] = Stmt::For {
+                        var: var.clone(),
+                        trips: *trips,
+                        body: inner,
+                    };
+                    out.push(v);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                // Collapse to either branch.
+                for branch in [then_body, else_body] {
+                    let mut v = stmts.to_vec();
+                    v.splice(i..=i, branch.iter().cloned());
+                    out.push(v);
+                }
+                for inner in block_variants(then_body) {
+                    let mut v = stmts.to_vec();
+                    v[i] = Stmt::If {
+                        cond: cond.clone(),
+                        then_body: inner,
+                        else_body: else_body.clone(),
+                    };
+                    out.push(v);
+                }
+                for inner in block_variants(else_body) {
+                    let mut v = stmts.to_vec();
+                    v[i] = Stmt::If {
+                        cond: cond.clone(),
+                        then_body: then_body.clone(),
+                        else_body: inner,
+                    };
+                    out.push(v);
+                }
+            }
+            Stmt::Assign { target, value } => {
+                for simpler in expr_variants(value) {
+                    let mut v = stmts.to_vec();
+                    v[i] = Stmt::Assign {
+                        target: target.clone(),
+                        value: simpler,
+                    };
+                    out.push(v);
+                }
+            }
+            Stmt::Call { .. } => {}
+        }
+    }
+    out
+}
+
+/// Structural simplifications of an expression: each binary node can
+/// collapse to either operand, and any non-trivial node to `1`.
+fn expr_variants(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Bin { lhs, rhs, .. } => {
+            vec![(**lhs).clone(), (**rhs).clone(), Expr::Const(1)]
+        }
+        Expr::Elem { .. } | Expr::Var(_) => vec![Expr::Const(1)],
+        _ => Vec::new(),
+    }
+}
+
+fn block_calls(stmts: &[Stmt], func: usize) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Call { func: f, .. } => *f == func,
+        Stmt::For { body, .. } => block_calls(body, func),
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => block_calls(then_body, func) || block_calls(else_body, func),
+        Stmt::Assign { .. } => false,
+    })
+}
+
+fn reindex_calls(stmts: &mut [Stmt], removed: usize) {
+    for s in stmts {
+        match s {
+            Stmt::Call { func, .. } => {
+                if *func > removed {
+                    *func -= 1;
+                }
+            }
+            Stmt::For { body, .. } => reindex_calls(body, removed),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                reindex_calls(then_body, removed);
+                reindex_calls(else_body, removed);
+            }
+            Stmt::Assign { .. } => {}
+        }
+    }
+}
+
+fn expr_uses_array(e: &Expr, a: usize) -> bool {
+    match e {
+        Expr::Elem { array, index } => *array == a || expr_uses_array(index, a),
+        Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+            expr_uses_array(lhs, a) || expr_uses_array(rhs, a)
+        }
+        Expr::Const(_) | Expr::Var(_) => false,
+    }
+}
+
+fn block_uses_array(stmts: &[Stmt], a: usize) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Assign { target, value } => {
+            let t = match target {
+                Target::Elem { array, index } => *array == a || expr_uses_array(index, a),
+                Target::Var(_) => false,
+            };
+            t || expr_uses_array(value, a)
+        }
+        Stmt::Call { args, .. } => args.iter().any(|e| expr_uses_array(e, a)),
+        Stmt::For { body, .. } => block_uses_array(body, a),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            expr_uses_array(cond, a)
+                || block_uses_array(then_body, a)
+                || block_uses_array(else_body, a)
+        }
+    })
+}
+
+fn app_uses_array(app: &GenApp, a: usize) -> bool {
+    block_uses_array(&app.main, a)
+        || expr_uses_array(&app.ret, a)
+        || app.helpers.iter().any(|f| {
+            f.locals.iter().any(|(_, e)| expr_uses_array(e, a))
+                || block_uses_array(&f.body, a)
+                || expr_uses_array(&f.ret, a)
+        })
+}
+
+fn reindex_expr_arrays(e: &mut Expr, removed: usize) {
+    match e {
+        Expr::Elem { array, index } => {
+            if *array > removed {
+                *array -= 1;
+            }
+            reindex_expr_arrays(index, removed);
+        }
+        Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+            reindex_expr_arrays(lhs, removed);
+            reindex_expr_arrays(rhs, removed);
+        }
+        Expr::Const(_) | Expr::Var(_) => {}
+    }
+}
+
+fn reindex_block_arrays(stmts: &mut [Stmt], removed: usize) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value } => {
+                if let Target::Elem { array, index } = target {
+                    if *array > removed {
+                        *array -= 1;
+                    }
+                    reindex_expr_arrays(index, removed);
+                }
+                reindex_expr_arrays(value, removed);
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    reindex_expr_arrays(a, removed);
+                }
+            }
+            Stmt::For { body, .. } => reindex_block_arrays(body, removed),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                reindex_expr_arrays(cond, removed);
+                reindex_block_arrays(then_body, removed);
+                reindex_block_arrays(else_body, removed);
+            }
+        }
+    }
+}
+
+fn reindex_arrays_app(app: &mut GenApp, removed: usize) {
+    reindex_block_arrays(&mut app.main, removed);
+    reindex_expr_arrays(&mut app.ret, removed);
+    for f in &mut app.helpers {
+        for (_, e) in &mut f.locals {
+            reindex_expr_arrays(e, removed);
+        }
+        reindex_block_arrays(&mut f.body, removed);
+        reindex_expr_arrays(&mut f.ret, removed);
+    }
+}
+
+/// A rough structural size (statements + expression nodes), used by
+/// the shrinker to prefer strictly smaller candidates.
+pub fn size(app: &GenApp) -> usize {
+    fn expr(e: &Expr) -> usize {
+        match e {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Elem { index, .. } => 1 + expr(index),
+            Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => 1 + expr(lhs) + expr(rhs),
+        }
+    }
+    fn block(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign { value, .. } => 1 + expr(value),
+                Stmt::Call { args, .. } => 1 + args.iter().map(expr).sum::<usize>(),
+                Stmt::For { body, .. } => 2 + block(body),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => 1 + expr(cond) + block(then_body) + block(else_body),
+            })
+            .sum()
+    }
+    block(&app.main)
+        + expr(&app.ret)
+        + app
+            .helpers
+            .iter()
+            .map(|f| {
+                1 + f.locals.iter().map(|(_, e)| expr(e)).sum::<usize>()
+                    + block(&f.body)
+                    + expr(&f.ret)
+            })
+            .sum::<usize>()
+        + app.arrays.len()
+        + app.globals.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42);
+        let b = generate(42);
+        assert_eq!(a, b);
+        assert_eq!(a.source(), b.source());
+        assert_ne!(generate(42).source(), generate(43).source());
+    }
+
+    #[test]
+    fn sources_have_structure() {
+        // Across a seed range, the generator produces loops,
+        // conditionals and helper calls (the cluster shapes §3.2
+        // decomposes).
+        let sources: Vec<String> = (0..40).map(|s| generate(s).source()).collect();
+        assert!(sources.iter().any(|s| s.contains("for (")));
+        assert!(sources.iter().any(|s| s.contains("if (")));
+        assert!(sources.iter().any(|s| s.contains("= h0(")));
+    }
+
+    #[test]
+    fn shrink_candidates_are_smaller_or_equal() {
+        let app = generate(7);
+        let base = size(&app);
+        for candidate in shrink_candidates(&app) {
+            assert!(size(&candidate) <= base);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # corepart-conform
+//!
+//! Generative differential-conformance harness for the
+//! replay/cache/session spine.
+//!
+//! The library-level promise under test is strong: for any
+//! application, [`corepart`] produces **bit-identical**
+//! [`corepart::PartitionOutcome`]s whether verification replays the
+//! captured reference trace or re-simulates directly, whether the
+//! search runs on one thread or many, whether sessions share an
+//! [`corepart::Engine`] or each build their own, and whether the
+//! schedule cache serves a hit or recomputes. Hand-written tests pin
+//! that promise on six fixed workloads; this crate pins it on an
+//! unbounded family of *generated* applications.
+//!
+//! Three layers:
+//!
+//! * [`gen`] — a structured BDL generator (loop nests, conditionals,
+//!   helper functions, arrays) with deterministic per-seed output and
+//!   structural shrinking;
+//! * [`oracle`] — differential and metamorphic oracles run on every
+//!   generated application under a matrix of
+//!   [`corepart::system::SystemConfig`]s;
+//! * [`fault`] — deliberate-damage scenarios (trace-capture overflow,
+//!   corrupted and truncated captures, evicted and poisoned schedule
+//!   cache entries) asserting the documented degradation: fall back
+//!   bit-identically, or fail loudly through
+//!   [`corepart::CorepartError`] — never panic, never silently
+//!   diverge.
+//!
+//! The [`runner`] drives seeds through all three layers, shrinks any
+//! failing application to a minimal reproducer, and emits a
+//! machine-readable failure report ([`report`]). The `conform` binary
+//! wraps the runner for CI:
+//!
+//! ```text
+//! cargo run -p corepart-conform --release -- --seed 1 --cases 500
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fault;
+pub mod gen;
+pub mod oracle;
+pub mod report;
+pub mod runner;
+
+pub use gen::{generate, shrink_candidates, GenApp};
+pub use oracle::Violation;
+pub use runner::{run, Failure, RunnerOptions, Summary};

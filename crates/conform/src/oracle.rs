@@ -1,0 +1,386 @@
+//! Differential and metamorphic oracles.
+//!
+//! Every generated application is pushed through the full design flow
+//! under a small matrix of configurations, and the results are
+//! compared **bit for bit** — [`corepart::PartitionOutcome`] equality
+//! compares every energy figure, cycle count and search counter
+//! (wall-clock fields excluded by construction). The oracles encode
+//! the spine's documented promises:
+//!
+//! * **shared-vs-fresh** — resolving a configuration sweep through one
+//!   shared [`Engine`]'s artifact pools equals running each
+//!   configuration through its own fresh [`DesignFlow`];
+//! * **threads** — `threads = 1` equals `threads = N`;
+//! * **replay-vs-direct** — a `trace_cap_bytes = 0` flow (every
+//!   verification re-simulates) equals the default flow (every
+//!   verification replays the capture);
+//! * **cache-vs-uncached** — re-evaluating the winning partition with
+//!   no schedule cache and no replay engine reproduces the searched
+//!   [`corepart::PartitionDetail`];
+//! * **stream-invariance** (metamorphic) — moving any cluster to
+//!   hardware never changes the executed instruction stream: block
+//!   entry counts and the return value match the all-software baseline
+//!   for every hardware-block set;
+//! * **of-monotone** (metamorphic) — the objective function is
+//!   strictly increasing in `F` (energy is positive) and
+//!   non-decreasing in `G` (strictly when the design carries extra
+//!   hardware);
+//! * **energy-sum** — [`DesignMetrics::total_energy`] is exactly the
+//!   sum of its published components, in the documented order.
+//!
+//! Any [`corepart::CorepartError`] surfacing from a *generated* (hence
+//! well-formed, terminating) application is itself a violation.
+
+use std::collections::HashSet;
+
+use corepart::engine::Engine;
+use corepart::evaluate::evaluate_partition;
+use corepart::flow::DesignFlow;
+use corepart::objective::Objective;
+use corepart::partition::{PartitionOutcome, Partitioner};
+use corepart::prepare::Workload;
+use corepart::system::{DesignMetrics, SystemConfig};
+use corepart_ir::cdfg::Application;
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+use corepart_tech::units::{Energy, GateEq};
+
+use crate::gen::GenApp;
+
+/// The hardware-effort weights (`G`) the configuration matrix sweeps;
+/// `F` is fixed at 1.0 as in the paper's experiments.
+pub const G_SWEEP: [f64; 3] = [0.0, 0.2, 1.0];
+
+/// One oracle violation: which promise broke, and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The oracle that failed (a stable machine-readable name).
+    pub oracle: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(oracle: &'static str, detail: impl Into<String>) -> Self {
+        Violation {
+            oracle,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The base configuration of the matrix: the library defaults, two
+/// worker threads (so the threads oracle actually crosses a
+/// parallel/sequential boundary).
+pub fn base_config() -> SystemConfig {
+    SystemConfig::new().with_threads(2)
+}
+
+/// Outcome equality modulo cache *warmth*: a search through a shared
+/// engine may find schedule-cache entries a sibling session already
+/// computed, turning misses into hits. Results (initial, best) and
+/// every search counter must still match bit for bit, and the **total**
+/// lookup count (hits + misses) is deterministic even when the split
+/// is not.
+pub fn outcomes_equivalent(a: &PartitionOutcome, b: &PartitionOutcome) -> bool {
+    a.initial == b.initial
+        && a.best == b.best
+        && a.search.candidates == b.search.candidates
+        && a.search.estimated == b.search.estimated
+        && a.search.rejected_by_utilization == b.search.rejected_by_utilization
+        && a.search.infeasible == b.search.infeasible
+        && a.search.growth_steps == b.search.growth_steps
+        && a.search.verifications == b.search.verifications
+        && a.search.cache_hits + a.search.cache_misses
+            == b.search.cache_hits + b.search.cache_misses
+}
+
+/// Parses and lowers the generated application. A failure here is a
+/// generator bug, reported as a `generate` violation by
+/// [`check_app`].
+pub fn lower_app(app: &GenApp) -> Result<Application, String> {
+    let parsed = parse(&app.source()).map_err(|e| format!("parse: {e}"))?;
+    lower(&parsed).map_err(|e| format!("lower: {e}"))
+}
+
+/// Runs every differential and metamorphic oracle on one generated
+/// application. Returns the (possibly empty) list of violations;
+/// never panics on a well-formed input.
+pub fn check_app(app: &GenApp) -> Vec<Violation> {
+    let lowered = match lower_app(app) {
+        Ok(a) => a,
+        Err(e) => {
+            return vec![Violation::new(
+                "generate",
+                format!("generated app does not lower: {e}"),
+            )]
+        }
+    };
+    let workload = Workload::from_arrays(app.workload_arrays());
+    check_lowered(&lowered, &workload)
+}
+
+/// The oracle battery over an already-lowered application. Split out
+/// so the fault layer and tests can reuse it.
+pub fn check_lowered(app: &Application, workload: &Workload) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let base = base_config();
+
+    // --- Shared engine: one artifact pool, one session per G. -------
+    let engine = match Engine::new(base.clone()) {
+        Ok(e) => e,
+        Err(e) => return vec![Violation::new("error", format!("engine build: {e}"))],
+    };
+    let mut shared: Vec<PartitionOutcome> = Vec::with_capacity(G_SWEEP.len());
+    for g in G_SWEEP {
+        let config = base.clone().with_factors(base.factor_f, g);
+        let outcome = engine
+            .session_with_config(app, workload, config)
+            .map_err(|e| format!("session (G = {g}): {e}"))
+            .and_then(|session| {
+                Partitioner::new(&session)
+                    .and_then(|p| p.run())
+                    .map_err(|e| format!("shared search (G = {g}): {e}"))
+            });
+        match outcome {
+            Ok(o) => shared.push(o),
+            Err(e) => return vec![Violation::new("error", e)],
+        }
+    }
+
+    // --- Oracle: shared-Engine sessions == fresh flows. -------------
+    for (g, shared_outcome) in G_SWEEP.iter().zip(&shared) {
+        let config = base.clone().with_factors(base.factor_f, *g);
+        match DesignFlow::with_config(config).run_app(app.clone(), workload.clone()) {
+            Ok(fresh) => {
+                if !outcomes_equivalent(&fresh.outcome, shared_outcome) {
+                    violations.push(Violation::new(
+                        "shared-vs-fresh",
+                        format!(
+                            "G = {g}: fresh-engine flow diverged from shared-engine session \
+                             (fresh saving {:?}%, shared {:?}%)",
+                            fresh.outcome.energy_saving_percent(),
+                            shared_outcome.energy_saving_percent()
+                        ),
+                    ));
+                }
+            }
+            Err(e) => violations.push(Violation::new("error", format!("fresh flow: {e}"))),
+        }
+    }
+
+    // --- Oracle: threads = 1 == threads = 2. -------------------------
+    let mid_g = G_SWEEP[1];
+    let single = base
+        .clone()
+        .with_factors(base.factor_f, mid_g)
+        .with_threads(1);
+    match DesignFlow::with_config(single).run_app(app.clone(), workload.clone()) {
+        Ok(result) => {
+            if !outcomes_equivalent(&result.outcome, &shared[1]) {
+                violations.push(Violation::new(
+                    "threads",
+                    "threads = 1 search diverged from threads = 2 search".to_string(),
+                ));
+            }
+        }
+        Err(e) => violations.push(Violation::new("error", format!("threads=1 flow: {e}"))),
+    }
+
+    // --- Oracle: replay off (cap 0) == replay on. --------------------
+    let no_replay = base
+        .clone()
+        .with_factors(base.factor_f, mid_g)
+        .with_trace_cap(0);
+    match DesignFlow::with_config(no_replay).run_app(app.clone(), workload.clone()) {
+        Ok(result) => {
+            if !outcomes_equivalent(&result.outcome, &shared[1]) {
+                violations.push(Violation::new(
+                    "replay-vs-direct",
+                    "direct-simulation search (trace_cap_bytes = 0) diverged from \
+                     replay-backed search"
+                        .to_string(),
+                ));
+            }
+        }
+        Err(e) => violations.push(Violation::new("error", format!("cap-0 flow: {e}"))),
+    }
+
+    // --- Session-level oracles on the shared engine at G = 0.2. ------
+    let config = base.clone().with_factors(base.factor_f, mid_g);
+    let session = match engine.session_with_config(app, workload, config) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(Violation::new("error", format!("session reopen: {e}")));
+            return violations;
+        }
+    };
+    let partitioner = match Partitioner::new(&session) {
+        Ok(p) => p,
+        Err(e) => {
+            violations.push(Violation::new("error", format!("partitioner: {e}")));
+            return violations;
+        }
+    };
+
+    // Oracle: re-evaluating the winner without cache or replay engine
+    // reproduces the searched detail bit for bit.
+    if let Some((best, detail)) = &shared[1].best {
+        match evaluate_partition(
+            partitioner.prepared(),
+            best,
+            partitioner.initial_stats(),
+            partitioner.config(),
+        ) {
+            Ok(direct) => {
+                if direct != *detail {
+                    violations.push(Violation::new(
+                        "cache-vs-uncached",
+                        "uncached re-evaluation of the winning partition diverged from \
+                         the searched detail"
+                            .to_string(),
+                    ));
+                }
+            }
+            Err(e) => {
+                violations.push(Violation::new(
+                    "cache-vs-uncached",
+                    format!("winning partition failed uncached re-evaluation: {e}"),
+                ));
+            }
+        }
+    }
+
+    // Oracle: hardware moves never change the executed stream.
+    violations.extend(stream_invariance(&partitioner));
+
+    // Oracle: OF monotone in F and G over the observed designs.
+    let mut observed: Vec<&DesignMetrics> = vec![&shared[1].initial];
+    for outcome in &shared {
+        if let Some((_, detail)) = &outcome.best {
+            observed.push(&detail.metrics);
+        }
+    }
+    violations.extend(of_monotone(partitioner.config(), &observed));
+
+    // Oracle: total energy is exactly the component sum.
+    for metrics in &observed {
+        let sum = metrics.icache
+            + metrics.dcache
+            + metrics.mem
+            + metrics.bus
+            + metrics.up_core
+            + metrics.asic_core.unwrap_or(Energy::ZERO);
+        if sum.joules() != metrics.total_energy().joules() {
+            violations.push(Violation::new(
+                "energy-sum",
+                format!(
+                    "component sum {} J != total {} J",
+                    sum.joules(),
+                    metrics.total_energy().joules()
+                ),
+            ));
+        }
+    }
+
+    violations
+}
+
+/// Metamorphic: for every (first few) cluster hardware-block sets, the
+/// replayed run's block entry counts and return value equal the
+/// all-software baseline — accounting moves, execution does not.
+fn stream_invariance(partitioner: &Partitioner<'_>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let Some(engine) = partitioner.replay_engine() else {
+        // Capture overflowed the cap: nothing to replay, the
+        // replay-vs-direct oracle already covered the fallback.
+        return violations;
+    };
+    let prepared = partitioner.prepared();
+    let baseline = partitioner.initial_stats();
+    for cluster in prepared.chain.iter().take(3) {
+        let hw_blocks: HashSet<_> = cluster.blocks.iter().copied().collect();
+        if hw_blocks.is_empty() {
+            continue;
+        }
+        match engine.verify(partitioner.config(), &hw_blocks) {
+            Ok(run) => {
+                if run.stats.block_counts != baseline.block_counts
+                    || run.stats.return_value != baseline.return_value
+                {
+                    violations.push(Violation::new(
+                        "stream-invariance",
+                        format!(
+                            "hardware-mapping cluster {:?} changed the executed stream \
+                             (return {} vs baseline {})",
+                            cluster.id, run.stats.return_value, baseline.return_value
+                        ),
+                    ));
+                }
+            }
+            Err(e) => violations.push(Violation::new(
+                "stream-invariance",
+                format!("replay of cluster {:?} failed: {e}", cluster.id),
+            )),
+        }
+    }
+    violations
+}
+
+/// Metamorphic: `OF = F·(E/E0) + G·(GEQ/GEQ0)` is strictly increasing
+/// in `F` and non-decreasing in `G` (strictly when `GEQ > 0`), for
+/// every observed design point.
+fn of_monotone(config: &SystemConfig, observed: &[&DesignMetrics]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let e_norm = observed[0].total_energy();
+    for metrics in observed {
+        let energy = metrics.total_energy();
+        // F sweep at fixed G.
+        let mut last = f64::NEG_INFINITY;
+        for f in [0.5, 1.0, 2.0] {
+            let objective = Objective::new(&config.clone().with_factors(f, 0.2), e_norm);
+            let value = objective.value(energy, metrics.geq);
+            if value <= last {
+                violations.push(Violation::new(
+                    "of-monotone",
+                    format!("OF not strictly increasing in F at F = {f} ({value} <= {last})"),
+                ));
+            }
+            last = value;
+        }
+        // G sweep at fixed F.
+        let mut last = f64::NEG_INFINITY;
+        for g in G_SWEEP {
+            let objective = Objective::new(&config.clone().with_factors(1.0, g), e_norm);
+            let value = objective.value(energy, metrics.geq);
+            let strict = metrics.geq != GateEq::ZERO && g > 0.0;
+            if value < last || (strict && value <= last) {
+                violations.push(Violation::new(
+                    "of-monotone",
+                    format!("OF not monotone in G at G = {g} ({value} vs {last})"),
+                ));
+            }
+            last = value;
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn fixed_seeds_pass_the_battery() {
+        for seed in [1, 2, 3] {
+            let app = generate(seed);
+            let violations = check_app(&app);
+            assert!(
+                violations.is_empty(),
+                "seed {seed} violated: {violations:?}\n{}",
+                app.source()
+            );
+        }
+    }
+}

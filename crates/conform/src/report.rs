@@ -1,0 +1,122 @@
+//! Machine-readable failure reports.
+//!
+//! The runner serializes its [`Summary`] to a small, dependency-free
+//! JSON document (same hand-rolled style as `corepart::json`): enough
+//! for CI to archive on a red run and for a human to reproduce every
+//! failure with `conform --seed <case_seed> --cases 1`.
+
+use crate::runner::{Failure, Summary};
+
+/// Escapes a string for a JSON literal.
+fn esc(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn failure_to_json(failure: &Failure, indent: &str) -> String {
+    format!(
+        "{indent}{{\n\
+         {indent}  \"case_index\": {},\n\
+         {indent}  \"case_seed\": {},\n\
+         {indent}  \"oracle\": \"{}\",\n\
+         {indent}  \"detail\": \"{}\",\n\
+         {indent}  \"fault_case\": {},\n\
+         {indent}  \"shrink_steps\": {},\n\
+         {indent}  \"size_before\": {},\n\
+         {indent}  \"size_after\": {},\n\
+         {indent}  \"source\": \"{}\"\n\
+         {indent}}}",
+        failure.case_index,
+        failure.case_seed,
+        esc(failure.oracle),
+        esc(&failure.detail),
+        failure.fault_case,
+        failure.shrink_steps,
+        failure.size_before,
+        failure.size_after,
+        esc(&failure.source)
+    )
+}
+
+/// Renders the whole run summary as a JSON document.
+pub fn summary_to_json(summary: &Summary) -> String {
+    let failures: Vec<String> = summary
+        .failures
+        .iter()
+        .map(|f| failure_to_json(f, "    "))
+        .collect();
+    let failure_block = if failures.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n  ]", failures.join(",\n"))
+    };
+    format!(
+        "{{\n  \"seed\": {},\n  \"cases\": {},\n  \"cases_run\": {},\n  \
+         \"fault_cases\": {},\n  \"violations\": {},\n  \"failures\": {}\n}}\n",
+        summary.seed,
+        summary.cases,
+        summary.cases_run,
+        summary.fault_cases,
+        summary.failures.len(),
+        failure_block
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Failure, Summary};
+
+    #[test]
+    fn report_is_valid_enough_json() {
+        let summary = Summary {
+            seed: 1,
+            cases: 2,
+            cases_run: 2,
+            fault_cases: 1,
+            failures: vec![Failure {
+                case_index: 0,
+                case_seed: 99,
+                oracle: "threads",
+                detail: "line1\n\"quoted\"".to_string(),
+                fault_case: false,
+                shrink_steps: 3,
+                size_before: 40,
+                size_after: 12,
+                source: "app x;\nfunc main() { return 1; }\n".to_string(),
+            }],
+        };
+        let json = summary_to_json(&summary);
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\\\"quoted\\\""));
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_failures_render_as_empty_array() {
+        let summary = Summary {
+            seed: 7,
+            cases: 10,
+            cases_run: 10,
+            fault_cases: 2,
+            failures: Vec::new(),
+        };
+        let json = summary_to_json(&summary);
+        assert!(json.contains("\"failures\": []"));
+        assert!(json.contains("\"violations\": 0"));
+    }
+}

@@ -1,0 +1,283 @@
+//! The conformance runner: seeds → generated apps → oracle batteries →
+//! shrunk failures.
+//!
+//! Each case derives its own seed from the run seed (a SplitMix64
+//! step, so neighbouring cases are uncorrelated; case 0 uses the run
+//! seed itself, so a reported case seed replays directly), generates
+//! one application, runs the differential battery ([`crate::oracle`]) and
+//! — on every `fault_every`-th case — the fault battery
+//! ([`crate::fault`]). A violation triggers greedy structural
+//! shrinking: the runner walks [`crate::gen::shrink_candidates`],
+//! keeping any strictly smaller variant that still violates the *same*
+//! oracle, until no candidate fails or the step budget runs out. The
+//! survivor is what lands in the failure report.
+
+use crate::gen::{self, GenApp};
+use crate::{fault, oracle};
+
+/// Runner configuration (mirrors the `conform` binary's flags).
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// The run seed; case `i` uses `mix(seed, i)`.
+    pub seed: u64,
+    /// How many cases to run.
+    pub cases: u64,
+    /// Run the fault battery on every n-th case (1 = every case,
+    /// 0 = never).
+    pub fault_every: u64,
+    /// Budget of shrink-candidate evaluations per failure.
+    pub max_shrink_steps: usize,
+    /// Print per-case progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            seed: 1,
+            cases: 100,
+            fault_every: 5,
+            max_shrink_steps: 200,
+            verbose: false,
+        }
+    }
+}
+
+/// One shrunk, reportable failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The 0-based case index within the run.
+    pub case_index: u64,
+    /// The derived per-case seed. `conform --seed <this> --cases 1`
+    /// regenerates and re-checks exactly this application: case 0 of
+    /// any run uses the run seed directly (see [`case_seed`]).
+    pub case_seed: u64,
+    /// The violated oracle's stable name.
+    pub oracle: &'static str,
+    /// The violation detail from the *original* (unshrunk) failure.
+    pub detail: String,
+    /// Whether the fault battery (not the differential battery) found
+    /// it.
+    pub fault_case: bool,
+    /// Shrink-candidate evaluations spent.
+    pub shrink_steps: usize,
+    /// Structural size before shrinking.
+    pub size_before: usize,
+    /// Structural size of the reported reproducer.
+    pub size_after: usize,
+    /// BDL source of the shrunk reproducer.
+    pub source: String,
+}
+
+/// The whole run's result.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// The run seed.
+    pub seed: u64,
+    /// Requested case count.
+    pub cases: u64,
+    /// Cases actually run (== `cases`; kept explicit for the report).
+    pub cases_run: u64,
+    /// Cases that also ran the fault battery.
+    pub fault_cases: u64,
+    /// All (shrunk) failures, in case order.
+    pub failures: Vec<Failure>,
+}
+
+impl Summary {
+    /// True when every case passed every oracle.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The seed case `index` of a run seeded with `seed` uses. Case 0 is
+/// the run seed itself — that is what makes a reported
+/// [`Failure::case_seed`] replayable as `--seed <case_seed> --cases 1`
+/// — and later cases take uncorrelated SplitMix64 steps.
+pub fn case_seed(seed: u64, index: u64) -> u64 {
+    if index == 0 {
+        seed
+    } else {
+        mix(seed, index)
+    }
+}
+
+/// SplitMix64 — derives uncorrelated per-case seeds from the run seed.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs one case's batteries; returns the first violation, if any.
+fn check_case(app: &GenApp, with_faults: bool) -> Option<oracle::Violation> {
+    let mut violations = oracle::check_app(app);
+    if violations.is_empty() && with_faults {
+        violations = fault::check_app(app);
+    }
+    violations.into_iter().next()
+}
+
+/// True when `app` still violates `oracle_name` (in whichever battery
+/// originally produced it).
+fn still_fails(app: &GenApp, with_faults: bool, oracle_name: &str) -> bool {
+    let mut violations = oracle::check_app(app);
+    if with_faults {
+        violations.extend(fault::check_app(app));
+    }
+    violations.iter().any(|v| v.oracle == oracle_name)
+}
+
+/// Greedy structural shrink: descend through
+/// [`gen::shrink_candidates`] while `fails` holds, spending at most
+/// `budget` predicate evaluations. Returns the smallest failing app
+/// found and the steps spent. Only strictly smaller candidates are
+/// tried, so the walk always terminates.
+pub fn shrink_while(
+    app: &GenApp,
+    mut fails: impl FnMut(&GenApp) -> bool,
+    budget: usize,
+) -> (GenApp, usize) {
+    let mut current = app.clone();
+    let mut steps = 0;
+    'outer: loop {
+        for candidate in gen::shrink_candidates(&current) {
+            if steps >= budget {
+                break 'outer;
+            }
+            if gen::size(&candidate) >= gen::size(&current) {
+                continue;
+            }
+            steps += 1;
+            if fails(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+/// Runs the whole conformance sweep.
+pub fn run(options: &RunnerOptions) -> Summary {
+    let mut summary = Summary {
+        seed: options.seed,
+        cases: options.cases,
+        cases_run: 0,
+        fault_cases: 0,
+        failures: Vec::new(),
+    };
+    for index in 0..options.cases {
+        let case_seed = case_seed(options.seed, index);
+        let with_faults = options.fault_every != 0 && index % options.fault_every == 0;
+        if with_faults {
+            summary.fault_cases += 1;
+        }
+        let app = gen::generate(case_seed);
+        if options.verbose {
+            eprintln!(
+                "case {index}/{}: seed {case_seed} size {}{}",
+                options.cases,
+                gen::size(&app),
+                if with_faults { " +faults" } else { "" }
+            );
+        }
+        if let Some(violation) = check_case(&app, with_faults) {
+            let size_before = gen::size(&app);
+            let (shrunk, shrink_steps) = shrink_while(
+                &app,
+                |candidate| still_fails(candidate, with_faults, violation.oracle),
+                options.max_shrink_steps,
+            );
+            summary.failures.push(Failure {
+                case_index: index,
+                case_seed,
+                oracle: violation.oracle,
+                detail: violation.detail,
+                fault_case: with_faults,
+                shrink_steps,
+                size_before,
+                size_after: gen::size(&shrunk),
+                source: shrunk.source(),
+            });
+        }
+        summary.cases_run += 1;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_spreads_neighbouring_indices() {
+        let a = mix(1, 0);
+        let b = mix(1, 1);
+        let c = mix(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And it is pure.
+        assert_eq!(mix(1, 0), a);
+    }
+
+    #[test]
+    fn reported_case_seeds_replay_directly() {
+        // Case 0 of a run uses the run seed itself, so running
+        // `--seed <case_seed> --cases 1` regenerates the very app the
+        // failure came from — for every case of the original run.
+        assert_eq!(case_seed(9, 0), 9);
+        for index in 0..16 {
+            let derived = case_seed(1, index);
+            assert_eq!(
+                gen::generate(derived),
+                gen::generate(case_seed(derived, 0)),
+                "case {index}'s reported seed must regenerate its app"
+            );
+        }
+        // Later cases still take uncorrelated steps.
+        assert_ne!(case_seed(1, 1), case_seed(1, 2));
+    }
+
+    #[test]
+    fn shrink_while_finds_a_minimal_failing_app() {
+        // Stand-in "bug": any app that still contains a loop fails.
+        // The shrinker must descend to an app that keeps a loop but
+        // nothing else it can drop.
+        let has_loop = |app: &GenApp| app.source().contains("for (");
+        let seed = (0..200)
+            .find(|s| has_loop(&gen::generate(*s)))
+            .expect("some seed generates a loop");
+        let app = gen::generate(seed);
+        let (shrunk, steps) = shrink_while(&app, has_loop, 10_000);
+        assert!(has_loop(&shrunk), "shrinking lost the failing property");
+        assert!(steps > 0);
+        assert!(gen::size(&shrunk) < gen::size(&app));
+        // A local minimum: no single edit keeps the property.
+        assert!(gen::shrink_candidates(&shrunk)
+            .iter()
+            .filter(|c| gen::size(c) < gen::size(&shrunk))
+            .all(|c| !has_loop(c)));
+        // And the reproducer still lowers.
+        assert!(crate::oracle::lower_app(&shrunk).is_ok());
+    }
+
+    #[test]
+    fn short_run_passes_and_counts() {
+        let summary = run(&RunnerOptions {
+            seed: 1,
+            cases: 3,
+            fault_every: 3,
+            max_shrink_steps: 10,
+            verbose: false,
+        });
+        assert!(summary.passed(), "failures: {:?}", summary.failures);
+        assert_eq!(summary.cases_run, 3);
+        assert_eq!(summary.fault_cases, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! One named test per fault-injection scenario, each asserting the
+//! *documented* degradation on a fixed, hand-written application —
+//! independent of the generator, so a scenario regression cannot hide
+//! behind a generator change.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use corepart::engine::Engine;
+use corepart::evaluate::{evaluate_initial_captured, Partition};
+use corepart::flow::DesignFlow;
+use corepart::partition::{schedule_key, Partitioner};
+use corepart::prepare::Workload;
+use corepart::system::SystemConfig;
+use corepart::verify::replay_run;
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+use corepart_isa::simulator::SimError;
+use corepart_isa::trace::ReferenceTrace;
+
+const APP: &str = r#"app fault; var x[64]; var y[64]; var s = 0;
+    func main() {
+        for (var i = 1; i < 63; i = i + 1) {
+            y[i] = (x[i - 1] + 2 * x[i] + x[i + 1]) >> 2;
+        }
+        for (var j = 0; j < 64; j = j + 1) { s = s + y[j]; }
+        return s;
+    }"#;
+
+fn workload() -> Workload {
+    Workload::from_arrays([("x", (0..64).map(|i| (i * 7) % 31).collect::<Vec<i64>>())])
+}
+
+fn app() -> corepart_ir::cdfg::Application {
+    lower(&parse(APP).unwrap()).unwrap()
+}
+
+/// A capture of the reference run, plus the session pieces replay
+/// needs.
+fn captured(engine: &Engine) -> (ReferenceTrace, corepart_ir::cdfg::Application, Workload) {
+    let application = app();
+    let load = workload();
+    let session = engine.session(&application, &load);
+    let prepared = session.prepared().unwrap();
+    let (_, _, trace) = evaluate_initial_captured(prepared, session.config(), usize::MAX).unwrap();
+    (trace.expect("uncapped capture exists"), application, load)
+}
+
+#[test]
+fn cap_overflow_falls_back_bit_identically() {
+    // Scenario: trace_cap_bytes = 0 (capture disabled) and = 64 (any
+    // real run overflows) both fall back to direct simulation with
+    // the exact outcome of the replay-backed default.
+    let reference = DesignFlow::new().run_source(APP, workload()).unwrap();
+    for cap in [0usize, 64] {
+        let config = SystemConfig::new().with_trace_cap(cap);
+        let capped = DesignFlow::with_config(config)
+            .run_source(APP, workload())
+            .unwrap();
+        assert_eq!(
+            capped.outcome, reference.outcome,
+            "trace_cap_bytes = {cap} changed the outcome"
+        );
+    }
+}
+
+#[test]
+fn corrupted_trace_is_rejected_not_replayed() {
+    let engine = Engine::new(SystemConfig::new()).unwrap();
+    let (trace, application, load) = captured(&engine);
+    let session = engine.session(&application, &load);
+    let prepared = session.prepared().unwrap();
+    let config = session.config();
+
+    let mut corrupted = trace.clone();
+    assert!(corrupted.corrupt_byte(true, 0), "addr stream has bytes");
+    // Validation sees the damage...
+    let validation = corrupted.validate();
+    assert!(matches!(validation, Err(SimError::TraceCorrupt { .. })));
+    let message = validation.unwrap_err().to_string();
+    assert!(message.contains("fingerprint mismatch"), "got: {message}");
+    // ...and replay refuses without panicking and without statistics.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        replay_run(prepared, config, &corrupted, &HashSet::new())
+    }));
+    match outcome {
+        Ok(Err(SimError::TraceCorrupt { .. })) => {}
+        Ok(Ok(_)) => panic!("replay of a corrupted capture produced statistics"),
+        Ok(Err(other)) => panic!("expected TraceCorrupt, got {other}"),
+        Err(_) => panic!("replay of a corrupted capture panicked"),
+    }
+    // The pc stream is equally protected.
+    let mut pc_corrupted = trace.clone();
+    assert!(pc_corrupted.corrupt_byte(false, 0), "pc stream has bytes");
+    assert!(matches!(
+        pc_corrupted.validate(),
+        Err(SimError::TraceCorrupt { .. })
+    ));
+}
+
+#[test]
+fn truncated_trace_fails_event_conservation() {
+    let engine = Engine::new(SystemConfig::new()).unwrap();
+    let (trace, application, load) = captured(&engine);
+    let session = engine.session(&application, &load);
+    let prepared = session.prepared().unwrap();
+    let config = session.config();
+
+    let mut truncated = trace.clone();
+    assert!(truncated.truncate_pcs(3) > 0, "pc stream has bytes to cut");
+    // Re-stamping the fingerprint makes validation pass — only the
+    // replay-side conservation check can now catch the damage.
+    truncated.refingerprint();
+    assert!(truncated.validate().is_ok());
+    match replay_run(prepared, config, &truncated, &HashSet::new()) {
+        Err(SimError::TraceCorrupt { detail }) => {
+            assert!(detail.contains("recorded"), "got: {detail}");
+        }
+        Err(other) => panic!("expected TraceCorrupt, got {other}"),
+        Ok(_) => panic!("replay of a truncated capture produced statistics"),
+    }
+    // Through the library error type, the failure stays loud and typed.
+    let wrapped: corepart::CorepartError = SimError::TraceCorrupt {
+        detail: "probe".to_string(),
+    }
+    .into();
+    assert!(wrapped.to_string().contains("reference trace corrupt"));
+}
+
+/// The feasible single-cluster partitions of the first candidate,
+/// one per designer resource set, with their schedules.
+fn feasible_partitions(
+    partitioner: &Partitioner<'_>,
+) -> Vec<(
+    Partition,
+    std::sync::Arc<corepart_sched::cache::ScheduledCluster>,
+)> {
+    let candidate = partitioner.candidates()[0].cluster;
+    let mut feasible = Vec::new();
+    for index in 0.. {
+        let Ok(set) = partitioner.config().resource_set(index) else {
+            break;
+        };
+        let partition = Partition::single(candidate, set.clone());
+        if let Ok(scheduled) = partitioner.scheduled(&partition) {
+            feasible.push((partition, scheduled));
+        }
+    }
+    feasible
+}
+
+#[test]
+fn evicted_schedule_entry_recomputes_identically() {
+    let application = app();
+    let load = workload();
+    let engine = Engine::new(SystemConfig::new()).unwrap();
+    let session = engine.session(&application, &load);
+    let partitioner = Partitioner::new(&session).unwrap();
+
+    let feasible = feasible_partitions(&partitioner);
+    let (partition, original) = feasible.first().expect("some set schedules the cluster");
+
+    let key = schedule_key(partition);
+    assert!(
+        partitioner.schedule_cache().evict(&key),
+        "entry was cached after scheduling"
+    );
+    let recomputed = partitioner.scheduled(partition).unwrap();
+    assert_eq!(
+        *recomputed, **original,
+        "recompute after eviction diverged from the cached schedule"
+    );
+}
+
+#[test]
+fn poisoned_schedule_entry_is_detected_by_recompute() {
+    let application = app();
+    let load = workload();
+    let engine = Engine::new(SystemConfig::new()).unwrap();
+    let session = engine.session(&application, &load);
+    let partitioner = Partitioner::new(&session).unwrap();
+
+    // Two different feasible schedules of the same cluster (distinct
+    // resource sets bind differently).
+    let feasible = feasible_partitions(&partitioner);
+    let (real, truth) = feasible.first().expect("some set schedules the cluster");
+    let (_, wrong) = feasible
+        .iter()
+        .find(|(_, s)| **s != **truth)
+        .expect("two sets schedule the cluster differently");
+
+    // Poison: the cache serves the wrong entry verbatim (caches are
+    // authoritative by design)...
+    let key = schedule_key(real);
+    partitioner
+        .schedule_cache()
+        .poison(key.clone(), (**wrong).clone());
+    let served = partitioner.scheduled(real).unwrap();
+    assert_eq!(*served, **wrong, "cache must serve the poisoned entry");
+    assert_ne!(*served, **truth);
+
+    // ...so the evict-and-recompute differential is what detects it.
+    partitioner.schedule_cache().evict(&key);
+    let healed = partitioner.scheduled(real).unwrap();
+    assert_eq!(*healed, **truth, "recompute must restore the real schedule");
+}

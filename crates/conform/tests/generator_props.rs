@@ -1,0 +1,66 @@
+//! Property tests over the generator itself: every generated
+//! application — and every one-step shrink of it — must be
+//! well-formed (parses, lowers) and structurally sane. A generator
+//! that emits broken BDL would poison every downstream oracle, so
+//! these properties gate the whole harness.
+//!
+//! Case count follows `PROPTEST_CASES` (the vendored shim reads it
+//! like the real proptest does).
+
+use corepart_conform::gen::{self, generate};
+use corepart_conform::oracle::lower_app;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every seed yields an app that parses and lowers.
+    #[test]
+    fn generated_apps_lower(seed in 0u64..1_000_000) {
+        let app = generate(seed);
+        prop_assert!(
+            lower_app(&app).is_ok(),
+            "seed {} does not lower:\n{}",
+            seed,
+            app.source()
+        );
+    }
+
+    /// Generation is a pure function of the seed.
+    #[test]
+    fn generation_is_pure(seed in 0u64..1_000_000) {
+        prop_assert_eq!(generate(seed), generate(seed));
+    }
+
+    /// Every one-step shrink candidate is still well-formed and never
+    /// structurally larger — the shrinker can only walk downhill
+    /// through valid programs.
+    #[test]
+    fn shrink_candidates_stay_well_formed(seed in 0u64..10_000) {
+        let app = generate(seed);
+        let base = gen::size(&app);
+        for candidate in gen::shrink_candidates(&app) {
+            prop_assert!(gen::size(&candidate) <= base);
+            prop_assert!(
+                lower_app(&candidate).is_ok(),
+                "seed {}: shrink candidate does not lower:\n{}",
+                seed,
+                candidate.source()
+            );
+        }
+    }
+}
+
+#[test]
+fn proptest_cases_env_var_is_honoured() {
+    // The shim's Config::default reads PROPTEST_CASES at run time.
+    std::env::set_var("PROPTEST_CASES", "7");
+    let config = proptest::test_runner::Config::default();
+    std::env::remove_var("PROPTEST_CASES");
+    assert_eq!(config.cases, 7);
+    // Garbage values fall back to the built-in default.
+    std::env::set_var("PROPTEST_CASES", "not-a-number");
+    let fallback = proptest::test_runner::Config::default();
+    std::env::remove_var("PROPTEST_CASES");
+    assert_eq!(fallback.cases, 256);
+}

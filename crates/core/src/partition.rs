@@ -72,8 +72,10 @@ pub type ScheduleKey = (Vec<ClusterId>, String, Vec<(ResourceKind, u32)>);
 
 /// The [`ScheduleKey`] of one candidate partition — the estimate
 /// phase and the verification path build it identically, which is
-/// what lets verification reuse estimate-phase cache entries.
-pub(crate) fn schedule_key(partition: &Partition) -> ScheduleKey {
+/// what lets verification reuse estimate-phase cache entries. Public
+/// so external tooling (the conformance harness's cache-poisoning
+/// probes) can address the exact entry a partition resolves to.
+pub fn schedule_key(partition: &Partition) -> ScheduleKey {
     (
         partition.clusters.clone(),
         partition.set.name().to_owned(),

@@ -60,14 +60,17 @@ pub struct VerifiedRun {
 /// # Errors
 ///
 /// [`SimError::CycleLimit`] exactly when the equivalent direct
-/// simulation would hit it; other [`SimError`]s only on a trace that
-/// does not belong to `prepared`.
+/// simulation would hit it; [`SimError::TraceCorrupt`] when the trace
+/// fails its fingerprint validation or decodes to fewer events than
+/// it recorded (damaged or truncated capture); other [`SimError`]s
+/// only on a trace that does not belong to `prepared`.
 pub fn replay_run(
     prepared: &PreparedApp,
     config: &SystemConfig,
     trace: &ReferenceTrace,
     hw_blocks: &HashSet<BlockId>,
 ) -> Result<VerifiedRun, SimError> {
+    trace.validate()?;
     let replayer = TraceReplayer::new(&prepared.prog, &prepared.app, &config.energy_table);
     replay_with(&replayer, trace, config, hw_blocks)
 }
@@ -107,14 +110,22 @@ pub struct ReplayEngine {
     trace: Arc<ReferenceTrace>,
     replayer: TraceReplayer,
     cache: MemoCache<Vec<BlockId>, VerifiedRun, SimError>,
+    /// Fingerprint validation of the capture, run once at
+    /// construction; every [`ReplayEngine::verify`] refuses a trace
+    /// that failed it.
+    validated: Result<(), SimError>,
 }
 
 impl ReplayEngine {
     /// Builds the engine (precomputes the per-pc replay table) for a
-    /// trace captured from `prepared` under `config`.
+    /// trace captured from `prepared` under `config`. The trace's
+    /// fingerprint is validated here, once; a damaged capture turns
+    /// every later [`ReplayEngine::verify`] into
+    /// [`SimError::TraceCorrupt`].
     pub fn new(prepared: &PreparedApp, config: &SystemConfig, trace: ReferenceTrace) -> Self {
         ReplayEngine {
             replayer: TraceReplayer::new(&prepared.prog, &prepared.app, &config.energy_table),
+            validated: trace.validate(),
             trace: Arc::new(trace),
             cache: MemoCache::new(),
         }
@@ -137,6 +148,7 @@ impl ReplayEngine {
         config: &SystemConfig,
         hw_blocks: &HashSet<BlockId>,
     ) -> Result<Arc<VerifiedRun>, SimError> {
+        self.validated.clone()?;
         let mut key: Vec<BlockId> = hw_blocks.iter().copied().collect();
         key.sort_unstable();
         self.cache.get_or_compute(key, || {

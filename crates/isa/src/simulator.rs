@@ -216,6 +216,15 @@ pub enum SimError {
         /// The data length provided.
         given: usize,
     },
+    /// A reference trace failed an integrity check: its stored
+    /// fingerprint does not match its streams, or replay decoded a
+    /// different number of events than the capture recorded
+    /// (truncated or corrupted segments). Replay refuses to produce
+    /// statistics from such a trace rather than silently diverge.
+    TraceCorrupt {
+        /// What the integrity check found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -234,6 +243,9 @@ impl fmt::Display for SimError {
                 capacity,
                 given,
             } => write!(f, "array `{name}` holds {capacity} words, {given} given"),
+            SimError::TraceCorrupt { detail } => {
+                write!(f, "reference trace corrupt: {detail}")
+            }
         }
     }
 }

@@ -155,6 +155,37 @@ impl SegReader<'_> {
     }
 }
 
+/// FNV-1a over the counts, the return value and both encoded byte
+/// streams — the one definition shared by [`TraceBuilder::finish`]
+/// (which stamps it into the capture) and
+/// [`ReferenceTrace::validate`] (which recomputes and compares it).
+fn fingerprint_of(
+    events: u64,
+    data_events: u64,
+    return_bits: u64,
+    pcs: &SegStream,
+    addrs: &SegStream,
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for v in [events, data_events, return_bits] {
+        for byte in v.to_le_bytes() {
+            eat(byte);
+        }
+    }
+    for stream in [pcs, addrs] {
+        for segment in &stream.segments {
+            for &byte in segment {
+                eat(byte);
+            }
+        }
+    }
+    h
+}
+
 fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
@@ -238,6 +269,37 @@ impl ReferenceTrace {
         self.fingerprint
     }
 
+    /// Recomputes the FNV-1a fingerprint from the encoded streams and
+    /// compares it against the one stamped at capture time — the
+    /// integrity gate for traces whose bytes may have been damaged
+    /// after capture. [`crate::trace::TraceReplayer::replay`]'s own
+    /// conservation checks catch truncation (fewer decoded events than
+    /// recorded); this check additionally catches any byte-level
+    /// corruption that leaves the counts plausible.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TraceCorrupt`] when the streams no longer hash to
+    /// the stored fingerprint.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let h = fingerprint_of(
+            self.events,
+            self.data_events,
+            self.return_value as u64,
+            &self.pcs,
+            &self.addrs,
+        );
+        if h != self.fingerprint {
+            return Err(SimError::TraceCorrupt {
+                detail: format!(
+                    "fingerprint mismatch: captured {:#018x}, streams hash to {h:#018x}",
+                    self.fingerprint
+                ),
+            });
+        }
+        Ok(())
+    }
+
     fn pc_reader(&self) -> RunReader<'_> {
         RunReader {
             inner: self.pcs.reader(),
@@ -249,6 +311,68 @@ impl ReferenceTrace {
         AddrReader {
             inner: self.addrs.reader(),
         }
+    }
+}
+
+/// Deliberate-damage hooks for the conformance harness (`conform`
+/// feature only): fault-injection tests use these to manufacture the
+/// degraded traces the integrity checks must reject. Not part of the
+/// supported API surface.
+#[cfg(feature = "conform")]
+impl ReferenceTrace {
+    /// Flips every bit of one encoded byte (of the data-address stream
+    /// when `addr_stream`, of the pc stream otherwise). Returns `false`
+    /// when `index` is past the end of that stream.
+    pub fn corrupt_byte(&mut self, addr_stream: bool, index: usize) -> bool {
+        let stream = if addr_stream {
+            &mut self.addrs
+        } else {
+            &mut self.pcs
+        };
+        let mut remaining = index;
+        for segment in &mut stream.segments {
+            if remaining < segment.len() {
+                segment[remaining] ^= 0xff;
+                return true;
+            }
+            remaining -= segment.len();
+        }
+        false
+    }
+
+    /// Drops up to `n` trailing bytes of the encoded pc stream,
+    /// returning how many were actually removed — a truncated capture,
+    /// as if segments were lost after the run.
+    pub fn truncate_pcs(&mut self, n: usize) -> usize {
+        let mut dropped = 0;
+        while dropped < n {
+            match self.pcs.segments.last_mut() {
+                Some(last) if last.is_empty() => {
+                    self.pcs.segments.pop();
+                }
+                Some(last) => {
+                    last.pop();
+                    self.pcs.bytes -= 1;
+                    dropped += 1;
+                }
+                None => break,
+            }
+        }
+        dropped
+    }
+
+    /// Re-stamps the fingerprint from the *current* streams so
+    /// [`ReferenceTrace::validate`] passes again — used to build
+    /// internally-consistent-looking truncated traces that only the
+    /// replay-time conservation checks can reject.
+    pub fn refingerprint(&mut self) {
+        self.fingerprint = fingerprint_of(
+            self.events,
+            self.data_events,
+            self.return_value as u64,
+            &self.pcs,
+            &self.addrs,
+        );
     }
 }
 
@@ -322,28 +446,13 @@ impl TraceBuilder {
         if self.overflowed {
             return None;
         }
-        // FNV-1a over counts, return value, then both byte streams.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |byte: u8| {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        };
-        for v in [
+        let h = fingerprint_of(
             self.events,
             self.data_events,
             self.return_value_bits(return_value),
-        ] {
-            for byte in v.to_le_bytes() {
-                eat(byte);
-            }
-        }
-        for stream in [&self.pcs, &self.addrs] {
-            for segment in &stream.segments {
-                for &byte in segment {
-                    eat(byte);
-                }
-            }
-        }
+            &self.pcs,
+            &self.addrs,
+        );
         Some(ReferenceTrace {
             pcs: self.pcs,
             addrs: self.addrs,
@@ -477,7 +586,9 @@ impl TraceReplayer {
     ///
     /// [`SimError::CycleLimit`] exactly when the direct run would hit
     /// it; [`SimError::BadPc`]/[`SimError::BadAccess`] only on a
-    /// corrupt or mismatched trace.
+    /// corrupt or mismatched trace; [`SimError::TraceCorrupt`] when
+    /// the decoded streams do not add up to the recorded event counts
+    /// (a truncated capture) — never partial statistics.
     pub fn replay<S: MemSink>(
         &self,
         trace: &ReferenceTrace,
@@ -518,6 +629,8 @@ impl TraceReplayer {
         let mut prev_was_hw = false;
         let mut runs = trace.pc_reader();
         let mut addrs = trace.addr_reader();
+        let mut decoded_insts: u64 = 0;
+        let mut decoded_data: u64 = 0;
 
         // One decoded (start, length) pair per sequential stretch; the
         // per-instruction body below is byte-for-byte the accounting of
@@ -528,6 +641,7 @@ impl TraceReplayer {
                 .checked_add(len as usize)
                 .filter(|&hi| hi <= self.info.len())
                 .ok_or(SimError::BadPc { pc: start })?;
+            decoded_insts = decoded_insts.wrapping_add(len);
             for (off, info) in self.info[lo..hi].iter().enumerate() {
                 let pc = start + off as u32;
                 let is_hw = is_hw_block[info.block_index];
@@ -581,6 +695,7 @@ impl TraceReplayer {
                 match info.access {
                     AccessKind::Load => {
                         let addr = addrs.next().ok_or(SimError::BadAccess { addr: 0, pc })?;
+                        decoded_data += 1;
                         if is_hw {
                             if addr < SLOT_BASE {
                                 stats.hw_loads += 1;
@@ -592,6 +707,7 @@ impl TraceReplayer {
                     }
                     AccessKind::Store => {
                         let addr = addrs.next().ok_or(SimError::BadAccess { addr: 0, pc })?;
+                        decoded_data += 1;
                         if is_hw {
                             if addr < SLOT_BASE {
                                 stats.hw_stores += 1;
@@ -604,6 +720,24 @@ impl TraceReplayer {
                     AccessKind::None => {}
                 }
             }
+        }
+
+        // Conservation checks: a well-formed trace decodes exactly the
+        // number of instructions and data accesses it recorded, and
+        // leaves no trailing data-address records. A truncated or
+        // damaged capture that survives decoding this far must not
+        // yield partial statistics (byte-level corruption with intact
+        // counts is the job of [`ReferenceTrace::validate`]).
+        if decoded_insts != trace.events
+            || decoded_data != trace.data_events
+            || addrs.next().is_some()
+        {
+            return Err(SimError::TraceCorrupt {
+                detail: format!(
+                    "decoded {decoded_insts} of {} recorded instructions and {decoded_data} of {} recorded data accesses",
+                    trace.events, trace.data_events
+                ),
+            });
         }
 
         stats.cycles = Cycles::new(cycles);

@@ -41,8 +41,17 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 256 cases, overridable at run time through the
+        /// `PROPTEST_CASES` environment variable (same knob as the
+        /// real proptest) — CI smoke jobs dial suites down, soak runs
+        /// dial them up, without recompiling.
         fn default() -> Self {
-            Config { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(256);
+            Config { cases }
         }
     }
 

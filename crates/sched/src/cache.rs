@@ -126,6 +126,37 @@ impl<K: Eq + Hash, V, E: Clone> MemoCache<K, V, E> {
         self.map.lock().expect("memo cache poisoned").len()
     }
 
+    /// Fault-injection hook for the conformance harness (`conform`
+    /// feature only): drops `key`'s entry, forcing the next
+    /// [`MemoCache::get_or_compute`] to recompute (and charge a miss).
+    /// Returns whether an entry was present. The recomputed value must
+    /// be bit-identical to the evicted one — that is the invariant the
+    /// harness checks.
+    #[cfg(feature = "conform")]
+    pub fn evict(&self, key: &K) -> bool {
+        self.map
+            .lock()
+            .expect("memo cache poisoned")
+            .remove(key)
+            .is_some()
+    }
+
+    /// Fault-injection hook for the conformance harness (`conform`
+    /// feature only): installs a pre-resolved entry for `key`,
+    /// replacing any existing one. Later lookups are served the
+    /// poisoned value (charged as hits) — the harness uses this to
+    /// prove its differential oracles detect a cache serving wrong
+    /// values.
+    #[cfg(feature = "conform")]
+    pub fn poison(&self, key: K, value: V) {
+        let slot: Slot<V, E> = Arc::new(OnceLock::new());
+        let _ = slot.set(Ok(Arc::new(value)));
+        self.map
+            .lock()
+            .expect("memo cache poisoned")
+            .insert(key, slot);
+    }
+
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

@@ -227,14 +227,6 @@ fn bad_usage_fails_gracefully() {
         .expect("runs");
     assert!(!out.status.success());
 
-    // Missing file.
-    let out = bin()
-        .args(["partition", "/nonexistent/nope.bdl"])
-        .output()
-        .expect("runs");
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
-
     // Bad array spec.
     let out = bin()
         .args([
@@ -246,4 +238,47 @@ fn bad_usage_fails_gracefully() {
         .output()
         .expect("runs");
     assert!(!out.status.success());
+}
+
+#[test]
+fn missing_file_exits_one_with_error_line() {
+    // A runtime failure (not a usage error) must exit 1 and explain
+    // itself on stderr without any stdout output.
+    let out = bin()
+        .args(["partition", "/nonexistent/nope.bdl"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "runtime failures exit 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error:"), "stderr: {err}");
+    assert!(err.contains("nope.bdl"), "names the missing file: {err}");
+    assert!(out.stdout.is_empty(), "no partial stdout on failure");
+}
+
+#[test]
+fn unparseable_source_exits_one_with_parse_error() {
+    let mut f = tempfile::NamedFile::new();
+    write!(f.file, "app broken; func main() {{ this is not bdl").expect("write garbage");
+    let out = bin()
+        .args(["partition", f.path.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "parse failures exit 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error:"), "stderr: {err}");
+    assert!(out.stdout.is_empty(), "no partial stdout on failure");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // No arguments at all: usage text, exit 2 (distinct from the
+    // exit-1 runtime failures so scripts can tell them apart).
+    let out = bin().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage: corepart"), "stderr: {err}");
+
+    // A command without its file argument is a usage error too.
+    let out = bin().args(["partition"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
 }

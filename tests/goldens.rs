@@ -1,0 +1,117 @@
+//! Golden-file snapshot tests: the exact JSON the flow and the
+//! exploration sweep emit for all six paper workloads, byte for byte.
+//!
+//! `tests/table1_shape.rs` pins the *qualitative* paper claims (the
+//! 35–94 % saving band, the `trick` time trade, the i-cache collapse);
+//! these goldens pin the *quantitative* output — every joule, cycle
+//! and cell as currently computed. Any change to the numeric pipeline,
+//! however small, shows up here as a readable JSON diff instead of
+//! slipping through a shape band.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test goldens
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use std::path::PathBuf;
+
+use corepart::explore::{explore, hardware_weight_sweep};
+use corepart::flow::DesignFlow;
+use corepart::json::{exploration_to_json, table1_to_json};
+use corepart::prepare::Workload;
+use corepart::report::Table1;
+use corepart::system::SystemConfig;
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+use corepart_workloads::all;
+
+/// The `explore` sweep mirrors the CLI's default weight ladder.
+const EXPLORE_WEIGHTS: [f64; 7] = [0.0, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0];
+
+fn goldens_dir() -> PathBuf {
+    // The test is registered from crates/core; goldens live beside the
+    // other cross-crate tests.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+fn update_mode() -> bool {
+    std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1")
+}
+
+/// Compares `actual` against the committed golden (or rewrites it in
+/// update mode), with a first-divergence excerpt on mismatch.
+fn assert_golden(name: &str, actual: &str) {
+    let path = goldens_dir().join(name);
+    if update_mode() {
+        std::fs::create_dir_all(goldens_dir()).expect("create goldens dir");
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_GOLDENS=1 cargo test --test goldens",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let at = expected
+            .bytes()
+            .zip(actual.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| expected.len().min(actual.len()));
+        let lo = at.saturating_sub(60);
+        panic!(
+            "golden {} diverges at byte {at}:\n  expected …{}…\n  actual   …{}…\n\
+             (UPDATE_GOLDENS=1 regenerates after an intentional change)",
+            name,
+            &expected[lo..(at + 60).min(expected.len())],
+            &actual[lo..(at + 60).min(actual.len())],
+        );
+    }
+}
+
+fn file_name(workload: &str) -> String {
+    workload
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn table1_json_matches_golden() {
+    let mut table = Table1::new();
+    for w in all() {
+        let result = DesignFlow::with_config(SystemConfig::new())
+            .run_app(w.app().expect("lowers"), Workload::from_arrays(w.arrays(1)))
+            .expect("flow succeeds");
+        table.push(result.table1_entry());
+    }
+    assert_eq!(table.entries().len(), 6);
+    let mut json = table1_to_json(&table);
+    json.push('\n');
+    assert_golden("table1.json", &json);
+}
+
+#[test]
+fn exploration_json_matches_goldens() {
+    for w in all() {
+        let app = lower(&parse(w.source).expect("parses")).expect("lowers");
+        let workload = Workload::from_arrays(w.arrays(1));
+        let configs = hardware_weight_sweep(&EXPLORE_WEIGHTS, &SystemConfig::new());
+        let ex = explore(&app, &workload, &configs).expect("exploration succeeds");
+        // One point per weight plus the initial design.
+        assert_eq!(ex.points.len(), EXPLORE_WEIGHTS.len() + 1);
+        let mut json = exploration_to_json(&ex);
+        json.push('\n');
+        assert_golden(&format!("explore_{}.json", file_name(w.name)), &json);
+    }
+}

@@ -1,0 +1,225 @@
+//! Counter semantics of [`corepart::engine::SessionStats`]: the
+//! second resolution of every stage artifact is a *shared hit* —
+//! observable through flags and cache counters, not recomputation —
+//! and the counters agree no matter which entry path (direct
+//! `Partitioner`, `DesignFlow`, `explore`) resolved them.
+//!
+//! Library-level error paths of the configuration surface live here
+//! too (the CLI-level ones are in `tests/cli.rs`).
+
+use std::sync::Arc;
+
+use corepart::engine::{Engine, SessionStats};
+use corepart::explore::explore;
+use corepart::flow::DesignFlow;
+use corepart::partition::Partitioner;
+use corepart::prepare::Workload;
+use corepart::system::SystemConfig;
+use corepart::CorepartError;
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+
+const SRC: &str = r#"app stats; var x[96]; var y[96]; var acc = 0;
+    func main() {
+        for (var i = 1; i < 95; i = i + 1) {
+            y[i] = (x[i - 1] + 2 * x[i] + x[i + 1]) >> 2;
+        }
+        for (var j = 0; j < 96; j = j + 1) { acc = acc + y[j] * 3; }
+        return acc;
+    }"#;
+
+fn app() -> corepart_ir::cdfg::Application {
+    lower(&parse(SRC).unwrap()).unwrap()
+}
+
+fn workload() -> Workload {
+    Workload::from_arrays([("x", (0..96).map(|i| (i * 5) % 17).collect::<Vec<i64>>())])
+}
+
+/// A shared (pool-served) stage resolution must be a lookup, not a
+/// recompute: much cheaper than the computing session's resolution or
+/// under an absolute millisecond — whichever margin is wider, so OS
+/// scheduling jitter cannot flake the assertion.
+fn assert_lookup_cheap(stage: &str, shared_nanos: u64, computed_nanos: u64) {
+    assert!(
+        shared_nanos < computed_nanos / 2 || shared_nanos < 1_000_000,
+        "{stage}: shared resolution took {shared_nanos} ns vs {computed_nanos} ns to compute — \
+         that is a recompute, not a pool hit"
+    );
+}
+
+#[test]
+fn second_resolution_of_each_stage_is_a_shared_hit() {
+    let application = app();
+    let load = workload();
+    let engine = Engine::new(SystemConfig::new()).unwrap();
+
+    // First session computes every stage by running the full search.
+    let first = engine.session(&application, &load);
+    let outcome_first = Partitioner::new(&first).unwrap().run().unwrap();
+    let after_first = first.stats();
+    assert!(!after_first.prepare_shared, "first session computes");
+    assert!(!after_first.baseline_shared);
+    assert!(after_first.schedule_cache_misses > 0, "cold cache misses");
+    assert_eq!(after_first.replays, 1, "one verification, one replay");
+
+    // Second session on the same engine: every stage artifact is
+    // served from the pools.
+    let second = engine.session(&application, &load);
+    assert_eq!(second.stats(), SessionStats::default(), "opening is free");
+
+    let prepared_first = first.prepared_arc().unwrap();
+    let prepared_second = second.prepared_arc().unwrap();
+    assert!(
+        Arc::ptr_eq(&prepared_first, &prepared_second),
+        "one PreparedApp instance serves both sessions"
+    );
+    second.baseline().unwrap();
+    let outcome_second = Partitioner::new(&second).unwrap().run().unwrap();
+    let after_second = second.stats();
+
+    assert!(after_second.prepare_shared, "second prepare is a hit");
+    assert!(after_second.baseline_shared, "second baseline is a hit");
+    assert_lookup_cheap(
+        "prepare",
+        after_second.prepare_nanos,
+        after_first.prepare_nanos,
+    );
+    assert_lookup_cheap(
+        "baseline",
+        after_second.baseline_nanos,
+        after_first.baseline_nanos,
+    );
+
+    // The schedule cache is shared, so the second search adds hits but
+    // not a single new miss: every schedule was already memoized.
+    assert_eq!(
+        after_second.schedule_cache_misses, after_first.schedule_cache_misses,
+        "warm search must not recompute any schedule"
+    );
+    assert!(
+        after_second.schedule_cache_hits > after_first.schedule_cache_hits,
+        "warm search is served from the shared cache"
+    );
+
+    // Same for verification: the replay memo already holds the winning
+    // hardware set, so no second replay runs.
+    assert_eq!(after_second.replays, 1, "no re-replay on the warm path");
+    assert!(
+        after_second.replay_hits > after_first.replay_hits,
+        "warm verification is served from the replay memo"
+    );
+
+    // And the served artifacts decide identically.
+    assert_eq!(outcome_first.initial, outcome_second.initial);
+    assert_eq!(outcome_first.best, outcome_second.best);
+}
+
+#[test]
+fn stats_fill_in_stage_order() {
+    let application = app();
+    let load = workload();
+    let engine = Engine::new(SystemConfig::new()).unwrap();
+    let session = engine.session(&application, &load);
+
+    assert_eq!(session.stats(), SessionStats::default());
+
+    session.prepared().unwrap();
+    let after_prepare = session.stats();
+    assert!(after_prepare.prepare_nanos > 0);
+    assert_eq!(after_prepare.baseline_nanos, 0, "baseline still lazy");
+    assert_eq!(after_prepare.schedule_cache_misses, 0);
+
+    session.baseline().unwrap();
+    let after_baseline = session.stats();
+    assert!(after_baseline.baseline_nanos > 0);
+    assert_eq!(
+        after_baseline.schedule_cache_hits + after_baseline.schedule_cache_misses,
+        0,
+        "no schedule work before the search"
+    );
+}
+
+#[test]
+fn flow_and_direct_engine_report_identical_counters() {
+    // `DesignFlow` is a thin wrapper over a fresh Engine + session;
+    // the search statistics — including the cache counters — must be
+    // bit-identical to driving the engine directly from cold.
+    let flow_outcome = DesignFlow::new()
+        .run_source(SRC, workload())
+        .unwrap()
+        .outcome;
+
+    let application = app();
+    let load = workload();
+    let engine = Engine::new(SystemConfig::new()).unwrap();
+    let session = engine.session(&application, &load);
+    let direct_outcome = Partitioner::new(&session).unwrap().run().unwrap();
+
+    assert_eq!(flow_outcome, direct_outcome);
+}
+
+#[test]
+fn explore_agrees_with_flow_on_every_metric() {
+    // A single-configuration exploration and a flow run are the same
+    // computation through different entry points.
+    let flow = DesignFlow::new().run_source(SRC, workload()).unwrap();
+    let (_, detail) = flow.outcome.best.as_ref().expect("a partition is found");
+
+    let application = app();
+    let load = workload();
+    let configs = vec![("paper".to_owned(), SystemConfig::new())];
+    let ex = explore(&application, &load, &configs).unwrap();
+    assert_eq!(ex.points.len(), 2, "initial + one configuration");
+
+    let initial = &ex.points[0];
+    assert!(initial.is_initial);
+    assert_eq!(initial.energy, flow.outcome.initial.total_energy());
+    assert_eq!(initial.cycles, flow.outcome.initial.total_cycles());
+
+    let point = &ex.points[1];
+    assert_eq!(point.energy, detail.metrics.total_energy());
+    assert_eq!(point.cycles, detail.metrics.total_cycles());
+    assert_eq!(point.geq, detail.metrics.geq);
+}
+
+#[test]
+fn empty_resource_sets_are_rejected_everywhere() {
+    let empty = SystemConfig::new().with_resource_sets(vec![]);
+
+    let engine_err = Engine::new(empty.clone()).unwrap_err();
+    assert!(matches!(engine_err, CorepartError::Config { .. }));
+    assert!(
+        engine_err.to_string().contains("at least one resource set"),
+        "got: {engine_err}"
+    );
+
+    let flow_err = DesignFlow::with_config(empty.clone())
+        .run_source(SRC, workload())
+        .unwrap_err();
+    assert!(matches!(flow_err, CorepartError::Config { .. }));
+
+    let application = app();
+    let load = workload();
+    let configs = vec![("empty".to_owned(), empty)];
+    let explore_err = explore(&application, &load, &configs).unwrap_err();
+    assert!(matches!(explore_err, CorepartError::Config { .. }));
+}
+
+#[test]
+fn out_of_range_resource_set_is_a_typed_config_error() {
+    let config = SystemConfig::new();
+    let sets = config.resource_sets.len();
+    assert!(sets > 0);
+    let err = config.resource_set(sets + 41).unwrap_err();
+    assert!(matches!(err, CorepartError::Config { .. }));
+    let message = err.to_string();
+    assert!(
+        message.contains(&format!("no resource set at index {}", sets + 41)),
+        "got: {message}"
+    );
+    assert!(
+        message.contains(&format!("{sets} sets")),
+        "the error must state how many sets exist: {message}"
+    );
+}

@@ -6,7 +6,12 @@
 //! absolute joules (our technology calibration is reconstructed); it
 //! pins the *shape*: savings in the 35–94 % band, performance
 //! maintained or improved everywhere except `trick`, and small
-//! additional hardware.
+//! additional hardware. The exact quantitative output is pinned
+//! separately, byte for byte, by the golden snapshots in
+//! `tests/goldens.rs` — a calibration change fails there first, and
+//! fails here only when it leaves the paper's qualitative bands.
+
+use std::sync::OnceLock;
 
 use corepart::flow::DesignFlow;
 use corepart::prepare::Workload;
@@ -21,30 +26,35 @@ struct Row {
     icache_drop: f64,
 }
 
-fn run_rows() -> Vec<Row> {
-    all()
-        .iter()
-        .map(|w| {
-            let app = w.app().expect("lowers");
-            let result = DesignFlow::with_config(SystemConfig::new())
-                .run_app(app, Workload::from_arrays(w.arrays(1)))
-                .expect("flow succeeds");
-            let outcome = &result.outcome;
-            let (_, detail) = outcome
-                .best
-                .as_ref()
-                .unwrap_or_else(|| panic!("{}: no partition found", w.name));
-            let icache_drop =
-                1.0 - detail.metrics.icache.joules() / outcome.initial.icache.joules().max(1e-30);
-            Row {
-                name: w.name,
-                saving: outcome.energy_saving_percent().expect("saving"),
-                time_change: outcome.time_change_percent().expect("change"),
-                geq: detail.metrics.geq.cells(),
-                icache_drop,
-            }
-        })
-        .collect()
+/// The six flows run once per test binary; every test reads the same
+/// rows (the flows are deterministic, so sharing loses nothing).
+fn run_rows() -> &'static [Row] {
+    static ROWS: OnceLock<Vec<Row>> = OnceLock::new();
+    ROWS.get_or_init(|| {
+        all()
+            .iter()
+            .map(|w| {
+                let app = w.app().expect("lowers");
+                let result = DesignFlow::with_config(SystemConfig::new())
+                    .run_app(app, Workload::from_arrays(w.arrays(1)))
+                    .expect("flow succeeds");
+                let outcome = &result.outcome;
+                let (_, detail) = outcome
+                    .best
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{}: no partition found", w.name));
+                let icache_drop = 1.0
+                    - detail.metrics.icache.joules() / outcome.initial.icache.joules().max(1e-30);
+                Row {
+                    name: w.name,
+                    saving: outcome.energy_saving_percent().expect("saving"),
+                    time_change: outcome.time_change_percent().expect("change"),
+                    geq: detail.metrics.geq.cells(),
+                    icache_drop,
+                }
+            })
+            .collect()
+    })
 }
 
 #[test]
@@ -52,7 +62,7 @@ fn table1_qualitative_shape_reproduced() {
     let rows = run_rows();
     assert_eq!(rows.len(), 6);
 
-    for r in &rows {
+    for r in rows {
         // "high reductions of power consumption between 35% and 94%"
         // (abstract); we allow a ±4pp calibration margin on the band.
         assert!(
@@ -73,7 +83,7 @@ fn table1_qualitative_shape_reproduced() {
 
     // "maintaining or even slightly increasing the performance …
     // (except for one case)": five rows faster, trick slower.
-    for r in &rows {
+    for r in rows {
         if r.name == "trick" {
             assert!(
                 r.time_change > 0.0,
