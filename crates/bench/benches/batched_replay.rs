@@ -1,0 +1,124 @@
+//! Criterion benchmarks of the batched single-decode replay kernel:
+//! verifying K candidate hardware-block sets through
+//! `corepart::verify::replay_batch` (one decoded walk, K accounting
+//! lanes) against K independent `replay_run` calls (the sequential
+//! path each lane is bit-identical to).
+
+use std::collections::HashSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use corepart::prepare::{prepare, PreparedApp, Workload};
+use corepart::system::SystemConfig;
+use corepart::verify::{replay_batch, replay_run};
+use corepart_cache::hierarchy::Hierarchy;
+use corepart_ir::op::BlockId;
+use corepart_isa::simulator::{MemSink, SimConfig, Simulator};
+use corepart_isa::trace::{ReferenceTrace, TraceBuilder};
+use corepart_workloads::by_name;
+
+struct HierarchySink<'a>(&'a mut Hierarchy);
+
+impl MemSink for HierarchySink<'_> {
+    fn ifetch(&mut self, addr: u32) {
+        self.0.ifetch(addr);
+    }
+    fn read(&mut self, addr: u32) {
+        self.0.dread(addr);
+    }
+    fn write(&mut self, addr: u32) {
+        self.0.dwrite(addr);
+    }
+}
+
+fn prepared_digs(config: &SystemConfig) -> PreparedApp {
+    let w = by_name("digs").expect("digs exists");
+    prepare(
+        w.app().expect("lowers"),
+        Workload::from_arrays(w.arrays(1)),
+        config,
+    )
+    .expect("prepares")
+}
+
+fn fresh_hierarchy(config: &SystemConfig) -> Hierarchy {
+    Hierarchy::new(
+        config.icache.clone(),
+        config.dcache.clone(),
+        &config.process,
+        config.memory_bytes,
+    )
+}
+
+fn capture_trace(prepared: &PreparedApp, config: &SystemConfig) -> ReferenceTrace {
+    let mut hierarchy = fresh_hierarchy(config);
+    let mut sim =
+        Simulator::with_energy_table(&prepared.prog, &prepared.app, config.energy_table.clone());
+    for (name, data) in &prepared.workload.arrays {
+        sim.set_array(name, data).expect("workload array");
+    }
+    let mut builder = TraceBuilder::new(config.trace_cap_bytes);
+    let stats = sim
+        .run_recorded(
+            &SimConfig::initial(config.max_cycles),
+            &mut HierarchySink(&mut hierarchy),
+            &mut builder,
+        )
+        .expect("runs");
+    builder.finish(stats.return_value).expect("fits the cap")
+}
+
+/// Deterministic candidate k: cluster i is hardware iff bit `i % 4` of
+/// `k` is set — tiles the all-software through denser mixes exactly as
+/// `baseline_perf` does.
+fn candidate_set(prepared: &PreparedApp, k: usize) -> HashSet<BlockId> {
+    prepared
+        .chain
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| (k >> (i % 4)) & 1 == 1)
+        .flat_map(|(_, cluster)| cluster.blocks.iter().copied())
+        .collect()
+}
+
+fn bench_batched_replay(c: &mut Criterion) {
+    let config = SystemConfig::new();
+    let prepared = prepared_digs(&config);
+    let trace = capture_trace(&prepared, &config);
+
+    for k in [1usize, 4, 16] {
+        let candidates: Vec<HashSet<BlockId>> =
+            (0..k).map(|i| candidate_set(&prepared, i)).collect();
+
+        c.bench_function(&format!("batched-replay/digs/k{k}"), |b| {
+            b.iter(|| {
+                replay_batch(
+                    &prepared,
+                    &config,
+                    std::hint::black_box(&trace),
+                    &candidates,
+                )
+                .expect("replays")
+            })
+        });
+
+        c.bench_function(&format!("sequential-replay/digs/k{k}"), |b| {
+            b.iter(|| {
+                candidates
+                    .iter()
+                    .map(|hw| {
+                        replay_run(&prepared, &config, std::hint::black_box(&trace), hw)
+                            .expect("replays")
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_batched_replay
+}
+criterion_main!(benches);

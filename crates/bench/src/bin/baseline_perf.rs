@@ -13,12 +13,14 @@
 //! On top of the A5 table, the binary measures the trace-replay
 //! verification engine on every application — direct instruction-set
 //! simulation of the chosen partition versus a replay of the captured
-//! reference trace, checked bit-identical — and times an 8-point
-//! hardware-weight sweep on `mpg` and `engine` two ways: the seed's
-//! sequential path (fresh preparation, baseline simulation and
-//! schedule cache per configuration, one thread) against the shared,
-//! parallel [`explore`] engine. Everything lands in
-//! `BENCH_partition.json`.
+//! reference trace, checked bit-identical — plus the batched replay
+//! kernel (K candidates per decoded-trace walk versus K one-candidate
+//! replays, K ∈ {1, 4, 16}), and times an 8-point hardware-weight
+//! sweep on every application two ways: the seed's sequential path
+//! (fresh preparation, baseline simulation and schedule cache per
+//! configuration, one thread) against the shared, parallel [`explore`]
+//! engine. Every section records the thread count it actually used.
+//! Everything lands in `BENCH_partition.json`.
 //!
 //! ```text
 //! cargo run --release -p corepart-bench --bin baseline_perf [app]
@@ -44,7 +46,7 @@ use corepart::parallel::resolve_threads;
 use corepart::partition::{PartitionOutcome, Partitioner};
 use corepart::prepare::{PreparedApp, Workload};
 use corepart::system::SystemConfig;
-use corepart::verify::replay_run;
+use corepart::verify::{replay_batch, replay_run};
 use corepart_bench::SEED;
 use corepart_tech::units::GateEq;
 use corepart_workloads::{all, by_name, PaperWorkload};
@@ -217,11 +219,96 @@ fn measure_verify(
     );
     Some(format!(
         concat!(
-            "\"verify\":{{\"direct_nanos\":{},\"replay_nanos\":{},",
+            "\"verify\":{{\"threads\":1,\"direct_nanos\":{},\"replay_nanos\":{},",
             "\"speedup\":{:.4},\"identical\":{}}}"
         ),
         direct_nanos, replay_nanos, speedup, identical
     ))
+}
+
+/// Deterministic hardware-block set k over the application's cluster
+/// chain: cluster `i` goes to hardware iff bit `i mod 4` of `k` is
+/// set, so k = 0..16 tiles every 4-bit pattern over the chain (empty
+/// through all-hardware).
+fn candidate_set(prepared: &PreparedApp, k: usize) -> HashSet<BlockId> {
+    prepared
+        .chain
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| (k >> (i % 4)) & 1 == 1)
+        .flat_map(|(_, cluster)| cluster.blocks.iter().copied())
+        .collect()
+}
+
+/// Times the batched replay kernel against K sequential `replay_run`
+/// calls at K ∈ {1, 4, 16} on deterministic candidate sets, checking
+/// the lanes bit-identical. Returns one `"batch"` JSON row per K, or
+/// `None` when the capture was unavailable.
+fn measure_batch(
+    prepared: &PreparedApp,
+    config: &SystemConfig,
+    partitioner: &Partitioner<'_>,
+    name: &str,
+) -> Option<Vec<String>> {
+    const REPS: usize = 3;
+    let engine = partitioner.replay_engine()?;
+    let trace = engine.trace();
+
+    let mut rows = Vec::new();
+    for k in [1usize, 4, 16] {
+        let candidates: Vec<HashSet<BlockId>> =
+            (0..k).map(|i| candidate_set(prepared, i)).collect();
+
+        let mut seq_nanos = u128::MAX;
+        let mut sequential = None;
+        for _ in 0..REPS {
+            let started = Instant::now();
+            let runs: Vec<_> = candidates
+                .iter()
+                .map(|hw| replay_run(prepared, config, trace, hw).expect("sequential replay"))
+                .collect();
+            seq_nanos = seq_nanos.min(started.elapsed().as_nanos());
+            sequential = Some(runs);
+        }
+
+        let mut batch_nanos = u128::MAX;
+        let mut batched = None;
+        for _ in 0..REPS {
+            let started = Instant::now();
+            let runs = replay_batch(prepared, config, trace, &candidates).expect("batched replay");
+            batch_nanos = batch_nanos.min(started.elapsed().as_nanos());
+            batched = Some(runs);
+        }
+
+        let identical = sequential == batched;
+        let speedup = seq_nanos as f64 / batch_nanos.max(1) as f64;
+        println!(
+            "{:<8} {:>4} {:>14.3} {:>14.3} {:>8.2}x {:>10}",
+            name,
+            k,
+            seq_nanos as f64 / k as f64 / 1e6,
+            batch_nanos as f64 / k as f64 / 1e6,
+            speedup,
+            identical
+        );
+        rows.push(format!(
+            concat!(
+                "{{\"app\":\"{}\",\"k\":{},\"threads\":1,",
+                "\"seq_nanos\":{},\"batch_nanos\":{},",
+                "\"seq_per_candidate_nanos\":{},\"batch_per_candidate_nanos\":{},",
+                "\"speedup\":{:.4},\"identical\":{}}}"
+            ),
+            name,
+            k,
+            seq_nanos,
+            batch_nanos,
+            seq_nanos / k as u128,
+            batch_nanos / k as u128,
+            speedup,
+            identical
+        ));
+    }
+    Some(rows)
 }
 
 fn main() {
@@ -313,6 +400,26 @@ fn main() {
         });
     }
 
+    // Batched replay kernel: per-candidate verify cost at K candidates
+    // per decoded-trace walk versus K one-candidate replays.
+    println!("\nbatched replay: K candidates per trace walk vs K sequential replays\n");
+    println!(
+        "{:<8} {:>4} {:>14} {:>14} {:>9} {:>10}",
+        "app", "K", "seq ms/cand", "batch ms/cand", "speedup", "identical"
+    );
+    let mut batch_rows: Vec<String> = Vec::new();
+    for (run, config) in &runs {
+        let app = run.w.app().expect("bundled workload lowers");
+        let workload = Workload::from_arrays(run.w.arrays(SEED));
+        let factory = Engine::new(config.clone()).expect("engine");
+        let session = factory.session(&app, &workload);
+        let prepared = session.prepared().expect("bundled workload prepares");
+        let partitioner = Partitioner::new(&session).expect("initial run");
+        if let Some(rows) = measure_batch(prepared, config, &partitioner, run.w.name) {
+            batch_rows.extend(rows);
+        }
+    }
+
     // Engine perf baseline: 8-point hardware-weight sweep, seed's
     // sequential path vs the shared, parallel engine.
     let weights = [0.0, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 16.0];
@@ -328,7 +435,7 @@ fn main() {
     );
     let sweep_apps: Vec<&'static str> = match filter.as_deref() {
         Some(name) => vec![by_name(name).expect("validated above").name],
-        None => vec!["mpg", "engine"],
+        None => all().iter().map(|w| w.name).collect(),
     };
     let mut sweep_rows: Vec<String> = Vec::new();
     for name in sweep_apps {
@@ -377,10 +484,11 @@ fn main() {
     }
 
     let json = format!(
-        "{{\"seed\":{},\"threads\":{},\"workloads\":[{}],\"sweep\":[{}]}}\n",
+        "{{\"seed\":{},\"threads\":{},\"workloads\":[{}],\"batch\":[{}],\"sweep\":[{}]}}\n",
         SEED,
         threads,
         outcome_rows.join(","),
+        batch_rows.join(","),
         sweep_rows.join(",")
     );
     let path = "BENCH_partition.json";

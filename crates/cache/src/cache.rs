@@ -101,18 +101,37 @@ pub struct Cache {
     stats: CacheStats,
     tick: u64,
     rng: u64,
+    /// `log2(line_bytes)` — geometry is validated power-of-two, so the
+    /// per-access set/tag split is a shift/mask, not three divisions.
+    line_shift: u32,
+    /// `sets - 1`.
+    set_mask: u64,
+    /// `log2(sets)`.
+    sets_shift: u32,
+    /// One-entry MRU filter: `(line_number, line_index)` of the last
+    /// read-touched line. A repeat read of the same line is a
+    /// guaranteed hit and short-circuits the way probe with state
+    /// updates identical to the full path; every install overwrites or
+    /// clears it, so the memo can never go stale.
+    last_read: Option<(u64, usize)>,
 }
 
 impl Cache {
     /// Creates an empty (all-invalid) cache.
     pub fn new(config: CacheConfig) -> Self {
         let lines = vec![Line::default(); config.sets() * config.associativity()];
+        let line_shift = config.line_bytes().trailing_zeros();
+        let sets = config.sets() as u64;
         Cache {
+            line_shift,
+            set_mask: sets - 1,
+            sets_shift: sets.trailing_zeros(),
             config,
             lines,
             stats: CacheStats::default(),
             tick: 0,
             rng: 0x9E37_79B9_7F4A_7C15,
+            last_read: None,
         }
     }
 
@@ -131,12 +150,14 @@ impl Cache {
         self.lines.iter_mut().for_each(|l| *l = Line::default());
         self.stats = CacheStats::default();
         self.tick = 0;
+        self.last_read = None;
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u32) -> (usize, u64) {
-        let line = addr as u64 / self.config.line_bytes() as u64;
-        let set = (line % self.config.sets() as u64) as usize;
-        let tag = line / self.config.sets() as u64;
+        let line = (addr as u64) >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.sets_shift;
         (set, tag)
     }
 
@@ -150,12 +171,36 @@ impl Cache {
     }
 
     /// Performs a read (or instruction-fetch) reference.
+    #[inline]
     pub fn read(&mut self, addr: u32) -> AccessOutcome {
         self.stats.reads += 1;
+        let line_no = (addr as u64) >> self.line_shift;
+        if let Some((memo, idx)) = self.last_read {
+            if memo == line_no {
+                // Repeat read of the last-touched line: a guaranteed
+                // hit (nothing installed since, or the memo would have
+                // been overwritten), with exactly the state updates of
+                // the full probe below.
+                self.tick += 1;
+                if self.config.replacement() == Replacement::Lru {
+                    self.lines[idx].stamp = self.tick;
+                }
+                self.stats.read_hits += 1;
+                return AccessOutcome {
+                    hit: true,
+                    filled: false,
+                    wrote_back: false,
+                    next_level_write: false,
+                    prefetched: false,
+                    prefetch_wrote_back: false,
+                };
+            }
+        }
         self.access(addr, false)
     }
 
     /// Performs a write reference.
+    #[inline]
     pub fn write(&mut self, addr: u32) -> AccessOutcome {
         self.stats.writes += 1;
         self.access(addr, true)
@@ -166,6 +211,7 @@ impl Cache {
         let (set, tag) = self.set_and_tag(addr);
         let ways = self.config.associativity();
         let base = set * ways;
+        let line_no = (addr as u64) >> self.line_shift;
 
         // Hit?
         for w in 0..ways {
@@ -186,6 +232,9 @@ impl Cache {
                     }
                 } else {
                     self.stats.read_hits += 1;
+                    // A write hit moves no line, so an existing memo
+                    // stays valid; a read hit becomes the new memo.
+                    self.last_read = Some((line_no, base + w));
                 }
                 return AccessOutcome {
                     hit: true,
@@ -200,7 +249,8 @@ impl Cache {
 
         // Miss.
         if is_write && self.config.write_policy() == WritePolicy::WriteThrough {
-            // No write-allocate: the word goes straight to memory.
+            // No write-allocate: the word goes straight to memory and
+            // no line moves, so the read memo stays valid.
             self.stats.write_throughs += 1;
             return AccessOutcome {
                 hit: false,
@@ -213,7 +263,7 @@ impl Cache {
         }
 
         let dirty = is_write && self.config.write_policy() == WritePolicy::WriteBack;
-        let wrote_back = self.install_line(set, tag, dirty);
+        let (victim, wrote_back) = self.install_line(set, tag, dirty);
         self.stats.fills += 1;
 
         // Next-line prefetch on read misses.
@@ -222,11 +272,20 @@ impl Cache {
             let next_addr = addr.wrapping_add(self.config.line_bytes() as u32);
             let (nset, ntag) = self.set_and_tag(next_addr);
             if !self.present(nset, ntag) {
-                prefetch_wrote_back = self.install_line(nset, ntag, false);
+                prefetch_wrote_back = self.install_line(nset, ntag, false).1;
                 self.stats.prefetch_fills += 1;
                 prefetched = true;
             }
         }
+
+        // Any install may have victimized the memoized line; point the
+        // memo at the freshly filled demand line, or drop it when a
+        // prefetch install (which can land anywhere) followed.
+        self.last_read = if is_write || prefetched {
+            None
+        } else {
+            Some((line_no, base + victim))
+        };
 
         AccessOutcome {
             hit: false,
@@ -236,6 +295,44 @@ impl Cache {
             prefetched,
             prefetch_wrote_back,
         }
+    }
+
+    /// Whether the line containing `addr` is resident (a read of it
+    /// would hit). Pure query — no state or statistics change.
+    #[inline]
+    pub fn line_resident(&self, addr: u32) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.present(set, tag)
+    }
+
+    /// Applies `count` consecutive read hits to the (resident) line
+    /// containing `addr` in one step: the final cache state and
+    /// statistics are exactly those of `count` [`Cache::read`] calls —
+    /// each would hit, bump the tick and restamp the same line, so only
+    /// the last stamp survives.
+    ///
+    /// # Panics
+    ///
+    /// When the line is not resident (the caller must have checked
+    /// [`Cache::line_resident`]).
+    #[inline]
+    pub fn read_hits_same_line(&mut self, addr: u32, count: u64) {
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = self.config.associativity();
+        let base = set * ways;
+        let way = (0..ways)
+            .find(|&w| {
+                let l = &self.lines[base + w];
+                l.valid && l.tag == tag
+            })
+            .expect("read_hits_same_line on a non-resident line");
+        self.stats.reads += count;
+        self.stats.read_hits += count;
+        self.tick += count;
+        if self.config.replacement() == Replacement::Lru {
+            self.lines[base + way].stamp = self.tick;
+        }
+        self.last_read = Some(((addr as u64) >> self.line_shift, base + way));
     }
 
     fn present(&self, set: usize, tag: u64) -> bool {
@@ -248,8 +345,8 @@ impl Cache {
     }
 
     /// Victimizes a way in `set` and installs `(tag, dirty)`. Returns
-    /// whether a dirty line was written back.
-    fn install_line(&mut self, set: usize, tag: u64, dirty: bool) -> bool {
+    /// the victim way and whether a dirty line was written back.
+    fn install_line(&mut self, set: usize, tag: u64, dirty: bool) -> (usize, bool) {
         let ways = self.config.associativity();
         let base = set * ways;
         let victim = (0..ways)
@@ -269,7 +366,7 @@ impl Cache {
         line.tag = tag;
         line.dirty = dirty;
         line.stamp = self.tick;
-        wrote_back
+        (victim, wrote_back)
     }
 }
 

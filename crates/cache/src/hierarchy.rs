@@ -137,6 +137,7 @@ impl Hierarchy {
     }
 
     /// An instruction fetch.
+    #[inline]
     pub fn ifetch(&mut self, addr: u32) {
         let out = self.icache.read(addr);
         if out.hit {
@@ -161,6 +162,7 @@ impl Hierarchy {
     }
 
     /// A data read.
+    #[inline]
     pub fn dread(&mut self, addr: u32) {
         let out = self.dcache.read(addr);
         if out.hit {
@@ -181,6 +183,7 @@ impl Hierarchy {
     }
 
     /// A data write.
+    #[inline]
     pub fn dwrite(&mut self, addr: u32) {
         let out = self.dcache.write(addr);
         if out.hit {
@@ -207,6 +210,43 @@ impl Hierarchy {
                 self.mem_writes += 1;
             }
         }
+    }
+
+    /// Attempts `count` consecutive word fetches (`addr`, `addr + 4`,
+    /// …) as one batch. Succeeds — returning `true` — only when every
+    /// touched i-cache line is already resident, in which case each
+    /// fetch is a guaranteed hit: the i-cache state advances exactly as
+    /// `count` [`Hierarchy::ifetch`] calls would and the hit energy is
+    /// added once per fetch, in order, to the i-cache accumulator. No
+    /// shared-accumulator event (memory energy, stalls) can fire on a
+    /// hit, so the batch is bit-identical to the call-by-call sequence.
+    /// On `false` nothing was touched.
+    #[inline]
+    pub fn ifetch_run_hits(&mut self, addr: u32, count: u32) -> bool {
+        if count == 0 {
+            return true;
+        }
+        let line_bytes = self.icache.config().line_bytes() as u32;
+        let end = addr + 4 * count;
+        let mut probe = addr;
+        while probe < end {
+            if !self.icache.line_resident(probe) {
+                return false;
+            }
+            probe = (probe & !(line_bytes - 1)) + line_bytes;
+        }
+        let hit_energy = self.i_model.read_hit();
+        let mut at = addr;
+        while at < end {
+            let line_end = ((at & !(line_bytes - 1)) + line_bytes).min(end);
+            let words = ((line_end - at) / 4) as u64;
+            self.icache.read_hits_same_line(at, words);
+            for _ in 0..words {
+                self.i_energy += hit_energy;
+            }
+            at = line_end;
+        }
+        true
     }
 
     fn charge_writeback(&mut self) {

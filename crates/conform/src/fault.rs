@@ -14,6 +14,10 @@
 //! * **truncated-trace** — a capture whose tail was cut *and*
 //!   re-fingerprinted (so validation alone cannot see the damage) is
 //!   still rejected by replay's event-conservation check;
+//! * **batch-corrupt** — a batched replay over a damaged capture fails
+//!   the *whole batch* with [`SimError::TraceCorrupt`]: no panic and
+//!   no partial lane results, even when some lanes alone would have
+//!   replayed cleanly;
 //! * **cache-evict** — recomputing an evicted schedule-cache entry
 //!   reproduces the cached [`ScheduledCluster`] exactly;
 //! * **cache-poison** — a deliberately wrong cache entry is returned
@@ -31,8 +35,9 @@ use corepart::evaluate::{evaluate_initial_captured, Partition};
 use corepart::flow::DesignFlow;
 use corepart::partition::{schedule_key, Partitioner};
 use corepart::prepare::Workload;
-use corepart::verify::replay_run;
+use corepart::verify::{replay_batch, replay_run};
 use corepart_ir::cdfg::Application;
+use corepart_ir::op::BlockId;
 use corepart_isa::simulator::SimError;
 use corepart_sched::cache::ScheduledCluster;
 
@@ -207,6 +212,33 @@ fn trace_damage(app: &Application, workload: &Workload) -> Vec<Violation> {
             Ok(Err(other)) => violations.push(err(
                 "truncated-trace",
                 format!("replay failed with {other} instead of TraceCorrupt"),
+            )),
+        }
+
+        // The batched kernel must reject the damaged capture wholesale:
+        // one typed error for the whole batch, never partial lanes —
+        // even though the all-software lane alone replays cleanly on an
+        // undamaged trace.
+        let all_blocks: std::collections::HashSet<BlockId> = (0..prepared.app.blocks().len())
+            .map(|b| BlockId(b as u32))
+            .collect();
+        let candidates = vec![hw_blocks.clone(), all_blocks];
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            replay_batch(prepared, config, &truncated, &candidates)
+        }));
+        match outcome {
+            Err(_) => violations.push(err(
+                "batch-corrupt",
+                "batched replay of a truncated capture panicked".to_string(),
+            )),
+            Ok(Ok(_)) => violations.push(err(
+                "batch-corrupt",
+                "batched replay of a truncated capture produced lane results".to_string(),
+            )),
+            Ok(Err(SimError::TraceCorrupt { .. })) => {}
+            Ok(Err(other)) => violations.push(err(
+                "batch-corrupt",
+                format!("batched replay failed with {other} instead of TraceCorrupt"),
             )),
         }
     }

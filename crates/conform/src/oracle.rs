@@ -21,6 +21,9 @@
 //!   hardware never changes the executed instruction stream: block
 //!   entry counts and the return value match the all-software baseline
 //!   for every hardware-block set;
+//! * **batch-vs-sequential** — verifying K candidate hardware-block
+//!   sets through the batched single-decode replay kernel equals K
+//!   one-candidate replays, lane for lane and bit for bit;
 //! * **of-monotone** (metamorphic) — the objective function is
 //!   strictly increasing in `F` (energy is positive) and
 //!   non-decreasing in `G` (strictly when the design carries extra
@@ -40,6 +43,7 @@ use corepart::objective::Objective;
 use corepart::partition::{PartitionOutcome, Partitioner};
 use corepart::prepare::Workload;
 use corepart::system::{DesignMetrics, SystemConfig};
+use corepart::verify::{replay_batch, replay_run};
 use corepart_ir::cdfg::Application;
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
@@ -254,6 +258,9 @@ pub fn check_lowered(app: &Application, workload: &Workload) -> Vec<Violation> {
     // Oracle: hardware moves never change the executed stream.
     violations.extend(stream_invariance(&partitioner));
 
+    // Oracle: batched replay == K sequential replays, lane for lane.
+    violations.extend(batch_vs_sequential(&partitioner));
+
     // Oracle: OF monotone in F and G over the observed designs.
     let mut observed: Vec<&DesignMetrics> = vec![&shared[1].initial];
     for outcome in &shared {
@@ -323,6 +330,68 @@ fn stream_invariance(partitioner: &Partitioner<'_>) -> Vec<Violation> {
                 format!("replay of cluster {:?} failed: {e}", cluster.id),
             )),
         }
+    }
+    violations
+}
+
+/// Differential: the batched single-decode replay kernel is
+/// bit-identical to the one-candidate replay path for a K-candidate
+/// batch mixing the empty set, the first few cluster sets, and their
+/// union — the shared decode and interleaved per-lane accounting must
+/// not perturb a single f64 in any lane.
+fn batch_vs_sequential(partitioner: &Partitioner<'_>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let Some(engine) = partitioner.replay_engine() else {
+        // Capture overflowed the cap: no trace to batch over.
+        return violations;
+    };
+    let prepared = partitioner.prepared();
+    let config = partitioner.config();
+    let trace = engine.trace();
+
+    let mut candidates: Vec<HashSet<_>> = vec![HashSet::new()];
+    let mut union = HashSet::new();
+    for cluster in prepared.chain.iter().take(3) {
+        let hw: HashSet<_> = cluster.blocks.iter().copied().collect();
+        union.extend(hw.iter().copied());
+        candidates.push(hw);
+    }
+    candidates.push(union);
+
+    match replay_batch(prepared, config, trace, &candidates) {
+        Ok(batched) => {
+            if batched.len() != candidates.len() {
+                violations.push(Violation::new(
+                    "batch-vs-sequential",
+                    format!(
+                        "batch of {} candidates returned {} lanes",
+                        candidates.len(),
+                        batched.len()
+                    ),
+                ));
+                return violations;
+            }
+            for (i, (hw, got)) in candidates.iter().zip(&batched).enumerate() {
+                match replay_run(prepared, config, trace, hw) {
+                    Ok(sequential) => {
+                        if sequential != *got {
+                            violations.push(Violation::new(
+                                "batch-vs-sequential",
+                                format!("batched lane {i} diverged from its sequential replay"),
+                            ));
+                        }
+                    }
+                    Err(e) => violations.push(Violation::new(
+                        "batch-vs-sequential",
+                        format!("sequential replay of lane {i} failed: {e}"),
+                    )),
+                }
+            }
+        }
+        Err(e) => violations.push(Violation::new(
+            "batch-vs-sequential",
+            format!("batched replay failed: {e}"),
+        )),
     }
     violations
 }

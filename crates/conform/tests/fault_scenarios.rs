@@ -12,8 +12,9 @@ use corepart::flow::DesignFlow;
 use corepart::partition::{schedule_key, Partitioner};
 use corepart::prepare::Workload;
 use corepart::system::SystemConfig;
-use corepart::verify::replay_run;
+use corepart::verify::{replay_batch, replay_run};
 use corepart_ir::lower::lower;
+use corepart_ir::op::BlockId;
 use corepart_ir::parser::parse;
 use corepart_isa::simulator::SimError;
 use corepart_isa::trace::ReferenceTrace;
@@ -125,6 +126,51 @@ fn truncated_trace_fails_event_conservation() {
     }
     .into();
     assert!(wrapped.to_string().contains("reference trace corrupt"));
+}
+
+#[test]
+fn truncated_trace_fails_the_whole_batch() {
+    let engine = Engine::new(SystemConfig::new()).unwrap();
+    let (trace, application, load) = captured(&engine);
+    let session = engine.session(&application, &load);
+    let prepared = session.prepared().unwrap();
+    let config = session.config();
+
+    let mut truncated = trace.clone();
+    assert!(truncated.truncate_pcs(3) > 0, "pc stream has bytes to cut");
+    truncated.refingerprint();
+    assert!(truncated.validate().is_ok());
+
+    // One all-software lane plus an all-hardware lane: the batched
+    // kernel must reject the damaged capture wholesale with the typed
+    // error — no panic, no partial lane results — even though each
+    // lane alone replays cleanly on the undamaged capture.
+    let all_blocks: HashSet<BlockId> = (0..prepared.app.blocks().len())
+        .map(|b| BlockId(b as u32))
+        .collect();
+    let candidates = vec![HashSet::new(), all_blocks];
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        replay_batch(prepared, config, &truncated, &candidates)
+    }));
+    match outcome {
+        Ok(Err(SimError::TraceCorrupt { detail })) => {
+            assert!(detail.contains("recorded"), "got: {detail}");
+        }
+        Ok(Ok(_)) => panic!("batched replay of a truncated capture produced lane results"),
+        Ok(Err(other)) => panic!("expected TraceCorrupt, got {other}"),
+        Err(_) => panic!("batched replay of a truncated capture panicked"),
+    }
+
+    // The same batch over the undamaged capture verifies every lane.
+    let clean = replay_batch(prepared, config, &trace, &candidates).unwrap();
+    assert_eq!(clean.len(), candidates.len());
+    for (hw, lane) in candidates.iter().zip(&clean) {
+        assert_eq!(
+            replay_run(prepared, config, &trace, hw).unwrap(),
+            *lane,
+            "clean batch lane diverged from sequential replay"
+        );
+    }
 }
 
 /// The feasible single-cluster partitions of the first candidate,

@@ -219,6 +219,14 @@ pub struct SessionStats {
     pub replays: u64,
     /// Verifications served by the replay memo without replaying.
     pub replay_hits: u64,
+    /// Batched replay walks executed (each verifies K candidate sets
+    /// in one pass over the decoded trace).
+    pub batched_replays: u64,
+    /// Trace events whose decode was shared instead of repeated:
+    /// `events × (lanes − 1)`, summed over batches.
+    pub batch_events_shared: u64,
+    /// Wall time spent inside batched replay walks, nanoseconds.
+    pub batch_nanos: u64,
 }
 
 /// One partitioning session: an `(Application, Workload,
@@ -448,6 +456,9 @@ impl<'e> Session<'e> {
             schedule_cache_misses: cache.map_or(0, |c| c.misses()),
             replays: replay.map_or(0, |r| r.replays()),
             replay_hits: replay.map_or(0, |r| r.hits()),
+            batched_replays: replay.map_or(0, |r| r.batches()),
+            batch_events_shared: replay.map_or(0, |r| r.batch_events_shared()),
+            batch_nanos: replay.map_or(0, |r| r.batch_nanos()),
         }
     }
 }

@@ -98,6 +98,9 @@ impl MemSink for HierarchySink<'_> {
     fn write(&mut self, addr: u32) {
         self.0.dwrite(addr);
     }
+    fn ifetch_run_hits(&mut self, addr: u32, count: u32) -> bool {
+        self.0.ifetch_run_hits(addr, count)
+    }
 }
 
 fn run_iss(

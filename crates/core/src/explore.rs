@@ -19,9 +19,11 @@
 //! ([`crate::parallel::par_map`]) with results folded in configuration
 //! order, so a sweep's points are bit-identical for any thread count.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 use corepart_ir::cdfg::Application;
+use corepart_ir::op::BlockId;
 use corepart_tech::units::{Cycles, Energy, GateEq};
 
 use crate::engine::Engine;
@@ -30,6 +32,7 @@ use crate::parallel::par_map;
 use crate::partition::Partitioner;
 use crate::prepare::Workload;
 use crate::system::SystemConfig;
+use crate::verify::ReplayEngine;
 
 /// One explored design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -203,13 +206,54 @@ pub fn explore(
         sessions.push(engine.session_with_config(app, workload, config.clone())?);
     }
 
-    // One search per configuration, folded back in configuration
-    // order.
-    let outcomes = par_map(&sessions, engine.threads(), |_, session| {
-        Partitioner::new(session)?.run()
+    // Phase 1: one *search* per configuration — pre-selection,
+    // estimate grid, greedy growth, no verification — in parallel,
+    // folded back in configuration order.
+    let phases = par_map(&sessions, engine.threads(), |_, session| {
+        let partitioner = Partitioner::new(session)?;
+        let phase = partitioner.search()?;
+        Ok::<_, CorepartError>((partitioner, phase))
     });
 
-    // Assemble the points.
+    // Phase 2: verify every configuration's winner through the
+    // batched replay kernel — one walk of the decoded trace per
+    // shared replay engine, however many configurations share it (a
+    // factor sweep shares one baseline, so its K winners cost one
+    // decode + one K-lane walk instead of K streaming replays).
+    // Verification *results* are published through each engine's memo;
+    // batch errors are dropped here because each configuration's
+    // `finish` below reproduces its own error through the normal
+    // evaluation path, in configuration order.
+    // One entry per shared replay engine: the engine, any member
+    // configuration, and every member's winning hardware-block set.
+    type WinnerGroup<'a> = (
+        &'a Arc<ReplayEngine>,
+        &'a SystemConfig,
+        Vec<HashSet<BlockId>>,
+    );
+    let mut groups: Vec<WinnerGroup> = Vec::new();
+    for (partitioner, phase) in phases.iter().filter_map(|r| r.as_ref().ok()) {
+        let (Some(best), Some(replay)) = (phase.best(), partitioner.replay_engine()) else {
+            continue;
+        };
+        let set = partitioner.hw_set_of(&best.partition);
+        // Sessions share a replay engine only when their baseline
+        // fingerprints agree, which covers every configuration field
+        // the replay consumes — any group member's config verifies
+        // every member's winner identically.
+        match groups.iter_mut().find(|(e, _, _)| Arc::ptr_eq(e, replay)) {
+            Some((_, _, sets)) => sets.push(set),
+            None => groups.push((replay, partitioner.config(), vec![set])),
+        }
+    }
+    for (replay, config, sets) in groups {
+        let _ = replay.verify_batch(config, &sets);
+    }
+
+    // Phase 3: close each search (a memo hit when phase 2 pre-seeded
+    // the winner) and assemble the points, both in configuration
+    // order — errors surface per configuration exactly as the
+    // sequential one-run-per-config loop raised them.
     let first_initial = &sessions[0].baseline()?.metrics;
     let base = first_initial.total_energy();
     let mut points = Vec::with_capacity(configs.len() + 1);
@@ -221,8 +265,9 @@ pub fn explore(
         saving_percent: 0.0,
         is_initial: true,
     });
-    for ((label, _), outcome) in configs.iter().zip(outcomes) {
-        let outcome = outcome?;
+    for ((label, _), result) in configs.iter().zip(phases) {
+        let (partitioner, phase) = result?;
+        let outcome = partitioner.finish(phase)?;
         let (energy, cycles, geq) = match &outcome.best {
             Some((_, detail)) => (
                 detail.metrics.total_energy(),

@@ -140,6 +140,7 @@ pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
             "\"search\":{{\"candidates\":{},\"estimated\":{},",
             "\"rejected_by_utilization\":{},\"infeasible\":{},",
             "\"growth_steps\":{},\"verifications\":{},\"replayed\":{},",
+            "\"batched_replays\":{},",
             "\"cache_hits\":{},\"cache_misses\":{},",
             "\"estimate_nanos\":{},\"growth_nanos\":{},\"verify_nanos\":{}}}}}"
         ),
@@ -153,6 +154,7 @@ pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
         s.growth_steps,
         s.verifications,
         s.replayed,
+        s.batched_replays,
         s.cache_hits,
         s.cache_misses,
         s.estimate_nanos,

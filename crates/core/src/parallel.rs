@@ -44,14 +44,18 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// thread — the parallel path produces the identical `Vec`, so callers
 /// may fold the output positionally without thinking about threading.
 ///
+/// The item reference carries the slice's own lifetime, so `f` may
+/// return values that borrow from the items (the exploration sweep
+/// returns searchers borrowing their sessions).
+///
 /// # Panics
 ///
 /// Re-raises a panic from `f` (workers are joined by the scope).
-pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+pub fn par_map<'a, T, U, F>(items: &'a [T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
-    F: Fn(usize, &T) -> U + Sync,
+    F: Fn(usize, &'a T) -> U + Sync,
 {
     let threads = threads.max(1).min(items.len());
     if threads <= 1 {

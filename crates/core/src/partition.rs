@@ -101,6 +101,10 @@ pub struct SearchStats {
     /// Verifications served by the trace-replay engine instead of a
     /// fresh instruction-set simulation.
     pub replayed: usize,
+    /// Batched replay walks run on this search's behalf (each walk
+    /// verifies every uncached candidate of a round in one pass over
+    /// the decoded trace).
+    pub batched_replays: usize,
     /// Schedule-cache lookups served from memory during this run.
     pub cache_hits: u64,
     /// Schedule-cache lookups that ran the scheduler (distinct keys).
@@ -114,10 +118,10 @@ pub struct SearchStats {
 }
 
 impl PartialEq for SearchStats {
-    /// Wall-time fields and the `replayed` mechanism counter are
-    /// excluded: two runs are equal when they computed the same
-    /// results, however long the clock said it took and whichever
-    /// (bit-identical) verification path served them.
+    /// Wall-time fields and the `replayed`/`batched_replays` mechanism
+    /// counters are excluded: two runs are equal when they computed
+    /// the same results, however long the clock said it took and
+    /// whichever (bit-identical) verification path served them.
     fn eq(&self, other: &Self) -> bool {
         self.candidates == other.candidates
             && self.estimated == other.estimated
@@ -436,15 +440,62 @@ impl<'a> Partitioner<'a> {
         }))
     }
 
+    /// The hardware-block set a partition induces: the blocks of its
+    /// clusters, in chain order — the exact set verification replays
+    /// under (and the [`crate::verify::ReplayEngine`] memo key, once
+    /// sorted).
+    pub fn hw_set_of(&self, partition: &Partition) -> HashSet<corepart_ir::op::BlockId> {
+        let mut hw = HashSet::new();
+        for &cid in &partition.clusters {
+            hw.extend(self.prepared.chain.cluster(cid).blocks.iter().copied());
+        }
+        hw
+    }
+
     /// Runs the full Fig. 1 search: pre-selection, the estimate loop
     /// over clusters × resource sets, greedy multi-cluster growth, and
     /// final verification.
+    ///
+    /// Equivalent to [`Partitioner::search`] followed by
+    /// [`Partitioner::finish`], with the winning candidate's replay
+    /// seeded through the batched kernel when a trace is available
+    /// (`explore` seeds many winners per batch; a single run's batch
+    /// has one lane — still one decode instead of a streaming parse).
     ///
     /// # Errors
     ///
     /// Simulation failures during verification (estimate-phase
     /// infeasibilities are skipped and counted instead).
     pub fn run(&self) -> Result<PartitionOutcome, CorepartError> {
+        let mut phase = self.search()?;
+        if let (Some(best), Some(engine)) = (&phase.best, &self.replay) {
+            let before = engine.batches();
+            // A batch error is deliberately dropped: `finish` re-asks
+            // the memo (per-candidate errors were cached there) or the
+            // sequential path (trace-level errors memoize nothing) and
+            // reproduces the identical error through the normal
+            // evaluation route.
+            let _ = engine.verify_batch(
+                self.config,
+                std::slice::from_ref(&self.hw_set_of(&best.partition)),
+            );
+            phase.search.batched_replays += (engine.batches() - before) as usize;
+        }
+        self.finish(phase)
+    }
+
+    /// The search half of [`Partitioner::run`] — pre-selection, the
+    /// estimate grid, greedy growth — with **no** verification: the
+    /// returned [`SearchPhase`] carries the winning estimated
+    /// candidate (if any) and the statistics so far. Callers batch the
+    /// winner's replay across many searches (see [`crate::explore()`])
+    /// before closing each phase with [`Partitioner::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Non-scheduling estimate failures (infeasibilities are counted,
+    /// not raised).
+    pub fn search(&self) -> Result<SearchPhase, CorepartError> {
         let candidates = self.candidates();
         let mut search = SearchStats {
             candidates: candidates.len(),
@@ -490,12 +541,11 @@ impl<'a> Partitioner<'a> {
         search.estimate_nanos = estimate_started.elapsed().as_nanos() as u64;
 
         let Some(mut best) = best_est else {
-            search.cache_hits = self.cache.hits() - hits_before;
-            search.cache_misses = self.cache.misses() - misses_before;
-            return Ok(PartitionOutcome {
-                initial: self.initial.clone(),
-                best: None,
+            return Ok(SearchPhase {
                 search,
+                best: None,
+                hits_before,
+                misses_before,
             });
         };
 
@@ -543,8 +593,40 @@ impl<'a> Partitioner<'a> {
         }
         search.growth_nanos = growth_started.elapsed().as_nanos() as u64;
 
-        // --- Verification (Fig. 1 lines 14-15 + the §3.5 "could the
-        // total system energy be reduced?" check). ---
+        Ok(SearchPhase {
+            search,
+            best: Some(best),
+            hits_before,
+            misses_before,
+        })
+    }
+
+    /// The verification half of [`Partitioner::run`] — Fig. 1 lines
+    /// 14–15 plus the §3.5 "could the total system energy be
+    /// reduced?" check — closing a [`SearchPhase`]. When the winner's
+    /// replay was pre-seeded by a batch, the evaluation here is a memo
+    /// hit; the outcome is bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures during verification.
+    pub fn finish(&self, phase: SearchPhase) -> Result<PartitionOutcome, CorepartError> {
+        let SearchPhase {
+            mut search,
+            best,
+            hits_before,
+            misses_before,
+        } = phase;
+        let Some(best) = best else {
+            search.cache_hits = self.cache.hits() - hits_before;
+            search.cache_misses = self.cache.misses() - misses_before;
+            return Ok(PartitionOutcome {
+                initial: self.initial.clone(),
+                best: None,
+                search,
+            });
+        };
+
         let verify_started = Instant::now();
         search.verifications += 1;
         if self.replay.is_some() {
@@ -562,6 +644,29 @@ impl<'a> Partitioner<'a> {
             best: verified_better.then_some((best.partition, detail)),
             search,
         })
+    }
+}
+
+/// The intermediate product between [`Partitioner::search`] and
+/// [`Partitioner::finish`]: the statistics accumulated so far, the
+/// winning estimated candidate (if any), and the schedule-cache
+/// counter snapshots the finish uses to compute this run's deltas.
+#[derive(Debug)]
+pub struct SearchPhase {
+    /// Statistics so far; `finish` completes the verification fields.
+    /// Public within the crate so `run`/`explore` can attribute
+    /// batched walks to the search they verified.
+    pub(crate) search: SearchStats,
+    best: Option<EstimatedCandidate>,
+    hits_before: u64,
+    misses_before: u64,
+}
+
+impl SearchPhase {
+    /// The winning estimated candidate, when the estimate phase found
+    /// one that beats the initial design.
+    pub fn best(&self) -> Option<&EstimatedCandidate> {
+        self.best.as_ref()
     }
 }
 

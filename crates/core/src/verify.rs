@@ -25,13 +25,15 @@
 //! simulation — see [`SystemConfig::trace_cap_bytes`].
 
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use corepart_cache::hierarchy::Hierarchy;
 use corepart_cache::HierarchyReport;
 use corepart_ir::op::BlockId;
 use corepart_isa::simulator::{RunStats, SimConfig, SimError};
-use corepart_isa::trace::{ReferenceTrace, TraceReplayer};
+use corepart_isa::trace::{DecodedTrace, ReferenceTrace, TraceReplayer};
 use corepart_sched::cache::MemoCache;
 
 use crate::evaluate::HierarchySink;
@@ -95,6 +97,73 @@ fn replay_with(
     })
 }
 
+/// Verifies `candidates` in one walk of the *already decoded* trace:
+/// one cache [`Hierarchy`] and one accumulator per candidate, shared
+/// stretch/address decode. Per-candidate results come back in candidate
+/// order; a trace-level failure is the top-level `Err`.
+fn batch_with(
+    replayer: &TraceReplayer,
+    decoded: &DecodedTrace,
+    config: &SystemConfig,
+    candidates: &[&HashSet<BlockId>],
+) -> Result<Vec<Result<VerifiedRun, SimError>>, SimError> {
+    let mut hierarchies: Vec<Hierarchy> = candidates
+        .iter()
+        .map(|_| {
+            Hierarchy::new(
+                config.icache.clone(),
+                config.dcache.clone(),
+                &config.process,
+                config.memory_bytes,
+            )
+        })
+        .collect();
+    let sim_configs: Vec<SimConfig> = candidates
+        .iter()
+        .map(|hw| SimConfig::partitioned(config.max_cycles, (*hw).clone()))
+        .collect();
+    let mut sinks: Vec<HierarchySink<'_>> = hierarchies.iter_mut().map(HierarchySink).collect();
+    let lanes = replayer.replay_batch(decoded, &sim_configs, &mut sinks)?;
+    drop(sinks);
+    Ok(lanes
+        .into_iter()
+        .zip(&hierarchies)
+        .map(|(lane, hierarchy)| {
+            lane.map(|stats| VerifiedRun {
+                stats,
+                report: hierarchy.report(),
+            })
+        })
+        .collect())
+}
+
+/// Replays `trace` once for K candidate hardware-block sets, uncached:
+/// validates and decodes the capture, then verifies every candidate in
+/// a single batched walk — the K-candidate generalization of
+/// [`replay_run`], bit-identical to K independent `replay_run` calls
+/// (pinned by `tests/determinism.rs` and the conform differential).
+///
+/// # Errors
+///
+/// All-or-nothing: the first failing candidate's [`SimError`] (in
+/// candidate order) fails the whole batch — a batch never returns
+/// partial results. Trace-level damage ([`SimError::TraceCorrupt`])
+/// poisons every candidate alike.
+pub fn replay_batch(
+    prepared: &PreparedApp,
+    config: &SystemConfig,
+    trace: &ReferenceTrace,
+    candidates: &[HashSet<BlockId>],
+) -> Result<Vec<VerifiedRun>, SimError> {
+    trace.validate()?;
+    let replayer = TraceReplayer::new(&prepared.prog, &prepared.app, &config.energy_table);
+    let decoded = DecodedTrace::decode(trace);
+    let refs: Vec<&HashSet<BlockId>> = candidates.iter().collect();
+    batch_with(&replayer, &decoded, config, &refs)?
+        .into_iter()
+        .collect()
+}
+
 /// A memoizing replay engine bound to one captured reference trace.
 ///
 /// The engine owns the capture, the precomputed per-pc replay table,
@@ -110,6 +179,18 @@ pub struct ReplayEngine {
     trace: Arc<ReferenceTrace>,
     replayer: TraceReplayer,
     cache: MemoCache<Vec<BlockId>, VerifiedRun, SimError>,
+    /// The trace decoded into flat event form, built lazily on the
+    /// first [`ReplayEngine::verify_batch`] and reused by every batch
+    /// after it (single-set [`ReplayEngine::verify`] streams straight
+    /// from the encoded capture and never needs it).
+    decoded: OnceLock<DecodedTrace>,
+    /// Batched walks executed.
+    batches: AtomicU64,
+    /// Trace events whose decode was *shared* instead of repeated:
+    /// `events × (lanes − 1)`, summed over batches.
+    batch_events_shared: AtomicU64,
+    /// Wall time spent inside batched walks (decode + K-lane replay).
+    batch_nanos: AtomicU64,
     /// Fingerprint validation of the capture, run once at
     /// construction; every [`ReplayEngine::verify`] refuses a trace
     /// that failed it.
@@ -128,6 +209,10 @@ impl ReplayEngine {
             validated: trace.validate(),
             trace: Arc::new(trace),
             cache: MemoCache::new(),
+            decoded: OnceLock::new(),
+            batches: AtomicU64::new(0),
+            batch_events_shared: AtomicU64::new(0),
+            batch_nanos: AtomicU64::new(0),
         }
     }
 
@@ -156,6 +241,95 @@ impl ReplayEngine {
         })
     }
 
+    /// Verifies K candidate hardware-block sets with at most **one**
+    /// walk of the trace, memo-integrated: candidates whose sorted set
+    /// is already memoized (and duplicates within `candidates`) are
+    /// served from the cache as ordinary hits; only the remaining
+    /// first-occurrence sets enter the batched walk, whose per-lane
+    /// results are then published through the memo (each charged as
+    /// one miss — the counters read exactly as if the candidates had
+    /// been verified sequentially).
+    ///
+    /// Results come back in candidate order and are bit-identical to
+    /// K separate [`ReplayEngine::verify`] calls.
+    ///
+    /// # Errors
+    ///
+    /// All-or-nothing, like the sequential path would fail: the first
+    /// failing candidate's [`SimError`] (in candidate order) fails the
+    /// whole call. A trace-level failure (damaged capture) fails the
+    /// batch before anything is memoized; a per-candidate failure
+    /// ([`SimError::CycleLimit`]) is memoized for its set, exactly as
+    /// [`ReplayEngine::verify`] caches it.
+    pub fn verify_batch(
+        &self,
+        config: &SystemConfig,
+        candidates: &[HashSet<BlockId>],
+    ) -> Result<Vec<Arc<VerifiedRun>>, SimError> {
+        self.validated.clone()?;
+        let keys: Vec<Vec<BlockId>> = candidates
+            .iter()
+            .map(|hw| {
+                let mut key: Vec<BlockId> = hw.iter().copied().collect();
+                key.sort_unstable();
+                key
+            })
+            .collect();
+
+        // Plan: only the first occurrence of each not-yet-memoized set
+        // earns a batch lane. `peek` charges no counters — the
+        // `get_or_compute` below does the hit/miss accounting.
+        let mut seen: HashSet<&[BlockId]> = HashSet::new();
+        let fresh: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, key)| seen.insert(key.as_slice()) && self.cache.peek(key).is_none())
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut lane_results: Vec<Option<Result<VerifiedRun, SimError>>> =
+            candidates.iter().map(|_| None).collect();
+        if !fresh.is_empty() {
+            let started = Instant::now();
+            let decoded = self
+                .decoded
+                .get_or_init(|| DecodedTrace::decode(&self.trace));
+            let sets: Vec<&HashSet<BlockId>> = fresh.iter().map(|&i| &candidates[i]).collect();
+            // A trace-level `Err` here aborts before anything is
+            // memoized: the damage poisons every candidate alike.
+            let lanes = batch_with(&self.replayer, decoded, config, &sets)?;
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.batch_events_shared.fetch_add(
+                decoded.events() * (sets.len() as u64 - 1),
+                Ordering::Relaxed,
+            );
+            self.batch_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            for (&i, lane) in fresh.iter().zip(lanes) {
+                lane_results[i] = Some(lane);
+            }
+        }
+
+        let mut out = Vec::with_capacity(candidates.len());
+        for ((i, key), lane) in keys.into_iter().enumerate().zip(&mut lane_results) {
+            let entry = match lane.take() {
+                // A batch lane publishes its result as this key's one
+                // miss; under a racing sequential verify the memo's
+                // first writer wins and this lane is a hit — either
+                // way the value is bit-identical.
+                Some(result) => self.cache.get_or_compute(key, || result),
+                // Memoized (or duplicate-in-batch) set: an ordinary
+                // hit. Recompute sequentially only if it raced away
+                // (conform's evict hook can do that).
+                None => self.cache.get_or_compute(key, || {
+                    replay_with(&self.replayer, &self.trace, config, &candidates[i])
+                }),
+            };
+            out.push(entry?);
+        }
+        Ok(out)
+    }
+
     /// Replays actually executed (= distinct hardware-block sets seen).
     pub fn replays(&self) -> u64 {
         self.cache.misses()
@@ -164,6 +338,22 @@ impl ReplayEngine {
     /// Verifications served from the memo without replaying.
     pub fn hits(&self) -> u64 {
         self.cache.hits()
+    }
+
+    /// Batched walks executed by [`ReplayEngine::verify_batch`].
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Trace events whose decode was shared instead of repeated,
+    /// summed over batches: `events × (lanes − 1)` per batch.
+    pub fn batch_events_shared(&self) -> u64 {
+        self.batch_events_shared.load(Ordering::Relaxed)
+    }
+
+    /// Wall time spent inside batched walks.
+    pub fn batch_nanos(&self) -> u64 {
+        self.batch_nanos.load(Ordering::Relaxed)
     }
 }
 

@@ -36,6 +36,20 @@ pub trait MemSink {
     fn read(&mut self, addr: u32);
     /// A data write to `addr`.
     fn write(&mut self, addr: u32);
+
+    /// Offers `count` consecutive word fetches (`addr`, `addr + 4`, …)
+    /// as one batch. A sink accepts — returning `true` — only when it
+    /// can prove the grouped delivery is observably identical to
+    /// `count` interleaved [`MemSink::ifetch`] calls (a cache sink: all
+    /// touched lines resident, so every fetch is a hit and no
+    /// shared-accumulator event fires). On `false` the sink must be
+    /// left untouched; the caller then delivers fetch by fetch.
+    ///
+    /// The default declines, so plain sinks keep the exact call
+    /// sequence.
+    fn ifetch_run_hits(&mut self, _addr: u32, _count: u32) -> bool {
+        false
+    }
 }
 
 /// A sink that drops all references (pure-core runs).
@@ -46,6 +60,10 @@ impl MemSink for NullSink {
     fn ifetch(&mut self, _addr: u32) {}
     fn read(&mut self, _addr: u32) {}
     fn write(&mut self, _addr: u32) {}
+    fn ifetch_run_hits(&mut self, _addr: u32, _count: u32) -> bool {
+        // Dropping a batch is indistinguishable from dropping each.
+        true
+    }
 }
 
 /// Observer of the *executed* instruction stream, independent of any

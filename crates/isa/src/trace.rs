@@ -520,6 +520,98 @@ struct PcInfo {
     access: AccessKind,
 }
 
+/// A [`ReferenceTrace`] decoded once into flat in-memory form, ready
+/// to be walked any number of times without re-parsing the varint/RLE
+/// encoding: one `(start, length)` pair per sequential stretch
+/// (structure-of-arrays) plus the raw data-address records.
+///
+/// Decoding is the per-candidate cost that
+/// [`TraceReplayer::replay_batch`] amortizes: K candidates share one
+/// decoded walk instead of K decodes of the encoded streams.
+#[derive(Debug, Clone)]
+pub struct DecodedTrace {
+    starts: Vec<u32>,
+    lens: Vec<u64>,
+    addrs: Vec<u32>,
+    events: u64,
+    data_events: u64,
+    return_value: i64,
+}
+
+impl DecodedTrace {
+    /// Decodes the pc and data-address streams to exhaustion. A
+    /// truncated or damaged capture decodes fewer records than the
+    /// trace header claims; that shortfall is *not* an error here —
+    /// the replay-time conservation checks reject it exactly as the
+    /// streaming [`TraceReplayer::replay`] path does.
+    pub fn decode(trace: &ReferenceTrace) -> Self {
+        let mut starts = Vec::new();
+        let mut lens = Vec::new();
+        let mut runs = trace.pc_reader();
+        while let Some((start, len)) = runs.next() {
+            starts.push(start);
+            lens.push(len);
+        }
+        let mut addrs = Vec::with_capacity(trace.data_events as usize);
+        let mut reader = trace.addr_reader();
+        while let Some(addr) = reader.next() {
+            addrs.push(addr);
+        }
+        DecodedTrace {
+            starts,
+            lens,
+            addrs,
+            events: trace.events,
+            data_events: trace.data_events,
+            return_value: trace.return_value,
+        }
+    }
+
+    /// Executed instructions the source trace recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Decoded sequential stretches.
+    pub fn stretches(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+/// Per-candidate accumulator state of one [`TraceReplayer::replay_batch`]
+/// lane — exactly the locals of the sequential [`TraceReplayer::replay`],
+/// so each lane performs the same operations in the same order.
+///
+/// The class-keyed counters live in flat arrays (indexed by
+/// `PcInfo::class_index`, the `InstClass::ALL` position) instead of the
+/// `BTreeMap`s of [`RunStats`]; they are folded into the maps once at
+/// finalize. Integer counters restructured this way are exact — only
+/// the `f64` *add sequence* carries rounding, and that is unchanged.
+struct BatchLane {
+    stats: RunStats,
+    is_hw_block: Vec<bool>,
+    cycles: u64,
+    energy: Energy,
+    class_switches: u64,
+    sw_ifetches: u64,
+    sw_reads: u64,
+    sw_writes: u64,
+    hw_loads: u64,
+    hw_stores: u64,
+    inst_counts: [u64; 8],
+    class_cycles: [u64; 8],
+    /// Per-block software-to-hardware entry counts; only non-zero
+    /// entries are inserted into `RunStats::hw_block_entries`, which is
+    /// exactly the key set the sequential `entry().or_insert(0)` grows.
+    hw_entries: Vec<u64>,
+    prev_class: Option<InstClass>,
+    prev_block: Option<BlockId>,
+    prev_was_hw: bool,
+    /// Set when the lane died (its candidate's error); a dead lane
+    /// skips all further accounting, like the sequential early return.
+    dead: Option<SimError>,
+}
+
 /// Replays a [`ReferenceTrace`] through the accounting of
 /// [`Simulator::run`](crate::simulator::Simulator::run) for an
 /// arbitrary hardware-block set.
@@ -534,6 +626,25 @@ struct PcInfo {
 #[derive(Debug, Clone)]
 pub struct TraceReplayer {
     info: Vec<PcInfo>,
+    /// `access_prefix[pc]` = data accesses issued by `info[..pc]`, so a
+    /// stretch `lo..hi` consumes `access_prefix[hi] - access_prefix[lo]`
+    /// address records — lets the batched walk advance the shared
+    /// address cursor per stretch in O(1).
+    access_prefix: Vec<u32>,
+    /// `run_end[pc]` = exclusive end of the maximal contiguous pc range
+    /// around `pc` whose instructions all belong to the same block —
+    /// the granularity at which the batched walk hoists the per-block
+    /// accounting out of the instruction loop.
+    run_end: Vec<u32>,
+    /// `lat_prefix[pc]` = summed latency of `info[..pc]`; a run's cycle
+    /// total in O(1), for deciding up front that no lane can hit its
+    /// cycle limit inside the run.
+    lat_prefix: Vec<u64>,
+    /// Per data-access ordinal (the `access_prefix` numbering): the pc,
+    /// for error reporting on a short address stream.
+    access_pc: Vec<u32>,
+    /// Per data-access ordinal: `true` for a load, `false` for a store.
+    access_is_load: Vec<bool>,
     n_blocks: usize,
     inter_inst_overhead: Energy,
 }
@@ -570,9 +681,43 @@ impl TraceReplayer {
                     },
                 }
             })
-            .collect();
+            .collect::<Vec<PcInfo>>();
+        let mut access_prefix = Vec::with_capacity(info.len() + 1);
+        let mut lat_prefix = Vec::with_capacity(info.len() + 1);
+        let mut access_pc = Vec::new();
+        let mut access_is_load = Vec::new();
+        let mut running = 0u32;
+        let mut latency_sum = 0u64;
+        access_prefix.push(running);
+        lat_prefix.push(latency_sum);
+        for (pc, entry) in info.iter().enumerate() {
+            match entry.access {
+                AccessKind::None => {}
+                AccessKind::Load | AccessKind::Store => {
+                    running += 1;
+                    access_pc.push(pc as u32);
+                    access_is_load.push(matches!(entry.access, AccessKind::Load));
+                }
+            }
+            latency_sum += entry.latency;
+            access_prefix.push(running);
+            lat_prefix.push(latency_sum);
+        }
+        let mut run_end = vec![0u32; info.len()];
+        let mut end = info.len();
+        for pc in (0..info.len()).rev() {
+            if pc + 1 < info.len() && info[pc + 1].block != info[pc].block {
+                end = pc + 1;
+            }
+            run_end[pc] = end as u32;
+        }
         TraceReplayer {
             info,
+            access_prefix,
+            run_end,
+            lat_prefix,
+            access_pc,
+            access_is_load,
             n_blocks: app.blocks().len(),
             inter_inst_overhead: energy.inter_inst_overhead(),
         }
@@ -743,6 +888,400 @@ impl TraceReplayer {
         stats.cycles = Cycles::new(cycles);
         stats.return_value = trace.return_value;
         Ok(stats)
+    }
+
+    fn fresh_stats(&self) -> RunStats {
+        RunStats {
+            cycles: Cycles::ZERO,
+            energy: Energy::ZERO,
+            inst_counts: InstClass::ALL.iter().map(|&c| (c, 0)).collect(),
+            class_cycles: InstClass::ALL.iter().map(|&c| (c, 0)).collect(),
+            block_class_cycles: vec![[0; 8]; self.n_blocks],
+            class_switches: 0,
+            block_counts: vec![0; self.n_blocks],
+            block_cycles: vec![0; self.n_blocks],
+            block_energy: vec![Energy::ZERO; self.n_blocks],
+            hw_block_entries: std::collections::HashMap::new(),
+            hw_loads: 0,
+            hw_stores: 0,
+            sw_reads: 0,
+            sw_writes: 0,
+            sw_ifetches: 0,
+            return_value: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Replays a decoded trace for K candidate configurations in one
+    /// walk of the event stream, streaming each lane's µP-side
+    /// references into its own sink.
+    ///
+    /// Every lane performs **exactly** the operations the sequential
+    /// [`TraceReplayer::replay`] performs for its configuration, in the
+    /// same order — per-candidate accounting is independent state, so
+    /// interleaving the lanes changes nothing about any lane's `f64`
+    /// sequence and every returned [`RunStats`] is bit-identical to
+    /// the sequential result. What the lanes *share* is the decode:
+    /// the stretch walk, bounds checks and address records are paid
+    /// once instead of K times.
+    ///
+    /// # Errors
+    ///
+    /// Trace-level failures — a malformed stretch
+    /// ([`SimError::BadPc`]), a missing data-address record
+    /// ([`SimError::BadAccess`]), or the conservation checks
+    /// ([`SimError::TraceCorrupt`]) — poison every candidate alike and
+    /// fail the whole batch with the top-level `Err`; no partial
+    /// results escape. Per-candidate failures
+    /// ([`SimError::CycleLimit`]) are returned in that candidate's
+    /// inner slot while the other lanes continue.
+    ///
+    /// # Panics
+    ///
+    /// When `configs` and `sinks` have different lengths.
+    pub fn replay_batch<S: MemSink>(
+        &self,
+        decoded: &DecodedTrace,
+        configs: &[SimConfig],
+        sinks: &mut [S],
+    ) -> Result<Vec<Result<RunStats, SimError>>, SimError> {
+        assert_eq!(
+            configs.len(),
+            sinks.len(),
+            "one sink per batched configuration"
+        );
+        if configs.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        let mut lanes: Vec<BatchLane> = configs
+            .iter()
+            .map(|config| {
+                let mut is_hw_block = vec![false; self.n_blocks];
+                for b in &config.hw_blocks {
+                    if let Some(flag) = is_hw_block.get_mut(b.0 as usize) {
+                        *flag = true;
+                    }
+                }
+                BatchLane {
+                    stats: self.fresh_stats(),
+                    is_hw_block,
+                    cycles: 0,
+                    energy: Energy::ZERO,
+                    class_switches: 0,
+                    sw_ifetches: 0,
+                    sw_reads: 0,
+                    sw_writes: 0,
+                    hw_loads: 0,
+                    hw_stores: 0,
+                    inst_counts: [0; 8],
+                    class_cycles: [0; 8],
+                    hw_entries: vec![0; self.n_blocks],
+                    prev_class: None,
+                    prev_block: None,
+                    prev_was_hw: false,
+                    dead: None,
+                }
+            })
+            .collect();
+        let mut live = lanes.len();
+
+        let mut decoded_insts: u64 = 0;
+        let mut addr_index: usize = 0;
+
+        // The shared walk, blocked by stretch: the stretch decode,
+        // bounds check and address-cursor arithmetic happen once per
+        // stretch, then each live lane runs the per-instruction body of
+        // the sequential replay over the whole stretch with its state
+        // in locals — same operations, same per-lane order, but the
+        // `PcInfo` slice is hot in cache for lanes 2..K and the `f64`
+        // accumulators stay in registers across the stretch.
+        'walk: for (&start, &len) in decoded.starts.iter().zip(&decoded.lens) {
+            let lo = start as usize;
+            let hi = lo
+                .checked_add(len as usize)
+                .filter(|&hi| hi <= self.info.len())
+                .ok_or(SimError::BadPc { pc: start })?;
+            decoded_insts = decoded_insts.wrapping_add(len);
+
+            'lanes: for ((lane, sink), config) in
+                lanes.iter_mut().zip(sinks.iter_mut()).zip(configs)
+            {
+                if lane.dead.is_some() {
+                    continue;
+                }
+                // Lane state for the stretch, in registers. A lane that
+                // dies mid-stretch skips the write-back: its partial
+                // statistics are discarded with it, as in the
+                // sequential early return.
+                let mut ai = addr_index;
+                let mut cycles = lane.cycles;
+                let mut energy = lane.energy;
+                let mut class_switches = lane.class_switches;
+                let mut sw_ifetches = lane.sw_ifetches;
+                let mut sw_reads = lane.sw_reads;
+                let mut sw_writes = lane.sw_writes;
+                let mut hw_loads = lane.hw_loads;
+                let mut hw_stores = lane.hw_stores;
+                let mut prev_class = lane.prev_class;
+                let mut prev_block = lane.prev_block;
+                let mut prev_was_hw = lane.prev_was_hw;
+
+                // The stretch, segmented into maximal same-block runs:
+                // the block flag, block indices and entry accounting
+                // are per-run, not per-instruction. Only the *first* pc
+                // of a run can trigger block-entry accounting — every
+                // later pc sees `prev_block == block` — so hoisting the
+                // check is exact.
+                let mut pos = lo;
+                while pos < hi {
+                    let rend = (self.run_end[pos] as usize).min(hi);
+                    let first = &self.info[pos];
+                    let block_index = first.block_index;
+                    let is_hw = lane.is_hw_block[block_index];
+
+                    if prev_block != Some(first.block) && first.is_block_start {
+                        lane.stats.block_counts[block_index] += 1;
+                        if is_hw && !prev_was_hw {
+                            lane.hw_entries[block_index] += 1;
+                        }
+                    }
+                    prev_block = Some(first.block);
+                    prev_was_hw = is_hw;
+
+                    let a_lo = self.access_prefix[pos] as usize;
+                    let a_hi = self.access_prefix[rend] as usize;
+
+                    if is_hw {
+                        // Hardware run: no µP cycles, energy or sink
+                        // traffic — only the circuit-state reset and
+                        // the shared-memory access counters, walked by
+                        // access ordinal instead of by instruction.
+                        prev_class = None;
+                        for ordinal in a_lo..a_hi {
+                            let Some(&addr) = decoded.addrs.get(ai) else {
+                                // A missing address record is trace
+                                // damage: it poisons the whole batch,
+                                // exactly as in the sequential replay.
+                                return Err(SimError::BadAccess {
+                                    addr: 0,
+                                    pc: self.access_pc[ordinal],
+                                });
+                            };
+                            ai += 1;
+                            if addr < SLOT_BASE {
+                                if self.access_is_load[ordinal] {
+                                    hw_loads += 1;
+                                } else {
+                                    hw_stores += 1;
+                                }
+                            }
+                        }
+                        pos = rend;
+                        continue;
+                    }
+
+                    // Software run. When no instruction in the run can
+                    // hit the cycle limit, tracing is off, and the sink
+                    // accepts the run's consecutive word fetches as
+                    // guaranteed hits, the i-fetches are delivered in
+                    // one batch and the loop below carries only the
+                    // per-instruction accounting and data accesses —
+                    // the per-lane order of every accumulator is
+                    // unchanged (i-cache and data-side state are
+                    // disjoint, and a fetch hit touches no shared
+                    // accumulator).
+                    let run_latency = self.lat_prefix[rend] - self.lat_prefix[pos];
+                    let run_len = (rend - pos) as u32;
+                    let fetched_in_bulk = (config.max_cycles == 0
+                        || cycles + run_latency <= config.max_cycles)
+                        && config.trace_limit == 0
+                        && sink.ifetch_run_hits(first.inst_addr, run_len);
+
+                    if fetched_in_bulk {
+                        sw_ifetches += run_len as u64;
+                        let block_row = &mut lane.stats.block_class_cycles[block_index];
+                        let mut run_cycles = lane.stats.block_cycles[block_index];
+                        let mut run_energy = lane.stats.block_energy[block_index];
+                        for info in &self.info[pos..rend] {
+                            cycles += info.latency;
+                            let mut e = info.base_energy;
+                            if let Some(p) = prev_class {
+                                if p != info.class {
+                                    e += self.inter_inst_overhead;
+                                    class_switches += 1;
+                                }
+                            }
+                            prev_class = Some(info.class);
+                            energy += e;
+                            run_cycles += info.latency;
+                            run_energy += e;
+                            lane.inst_counts[info.class_index] += 1;
+                            lane.class_cycles[info.class_index] += info.latency;
+                            block_row[info.class_index] += info.latency;
+                        }
+                        lane.stats.block_cycles[block_index] = run_cycles;
+                        lane.stats.block_energy[block_index] = run_energy;
+                        for ordinal in a_lo..a_hi {
+                            let Some(&addr) = decoded.addrs.get(ai) else {
+                                return Err(SimError::BadAccess {
+                                    addr: 0,
+                                    pc: self.access_pc[ordinal],
+                                });
+                            };
+                            ai += 1;
+                            if self.access_is_load[ordinal] {
+                                sw_reads += 1;
+                                sink.read(addr);
+                            } else {
+                                sw_writes += 1;
+                                sink.write(addr);
+                            }
+                        }
+                        pos = rend;
+                        continue;
+                    }
+
+                    // Exact per-instruction body: cycle-limit death at
+                    // the precise pc, interleaved sink calls, optional
+                    // trace capture.
+                    for (off, info) in self.info[pos..rend].iter().enumerate() {
+                        cycles += info.latency;
+                        if config.max_cycles > 0 && cycles > config.max_cycles {
+                            lane.dead = Some(SimError::CycleLimit {
+                                limit: config.max_cycles,
+                            });
+                            live -= 1;
+                            continue 'lanes;
+                        }
+                        let mut e = info.base_energy;
+                        if let Some(p) = prev_class {
+                            if p != info.class {
+                                e += self.inter_inst_overhead;
+                                class_switches += 1;
+                            }
+                        }
+                        prev_class = Some(info.class);
+                        energy += e;
+                        lane.stats.block_cycles[block_index] += info.latency;
+                        lane.stats.block_energy[block_index] += e;
+                        lane.inst_counts[info.class_index] += 1;
+                        lane.class_cycles[info.class_index] += info.latency;
+                        lane.stats.block_class_cycles[block_index][info.class_index] +=
+                            info.latency;
+                        sw_ifetches += 1;
+                        sink.ifetch(info.inst_addr);
+                        if lane.stats.trace.len() < config.trace_limit {
+                            lane.stats.trace.push(TraceEntry {
+                                pc: (pos + off) as u32,
+                                inst: info.inst,
+                                cycles,
+                            });
+                        }
+                        match info.access {
+                            AccessKind::None => {}
+                            AccessKind::Load => {
+                                let Some(&addr) = decoded.addrs.get(ai) else {
+                                    return Err(SimError::BadAccess {
+                                        addr: 0,
+                                        pc: (pos + off) as u32,
+                                    });
+                                };
+                                ai += 1;
+                                sw_reads += 1;
+                                sink.read(addr);
+                            }
+                            AccessKind::Store => {
+                                let Some(&addr) = decoded.addrs.get(ai) else {
+                                    return Err(SimError::BadAccess {
+                                        addr: 0,
+                                        pc: (pos + off) as u32,
+                                    });
+                                };
+                                ai += 1;
+                                sw_writes += 1;
+                                sink.write(addr);
+                            }
+                        }
+                    }
+                    pos = rend;
+                }
+
+                lane.cycles = cycles;
+                lane.energy = energy;
+                lane.class_switches = class_switches;
+                lane.sw_ifetches = sw_ifetches;
+                lane.sw_reads = sw_reads;
+                lane.sw_writes = sw_writes;
+                lane.hw_loads = hw_loads;
+                lane.hw_stores = hw_stores;
+                lane.prev_class = prev_class;
+                lane.prev_block = prev_block;
+                lane.prev_was_hw = prev_was_hw;
+            }
+
+            // All lanes consume the same address records per stretch —
+            // the count is position-determined, not candidate-dependent
+            // — so the shared cursor advances by the precomputed prefix
+            // difference.
+            addr_index += (self.access_prefix[hi] - self.access_prefix[lo]) as usize;
+
+            if live == 0 {
+                // Every candidate died mid-stream; like the sequential
+                // early return, nothing further is decoded and the
+                // conservation checks are moot.
+                break 'walk;
+            }
+        }
+
+        // Conservation checks, identical to the sequential replay's;
+        // skipped only when every lane already died (the sequential
+        // path returns before reaching them in that case too).
+        if live > 0
+            && (decoded_insts != decoded.events
+                || addr_index as u64 != decoded.data_events
+                || addr_index != decoded.addrs.len())
+        {
+            return Err(SimError::TraceCorrupt {
+                detail: format!(
+                    "decoded {decoded_insts} of {} recorded instructions and {addr_index} of {} recorded data accesses",
+                    decoded.events, decoded.data_events
+                ),
+            });
+        }
+
+        Ok(lanes
+            .into_iter()
+            .map(|lane| match lane.dead {
+                Some(err) => Err(err),
+                None => {
+                    let mut stats = lane.stats;
+                    stats.cycles = Cycles::new(lane.cycles);
+                    stats.energy = lane.energy;
+                    stats.class_switches = lane.class_switches;
+                    stats.sw_ifetches = lane.sw_ifetches;
+                    stats.sw_reads = lane.sw_reads;
+                    stats.sw_writes = lane.sw_writes;
+                    stats.hw_loads = lane.hw_loads;
+                    stats.hw_stores = lane.hw_stores;
+                    for (index, &class) in InstClass::ALL.iter().enumerate() {
+                        *stats.inst_counts.get_mut(&class).expect("class") =
+                            lane.inst_counts[index];
+                        *stats.class_cycles.get_mut(&class).expect("class") =
+                            lane.class_cycles[index];
+                    }
+                    for (block, &entries) in lane.hw_entries.iter().enumerate() {
+                        if entries > 0 {
+                            stats
+                                .hw_block_entries
+                                .insert(BlockId(block as u32), entries);
+                        }
+                    }
+                    stats.return_value = decoded.return_value;
+                    Ok(stats)
+                }
+            })
+            .collect())
     }
 }
 
@@ -926,6 +1465,120 @@ mod tests {
             .replay(&trace, &SimConfig::initial(100), &mut NullSink)
             .unwrap_err();
         assert!(matches!(err, SimError::CycleLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn batched_replay_matches_sequential_lanes() {
+        let input: Vec<i64> = (0..32).map(|i| (i * 7) % 11 - 3).collect();
+        let (app, prog) = setup(TWO_LOOPS);
+        let (_, trace) = capture(&app, &prog, Some(("a", &input)));
+        let replayer = TraceReplayer::new(&prog, &app, &EnergyTable::default());
+        let decoded = DecodedTrace::decode(&trace);
+        assert_eq!(decoded.events(), trace.events());
+        assert!(decoded.stretches() > 1);
+
+        // Lanes: all-software, each structural loop alone, everything.
+        let loops: Vec<HashSet<BlockId>> = app
+            .structure()
+            .iter()
+            .filter(|n| n.is_loop())
+            .map(|n| n.blocks().iter().copied().collect())
+            .collect();
+        assert!(loops.len() >= 2, "TWO_LOOPS has two loops");
+        let mut sets = vec![HashSet::new()];
+        sets.extend(loops.iter().cloned());
+        sets.push(loops.iter().flatten().copied().collect());
+
+        let configs: Vec<SimConfig> = sets
+            .iter()
+            .map(|hw| SimConfig::partitioned(10_000_000, hw.clone()))
+            .collect();
+        let mut sinks: Vec<NullSink> = configs.iter().map(|_| NullSink).collect();
+        let batch = replayer
+            .replay_batch(&decoded, &configs, &mut sinks)
+            .unwrap();
+        assert_eq!(batch.len(), configs.len());
+        for (config, lane) in configs.iter().zip(&batch) {
+            let sequential = replayer.replay(&trace, config, &mut NullSink).unwrap();
+            assert_eq!(lane.as_ref().unwrap(), &sequential);
+        }
+    }
+
+    #[test]
+    fn batched_replay_reproduces_per_lane_sink_streams() {
+        #[derive(Default, PartialEq, Debug, Clone)]
+        struct Log(Vec<(u8, u32)>);
+        impl MemSink for Log {
+            fn ifetch(&mut self, a: u32) {
+                self.0.push((0, a));
+            }
+            fn read(&mut self, a: u32) {
+                self.0.push((1, a));
+            }
+            fn write(&mut self, a: u32) {
+                self.0.push((2, a));
+            }
+        }
+        let (app, prog) = setup(TWO_LOOPS);
+        let (_, trace) = capture(&app, &prog, None);
+        let replayer = TraceReplayer::new(&prog, &app, &EnergyTable::default());
+        let decoded = DecodedTrace::decode(&trace);
+        let first_loop = app.structure().iter().find(|n| n.is_loop()).expect("loop");
+        let hw: HashSet<BlockId> = first_loop.blocks().iter().copied().collect();
+        let configs = [
+            SimConfig::initial(10_000_000),
+            SimConfig::partitioned(10_000_000, hw),
+        ];
+        let mut batch_logs = vec![Log::default(); configs.len()];
+        replayer
+            .replay_batch(&decoded, &configs, &mut batch_logs)
+            .unwrap();
+        for (config, log) in configs.iter().zip(&batch_logs) {
+            let mut sequential = Log::default();
+            replayer.replay(&trace, config, &mut sequential).unwrap();
+            assert_eq!(log, &sequential);
+        }
+    }
+
+    #[test]
+    fn batched_replay_isolates_a_cycle_limited_lane() {
+        let (app, prog) = setup(TWO_LOOPS);
+        let (direct, trace) = capture(&app, &prog, None);
+        assert!(direct.cycles.count() > 100);
+        let replayer = TraceReplayer::new(&prog, &app, &EnergyTable::default());
+        let decoded = DecodedTrace::decode(&trace);
+        let configs = [SimConfig::initial(100), SimConfig::initial(10_000_000)];
+        let mut sinks = [NullSink, NullSink];
+        let batch = replayer
+            .replay_batch(&decoded, &configs, &mut sinks)
+            .unwrap();
+        assert!(matches!(batch[0], Err(SimError::CycleLimit { limit: 100 })));
+        let surviving = replayer.replay(&trace, &configs[1], &mut NullSink).unwrap();
+        assert_eq!(batch[1].as_ref().unwrap(), &surviving);
+
+        // All lanes limited: like the sequential early return, the
+        // batch reports the per-lane errors, not a trace-level one.
+        let all_limited = [SimConfig::initial(100), SimConfig::initial(101)];
+        let mut sinks = [NullSink, NullSink];
+        let batch = replayer
+            .replay_batch(&decoded, &all_limited, &mut sinks)
+            .unwrap();
+        assert!(batch
+            .iter()
+            .all(|lane| matches!(lane, Err(SimError::CycleLimit { .. }))));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (app, prog) = setup(TWO_LOOPS);
+        let (_, trace) = capture(&app, &prog, None);
+        let replayer = TraceReplayer::new(&prog, &app, &EnergyTable::default());
+        let decoded = DecodedTrace::decode(&trace);
+        let mut sinks: Vec<NullSink> = Vec::new();
+        assert!(replayer
+            .replay_batch(&decoded, &[], &mut sinks)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

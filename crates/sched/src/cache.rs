@@ -111,6 +111,21 @@ impl<K: Eq + Hash, V, E: Clone> MemoCache<K, V, E> {
         result.clone()
     }
 
+    /// Returns `key`'s entry only if its computation already finished.
+    /// Charges neither a hit nor a miss — this is a *planning* probe
+    /// (the batched replay uses it to split a candidate list into
+    /// already-memoized sets and sets worth batching), not a lookup;
+    /// the later [`MemoCache::get_or_compute`] that consumes the entry
+    /// does the counting.
+    pub fn peek(&self, key: &K) -> Option<Result<Arc<V>, E>> {
+        self.map
+            .lock()
+            .expect("memo cache poisoned")
+            .get(key)
+            .and_then(|slot| slot.get())
+            .cloned()
+    }
+
     /// Lookups served from the cache.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -239,6 +254,18 @@ mod tests {
         );
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn peek_serves_completed_entries_without_counting() {
+        let cache: MemoCache<u32, u64, SchedError> = MemoCache::new();
+        assert!(cache.peek(&9).is_none());
+        let stored = cache.get_or_compute(9, || Ok(81)).unwrap();
+        let peeked = cache.peek(&9).expect("completed").unwrap();
+        assert!(Arc::ptr_eq(&stored, &peeked));
+        assert!(cache.peek(&10).is_none());
+        // Planning probes leave the counters untouched.
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
     }
 
     #[test]

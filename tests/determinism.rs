@@ -33,7 +33,7 @@ use corepart::prepare::{prepare, PreparedApp, Workload};
 use corepart::sched::binding::{bind, schedule_cluster, utilization};
 use corepart::sched::cache::{ScheduleCache, ScheduledCluster};
 use corepart::system::SystemConfig;
-use corepart::verify::replay_run;
+use corepart::verify::{replay_batch, replay_run};
 use corepart_workloads::{all, by_name};
 
 struct HierarchyMemSink<'a>(&'a mut Hierarchy);
@@ -254,6 +254,43 @@ fn replay_matches_direct_simulation_on_all_six_workloads() {
 }
 
 #[test]
+fn batched_replay_matches_sequential_on_fixed_candidate_sets() {
+    // Fixed regression case on two paper workloads: the batched kernel
+    // must reproduce the one-candidate replay path lane for lane —
+    // empty set, every single-cluster set, and the union of all.
+    for name in ["digs", "MPG"] {
+        let w = by_name(name).expect("workload exists");
+        let app = w.app().expect("lowers");
+        let workload = Workload::from_arrays(w.arrays(1));
+        let factory = Engine::new(SystemConfig::new()).expect("engine");
+        let session = factory.session(&app, &workload);
+        let config = session.config();
+        let prepared = session.prepared().expect("prepares");
+        let partitioner = Partitioner::new(&session).expect("initial run");
+        let engine = partitioner
+            .replay_engine()
+            .expect("paper workload fits the default trace cap");
+        let trace = engine.trace();
+
+        let mut candidates: Vec<HashSet<BlockId>> = vec![HashSet::new()];
+        let mut union: HashSet<BlockId> = HashSet::new();
+        for cluster in prepared.chain.iter() {
+            let hw: HashSet<BlockId> = cluster.blocks.iter().copied().collect();
+            union.extend(hw.iter().copied());
+            candidates.push(hw);
+        }
+        candidates.push(union);
+
+        let batched = replay_batch(prepared, config, trace, &candidates).expect("batched replay");
+        assert_eq!(batched.len(), candidates.len());
+        for (hw, got) in candidates.iter().zip(&batched) {
+            let sequential = replay_run(prepared, config, trace, hw).expect("sequential replay");
+            assert_eq!(&sequential, got, "batched lane diverged on `{name}`");
+        }
+    }
+}
+
+#[test]
 fn verification_reuses_estimate_phase_schedule_cache_on_mpg() {
     // The verification path builds the same `ScheduleKey` the estimate
     // phase used, so the winner's schedule trio must be a cache hit —
@@ -372,5 +409,55 @@ proptest! {
         let replayed = replay_run(&prepared, &config, &trace, &hw).expect("replay");
         prop_assert_eq!(&direct_stats, &replayed.stats);
         prop_assert_eq!(&direct_report, &replayed.report);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The batched replay kernel is bit-identical (`==` on
+    /// [`VerifiedRun`](corepart::verify::VerifiedRun)) to the
+    /// one-candidate replay for any K random hardware-block subsets of
+    /// a paper workload — shared decode and interleaved accounting
+    /// must not perturb a single f64 in any lane.
+    #[test]
+    fn batched_replay_is_bit_identical_for_random_k_subsets(
+        workload_pick in 0usize..2,
+        masks in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 16..17),
+            1..6,
+        ),
+    ) {
+        let name = ["digs", "trick"][workload_pick];
+        let w = by_name(name).expect("workload exists");
+        let config = SystemConfig::new();
+        let prepared = prepare(
+            w.app().expect("lowers"),
+            Workload::from_arrays(w.arrays(1)),
+            &config,
+        )
+        .expect("prepares");
+
+        let candidates: Vec<HashSet<BlockId>> = masks
+            .iter()
+            .map(|mask| {
+                (0..prepared.app.blocks().len())
+                    .filter(|&b| mask[b % mask.len()])
+                    .map(|b| BlockId(b as u32))
+                    .collect()
+            })
+            .collect();
+
+        let (_, _, trace) =
+            corepart::evaluate::evaluate_initial_captured(&prepared, &config, usize::MAX)
+                .expect("initial run");
+        let trace = trace.expect("paper workload fits");
+
+        let batched = replay_batch(&prepared, &config, &trace, &candidates).expect("batch");
+        prop_assert_eq!(batched.len(), candidates.len());
+        for (hw, got) in candidates.iter().zip(&batched) {
+            let sequential = replay_run(&prepared, &config, &trace, hw).expect("sequential");
+            prop_assert_eq!(&sequential, got);
+        }
     }
 }
