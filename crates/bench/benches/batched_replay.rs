@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use corepart::prepare::{prepare, PreparedApp, Workload};
 use corepart::system::SystemConfig;
-use corepart::verify::{replay_batch, replay_run};
+use corepart::verify::{replay_batch, replay_batch_with, replay_run, BatchOptions};
 use corepart_cache::hierarchy::Hierarchy;
 use corepart_ir::op::BlockId;
 use corepart_isa::simulator::{MemSink, SimConfig, Simulator};
@@ -101,6 +101,25 @@ fn bench_batched_replay(c: &mut Criterion) {
                 .expect("replays")
             })
         });
+
+        // The stretch-sharded, lane-grouped walk: same K lanes, spread
+        // over worker threads that rendezvous at shard boundaries.
+        // Against the `k{k}` row above this isolates the threading +
+        // snapshot-carry delta; results are bit-identical by design.
+        for threads in [2usize, 4] {
+            c.bench_function(&format!("batched-replay/digs/k{k}-t{threads}"), |b| {
+                b.iter(|| {
+                    replay_batch_with(
+                        &prepared,
+                        &config,
+                        std::hint::black_box(&trace),
+                        &candidates,
+                        BatchOptions::threaded(threads),
+                    )
+                    .expect("replays")
+                })
+            });
+        }
 
         c.bench_function(&format!("sequential-replay/digs/k{k}"), |b| {
             b.iter(|| {

@@ -15,7 +15,8 @@
 //! simulation of the chosen partition versus a replay of the captured
 //! reference trace, checked bit-identical — plus the batched replay
 //! kernel (K candidates per decoded-trace walk versus K one-candidate
-//! replays, K ∈ {1, 4, 16}), and times an 8-point hardware-weight
+//! replays, over the K ∈ {1, 4, 16} × threads ∈ {1, 2, 4} scaling
+//! grid of the stretch-sharded walk), and times an 8-point hardware-weight
 //! sweep on every application two ways: the seed's sequential path
 //! (fresh preparation, baseline simulation and schedule cache per
 //! configuration, one thread) against the shared, parallel [`explore`]
@@ -46,7 +47,7 @@ use corepart::parallel::resolve_threads;
 use corepart::partition::{PartitionOutcome, Partitioner};
 use corepart::prepare::{PreparedApp, Workload};
 use corepart::system::SystemConfig;
-use corepart::verify::{replay_batch, replay_run};
+use corepart::verify::{replay_batch_with, replay_run, BatchOptions};
 use corepart_bench::SEED;
 use corepart_tech::units::GateEq;
 use corepart_workloads::{all, by_name, PaperWorkload};
@@ -241,9 +242,11 @@ fn candidate_set(prepared: &PreparedApp, k: usize) -> HashSet<BlockId> {
 }
 
 /// Times the batched replay kernel against K sequential `replay_run`
-/// calls at K ∈ {1, 4, 16} on deterministic candidate sets, checking
-/// the lanes bit-identical. Returns one `"batch"` JSON row per K, or
-/// `None` when the capture was unavailable.
+/// calls over the K × threads scaling grid (K ∈ {1, 4, 16}, threads ∈
+/// {1, 2, 4}) on deterministic candidate sets, checking every cell's
+/// lanes bit-identical to the sequential replays. Returns one
+/// `"batch"` JSON row per grid cell, or `None` when the capture was
+/// unavailable.
 fn measure_batch(
     prepared: &PreparedApp,
     config: &SystemConfig,
@@ -271,42 +274,48 @@ fn measure_batch(
             sequential = Some(runs);
         }
 
-        let mut batch_nanos = u128::MAX;
-        let mut batched = None;
-        for _ in 0..REPS {
-            let started = Instant::now();
-            let runs = replay_batch(prepared, config, trace, &candidates).expect("batched replay");
-            batch_nanos = batch_nanos.min(started.elapsed().as_nanos());
-            batched = Some(runs);
-        }
+        for threads in [1usize, 2, 4] {
+            let opts = BatchOptions::threaded(threads);
+            let mut batch_nanos = u128::MAX;
+            let mut batched = None;
+            for _ in 0..REPS {
+                let started = Instant::now();
+                let runs = replay_batch_with(prepared, config, trace, &candidates, opts)
+                    .expect("batched replay");
+                batch_nanos = batch_nanos.min(started.elapsed().as_nanos());
+                batched = Some(runs);
+            }
 
-        let identical = sequential == batched;
-        let speedup = seq_nanos as f64 / batch_nanos.max(1) as f64;
-        println!(
-            "{:<8} {:>4} {:>14.3} {:>14.3} {:>8.2}x {:>10}",
-            name,
-            k,
-            seq_nanos as f64 / k as f64 / 1e6,
-            batch_nanos as f64 / k as f64 / 1e6,
-            speedup,
-            identical
-        );
-        rows.push(format!(
-            concat!(
-                "{{\"app\":\"{}\",\"k\":{},\"threads\":1,",
-                "\"seq_nanos\":{},\"batch_nanos\":{},",
-                "\"seq_per_candidate_nanos\":{},\"batch_per_candidate_nanos\":{},",
-                "\"speedup\":{:.4},\"identical\":{}}}"
-            ),
-            name,
-            k,
-            seq_nanos,
-            batch_nanos,
-            seq_nanos / k as u128,
-            batch_nanos / k as u128,
-            speedup,
-            identical
-        ));
+            let identical = sequential == batched;
+            let speedup = seq_nanos as f64 / batch_nanos.max(1) as f64;
+            println!(
+                "{:<8} {:>4} {:>3} {:>14.3} {:>14.3} {:>8.2}x {:>10}",
+                name,
+                k,
+                threads,
+                seq_nanos as f64 / k as f64 / 1e6,
+                batch_nanos as f64 / k as f64 / 1e6,
+                speedup,
+                identical
+            );
+            rows.push(format!(
+                concat!(
+                    "{{\"app\":\"{}\",\"k\":{},\"threads\":{},",
+                    "\"seq_nanos\":{},\"batch_nanos\":{},",
+                    "\"seq_per_candidate_nanos\":{},\"batch_per_candidate_nanos\":{},",
+                    "\"speedup\":{:.4},\"identical\":{}}}"
+                ),
+                name,
+                k,
+                threads,
+                seq_nanos,
+                batch_nanos,
+                seq_nanos / k as u128,
+                batch_nanos / k as u128,
+                speedup,
+                identical
+            ));
+        }
     }
     Some(rows)
 }
@@ -404,8 +413,8 @@ fn main() {
     // per decoded-trace walk versus K one-candidate replays.
     println!("\nbatched replay: K candidates per trace walk vs K sequential replays\n");
     println!(
-        "{:<8} {:>4} {:>14} {:>14} {:>9} {:>10}",
-        "app", "K", "seq ms/cand", "batch ms/cand", "speedup", "identical"
+        "{:<8} {:>4} {:>3} {:>14} {:>14} {:>9} {:>10}",
+        "app", "K", "T", "seq ms/cand", "batch ms/cand", "speedup", "identical"
     );
     let mut batch_rows: Vec<String> = Vec::new();
     for (run, config) in &runs {

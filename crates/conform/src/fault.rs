@@ -18,6 +18,11 @@
 //!   the *whole batch* with [`SimError::TraceCorrupt`]: no panic and
 //!   no partial lane results, even when some lanes alone would have
 //!   replayed cleanly;
+//! * **shard-corrupt** — the same wholesale rejection through the
+//!   *threaded, stretch-sharded* walk, where the damage (a truncated
+//!   tail) manifests beyond the first shard: every earlier shard round
+//!   replays cleanly, and the batch must still fail as one
+//!   [`SimError::TraceCorrupt`] with no partial statistics;
 //! * **cache-evict** — recomputing an evicted schedule-cache entry
 //!   reproduces the cached [`ScheduledCluster`] exactly;
 //! * **cache-poison** — a deliberately wrong cache entry is returned
@@ -35,7 +40,7 @@ use corepart::evaluate::{evaluate_initial_captured, Partition};
 use corepart::flow::DesignFlow;
 use corepart::partition::{schedule_key, Partitioner};
 use corepart::prepare::Workload;
-use corepart::verify::{replay_batch, replay_run};
+use corepart::verify::{replay_batch, replay_batch_with, replay_run, BatchOptions};
 use corepart_ir::cdfg::Application;
 use corepart_ir::op::BlockId;
 use corepart_isa::simulator::SimError;
@@ -239,6 +244,38 @@ fn trace_damage(app: &Application, workload: &Workload) -> Vec<Violation> {
             Ok(Err(other)) => violations.push(err(
                 "batch-corrupt",
                 format!("batched replay failed with {other} instead of TraceCorrupt"),
+            )),
+        }
+
+        // And through the threaded, stretch-sharded walk: the truncated
+        // tail means every shard round up to the last replays cleanly —
+        // the damage sits in a non-first shard — yet the whole batch
+        // must fail as one TraceCorrupt, with no partial lane results.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            replay_batch_with(
+                prepared,
+                config,
+                &truncated,
+                &candidates,
+                BatchOptions {
+                    threads: 2,
+                    shard_events: 1,
+                },
+            )
+        }));
+        match outcome {
+            Err(_) => violations.push(err(
+                "shard-corrupt",
+                "sharded replay of a truncated capture panicked".to_string(),
+            )),
+            Ok(Ok(_)) => violations.push(err(
+                "shard-corrupt",
+                "sharded replay of a truncated capture produced lane results".to_string(),
+            )),
+            Ok(Err(SimError::TraceCorrupt { .. })) => {}
+            Ok(Err(other)) => violations.push(err(
+                "shard-corrupt",
+                format!("sharded replay failed with {other} instead of TraceCorrupt"),
             )),
         }
     }

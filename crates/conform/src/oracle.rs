@@ -24,6 +24,11 @@
 //! * **batch-vs-sequential** — verifying K candidate hardware-block
 //!   sets through the batched single-decode replay kernel equals K
 //!   one-candidate replays, lane for lane and bit for bit;
+//! * **threaded-batch-vs-sequential** — the stretch-sharded,
+//!   lane-grouped (threaded) batch walk equals the same K sequential
+//!   replays for every thread count and shard granularity tried: the
+//!   shard-boundary hierarchy snapshot/resume carry must not perturb
+//!   a single f64 in any lane;
 //! * **of-monotone** (metamorphic) — the objective function is
 //!   strictly increasing in `F` (energy is positive) and
 //!   non-decreasing in `G` (strictly when the design carries extra
@@ -43,7 +48,7 @@ use corepart::objective::Objective;
 use corepart::partition::{PartitionOutcome, Partitioner};
 use corepart::prepare::Workload;
 use corepart::system::{DesignMetrics, SystemConfig};
-use corepart::verify::{replay_batch, replay_run};
+use corepart::verify::{replay_batch, replay_batch_with, replay_run, BatchOptions};
 use corepart_ir::cdfg::Application;
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
@@ -261,6 +266,10 @@ pub fn check_lowered(app: &Application, workload: &Workload) -> Vec<Violation> {
     // Oracle: batched replay == K sequential replays, lane for lane.
     violations.extend(batch_vs_sequential(&partitioner));
 
+    // Oracle: the threaded, stretch-sharded batch walk is bit-identical
+    // to the sequential replays too, for every (threads, shard) tried.
+    violations.extend(threaded_batch_vs_sequential(&partitioner));
+
     // Oracle: OF monotone in F and G over the observed designs.
     let mut observed: Vec<&DesignMetrics> = vec![&shared[1].initial];
     for outcome in &shared {
@@ -392,6 +401,69 @@ fn batch_vs_sequential(partitioner: &Partitioner<'_>) -> Vec<Violation> {
             "batch-vs-sequential",
             format!("batched replay failed: {e}"),
         )),
+    }
+    violations
+}
+
+/// Differential: the stretch-sharded, lane-grouped batch walk — the
+/// threaded form of the kernel — equals the one-candidate replay path
+/// for the same candidate mix, across thread counts and shard
+/// granularities (including `shard_events: 1`, a snapshot/resume at
+/// every stretch boundary).
+fn threaded_batch_vs_sequential(partitioner: &Partitioner<'_>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let Some(engine) = partitioner.replay_engine() else {
+        return violations;
+    };
+    let prepared = partitioner.prepared();
+    let config = partitioner.config();
+    let trace = engine.trace();
+
+    let mut candidates: Vec<HashSet<_>> = vec![HashSet::new()];
+    let mut union = HashSet::new();
+    for cluster in prepared.chain.iter().take(3) {
+        let hw: HashSet<_> = cluster.blocks.iter().copied().collect();
+        union.extend(hw.iter().copied());
+        candidates.push(hw);
+    }
+    candidates.push(union);
+
+    let sequential: Vec<_> = match candidates
+        .iter()
+        .map(|hw| replay_run(prepared, config, trace, hw))
+        .collect::<Result<_, _>>()
+    {
+        Ok(runs) => runs,
+        Err(e) => {
+            violations.push(Violation::new(
+                "threaded-batch-vs-sequential",
+                format!("sequential reference replay failed: {e}"),
+            ));
+            return violations;
+        }
+    };
+
+    for (threads, shard_events) in [(2usize, 0u64), (3, 1), (4, 57)] {
+        let opts = BatchOptions {
+            threads,
+            shard_events,
+        };
+        match replay_batch_with(prepared, config, trace, &candidates, opts) {
+            Ok(batched) if batched == sequential => {}
+            Ok(_) => violations.push(Violation::new(
+                "threaded-batch-vs-sequential",
+                format!(
+                    "threaded batch (threads={threads}, shard_events={shard_events}) \
+                     diverged from sequential replays"
+                ),
+            )),
+            Err(e) => violations.push(Violation::new(
+                "threaded-batch-vs-sequential",
+                format!(
+                    "threaded batch (threads={threads}, shard_events={shard_events}) failed: {e}"
+                ),
+            )),
+        }
     }
     violations
 }

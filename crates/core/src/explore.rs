@@ -247,7 +247,11 @@ pub fn explore(
         }
     }
     for (replay, config, sets) in groups {
-        let _ = replay.verify_batch(config, &sets);
+        let _ = replay.verify_batch_with(
+            config,
+            &sets,
+            crate::verify::BatchOptions::threaded(engine.threads()),
+        );
     }
 
     // Phase 3: close each search (a memo hit when phase 2 pre-seeded

@@ -26,19 +26,63 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use corepart_cache::hierarchy::Hierarchy;
+use corepart_cache::hierarchy::{Hierarchy, HierarchySnapshot};
 use corepart_cache::HierarchyReport;
 use corepart_ir::op::BlockId;
 use corepart_isa::simulator::{RunStats, SimConfig, SimError};
-use corepart_isa::trace::{DecodedTrace, ReferenceTrace, TraceReplayer};
+use corepart_isa::trace::{BatchLanes, DecodedTrace, ReferenceTrace, TraceReplayer};
 use corepart_sched::cache::MemoCache;
 
 use crate::evaluate::HierarchySink;
+use crate::parallel::{par_map_with, Assignment};
 use crate::prepare::PreparedApp;
 use crate::system::SystemConfig;
+
+/// Execution knobs of a batched replay walk.
+///
+/// `threads` bounds the worker count of the stretch-sharded walk: the
+/// K lanes are split into up to `threads` contiguous lane groups that
+/// replay each stretch shard concurrently. Grouping changes
+/// *scheduling only* — every lane still performs exactly its
+/// sequential operation sequence, with its hierarchy state carried
+/// across shard boundaries as [`HierarchySnapshot`]s — so results are
+/// bit-identical for every `threads` value.
+///
+/// `shard_events` sets the shard granularity in trace events (`0`
+/// picks a default of about an eighth of the trace); shards are the
+/// rendezvous points at which lane groups re-synchronize so the
+/// shared decoded stream stays hot across workers, and the boundaries
+/// at which hierarchy state is snapshotted and resumed.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Worker threads (lane groups) for the batched walk; `<= 1`
+    /// replays single-threaded with no snapshot traffic.
+    pub threads: usize,
+    /// Target executed instructions per stretch shard; `0` = auto.
+    pub shard_events: u64,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            threads: 1,
+            shard_events: 0,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Options for a given thread count, default shard granularity.
+    pub fn threaded(threads: usize) -> Self {
+        BatchOptions {
+            threads,
+            ..BatchOptions::default()
+        }
+    }
+}
 
 /// The product of one verified partitioned run — the µP-side
 /// statistics plus the cache-hierarchy report, whether obtained by
@@ -97,44 +141,184 @@ fn replay_with(
     })
 }
 
+/// The product of one batched walk: per-candidate results plus the
+/// mechanism counters of the walk itself.
+struct BatchRun {
+    /// Per-candidate outcomes, in candidate order.
+    results: Vec<Result<VerifiedRun, SimError>>,
+    /// Stretch shards walked (rendezvous rounds of the lane groups).
+    shards: u64,
+    /// Wall time inside the sharded replay rounds proper (excludes
+    /// decode, lane-group setup, and the final fold).
+    shard_nanos: u64,
+}
+
+/// One lane group's carried state between shard rounds: its slice of
+/// the batch accumulators plus one [`HierarchySnapshot`] per lane.
+/// The hierarchy itself is rebuilt fresh each round and restored from
+/// the snapshot — the analytical models are pure functions of the
+/// construction parameters, so rebuild + restore continues the cache
+/// state bit for bit (pinned in `corepart-cache`).
+struct GroupCarry<'c> {
+    configs: &'c [SimConfig],
+    lanes: BatchLanes,
+    snaps: Vec<HierarchySnapshot>,
+}
+
 /// Verifies `candidates` in one walk of the *already decoded* trace:
 /// one cache [`Hierarchy`] and one accumulator per candidate, shared
 /// stretch/address decode. Per-candidate results come back in candidate
 /// order; a trace-level failure is the top-level `Err`.
+///
+/// With `opts.threads > 1` the lanes are split into contiguous
+/// balanced lane groups and the stretch list into event-balanced
+/// shards; each shard is a rendezvous round in which the groups replay
+/// the same stretch range concurrently ([`Assignment::Interleaved`]
+/// keeps group *g* on worker *g* across rounds). Each lane's full
+/// state — accumulators and cache hierarchy — is carried across the
+/// round barrier, so every lane performs exactly its sequential
+/// operation sequence and the output is bit-identical for every
+/// `(threads, shard_events)` choice.
 fn batch_with(
     replayer: &TraceReplayer,
     decoded: &DecodedTrace,
     config: &SystemConfig,
     candidates: &[&HashSet<BlockId>],
-) -> Result<Vec<Result<VerifiedRun, SimError>>, SimError> {
-    let mut hierarchies: Vec<Hierarchy> = candidates
-        .iter()
-        .map(|_| {
-            Hierarchy::new(
-                config.icache.clone(),
-                config.dcache.clone(),
-                &config.process,
-                config.memory_bytes,
-            )
-        })
-        .collect();
+    opts: BatchOptions,
+) -> Result<BatchRun, SimError> {
+    let k = candidates.len();
+    let fresh_hierarchy = || {
+        Hierarchy::new(
+            config.icache.clone(),
+            config.dcache.clone(),
+            &config.process,
+            config.memory_bytes,
+        )
+    };
     let sim_configs: Vec<SimConfig> = candidates
         .iter()
         .map(|hw| SimConfig::partitioned(config.max_cycles, (*hw).clone()))
         .collect();
-    let mut sinks: Vec<HierarchySink<'_>> = hierarchies.iter_mut().map(HierarchySink).collect();
-    let lanes = replayer.replay_batch(decoded, &sim_configs, &mut sinks)?;
-    drop(sinks);
-    Ok(lanes
-        .into_iter()
-        .zip(&hierarchies)
-        .map(|(lane, hierarchy)| {
-            lane.map(|stats| VerifiedRun {
-                stats,
-                report: hierarchy.report(),
+
+    let groups = opts.threads.max(1).min(k.max(1));
+    if groups <= 1 && opts.shard_events == 0 {
+        // Single-group, single-shard fast path: no snapshot traffic.
+        let started = Instant::now();
+        let mut hierarchies: Vec<Hierarchy> = (0..k).map(|_| fresh_hierarchy()).collect();
+        let mut sinks: Vec<HierarchySink<'_>> = hierarchies.iter_mut().map(HierarchySink).collect();
+        let lanes = replayer.replay_batch(decoded, &sim_configs, &mut sinks)?;
+        drop(sinks);
+        return Ok(BatchRun {
+            results: lanes
+                .into_iter()
+                .zip(&hierarchies)
+                .map(|(lane, hierarchy)| {
+                    lane.map(|stats| VerifiedRun {
+                        stats,
+                        report: hierarchy.report(),
+                    })
+                })
+                .collect(),
+            shards: 1,
+            shard_nanos: started.elapsed().as_nanos() as u64,
+        });
+    }
+
+    let target = if opts.shard_events > 0 {
+        opts.shard_events
+    } else {
+        (decoded.events() / 8).max(4096)
+    };
+    let shards = decoded.shard_by_events(target);
+
+    // Contiguous balanced lane groups: group g owns lanes
+    // [bounds[g], bounds[g + 1]), so concatenating group outputs in
+    // group order is candidate order.
+    let base = k / groups;
+    let extra = k % groups;
+    let mut bounds = Vec::with_capacity(groups + 1);
+    bounds.push(0usize);
+    for g in 0..groups {
+        bounds.push(bounds[g] + base + usize::from(g < extra));
+    }
+    let carries: Vec<Mutex<GroupCarry<'_>>> = (0..groups)
+        .map(|g| {
+            let configs = &sim_configs[bounds[g]..bounds[g + 1]];
+            let snaps = configs
+                .iter()
+                .map(|_| fresh_hierarchy().snapshot())
+                .collect();
+            Mutex::new(GroupCarry {
+                configs,
+                lanes: replayer.batch_lanes(configs),
+                snaps,
             })
         })
-        .collect())
+        .collect();
+
+    let mut rounds = 0u64;
+    let mut shard_nanos = 0u64;
+    for shard in &shards {
+        let started = Instant::now();
+        let round: Vec<Result<(), SimError>> =
+            par_map_with(&carries, groups, Assignment::Interleaved, |_, cell| {
+                let mut carry = cell.lock().expect("group worker never panics");
+                let GroupCarry {
+                    configs,
+                    lanes,
+                    snaps,
+                } = &mut *carry;
+                if lanes.live() == 0 {
+                    // Every lane of this group already failed on its
+                    // own; nothing left to replay (matches the
+                    // all-dead early exit of the unsharded walk).
+                    return Ok(());
+                }
+                let mut hierarchies: Vec<Hierarchy> = snaps
+                    .iter()
+                    .map(|snap| {
+                        let mut hierarchy = fresh_hierarchy();
+                        hierarchy.restore(snap);
+                        hierarchy
+                    })
+                    .collect();
+                let mut sinks: Vec<HierarchySink<'_>> =
+                    hierarchies.iter_mut().map(HierarchySink).collect();
+                replayer.replay_stretches(decoded, shard.clone(), configs, lanes, &mut sinks)?;
+                drop(sinks);
+                *snaps = hierarchies.iter().map(Hierarchy::snapshot).collect();
+                Ok(())
+            });
+        rounds += 1;
+        shard_nanos += started.elapsed().as_nanos() as u64;
+        // Trace-level errors are lane-independent, so every live group
+        // hits the identical one; propagating the lowest group index
+        // keeps the `Err` deterministic across thread counts.
+        for outcome in round {
+            outcome?;
+        }
+    }
+
+    let mut results = Vec::with_capacity(k);
+    for cell in carries {
+        let GroupCarry { lanes, snaps, .. } = cell.into_inner().expect("group worker never panics");
+        let finished = replayer.finish_batch(decoded, lanes)?;
+        for (lane, snap) in finished.into_iter().zip(&snaps) {
+            results.push(lane.map(|stats| {
+                let mut hierarchy = fresh_hierarchy();
+                hierarchy.restore(snap);
+                VerifiedRun {
+                    stats,
+                    report: hierarchy.report(),
+                }
+            }));
+        }
+    }
+    Ok(BatchRun {
+        results,
+        shards: rounds,
+        shard_nanos,
+    })
 }
 
 /// Replays `trace` once for K candidate hardware-block sets, uncached:
@@ -155,11 +339,27 @@ pub fn replay_batch(
     trace: &ReferenceTrace,
     candidates: &[HashSet<BlockId>],
 ) -> Result<Vec<VerifiedRun>, SimError> {
+    replay_batch_with(prepared, config, trace, candidates, BatchOptions::default())
+}
+
+/// [`replay_batch`] with explicit [`BatchOptions`]: the same walk,
+/// spread over `opts.threads` lane groups that rendezvous at stretch
+/// shards of about `opts.shard_events` events. Bit-identical to the
+/// default options (and to K independent [`replay_run`] calls) for
+/// every option choice — threading changes scheduling, never results.
+pub fn replay_batch_with(
+    prepared: &PreparedApp,
+    config: &SystemConfig,
+    trace: &ReferenceTrace,
+    candidates: &[HashSet<BlockId>],
+    opts: BatchOptions,
+) -> Result<Vec<VerifiedRun>, SimError> {
     trace.validate()?;
     let replayer = TraceReplayer::new(&prepared.prog, &prepared.app, &config.energy_table);
     let decoded = DecodedTrace::decode(trace);
     let refs: Vec<&HashSet<BlockId>> = candidates.iter().collect();
-    batch_with(&replayer, &decoded, config, &refs)?
+    batch_with(&replayer, &decoded, config, &refs, opts)?
+        .results
         .into_iter()
         .collect()
 }
@@ -191,6 +391,12 @@ pub struct ReplayEngine {
     batch_events_shared: AtomicU64,
     /// Wall time spent inside batched walks (decode + K-lane replay).
     batch_nanos: AtomicU64,
+    /// Stretch shards walked across all batches (rendezvous rounds of
+    /// the lane groups; 1 per batch on the unsharded fast path).
+    batch_shards: AtomicU64,
+    /// Wall time inside the sharded replay rounds proper, summed over
+    /// batches (excludes decode, group setup, and memo publication).
+    batch_shard_nanos: AtomicU64,
     /// Fingerprint validation of the capture, run once at
     /// construction; every [`ReplayEngine::verify`] refuses a trace
     /// that failed it.
@@ -213,6 +419,8 @@ impl ReplayEngine {
             batches: AtomicU64::new(0),
             batch_events_shared: AtomicU64::new(0),
             batch_nanos: AtomicU64::new(0),
+            batch_shards: AtomicU64::new(0),
+            batch_shard_nanos: AtomicU64::new(0),
         }
     }
 
@@ -266,6 +474,22 @@ impl ReplayEngine {
         config: &SystemConfig,
         candidates: &[HashSet<BlockId>],
     ) -> Result<Vec<Arc<VerifiedRun>>, SimError> {
+        self.verify_batch_with(config, candidates, BatchOptions::default())
+    }
+
+    /// [`ReplayEngine::verify_batch`] with explicit [`BatchOptions`]:
+    /// the fresh-lane walk runs on `opts.threads` lane groups that
+    /// rendezvous at stretch-shard boundaries. Results — and the memo
+    /// contents published from them — are bit-identical for every
+    /// option choice; only the mechanism counters
+    /// ([`ReplayEngine::batch_shards`],
+    /// [`ReplayEngine::batch_shard_nanos`]) and wall time differ.
+    pub fn verify_batch_with(
+        &self,
+        config: &SystemConfig,
+        candidates: &[HashSet<BlockId>],
+        opts: BatchOptions,
+    ) -> Result<Vec<Arc<VerifiedRun>>, SimError> {
         self.validated.clone()?;
         let keys: Vec<Vec<BlockId>> = candidates
             .iter()
@@ -297,7 +521,7 @@ impl ReplayEngine {
             let sets: Vec<&HashSet<BlockId>> = fresh.iter().map(|&i| &candidates[i]).collect();
             // A trace-level `Err` here aborts before anything is
             // memoized: the damage poisons every candidate alike.
-            let lanes = batch_with(&self.replayer, decoded, config, &sets)?;
+            let run = batch_with(&self.replayer, decoded, config, &sets, opts)?;
             self.batches.fetch_add(1, Ordering::Relaxed);
             self.batch_events_shared.fetch_add(
                 decoded.events() * (sets.len() as u64 - 1),
@@ -305,7 +529,10 @@ impl ReplayEngine {
             );
             self.batch_nanos
                 .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            for (&i, lane) in fresh.iter().zip(lanes) {
+            self.batch_shards.fetch_add(run.shards, Ordering::Relaxed);
+            self.batch_shard_nanos
+                .fetch_add(run.shard_nanos, Ordering::Relaxed);
+            for (&i, lane) in fresh.iter().zip(run.results) {
                 lane_results[i] = Some(lane);
             }
         }
@@ -354,6 +581,20 @@ impl ReplayEngine {
     /// Wall time spent inside batched walks.
     pub fn batch_nanos(&self) -> u64 {
         self.batch_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Stretch shards walked across all batched walks — the rendezvous
+    /// rounds of the lane groups (`1` per batch on the unsharded
+    /// single-thread fast path, so any executed batch makes this
+    /// nonzero).
+    pub fn batch_shards(&self) -> u64 {
+        self.batch_shards.load(Ordering::Relaxed)
+    }
+
+    /// Wall time inside the sharded replay rounds proper, summed over
+    /// batched walks.
+    pub fn batch_shard_nanos(&self) -> u64 {
+        self.batch_shard_nanos.load(Ordering::Relaxed)
     }
 }
 
@@ -442,6 +683,71 @@ mod tests {
         let memoized = engine.verify(config, &hw_blocks).unwrap();
         assert_eq!(one_shot, *memoized);
         assert!(engine.trace().events() > 0);
+    }
+
+    #[test]
+    fn threaded_sharded_batch_is_bit_identical() {
+        let (factory, app, workload) = setup();
+        let session = factory.session(&app, &workload);
+        let prepared = session.prepared().unwrap();
+        let config = session.config();
+        let engine = session
+            .replay_engine()
+            .unwrap()
+            .expect("capture fits")
+            .clone();
+
+        // Candidates: all software, each cluster alone, everything.
+        let mut sets: Vec<HashSet<BlockId>> = vec![HashSet::new()];
+        for cluster in prepared.chain.iter() {
+            sets.push(cluster.blocks.iter().copied().collect());
+        }
+        sets.push(sets.iter().flatten().copied().collect());
+
+        let sequential: Vec<VerifiedRun> = sets
+            .iter()
+            .map(|hw| replay_run(prepared, config, engine.trace(), hw).unwrap())
+            .collect();
+        for threads in [1usize, 2, 3, 8] {
+            for shard_events in [0u64, 1, 64] {
+                let opts = BatchOptions {
+                    threads,
+                    shard_events,
+                };
+                let got = replay_batch_with(prepared, config, engine.trace(), &sets, opts).unwrap();
+                assert_eq!(got, sequential, "threads={threads} shard={shard_events}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_counts_shard_rounds() {
+        let (factory, app, workload) = setup();
+        let session = factory.session(&app, &workload);
+        let prepared = session.prepared().unwrap();
+        let config = session.config();
+        let engine = session
+            .replay_engine()
+            .unwrap()
+            .expect("capture fits")
+            .clone();
+        let sets: Vec<HashSet<BlockId>> = prepared
+            .chain
+            .iter()
+            .map(|c| c.blocks.iter().copied().collect())
+            .collect();
+        assert_eq!(engine.batch_shards(), 0);
+        let opts = BatchOptions {
+            threads: 2,
+            shard_events: 32,
+        };
+        let runs = engine.verify_batch_with(config, &sets, opts).unwrap();
+        assert_eq!(runs.len(), sets.len());
+        assert!(engine.batch_shards() > 1, "forced shards must be counted");
+        // Memoized re-batch replays nothing, so no new shard rounds.
+        let before = engine.batch_shards();
+        engine.verify_batch_with(config, &sets, opts).unwrap();
+        assert_eq!(engine.batch_shards(), before);
     }
 
     #[test]

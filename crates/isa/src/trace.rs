@@ -576,40 +576,124 @@ impl DecodedTrace {
     pub fn stretches(&self) -> usize {
         self.starts.len()
     }
+
+    /// Cuts the stretch list into contiguous shards of roughly
+    /// `target_events` executed instructions each (stretch lengths are
+    /// heavily skewed by loop nests, so shards are balanced by event
+    /// count, not stretch count). The ranges partition
+    /// `0..stretches()` in order; there is always at least one shard,
+    /// and a `target_events` of `u64::MAX` yields exactly one.
+    pub fn shard_by_events(&self, target_events: u64) -> Vec<std::ops::Range<usize>> {
+        let n = self.starts.len();
+        let target = target_events.max(1);
+        let mut shards = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for (i, &len) in self.lens.iter().enumerate() {
+            acc = acc.saturating_add(len);
+            if acc >= target {
+                shards.push(start..i + 1);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < n || shards.is_empty() {
+            shards.push(start..n);
+        }
+        shards
+    }
 }
 
-/// Per-candidate accumulator state of one [`TraceReplayer::replay_batch`]
-/// lane — exactly the locals of the sequential [`TraceReplayer::replay`],
-/// so each lane performs the same operations in the same order.
+/// How one lane processes the current same-block run — decided once
+/// per (run, lane) by the classification pass, then executed on the
+/// matching path.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunChoice {
+    /// Lane already died (its candidate's error); skips everything.
+    Dead,
+    /// The run's block is hardware-mapped for this lane.
+    Hw,
+    /// Software run whose i-fetches the lane's sink accepted in bulk.
+    Bulk,
+    /// Software run that needs the exact per-instruction body
+    /// (cycle-limit in range, tracing on, or a declined bulk fetch).
+    Exact,
+}
+
+/// Structure-of-arrays accumulator state of a batched replay: every
+/// per-lane counter of the sequential [`TraceReplayer::replay`] lives
+/// in a lane-indexed vector (`field[l]` is lane `l`'s accumulator;
+/// block- and class-keyed counters are row-major, `row * n + l`), so
+/// a lane-independent delta is applied to all K lanes as one bulk add
+/// over a contiguous slice — the form the vectorizer lowers to SIMD
+/// groups of `LANE_GROUP` lanes.
 ///
-/// The class-keyed counters live in flat arrays (indexed by
-/// `PcInfo::class_index`, the `InstClass::ALL` position) instead of the
-/// `BTreeMap`s of [`RunStats`]; they are folded into the maps once at
-/// finalize. Integer counters restructured this way are exact — only
-/// the `f64` *add sequence* carries rounding, and that is unchanged.
-struct BatchLane {
-    stats: RunStats,
-    is_hw_block: Vec<bool>,
-    cycles: u64,
-    energy: Energy,
-    class_switches: u64,
-    sw_ifetches: u64,
-    sw_reads: u64,
-    sw_writes: u64,
-    hw_loads: u64,
-    hw_stores: u64,
-    inst_counts: [u64; 8],
-    class_cycles: [u64; 8],
+/// Integer counters restructured this way are exact — only the `f64`
+/// *add sequence* carries rounding, and every `f64` accumulator is
+/// advanced elementwise per event, so lane `l` performs exactly its
+/// own sequential add sequence.
+///
+/// The state is **resumable**: [`TraceReplayer::replay_stretches`]
+/// walks any contiguous stretch range and leaves the lanes (and the
+/// shared decode cursors it carries) ready for the next range, which
+/// is what the stretch-sharded threaded driver hands from round to
+/// round. [`TraceReplayer::finish_batch`] seals the walk.
+pub struct BatchLanes {
+    n: usize,
+    /// Lanes that have not died; the walk early-exits at zero, like
+    /// the sequential early return.
+    live: usize,
+    /// Shared decode cursors, carried across `replay_stretches` calls
+    /// (the conservation checks consume them at finish).
+    decoded_insts: u64,
+    addr_index: usize,
+    /// Previous-block memo of the block-entry accounting. It is
+    /// lane-independent — every live lane walks every run — so one
+    /// shared scalar replaces K copies.
+    prev_block: Option<BlockId>,
+    // Per-lane vectors, index = lane.
+    cycles: Vec<u64>,
+    energy: Vec<Energy>,
+    class_switches: Vec<u64>,
+    sw_ifetches: Vec<u64>,
+    sw_reads: Vec<u64>,
+    sw_writes: Vec<u64>,
+    hw_loads: Vec<u64>,
+    hw_stores: Vec<u64>,
+    prev_class: Vec<Option<InstClass>>,
+    prev_was_hw: Vec<bool>,
+    dead: Vec<Option<SimError>>,
+    traces: Vec<Vec<TraceEntry>>,
+    // Row-major lane matrices, `[row * n + lane]`.
+    /// Per-block hardware flag per lane (`n_blocks` rows).
+    is_hw: Vec<bool>,
+    /// Per-class instruction counts (8 rows, `InstClass::ALL` order).
+    inst_counts: Vec<u64>,
+    /// Per-class cycle counts (8 rows).
+    class_cycles: Vec<u64>,
+    block_counts: Vec<u64>,
+    block_cycles: Vec<u64>,
+    block_energy: Vec<Energy>,
+    /// `n_blocks * 8` rows, `(block * 8 + class) * n + lane`.
+    block_class_cycles: Vec<u64>,
     /// Per-block software-to-hardware entry counts; only non-zero
     /// entries are inserted into `RunStats::hw_block_entries`, which is
     /// exactly the key set the sequential `entry().or_insert(0)` grows.
     hw_entries: Vec<u64>,
-    prev_class: Option<InstClass>,
-    prev_block: Option<BlockId>,
-    prev_was_hw: bool,
-    /// Set when the lane died (its candidate's error); a dead lane
-    /// skips all further accounting, like the sequential early return.
-    dead: Option<SimError>,
+    /// Per-run scratch: each lane's classification for the current run.
+    choice: Vec<RunChoice>,
+}
+
+impl BatchLanes {
+    /// Configured lanes.
+    pub fn lanes(&self) -> usize {
+        self.n
+    }
+
+    /// Lanes that have not died to a per-candidate error.
+    pub fn live(&self) -> usize {
+        self.live
+    }
 }
 
 /// Replays a [`ReferenceTrace`] through the accounting of
@@ -645,8 +729,73 @@ pub struct TraceReplayer {
     access_pc: Vec<u32>,
     /// Per data-access ordinal: `true` for a load, `false` for a store.
     access_is_load: Vec<bool>,
+    /// `class_count_prefix[pc][c]` = instructions of class index `c` in
+    /// `info[..pc]` — a software run's per-class instruction counts are
+    /// the prefix difference, lane-independent, applied to the lane
+    /// vectors as eight bulk adds instead of `run_len` scalar ones.
+    class_count_prefix: Vec<[u64; 8]>,
+    /// `class_cycle_prefix[pc][c]` = summed latency of class index `c`
+    /// in `info[..pc]` — the per-class cycle counterpart.
+    class_cycle_prefix: Vec<[u64; 8]>,
+    /// `switch_prefix[pc]` = adjacent-pc class changes in `info[..pc]`
+    /// (boundaries `j-1 → j` for `j < pc`). Inside a software run every
+    /// instruction after the first switches iff its class differs from
+    /// its predecessor's, identically in every lane — only the *first*
+    /// instruction's switch depends on lane history.
+    switch_prefix: Vec<u64>,
+    /// `intra_energy[pc]` = the energy instruction `pc` costs when the
+    /// previous µP instruction was `pc - 1` (the not-first-in-run case):
+    /// `base_energy` plus the inter-instruction overhead iff the classes
+    /// differ — precomputed with the same two operands and the same one
+    /// `f64` add the sequential path performs, so the bits are
+    /// identical. `intra_energy[0]` is the bare base energy (pc 0 is
+    /// always first in its run).
+    intra_energy: Vec<Energy>,
     n_blocks: usize,
     inter_inst_overhead: Energy,
+}
+
+/// Fixed SIMD group width of the lane-vectorized accumulator updates:
+/// lane vectors are processed in chunks of this many lanes so the chunk
+/// bodies lower to vector instructions (each element is one lane's
+/// accumulator, the operand is broadcast). The adds are elementwise —
+/// lane `l` performs exactly its own sequential add — so the group
+/// width affects scheduling, never results.
+const LANE_GROUP: usize = 4;
+
+/// `dst[l] += v` for every lane, in fixed-width groups.
+#[inline]
+fn lanes_add_u64(dst: &mut [u64], v: u64) {
+    let mut groups = dst.chunks_exact_mut(LANE_GROUP);
+    for group in &mut groups {
+        for d in group {
+            *d += v;
+        }
+    }
+    for d in groups.into_remainder() {
+        *d += v;
+    }
+}
+
+/// `energy[l] += e; block[l] += e` for every lane — the two `f64`
+/// accumulators every µP instruction touches, advanced together so
+/// both stay in vector registers across the instruction loop. Per lane
+/// the adds land in the sequential order (run accumulator, then block
+/// accumulator, per event).
+#[inline]
+fn lanes_add_energy(energy: &mut [Energy], block: &mut [Energy], e: Energy) {
+    let mut ge = energy.chunks_exact_mut(LANE_GROUP);
+    let mut gb = block.chunks_exact_mut(LANE_GROUP);
+    for (ce, cb) in (&mut ge).zip(&mut gb) {
+        for i in 0..LANE_GROUP {
+            ce[i] += e;
+            cb[i] += e;
+        }
+    }
+    for (en, bl) in ge.into_remainder().iter_mut().zip(gb.into_remainder()) {
+        *en += e;
+        *bl += e;
+    }
 }
 
 impl TraceReplayer {
@@ -711,6 +860,30 @@ impl TraceReplayer {
             }
             run_end[pc] = end as u32;
         }
+        let inter_inst_overhead = energy.inter_inst_overhead();
+        let mut class_count_prefix = Vec::with_capacity(info.len() + 1);
+        let mut class_cycle_prefix = Vec::with_capacity(info.len() + 1);
+        let mut switch_prefix = Vec::with_capacity(info.len() + 1);
+        let mut intra_energy = Vec::with_capacity(info.len());
+        let mut counts = [0u64; 8];
+        let mut class_latency = [0u64; 8];
+        let mut switches = 0u64;
+        class_count_prefix.push(counts);
+        class_cycle_prefix.push(class_latency);
+        switch_prefix.push(switches);
+        for (pc, entry) in info.iter().enumerate() {
+            counts[entry.class_index] += 1;
+            class_latency[entry.class_index] += entry.latency;
+            let mut e = entry.base_energy;
+            if pc > 0 && info[pc - 1].class != entry.class {
+                switches += 1;
+                e += inter_inst_overhead;
+            }
+            intra_energy.push(e);
+            class_count_prefix.push(counts);
+            class_cycle_prefix.push(class_latency);
+            switch_prefix.push(switches);
+        }
         TraceReplayer {
             info,
             access_prefix,
@@ -718,8 +891,12 @@ impl TraceReplayer {
             lat_prefix,
             access_pc,
             access_is_load,
+            class_count_prefix,
+            class_cycle_prefix,
+            switch_prefix,
+            intra_energy,
             n_blocks: app.blocks().len(),
-            inter_inst_overhead: energy.inter_inst_overhead(),
+            inter_inst_overhead,
         }
     }
 
@@ -945,234 +1122,442 @@ impl TraceReplayer {
         configs: &[SimConfig],
         sinks: &mut [S],
     ) -> Result<Vec<Result<RunStats, SimError>>, SimError> {
-        assert_eq!(
-            configs.len(),
-            sinks.len(),
-            "one sink per batched configuration"
-        );
         if configs.is_empty() {
+            assert!(sinks.is_empty(), "one sink per batched configuration");
             return Ok(Vec::new());
         }
+        let mut lanes = self.batch_lanes(configs);
+        self.replay_stretches(decoded, 0..decoded.stretches(), configs, &mut lanes, sinks)?;
+        self.finish_batch(decoded, lanes)
+    }
 
-        let mut lanes: Vec<BatchLane> = configs
+    /// Fresh structure-of-arrays lane state for `configs` — the
+    /// starting point of a [`TraceReplayer::replay_stretches`] walk.
+    /// The per-block hardware flags are baked in here; every later
+    /// `replay_stretches` call must pass the *same* `configs` slice
+    /// content (the threaded driver carries both together).
+    pub fn batch_lanes(&self, configs: &[SimConfig]) -> BatchLanes {
+        let n = configs.len();
+        let nb = self.n_blocks;
+        let mut is_hw = vec![false; nb * n];
+        for (l, config) in configs.iter().enumerate() {
+            for b in &config.hw_blocks {
+                let bi = b.0 as usize;
+                if bi < nb {
+                    is_hw[bi * n + l] = true;
+                }
+            }
+        }
+        BatchLanes {
+            n,
+            live: n,
+            decoded_insts: 0,
+            addr_index: 0,
+            prev_block: None,
+            cycles: vec![0; n],
+            energy: vec![Energy::ZERO; n],
+            class_switches: vec![0; n],
+            sw_ifetches: vec![0; n],
+            sw_reads: vec![0; n],
+            sw_writes: vec![0; n],
+            hw_loads: vec![0; n],
+            hw_stores: vec![0; n],
+            prev_class: vec![None; n],
+            prev_was_hw: vec![false; n],
+            dead: vec![None; n],
+            traces: vec![Vec::new(); n],
+            is_hw,
+            inst_counts: vec![0; 8 * n],
+            class_cycles: vec![0; 8 * n],
+            block_counts: vec![0; nb * n],
+            block_cycles: vec![0; nb * n],
+            block_energy: vec![Energy::ZERO; nb * n],
+            block_class_cycles: vec![0; nb * 8 * n],
+            hw_entries: vec![0; nb * n],
+            choice: vec![RunChoice::Dead; n],
+        }
+    }
+
+    /// Walks the contiguous stretch range `stretches` of `decoded`,
+    /// advancing `lanes` exactly as the corresponding slice of the full
+    /// walk would — the resumable core of [`TraceReplayer::replay_batch`].
+    /// Calling it over consecutive ranges `0..a`, `a..b`, …, `z..end`
+    /// and then [`TraceReplayer::finish_batch`] is equivalent to one
+    /// full-range call: all walk state (per-lane accumulators, shared
+    /// decode cursors, previous-block/class memos) lives in `lanes`,
+    /// which is what the stretch-sharded threaded driver carries across
+    /// shard rounds (`sinks` state travels alongside as hierarchy
+    /// snapshots).
+    ///
+    /// Each maximal same-block run inside a stretch is classified per
+    /// lane (hardware / bulk-fetched software / exact software); when
+    /// *every* lane is live, software and bulk-qualified — the dominant
+    /// case — the per-instruction accounting collapses to lane-vector
+    /// updates: per-class counts and cycles become eight bulk adds from
+    /// the prefix tables, and the two `f64` accumulators advance
+    /// elementwise per instruction in fixed-width SIMD groups, each
+    /// lane in its own sequential add order. Mixed runs fall back to
+    /// the per-lane scalar body.
+    ///
+    /// # Errors
+    ///
+    /// Trace-level failures ([`SimError::BadPc`],
+    /// [`SimError::BadAccess`]) poison the whole batch, exactly as in
+    /// [`TraceReplayer::replay_batch`]. Per-candidate cycle-limit
+    /// deaths are recorded in the lane state.
+    ///
+    /// # Panics
+    ///
+    /// When `configs`/`sinks` lengths do not match the lane state.
+    pub fn replay_stretches<S: MemSink>(
+        &self,
+        decoded: &DecodedTrace,
+        stretches: std::ops::Range<usize>,
+        configs: &[SimConfig],
+        lanes: &mut BatchLanes,
+        sinks: &mut [S],
+    ) -> Result<(), SimError> {
+        assert_eq!(configs.len(), lanes.n, "lane state built for these configs");
+        assert_eq!(sinks.len(), lanes.n, "one sink per batched configuration");
+        let n = lanes.n;
+        if n == 0 || lanes.live == 0 {
+            // Every candidate died in an earlier range; like the
+            // sequential early return, nothing further is decoded.
+            return Ok(());
+        }
+        let lo_s = stretches.start.min(decoded.starts.len());
+        let hi_s = stretches.end.min(decoded.starts.len());
+
+        for (&start, &len) in decoded.starts[lo_s..hi_s]
             .iter()
-            .map(|config| {
-                let mut is_hw_block = vec![false; self.n_blocks];
-                for b in &config.hw_blocks {
-                    if let Some(flag) = is_hw_block.get_mut(b.0 as usize) {
-                        *flag = true;
-                    }
-                }
-                BatchLane {
-                    stats: self.fresh_stats(),
-                    is_hw_block,
-                    cycles: 0,
-                    energy: Energy::ZERO,
-                    class_switches: 0,
-                    sw_ifetches: 0,
-                    sw_reads: 0,
-                    sw_writes: 0,
-                    hw_loads: 0,
-                    hw_stores: 0,
-                    inst_counts: [0; 8],
-                    class_cycles: [0; 8],
-                    hw_entries: vec![0; self.n_blocks],
-                    prev_class: None,
-                    prev_block: None,
-                    prev_was_hw: false,
-                    dead: None,
-                }
-            })
-            .collect();
-        let mut live = lanes.len();
-
-        let mut decoded_insts: u64 = 0;
-        let mut addr_index: usize = 0;
-
-        // The shared walk, blocked by stretch: the stretch decode,
-        // bounds check and address-cursor arithmetic happen once per
-        // stretch, then each live lane runs the per-instruction body of
-        // the sequential replay over the whole stretch with its state
-        // in locals — same operations, same per-lane order, but the
-        // `PcInfo` slice is hot in cache for lanes 2..K and the `f64`
-        // accumulators stay in registers across the stretch.
-        'walk: for (&start, &len) in decoded.starts.iter().zip(&decoded.lens) {
+            .zip(&decoded.lens[lo_s..hi_s])
+        {
             let lo = start as usize;
             let hi = lo
                 .checked_add(len as usize)
                 .filter(|&hi| hi <= self.info.len())
                 .ok_or(SimError::BadPc { pc: start })?;
-            decoded_insts = decoded_insts.wrapping_add(len);
+            lanes.decoded_insts = lanes.decoded_insts.wrapping_add(len);
+            let stretch_a_lo = self.access_prefix[lo] as usize;
 
-            'lanes: for ((lane, sink), config) in
-                lanes.iter_mut().zip(sinks.iter_mut()).zip(configs)
-            {
-                if lane.dead.is_some() {
-                    continue;
-                }
-                // Lane state for the stretch, in registers. A lane that
-                // dies mid-stretch skips the write-back: its partial
-                // statistics are discarded with it, as in the
-                // sequential early return.
-                let mut ai = addr_index;
-                let mut cycles = lane.cycles;
-                let mut energy = lane.energy;
-                let mut class_switches = lane.class_switches;
-                let mut sw_ifetches = lane.sw_ifetches;
-                let mut sw_reads = lane.sw_reads;
-                let mut sw_writes = lane.sw_writes;
-                let mut hw_loads = lane.hw_loads;
-                let mut hw_stores = lane.hw_stores;
-                let mut prev_class = lane.prev_class;
-                let mut prev_block = lane.prev_block;
-                let mut prev_was_hw = lane.prev_was_hw;
+            // The stretch, segmented into maximal same-block runs: the
+            // block flag, block indices and entry accounting are
+            // per-run, not per-instruction. Only the *first* pc of a
+            // run can trigger block-entry accounting — every later pc
+            // sees `prev_block == block` — so hoisting the check is
+            // exact.
+            let mut pos = lo;
+            while pos < hi {
+                let rend = (self.run_end[pos] as usize).min(hi);
+                let first = &self.info[pos];
+                let bi = first.block_index;
+                // Address records of this run in the decoded stream:
+                // position-determined, identical for every lane.
+                let run_a_lo = self.access_prefix[pos] as usize;
+                let run_base = lanes.addr_index + (run_a_lo - stretch_a_lo);
+                let run_latency = self.lat_prefix[rend] - self.lat_prefix[pos];
+                let run_len = (rend - pos) as u32;
 
-                // The stretch, segmented into maximal same-block runs:
-                // the block flag, block indices and entry accounting
-                // are per-run, not per-instruction. Only the *first* pc
-                // of a run can trigger block-entry accounting — every
-                // later pc sees `prev_block == block` — so hoisting the
-                // check is exact.
-                let mut pos = lo;
-                while pos < hi {
-                    let rend = (self.run_end[pos] as usize).min(hi);
-                    let first = &self.info[pos];
-                    let block_index = first.block_index;
-                    let is_hw = lane.is_hw_block[block_index];
-
-                    if prev_block != Some(first.block) && first.is_block_start {
-                        lane.stats.block_counts[block_index] += 1;
-                        if is_hw && !prev_was_hw {
-                            lane.hw_entries[block_index] += 1;
+                // Classification pass, in lane order: block-entry
+                // accounting (whose condition is lane-independent, the
+                // shared `prev_block` memo) plus each lane's path
+                // choice. `ifetch_run_hits` both asks and — on accept —
+                // applies the bulk fetch, so it is called exactly where
+                // the per-lane walk would call it.
+                let entering = lanes.prev_block != Some(first.block) && first.is_block_start;
+                let mut all_bulk = true;
+                for l in 0..n {
+                    if lanes.dead[l].is_some() {
+                        lanes.choice[l] = RunChoice::Dead;
+                        all_bulk = false;
+                        continue;
+                    }
+                    let is_hw = lanes.is_hw[bi * n + l];
+                    if entering {
+                        lanes.block_counts[bi * n + l] += 1;
+                        if is_hw && !lanes.prev_was_hw[l] {
+                            lanes.hw_entries[bi * n + l] += 1;
                         }
                     }
-                    prev_block = Some(first.block);
-                    prev_was_hw = is_hw;
-
-                    let a_lo = self.access_prefix[pos] as usize;
-                    let a_hi = self.access_prefix[rend] as usize;
-
+                    lanes.prev_was_hw[l] = is_hw;
                     if is_hw {
-                        // Hardware run: no µP cycles, energy or sink
-                        // traffic — only the circuit-state reset and
-                        // the shared-memory access counters, walked by
-                        // access ordinal instead of by instruction.
-                        prev_class = None;
-                        for ordinal in a_lo..a_hi {
-                            let Some(&addr) = decoded.addrs.get(ai) else {
-                                // A missing address record is trace
-                                // damage: it poisons the whole batch,
-                                // exactly as in the sequential replay.
-                                return Err(SimError::BadAccess {
-                                    addr: 0,
-                                    pc: self.access_pc[ordinal],
-                                });
-                            };
-                            ai += 1;
-                            if addr < SLOT_BASE {
-                                if self.access_is_load[ordinal] {
-                                    hw_loads += 1;
-                                } else {
-                                    hw_stores += 1;
-                                }
-                            }
-                        }
-                        pos = rend;
+                        lanes.choice[l] = RunChoice::Hw;
+                        all_bulk = false;
                         continue;
                     }
-
-                    // Software run. When no instruction in the run can
-                    // hit the cycle limit, tracing is off, and the sink
-                    // accepts the run's consecutive word fetches as
-                    // guaranteed hits, the i-fetches are delivered in
-                    // one batch and the loop below carries only the
-                    // per-instruction accounting and data accesses —
-                    // the per-lane order of every accumulator is
-                    // unchanged (i-cache and data-side state are
-                    // disjoint, and a fetch hit touches no shared
-                    // accumulator).
-                    let run_latency = self.lat_prefix[rend] - self.lat_prefix[pos];
-                    let run_len = (rend - pos) as u32;
-                    let fetched_in_bulk = (config.max_cycles == 0
-                        || cycles + run_latency <= config.max_cycles)
+                    let config = &configs[l];
+                    let bulk = (config.max_cycles == 0
+                        || lanes.cycles[l] + run_latency <= config.max_cycles)
                         && config.trace_limit == 0
-                        && sink.ifetch_run_hits(first.inst_addr, run_len);
+                        && sinks[l].ifetch_run_hits(first.inst_addr, run_len);
+                    lanes.choice[l] = if bulk {
+                        RunChoice::Bulk
+                    } else {
+                        all_bulk = false;
+                        RunChoice::Exact
+                    };
+                }
+                lanes.prev_block = Some(first.block);
 
-                    if fetched_in_bulk {
-                        sw_ifetches += run_len as u64;
-                        let block_row = &mut lane.stats.block_class_cycles[block_index];
-                        let mut run_cycles = lane.stats.block_cycles[block_index];
-                        let mut run_energy = lane.stats.block_energy[block_index];
-                        for info in &self.info[pos..rend] {
-                            cycles += info.latency;
-                            let mut e = info.base_energy;
-                            if let Some(p) = prev_class {
-                                if p != info.class {
-                                    e += self.inter_inst_overhead;
-                                    class_switches += 1;
-                                }
-                            }
-                            prev_class = Some(info.class);
-                            energy += e;
-                            run_cycles += info.latency;
-                            run_energy += e;
-                            lane.inst_counts[info.class_index] += 1;
-                            lane.class_cycles[info.class_index] += info.latency;
-                            block_row[info.class_index] += info.latency;
-                        }
-                        lane.stats.block_cycles[block_index] = run_cycles;
-                        lane.stats.block_energy[block_index] = run_energy;
-                        for ordinal in a_lo..a_hi {
-                            let Some(&addr) = decoded.addrs.get(ai) else {
-                                return Err(SimError::BadAccess {
-                                    addr: 0,
-                                    pc: self.access_pc[ordinal],
-                                });
-                            };
-                            ai += 1;
+                if all_bulk {
+                    self.run_vectorized(decoded, lanes, sinks, pos, rend, run_base)?;
+                } else {
+                    self.run_scalar(decoded, configs, lanes, sinks, pos, rend, run_base)?;
+                }
+                pos = rend;
+            }
+
+            // All lanes consume the same address records per stretch —
+            // the count is position-determined, not candidate-dependent
+            // — so the shared cursor advances by the prefix difference.
+            lanes.addr_index += (self.access_prefix[hi] - self.access_prefix[lo]) as usize;
+
+            if lanes.live == 0 {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// The all-lanes-bulk vector path of one software run: every lane
+    /// is live, software-mapped and had its i-fetches accepted in bulk,
+    /// so every lane-independent delta is applied to the whole lane
+    /// vector at once. Only the *first* instruction's energy and class
+    /// switch depend on lane history; instructions `pos+1..rend` add
+    /// the precomputed `intra_energy` elementwise — per lane, the same
+    /// `f64` operands in the same order as the sequential replay.
+    #[allow(clippy::too_many_arguments)]
+    fn run_vectorized<S: MemSink>(
+        &self,
+        decoded: &DecodedTrace,
+        lanes: &mut BatchLanes,
+        sinks: &mut [S],
+        pos: usize,
+        rend: usize,
+        run_base: usize,
+    ) -> Result<(), SimError> {
+        let n = lanes.n;
+        let first = &self.info[pos];
+        let bi = first.block_index;
+        let run_latency = self.lat_prefix[rend] - self.lat_prefix[pos];
+        let run_len = (rend - pos) as u64;
+
+        lanes_add_u64(&mut lanes.cycles, run_latency);
+        lanes_add_u64(&mut lanes.sw_ifetches, run_len);
+        lanes_add_u64(&mut lanes.block_cycles[bi * n..bi * n + n], run_latency);
+
+        // Per-class counts and cycles of the run, from the prefix
+        // tables: lane-independent, eight bulk adds instead of
+        // `run_len` scalar updates per lane.
+        let cnt_lo = &self.class_count_prefix[pos];
+        let cnt_hi = &self.class_count_prefix[rend];
+        let cyc_lo = &self.class_cycle_prefix[pos];
+        let cyc_hi = &self.class_cycle_prefix[rend];
+        for c in 0..8 {
+            let count = cnt_hi[c] - cnt_lo[c];
+            if count == 0 {
+                continue;
+            }
+            let cyc = cyc_hi[c] - cyc_lo[c];
+            lanes_add_u64(&mut lanes.inst_counts[c * n..c * n + n], count);
+            lanes_add_u64(&mut lanes.class_cycles[c * n..c * n + n], cyc);
+            lanes_add_u64(&mut lanes.block_class_cycles[(bi * 8 + c) * n..][..n], cyc);
+        }
+        let intra_switches = self.switch_prefix[rend] - self.switch_prefix[pos + 1];
+        if intra_switches > 0 {
+            lanes_add_u64(&mut lanes.class_switches, intra_switches);
+        }
+
+        // First instruction: the only lane-dependent energy/switch.
+        for l in 0..n {
+            let mut e = first.base_energy;
+            if let Some(p) = lanes.prev_class[l] {
+                if p != first.class {
+                    e += self.inter_inst_overhead;
+                    lanes.class_switches[l] += 1;
+                }
+            }
+            lanes.energy[l] += e;
+            lanes.block_energy[bi * n + l] += e;
+        }
+        // Instructions 1..: lane-independent energies, elementwise per
+        // event across the lane vector.
+        {
+            let energy = lanes.energy.as_mut_slice();
+            let block_row = &mut lanes.block_energy[bi * n..bi * n + n];
+            for p in pos + 1..rend {
+                lanes_add_energy(energy, block_row, self.intra_energy[p]);
+            }
+        }
+        lanes.prev_class.fill(Some(self.info[rend - 1].class));
+
+        // Data accesses: each lane sees the run's records in order, so
+        // the per-lane sink sequence (bulk i-fetches, then reads and
+        // writes in record order) matches the sequential replay's.
+        let mut loads = 0u64;
+        let run_a_lo = self.access_prefix[pos] as usize;
+        let run_a_hi = self.access_prefix[rend] as usize;
+        for (ai, ordinal) in (run_base..).zip(run_a_lo..run_a_hi) {
+            let Some(&addr) = decoded.addrs.get(ai) else {
+                // A missing address record is trace damage: it poisons
+                // the whole batch, exactly as in the sequential replay.
+                return Err(SimError::BadAccess {
+                    addr: 0,
+                    pc: self.access_pc[ordinal],
+                });
+            };
+            if self.access_is_load[ordinal] {
+                loads += 1;
+                for sink in sinks.iter_mut() {
+                    sink.read(addr);
+                }
+            } else {
+                for sink in sinks.iter_mut() {
+                    sink.write(addr);
+                }
+            }
+        }
+        if run_a_hi > run_a_lo {
+            lanes_add_u64(&mut lanes.sw_reads, loads);
+            lanes_add_u64(&mut lanes.sw_writes, (run_a_hi - run_a_lo) as u64 - loads);
+        }
+        Ok(())
+    }
+
+    /// The mixed-run fallback: each lane executes its classified path
+    /// (hardware / bulk / exact) scalar, in lane order — byte for byte
+    /// the per-lane bodies of the pre-SoA batched walk.
+    #[allow(clippy::too_many_arguments)]
+    fn run_scalar<S: MemSink>(
+        &self,
+        decoded: &DecodedTrace,
+        configs: &[SimConfig],
+        lanes: &mut BatchLanes,
+        sinks: &mut [S],
+        pos: usize,
+        rend: usize,
+        run_base: usize,
+    ) -> Result<(), SimError> {
+        let n = lanes.n;
+        let bi = self.info[pos].block_index;
+        let run_a_lo = self.access_prefix[pos] as usize;
+        let run_a_hi = self.access_prefix[rend] as usize;
+        let run_latency = self.lat_prefix[rend] - self.lat_prefix[pos];
+        let run_len = (rend - pos) as u64;
+
+        for l in 0..n {
+            match lanes.choice[l] {
+                RunChoice::Dead => {}
+                RunChoice::Hw => {
+                    // Hardware run: no µP cycles, energy or sink
+                    // traffic — only the circuit-state reset and the
+                    // shared-memory access counters, walked by access
+                    // ordinal instead of by instruction.
+                    lanes.prev_class[l] = None;
+                    for (ai, ordinal) in (run_base..).zip(run_a_lo..run_a_hi) {
+                        let Some(&addr) = decoded.addrs.get(ai) else {
+                            return Err(SimError::BadAccess {
+                                addr: 0,
+                                pc: self.access_pc[ordinal],
+                            });
+                        };
+                        if addr < SLOT_BASE {
                             if self.access_is_load[ordinal] {
-                                sw_reads += 1;
-                                sink.read(addr);
+                                lanes.hw_loads[l] += 1;
                             } else {
-                                sw_writes += 1;
-                                sink.write(addr);
+                                lanes.hw_stores[l] += 1;
                             }
                         }
-                        pos = rend;
-                        continue;
                     }
-
+                }
+                RunChoice::Bulk => {
+                    // The accepted probe already delivered the
+                    // i-fetches; the accounting runs scalar for this
+                    // lane only.
+                    lanes.sw_ifetches[l] += run_len;
+                    let mut cycles = lanes.cycles[l];
+                    let mut energy = lanes.energy[l];
+                    let mut prev_class = lanes.prev_class[l];
+                    let mut block_energy = lanes.block_energy[bi * n + l];
+                    for info in &self.info[pos..rend] {
+                        cycles += info.latency;
+                        let mut e = info.base_energy;
+                        if let Some(p) = prev_class {
+                            if p != info.class {
+                                e += self.inter_inst_overhead;
+                                lanes.class_switches[l] += 1;
+                            }
+                        }
+                        prev_class = Some(info.class);
+                        energy += e;
+                        block_energy += e;
+                        lanes.inst_counts[info.class_index * n + l] += 1;
+                        lanes.class_cycles[info.class_index * n + l] += info.latency;
+                        lanes.block_class_cycles[(bi * 8 + info.class_index) * n + l] +=
+                            info.latency;
+                    }
+                    lanes.cycles[l] = cycles;
+                    lanes.energy[l] = energy;
+                    lanes.prev_class[l] = prev_class;
+                    lanes.block_energy[bi * n + l] = block_energy;
+                    lanes.block_cycles[bi * n + l] += run_latency;
+                    for (ai, ordinal) in (run_base..).zip(run_a_lo..run_a_hi) {
+                        let Some(&addr) = decoded.addrs.get(ai) else {
+                            return Err(SimError::BadAccess {
+                                addr: 0,
+                                pc: self.access_pc[ordinal],
+                            });
+                        };
+                        if self.access_is_load[ordinal] {
+                            lanes.sw_reads[l] += 1;
+                            sinks[l].read(addr);
+                        } else {
+                            lanes.sw_writes[l] += 1;
+                            sinks[l].write(addr);
+                        }
+                    }
+                }
+                RunChoice::Exact => {
                     // Exact per-instruction body: cycle-limit death at
                     // the precise pc, interleaved sink calls, optional
-                    // trace capture.
+                    // trace capture. A lane that dies keeps its partial
+                    // row updates — they are discarded with the lane's
+                    // error at finish, as in the sequential early
+                    // return.
+                    let config = &configs[l];
+                    let mut ai = run_base;
+                    let mut cycles = lanes.cycles[l];
+                    let mut prev_class = lanes.prev_class[l];
+                    let mut died = false;
                     for (off, info) in self.info[pos..rend].iter().enumerate() {
                         cycles += info.latency;
                         if config.max_cycles > 0 && cycles > config.max_cycles {
-                            lane.dead = Some(SimError::CycleLimit {
+                            lanes.dead[l] = Some(SimError::CycleLimit {
                                 limit: config.max_cycles,
                             });
-                            live -= 1;
-                            continue 'lanes;
+                            lanes.live -= 1;
+                            died = true;
+                            break;
                         }
                         let mut e = info.base_energy;
                         if let Some(p) = prev_class {
                             if p != info.class {
                                 e += self.inter_inst_overhead;
-                                class_switches += 1;
+                                lanes.class_switches[l] += 1;
                             }
                         }
                         prev_class = Some(info.class);
-                        energy += e;
-                        lane.stats.block_cycles[block_index] += info.latency;
-                        lane.stats.block_energy[block_index] += e;
-                        lane.inst_counts[info.class_index] += 1;
-                        lane.class_cycles[info.class_index] += info.latency;
-                        lane.stats.block_class_cycles[block_index][info.class_index] +=
+                        lanes.energy[l] += e;
+                        lanes.block_cycles[bi * n + l] += info.latency;
+                        lanes.block_energy[bi * n + l] += e;
+                        lanes.inst_counts[info.class_index * n + l] += 1;
+                        lanes.class_cycles[info.class_index * n + l] += info.latency;
+                        lanes.block_class_cycles[(bi * 8 + info.class_index) * n + l] +=
                             info.latency;
-                        sw_ifetches += 1;
-                        sink.ifetch(info.inst_addr);
-                        if lane.stats.trace.len() < config.trace_limit {
-                            lane.stats.trace.push(TraceEntry {
+                        lanes.sw_ifetches[l] += 1;
+                        sinks[l].ifetch(info.inst_addr);
+                        if lanes.traces[l].len() < config.trace_limit {
+                            lanes.traces[l].push(TraceEntry {
                                 pc: (pos + off) as u32,
                                 inst: info.inst,
                                 cycles,
@@ -1188,8 +1573,8 @@ impl TraceReplayer {
                                     });
                                 };
                                 ai += 1;
-                                sw_reads += 1;
-                                sink.read(addr);
+                                lanes.sw_reads[l] += 1;
+                                sinks[l].read(addr);
                             }
                             AccessKind::Store => {
                                 let Some(&addr) = decoded.addrs.get(ai) else {
@@ -1199,89 +1584,90 @@ impl TraceReplayer {
                                     });
                                 };
                                 ai += 1;
-                                sw_writes += 1;
-                                sink.write(addr);
+                                lanes.sw_writes[l] += 1;
+                                sinks[l].write(addr);
                             }
                         }
                     }
-                    pos = rend;
+                    if !died {
+                        lanes.cycles[l] = cycles;
+                        lanes.prev_class[l] = prev_class;
+                    }
                 }
-
-                lane.cycles = cycles;
-                lane.energy = energy;
-                lane.class_switches = class_switches;
-                lane.sw_ifetches = sw_ifetches;
-                lane.sw_reads = sw_reads;
-                lane.sw_writes = sw_writes;
-                lane.hw_loads = hw_loads;
-                lane.hw_stores = hw_stores;
-                lane.prev_class = prev_class;
-                lane.prev_block = prev_block;
-                lane.prev_was_hw = prev_was_hw;
-            }
-
-            // All lanes consume the same address records per stretch —
-            // the count is position-determined, not candidate-dependent
-            // — so the shared cursor advances by the precomputed prefix
-            // difference.
-            addr_index += (self.access_prefix[hi] - self.access_prefix[lo]) as usize;
-
-            if live == 0 {
-                // Every candidate died mid-stream; like the sequential
-                // early return, nothing further is decoded and the
-                // conservation checks are moot.
-                break 'walk;
             }
         }
+        Ok(())
+    }
 
-        // Conservation checks, identical to the sequential replay's;
-        // skipped only when every lane already died (the sequential
-        // path returns before reaching them in that case too).
-        if live > 0
-            && (decoded_insts != decoded.events
-                || addr_index as u64 != decoded.data_events
-                || addr_index != decoded.addrs.len())
+    /// Seals a [`TraceReplayer::replay_stretches`] walk that covered
+    /// the whole stretch list: runs the conservation checks and folds
+    /// the structure-of-arrays lane state into per-candidate
+    /// [`RunStats`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TraceCorrupt`] when the walk decoded fewer events
+    /// than the trace recorded and at least one lane survived —
+    /// identical to the sequential replay's checks (skipped only when
+    /// every lane already died, as the sequential path returns before
+    /// reaching them in that case too).
+    pub fn finish_batch(
+        &self,
+        decoded: &DecodedTrace,
+        mut lanes: BatchLanes,
+    ) -> Result<Vec<Result<RunStats, SimError>>, SimError> {
+        let n = lanes.n;
+        if lanes.live > 0
+            && (lanes.decoded_insts != decoded.events
+                || lanes.addr_index as u64 != decoded.data_events
+                || lanes.addr_index != decoded.addrs.len())
         {
             return Err(SimError::TraceCorrupt {
                 detail: format!(
-                    "decoded {decoded_insts} of {} recorded instructions and {addr_index} of {} recorded data accesses",
-                    decoded.events, decoded.data_events
+                    "decoded {} of {} recorded instructions and {} of {} recorded data accesses",
+                    lanes.decoded_insts, decoded.events, lanes.addr_index, decoded.data_events
                 ),
             });
         }
 
-        Ok(lanes
-            .into_iter()
-            .map(|lane| match lane.dead {
-                Some(err) => Err(err),
-                None => {
-                    let mut stats = lane.stats;
-                    stats.cycles = Cycles::new(lane.cycles);
-                    stats.energy = lane.energy;
-                    stats.class_switches = lane.class_switches;
-                    stats.sw_ifetches = lane.sw_ifetches;
-                    stats.sw_reads = lane.sw_reads;
-                    stats.sw_writes = lane.sw_writes;
-                    stats.hw_loads = lane.hw_loads;
-                    stats.hw_stores = lane.hw_stores;
-                    for (index, &class) in InstClass::ALL.iter().enumerate() {
-                        *stats.inst_counts.get_mut(&class).expect("class") =
-                            lane.inst_counts[index];
-                        *stats.class_cycles.get_mut(&class).expect("class") =
-                            lane.class_cycles[index];
-                    }
-                    for (block, &entries) in lane.hw_entries.iter().enumerate() {
-                        if entries > 0 {
-                            stats
-                                .hw_block_entries
-                                .insert(BlockId(block as u32), entries);
-                        }
-                    }
-                    stats.return_value = decoded.return_value;
-                    Ok(stats)
+        let mut out = Vec::with_capacity(n);
+        for l in 0..n {
+            if let Some(err) = lanes.dead[l].take() {
+                out.push(Err(err));
+                continue;
+            }
+            let mut stats = self.fresh_stats();
+            stats.cycles = Cycles::new(lanes.cycles[l]);
+            stats.energy = lanes.energy[l];
+            stats.class_switches = lanes.class_switches[l];
+            stats.sw_ifetches = lanes.sw_ifetches[l];
+            stats.sw_reads = lanes.sw_reads[l];
+            stats.sw_writes = lanes.sw_writes[l];
+            stats.hw_loads = lanes.hw_loads[l];
+            stats.hw_stores = lanes.hw_stores[l];
+            for (index, &class) in InstClass::ALL.iter().enumerate() {
+                *stats.inst_counts.get_mut(&class).expect("class") =
+                    lanes.inst_counts[index * n + l];
+                *stats.class_cycles.get_mut(&class).expect("class") =
+                    lanes.class_cycles[index * n + l];
+            }
+            for b in 0..self.n_blocks {
+                stats.block_counts[b] = lanes.block_counts[b * n + l];
+                stats.block_cycles[b] = lanes.block_cycles[b * n + l];
+                stats.block_energy[b] = lanes.block_energy[b * n + l];
+                for c in 0..8 {
+                    stats.block_class_cycles[b][c] = lanes.block_class_cycles[(b * 8 + c) * n + l];
                 }
-            })
-            .collect())
+                let entries = lanes.hw_entries[b * n + l];
+                if entries > 0 {
+                    stats.hw_block_entries.insert(BlockId(b as u32), entries);
+                }
+            }
+            stats.trace = std::mem::take(&mut lanes.traces[l]);
+            stats.return_value = decoded.return_value;
+            out.push(Ok(stats));
+        }
+        Ok(out)
     }
 }
 
@@ -1566,6 +1952,98 @@ mod tests {
         assert!(batch
             .iter()
             .all(|lane| matches!(lane, Err(SimError::CycleLimit { .. }))));
+    }
+
+    #[test]
+    fn lane_vector_helpers_match_scalar_reference() {
+        // The SIMD-group helpers must be bit-identical to the scalar
+        // per-lane adds for every lane count around the group width —
+        // the codegen smoke for the chunked form `run_vectorized`
+        // leans on.
+        for n in [1, 2, 3, 4, 5, 7, 8, 9, 16, 17] {
+            let mut counts = vec![0u64; n];
+            lanes_add_u64(&mut counts, 7);
+            lanes_add_u64(&mut counts, 3);
+            assert!(counts.iter().all(|&c| c == 10), "n = {n}");
+
+            let es: Vec<f64> = (0..50).map(|i| 1.0 / (i as f64 + 3.0)).collect();
+            let mut energy = vec![Energy::ZERO; n];
+            let mut block = vec![Energy::ZERO; n];
+            for &e in &es {
+                lanes_add_energy(&mut energy, &mut block, Energy::from_joules(e));
+            }
+            let mut reference = Energy::ZERO;
+            for &e in &es {
+                reference += Energy::from_joules(e);
+            }
+            for l in 0..n {
+                assert_eq!(energy[l], reference, "n = {n}, lane {l}");
+                assert_eq!(block[l], reference, "n = {n}, lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn resumable_stretch_walk_matches_full_walk() {
+        // Splitting the walk over arbitrary stretch ranges — the shard
+        // mechanism of the threaded driver — must leave the lane state
+        // exactly where one full-range walk leaves it.
+        let input: Vec<i64> = (0..32).map(|i| (i * 11) % 13 - 6).collect();
+        let (app, prog) = setup(TWO_LOOPS);
+        let (_, trace) = capture(&app, &prog, Some(("a", &input)));
+        let replayer = TraceReplayer::new(&prog, &app, &EnergyTable::default());
+        let decoded = DecodedTrace::decode(&trace);
+        let total = decoded.stretches();
+        assert!(total > 4);
+
+        let first_loop = app.structure().iter().find(|n| n.is_loop()).expect("loop");
+        let hw: HashSet<BlockId> = first_loop.blocks().iter().copied().collect();
+        let configs = [
+            SimConfig::initial(10_000_000),
+            SimConfig::partitioned(10_000_000, hw),
+        ];
+
+        let mut full_sinks = [NullSink, NullSink];
+        let full = replayer
+            .replay_batch(&decoded, &configs, &mut full_sinks)
+            .unwrap();
+
+        for cuts in [vec![1, total], vec![total / 2, total], vec![3, 7, total]] {
+            let mut lanes = replayer.batch_lanes(&configs);
+            let mut sinks = [NullSink, NullSink];
+            let mut from = 0;
+            for cut in cuts {
+                replayer
+                    .replay_stretches(&decoded, from..cut, &configs, &mut lanes, &mut sinks)
+                    .unwrap();
+                from = cut;
+            }
+            let split = replayer.finish_batch(&decoded, lanes).unwrap();
+            for (a, b) in full.iter().zip(&split) {
+                assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_by_events_partitions_stretches() {
+        let (app, prog) = setup(TWO_LOOPS);
+        let (_, trace) = capture(&app, &prog, None);
+        let decoded = DecodedTrace::decode(&trace);
+        for target in [1, 5, decoded.events() / 3, u64::MAX] {
+            let shards = decoded.shard_by_events(target);
+            assert!(!shards.is_empty(), "target = {target}");
+            let mut expect = 0;
+            for shard in &shards {
+                assert_eq!(shard.start, expect, "target = {target}");
+                assert!(shard.end >= shard.start);
+                expect = shard.end;
+            }
+            assert_eq!(expect, decoded.stretches(), "target = {target}");
+        }
+        assert_eq!(decoded.shard_by_events(u64::MAX).len(), 1);
+        // Event-balanced: a mid-size target yields several shards.
+        assert!(decoded.shard_by_events(decoded.events() / 4).len() >= 3);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use corepart::prepare::{prepare, PreparedApp, Workload};
 use corepart::sched::binding::{bind, schedule_cluster, utilization};
 use corepart::sched::cache::{ScheduleCache, ScheduledCluster};
 use corepart::system::SystemConfig;
-use corepart::verify::{replay_batch, replay_run};
+use corepart::verify::{replay_batch, replay_batch_with, replay_run, BatchOptions};
 use corepart_workloads::{all, by_name};
 
 struct HierarchyMemSink<'a>(&'a mut Hierarchy);
@@ -459,5 +459,101 @@ proptest! {
             let sequential = replay_run(&prepared, &config, &trace, hw).expect("sequential");
             prop_assert_eq!(&sequential, got);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The stretch-sharded, lane-grouped batch walk is bit-identical
+    /// to the one-candidate replay for every thread count and shard
+    /// granularity, on every paper workload: threading changes the
+    /// schedule of the walk, never a single f64 in any lane.
+    #[test]
+    fn threaded_batched_replay_is_bit_identical_on_all_workloads(
+        workload_pick in 0usize..6,
+        threads_pick in 0usize..4,
+        shard_pick in 0usize..4,
+        masks in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 16..17),
+            1..6,
+        ),
+    ) {
+        let threads = [1usize, 2, 4, 8][threads_pick];
+        let shard_events = [0u64, 1, 97, 4096][shard_pick];
+        let workloads = all();
+        let w = &workloads[workload_pick % workloads.len()];
+        let config = SystemConfig::new();
+        let prepared = prepare(
+            w.app().expect("lowers"),
+            Workload::from_arrays(w.arrays(1)),
+            &config,
+        )
+        .expect("prepares");
+
+        let candidates: Vec<HashSet<BlockId>> = masks
+            .iter()
+            .map(|mask| {
+                (0..prepared.app.blocks().len())
+                    .filter(|&b| mask[b % mask.len()])
+                    .map(|b| BlockId(b as u32))
+                    .collect()
+            })
+            .collect();
+
+        let (_, _, trace) =
+            corepart::evaluate::evaluate_initial_captured(&prepared, &config, usize::MAX)
+                .expect("initial run");
+        let trace = trace.expect("paper workload fits");
+
+        let opts = BatchOptions { threads, shard_events };
+        let batched =
+            replay_batch_with(&prepared, &config, &trace, &candidates, opts).expect("batch");
+        prop_assert_eq!(batched.len(), candidates.len());
+        for (hw, got) in candidates.iter().zip(&batched) {
+            let sequential = replay_run(&prepared, &config, &trace, hw).expect("sequential");
+            prop_assert_eq!(&sequential, got);
+        }
+    }
+}
+
+#[test]
+fn shard_boundary_mid_loop_is_bit_identical() {
+    // Fixed regression case: `shard_events: 1` forces a shard cut
+    // after every stretch — in particular in the middle of each loop
+    // body — so the hierarchy snapshot/resume carry is exercised at
+    // every possible boundary, with a single lane (K = 1) so nothing
+    // can hide behind lane grouping.
+    let w = by_name("digs").expect("digs exists");
+    let config = SystemConfig::new();
+    let prepared = prepare(
+        w.app().expect("lowers"),
+        Workload::from_arrays(w.arrays(1)),
+        &config,
+    )
+    .expect("prepares");
+    let (_, _, trace) =
+        corepart::evaluate::evaluate_initial_captured(&prepared, &config, usize::MAX)
+            .expect("initial run");
+    let trace = trace.expect("digs fits");
+
+    let hot = prepared
+        .chain
+        .iter()
+        .find(|c| c.is_loop())
+        .expect("digs has a loop cluster");
+    let hw: HashSet<BlockId> = hot.blocks.iter().copied().collect();
+    let sequential = replay_run(&prepared, &config, &trace, &hw).expect("sequential");
+
+    for threads in [1usize, 2] {
+        let opts = BatchOptions {
+            threads,
+            shard_events: 1,
+        };
+        let sharded =
+            replay_batch_with(&prepared, &config, &trace, std::slice::from_ref(&hw), opts)
+                .expect("sharded replay");
+        assert_eq!(sharded.len(), 1);
+        assert_eq!(sequential, sharded[0], "threads={threads}");
     }
 }
