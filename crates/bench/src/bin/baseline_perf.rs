@@ -42,10 +42,12 @@ use corepart::evaluate::{evaluate_partition, evaluate_partition_with};
 use corepart::explore::{explore, hardware_weight_sweep, DesignPoint};
 use corepart::ir::op::BlockId;
 use corepart::isa::simulator::{MemSink, RunStats, SimConfig, Simulator};
-use corepart::json::outcome_to_json;
+use corepart::json::{outcome_to_json, result_field};
 use corepart::parallel::resolve_threads;
 use corepart::partition::{PartitionOutcome, Partitioner};
 use corepart::prepare::{PreparedApp, Workload};
+use corepart::serve::{handle_line, respond_fresh, ComputeKind, ComputeRequest};
+use corepart::store::{ArtifactStore, StoreOptions};
 use corepart::system::SystemConfig;
 use corepart::verify::{replay_batch_with, replay_run, BatchOptions};
 use corepart_bench::SEED;
@@ -320,6 +322,177 @@ fn measure_batch(
     Some(rows)
 }
 
+/// The serve-protocol request of one paper workload: a full partition
+/// run over its bundled source and seeded arrays.
+fn serve_request(w: &PaperWorkload) -> ComputeRequest {
+    let mut req = ComputeRequest::new(ComputeKind::Partition, w.source);
+    req.arrays = w.arrays(SEED);
+    req
+}
+
+/// Cold-vs-warm daemon timing on one application: `requests` identical
+/// requests against per-request fresh engines (what every client paid
+/// before the daemon existed) versus the same stream through a warm
+/// [`ArtifactStore`]. Returns the JSON row and the app's settled store
+/// footprint in bytes (used to size the Zipf section's budget).
+fn measure_serve_app(w: &PaperWorkload, requests: usize) -> (String, u64) {
+    let base = SystemConfig::new();
+    let req = serve_request(w);
+    let line = req.to_json();
+
+    let cold_start = Instant::now();
+    let reference = respond_fresh(&base, &req);
+    assert!(reference.contains("\"ok\":true"), "{reference}");
+    let mut identical = true;
+    for _ in 1..requests {
+        let again = respond_fresh(&base, &req);
+        identical &= result_field(&again) == result_field(&reference);
+    }
+    let cold_nanos = cold_start.elapsed().as_nanos() as u64;
+
+    let store = ArtifactStore::new(
+        base,
+        &StoreOptions {
+            shards: 1,
+            ..StoreOptions::default()
+        },
+    )
+    .expect("store");
+    let warm_start = Instant::now();
+    for _ in 0..requests {
+        let (response, _) = handle_line(&store, &line);
+        assert!(response.contains("\"ok\":true"), "{response}");
+        identical &= result_field(&response) == result_field(&reference);
+    }
+    let warm_nanos = warm_start.elapsed().as_nanos() as u64;
+
+    let stats = store.stats();
+    let speedup = cold_nanos as f64 / warm_nanos.max(1) as f64;
+    println!(
+        "{:<8} {:>4} {:>12.1} {:>12.1} {:>8.2}x {:>9.2} {:>10}",
+        w.name,
+        requests,
+        cold_nanos as f64 / 1e6,
+        warm_nanos as f64 / 1e6,
+        speedup,
+        stats.hit_rate(),
+        identical
+    );
+    (
+        format!(
+            concat!(
+                "{{\"app\":\"{}\",\"requests\":{},\"cold_nanos\":{},",
+                "\"warm_nanos\":{},\"speedup\":{:.4},\"hit_rate\":{:.4},",
+                "\"p50_nanos\":{},\"p95_nanos\":{},\"p99_nanos\":{},",
+                "\"identical\":{}}}"
+            ),
+            w.name,
+            requests,
+            cold_nanos,
+            warm_nanos,
+            speedup,
+            stats.hit_rate(),
+            stats.latency.p50_nanos,
+            stats.latency.p95_nanos,
+            stats.latency.p99_nanos,
+            identical
+        ),
+        stats.bytes,
+    )
+}
+
+/// Zipf-like reuse across all selected applications through one
+/// budgeted store: rank `r` (by Table-1 order) receives requests in
+/// proportion to `1/r`, interleaved round-robin — the head apps stay
+/// hot, the tail contends for the budget. With more than one app the
+/// budget is sized below the sum of the measured per-app footprints
+/// (but above the largest single one), so the working set cannot fully
+/// fit and the store must evict; repeats still answer warm from the
+/// result memo, so the hit rate stays high while baselines churn.
+fn measure_serve_zipf(selected: &[PaperWorkload], per_app_bytes: &[u64], total: usize) -> String {
+    let n = selected.len();
+    let h: f64 = (1..=n).map(|r| 1.0 / r as f64).sum();
+    let counts: Vec<usize> = (1..=n)
+        .map(|r| ((total as f64 / (r as f64 * h)).round() as usize).max(1))
+        .collect();
+    let rounds = counts.iter().copied().max().unwrap_or(0);
+    let mut schedule: Vec<usize> = Vec::new();
+    for round in 0..rounds {
+        for (i, &count) in counts.iter().enumerate() {
+            if round < count {
+                schedule.push(i);
+            }
+        }
+    }
+    let lines: Vec<String> = selected
+        .iter()
+        .map(|w| serve_request(w).to_json())
+        .collect();
+
+    let largest = per_app_bytes.iter().copied().max().unwrap_or(0);
+    let sum: u64 = per_app_bytes.iter().sum();
+    let budget_bytes = if n > 1 {
+        (sum * 7 / 10).max(largest * 5 / 4)
+    } else {
+        largest * 5 / 2
+    };
+    let store = ArtifactStore::new(
+        SystemConfig::new(),
+        &StoreOptions {
+            shards: 2,
+            budget_bytes,
+            ..StoreOptions::default()
+        },
+    )
+    .expect("store");
+
+    let start = Instant::now();
+    for &i in &schedule {
+        let (response, _) = handle_line(&store, &lines[i]);
+        assert!(response.contains("\"ok\":true"), "{response}");
+    }
+    let nanos = start.elapsed().as_nanos() as u64;
+
+    let stats = store.stats();
+    assert!(
+        stats.bytes <= budget_bytes,
+        "accounted {} exceeds the budget {}",
+        stats.bytes,
+        budget_bytes
+    );
+    let throughput_rps = schedule.len() as f64 / (nanos as f64 / 1e9).max(1e-9);
+    println!(
+        "\nzipf: {} requests over {} app(s), budget {:.1} MiB: \
+         {:.2} req/s, hit rate {:.2}, {} eviction(s), {} declined",
+        schedule.len(),
+        n,
+        budget_bytes as f64 / (1 << 20) as f64,
+        throughput_rps,
+        stats.hit_rate(),
+        stats.evictions,
+        stats.declined
+    );
+    format!(
+        concat!(
+            "{{\"requests\":{},\"apps\":{},\"budget_bytes\":{},",
+            "\"warm_nanos\":{},\"throughput_rps\":{:.4},\"hit_rate\":{:.4},",
+            "\"evictions\":{},\"declined\":{},",
+            "\"p50_nanos\":{},\"p95_nanos\":{},\"p99_nanos\":{}}}"
+        ),
+        schedule.len(),
+        n,
+        budget_bytes,
+        nanos,
+        throughput_rps,
+        stats.hit_rate(),
+        stats.evictions,
+        stats.declined,
+        stats.latency.p50_nanos,
+        stats.latency.p95_nanos,
+        stats.latency.p99_nanos
+    )
+}
+
 fn main() {
     let filter = std::env::args().nth(1);
     let selected: Vec<PaperWorkload> = match filter.as_deref() {
@@ -492,13 +665,40 @@ fn main() {
         );
     }
 
+    // Serve daemon: a warm artifact store versus the cold per-request
+    // engines every client paid before it, then Zipf-like fingerprint
+    // reuse through a byte-budgeted store.
+    const SERVE_REQUESTS: usize = 24;
+    println!("\nserve: warm store vs per-request engines ({SERVE_REQUESTS} requests/app)\n");
+    println!(
+        "{:<8} {:>4} {:>12} {:>12} {:>9} {:>9} {:>10}",
+        "app", "N", "cold ms", "warm ms", "speedup", "hit rate", "identical"
+    );
+    let serve_apps: Vec<PaperWorkload> = match filter.as_deref() {
+        Some(name) => vec![by_name(name).expect("validated above")],
+        None => all(),
+    };
+    let mut serve_rows: Vec<String> = Vec::new();
+    let mut footprints: Vec<u64> = Vec::new();
+    for w in &serve_apps {
+        let (row, bytes) = measure_serve_app(w, SERVE_REQUESTS);
+        serve_rows.push(row);
+        footprints.push(bytes);
+    }
+    let zipf_row = measure_serve_zipf(&serve_apps, &footprints, 24);
+
     let json = format!(
-        "{{\"seed\":{},\"threads\":{},\"workloads\":[{}],\"batch\":[{}],\"sweep\":[{}]}}\n",
+        concat!(
+            "{{\"seed\":{},\"threads\":{},\"workloads\":[{}],\"batch\":[{}],",
+            "\"sweep\":[{}],\"serve\":{{\"per_app\":[{}],\"zipf\":{}}}}}\n"
+        ),
         SEED,
         threads,
         outcome_rows.join(","),
         batch_rows.join(","),
-        sweep_rows.join(",")
+        sweep_rows.join(","),
+        serve_rows.join(","),
+        zipf_row
     );
     let path = "BENCH_partition.json";
     std::fs::write(path, &json).expect("write BENCH_partition.json");

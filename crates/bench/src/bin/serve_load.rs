@@ -1,0 +1,201 @@
+//! `serve_load` — scripted TCP load driver for a running `corepart
+//! serve` daemon (the CI serve-smoke client).
+//!
+//! ```text
+//! cargo run --release -p corepart-bench --bin serve_load [port]
+//! ```
+//!
+//! Connects to `127.0.0.1:port` (default: the daemon's default port),
+//! fires a request sequence with repeated fingerprints across all
+//! three compute commands, then asserts through the `stats` endpoint
+//! that the warm store actually served: hit rate above zero and a
+//! reported p99 latency. One partition response line is echoed to
+//! stdout so the CI job can grep the served session's `batch_shards`.
+//! Finishes with a `shutdown` request. Any failed expectation exits
+//! nonzero.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use corepart::json::{parse_json, JsonValue};
+use corepart::serve::{ComputeKind, ComputeRequest, DEFAULT_PORT};
+use corepart_bench::SEED;
+use corepart_workloads::{all, PaperWorkload};
+
+fn fail(message: &str) -> ! {
+    eprintln!("serve_load: {message}");
+    std::process::exit(1);
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(port: u16) -> Client {
+        // The daemon may still be booting when CI launches the driver.
+        let mut last = String::new();
+        for _ in 0..50 {
+            match TcpStream::connect(("127.0.0.1", port)) {
+                Ok(stream) => {
+                    return Client {
+                        reader: BufReader::new(stream.try_clone().expect("clone stream")),
+                        writer: stream,
+                    }
+                }
+                Err(e) => {
+                    last = e.to_string();
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+            }
+        }
+        fail(&format!("cannot connect to 127.0.0.1:{port}: {last}"));
+    }
+
+    fn ask(&mut self, line: &str) -> JsonValue {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .unwrap_or_else(|e| fail(&format!("send failed: {e}")));
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .unwrap_or_else(|e| fail(&format!("receive failed: {e}")));
+        if response.is_empty() {
+            fail("the daemon closed the connection mid-sequence");
+        }
+        let parsed = parse_json(response.trim_end())
+            .unwrap_or_else(|e| fail(&format!("unparseable response {response:?}: {e}")));
+        if parsed.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+            fail(&format!("request was rejected: {}", response.trim_end()));
+        }
+        parsed
+    }
+}
+
+fn requests_for(w: &PaperWorkload) -> Vec<ComputeRequest> {
+    let mut partition = ComputeRequest::new(ComputeKind::Partition, w.source);
+    partition.arrays = w.arrays(SEED);
+    let mut explore = partition.clone();
+    explore.kind = ComputeKind::Explore;
+    explore.weights = Some(vec![0.0, 1.0]);
+    let mut verify = partition.clone();
+    verify.kind = ComputeKind::Verify;
+    verify.clusters = vec![0];
+    vec![partition, explore, verify]
+}
+
+fn main() {
+    let port: u16 = match std::env::args().nth(1) {
+        Some(p) => p
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("bad port `{p}`"))),
+        None => DEFAULT_PORT,
+    };
+    let mut client = Client::connect(port);
+
+    // Two small apps, three commands each, the whole block twice: the
+    // second pass repeats every fingerprint against a warm store.
+    let apps: Vec<PaperWorkload> = all().into_iter().take(2).collect();
+    let mut id = 0u64;
+    let mut partition_response = None;
+    for pass in 0..2 {
+        for w in &apps {
+            for mut req in requests_for(w) {
+                id += 1;
+                req.id = Some(id);
+                let response = client.ask(&req.to_json());
+                if pass == 1 && req.kind == ComputeKind::Partition && partition_response.is_none() {
+                    partition_response = Some(response);
+                }
+            }
+        }
+    }
+
+    // One served partition response on stdout — CI greps its session
+    // stats for `batch_shards` to prove the sharded kernel ran.
+    let Some(partition_response) = partition_response else {
+        fail("no partition response captured");
+    };
+    println!(
+        "{}",
+        crate_response_line(&partition_response).unwrap_or_else(|| fail("response not an object"))
+    );
+
+    let stats = client.ask(&format!("{{\"id\":{},\"cmd\":\"stats\"}}", id + 1));
+    let result = stats
+        .get("result")
+        .unwrap_or_else(|| fail("stats response has no result"));
+    let hit_rate = result
+        .get("hit_rate")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| fail("stats report no hit_rate"));
+    let p99 = result
+        .get("latency")
+        .and_then(|l| l.get("p99_nanos"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| fail("stats report no p99"));
+    let requests = result
+        .get("requests")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    if hit_rate <= 0.0 {
+        fail(&format!("expected a warm hit rate, got {hit_rate}"));
+    }
+    if p99 == 0 {
+        fail("expected a nonzero p99 latency");
+    }
+    eprintln!("serve_load: {requests} requests, hit rate {hit_rate:.2}, p99 {p99} ns");
+
+    client.ask(&format!("{{\"id\":{},\"cmd\":\"shutdown\"}}", id + 2));
+    eprintln!("serve_load: shutdown acknowledged");
+}
+
+/// Re-renders the captured partition response as one stdout line (the
+/// parsed form is re-serialized so the grep target is what the daemon
+/// actually said, minus any framing whitespace).
+fn crate_response_line(v: &JsonValue) -> Option<String> {
+    fn render(v: &JsonValue, out: &mut String) {
+        match v {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => out.push_str(&format!("{n}")),
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&corepart::json::json_escape(s));
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render(item, out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, item)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&corepart::json::json_escape(k));
+                    out.push_str("\":");
+                    render(item, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    matches!(v, JsonValue::Obj(_)).then(|| {
+        let mut out = String::new();
+        render(v, &mut out);
+        out
+    })
+}

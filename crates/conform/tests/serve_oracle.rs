@@ -1,0 +1,129 @@
+//! Served-vs-fresh oracle: a `corepart serve` daemon on a loopback
+//! socket must answer generated applications byte-identically to a
+//! fresh in-process engine, and a corrupt request must produce a typed
+//! error while leaving the store exactly as it was.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use corepart::json::{parse_json, result_field};
+use corepart::serve::{respond_fresh, ComputeKind, ComputeRequest, ServeOptions, Server};
+use corepart::system::SystemConfig;
+use corepart_conform::generate;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn ask(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).unwrap();
+        assert!(response.ends_with('\n'), "truncated response: {response}");
+        response.trim_end().to_owned()
+    }
+
+    fn store_shape(&mut self) -> (u64, u64) {
+        let stats = parse_json(&self.ask("{\"cmd\":\"stats\"}")).unwrap();
+        let result = stats.get("result").unwrap();
+        (
+            result.get("bytes").and_then(|v| v.as_u64()).unwrap(),
+            result
+                .get("shards")
+                .and_then(|v| v.as_array())
+                .unwrap()
+                .iter()
+                .map(|s| s.get("entries").and_then(|v| v.as_u64()).unwrap())
+                .sum(),
+        )
+    }
+}
+
+fn spawn_server() -> Server {
+    Server::spawn(
+        SystemConfig::new(),
+        &ServeOptions {
+            port: 0,
+            shards: 2,
+            threads: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn served_generated_apps_match_fresh_engines() {
+    let server = spawn_server();
+    let base = SystemConfig::new();
+    let mut client = Client::connect(&server);
+    for seed in 0..6u64 {
+        let app = generate(seed);
+        let mut req = ComputeRequest::new(ComputeKind::Partition, &app.source());
+        req.id = Some(seed);
+        req.arrays = app.workload_arrays();
+        let fresh = respond_fresh(&base, &req);
+        // Twice per app: the second answer comes from the warm store.
+        for pass in 0..2 {
+            let served = client.ask(&req.to_json());
+            if fresh.contains("\"ok\":false") {
+                // Error responses carry no advisory stats — the whole
+                // line must match, warm or cold.
+                assert_eq!(served, fresh, "seed {seed} pass {pass}");
+            } else {
+                assert_eq!(
+                    result_field(&served),
+                    result_field(&fresh),
+                    "seed {seed} pass {pass}: served result drifted from fresh"
+                );
+            }
+        }
+    }
+    client.ask("{\"cmd\":\"shutdown\"}");
+    server.join();
+}
+
+#[test]
+fn corrupt_source_is_a_typed_error_and_leaves_the_store_clean() {
+    let server = spawn_server();
+    let mut client = Client::connect(&server);
+
+    // Warm the store with one healthy app, then snapshot its shape.
+    let app = generate(1);
+    let mut good = ComputeRequest::new(ComputeKind::Partition, &app.source());
+    good.arrays = app.workload_arrays();
+    assert!(client.ask(&good.to_json()).contains("\"ok\":true"));
+    let before = client.store_shape();
+
+    // A corrupt BDL must be rejected with the `ir` error kind…
+    let mut broken = good.clone();
+    broken.source = "app broken; func main( { return 0; }".to_owned();
+    let response = client.ask(&broken.to_json());
+    assert!(response.contains("\"ok\":false"), "{response}");
+    assert!(response.contains("\"kind\":\"ir\""), "{response}");
+
+    // …and must not have admitted (or evicted) anything: no poisoned
+    // entry reaches the pools, because the parse fails before the
+    // store is touched.
+    assert_eq!(client.store_shape(), before, "the store changed shape");
+
+    // The daemon still answers healthy requests afterwards.
+    let again = client.ask(&good.to_json());
+    assert!(again.contains("\"ok\":true"), "{again}");
+    assert!(again.contains("\"store_hit\":true"), "{again}");
+
+    client.ask("{\"cmd\":\"shutdown\"}");
+    server.join();
+}

@@ -7,6 +7,7 @@
 //! corepart clusters  <file.bdl> [--array ...]...
 //! corepart disasm    <file.bdl>
 //! corepart schedule  <file.bdl> [--set-index I] [--array ...]...
+//! corepart serve     [--port P] [--shards S] [--store-budget-mb M]
 //! ```
 //!
 //! Every command also accepts the global `--threads N` flag (0 =
@@ -22,6 +23,9 @@
 //! * `disasm` — compile for the µP core and disassemble.
 //! * `schedule` — list-schedule the hottest cluster on one designer
 //!   resource set and render the Gantt chart.
+//! * `serve` — run the long-lived JSON-lines-over-TCP daemon backed by
+//!   the sharded, byte-budgeted warm artifact store (see
+//!   [`corepart::serve`]).
 
 use std::process::ExitCode;
 
@@ -32,13 +36,10 @@ use corepart::json::{exploration_to_json, outcome_to_json};
 use corepart::partition::Partitioner;
 use corepart::prepare::Workload;
 use corepart::report::{Table1, Table1Entry};
+use corepart::serve::{ServeOptions, Server, EXPLORE_WEIGHTS};
 use corepart::system::SystemConfig;
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
-
-/// The default `explore` sweep over objective hardware weights
-/// (factor G), from "hardware is free" to "hardware is precious".
-const EXPLORE_WEIGHTS: [f64; 7] = [0.0, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0];
 
 struct Args {
     command: String,
@@ -50,13 +51,15 @@ struct Args {
     factor_f: Option<f64>,
     factor_g: Option<f64>,
     threads: Option<usize>,
+    serve: ServeOptions,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: corepart <partition|explore|clusters|disasm|schedule> <file.bdl> \
          [--json] [--threads N] [--set-index I] [--n-max N] [--factor-f F] \
-         [--factor-g G] [--array name=v1,v2,...]..."
+         [--factor-g G] [--array name=v1,v2,...]...\n       \
+         corepart serve [--port P] [--shards S] [--store-budget-mb M] [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -64,7 +67,13 @@ fn usage() -> ExitCode {
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let command = it.next().ok_or("missing command")?;
-    let file = it.next().ok_or("missing input file")?;
+    // `serve` is a daemon over request-supplied sources — it takes no
+    // input file.
+    let file = if command == "serve" {
+        String::new()
+    } else {
+        it.next().ok_or("missing input file")?
+    };
     let mut args = Args {
         command,
         file,
@@ -75,10 +84,24 @@ fn parse_args() -> Result<Args, String> {
         factor_f: None,
         factor_g: None,
         threads: None,
+        serve: ServeOptions::default(),
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--json" => args.json = true,
+            "--port" => {
+                let v = it.next().ok_or("--port needs a value")?;
+                args.serve.port = v.parse().map_err(|_| format!("bad port `{v}`"))?;
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                args.serve.shards = v.parse().map_err(|_| format!("bad shard count `{v}`"))?;
+            }
+            "--store-budget-mb" => {
+                let v = it.next().ok_or("--store-budget-mb needs a value")?;
+                let mb: u64 = v.parse().map_err(|_| format!("bad budget `{v}`"))?;
+                args.serve.budget_bytes = mb << 20;
+            }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = Some(v.parse().map_err(|_| format!("bad thread count `{v}`"))?);
@@ -134,7 +157,22 @@ fn config_from(args: &Args) -> SystemConfig {
     config
 }
 
+fn serve(args: &Args) -> Result<(), String> {
+    let mut opts = args.serve.clone();
+    if let Some(t) = args.threads {
+        opts.threads = t;
+    }
+    let server = Server::spawn(config_from(args), &opts).map_err(|e| e.to_string())?;
+    println!("listening on {}", server.addr());
+    server.join();
+    println!("shutdown complete");
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
+    if args.command == "serve" {
+        return serve(args);
+    }
     let source = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
     let config = config_from(args);
     let workload = Workload::from_arrays(args.arrays.clone());

@@ -71,15 +71,40 @@ pub struct Baseline {
     pub replay: Option<Arc<ReplayEngine>>,
 }
 
+impl Baseline {
+    /// Owned heap footprint in bytes: the run statistics plus — when a
+    /// capture exists — the replay engine's trace, decode, tables and
+    /// verified-run memo. This is the store's byte-budget charge for
+    /// keeping the baseline warm; it grows as the replay memo fills, so
+    /// the store re-measures it after every request.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.stats.heap_bytes()
+            + self.replay.as_ref().map_or(0, |r| r.heap_bytes())
+    }
+}
+
 /// 64-bit FNV-1a over a fingerprint string — stable, dependency-free,
 /// and fast enough for the once-per-session key computation.
-fn fnv64(text: &str) -> u64 {
+pub(crate) fn fnv64(text: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in text.as_bytes() {
         hash ^= u64::from(*byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// The `(application, workload)` identity every session key starts
+/// with: the name plus a hash of the full (Debug) content. The store
+/// uses the same prefix to attribute pool entries to the request that
+/// touched them.
+pub(crate) fn session_identity(app: &Application, workload: &Workload) -> String {
+    format!(
+        "{}#{:016x}",
+        app.name(),
+        fnv64(&format!("{app:?}|{workload:?}"))
+    )
 }
 
 /// What [`prepare`] consumes from a configuration: sessions whose
@@ -182,6 +207,87 @@ impl Engine {
         config.validate()?;
         Ok(Session::open(self, app.clone(), workload.clone(), config))
     }
+
+    /// Every key currently stored in the `kind` pool (completed or
+    /// still computing) — the store reconciles its byte ledger against
+    /// this snapshot after each request.
+    pub(crate) fn pool_keys(&self, kind: ArtifactKind) -> Vec<String> {
+        match kind {
+            ArtifactKind::Prepared => self.prepared.keys(),
+            ArtifactKind::Baseline => self.baselines.keys(),
+            ArtifactKind::Schedule => self.schedules.keys(),
+            // Result payloads live in the store's shards, not here.
+            ArtifactKind::Result => Vec::new(),
+        }
+    }
+
+    /// The accounted byte weight of one pool entry, or `None` while
+    /// its computation is still in flight. Failed computations weigh a
+    /// fixed bookkeeping charge — the memoized error is small and worth
+    /// keeping (growth re-asks about the same infeasible combinations).
+    pub(crate) fn artifact_bytes(&self, kind: ArtifactKind, key: &str) -> Option<u64> {
+        /// Charge for a memoized failure or an empty cache shell.
+        const ERR_BYTES: u64 = 256;
+        match kind {
+            ArtifactKind::Prepared => self.prepared.peek(&key.to_owned()).map(|r| match r {
+                Ok(p) => p.heap_bytes() as u64,
+                Err(_) => ERR_BYTES,
+            }),
+            ArtifactKind::Baseline => self.baselines.peek(&key.to_owned()).map(|r| match r {
+                Ok(b) => b.heap_bytes() as u64,
+                Err(_) => ERR_BYTES,
+            }),
+            ArtifactKind::Schedule => self.schedules.peek(&key.to_owned()).map(|r| match r {
+                Ok(c) => ERR_BYTES + c.bytes(),
+                Err(_) => ERR_BYTES,
+            }),
+            ArtifactKind::Result => None,
+        }
+    }
+
+    /// Drops one pool entry (the store's eviction primitive). The next
+    /// session needing it recomputes bit-identically — cached values
+    /// are pure functions of their keys.
+    pub(crate) fn evict_artifact(&self, kind: ArtifactKind, key: &str) -> bool {
+        match kind {
+            ArtifactKind::Prepared => self.prepared.evict(&key.to_owned()),
+            ArtifactKind::Baseline => self.baselines.evict(&key.to_owned()),
+            ArtifactKind::Schedule => self.schedules.evict(&key.to_owned()),
+            ArtifactKind::Result => false,
+        }
+    }
+}
+
+/// Which pool an accounted artifact lives in. The store's ledger keys
+/// entries by `(kind, pool key)`: the first three kinds are the
+/// engine's compute-once pools; `Result` entries are memoized serve
+/// responses owned by the store's shards themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// The prepared application (profile, compiled program, chain).
+    Prepared,
+    /// The baseline: initial-design metrics, run stats, replay engine.
+    Baseline,
+    /// A shared schedule cache (grows as the search touches keys).
+    Schedule,
+    /// A memoized deterministic serve `result` payload (store-owned).
+    Result,
+}
+
+impl ArtifactKind {
+    /// The engine pool kinds, in ledger order — what the store's
+    /// settle pass scans (`Result` entries are admitted explicitly).
+    pub const ALL: [ArtifactKind; 3] = [
+        ArtifactKind::Prepared,
+        ArtifactKind::Baseline,
+        ArtifactKind::Schedule,
+    ];
+
+    /// Whether entries of this kind can grow after admission (and must
+    /// therefore be re-measured on every touch, not just once).
+    pub fn grows(self) -> bool {
+        !matches!(self, ArtifactKind::Prepared | ArtifactKind::Result)
+    }
 }
 
 /// Per-stage accounting cells of one session (interior mutability so
@@ -267,11 +373,7 @@ impl<'e> Session<'e> {
         // The application/workload identity is their full (Debug)
         // content, hashed; the name is kept alongside for readability
         // of keys in logs and tests.
-        let identity = format!(
-            "{}#{:016x}",
-            app.name(),
-            fnv64(&format!("{app:?}|{workload:?}"))
-        );
+        let identity = session_identity(&app, &workload);
         let prep_key = format!("{identity}|{}", prep_fingerprint(&config));
         let baseline_key = format!("{prep_key}|{}", baseline_fingerprint(&config));
         let cache_key = format!("{prep_key}|{}", library_fingerprint(&config));

@@ -196,11 +196,34 @@ pub fn explore(
             message: "exploration needs at least one configuration".into(),
         });
     }
+    let engine = Engine::new(configs[0].1.clone())?;
+    explore_in(&engine, app, workload, configs)
+}
+
+/// Like [`explore`], but running the sweep against a caller-supplied
+/// [`Engine`] instead of a private one — every artifact the sweep
+/// resolves lands in (and is served from) that engine's pools. The
+/// serve-mode artifact store uses this so repeated explorations of the
+/// same application skip preparation and the baseline simulation.
+///
+/// # Errors
+///
+/// As [`explore`].
+pub fn explore_in(
+    engine: &Engine,
+    app: &Application,
+    workload: &Workload,
+    configs: &[(String, SystemConfig)],
+) -> Result<Exploration, CorepartError> {
+    if configs.is_empty() {
+        return Err(CorepartError::Config {
+            message: "exploration needs at least one configuration".into(),
+        });
+    }
 
     // One engine, one session per configuration. Opening sessions is
     // free; the compute-once pools resolve each distinct artifact
     // exactly once even though the workers race for them.
-    let engine = Engine::new(configs[0].1.clone())?;
     let mut sessions = Vec::with_capacity(configs.len());
     for (_, config) in configs {
         sessions.push(engine.session_with_config(app, workload, config.clone())?);

@@ -12,7 +12,10 @@ use crate::partition::PartitionOutcome;
 use crate::report::{Figure6Point, Table1, Table1Entry};
 use crate::system::DesignMetrics;
 
-fn esc(s: &str) -> String {
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included). Public because the serve protocol's clients — the bench
+/// load driver, the conformance oracle — build request lines with it.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -73,7 +76,7 @@ pub fn entry_to_json(e: &Table1Entry) -> String {
             "{{\"app\":\"{}\",\"initial\":{},\"partitioned\":{},",
             "\"energy_saving_pct\":{},\"time_change_pct\":{}}}"
         ),
-        esc(&e.app),
+        json_escape(&e.app),
         metrics_to_json(&e.initial),
         e.partitioned
             .as_ref()
@@ -101,7 +104,7 @@ pub fn figure6_to_json(points: &[Figure6Point]) -> String {
         .map(|p| {
             format!(
                 "{{\"app\":\"{}\",\"energy_saving_pct\":{},\"time_change_pct\":{}}}",
-                esc(&p.app),
+                json_escape(&p.app),
                 num(p.energy_saving),
                 num(p.time_change),
             )
@@ -125,7 +128,7 @@ pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
                     "\"u_r\":{},\"u_up\":{},\"comm_words\":{}}}"
                 ),
                 clusters.join(","),
-                esc(partition.set.name()),
+                json_escape(partition.set.name()),
                 metrics_to_json(&detail.metrics),
                 num(detail.u_r),
                 num(detail.u_up),
@@ -144,7 +147,7 @@ pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
             "\"cache_hits\":{},\"cache_misses\":{},",
             "\"estimate_nanos\":{},\"growth_nanos\":{},\"verify_nanos\":{}}}}}"
         ),
-        esc(name),
+        json_escape(name),
         metrics_to_json(&outcome.initial),
         best,
         s.candidates,
@@ -179,7 +182,7 @@ pub fn exploration_to_json(ex: &Exploration) -> String {
                     "\"geq_cells\":{},\"saving_pct\":{},\"initial\":{},",
                     "\"pareto\":{}}}"
                 ),
-                esc(&p.label),
+                json_escape(&p.label),
                 num(p.energy.joules()),
                 p.cycles.count(),
                 p.geq.cells(),
@@ -190,6 +193,392 @@ pub fn exploration_to_json(ex: &Exploration) -> String {
         })
         .collect();
     format!("{{\"points\":[{}]}}", rows.join(","))
+}
+
+/// Serializes the *deterministic* part of a partitioning outcome: the
+/// app name, the initial design point and the best partition found.
+///
+/// This is the serve protocol's `result` payload. It deliberately
+/// excludes everything [`outcome_to_json`] adds for diagnostics —
+/// wall-clock nanos, replay/cache counters — because those differ
+/// between a warm store and a fresh engine even when the answer is the
+/// same. The served-vs-fresh oracle byte-compares exactly this.
+pub fn outcome_result_json(name: &str, outcome: &PartitionOutcome) -> String {
+    let best = outcome
+        .best
+        .as_ref()
+        .map(|(partition, detail)| {
+            let clusters: Vec<String> =
+                partition.clusters.iter().map(|c| c.0.to_string()).collect();
+            format!(
+                concat!(
+                    "{{\"clusters\":[{}],\"set\":\"{}\",\"metrics\":{},",
+                    "\"u_r\":{},\"u_up\":{},\"comm_words\":{}}}"
+                ),
+                clusters.join(","),
+                json_escape(partition.set.name()),
+                metrics_to_json(&detail.metrics),
+                num(detail.u_r),
+                num(detail.u_up),
+                detail.comm_words,
+            )
+        })
+        .unwrap_or_else(|| "null".to_owned());
+    format!(
+        "{{\"app\":\"{}\",\"initial\":{},\"best\":{}}}",
+        json_escape(name),
+        metrics_to_json(&outcome.initial),
+        best,
+    )
+}
+
+/// Serializes the deterministic result of one explicit-partition
+/// verification (the serve protocol's `verify` payload): the same
+/// fields [`outcome_result_json`] reports for a search winner, so
+/// clients read both with one shape.
+pub fn verify_result_json(
+    name: &str,
+    partition: &crate::evaluate::Partition,
+    detail: &crate::evaluate::PartitionDetail,
+) -> String {
+    let clusters: Vec<String> = partition.clusters.iter().map(|c| c.0.to_string()).collect();
+    format!(
+        concat!(
+            "{{\"app\":\"{}\",\"clusters\":[{}],\"set\":\"{}\",",
+            "\"metrics\":{},\"u_r\":{},\"u_up\":{},\"comm_words\":{}}}"
+        ),
+        json_escape(name),
+        clusters.join(","),
+        json_escape(partition.set.name()),
+        metrics_to_json(&detail.metrics),
+        num(detail.u_r),
+        num(detail.u_up),
+        detail.comm_words,
+    )
+}
+
+/// A parsed JSON value — the request side of the serve protocol. The
+/// writer half of this module stays string-based (and byte-stable);
+/// the parser exists so the daemon can read requests without any
+/// dependency, mirroring the vendored-shim policy of the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order (lookup takes the first match).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member `key` of an object (first match), if any.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Rejects trailing non-whitespace.
+///
+/// # Errors
+///
+/// A human-readable message naming the byte offset of the problem.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let mut pending_high: Option<u16> = None;
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err("unterminated string".into());
+        };
+        // A lone high surrogate not followed by \u.. is malformed.
+        if pending_high.is_some() && b != b'\\' {
+            return Err(format!("unpaired surrogate before byte {pos}"));
+        }
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&e) = bytes.get(*pos) else {
+                    return Err("unterminated escape".into());
+                };
+                *pos += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("short \\u escape at byte {pos}"))?;
+                        let code = u16::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 4;
+                        match (pending_high.take(), code) {
+                            (Some(high), 0xDC00..=0xDFFF) => {
+                                let c = 0x10000
+                                    + ((u32::from(high) - 0xD800) << 10)
+                                    + (u32::from(code) - 0xDC00);
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| "bad surrogate pair".to_owned())?,
+                                );
+                            }
+                            (None, 0xD800..=0xDBFF) => pending_high = Some(code),
+                            (None, _) => out.push(
+                                char::from_u32(u32::from(code))
+                                    .ok_or_else(|| "bad code point".to_owned())?,
+                            ),
+                            (Some(_), _) => return Err("unpaired surrogate".into()),
+                        }
+                    }
+                    other => return Err(format!("unknown escape \\{}", other as char)),
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar (requests are valid UTF-8
+                // strings by construction of the line reader).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Extracts the raw byte span of the top-level `"result"` member of a
+/// serve response — *without* re-serializing, so two responses can be
+/// compared byte-for-byte. Returns `None` when the response has no
+/// `result` (an error response) or the span is malformed.
+pub fn result_field(response: &str) -> Option<&str> {
+    let key = "\"result\":";
+    let start = response.find(key)? + key.len();
+    let bytes = response.as_bytes();
+    let mut pos = start;
+    while pos < bytes.len() && bytes[pos] == b' ' {
+        pos += 1;
+    }
+    let begin = pos;
+    let end = match bytes.get(pos)? {
+        b'{' | b'[' => {
+            let (open, close) = if bytes[pos] == b'{' {
+                (b'{', b'}')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 0usize;
+            let mut in_str = false;
+            let mut escaped = false;
+            loop {
+                let &b = bytes.get(pos)?;
+                if in_str {
+                    match b {
+                        _ if escaped => escaped = false,
+                        b'\\' => escaped = true,
+                        b'"' => in_str = false,
+                        _ => {}
+                    }
+                } else {
+                    match b {
+                        b'"' => in_str = true,
+                        _ if b == open => depth += 1,
+                        _ if b == close => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break pos + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                pos += 1;
+            }
+        }
+        b'"' => {
+            pos += 1;
+            let mut escaped = false;
+            loop {
+                let &b = bytes.get(pos)?;
+                pos += 1;
+                match b {
+                    _ if escaped => escaped = false,
+                    b'\\' => escaped = true,
+                    b'"' => break pos,
+                    _ => {}
+                }
+            }
+        }
+        _ => {
+            while pos < bytes.len() && !matches!(bytes[pos], b',' | b'}' | b']' | b'\n') {
+                pos += 1;
+            }
+            pos
+        }
+    };
+    response.get(begin..end)
 }
 
 #[cfg(test)]
@@ -267,9 +656,9 @@ mod tests {
 
     #[test]
     fn escaping_control_chars() {
-        assert_eq!(esc("a\nb"), "a\\nb");
-        assert_eq!(esc("a\\b"), "a\\\\b");
-        assert_eq!(esc("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("a\nb"), "a\\nb");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]
@@ -298,5 +687,60 @@ mod tests {
         assert!(j.contains("\"label\":\"worse\",") && j.contains("\"pareto\":false"));
         assert!(j.contains("\"label\":\"better\",") && j.contains("\"pareto\":true"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn parser_handles_the_protocol_shapes() {
+        let v = parse_json(
+            r#"{"id":7,"cmd":"partition","source":"app a;\nvar x[4];","weights":[0.0,1.5],"flag":true,"none":null}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("id").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(v.get("cmd").and_then(JsonValue::as_str), Some("partition"));
+        assert_eq!(
+            v.get("source").and_then(JsonValue::as_str),
+            Some("app a;\nvar x[4];")
+        );
+        let w = v.get("weights").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[1].as_f64(), Some(1.5));
+        assert_eq!(v.get("flag").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_round_trips_escaped_strings() {
+        let v = parse_json(r#""a\"b\\c\ndA😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA\u{1F600}"));
+        // The writer's escaping parses back to the original.
+        let original = "line1\nline2\t\"quoted\" \\slash";
+        let parsed = parse_json(&format!("\"{}\"", json_escape(original))).unwrap();
+        assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,2").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("nope").is_err());
+    }
+
+    #[test]
+    fn result_field_extracts_the_raw_span() {
+        let resp = r#"{"id":1,"ok":true,"result":{"app":"x","best":{"set":"a}b","list":[1,2]}},"stats":{"shard":0}}"#;
+        assert_eq!(
+            result_field(resp),
+            Some(r#"{"app":"x","best":{"set":"a}b","list":[1,2]}}"#)
+        );
+        // Error responses have no result.
+        assert_eq!(result_field(r#"{"id":2,"ok":false,"error":{}}"#), None);
+        // Non-object results.
+        assert_eq!(result_field(r#"{"result":null,"x":1}"#), Some("null"));
+        assert_eq!(result_field(r#"{"result":"s,tr"}"#), Some("\"s,tr\""));
     }
 }

@@ -64,6 +64,8 @@ pub mod partition;
 pub mod prepare;
 pub mod preselect;
 pub mod report;
+pub mod serve;
+pub mod store;
 pub mod system;
 pub mod verify;
 
@@ -73,13 +75,15 @@ pub use evaluate::{
     evaluate_initial, evaluate_initial_captured, evaluate_partition, evaluate_partition_with,
     Partition, PartitionDetail,
 };
-pub use explore::{explore, DesignPoint, Exploration};
+pub use explore::{explore, explore_in, DesignPoint, Exploration};
 pub use flow::{DesignFlow, FlowResult};
 pub use multicore::{evaluate_multicore, split_search, MultiCorePartition};
 pub use parallel::{par_map, resolve_threads};
 pub use partition::{PartitionOutcome, Partitioner, ScheduleKey, SearchStats};
 pub use prepare::{prepare, PreparedApp, Workload};
 pub use report::{figure6, render_figure6, Figure6Point, Table1, Table1Entry};
+pub use serve::{ServeOptions, Server};
+pub use store::{ArtifactStore, StoreOptions, StoreStats};
 pub use system::{DesignMetrics, SystemConfig};
 pub use verify::{replay_run, ReplayEngine, VerifiedRun};
 

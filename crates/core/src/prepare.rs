@@ -51,6 +51,22 @@ pub struct PreparedApp {
     pub workload: Workload,
 }
 
+impl PreparedApp {
+    /// Approximate owned heap footprint, in bytes — the store's
+    /// byte-budget charge for keeping a prepared application warm.
+    ///
+    /// The length of the full `Debug` rendering is used as a
+    /// deterministic, structure-proportional proxy (the same idiom the
+    /// engine's fingerprints use for identity): the artifact spans five
+    /// heterogeneous substrate types, and an allocator-exact walk over
+    /// all of them buys no better eviction decisions. Prepared apps
+    /// never grow after construction, so the store measures this once
+    /// per admission.
+    pub fn heap_bytes(&self) -> usize {
+        format!("{self:?}").len()
+    }
+}
+
 /// Profiles, compiles and decomposes an application.
 ///
 /// # Errors

@@ -1,0 +1,930 @@
+//! `corepart serve` — a long-lived partitioning daemon speaking
+//! JSON lines over TCP (`std::net` only, no dependencies).
+//!
+//! # Protocol
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```text
+//! {"id":1,"cmd":"partition","source":"app d; ...","arrays":{"x":[1,2]}}
+//! {"id":2,"cmd":"explore","source":"...","weights":[0.0,1.0]}
+//! {"id":3,"cmd":"verify","source":"...","clusters":[0],"set_index":2}
+//! {"id":4,"cmd":"stats"}
+//! {"id":5,"cmd":"shutdown"}
+//! ```
+//!
+//! Compute requests may override the searchable knobs (`n_max`,
+//! `factor_f`, `factor_g`) per request; everything else comes from the
+//! daemon's base configuration. Responses are
+//!
+//! ```text
+//! {"id":1,"ok":true,"cmd":"partition","result":{...},"stats":{...}}
+//! {"id":9,"ok":false,"error":{"kind":"ir","message":"..."}}
+//! ```
+//!
+//! where `result` is *deterministic* — byte-identical to what a fresh
+//! in-process [`Engine`] produces for the same request (see
+//! [`respond_fresh`]; the conformance oracle compares the two) — and
+//! `stats` is advisory (shard, store hit, latency, session counters).
+//! Determinism lets the store memoize the rendered `result` per exact
+//! request: a repeat is answered from the memo without re-running the
+//! search, and its `stats` then carries no `session` counters (no
+//! fresh session produced any).
+//! Error kinds mirror [`CorepartError`]: `ir`, `sim`, `sched`,
+//! `config`, plus `request` for lines the protocol itself rejects. A
+//! failing request never poisons the store: parse errors are answered
+//! before the store is touched, and deeper failures are memoized
+//! error values that later identical requests replay.
+//!
+//! # Threading
+//!
+//! [`Server::spawn`] starts one worker thread per store shard plus an
+//! accept loop; each connection gets a reader thread that routes
+//! compute requests to their shard's worker (by [`request_fingerprint`])
+//! and answers `stats`/`shutdown` inline. One worker per shard means
+//! the hot artifact-lookup path never contends on a global lock — see
+//! [`ArtifactStore`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+
+use corepart_ir::cdfg::Application;
+use corepart_ir::cluster::ClusterId;
+use corepart_ir::lower::lower;
+use corepart_ir::parser::parse;
+
+use crate::engine::{session_identity, Engine, SessionStats};
+use crate::error::CorepartError;
+use crate::evaluate::Partition;
+use crate::explore::{explore_in, hardware_weight_sweep};
+use crate::json::{
+    exploration_to_json, json_escape, outcome_result_json, parse_json, verify_result_json,
+    JsonValue,
+};
+use crate::partition::Partitioner;
+use crate::prepare::Workload;
+use crate::store::{ArtifactStore, RequestStats, StoreOptions, StoreStats};
+use crate::system::SystemConfig;
+
+/// The default listen port (0 binds an ephemeral port).
+pub const DEFAULT_PORT: u16 = 4860;
+
+/// The default `explore` sweep over objective hardware weights
+/// (factor G), from "hardware is free" to "hardware is precious" —
+/// used when an explore request names no `weights`.
+pub const EXPLORE_WEIGHTS: [f64; 7] = [0.0, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0];
+
+/// Construction knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// TCP port on 127.0.0.1 (0 = ephemeral; see [`Server::addr`]).
+    pub port: u16,
+    /// Store shards (= warm engines = worker threads).
+    pub shards: usize,
+    /// Store-wide artifact byte budget.
+    pub budget_bytes: u64,
+    /// Verification threads per served session (0 = automatic) — the
+    /// sharded batched-replay kernel's worker count.
+    pub threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let store = StoreOptions::default();
+        ServeOptions {
+            port: DEFAULT_PORT,
+            shards: store.shards,
+            budget_bytes: store.budget_bytes,
+            threads: 0,
+        }
+    }
+}
+
+/// The three compute commands of the serve protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputeKind {
+    /// Run the full design flow (`outcome_result_json` payload).
+    Partition,
+    /// Sweep the hardware weight (`exploration_to_json` payload).
+    Explore,
+    /// Evaluate one explicit partition (`verify_result_json` payload).
+    Verify,
+}
+
+impl ComputeKind {
+    /// The protocol's `cmd` string.
+    pub fn name(self) -> &'static str {
+        match self {
+            ComputeKind::Partition => "partition",
+            ComputeKind::Explore => "explore",
+            ComputeKind::Verify => "verify",
+        }
+    }
+}
+
+/// One parsed compute request.
+#[derive(Debug, Clone)]
+pub struct ComputeRequest {
+    /// Client-chosen request id, echoed in the response.
+    pub id: Option<u64>,
+    /// Which command to run.
+    pub kind: ComputeKind,
+    /// BDL source text of the application.
+    pub source: String,
+    /// Workload arrays, `(name, contents)`.
+    pub arrays: Vec<(String, Vec<i64>)>,
+    /// Override of the configured cluster-count bound.
+    pub n_max: Option<usize>,
+    /// Override of objective factor F.
+    pub factor_f: Option<f64>,
+    /// Override of objective factor G.
+    pub factor_g: Option<f64>,
+    /// Explore sweep weights (defaults to [`EXPLORE_WEIGHTS`]).
+    pub weights: Option<Vec<f64>>,
+    /// Clusters of the partition to verify.
+    pub clusters: Vec<u32>,
+    /// Designer resource set of the partition to verify.
+    pub set_index: usize,
+}
+
+impl ComputeRequest {
+    /// A request with every optional knob unset (the CLI's defaults).
+    pub fn new(kind: ComputeKind, source: &str) -> Self {
+        ComputeRequest {
+            id: None,
+            kind,
+            source: source.to_owned(),
+            arrays: Vec::new(),
+            n_max: None,
+            factor_f: None,
+            factor_g: None,
+            weights: None,
+            clusters: Vec::new(),
+            set_index: 2,
+        }
+    }
+
+    /// Renders the request as one protocol line (no trailing newline) —
+    /// the client half of the wire format [`parse_request`] reads.
+    pub fn to_json(&self) -> String {
+        let mut fields = Vec::new();
+        if let Some(id) = self.id {
+            fields.push(format!("\"id\":{id}"));
+        }
+        fields.push(format!("\"cmd\":\"{}\"", self.kind.name()));
+        fields.push(format!("\"source\":\"{}\"", json_escape(&self.source)));
+        if !self.arrays.is_empty() {
+            let arrays: Vec<String> = self
+                .arrays
+                .iter()
+                .map(|(name, data)| {
+                    let items: Vec<String> = data.iter().map(|v| v.to_string()).collect();
+                    format!("\"{}\":[{}]", json_escape(name), items.join(","))
+                })
+                .collect();
+            fields.push(format!("\"arrays\":{{{}}}", arrays.join(",")));
+        }
+        if let Some(n) = self.n_max {
+            fields.push(format!("\"n_max\":{n}"));
+        }
+        if let Some(f) = self.factor_f {
+            fields.push(format!("\"factor_f\":{f}"));
+        }
+        if let Some(g) = self.factor_g {
+            fields.push(format!("\"factor_g\":{g}"));
+        }
+        if let Some(w) = &self.weights {
+            let items: Vec<String> = w.iter().map(|v| v.to_string()).collect();
+            fields.push(format!("\"weights\":[{}]", items.join(",")));
+        }
+        if self.kind == ComputeKind::Verify {
+            let items: Vec<String> = self.clusters.iter().map(|v| v.to_string()).collect();
+            fields.push(format!("\"clusters\":[{}]", items.join(",")));
+            fields.push(format!("\"set_index\":{}", self.set_index));
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// Any parsed request line.
+enum Request {
+    Compute(Box<ComputeRequest>),
+    Stats { id: Option<u64> },
+    Shutdown { id: Option<u64> },
+}
+
+fn opt_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn opt_f64(v: &JsonValue, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a number")),
+    }
+}
+
+/// Parses one request line.
+fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse_json(line)?;
+    if !matches!(v, JsonValue::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let id = opt_u64(&v, "id")?;
+    let cmd = v
+        .get("cmd")
+        .and_then(JsonValue::as_str)
+        .ok_or("request needs a string `cmd`")?;
+    let kind = match cmd {
+        "stats" => return Ok(Request::Stats { id }),
+        "shutdown" => return Ok(Request::Shutdown { id }),
+        "partition" => ComputeKind::Partition,
+        "explore" => ComputeKind::Explore,
+        "verify" => ComputeKind::Verify,
+        other => return Err(format!("unknown cmd `{other}`")),
+    };
+    let source = v
+        .get("source")
+        .and_then(JsonValue::as_str)
+        .ok_or("compute requests need a string `source`")?;
+    let mut req = ComputeRequest::new(kind, source);
+    req.id = id;
+    if let Some(arrays) = v.get("arrays") {
+        let JsonValue::Obj(entries) = arrays else {
+            return Err("`arrays` must be an object of integer arrays".into());
+        };
+        for (name, value) in entries {
+            let items = value
+                .as_array()
+                .ok_or_else(|| format!("array `{name}` must be a JSON array"))?;
+            let mut data = Vec::with_capacity(items.len());
+            for item in items {
+                let x = item
+                    .as_f64()
+                    .filter(|x| x.fract() == 0.0 && x.abs() < i64::MAX as f64)
+                    .ok_or_else(|| format!("array `{name}` must hold integers"))?;
+                data.push(x as i64);
+            }
+            req.arrays.push((name.clone(), data));
+        }
+    }
+    req.n_max = opt_u64(&v, "n_max")?.map(|n| n as usize);
+    req.factor_f = opt_f64(&v, "factor_f")?;
+    req.factor_g = opt_f64(&v, "factor_g")?;
+    if let Some(weights) = v.get("weights") {
+        let items = weights
+            .as_array()
+            .ok_or("`weights` must be an array of numbers")?;
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            out.push(
+                item.as_f64()
+                    .ok_or("`weights` must be an array of numbers")?,
+            );
+        }
+        req.weights = Some(out);
+    }
+    if let Some(clusters) = v.get("clusters") {
+        let items = clusters
+            .as_array()
+            .ok_or("`clusters` must be an array of cluster ids")?;
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let id = item
+                .as_u64()
+                .filter(|&x| x <= u64::from(u32::MAX))
+                .ok_or("`clusters` must be an array of cluster ids")?;
+            out.push(id as u32);
+        }
+        req.clusters = out;
+    }
+    if let Some(set) = opt_u64(&v, "set_index")? {
+        req.set_index = set as usize;
+    }
+    Ok(req.into())
+}
+
+impl From<ComputeRequest> for Request {
+    fn from(req: ComputeRequest) -> Self {
+        Request::Compute(Box::new(req))
+    }
+}
+
+/// The shard-routing fingerprint of a compute request: the raw source
+/// and array text, so routing needs no parse. Two requests with
+/// identical text always share a shard (and therefore its warm
+/// artifacts); texts that merely normalize to the same application may
+/// land apart — they would also fingerprint apart in the CLI flow.
+pub fn request_fingerprint(req: &ComputeRequest) -> u64 {
+    let mut text = req.source.clone();
+    for (name, data) in &req.arrays {
+        text.push('\0');
+        text.push_str(name);
+        text.push('=');
+        for v in data {
+            text.push_str(&v.to_string());
+            text.push(',');
+        }
+    }
+    crate::engine::fnv64(&text)
+}
+
+fn parse_app(source: &str) -> Result<Application, CorepartError> {
+    Ok(lower(&parse(source)?)?)
+}
+
+/// The per-request configuration: the daemon base with the request's
+/// searchable-knob overrides applied.
+fn effective_config(base: &SystemConfig, req: &ComputeRequest) -> SystemConfig {
+    let mut config = base.clone();
+    if let Some(n) = req.n_max {
+        config.n_max = n;
+    }
+    if let Some(f) = req.factor_f {
+        config.factor_f = f;
+    }
+    if let Some(g) = req.factor_g {
+        config.factor_g = g;
+    }
+    config
+}
+
+type ComputeOutput = (String, Option<SessionStats>);
+
+/// Runs one compute request against `engine` and renders the
+/// deterministic `result` payload. Shared verbatim by the warm
+/// ([`respond_compute`]) and fresh ([`respond_fresh`]) paths — the
+/// byte-identity guarantee lives here.
+fn compute_result(
+    engine: &Engine,
+    req: &ComputeRequest,
+    app: &Application,
+    workload: &Workload,
+    config: SystemConfig,
+) -> Result<ComputeOutput, CorepartError> {
+    match req.kind {
+        ComputeKind::Partition => {
+            let session = engine.session_with_config(app, workload, config)?;
+            let outcome = Partitioner::new(&session)?.run()?;
+            Ok((
+                outcome_result_json(app.name(), &outcome),
+                Some(session.stats()),
+            ))
+        }
+        ComputeKind::Verify => {
+            if req.clusters.is_empty() {
+                return Err(CorepartError::Config {
+                    message: "verify needs at least one cluster".into(),
+                });
+            }
+            let set = config.resource_set(req.set_index)?.clone();
+            let session = engine.session_with_config(app, workload, config)?;
+            let chain_len = session.prepared()?.chain.len();
+            for &cid in &req.clusters {
+                if cid as usize >= chain_len {
+                    return Err(CorepartError::Config {
+                        message: format!(
+                            "cluster {cid} out of range (the chain has {chain_len} clusters)"
+                        ),
+                    });
+                }
+            }
+            let partition = Partition {
+                clusters: req.clusters.iter().map(|&c| ClusterId(c)).collect(),
+                set,
+            };
+            let detail = Partitioner::new(&session)?.evaluate(&partition)?;
+            Ok((
+                verify_result_json(app.name(), &partition, &detail),
+                Some(session.stats()),
+            ))
+        }
+        ComputeKind::Explore => {
+            let weights = req
+                .weights
+                .clone()
+                .unwrap_or_else(|| EXPLORE_WEIGHTS.to_vec());
+            let configs = hardware_weight_sweep(&weights, &config);
+            let ex = explore_in(engine, app, workload, &configs)?;
+            Ok((exploration_to_json(&ex), None))
+        }
+    }
+}
+
+fn id_json(id: Option<u64>) -> String {
+    id.map_or_else(|| "null".to_owned(), |i| i.to_string())
+}
+
+fn session_stats_json(s: &SessionStats) -> String {
+    format!(
+        concat!(
+            "{{\"prepare_shared\":{},\"baseline_shared\":{},",
+            "\"schedule_cache_hits\":{},\"schedule_cache_misses\":{},",
+            "\"replays\":{},\"replay_hits\":{},",
+            "\"batched_replays\":{},\"batch_shards\":{}}}"
+        ),
+        s.prepare_shared,
+        s.baseline_shared,
+        s.schedule_cache_hits,
+        s.schedule_cache_misses,
+        s.replays,
+        s.replay_hits,
+        s.batched_replays,
+        s.batch_shards,
+    )
+}
+
+fn success_response(
+    req: &ComputeRequest,
+    result: &str,
+    request: Option<&RequestStats>,
+    session: Option<SessionStats>,
+) -> String {
+    let mut stats = Vec::new();
+    match request {
+        Some(r) => {
+            stats.push(format!("\"shard\":{}", r.shard));
+            stats.push(format!("\"store_hit\":{}", r.store_hit));
+            stats.push(format!("\"elapsed_nanos\":{}", r.elapsed_nanos));
+        }
+        None => {
+            stats.push("\"shard\":null".to_owned());
+            stats.push("\"store_hit\":false".to_owned());
+        }
+    }
+    if let Some(s) = session {
+        stats.push(format!("\"session\":{}", session_stats_json(&s)));
+    }
+    format!(
+        "{{\"id\":{},\"ok\":true,\"cmd\":\"{}\",\"result\":{},\"stats\":{{{}}}}}",
+        id_json(req.id),
+        req.kind.name(),
+        result,
+        stats.join(","),
+    )
+}
+
+fn error_kind(e: &CorepartError) -> &'static str {
+    match e {
+        CorepartError::Ir(_) => "ir",
+        CorepartError::Sim(_) => "sim",
+        CorepartError::Sched(_) => "sched",
+        CorepartError::Config { .. } => "config",
+    }
+}
+
+fn error_response_kind(id: Option<u64>, kind: &str, message: &str) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":false,\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+        id_json(id),
+        kind,
+        json_escape(message),
+    )
+}
+
+fn error_response(id: Option<u64>, e: &CorepartError) -> String {
+    error_response_kind(id, error_kind(e), &e.to_string())
+}
+
+fn latency_json(l: &crate::store::LatencyStats) -> String {
+    format!(
+        "{{\"count\":{},\"p50_nanos\":{},\"p95_nanos\":{},\"p99_nanos\":{}}}",
+        l.count, l.p50_nanos, l.p95_nanos, l.p99_nanos,
+    )
+}
+
+/// Renders a [`StoreStats`] snapshot as the `stats` command's response.
+pub fn stats_response(store: &ArtifactStore, id: Option<u64>) -> String {
+    let s: StoreStats = store.stats();
+    let shards: Vec<String> = s
+        .shards
+        .iter()
+        .map(|sh| {
+            format!(
+                concat!(
+                    "{{\"requests\":{},\"hits\":{},\"evictions\":{},",
+                    "\"declined\":{},\"entries\":{},\"bytes\":{}}}"
+                ),
+                sh.requests, sh.hits, sh.evictions, sh.declined, sh.entries, sh.bytes,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"id\":{},\"ok\":true,\"cmd\":\"stats\",\"result\":",
+            "{{\"budget_bytes\":{},\"bytes\":{},\"requests\":{},\"hits\":{},",
+            "\"hit_rate\":{},\"evictions\":{},\"declined\":{},",
+            "\"latency\":{},\"shards\":[{}]}}}}"
+        ),
+        id_json(id),
+        s.budget_bytes,
+        s.bytes,
+        s.requests,
+        s.hits,
+        s.hit_rate(),
+        s.evictions,
+        s.declined,
+        latency_json(&s.latency),
+        shards.join(","),
+    )
+}
+
+/// The store's result-memo key: the session identity plus every knob
+/// the deterministic `result` payload depends on. Requests with equal
+/// keys are guaranteed byte-identical answers, so the store may serve
+/// the second from its memo without touching the engine.
+fn request_result_key(identity: &str, req: &ComputeRequest) -> String {
+    format!(
+        "{identity}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}",
+        req.kind.name(),
+        req.n_max,
+        req.factor_f,
+        req.factor_g,
+        req.weights,
+        req.clusters,
+        req.set_index,
+    )
+}
+
+/// Answers one compute request from the warm store.
+pub fn respond_compute(store: &ArtifactStore, req: &ComputeRequest) -> String {
+    let app = match parse_app(&req.source) {
+        Ok(app) => app,
+        Err(e) => return error_response(req.id, &e),
+    };
+    let workload = Workload::from_arrays(req.arrays.clone());
+    let identity = session_identity(&app, &workload);
+    let config = effective_config(store.base_config(), req);
+    let (outcome, rstats) = store.with_result(
+        request_fingerprint(req),
+        &identity,
+        &request_result_key(&identity, req),
+        |engine| compute_result(engine, req, &app, &workload, config),
+    );
+    match outcome {
+        Ok((result, session)) => success_response(req, &result, Some(&rstats), session.flatten()),
+        Err(e) => error_response(req.id, &e),
+    }
+}
+
+/// Answers one compute request from a fresh, throwaway [`Engine`] —
+/// the oracle the served (warm) path must byte-match on the `result`
+/// field (the `stats` field legitimately differs).
+pub fn respond_fresh(base: &SystemConfig, req: &ComputeRequest) -> String {
+    let app = match parse_app(&req.source) {
+        Ok(app) => app,
+        Err(e) => return error_response(req.id, &e),
+    };
+    let workload = Workload::from_arrays(req.arrays.clone());
+    let config = effective_config(base, req);
+    let engine = match Engine::new(base.clone()) {
+        Ok(engine) => engine,
+        Err(e) => return error_response(req.id, &e),
+    };
+    match compute_result(&engine, req, &app, &workload, config) {
+        Ok((result, session)) => success_response(req, &result, None, session),
+        Err(e) => error_response(req.id, &e),
+    }
+}
+
+/// Answers one request line against `store`. Returns the response line
+/// (no trailing newline) and whether the line was a shutdown request.
+/// This is the whole protocol — the TCP layer only moves lines; tests
+/// and in-process clients may call it directly.
+pub fn handle_line(store: &ArtifactStore, line: &str) -> (String, bool) {
+    match parse_request(line) {
+        Err(message) => (error_response_kind(None, "request", &message), false),
+        Ok(Request::Stats { id }) => (stats_response(store, id), false),
+        Ok(Request::Shutdown { id }) => (
+            format!(
+                "{{\"id\":{},\"ok\":true,\"cmd\":\"shutdown\",\"result\":null}}",
+                id_json(id)
+            ),
+            true,
+        ),
+        Ok(Request::Compute(req)) => (respond_compute(store, &req), false),
+    }
+}
+
+/// One routed compute job: the raw request line and its reply slot.
+struct Job {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+/// A running serve daemon: the listener, one worker thread per store
+/// shard, and the shared [`ArtifactStore`].
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    store: Arc<ArtifactStore>,
+    shutdown: Arc<AtomicBool>,
+    listener: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:{opts.port}` and starts the worker and accept
+    /// threads. `opts.threads` overrides the base configuration's
+    /// verification thread count, so served sessions drive the sharded
+    /// batched-replay kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`CorepartError::Config`] when the bind fails, the options are
+    /// invalid, or a thread cannot be spawned.
+    pub fn spawn(base: SystemConfig, opts: &ServeOptions) -> Result<Server, CorepartError> {
+        let spawn_err = |e: std::io::Error| CorepartError::Config {
+            message: format!("cannot spawn a serve thread: {e}"),
+        };
+        let mut config = base;
+        if opts.threads != 0 {
+            config.threads = opts.threads;
+        }
+        let store = Arc::new(ArtifactStore::new(
+            config,
+            &StoreOptions {
+                shards: opts.shards,
+                budget_bytes: opts.budget_bytes,
+                ..StoreOptions::default()
+            },
+        )?);
+        let listener =
+            TcpListener::bind(("127.0.0.1", opts.port)).map_err(|e| CorepartError::Config {
+                message: format!("cannot bind 127.0.0.1:{}: {e}", opts.port),
+            })?;
+        let addr = listener.local_addr().map_err(|e| CorepartError::Config {
+            message: format!("cannot resolve the listen address: {e}"),
+        })?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut senders = Vec::with_capacity(store.shards());
+        for shard in 0..store.shards() {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            let worker_store = Arc::clone(&store);
+            thread::Builder::new()
+                .name(format!("corepart-shard-{shard}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let (response, _) = handle_line(&worker_store, &job.line);
+                        let _ = job.reply.send(response);
+                    }
+                })
+                .map_err(spawn_err)?;
+        }
+        let senders = Arc::new(senders);
+
+        let accept_store = Arc::clone(&store);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let listener_handle = thread::Builder::new()
+            .name("corepart-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_store = Arc::clone(&accept_store);
+                    let conn_senders = Arc::clone(&senders);
+                    let conn_shutdown = Arc::clone(&accept_shutdown);
+                    let _ = thread::Builder::new()
+                        .name("corepart-conn".into())
+                        .spawn(move || {
+                            serve_connection(
+                                stream,
+                                &conn_store,
+                                &conn_senders,
+                                &conn_shutdown,
+                                addr,
+                            );
+                        });
+                }
+            })
+            .map_err(spawn_err)?;
+
+        Ok(Server {
+            addr,
+            store,
+            shutdown,
+            listener: Some(listener_handle),
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's artifact store (for in-process stats).
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Requests shutdown from outside the protocol and wakes the
+    /// accept loop (a client's `shutdown` request does both itself).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Blocks until the accept loop exits — i.e. until some client
+    /// sent `shutdown` (or [`Server::shutdown`] was called). Shard
+    /// workers drain and exit once every live connection closes.
+    pub fn join(mut self) {
+        if let Some(handle) = self.listener.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reads request lines from one client until it disconnects (or sends
+/// `shutdown`), routing compute work to the owning shard's worker.
+fn serve_connection(
+    stream: TcpStream,
+    store: &ArtifactStore,
+    senders: &[mpsc::Sender<Job>],
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = match parse_request(&line) {
+            Ok(Request::Compute(req)) => {
+                // The worker re-parses the line; requests are tiny next
+                // to the compute they trigger, and one code path
+                // (`handle_line`) answers everything.
+                let shard = store.shard_of(request_fingerprint(&req));
+                let (tx, rx) = mpsc::channel();
+                let sent = senders[shard]
+                    .send(Job {
+                        line: line.clone(),
+                        reply: tx,
+                    })
+                    .is_ok();
+                match sent.then(|| rx.recv().ok()).flatten() {
+                    Some(response) => (response, false),
+                    None => break,
+                }
+            }
+            _ => handle_line(store, &line),
+        };
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::result_field;
+
+    const SRC: &str = r#"app srv; var x[24]; var acc = 0;
+        func main() {
+            for (var i = 0; i < 24; i = i + 1) { acc = acc + x[i] * 5; }
+            return acc;
+        }"#;
+
+    fn request(kind: ComputeKind) -> ComputeRequest {
+        let mut req = ComputeRequest::new(kind, SRC);
+        req.id = Some(7);
+        req.arrays = vec![("x".into(), (0..24).collect())];
+        req
+    }
+
+    fn store() -> ArtifactStore {
+        ArtifactStore::new(SystemConfig::new(), &StoreOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn request_wire_format_round_trips() {
+        let mut req = request(ComputeKind::Verify);
+        req.clusters = vec![0, 2];
+        req.set_index = 1;
+        req.n_max = Some(3);
+        req.factor_g = Some(0.5);
+        let Ok(Request::Compute(parsed)) = parse_request(&req.to_json()) else {
+            panic!("round trip failed");
+        };
+        assert_eq!(parsed.id, Some(7));
+        assert_eq!(parsed.kind, ComputeKind::Verify);
+        assert_eq!(parsed.source, SRC);
+        assert_eq!(parsed.arrays, req.arrays);
+        assert_eq!(parsed.n_max, Some(3));
+        assert_eq!(parsed.factor_g, Some(0.5));
+        assert_eq!(parsed.clusters, vec![0, 2]);
+        assert_eq!(parsed.set_index, 1);
+        assert_eq!(request_fingerprint(&parsed), request_fingerprint(&req));
+    }
+
+    #[test]
+    fn malformed_lines_get_request_errors() {
+        let store = store();
+        for line in [
+            "not json",
+            "[1,2]",
+            "{\"cmd\":\"fly\"}",
+            "{\"cmd\":\"partition\"}",
+            "{\"cmd\":\"partition\",\"source\":\"app x;\",\"arrays\":{\"x\":[0.5]}}",
+        ] {
+            let (response, stop) = handle_line(&store, line);
+            assert!(!stop);
+            assert!(response.contains("\"ok\":false"), "{line} -> {response}");
+            assert!(response.contains("\"kind\":\"request\""), "{response}");
+        }
+    }
+
+    #[test]
+    fn serve_answers_warm_and_matches_fresh() {
+        let store = store();
+        let line = request(ComputeKind::Partition).to_json();
+        let (cold, _) = handle_line(&store, &line);
+        let (warm, _) = handle_line(&store, &line);
+        assert!(cold.contains("\"ok\":true"), "{cold}");
+        assert!(warm.contains("\"store_hit\":true"), "{warm}");
+        // The repeat is served from the result memo: no fresh session
+        // ran, so its stats carry no session counters.
+        assert!(cold.contains("\"session\""), "{cold}");
+        assert!(!warm.contains("\"session\""), "{warm}");
+        let fresh = respond_fresh(store.base_config(), &request(ComputeKind::Partition));
+        assert_eq!(result_field(&cold), result_field(&fresh));
+        assert_eq!(result_field(&warm), result_field(&fresh));
+
+        let (stats, _) = handle_line(&store, "{\"cmd\":\"stats\"}");
+        assert!(stats.contains("\"requests\":2"), "{stats}");
+        assert!(stats.contains("\"hits\":1"), "{stats}");
+        assert!(stats.contains("\"p99_nanos\":"), "{stats}");
+    }
+
+    #[test]
+    fn verify_rejects_out_of_range_clusters() {
+        let store = store();
+        let mut req = request(ComputeKind::Verify);
+        req.clusters = vec![99];
+        let (response, _) = handle_line(&store, &req.to_json());
+        assert!(response.contains("\"kind\":\"config\""), "{response}");
+        assert!(response.contains("out of range"), "{response}");
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let server = Server::spawn(
+            SystemConfig::new(),
+            &ServeOptions {
+                port: 0,
+                shards: 2,
+                threads: 1,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut send = |line: &str| {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut response).unwrap();
+            response
+        };
+        let answer = send(&request(ComputeKind::Explore).to_json());
+        assert!(answer.contains("\"ok\":true"), "{answer}");
+        assert!(answer.contains("\"points\""), "{answer}");
+        let stats = send("{\"id\":8,\"cmd\":\"stats\"}");
+        assert!(stats.contains("\"requests\":1"), "{stats}");
+        let bye = send("{\"id\":9,\"cmd\":\"shutdown\"}");
+        assert!(bye.contains("\"cmd\":\"shutdown\""), "{bye}");
+        server.join();
+    }
+}

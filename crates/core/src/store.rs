@@ -1,0 +1,731 @@
+//! The sharded, budgeted, warm artifact store behind `corepart serve`.
+//!
+//! An [`ArtifactStore`] keeps [`Engine`] pools alive across a request
+//! stream so repeated fingerprints skip preparation and the baseline
+//! simulation — the two stages that dominate a cold run. Three design
+//! rules shape it:
+//!
+//! * **Sharding.** The `(application, workload)` fingerprint space is
+//!   split across `S` shards, each owning a full [`Engine`] (its own
+//!   slice of the prepared-app / baseline+trace / schedule-cache
+//!   pools). A request locks only its shard's ledger, and the serve
+//!   layer drives one worker thread per shard — there is no global
+//!   lock on the hot lookup path; the only store-global state is a
+//!   pair of atomics (byte ledger total and LRU clock).
+//! * **Byte budget.** Every pool entry is charged its measured
+//!   `heap_bytes()` against one store-wide budget (the per-run
+//!   `trace_cap_bytes` idea promoted to a per-store budget). The
+//!   reserve path is compare-and-swap — accounted bytes can never
+//!   exceed the budget, even across racing shards.
+//! * **LRU + admission control.** When a reservation fails, the shard
+//!   evicts its own least-recently-used *cold* entries first. Hot
+//!   entries (touched by [`StoreOptions::hot_touches`]+ requests) are
+//!   never evicted to admit a cold, first-time artifact — a one-shot
+//!   trace cannot flush a hot baseline; the newcomer is declined
+//!   instead (computed, served, and dropped). Ties are broken by
+//!   `(kind, key)` so eviction order never depends on hash-map
+//!   iteration order.
+//! * **Result memoization.** The whole flow is deterministic, so the
+//!   store also memoizes the rendered `result` payload per *exact*
+//!   request ([`ArtifactStore::with_result`]): a repeated request is
+//!   answered by a map lookup without touching the engine at all.
+//!   Result entries live in the same byte ledger under the same
+//!   budget/LRU/admission rules; only result-missing requests (new
+//!   knobs on a warm app) touch — and thereby keep hot — the
+//!   underlying artifacts.
+//!
+//! Evicted entries are recomputed bit-identically on the next request
+//! — every artifact is a pure function of its key (see
+//! [`MemoCache::evict`](corepart_sched::cache::MemoCache::evict)).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use corepart_ir::cdfg::Application;
+
+use crate::engine::{ArtifactKind, Engine};
+use crate::error::CorepartError;
+use crate::prepare::Workload;
+use crate::system::SystemConfig;
+
+/// Construction knobs of an [`ArtifactStore`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Fingerprint shards (= warm engines = serve worker threads).
+    pub shards: usize,
+    /// Store-wide byte budget over all accounted artifacts.
+    pub budget_bytes: u64,
+    /// Touch count from which an entry counts as *hot* (protected from
+    /// eviction by cold, first-time admissions).
+    pub hot_touches: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            shards: 4,
+            budget_bytes: 128 << 20,
+            hot_touches: 2,
+        }
+    }
+}
+
+/// Ledger key of one accounted pool entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct EntryKey {
+    kind: ArtifactKind,
+    key: String,
+}
+
+/// Ledger record of one accounted pool entry.
+#[derive(Debug, Clone)]
+struct EntryMeta {
+    /// Accounted bytes (reserved against the global budget).
+    bytes: u64,
+    /// Global LRU clock value of the last touching request.
+    tick: u64,
+    /// Requests that touched this entry.
+    touches: u64,
+}
+
+/// One shard: a warm engine plus the ledger of its accounted entries.
+#[derive(Debug)]
+struct StoreShard {
+    engine: Engine,
+    meta: Mutex<HashMap<EntryKey, EntryMeta>>,
+    /// Memoized deterministic serve `result` payloads, keyed by the
+    /// full request key ([`ArtifactKind::Result`] ledger entries).
+    results: Mutex<HashMap<String, String>>,
+    latencies: Mutex<Vec<u64>>,
+    requests: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    declined: AtomicU64,
+}
+
+/// Per-request accounting returned by [`ArtifactStore::with_engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct RequestStats {
+    /// The shard that served the request.
+    pub shard: usize,
+    /// True when the shard already held a memoized result for the
+    /// exact request, or a baseline artifact for the request's
+    /// `(application, workload)` identity — the expensive work was
+    /// served warm.
+    pub store_hit: bool,
+    /// Wall time of the request inside the store, nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+/// Latency percentiles over every completed request (nearest-rank).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStats {
+    /// Completed requests measured.
+    pub count: u64,
+    /// 50th percentile, nanoseconds.
+    pub p50_nanos: u64,
+    /// 95th percentile, nanoseconds.
+    pub p95_nanos: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_nanos: u64,
+}
+
+/// A point-in-time snapshot of one shard's counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Requests routed to this shard.
+    pub requests: u64,
+    /// Requests that found their baseline already warm.
+    pub hits: u64,
+    /// Entries evicted by the budget path.
+    pub evictions: u64,
+    /// Admissions declined to protect hot entries.
+    pub declined: u64,
+    /// Accounted entries currently held.
+    pub entries: u64,
+    /// Accounted bytes currently held.
+    pub bytes: u64,
+}
+
+/// A point-in-time snapshot of the whole store.
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    /// The configured byte budget.
+    pub budget_bytes: u64,
+    /// Accounted bytes across all shards (≤ `budget_bytes`, always).
+    pub bytes: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Requests whose baseline was already warm.
+    pub hits: u64,
+    /// Entries evicted by the budget path, summed over shards.
+    pub evictions: u64,
+    /// Declined admissions, summed over shards.
+    pub declined: u64,
+    /// Request-latency percentiles over all shards.
+    pub latency: LatencyStats,
+    /// Per-shard counters.
+    pub shards: Vec<ShardStats>,
+}
+
+impl StoreStats {
+    /// Hit rate over all requests, in [0, 1] (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The warm artifact store: `S` sharded engines behind one byte
+/// budget. See the module docs for the sharding/budget/LRU rules.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    shards: Vec<StoreShard>,
+    budget: u64,
+    hot_touches: u64,
+    /// Accounted bytes across all shards (CAS-reserved, never above
+    /// `budget`).
+    used: AtomicU64,
+    /// Global LRU clock, advanced once per request.
+    tick: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// A store of `opts.shards` warm engines over `base` (each shard's
+    /// engine owns a clone; per-request configs may still override the
+    /// searchable knobs).
+    ///
+    /// # Errors
+    ///
+    /// [`CorepartError::Config`] when `base` is invalid or `shards`
+    /// is 0.
+    pub fn new(base: SystemConfig, opts: &StoreOptions) -> Result<Self, CorepartError> {
+        if opts.shards == 0 {
+            return Err(CorepartError::Config {
+                message: "artifact store needs at least one shard".into(),
+            });
+        }
+        let mut shards = Vec::with_capacity(opts.shards);
+        for _ in 0..opts.shards {
+            shards.push(StoreShard {
+                engine: Engine::new(base.clone())?,
+                meta: Mutex::new(HashMap::new()),
+                results: Mutex::new(HashMap::new()),
+                latencies: Mutex::new(Vec::new()),
+                requests: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                declined: AtomicU64::new(0),
+            });
+        }
+        Ok(ArtifactStore {
+            shards,
+            budget: opts.budget_bytes,
+            hot_touches: opts.hot_touches.max(1),
+            used: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+        })
+    }
+
+    /// The number of fingerprint shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a fingerprint routes to.
+    pub fn shard_of(&self, fingerprint: u64) -> usize {
+        (fingerprint % self.shards.len() as u64) as usize
+    }
+
+    /// The base configuration every shard engine was built over.
+    pub fn base_config(&self) -> &SystemConfig {
+        self.shards[0].engine.config()
+    }
+
+    /// The routing fingerprint of an `(application, workload)` pair —
+    /// identity only, no config knobs, so every configuration of one
+    /// app lands on the same shard and shares its artifacts.
+    pub fn fingerprint(app: &Application, workload: &Workload) -> u64 {
+        crate::engine::fnv64(&crate::engine::session_identity(app, workload))
+    }
+
+    /// Runs `f` against the warm engine of `fingerprint`'s shard, then
+    /// settles the byte ledger: new pool entries are measured and
+    /// admitted (or declined), grown entries re-measured, and every
+    /// entry whose key starts with `identity` (see
+    /// [`crate::engine::session_identity`]) is touched for LRU/heat.
+    ///
+    /// Runs on the caller's thread — the serve layer provides the
+    /// one-worker-per-shard discipline; in-process callers (tests,
+    /// benches) may call from anywhere, racing requests settle under
+    /// the shard ledger lock.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `f` returns; the ledger is settled either way (a failed
+    /// preparation is memoized by the engine and accounted like any
+    /// other entry).
+    pub fn with_engine<R>(
+        &self,
+        fingerprint: u64,
+        identity: &str,
+        f: impl FnOnce(&Engine) -> Result<R, CorepartError>,
+    ) -> (Result<R, CorepartError>, RequestStats) {
+        let started = Instant::now();
+        let shard_idx = self.shard_of(fingerprint);
+        let shard = &self.shards[shard_idx];
+
+        let store_hit = {
+            let meta = shard.meta.lock().expect("shard ledger poisoned");
+            meta.keys()
+                .any(|k| k.kind == ArtifactKind::Baseline && k.key.starts_with(identity))
+        };
+
+        let result = f(&shard.engine);
+        self.settle(shard, identity);
+
+        let elapsed_nanos = started.elapsed().as_nanos() as u64;
+        shard
+            .latencies
+            .lock()
+            .expect("latency ledger poisoned")
+            .push(elapsed_nanos);
+        shard.requests.fetch_add(1, Ordering::Relaxed);
+        if store_hit {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (
+            result,
+            RequestStats {
+                shard: shard_idx,
+                store_hit,
+                elapsed_nanos,
+            },
+        )
+    }
+
+    /// Runs `f` like [`ArtifactStore::with_engine`], memoizing the
+    /// deterministic `String` half of its output under `request_key`
+    /// ([`ArtifactKind::Result`] in the byte ledger — same budget, LRU
+    /// and admission rules as every other artifact). A later call with
+    /// the same `request_key` returns the memoized text without
+    /// touching the engine; its second output is `None` then, since no
+    /// fresh computation produced one.
+    ///
+    /// Sound because every response `result` is a pure function of the
+    /// full request against the store's base configuration —
+    /// `request_key` must encode all of it (the serve layer derives it
+    /// from the session identity plus every request knob).
+    ///
+    /// # Errors
+    ///
+    /// Whatever `f` returns; errors are not memoized here (the engine
+    /// pools already memoize failed stage artifacts).
+    pub fn with_result<T>(
+        &self,
+        fingerprint: u64,
+        identity: &str,
+        request_key: &str,
+        f: impl FnOnce(&Engine) -> Result<(String, T), CorepartError>,
+    ) -> (Result<(String, Option<T>), CorepartError>, RequestStats) {
+        let started = Instant::now();
+        let shard_idx = self.shard_of(fingerprint);
+        let shard = &self.shards[shard_idx];
+        let ekey = EntryKey {
+            kind: ArtifactKind::Result,
+            key: request_key.to_owned(),
+        };
+
+        let memoized = {
+            let results = shard.results.lock().expect("result pool poisoned");
+            results.get(request_key).cloned()
+        };
+        if let Some(text) = memoized {
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            {
+                let mut meta = shard.meta.lock().expect("shard ledger poisoned");
+                if let Some(entry) = meta.get_mut(&ekey) {
+                    entry.tick = tick;
+                    entry.touches += 1;
+                }
+            }
+            let elapsed_nanos = started.elapsed().as_nanos() as u64;
+            shard
+                .latencies
+                .lock()
+                .expect("latency ledger poisoned")
+                .push(elapsed_nanos);
+            shard.requests.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            return (
+                Ok((text, None)),
+                RequestStats {
+                    shard: shard_idx,
+                    store_hit: true,
+                    elapsed_nanos,
+                },
+            );
+        }
+
+        let (outcome, stats) = self.with_engine(fingerprint, identity, f);
+        let outcome = outcome.map(|(text, extra)| {
+            self.admit_result(shard, &ekey, &text);
+            (text, Some(extra))
+        });
+        (outcome, stats)
+    }
+
+    /// Admits one freshly computed result payload to the ledger (or
+    /// declines it when only hot entries could make room).
+    fn admit_result(&self, shard: &StoreShard, ekey: &EntryKey, text: &str) {
+        /// Map/ledger bookkeeping charge per memoized result.
+        const RESULT_OVERHEAD: u64 = 64;
+        let bytes = (ekey.key.len() + text.len()) as u64 + RESULT_OVERHEAD;
+        let tick = self.tick.load(Ordering::Relaxed);
+        let mut meta = shard.meta.lock().expect("shard ledger poisoned");
+        if meta.contains_key(ekey) {
+            // A racing identical request already admitted it.
+            return;
+        }
+        if self.reserve_or_evict(shard, &mut meta, bytes, ekey, false) {
+            meta.insert(
+                ekey.clone(),
+                EntryMeta {
+                    bytes,
+                    tick,
+                    touches: 1,
+                },
+            );
+            shard
+                .results
+                .lock()
+                .expect("result pool poisoned")
+                .insert(ekey.key.clone(), text.to_owned());
+        } else {
+            shard.declined.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reconciles one shard's ledger against its engine pools after a
+    /// request: admission, growth, touches, budget enforcement.
+    fn settle(&self, shard: &StoreShard, identity: &str) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut meta = shard.meta.lock().expect("shard ledger poisoned");
+        for kind in ArtifactKind::ALL {
+            for key in shard.engine.pool_keys(kind) {
+                let touched = key.starts_with(identity);
+                let ekey = EntryKey { kind, key };
+                match meta.get(&ekey).cloned() {
+                    Some(mut entry) => {
+                        if touched {
+                            entry.tick = tick;
+                            entry.touches += 1;
+                        }
+                        if kind.grows() {
+                            match shard.engine.artifact_bytes(kind, &ekey.key) {
+                                Some(now) if now > entry.bytes => {
+                                    let hot = entry.touches >= self.hot_touches;
+                                    let delta = now - entry.bytes;
+                                    if self.reserve_or_evict(shard, &mut meta, delta, &ekey, hot) {
+                                        entry.bytes = now;
+                                    } else {
+                                        // The entry outgrew what the
+                                        // budget can host: drop it
+                                        // entirely (releases its old
+                                        // reservation; the delta was
+                                        // never reserved).
+                                        self.evict_entry(shard, &mut meta, &ekey);
+                                        continue;
+                                    }
+                                }
+                                Some(now) if now < entry.bytes => {
+                                    self.used.fetch_sub(entry.bytes - now, Ordering::Relaxed);
+                                    entry.bytes = now;
+                                }
+                                _ => {}
+                            }
+                        }
+                        meta.insert(ekey, entry);
+                    }
+                    None => {
+                        // New entry. Still-computing entries report no
+                        // size yet; they are settled by the request
+                        // that completes them.
+                        let Some(bytes) = shard.engine.artifact_bytes(kind, &ekey.key) else {
+                            continue;
+                        };
+                        if self.reserve_or_evict(shard, &mut meta, bytes, &ekey, false) {
+                            meta.insert(
+                                ekey,
+                                EntryMeta {
+                                    bytes,
+                                    tick,
+                                    touches: u64::from(touched),
+                                },
+                            );
+                        } else {
+                            // Admission declined: the artifact was
+                            // computed and served, but is not worth a
+                            // hot entry's seat.
+                            shard.engine.evict_artifact(kind, &ekey.key);
+                            shard.declined.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// CAS-reserves `need` bytes, evicting this shard's LRU entries
+    /// (cold first; hot ones only when `allow_hot`) until the
+    /// reservation fits. `protect` is never chosen as a victim. Returns
+    /// whether the reservation succeeded; on failure nothing is
+    /// reserved (but evictions performed along the way stand).
+    fn reserve_or_evict(
+        &self,
+        shard: &StoreShard,
+        meta: &mut HashMap<EntryKey, EntryMeta>,
+        need: u64,
+        protect: &EntryKey,
+        allow_hot: bool,
+    ) -> bool {
+        loop {
+            if self.try_reserve(need) {
+                return true;
+            }
+            let Some(victim) = pick_victim(meta, Some(protect), allow_hot, self.hot_touches) else {
+                return false;
+            };
+            self.evict_entry(shard, meta, &victim);
+        }
+    }
+
+    /// Reserves `need` bytes iff the total stays within budget.
+    fn try_reserve(&self, need: u64) -> bool {
+        let mut used = self.used.load(Ordering::Relaxed);
+        loop {
+            if used.saturating_add(need) > self.budget {
+                return false;
+            }
+            match self.used.compare_exchange_weak(
+                used,
+                used + need,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => used = actual,
+            }
+        }
+    }
+
+    /// Drops one accounted entry: pool, ledger, byte reservation.
+    fn evict_entry(
+        &self,
+        shard: &StoreShard,
+        meta: &mut HashMap<EntryKey, EntryMeta>,
+        key: &EntryKey,
+    ) {
+        if let Some(entry) = meta.remove(key) {
+            if key.kind == ArtifactKind::Result {
+                shard
+                    .results
+                    .lock()
+                    .expect("result pool poisoned")
+                    .remove(&key.key);
+            } else {
+                shard.engine.evict_artifact(key.kind, &key.key);
+            }
+            self.used.fetch_sub(entry.bytes, Ordering::Relaxed);
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time snapshot of hit rates, evictions, occupancy and
+    /// latency percentiles.
+    pub fn stats(&self) -> StoreStats {
+        let mut out = StoreStats {
+            budget_bytes: self.budget,
+            ..StoreStats::default()
+        };
+        let mut all_latencies = Vec::new();
+        for shard in &self.shards {
+            let (entries, bytes) = {
+                let meta = shard.meta.lock().expect("shard ledger poisoned");
+                (
+                    meta.len() as u64,
+                    meta.values().map(|e| e.bytes).sum::<u64>(),
+                )
+            };
+            let s = ShardStats {
+                requests: shard.requests.load(Ordering::Relaxed),
+                hits: shard.hits.load(Ordering::Relaxed),
+                evictions: shard.evictions.load(Ordering::Relaxed),
+                declined: shard.declined.load(Ordering::Relaxed),
+                entries,
+                bytes,
+            };
+            out.requests += s.requests;
+            out.hits += s.hits;
+            out.evictions += s.evictions;
+            out.declined += s.declined;
+            out.bytes += s.bytes;
+            out.shards.push(s);
+            all_latencies.extend_from_slice(&shard.latencies.lock().expect("latency ledger"));
+        }
+        out.latency = latency_stats(&mut all_latencies);
+        out
+    }
+}
+
+/// Deterministic victim selection: the least-recently-used *cold*
+/// entry first (touches below `hot_touches`); hot entries only when
+/// `allow_hot`. Ties on the LRU tick — e.g. two entries admitted by
+/// one request — break by `(kind, key)`, never by hash-map iteration
+/// order.
+fn pick_victim(
+    meta: &HashMap<EntryKey, EntryMeta>,
+    protect: Option<&EntryKey>,
+    allow_hot: bool,
+    hot_touches: u64,
+) -> Option<EntryKey> {
+    let candidate = |hot_pass: bool| {
+        meta.iter()
+            .filter(|(k, _)| Some(*k) != protect)
+            .filter(|(_, e)| (e.touches >= hot_touches) == hot_pass)
+            .min_by(|(ka, ea), (kb, eb)| ea.tick.cmp(&eb.tick).then_with(|| ka.cmp(kb)))
+            .map(|(k, _)| k.clone())
+    };
+    candidate(false).or_else(|| if allow_hot { candidate(true) } else { None })
+}
+
+/// Nearest-rank percentiles; sorts `samples` in place.
+fn latency_stats(samples: &mut [u64]) -> LatencyStats {
+    if samples.is_empty() {
+        return LatencyStats::default();
+    }
+    samples.sort_unstable();
+    let rank = |p: u64| {
+        let n = samples.len() as u64;
+        let idx = (p * n).div_ceil(100).max(1) - 1;
+        samples[idx.min(n - 1) as usize]
+    };
+    LatencyStats {
+        count: samples.len() as u64,
+        p50_nanos: rank(50),
+        p95_nanos: rank(95),
+        p99_nanos: rank(99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta_of(entries: &[(&str, ArtifactKind, u64, u64)]) -> HashMap<EntryKey, EntryMeta> {
+        entries
+            .iter()
+            .map(|&(key, kind, tick, touches)| {
+                (
+                    EntryKey {
+                        kind,
+                        key: key.to_owned(),
+                    },
+                    EntryMeta {
+                        bytes: 100,
+                        tick,
+                        touches,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn victim_is_lru_cold_with_deterministic_tie_break() {
+        // Two cold entries share the oldest tick: the (kind, key) order
+        // decides, independent of hash-map iteration order.
+        let meta = meta_of(&[
+            ("b", ArtifactKind::Baseline, 1, 1),
+            ("a", ArtifactKind::Baseline, 1, 1),
+            ("c", ArtifactKind::Baseline, 2, 1),
+        ]);
+        for _ in 0..8 {
+            let v = pick_victim(&meta, None, false, 2).unwrap();
+            assert_eq!((v.kind, v.key.as_str()), (ArtifactKind::Baseline, "a"));
+        }
+        // Same tick, different kinds: ledger order (Prepared < Baseline
+        // < Schedule) breaks the tie.
+        let meta = meta_of(&[
+            ("x", ArtifactKind::Schedule, 5, 0),
+            ("x", ArtifactKind::Prepared, 5, 0),
+        ]);
+        let v = pick_victim(&meta, None, false, 2).unwrap();
+        assert_eq!(v.kind, ArtifactKind::Prepared);
+    }
+
+    #[test]
+    fn hot_entries_survive_cold_pressure() {
+        // The hot entry is older (tick 1) than the cold one (tick 9):
+        // plain LRU would evict it first, admission control does not.
+        let meta = meta_of(&[
+            ("hot", ArtifactKind::Baseline, 1, 5),
+            ("cold", ArtifactKind::Baseline, 9, 1),
+        ]);
+        let v = pick_victim(&meta, None, false, 2).unwrap();
+        assert_eq!(v.key, "cold");
+        // With only hot entries left, a cold admission finds no victim…
+        let meta = meta_of(&[("hot", ArtifactKind::Baseline, 1, 5)]);
+        assert!(pick_victim(&meta, None, false, 2).is_none());
+        // …while a hot requester may reclaim from its peers.
+        let v = pick_victim(&meta, None, true, 2).unwrap();
+        assert_eq!(v.key, "hot");
+    }
+
+    #[test]
+    fn protected_entry_is_never_the_victim() {
+        let meta = meta_of(&[("only", ArtifactKind::Baseline, 1, 0)]);
+        let protect = EntryKey {
+            kind: ArtifactKind::Baseline,
+            key: "only".to_owned(),
+        };
+        assert!(pick_victim(&meta, Some(&protect), true, 2).is_none());
+    }
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let mut empty: [u64; 0] = [];
+        assert_eq!(latency_stats(&mut empty).count, 0);
+        let mut one = [7u64];
+        let l = latency_stats(&mut one);
+        assert_eq!((l.p50_nanos, l.p95_nanos, l.p99_nanos), (7, 7, 7));
+        let mut hundred: Vec<u64> = (1..=100).rev().collect();
+        let l = latency_stats(&mut hundred);
+        assert_eq!(l.count, 100);
+        assert_eq!((l.p50_nanos, l.p95_nanos, l.p99_nanos), (50, 95, 99));
+    }
+
+    #[test]
+    fn budget_reservation_is_a_hard_ceiling() {
+        let store = ArtifactStore::new(
+            SystemConfig::new(),
+            &StoreOptions {
+                shards: 1,
+                budget_bytes: 1000,
+                hot_touches: 2,
+            },
+        )
+        .unwrap();
+        assert!(store.try_reserve(600));
+        assert!(!store.try_reserve(600), "601..1200 exceeds the budget");
+        assert!(store.try_reserve(400));
+        assert!(!store.try_reserve(1));
+        store.used.fetch_sub(500, Ordering::Relaxed);
+        assert!(store.try_reserve(500));
+    }
+}

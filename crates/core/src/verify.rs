@@ -403,7 +403,24 @@ pub struct ReplayEngine {
     validated: Result<(), SimError>,
 }
 
+impl corepart_sched::cache::HeapBytes for VerifiedRun {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.stats.heap_bytes()
+    }
+}
+
 impl ReplayEngine {
+    /// Owned heap footprint in bytes: the encoded trace, the per-pc
+    /// replay tables, the lazy SoA decode (when built) and the
+    /// verified-run memo. Grows as verifications are memoized, so the
+    /// store re-measures the owning baseline after every request.
+    pub fn heap_bytes(&self) -> usize {
+        self.trace.heap_bytes()
+            + self.replayer.heap_bytes()
+            + self.decoded.get().map_or(0, |d| d.heap_bytes())
+            + self.cache.bytes() as usize
+    }
+
     /// Builds the engine (precomputes the per-pc replay table) for a
     /// trace captured from `prepared` under `config`. The trace's
     /// fingerprint is validated here, once; a damaged capture turns

@@ -180,6 +180,23 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Owned heap footprint of the per-block and per-class tables, in
+    /// bytes. Map entries are charged a fixed per-node estimate; the
+    /// point is stable byte accounting for store eviction, not
+    /// allocator-exact numbers.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        const MAP_NODE_EST: usize = 48;
+        size_of::<Self>()
+            + (self.inst_counts.len() + self.class_cycles.len() + self.hw_block_entries.len())
+                * MAP_NODE_EST
+            + self.block_class_cycles.capacity() * size_of::<[u64; 8]>()
+            + self.block_counts.capacity() * size_of::<u64>()
+            + self.block_cycles.capacity() * size_of::<u64>()
+            + self.block_energy.capacity() * size_of::<Energy>()
+            + self.trace.capacity() * size_of::<TraceEntry>()
+    }
+
     /// Total µP cycles attributed to a set of blocks.
     pub fn cycles_of(&self, blocks: &[BlockId]) -> Cycles {
         Cycles::new(

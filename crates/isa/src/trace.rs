@@ -59,6 +59,12 @@ struct SegStream {
 }
 
 impl SegStream {
+    /// Owned heap footprint: segment capacities plus the spine.
+    fn heap_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.capacity()).sum::<usize>()
+            + self.segments.capacity() * std::mem::size_of::<Vec<u8>>()
+    }
+
     fn put(&mut self, mut v: u64) {
         let segment = match self.segments.last_mut() {
             Some(s) if s.len() < SEGMENT_BYTES => s,
@@ -256,6 +262,13 @@ impl ReferenceTrace {
     /// Encoded size in bytes (excluding constant-size bookkeeping).
     pub fn bytes(&self) -> usize {
         self.pcs.bytes + self.addrs.bytes
+    }
+
+    /// Owned heap footprint in bytes (allocated segment capacities, not
+    /// just encoded payload) — what an artifact store charges against
+    /// its byte budget for keeping this trace warm.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.pcs.heap_bytes() + self.addrs.heap_bytes()
     }
 
     /// The run's return value (register `r1` at `halt`).
@@ -602,6 +615,16 @@ impl DecodedTrace {
         }
         shards
     }
+
+    /// Owned heap footprint of the decoded SoA form (stretch starts,
+    /// lengths and the address column) — the byte-budget charge for
+    /// keeping a decode warm next to its encoded trace.
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.starts.capacity() * std::mem::size_of::<u32>()
+            + self.lens.capacity() * std::mem::size_of::<u64>()
+            + self.addrs.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 /// How one lane processes the current same-block run — decided once
@@ -799,6 +822,23 @@ fn lanes_add_energy(energy: &mut [Energy], block: &mut [Energy], e: Energy) {
 }
 
 impl TraceReplayer {
+    /// Owned heap footprint of the per-pc replay tables (info, prefix
+    /// sums, class tables) — charged alongside the trace they replay.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.info.capacity() * size_of::<PcInfo>()
+            + self.access_prefix.capacity() * size_of::<u32>()
+            + self.run_end.capacity() * size_of::<u32>()
+            + self.lat_prefix.capacity() * size_of::<u64>()
+            + self.access_pc.capacity() * size_of::<u32>()
+            + self.access_is_load.capacity()
+            + self.class_count_prefix.capacity() * size_of::<[u64; 8]>()
+            + self.class_cycle_prefix.capacity() * size_of::<[u64; 8]>()
+            + self.switch_prefix.capacity() * size_of::<u64>()
+            + self.intra_energy.capacity() * size_of::<Energy>()
+    }
+
     /// Builds the replay table for one compiled program.
     pub fn new(prog: &MachProgram, app: &Application, energy: &EnergyTable) -> Self {
         let info = prog

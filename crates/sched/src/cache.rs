@@ -19,11 +19,12 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::mem::size_of;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::binding::{Binding, ClusterSchedule, Utilization};
-use crate::list::SchedError;
+use crate::list::{OpSlot, SchedError};
 
 /// The memoized product of one cluster-on-datapath synthesis.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +35,47 @@ pub struct ScheduledCluster {
     pub binding: Binding,
     /// The utilization rate `U_R^core`.
     pub util: Utilization,
+}
+
+/// Approximate owned heap footprint of a memoized value, in bytes.
+///
+/// The artifact store charges every cached entry against a global byte
+/// budget; this trait is how [`MemoCache::bytes`] asks a value what it
+/// weighs. Implementations count owned allocations (vector capacities,
+/// string capacities, map entries at a fixed per-node estimate) — the
+/// goal is stable, deterministic accounting for eviction decisions, not
+/// allocator-exact numbers.
+pub trait HeapBytes {
+    /// Owned heap bytes, excluding `size_of::<Self>()` unless noted.
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Per-entry estimate for one `BTreeMap`/`HashMap` node (key + value +
+/// node overhead) used when a container does not expose its capacity.
+const MAP_NODE_EST: usize = 48;
+
+impl HeapBytes for ScheduledCluster {
+    fn heap_bytes(&self) -> usize {
+        let sched = self.sched.blocks.capacity() * size_of::<corepart_ir::op::BlockId>()
+            + self.sched.set_name.capacity()
+            + self.sched.schedules.capacity() * size_of::<crate::list::BlockSchedule>()
+            + self
+                .sched
+                .schedules
+                .iter()
+                .map(|s| s.slots.capacity() * size_of::<OpSlot>())
+                .sum::<usize>();
+        let binding = self.binding.instances.len() * MAP_NODE_EST
+            + self.binding.assignment.len() * MAP_NODE_EST
+            + self
+                .binding
+                .assignment
+                .values()
+                .map(|v| v.capacity() * size_of::<u32>())
+                .sum::<usize>();
+        let util = self.util.busy.len() * MAP_NODE_EST;
+        size_of::<Self>() + sched + binding + util
+    }
 }
 
 type Slot<V, E> = Arc<OnceLock<Result<Arc<V>, E>>>;
@@ -141,13 +183,30 @@ impl<K: Eq + Hash, V, E: Clone> MemoCache<K, V, E> {
         self.map.lock().expect("memo cache poisoned").len()
     }
 
-    /// Fault-injection hook for the conformance harness (`conform`
-    /// feature only): drops `key`'s entry, forcing the next
+    /// A snapshot of every stored key (completed or still computing).
+    /// The artifact store reconciles its byte ledger against this after
+    /// each request.
+    pub fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        self.map
+            .lock()
+            .expect("memo cache poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Drops `key`'s entry, forcing the next
     /// [`MemoCache::get_or_compute`] to recompute (and charge a miss).
-    /// Returns whether an entry was present. The recomputed value must
-    /// be bit-identical to the evicted one — that is the invariant the
-    /// harness checks.
-    #[cfg(feature = "conform")]
+    /// Returns whether an entry was present.
+    ///
+    /// This is the primitive of the artifact store's budget path: an
+    /// evicted entry is recomputed bit-identically on the next request
+    /// — never served stale — because every cached value is a pure
+    /// function of its key. The conformance harness uses the same hook
+    /// for fault injection.
     pub fn evict(&self, key: &K) -> bool {
         self.map
             .lock()
@@ -156,13 +215,11 @@ impl<K: Eq + Hash, V, E: Clone> MemoCache<K, V, E> {
             .is_some()
     }
 
-    /// Fault-injection hook for the conformance harness (`conform`
-    /// feature only): installs a pre-resolved entry for `key`,
-    /// replacing any existing one. Later lookups are served the
-    /// poisoned value (charged as hits) — the harness uses this to
-    /// prove its differential oracles detect a cache serving wrong
-    /// values.
-    #[cfg(feature = "conform")]
+    /// Fault-injection hook for the conformance harness: installs a
+    /// pre-resolved entry for `key`, replacing any existing one. Later
+    /// lookups are served the poisoned value (charged as hits) — the
+    /// harness uses this to prove its differential oracles detect a
+    /// cache serving wrong values.
     pub fn poison(&self, key: K, value: V) {
         let slot: Slot<V, E> = Arc::new(OnceLock::new());
         let _ = slot.set(Ok(Arc::new(value)));
@@ -175,6 +232,29 @@ impl<K: Eq + Hash, V, E: Clone> MemoCache<K, V, E> {
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Fixed bookkeeping charge per cache entry (key, `Arc`, `OnceLock`,
+/// hash-map slot) on top of the value's own [`HeapBytes`].
+pub const CACHE_ENTRY_OVERHEAD: usize = 96;
+
+impl<K: Eq + Hash, V: HeapBytes, E: Clone> MemoCache<K, V, E> {
+    /// Accounted heap bytes of every *completed, successful* entry plus
+    /// [`CACHE_ENTRY_OVERHEAD`] per stored key. Failed computations are
+    /// charged overhead only (the error is small and worth keeping —
+    /// greedy growth re-asks about the same infeasible combinations).
+    pub fn bytes(&self) -> u64 {
+        let map = self.map.lock().expect("memo cache poisoned");
+        map.values()
+            .map(|slot| {
+                let value = match slot.get() {
+                    Some(Ok(v)) => v.heap_bytes(),
+                    _ => 0,
+                };
+                (CACHE_ENTRY_OVERHEAD + value) as u64
+            })
+            .sum()
     }
 }
 
@@ -295,5 +375,90 @@ mod tests {
         }
         assert_eq!(calls, 1);
         assert_eq!((cache.hits(), cache.misses()), (2, 1));
+    }
+
+    /// A payload with a known, controllable heap footprint.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob(Vec<u8>);
+
+    impl HeapBytes for Blob {
+        fn heap_bytes(&self) -> usize {
+            self.0.capacity()
+        }
+    }
+
+    #[test]
+    fn bytes_counts_completed_values_plus_overhead() {
+        let cache: MemoCache<u32, Blob, SchedError> = MemoCache::new();
+        assert_eq!(cache.bytes(), 0);
+        cache
+            .get_or_compute(1, || Ok(Blob(Vec::with_capacity(1000))))
+            .unwrap();
+        cache
+            .get_or_compute(2, || Ok(Blob(Vec::with_capacity(500))))
+            .unwrap();
+        assert_eq!(
+            cache.bytes(),
+            (1000 + 500 + 2 * CACHE_ENTRY_OVERHEAD) as u64
+        );
+        // Errors are charged bookkeeping overhead only.
+        let _ = cache.get_or_compute(3, || {
+            Err(SchedError::NoResource {
+                class: corepart_tech::resource::OpClass::Multiply,
+                set: "none".into(),
+            })
+        });
+        assert_eq!(
+            cache.bytes(),
+            (1000 + 500 + 3 * CACHE_ENTRY_OVERHEAD) as u64
+        );
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn evicted_entry_recomputes_identically_and_releases_bytes() {
+        let cache: MemoCache<u32, Blob, SchedError> = MemoCache::new();
+        let first = cache.get_or_compute(7, || Ok(Blob(vec![42; 64]))).unwrap();
+        let full = cache.bytes();
+        assert!(full > CACHE_ENTRY_OVERHEAD as u64);
+
+        // The budget path drops the entry; accounted bytes fall to zero
+        // and the next lookup recomputes (a fresh miss, never stale).
+        assert!(cache.evict(&7));
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.len(), 0);
+        assert!(!cache.evict(&7), "double evict finds nothing");
+
+        let mut recomputed = false;
+        let second = cache
+            .get_or_compute(7, || {
+                recomputed = true;
+                Ok(Blob(vec![42; 64]))
+            })
+            .unwrap();
+        assert!(recomputed, "evicted key must recompute");
+        assert_eq!(*first, *second, "recomputation is bit-identical");
+        assert!(!Arc::ptr_eq(&first, &second), "fresh allocation");
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert_eq!(cache.bytes(), full, "same value, same accounting");
+    }
+
+    #[test]
+    fn poisoned_entry_is_flushed_by_eviction() {
+        let cache: MemoCache<u32, Blob, SchedError> = MemoCache::new();
+        cache.get_or_compute(5, || Ok(Blob(vec![1; 16]))).unwrap();
+        // Poison with a wrong value (and a different footprint): served
+        // as a hit, and visible to the byte ledger.
+        cache.poison(5, Blob(vec![9; 32]));
+        let poisoned = cache
+            .get_or_compute(5, || unreachable!("poisoned key must not recompute"))
+            .unwrap();
+        assert_eq!(poisoned.0, vec![9; 32]);
+        assert_eq!(cache.bytes(), (32 + CACHE_ENTRY_OVERHEAD) as u64);
+        // Budget eviction flushes the poison: the next lookup recomputes
+        // the true value instead of serving the stale one.
+        assert!(cache.evict(&5));
+        let healed = cache.get_or_compute(5, || Ok(Blob(vec![1; 16]))).unwrap();
+        assert_eq!(healed.0, vec![1; 16]);
     }
 }

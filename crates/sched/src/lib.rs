@@ -55,7 +55,7 @@ pub mod gantt;
 pub mod list;
 
 pub use binding::{bind, schedule_cluster, utilization, Binding, ClusterSchedule, Utilization};
-pub use cache::{MemoCache, ScheduleCache, ScheduledCluster};
+pub use cache::{HeapBytes, MemoCache, ScheduleCache, ScheduledCluster};
 pub use datapath::{estimate_datapath, DatapathEstimate};
 pub use dfg::{op_class_of, BlockDfg};
 pub use energy::{estimate_energy, gate_level_energy, AsicEnergy};

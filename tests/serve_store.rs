@@ -1,0 +1,210 @@
+//! Integration tests of the serve stack: the [`ArtifactStore`]'s byte
+//! budget, LRU eviction and admission control under real request
+//! loads, and the served-vs-fresh byte-identity guarantee across every
+//! compute command.
+
+use corepart::json::{parse_json, result_field};
+use corepart::serve::{handle_line, respond_fresh, ComputeKind, ComputeRequest};
+use corepart::store::{ArtifactStore, StoreOptions};
+use corepart::system::SystemConfig;
+
+/// A small family of structurally identical apps whose names and
+/// constants differ — distinct identities, near-identical footprints.
+fn app_source(tag: &str, k: i64) -> String {
+    format!(
+        "app {tag}; var x[48]; var acc = 0;
+         func main() {{
+             for (var i = 0; i < 48; i = i + 1) {{ acc = acc + x[i] * {k}; }}
+             return acc;
+         }}"
+    )
+}
+
+fn partition_request(tag: &str, k: i64) -> ComputeRequest {
+    let mut req = ComputeRequest::new(ComputeKind::Partition, &app_source(tag, k));
+    req.arrays = vec![("x".into(), (0..48).collect())];
+    req
+}
+
+fn store_with(shards: usize, budget_bytes: u64) -> ArtifactStore {
+    ArtifactStore::new(
+        SystemConfig::new(),
+        &StoreOptions {
+            shards,
+            budget_bytes,
+            hot_touches: 2,
+        },
+    )
+    .unwrap()
+}
+
+fn ask(store: &ArtifactStore, req: &ComputeRequest) -> String {
+    let (response, stop) = handle_line(store, &req.to_json());
+    assert!(!stop);
+    assert!(response.contains("\"ok\":true"), "{response}");
+    response
+}
+
+/// The accounted footprint of one app's full artifact set, measured on
+/// an unconstrained store.
+fn one_app_bytes() -> u64 {
+    let store = store_with(1, u64::MAX);
+    ask(&store, &partition_request("probe", 3));
+    let bytes = store.stats().bytes;
+    assert!(bytes > 0);
+    bytes
+}
+
+#[test]
+fn budget_is_honored_under_load_and_evictions_are_counted() {
+    let budget = one_app_bytes() * 2;
+    let store = store_with(1, budget);
+    // Six distinct apps through a two-app budget: the store must evict
+    // to keep admitting, and never exceed the budget while doing so.
+    for (i, k) in [3, 5, 7, 9, 11, 13].into_iter().enumerate() {
+        ask(&store, &partition_request(&format!("load{i}"), k));
+        let stats = store.stats();
+        assert!(
+            stats.bytes <= budget,
+            "accounted {} exceeds budget {budget} after request {i}",
+            stats.bytes,
+        );
+    }
+    let stats = store.stats();
+    assert!(
+        stats.evictions > 0,
+        "a 2-app budget under a 6-app load must evict"
+    );
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.latency.count, 6);
+}
+
+#[test]
+fn lru_eviction_keeps_the_recently_used_fingerprint() {
+    // A budget that fits two apps; fill it with A then B, then admit C.
+    // The LRU entries — A's — must go; B must still be warm.
+    let budget = one_app_bytes() * 2 + one_app_bytes() / 2;
+    let store = store_with(1, budget);
+    let a = partition_request("appa", 3);
+    let b = partition_request("appb", 5);
+    let c = partition_request("appc", 7);
+    ask(&store, &a);
+    ask(&store, &b);
+    ask(&store, &c);
+    assert!(store.stats().evictions > 0, "admitting C must evict");
+    // Probe warmth through the artifact layer, not the result memo: an
+    // explicit n_max gives each probe a fresh result key, so store_hit
+    // reports whether the app's baseline is still resident.
+    let mut b_probe = b.clone();
+    b_probe.n_max = Some(6);
+    let b_again = ask(&store, &b_probe);
+    assert!(
+        b_again.contains("\"store_hit\":true"),
+        "B was more recently used than A and must survive: {b_again}"
+    );
+    let mut a_probe = a.clone();
+    a_probe.n_max = Some(6);
+    let a_again = ask(&store, &a_probe);
+    assert!(
+        a_again.contains("\"store_hit\":false"),
+        "A was the LRU fingerprint and must have been evicted: {a_again}"
+    );
+}
+
+#[test]
+fn hot_entries_are_not_evicted_for_one_shot_requests() {
+    // Room for one app plus a little slack: once `hot` owns the store,
+    // a stranger can only be admitted by displacing hot entries — which
+    // cold, first-time admissions are not allowed to do.
+    let budget = one_app_bytes() * 5 / 4;
+    let store = store_with(1, budget);
+    let hot = partition_request("hotapp", 3);
+    // Two engine-touching requests make every artifact of `hot` hot
+    // (touches >= 2) — the second varies n_max so it misses the result
+    // memo and actually re-touches the artifact pools.
+    ask(&store, &hot);
+    let mut hot_variant = hot.clone();
+    hot_variant.n_max = Some(6);
+    ask(&store, &hot_variant);
+    // A stream of one-shot strangers cannot displace it…
+    for (i, k) in [5, 7, 9, 11].into_iter().enumerate() {
+        ask(&store, &partition_request(&format!("cold{i}"), k));
+    }
+    let stats = store.stats();
+    assert!(
+        stats.declined > 0,
+        "cold admissions against hot occupancy must be declined: {stats:?}"
+    );
+    let again = ask(&store, &hot);
+    assert!(
+        again.contains("\"store_hit\":true"),
+        "the hot baseline must have survived the cold stream: {again}"
+    );
+}
+
+#[test]
+fn served_results_are_byte_identical_to_fresh_engines() {
+    let store = store_with(2, 256 << 20);
+    let base = SystemConfig::new();
+    let mut requests = vec![
+        partition_request("ident", 3),
+        ComputeRequest::new(ComputeKind::Explore, &app_source("ident", 3)),
+        ComputeRequest::new(ComputeKind::Verify, &app_source("ident", 3)),
+    ];
+    requests[1].arrays = vec![("x".into(), (0..48).collect())];
+    requests[1].weights = Some(vec![0.0, 0.5, 2.0]);
+    requests[2].arrays = vec![("x".into(), (0..48).collect())];
+    requests[2].clusters = vec![0];
+    // Twice each: the warm pass must not drift from the cold one.
+    for _ in 0..2 {
+        for req in &requests {
+            let served = ask(&store, req);
+            let fresh = respond_fresh(&base, req);
+            assert_eq!(
+                result_field(&served),
+                result_field(&fresh),
+                "served and fresh results must be byte-identical ({})",
+                req.kind.name(),
+            );
+        }
+    }
+    assert!(store.stats().hits > 0);
+}
+
+#[test]
+fn repeated_identical_requests_hit_the_result_memo() {
+    let store = store_with(1, 256 << 20);
+    let req = partition_request("memo", 3);
+    let first = ask(&store, &req);
+    let second = ask(&store, &req);
+    // The repeat is a pure memo lookup: byte-identical result, no
+    // fresh session (hence no session counters in its stats).
+    assert!(first.contains("\"session\""), "{first}");
+    assert!(!second.contains("\"session\""), "{second}");
+    assert!(second.contains("\"store_hit\":true"), "{second}");
+    assert_eq!(result_field(&first), result_field(&second));
+    // A knob change misses the memo and runs the engine again.
+    let mut variant = req.clone();
+    variant.factor_f = Some(2.0);
+    let third = ask(&store, &variant);
+    assert!(third.contains("\"session\""), "{third}");
+}
+
+#[test]
+fn served_sessions_drive_the_sharded_batch_kernel() {
+    let mut config = SystemConfig::new();
+    config.threads = 2;
+    let store = ArtifactStore::new(config, &StoreOptions::default()).unwrap();
+    let response = ask(&store, &partition_request("batched", 3));
+    let parsed = parse_json(&response).unwrap();
+    let shards = parsed
+        .get("stats")
+        .and_then(|s| s.get("session"))
+        .and_then(|s| s.get("batch_shards"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(
+        shards > 0,
+        "served verifies must run the batched kernel: {response}"
+    );
+}
