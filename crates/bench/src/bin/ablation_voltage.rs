@@ -1,14 +1,17 @@
-//! Extension experiment **E1** — running the ASIC core at a reduced
-//! supply voltage.
+//! Extension experiment **E1** — technology-node × supply-voltage
+//! sweep of the chosen partition.
 //!
 //! The paper's related work includes multiple-voltage core-based design
 //! (its reference \[10\], Hong/Kirovski DAC'98); Henkel's own cores run
-//! at the nominal CMOS6 5 V. This experiment combines the two ideas:
-//! after `corepart` picks a partition, the ASIC core — which often has
-//! timing slack because the application is µP-bound — is re-evaluated
-//! at 5.0 / 3.3 / 2.4 V. Switching energy falls with `V²` while the
-//! ASIC clock derates per the alpha-power law, so its cycle count is
-//! converted into µP-clock equivalents for the time column.
+//! at the nominal CMOS6 5 V. Earlier revisions of this experiment
+//! re-evaluated only the ASIC core at 5.0/3.3/2.4 V. With operating
+//! points a first-class axis, E1 now spans the whole
+//! [`NodeScalingTable`](corepart_tech::scaling::NodeScalingTable): the
+//! flow runs **once** per application at the base process, then the
+//! chosen design and the all-software initial are re-weighed to every
+//! node × vdd point. Replay counts are node-independent, so no further
+//! simulation happens — each row is pure arithmetic (energy ×
+//! node factor × (V/Vnom)², time × derate/freq, area × node factor).
 //!
 //! ```text
 //! cargo run --release -p corepart-bench --bin ablation_voltage
@@ -19,15 +22,18 @@ use corepart::partition::Partitioner;
 use corepart::prepare::Workload;
 use corepart::system::SystemConfig;
 use corepart_bench::SEED;
-use corepart_tech::units::{Cycles, Energy};
+use corepart_tech::scaling::OperatingPoint;
 use corepart_workloads::all;
+
+/// Supplies per node: nominal plus two DVFS steps toward the floor.
+const VDD_STEPS: usize = 3;
 
 fn main() {
     let config = SystemConfig::new();
-    println!("E1: ASIC supply-voltage scaling of the chosen partition\n");
+    println!("E1: node x vdd re-weighting of the chosen partition\n");
     println!(
-        "{:<8} {:>6} {:>14} {:>10} {:>12} {:>8}",
-        "app", "Vdd", "total energy", "saving%", "total cyc*", "chg%"
+        "{:<8} {:>6} {:>7} {:>13} {:>13} {:>9} {:>10}",
+        "app", "node", "Vdd", "energy J", "time s", "vs nat%", "HW cells"
     );
     for w in all() {
         let app = w.app().expect("bundled workload lowers");
@@ -40,40 +46,58 @@ fn main() {
             println!("{:<8} (no partition found)\n", w.name);
             continue;
         };
-        let initial = &outcome.initial;
 
-        for vdd in [5.0f64, 3.3, 2.4] {
-            // ASIC energy scales with V²; its wall-clock stretches by
-            // the delay derating, expressed in µP-clock-equivalent
-            // cycles. Everything µP-side is voltage-unchanged.
-            let e_scale = (vdd / config.process.supply_voltage()).powi(2);
-            let derate = config.process.delay_derating(vdd);
-            let asic_e = detail.metrics.asic_core.unwrap_or(Energy::ZERO);
-            let total_e = detail.metrics.total_energy() - asic_e + asic_e * e_scale;
-            let asic_cyc_eq = (detail.metrics.asic_cycles.count() as f64 * derate).round() as u64;
-            let total_cyc = detail.metrics.up_cycles + Cycles::new(asic_cyc_eq);
-            let saving = total_e
-                .percent_saving(initial.total_energy())
-                .unwrap_or(0.0);
-            let chg = total_cyc
-                .percent_change(initial.total_cycles())
-                .unwrap_or(0.0);
-            println!(
-                "{:<8} {:>5.1}V {:>14} {:>10.1} {:>12} {:>8.1}",
-                w.name,
-                vdd,
-                format!("{total_e}"),
-                saving,
-                total_cyc,
-                chg,
-            );
+        // The native point anchors the "vs nat%" column: how much the
+        // same design's energy moves purely by retargeting the node
+        // and supply.
+        let native = config
+            .clone()
+            .with_operating_point(OperatingPoint::native_of(&config.process))
+            .resolved_point()
+            .expect("native point is valid")
+            .expect("point is set");
+        let anchor = native
+            .weigh_raw(
+                detail.metrics.total_energy(),
+                detail.metrics.total_cycles(),
+                detail.metrics.geq,
+            )
+            .energy;
+
+        for node in config.scaling.nodes() {
+            let row = config.scaling.row(node).expect("listed node");
+            for vdd in row.vdd_sweep(&config.process, VDD_STEPS) {
+                let rp = config
+                    .clone()
+                    .with_operating_point(OperatingPoint { node_nm: node, vdd })
+                    .resolved_point()
+                    .expect("table point is valid")
+                    .expect("point is set");
+                let best = rp.weigh_raw(
+                    detail.metrics.total_energy(),
+                    detail.metrics.total_cycles(),
+                    detail.metrics.geq,
+                );
+                let saving = (1.0 - best.energy.joules() / anchor.joules()) * 100.0;
+                println!(
+                    "{:<8} {:>4}nm {:>6.2}V {:>13.4e} {:>13.4e} {:>9.1} {:>10.0}",
+                    w.name,
+                    node,
+                    vdd,
+                    best.energy.joules(),
+                    best.time.secs(),
+                    saving,
+                    best.area_cells,
+                );
+            }
         }
         println!();
     }
     println!(
-        "(*) ASIC cycles converted to uP-clock equivalents via the alpha-power\n\
-         delay derating. Reading: voltage scaling buys extra savings exactly\n\
-         where the partition left timing slack (negative chg%), and costs\n\
-         time where the ASIC was already the critical resource (trick)."
+        "Reading: counts are node-independent, so every row above is a pure\n\
+         re-weighting of one base-process simulation. `vs nat%` is the energy\n\
+         saved against the same design at the native 800nm/5V point; the\n\
+         saving over the all-software initial is point-independent because\n\
+         both designs carry the same energy weight."
     );
 }

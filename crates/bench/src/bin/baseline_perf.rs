@@ -48,9 +48,10 @@ use corepart::partition::{PartitionOutcome, Partitioner};
 use corepart::prepare::{PreparedApp, Workload};
 use corepart::serve::{handle_line, respond_fresh, ComputeKind, ComputeRequest};
 use corepart::store::{ArtifactStore, StoreOptions};
-use corepart::system::SystemConfig;
+use corepart::system::{ResolvedPoint, SystemConfig};
 use corepart::verify::{replay_batch_with, replay_run, BatchOptions};
 use corepart_bench::SEED;
+use corepart_tech::scaling::OperatingPoint;
 use corepart_tech::units::GateEq;
 use corepart_workloads::{all, by_name, PaperWorkload};
 
@@ -620,7 +621,7 @@ fn main() {
         None => all().iter().map(|w| w.name).collect(),
     };
     let mut sweep_rows: Vec<String> = Vec::new();
-    for name in sweep_apps {
+    for &name in &sweep_apps {
         let w = by_name(name).expect("paper workload exists");
         let seq_configs = hardware_weight_sweep(&weights, &SystemConfig::new().with_threads(1));
 
@@ -665,6 +666,141 @@ fn main() {
         );
     }
 
+    // Operating-point axis: one simulated 8-point sweep re-weighed to
+    // every (node × vdd) point of the default scaling table, versus a
+    // from-scratch search at one scaled point. The per-point marginal
+    // cost is pure arithmetic — the section pins both the speed claim
+    // and the bit-exactness of the re-weighting.
+    const VDD_STEPS: usize = 8;
+    println!("\nnodes: node x vdd re-weighting of one simulated sweep\n");
+    println!(
+        "{:<8} {:>7} {:>10} {:>11} {:>11} {:>10} {:>9} {:>10}",
+        "app", "points", "base ms", "avg rw ns", "max rw ns", "fresh ms", "marginal", "identical"
+    );
+    let mut node_rows: Vec<String> = Vec::new();
+    for &name in &sweep_apps {
+        let w = by_name(name).expect("paper workload exists");
+        let app = w.app().expect("bundled workload lowers");
+        let workload = Workload::from_arrays(w.arrays(SEED));
+        let base_config = SystemConfig::new();
+        let configs = hardware_weight_sweep(&weights, &base_config);
+
+        let base_start = Instant::now();
+        let base = explore(&app, &workload, &configs).expect("base sweep runs");
+        let base_nanos = base_start.elapsed().as_nanos();
+
+        // Every point of the table: each node at VDD_STEPS supplies
+        // descending from nominal to the sweep floor.
+        let mut points: Vec<ResolvedPoint> = Vec::new();
+        for node in base_config.scaling.nodes() {
+            let row = base_config.scaling.row(node).expect("listed node");
+            for vdd in row.vdd_sweep(&base_config.process, VDD_STEPS) {
+                let rp = base_config
+                    .clone()
+                    .with_operating_point(OperatingPoint { node_nm: node, vdd })
+                    .resolved_point()
+                    .expect("table point is valid")
+                    .expect("point is set");
+                points.push(rp);
+            }
+        }
+
+        // Marginal cost per point: re-weigh every base design point.
+        let mut total_rw: u128 = 0;
+        let mut max_rw: u128 = 0;
+        let mut reweighed: Vec<Vec<(u64, u64, u64)>> = Vec::with_capacity(points.len());
+        for rp in &points {
+            let rw_start = Instant::now();
+            let tuples: Vec<(u64, u64, u64)> = base
+                .points
+                .iter()
+                .map(|p| {
+                    let wm = rp.weigh_raw(p.energy, p.cycles, p.geq);
+                    (
+                        wm.energy.joules().to_bits(),
+                        wm.time.secs().to_bits(),
+                        wm.area_cells.to_bits(),
+                    )
+                })
+                .collect();
+            let nanos = rw_start.elapsed().as_nanos();
+            total_rw += nanos;
+            max_rw = max_rw.max(nanos);
+            reweighed.push(tuples);
+        }
+        let avg_rw = total_rw / points.len() as u128;
+
+        // From-scratch reference: a full search at the 180 nm nominal
+        // point (first supply of its sweep) must reproduce the
+        // memoized re-weighting bit for bit.
+        let fresh_index = points
+            .iter()
+            .position(|rp| rp.point.node_nm == 180)
+            .expect("180nm is in the default table");
+        let fresh_rp = points[fresh_index];
+        let fresh_start = Instant::now();
+        let fresh_config = configs[0].1.clone().with_operating_point(fresh_rp.point);
+        let engine = Engine::new(fresh_config).expect("engine");
+        let session = engine.session(&app, &workload);
+        let outcome = Partitioner::new(&session)
+            .expect("initial run")
+            .run()
+            .expect("search");
+        let fresh_nanos = fresh_start.elapsed().as_nanos();
+        // Mirror the sweep's point assembly for the first weight.
+        let (energy, cycles, geq) = match &outcome.best {
+            Some((_, detail)) => (
+                detail.metrics.total_energy(),
+                detail.metrics.total_cycles(),
+                detail.metrics.geq,
+            ),
+            None => (
+                outcome.initial.total_energy(),
+                outcome.initial.total_cycles(),
+                GateEq::ZERO,
+            ),
+        };
+        let wm = fresh_rp.weigh_raw(energy, cycles, geq);
+        let fresh_tuple = (
+            wm.energy.joules().to_bits(),
+            wm.time.secs().to_bits(),
+            wm.area_cells.to_bits(),
+        );
+        // base.points[0] is the initial design; [1] is configs[0].
+        let identical = reweighed[fresh_index][1] == fresh_tuple;
+        let marginal_ratio = avg_rw as f64 / fresh_nanos.max(1) as f64;
+        println!(
+            "{:<8} {:>7} {:>10.1} {:>11} {:>11} {:>10.1} {:>9.6} {:>10}",
+            name,
+            points.len(),
+            base_nanos as f64 / 1e6,
+            avg_rw,
+            max_rw,
+            fresh_nanos as f64 / 1e6,
+            marginal_ratio,
+            identical
+        );
+        node_rows.push(format!(
+            concat!(
+                "{{\"app\":\"{}\",\"points\":{},\"base_nanos\":{},",
+                "\"avg_reweight_nanos\":{},\"max_reweight_nanos\":{},",
+                "\"fresh_nanos\":{},\"marginal_ratio\":{:.9},\"identical\":{}}}"
+            ),
+            name,
+            points.len(),
+            base_nanos,
+            avg_rw,
+            max_rw,
+            fresh_nanos,
+            marginal_ratio,
+            identical
+        ));
+        assert!(
+            identical,
+            "re-weighted operating point must match the from-scratch flow bit-for-bit"
+        );
+    }
+
     // Serve daemon: a warm artifact store versus the cold per-request
     // engines every client paid before it, then Zipf-like fingerprint
     // reuse through a byte-budgeted store.
@@ -690,13 +826,14 @@ fn main() {
     let json = format!(
         concat!(
             "{{\"seed\":{},\"threads\":{},\"workloads\":[{}],\"batch\":[{}],",
-            "\"sweep\":[{}],\"serve\":{{\"per_app\":[{}],\"zipf\":{}}}}}\n"
+            "\"sweep\":[{}],\"nodes\":[{}],\"serve\":{{\"per_app\":[{}],\"zipf\":{}}}}}\n"
         ),
         SEED,
         threads,
         outcome_rows.join(","),
         batch_rows.join(","),
         sweep_rows.join(","),
+        node_rows.join(","),
         serve_rows.join(","),
         zipf_row
     );

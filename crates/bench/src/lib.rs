@@ -16,7 +16,7 @@
 //! | `ablation_cache_adapt` | §1 — cache re-tuning after partitioning |
 //! | `baseline_perf`        | §2 — performance-driven partitioning baseline |
 //! | `ablation_scheduler`   | extension A6 — list vs force-directed scheduling |
-//! | `ablation_voltage`     | extension E1 — ASIC supply-voltage scaling |
+//! | `ablation_voltage`     | extension E1 — node × vdd re-weighting of the chosen partition |
 //! | `kernel_sweep`         | extension E2 — DSP micro-kernel suite |
 //! | `ablation_multicore`   | extension E3 — multi-ASIC-core split |
 //! | `ablation_chaining`    | extension E4 — operator chaining |

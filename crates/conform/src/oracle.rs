@@ -34,7 +34,15 @@
 //!   non-decreasing in `G` (strictly when the design carries extra
 //!   hardware);
 //! * **energy-sum** — [`DesignMetrics::total_energy`] is exactly the
-//!   sum of its published components, in the documented order.
+//!   sum of its published components, in the documented order;
+//! * **operating-point** (metamorphic) — an operating point never
+//!   changes what executes: the initial run's `RunStats` and the full
+//!   search outcome at a scaled point equal the base point's bit for
+//!   bit; the scaled-point weighting of the searched design equals an
+//!   independent analytic re-weighting of base-point counts bit for
+//!   bit; and per node, lowering the supply within the DVFS range
+//!   never raises the energy weight while the time weight factors
+//!   through `CmosProcess::delay_derating` exactly.
 //!
 //! Any [`corepart::CorepartError`] surfacing from a *generated* (hence
 //! well-formed, terminating) application is itself a violation.
@@ -44,6 +52,7 @@ use std::collections::HashSet;
 use corepart::engine::Engine;
 use corepart::evaluate::evaluate_partition;
 use corepart::flow::DesignFlow;
+use corepart::isa::simulator::RunStats;
 use corepart::objective::Objective;
 use corepart::partition::{PartitionOutcome, Partitioner};
 use corepart::prepare::Workload;
@@ -52,6 +61,7 @@ use corepart::verify::{replay_batch, replay_batch_with, replay_run, BatchOptions
 use corepart_ir::cdfg::Application;
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
+use corepart_tech::scaling::{OperatingPoint, PointWeights};
 use corepart_tech::units::{Energy, GateEq};
 
 use crate::gen::GenApp;
@@ -279,6 +289,9 @@ pub fn check_lowered(app: &Application, workload: &Workload) -> Vec<Violation> {
     }
     violations.extend(of_monotone(partitioner.config(), &observed));
 
+    // Oracle: an operating point re-weighs counts, never changes them.
+    violations.extend(operating_point_invariants(app, workload));
+
     // Oracle: total energy is exactly the component sum.
     for metrics in &observed {
         let sum = metrics.icache
@@ -463,6 +476,183 @@ fn threaded_batch_vs_sequential(partitioner: &Partitioner<'_>) -> Vec<Violation>
                     "threaded batch (threads={threads}, shard_events={shard_events}) failed: {e}"
                 ),
             )),
+        }
+    }
+    violations
+}
+
+/// Metamorphic: an operating point never changes what executes — it
+/// only changes how the node-invariant counts are weighed.
+///
+/// * **counts** — the initial run's [`RunStats`] and the full search
+///   outcome at a scaled point (180 nm nominal) equal the base
+///   point's bit for bit;
+/// * **weighting** — the resolved weights equal an independently
+///   computed `energy_factor · (V/Vnom)²` / `derate / freq_factor` /
+///   `area_factor` triple bit for bit, and applying them to the
+///   scaled flow's searched design equals applying them to the base
+///   flow's (the counts are shared, so the weighted tuples must be
+///   bit-identical);
+/// * **dvfs** — per node, lowering the supply within the DVFS range
+///   never raises the energy weight, and the time weight factors
+///   through the node process's
+///   [`delay_derating`](corepart_tech::process::CmosProcess::delay_derating)
+///   exactly: `time(vdd) == time(vnom) · derate(vdd)` in bits.
+fn operating_point_invariants(app: &Application, workload: &Workload) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let base = base_config();
+    let Some(row) = base.scaling.row(180).cloned() else {
+        return vec![Violation::new(
+            "operating-point",
+            "default scaling table lost its 180nm row",
+        )];
+    };
+    let vnom = row.nominal_vdd(&base.process);
+    let point = OperatingPoint {
+        node_nm: 180,
+        vdd: vnom,
+    };
+    let scaled_config = base.clone().with_operating_point(point);
+
+    let run_at = |config: SystemConfig| -> Result<(RunStats, PartitionOutcome), String> {
+        let engine = Engine::new(config).map_err(|e| e.to_string())?;
+        let session = engine.session(app, workload);
+        let partitioner = Partitioner::new(&session).map_err(|e| e.to_string())?;
+        let stats = partitioner.initial_stats().clone();
+        let outcome = partitioner.run().map_err(|e| e.to_string())?;
+        Ok((stats, outcome))
+    };
+    let (base_stats, base_outcome) = match run_at(base.clone()) {
+        Ok(v) => v,
+        Err(e) => return vec![Violation::new("error", format!("base-point flow: {e}"))],
+    };
+    let (scaled_stats, scaled_outcome) = match run_at(scaled_config.clone()) {
+        Ok(v) => v,
+        Err(e) => return vec![Violation::new("error", format!("scaled-point flow: {e}"))],
+    };
+    if base_stats != scaled_stats {
+        violations.push(Violation::new(
+            "operating-point",
+            format!("initial RunStats changed at {point}"),
+        ));
+    }
+    if !outcomes_equivalent(&base_outcome, &scaled_outcome) {
+        violations.push(Violation::new(
+            "operating-point",
+            format!("search outcome changed at {point}"),
+        ));
+    }
+
+    let rp = match scaled_config.resolved_point() {
+        Ok(Some(rp)) => rp,
+        Ok(None) => {
+            return vec![Violation::new(
+                "operating-point",
+                "configured point resolved to None",
+            )]
+        }
+        Err(e) => return vec![Violation::new("error", format!("resolve point: {e}"))],
+    };
+    let node_process = row.process(&base.process);
+    let v_ratio = point.vdd / vnom;
+    let expected = PointWeights {
+        energy: row.energy_factor * v_ratio * v_ratio,
+        time: (1.0 / row.freq_factor) * node_process.delay_derating(point.vdd),
+        area: row.area_factor,
+    };
+    if rp.weights.energy.to_bits() != expected.energy.to_bits()
+        || rp.weights.time.to_bits() != expected.time.to_bits()
+        || rp.weights.area.to_bits() != expected.area.to_bits()
+    {
+        violations.push(Violation::new(
+            "operating-point",
+            format!(
+                "resolved weights {:?} != analytic weights {:?} at {point}",
+                rp.weights, expected
+            ),
+        ));
+    }
+    let pick = |o: &PartitionOutcome| match &o.best {
+        Some((_, d)) => (
+            d.metrics.total_energy(),
+            d.metrics.total_cycles(),
+            d.metrics.geq,
+        ),
+        None => (
+            o.initial.total_energy(),
+            o.initial.total_cycles(),
+            GateEq::ZERO,
+        ),
+    };
+    let (be, bc, bg) = pick(&base_outcome);
+    let (se, sc, sg) = pick(&scaled_outcome);
+    let wb = rp.weigh_raw(be, bc, bg);
+    let ws = rp.weigh_raw(se, sc, sg);
+    if wb.energy.joules().to_bits() != ws.energy.joules().to_bits()
+        || wb.time.secs().to_bits() != ws.time.secs().to_bits()
+        || wb.area_cells.to_bits() != ws.area_cells.to_bits()
+    {
+        violations.push(Violation::new(
+            "operating-point",
+            "scaled-point weighting of base counts diverged from the scaled flow".to_string(),
+        ));
+    }
+
+    for row in base.scaling.rows() {
+        let vnom = row.nominal_vdd(&base.process);
+        let node = row.process(&base.process);
+        let nominal = OperatingPoint {
+            node_nm: row.node_nm,
+            vdd: vnom,
+        };
+        let w_nom = match base.scaling.weights(&base.process, &nominal) {
+            Ok(w) => w,
+            Err(e) => {
+                violations.push(Violation::new(
+                    "operating-point",
+                    format!("nominal point of node {} rejected: {e}", row.node_nm),
+                ));
+                continue;
+            }
+        };
+        let mut prev_energy = f64::INFINITY;
+        for vdd in row.vdd_sweep(&base.process, 4) {
+            let p = OperatingPoint {
+                node_nm: row.node_nm,
+                vdd,
+            };
+            let w = match base.scaling.weights(&base.process, &p) {
+                Ok(w) => w,
+                Err(e) => {
+                    violations.push(Violation::new(
+                        "operating-point",
+                        format!("sweep point {p} rejected: {e}"),
+                    ));
+                    continue;
+                }
+            };
+            if w.energy > prev_energy {
+                violations.push(Violation::new(
+                    "operating-point",
+                    format!(
+                        "lowering vdd to {vdd} raised the energy weight at node {}",
+                        row.node_nm
+                    ),
+                ));
+            }
+            prev_energy = w.energy;
+            let derate = node.delay_derating(vdd);
+            if w.time.to_bits() != (w_nom.time * derate).to_bits() {
+                violations.push(Violation::new(
+                    "operating-point",
+                    format!(
+                        "time weight at {p} does not factor through delay_derating \
+                         ({} vs {})",
+                        w.time,
+                        w_nom.time * derate
+                    ),
+                ));
+            }
         }
     }
     violations

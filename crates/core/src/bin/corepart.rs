@@ -3,7 +3,8 @@
 //! ```text
 //! corepart partition <file.bdl> [--json] [--n-max N] [--factor-f F]
 //!                    [--factor-g G] [--array name=v1,v2,...]...
-//! corepart explore   <file.bdl> [--json] [--array ...]...
+//! corepart explore   <file.bdl> [--json] [--nodes a,b,...]
+//!                    [--vdd-steps N] [--array ...]...
 //! corepart clusters  <file.bdl> [--array ...]...
 //! corepart disasm    <file.bdl>
 //! corepart schedule  <file.bdl> [--set-index I] [--array ...]...
@@ -11,13 +12,21 @@
 //! ```
 //!
 //! Every command also accepts the global `--threads N` flag (0 =
-//! automatic).
+//! automatic) and the operating-point flags `--node N` (technology
+//! node in nm) and `--vdd V` (supply in volts) — results are then
+//! re-weighed to that point (simulation still runs at the base
+//! process; an unknown node or out-of-range supply is a configuration
+//! error).
 //!
 //! * `partition` — run the full Fig.-5 design flow; print the Table-1
 //!   rows (or JSON with `--json`).
 //! * `explore` — sweep the objective hardware weight (§3.5 design-
 //!   space exploration) and render the Pareto frontier (or the full
-//!   point set as JSON with `--json`).
+//!   point set as JSON with `--json`). With `--nodes a,b,...` the
+//!   sweep additionally re-weighs every design point to each listed
+//!   technology node at `--vdd-steps` supplies (default 4) descending
+//!   from nominal, and renders the 3D energy/time/area frontier — one
+//!   simulation pass, the node×vdd axes are pure arithmetic.
 //! * `clusters` — show the cluster chain with gen/use summaries and
 //!   profiled invocation counts.
 //! * `disasm` — compile for the µP core and disassemble.
@@ -30,9 +39,9 @@
 use std::process::ExitCode;
 
 use corepart::engine::Engine;
-use corepart::explore::{explore, hardware_weight_sweep};
+use corepart::explore::{explore, explore_nodes, hardware_weight_sweep};
 use corepart::flow::DesignFlow;
-use corepart::json::{exploration_to_json, outcome_to_json};
+use corepart::json::{exploration_to_json, node_exploration_to_json, outcome_to_json_at};
 use corepart::partition::Partitioner;
 use corepart::prepare::Workload;
 use corepart::report::{Table1, Table1Entry};
@@ -40,6 +49,7 @@ use corepart::serve::{ServeOptions, Server, EXPLORE_WEIGHTS};
 use corepart::system::SystemConfig;
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
+use corepart_tech::scaling::OperatingPoint;
 
 struct Args {
     command: String,
@@ -51,6 +61,10 @@ struct Args {
     factor_f: Option<f64>,
     factor_g: Option<f64>,
     threads: Option<usize>,
+    node: Option<u32>,
+    vdd: Option<f64>,
+    nodes: Option<Vec<u32>>,
+    vdd_steps: usize,
     serve: ServeOptions,
 }
 
@@ -58,7 +72,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: corepart <partition|explore|clusters|disasm|schedule> <file.bdl> \
          [--json] [--threads N] [--set-index I] [--n-max N] [--factor-f F] \
-         [--factor-g G] [--array name=v1,v2,...]...\n       \
+         [--factor-g G] [--node N] [--vdd V] [--nodes a,b,...] [--vdd-steps N] \
+         [--array name=v1,v2,...]...\n       \
          corepart serve [--port P] [--shards S] [--store-budget-mb M] [--threads N]"
     );
     ExitCode::from(2)
@@ -84,6 +99,10 @@ fn parse_args() -> Result<Args, String> {
         factor_f: None,
         factor_g: None,
         threads: None,
+        node: None,
+        vdd: None,
+        nodes: None,
+        vdd_steps: 4,
         serve: ServeOptions::default(),
     };
     while let Some(flag) = it.next() {
@@ -122,6 +141,24 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--factor-g needs a value")?;
                 args.factor_g = Some(v.parse().map_err(|_| format!("bad factor `{v}`"))?);
             }
+            "--node" => {
+                let v = it.next().ok_or("--node needs a value")?;
+                args.node = Some(v.parse().map_err(|_| format!("bad node `{v}`"))?);
+            }
+            "--vdd" => {
+                let v = it.next().ok_or("--vdd needs a value")?;
+                args.vdd = Some(v.parse().map_err(|_| format!("bad voltage `{v}`"))?);
+            }
+            "--nodes" => {
+                let spec = it.next().ok_or("--nodes needs a,b,...")?;
+                let nodes: Result<Vec<u32>, _> =
+                    spec.split(',').map(|v| v.trim().parse::<u32>()).collect();
+                args.nodes = Some(nodes.map_err(|_| format!("bad node list `{spec}`"))?);
+            }
+            "--vdd-steps" => {
+                let v = it.next().ok_or("--vdd-steps needs a value")?;
+                args.vdd_steps = v.parse().map_err(|_| format!("bad step count `{v}`"))?;
+            }
             "--array" => {
                 let spec = it.next().ok_or("--array needs name=v1,v2,...")?;
                 let (name, vals) = spec
@@ -154,6 +191,18 @@ fn config_from(args: &Args) -> SystemConfig {
     if let Some(t) = args.threads {
         config.threads = t;
     }
+    if args.node.is_some() || args.vdd.is_some() {
+        let native = OperatingPoint::native_of(&config.process);
+        let node_nm = args.node.unwrap_or(native.node_nm);
+        let vdd = args.vdd.unwrap_or_else(|| {
+            config
+                .scaling
+                .row(node_nm)
+                .map(|r| r.nominal_vdd(&config.process))
+                .unwrap_or(native.vdd)
+        });
+        config.operating_point = Some(OperatingPoint { node_nm, vdd });
+    }
     config
 }
 
@@ -179,12 +228,16 @@ fn run(args: &Args) -> Result<(), String> {
 
     match args.command.as_str() {
         "partition" => {
+            let point = config.resolved_point().map_err(|e| e.to_string())?;
             let flow = DesignFlow::with_config(config);
             let result = flow
                 .run_source(&source, workload)
                 .map_err(|e| e.to_string())?;
             if args.json {
-                println!("{}", outcome_to_json(&result.app_name, &result.outcome));
+                println!(
+                    "{}",
+                    outcome_to_json_at(&result.app_name, &result.outcome, point.as_ref())
+                );
             } else {
                 let mut table = Table1::new();
                 table.push(Table1Entry::from_outcome(&result.app_name, &result.outcome));
@@ -200,6 +253,25 @@ fn run(args: &Args) -> Result<(), String> {
                     ),
                     None => println!("no partition beat the initial design"),
                 }
+                if let Some(rp) = &point {
+                    let w = rp.weigh(&result.outcome.initial);
+                    print!(
+                        "at {}: initial {:.3e} J / {:.3e} s",
+                        rp.point,
+                        w.energy.joules(),
+                        w.time.secs()
+                    );
+                    if let Some((_, detail)) = &result.outcome.best {
+                        let b = rp.weigh(&detail.metrics);
+                        print!(
+                            " — best {:.3e} J / {:.3e} s / {:.0} cells",
+                            b.energy.joules(),
+                            b.time.secs(),
+                            b.area_cells
+                        );
+                    }
+                    println!();
+                }
             }
             Ok(())
         }
@@ -207,6 +279,16 @@ fn run(args: &Args) -> Result<(), String> {
             let app =
                 lower(&parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
             let configs = hardware_weight_sweep(&EXPLORE_WEIGHTS, &config);
+            if let Some(nodes) = &args.nodes {
+                let nx = explore_nodes(&app, &workload, &configs, nodes, args.vdd_steps)
+                    .map_err(|e| e.to_string())?;
+                if args.json {
+                    println!("{}", node_exploration_to_json(&nx));
+                } else {
+                    print!("{}", nx.render_frontier());
+                }
+                return Ok(());
+            }
             let ex = explore(&app, &workload, &configs).map_err(|e| e.to_string())?;
             if args.json {
                 println!("{}", exploration_to_json(&ex));

@@ -121,6 +121,12 @@ fn prep_fingerprint(config: &SystemConfig) -> String {
 /// may be present or absent), so e.g. a `trace_cap_bytes = 0` session
 /// genuinely falls back to direct verification instead of borrowing a
 /// sibling's capture.
+///
+/// [`SystemConfig::operating_point`] is deliberately *excluded*:
+/// simulation and replay always run at the base process, so sessions
+/// that differ only in their operating point share one baseline, one
+/// captured trace, and one decoded trace — a node×vdd sweep costs one
+/// replay plus cheap re-weighting passes, not one simulation per point.
 fn baseline_fingerprint(config: &SystemConfig) -> String {
     format!(
         "{:?}|{:?}|{:?}|{:?}|{:?}|{}",
@@ -650,6 +656,42 @@ mod tests {
         assert!(capped.replay_engine().unwrap().is_none());
         assert!(!capped.stats().baseline_shared);
         assert_eq!(capped.baseline().unwrap().metrics, m1);
+    }
+
+    #[test]
+    fn operating_points_share_every_simulation_artifact() {
+        use corepart_tech::scaling::OperatingPoint;
+
+        let engine = Engine::new(SystemConfig::new()).unwrap();
+        let (app, workload) = (app(), workload());
+        let base = engine.session(&app, &workload);
+        let scaled = engine
+            .session_with_config(
+                &app,
+                &workload,
+                SystemConfig::new().with_operating_point(OperatingPoint {
+                    node_nm: 180,
+                    vdd: 1.8,
+                }),
+            )
+            .unwrap();
+        let prepared_a = base.prepared_arc().unwrap();
+        let prepared_b = scaled.prepared_arc().unwrap();
+        assert!(Arc::ptr_eq(&prepared_a, &prepared_b));
+        base.baseline().unwrap();
+        scaled.baseline().unwrap();
+        assert!(
+            scaled.stats().baseline_shared,
+            "the operating point must stay out of the baseline fingerprint"
+        );
+        let (Ok(Some(ra)), Ok(Some(rb))) = (base.replay_engine(), scaled.replay_engine()) else {
+            panic!("both sessions should carry the shared capture");
+        };
+        assert!(Arc::ptr_eq(ra, rb), "one trace, one replay engine");
+        assert!(
+            Arc::ptr_eq(base.schedule_cache(), scaled.schedule_cache()),
+            "schedules are point-invariant too"
+        );
     }
 
     #[test]

@@ -24,14 +24,15 @@ use std::sync::Arc;
 
 use corepart_ir::cdfg::Application;
 use corepart_ir::op::BlockId;
-use corepart_tech::units::{Cycles, Energy, GateEq};
+use corepart_tech::scaling::OperatingPoint;
+use corepart_tech::units::{Cycles, Energy, GateEq, Seconds};
 
 use crate::engine::Engine;
 use crate::error::CorepartError;
 use crate::parallel::par_map;
 use crate::partition::Partitioner;
 use crate::prepare::Workload;
-use crate::system::SystemConfig;
+use crate::system::{ResolvedPoint, SystemConfig};
 use crate::verify::ReplayEngine;
 
 /// One explored design point.
@@ -319,6 +320,236 @@ pub fn explore_in(
     Ok(Exploration { points })
 }
 
+/// One base design point re-weighed to one operating point — an entry
+/// of a (partition × resource set × node × vdd) sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePoint {
+    /// `"<base label> @ <node>nm@<vdd>V"`.
+    pub label: String,
+    /// Technology node in nanometres.
+    pub node_nm: u32,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Label of the base design point this entry re-weighs.
+    pub base_label: String,
+    /// Total system energy at the operating point.
+    pub energy: Energy,
+    /// Total execution wall time at the operating point.
+    pub time: Seconds,
+    /// ASIC hardware effort in fractional gate-equivalent cells.
+    pub area_cells: f64,
+    /// Whether the base point is the all-software design.
+    pub is_initial: bool,
+}
+
+/// Results of a node×vdd sweep: the base exploration (simulated once,
+/// at the base process) and its points re-weighed to every requested
+/// operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeExploration {
+    /// The base-process exploration the weighting pass consumed.
+    pub base: Exploration,
+    /// Every (base point × operating point) entry, grouped by node,
+    /// then descending vdd, then base-point order.
+    pub points: Vec<NodePoint>,
+}
+
+/// Total order on `f64` for the frontier staircase (`total_cmp`).
+#[derive(PartialEq)]
+struct F64Key(f64);
+
+impl Eq for F64Key {}
+
+impl PartialOrd for F64Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl NodeExploration {
+    /// The Pareto-optimal subset over (energy, time, area) — the same
+    /// `O(n log n)` energy-sorted time→area staircase as
+    /// [`Exploration::pareto_frontier`], on real-valued axes.
+    pub fn pareto_frontier(&self) -> Vec<&NodePoint> {
+        let mut order: Vec<usize> = (0..self.points.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (&self.points[a], &self.points[b]);
+            pa.energy
+                .joules()
+                .total_cmp(&pb.energy.joules())
+                .then(pa.time.secs().total_cmp(&pb.time.secs()))
+                .then(pa.area_cells.total_cmp(&pb.area_cells))
+                .then(a.cmp(&b))
+        });
+
+        let mut staircase: BTreeMap<F64Key, f64> = BTreeMap::new();
+        let mut keep = vec![false; self.points.len()];
+        for &i in &order {
+            let p = &self.points[i];
+            let covered = staircase
+                .range(..=F64Key(p.time.secs()))
+                .next_back()
+                .is_some_and(|(_, &area)| area <= p.area_cells);
+            if covered {
+                continue;
+            }
+            keep[i] = true;
+            let obsolete: Vec<f64> = staircase
+                .range(F64Key(p.time.secs())..)
+                .take_while(|(_, &area)| area >= p.area_cells)
+                .map(|(k, _)| k.0)
+                .collect();
+            for time in obsolete {
+                staircase.remove(&F64Key(time));
+            }
+            staircase.insert(F64Key(p.time.secs()), p.area_cells);
+        }
+        self.points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| keep[i].then_some(p))
+            .collect()
+    }
+
+    /// The minimum-energy point across all operating points.
+    pub fn min_energy(&self) -> Option<&NodePoint> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.energy.joules().total_cmp(&b.energy.joules()))
+    }
+
+    /// Renders the 3D frontier as an aligned table.
+    pub fn render_frontier(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>14} {:>12} {:>12}\n",
+            "design point", "energy", "time", "HW cells"
+        ));
+        let mut frontier = self.pareto_frontier();
+        frontier.sort_by(|a, b| a.energy.joules().total_cmp(&b.energy.joules()));
+        for p in frontier {
+            out.push_str(&format!(
+                "{:<44} {:>14} {:>12} {:>12.1}\n",
+                p.label,
+                format!("{}", p.energy),
+                format!("{}", p.time),
+                p.area_cells,
+            ));
+        }
+        out
+    }
+}
+
+/// Explores an application over configurations × nodes × vdd points.
+///
+/// The (partition × resource set) axes cost one [`explore`] sweep at
+/// the base process; the (node × vdd) axes are a pure weighting pass
+/// over the resulting counts ([`ResolvedPoint::weigh_raw`]) — no
+/// further simulation or replay. Each node contributes `vdd_steps`
+/// supplies descending from its nominal to its sweep floor
+/// (`vdd_steps == 1` → nominal only).
+///
+/// # Errors
+///
+/// As [`explore`], plus [`CorepartError::Config`] when `nodes` is empty
+/// or names a node absent from the base configuration's scaling table.
+pub fn explore_nodes(
+    app: &Application,
+    workload: &Workload,
+    configs: &[(String, SystemConfig)],
+    nodes: &[u32],
+    vdd_steps: usize,
+) -> Result<NodeExploration, CorepartError> {
+    if configs.is_empty() {
+        return Err(CorepartError::Config {
+            message: "exploration needs at least one configuration".into(),
+        });
+    }
+    let engine = Engine::new(configs[0].1.clone())?;
+    explore_nodes_in(&engine, app, workload, configs, nodes, vdd_steps)
+}
+
+/// Like [`explore_nodes`], against a caller-supplied [`Engine`].
+///
+/// # Errors
+///
+/// As [`explore_nodes`].
+pub fn explore_nodes_in(
+    engine: &Engine,
+    app: &Application,
+    workload: &Workload,
+    configs: &[(String, SystemConfig)],
+    nodes: &[u32],
+    vdd_steps: usize,
+) -> Result<NodeExploration, CorepartError> {
+    if nodes.is_empty() {
+        return Err(CorepartError::Config {
+            message: "node sweep needs at least one technology node".into(),
+        });
+    }
+    let base_cfg = &configs[0].1;
+    // Resolve every operating point up front so an unknown node or an
+    // unusable range fails before any simulation work.
+    let mut resolved: Vec<ResolvedPoint> = Vec::new();
+    for &node_nm in nodes {
+        let row = base_cfg
+            .scaling
+            .row(node_nm)
+            .ok_or_else(|| CorepartError::Config {
+                message: format!(
+                    "unknown technology node {node_nm}nm (known: {})",
+                    base_cfg
+                        .scaling
+                        .nodes()
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            })?;
+        for vdd in row.vdd_sweep(&base_cfg.process, vdd_steps) {
+            let point = OperatingPoint { node_nm, vdd };
+            let weights = base_cfg
+                .scaling
+                .weights(&base_cfg.process, &point)
+                .map_err(|e| CorepartError::Config {
+                    message: e.to_string(),
+                })?;
+            resolved.push(ResolvedPoint {
+                point,
+                weights,
+                base_period: base_cfg.process.clock_period(),
+            });
+        }
+    }
+
+    // One simulated exploration; everything after is arithmetic.
+    let base = explore_in(engine, app, workload, configs)?;
+    let mut points = Vec::with_capacity(resolved.len() * base.points.len());
+    for rp in &resolved {
+        for bp in &base.points {
+            let w = rp.weigh_raw(bp.energy, bp.cycles, bp.geq);
+            points.push(NodePoint {
+                label: format!("{} @ {}", bp.label, rp.point),
+                node_nm: rp.point.node_nm,
+                vdd: rp.point.vdd,
+                base_label: bp.label.clone(),
+                energy: w.energy,
+                time: w.time,
+                area_cells: w.area_cells,
+                is_initial: bp.is_initial,
+            });
+        }
+    }
+    Ok(NodeExploration { base, points })
+}
+
 /// Convenience: the standard sweep over objective hardware weights.
 pub fn hardware_weight_sweep(weights: &[f64], base: &SystemConfig) -> Vec<(String, SystemConfig)> {
     weights
@@ -410,6 +641,46 @@ mod tests {
     #[test]
     fn empty_config_list_rejected() {
         assert!(explore(&app(), &workload(), &[]).is_err());
+    }
+
+    #[test]
+    fn node_sweep_reweighs_base_points() {
+        let configs = hardware_weight_sweep(&[0.2, 2.0], &SystemConfig::new());
+        let nx = explore_nodes(&app(), &workload(), &configs, &[800, 180], 2).expect("sweep runs");
+        // 2 nodes x 2 vdd steps x (initial + 2 base points).
+        assert_eq!(nx.points.len(), 2 * 2 * nx.base.points.len());
+        // Native-point entries reproduce the base exploration bit-exactly.
+        let process = SystemConfig::new().process;
+        for (np, bp) in nx
+            .points
+            .iter()
+            .filter(|p| p.node_nm == 800 && p.vdd == 5.0)
+            .zip(&nx.base.points)
+        {
+            assert_eq!(np.base_label, bp.label);
+            assert_eq!(np.energy.joules().to_bits(), bp.energy.joules().to_bits());
+            let native_secs = bp.cycles.count() as f64 * process.clock_period().secs();
+            assert_eq!(np.time.secs().to_bits(), native_secs.to_bits());
+        }
+        // The 3D frontier exists and holds the global energy minimum,
+        // which at these factors lives on the smaller node.
+        let frontier = nx.pareto_frontier();
+        assert!(!frontier.is_empty());
+        let min_e = nx.min_energy().expect("non-empty");
+        assert_eq!(min_e.node_nm, 180);
+        assert!(frontier
+            .iter()
+            .any(|p| p.label == min_e.label && p.vdd == min_e.vdd));
+        let text = nx.render_frontier();
+        assert!(text.contains("design point"), "{text}");
+    }
+
+    #[test]
+    fn node_sweep_rejects_unknown_node_and_empty_list() {
+        let configs = hardware_weight_sweep(&[0.2], &SystemConfig::new());
+        let err = explore_nodes(&app(), &workload(), &configs, &[123], 2).unwrap_err();
+        assert!(err.to_string().contains("unknown technology node 123"));
+        assert!(explore_nodes(&app(), &workload(), &configs, &[], 2).is_err());
     }
 
     #[test]

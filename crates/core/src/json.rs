@@ -7,10 +7,10 @@
 
 use std::fmt::Write as _;
 
-use crate::explore::Exploration;
+use crate::explore::{Exploration, NodeExploration};
 use crate::partition::PartitionOutcome;
 use crate::report::{Figure6Point, Table1, Table1Entry};
-use crate::system::DesignMetrics;
+use crate::system::{DesignMetrics, ResolvedPoint, WeightedMetrics};
 
 /// Escapes `s` for embedding inside a JSON string literal (quotes not
 /// included). Public because the serve protocol's clients — the bench
@@ -164,6 +164,175 @@ pub fn outcome_to_json(name: &str, outcome: &PartitionOutcome) -> String {
         s.estimate_nanos,
         s.growth_nanos,
         s.verify_nanos,
+    )
+}
+
+/// Appends one member to a serialized JSON object without re-encoding
+/// the rest — the existing writers stay byte-stable and the
+/// operating-point `_at` variants only ever *add* a trailing member.
+fn with_member(object_json: &str, key: &str, value: &str) -> String {
+    debug_assert!(object_json.ends_with('}'), "not an object: {object_json}");
+    format!(
+        "{},\"{}\":{}}}",
+        &object_json[..object_json.len() - 1],
+        key,
+        value
+    )
+}
+
+/// Serializes a weighted (operating-point) metrics tuple.
+pub fn weighted_to_json(w: &WeightedMetrics) -> String {
+    format!(
+        "{{\"energy_j\":{},\"time_s\":{},\"area_cells\":{}}}",
+        num(w.energy.joules()),
+        num(w.time.secs()),
+        num(w.area_cells),
+    )
+}
+
+/// The `operating_point` member body shared by every `_at` writer:
+/// point coordinates, its three weights, and caller-supplied extra
+/// members (weighted designs).
+fn point_member(rp: &ResolvedPoint, extra: &str) -> String {
+    format!(
+        concat!(
+            "{{\"node_nm\":{},\"vdd\":{},",
+            "\"weights\":{{\"energy\":{},\"time\":{},\"area\":{}}}{}}}"
+        ),
+        rp.point.node_nm,
+        num(rp.point.vdd),
+        num(rp.weights.energy),
+        num(rp.weights.time),
+        num(rp.weights.area),
+        extra,
+    )
+}
+
+/// [`outcome_to_json`] plus, when an operating point is set, a trailing
+/// `operating_point` member carrying the point, its weights, and the
+/// initial/best designs re-weighed to it. With `None` the output is
+/// byte-identical to [`outcome_to_json`].
+pub fn outcome_to_json_at(
+    name: &str,
+    outcome: &PartitionOutcome,
+    point: Option<&ResolvedPoint>,
+) -> String {
+    let base = outcome_to_json(name, outcome);
+    match point {
+        None => base,
+        Some(rp) => {
+            let initial = weighted_to_json(&rp.weigh(&outcome.initial));
+            let best = outcome
+                .best
+                .as_ref()
+                .map(|(_, detail)| weighted_to_json(&rp.weigh(&detail.metrics)))
+                .unwrap_or_else(|| "null".to_owned());
+            let extra = format!(",\"initial\":{initial},\"best\":{best}");
+            with_member(&base, "operating_point", &point_member(rp, &extra))
+        }
+    }
+}
+
+/// [`outcome_result_json`] with the same optional `operating_point`
+/// member as [`outcome_to_json_at`] — the serve `result` payload stays
+/// deterministic because the weighting pass is pure arithmetic over the
+/// deterministic base metrics.
+pub fn outcome_result_json_at(
+    name: &str,
+    outcome: &PartitionOutcome,
+    point: Option<&ResolvedPoint>,
+) -> String {
+    let base = outcome_result_json(name, outcome);
+    match point {
+        None => base,
+        Some(rp) => {
+            let initial = weighted_to_json(&rp.weigh(&outcome.initial));
+            let best = outcome
+                .best
+                .as_ref()
+                .map(|(_, detail)| weighted_to_json(&rp.weigh(&detail.metrics)))
+                .unwrap_or_else(|| "null".to_owned());
+            let extra = format!(",\"initial\":{initial},\"best\":{best}");
+            with_member(&base, "operating_point", &point_member(rp, &extra))
+        }
+    }
+}
+
+/// [`verify_result_json`] with the optional `operating_point` member
+/// (the verified design re-weighed to the point).
+pub fn verify_result_json_at(
+    name: &str,
+    partition: &crate::evaluate::Partition,
+    detail: &crate::evaluate::PartitionDetail,
+    point: Option<&ResolvedPoint>,
+) -> String {
+    let base = verify_result_json(name, partition, detail);
+    match point {
+        None => base,
+        Some(rp) => {
+            let extra = format!(
+                ",\"metrics\":{}",
+                weighted_to_json(&rp.weigh(&detail.metrics))
+            );
+            with_member(&base, "operating_point", &point_member(rp, &extra))
+        }
+    }
+}
+
+/// [`exploration_to_json`] with the optional `operating_point` member:
+/// every design point of the sweep re-weighed to the point, in point
+/// order.
+pub fn exploration_to_json_at(ex: &Exploration, point: Option<&ResolvedPoint>) -> String {
+    let base = exploration_to_json(ex);
+    match point {
+        None => base,
+        Some(rp) => {
+            let rows: Vec<String> = ex
+                .points
+                .iter()
+                .map(|p| {
+                    let w = weighted_to_json(&rp.weigh_raw(p.energy, p.cycles, p.geq));
+                    format!("{{\"label\":\"{}\",{}", json_escape(&p.label), &w[1..])
+                })
+                .collect();
+            let extra = format!(",\"points\":[{}]", rows.join(","));
+            with_member(&base, "operating_point", &point_member(rp, &extra))
+        }
+    }
+}
+
+/// Serializes a node×vdd sweep: the base exploration plus every
+/// re-weighted (base point × operating point) entry with its 3D
+/// Pareto-frontier membership.
+pub fn node_exploration_to_json(nx: &NodeExploration) -> String {
+    let frontier = nx.pareto_frontier();
+    let rows: Vec<String> = nx
+        .points
+        .iter()
+        .map(|p| {
+            let on_frontier = frontier.iter().any(|f| std::ptr::eq(*f, p));
+            format!(
+                concat!(
+                    "{{\"label\":\"{}\",\"node_nm\":{},\"vdd\":{},",
+                    "\"base_label\":\"{}\",\"energy_j\":{},\"time_s\":{},",
+                    "\"area_cells\":{},\"initial\":{},\"pareto\":{}}}"
+                ),
+                json_escape(&p.label),
+                p.node_nm,
+                num(p.vdd),
+                json_escape(&p.base_label),
+                num(p.energy.joules()),
+                num(p.time.secs()),
+                num(p.area_cells),
+                p.is_initial,
+                on_frontier,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"base\":{},\"points\":[{}]}}",
+        exploration_to_json(&nx.base),
+        rows.join(","),
     )
 }
 
@@ -686,6 +855,90 @@ mod tests {
         assert!(j.starts_with("{\"points\":[") && j.ends_with("]}"));
         assert!(j.contains("\"label\":\"worse\",") && j.contains("\"pareto\":false"));
         assert!(j.contains("\"label\":\"better\",") && j.contains("\"pareto\":true"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn at_variants_are_byte_identical_without_a_point() {
+        let ex = Exploration {
+            points: vec![DesignPoint {
+                label: "p".into(),
+                energy: Energy::from_microjoules(5.0),
+                cycles: Cycles::new(100),
+                geq: GateEq::new(1000),
+                saving_percent: 50.0,
+                is_initial: false,
+            }],
+        };
+        assert_eq!(exploration_to_json_at(&ex, None), exploration_to_json(&ex));
+    }
+
+    #[test]
+    fn at_variant_appends_operating_point_member() {
+        use crate::system::SystemConfig;
+        use corepart_tech::scaling::OperatingPoint;
+
+        let ex = Exploration {
+            points: vec![DesignPoint {
+                label: "p".into(),
+                energy: Energy::from_microjoules(5.0),
+                cycles: Cycles::new(100),
+                geq: GateEq::new(1000),
+                saving_percent: 50.0,
+                is_initial: false,
+            }],
+        };
+        let config = SystemConfig::new().with_operating_point(OperatingPoint {
+            node_nm: 180,
+            vdd: 1.8,
+        });
+        let rp = config.resolved_point().unwrap().unwrap();
+        let j = exploration_to_json_at(&ex, Some(&rp));
+        // The base serialization is a prefix modulo the closing brace.
+        let base = exploration_to_json(&ex);
+        assert!(j.starts_with(&base[..base.len() - 1]), "{j}");
+        assert!(j.contains("\"operating_point\":{\"node_nm\":180,\"vdd\":1.8,"));
+        assert!(j.contains("\"weights\":{\"energy\":"));
+        assert!(j.contains("\"time_s\":"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // The weighted energy is the base energy times the energy weight.
+        let expected = Energy::from_microjoules(5.0).joules() * rp.weights.energy;
+        assert!(j.contains(&format!("\"energy_j\":{expected}")), "{j}");
+    }
+
+    #[test]
+    fn node_exploration_json_shape() {
+        use crate::explore::NodePoint;
+        use corepart_tech::units::Seconds;
+
+        let base = Exploration {
+            points: vec![DesignPoint {
+                label: "G = 0.2".into(),
+                energy: Energy::from_microjoules(5.0),
+                cycles: Cycles::new(100),
+                geq: GateEq::new(1000),
+                saving_percent: 0.0,
+                is_initial: false,
+            }],
+        };
+        let nx = NodeExploration {
+            base: base.clone(),
+            points: vec![NodePoint {
+                label: "G = 0.2 @ 180nm@1.800V".into(),
+                node_nm: 180,
+                vdd: 1.8,
+                base_label: "G = 0.2".into(),
+                energy: Energy::from_microjoules(0.5),
+                time: Seconds::from_secs(1e-6),
+                area_cells: 51.0,
+                is_initial: false,
+            }],
+        };
+        let j = node_exploration_to_json(&nx);
+        assert!(j.starts_with("{\"base\":{\"points\":["), "{j}");
+        assert!(j.contains("\"node_nm\":180"));
+        assert!(j.contains("\"area_cells\":51"));
+        assert!(j.contains("\"pareto\":true"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

@@ -14,8 +14,12 @@
 //! ```
 //!
 //! Compute requests may override the searchable knobs (`n_max`,
-//! `factor_f`, `factor_g`) per request; everything else comes from the
-//! daemon's base configuration. Responses are
+//! `factor_f`, `factor_g`) per request, and may name an optional
+//! `operating_point` (`{"node_nm":180,"vdd":1.8}`) resolved against the
+//! base configuration's node-scaling table — the answer then carries an
+//! extra `operating_point` member with the designs re-weighed to that
+//! point (simulation still runs once, at the base process); everything
+//! else comes from the daemon's base configuration. Responses are
 //!
 //! ```text
 //! {"id":1,"ok":true,"cmd":"partition","result":{...},"stats":{...}}
@@ -60,8 +64,10 @@ use crate::engine::{session_identity, Engine, SessionStats};
 use crate::error::CorepartError;
 use crate::evaluate::Partition;
 use crate::explore::{explore_in, hardware_weight_sweep};
+use corepart_tech::scaling::OperatingPoint;
+
 use crate::json::{
-    exploration_to_json, json_escape, outcome_result_json, parse_json, verify_result_json,
+    exploration_to_json_at, json_escape, outcome_result_json_at, parse_json, verify_result_json_at,
     JsonValue,
 };
 use crate::partition::Partitioner;
@@ -148,6 +154,9 @@ pub struct ComputeRequest {
     pub clusters: Vec<u32>,
     /// Designer resource set of the partition to verify.
     pub set_index: usize,
+    /// Optional operating point the answer is re-weighed to (the
+    /// simulation itself always runs at the base process).
+    pub operating_point: Option<OperatingPoint>,
 }
 
 impl ComputeRequest {
@@ -164,11 +173,12 @@ impl ComputeRequest {
             weights: None,
             clusters: Vec::new(),
             set_index: 2,
+            operating_point: None,
         }
     }
 
     /// Renders the request as one protocol line (no trailing newline) —
-    /// the client half of the wire format [`parse_request`] reads.
+    /// the client half of the wire format `parse_request` reads.
     pub fn to_json(&self) -> String {
         let mut fields = Vec::new();
         if let Some(id) = self.id {
@@ -204,6 +214,12 @@ impl ComputeRequest {
             let items: Vec<String> = self.clusters.iter().map(|v| v.to_string()).collect();
             fields.push(format!("\"clusters\":[{}]", items.join(",")));
             fields.push(format!("\"set_index\":{}", self.set_index));
+        }
+        if let Some(p) = &self.operating_point {
+            fields.push(format!(
+                "\"operating_point\":{{\"node_nm\":{},\"vdd\":{}}}",
+                p.node_nm, p.vdd
+            ));
         }
         format!("{{{}}}", fields.join(","))
     }
@@ -313,6 +329,25 @@ fn parse_request(line: &str) -> Result<Request, String> {
     if let Some(set) = opt_u64(&v, "set_index")? {
         req.set_index = set as usize;
     }
+    match v.get("operating_point") {
+        None | Some(JsonValue::Null) => {}
+        Some(point) => {
+            let bad = "`operating_point` must be {\"node_nm\":<int>,\"vdd\":<number>}";
+            if !matches!(point, JsonValue::Obj(_)) {
+                return Err(bad.into());
+            }
+            let node_nm = point
+                .get("node_nm")
+                .and_then(JsonValue::as_u64)
+                .filter(|&n| n <= u64::from(u32::MAX))
+                .ok_or(bad)?;
+            let vdd = point.get("vdd").and_then(JsonValue::as_f64).ok_or(bad)?;
+            req.operating_point = Some(OperatingPoint {
+                node_nm: node_nm as u32,
+                vdd,
+            });
+        }
+    }
     Ok(req.into())
 }
 
@@ -358,6 +393,9 @@ fn effective_config(base: &SystemConfig, req: &ComputeRequest) -> SystemConfig {
     if let Some(g) = req.factor_g {
         config.factor_g = g;
     }
+    if let Some(p) = req.operating_point {
+        config.operating_point = Some(p);
+    }
     config
 }
 
@@ -374,12 +412,15 @@ fn compute_result(
     workload: &Workload,
     config: SystemConfig,
 ) -> Result<ComputeOutput, CorepartError> {
+    // Resolve the operating point first: an unknown node or an
+    // out-of-range vdd is a `config` error before any simulation runs.
+    let point = config.resolved_point()?;
     match req.kind {
         ComputeKind::Partition => {
             let session = engine.session_with_config(app, workload, config)?;
             let outcome = Partitioner::new(&session)?.run()?;
             Ok((
-                outcome_result_json(app.name(), &outcome),
+                outcome_result_json_at(app.name(), &outcome, point.as_ref()),
                 Some(session.stats()),
             ))
         }
@@ -407,7 +448,7 @@ fn compute_result(
             };
             let detail = Partitioner::new(&session)?.evaluate(&partition)?;
             Ok((
-                verify_result_json(app.name(), &partition, &detail),
+                verify_result_json_at(app.name(), &partition, &detail, point.as_ref()),
                 Some(session.stats()),
             ))
         }
@@ -418,7 +459,7 @@ fn compute_result(
                 .unwrap_or_else(|| EXPLORE_WEIGHTS.to_vec());
             let configs = hardware_weight_sweep(&weights, &config);
             let ex = explore_in(engine, app, workload, &configs)?;
-            Ok((exploration_to_json(&ex), None))
+            Ok((exploration_to_json_at(&ex, point.as_ref()), None))
         }
     }
 }
@@ -547,7 +588,7 @@ pub fn stats_response(store: &ArtifactStore, id: Option<u64>) -> String {
 /// the second from its memo without touching the engine.
 fn request_result_key(identity: &str, req: &ComputeRequest) -> String {
     format!(
-        "{identity}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}",
+        "{identity}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}",
         req.kind.name(),
         req.n_max,
         req.factor_f,
@@ -555,6 +596,7 @@ fn request_result_key(identity: &str, req: &ComputeRequest) -> String {
         req.weights,
         req.clusters,
         req.set_index,
+        req.operating_point,
     )
 }
 
@@ -882,6 +924,85 @@ mod tests {
         assert!(stats.contains("\"requests\":2"), "{stats}");
         assert!(stats.contains("\"hits\":1"), "{stats}");
         assert!(stats.contains("\"p99_nanos\":"), "{stats}");
+    }
+
+    #[test]
+    fn operating_point_round_trips_and_keys_the_memo() {
+        let mut req = request(ComputeKind::Partition);
+        req.operating_point = Some(OperatingPoint {
+            node_nm: 180,
+            vdd: 1.8,
+        });
+        let Ok(Request::Compute(parsed)) = parse_request(&req.to_json()) else {
+            panic!("round trip failed");
+        };
+        assert_eq!(
+            parsed.operating_point,
+            Some(OperatingPoint {
+                node_nm: 180,
+                vdd: 1.8
+            })
+        );
+        // Same app, different point -> different result-memo key.
+        let base = request(ComputeKind::Partition);
+        assert_ne!(
+            request_result_key("id", &req),
+            request_result_key("id", &base)
+        );
+        // Same text fingerprint -> same shard, shared baseline artifacts.
+        assert_eq!(request_fingerprint(&req), request_fingerprint(&base));
+    }
+
+    #[test]
+    fn served_point_answers_match_fresh_and_extend_the_base() {
+        let store = store();
+        let mut req = request(ComputeKind::Partition);
+        req.operating_point = Some(OperatingPoint {
+            node_nm: 180,
+            vdd: 1.8,
+        });
+        let line = req.to_json();
+        let (warm, _) = handle_line(&store, &line);
+        assert!(warm.contains("\"ok\":true"), "{warm}");
+        assert!(
+            warm.contains("\"operating_point\":{\"node_nm\":180,\"vdd\":1.8,"),
+            "{warm}"
+        );
+        let fresh = respond_fresh(store.base_config(), &req);
+        assert_eq!(result_field(&warm), result_field(&fresh));
+        // The base (no-point) answer is a strict byte prefix of the
+        // pointed answer modulo the closing brace: the weighting pass
+        // only appends.
+        let (plain, _) = handle_line(&store, &request(ComputeKind::Partition).to_json());
+        let plain_result = result_field(&plain).unwrap();
+        let point_result = result_field(&warm).unwrap();
+        assert!(
+            point_result.starts_with(&plain_result[..plain_result.len() - 1]),
+            "{point_result}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_vdd_is_a_config_error() {
+        let store = store();
+        let mut req = request(ComputeKind::Partition);
+        req.operating_point = Some(OperatingPoint {
+            node_nm: 180,
+            vdd: 0.2,
+        });
+        let (response, _) = handle_line(&store, &req.to_json());
+        assert!(response.contains("\"ok\":false"), "{response}");
+        assert!(response.contains("\"kind\":\"config\""), "{response}");
+        assert!(response.contains("outside"), "{response}");
+        // Unknown node too.
+        let mut req = request(ComputeKind::Partition);
+        req.operating_point = Some(OperatingPoint {
+            node_nm: 123,
+            vdd: 1.0,
+        });
+        let (response, _) = handle_line(&store, &req.to_json());
+        assert!(response.contains("\"kind\":\"config\""), "{response}");
+        assert!(response.contains("unknown technology node"), "{response}");
     }
 
     #[test]

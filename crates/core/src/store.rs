@@ -258,7 +258,7 @@ impl ArtifactStore {
     /// settles the byte ledger: new pool entries are measured and
     /// admitted (or declined), grown entries re-measured, and every
     /// entry whose key starts with `identity` (see
-    /// [`crate::engine::session_identity`]) is touched for LRU/heat.
+    /// `corepart::engine`'s session identity) is touched for LRU/heat.
     ///
     /// Runs on the caller's thread — the serve layer provides the
     /// one-worker-per-shard discipline; in-process callers (tests,

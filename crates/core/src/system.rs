@@ -11,7 +11,8 @@ use corepart_isa::energy::EnergyTable;
 use corepart_tech::energy::BusEnergyModel;
 use corepart_tech::process::CmosProcess;
 use corepart_tech::resource::{ResourceLibrary, ResourceSet};
-use corepart_tech::units::{Cycles, Energy, GateEq};
+use corepart_tech::scaling::{NodeScalingTable, OperatingPoint, PointWeights};
+use corepart_tech::units::{Cycles, Energy, GateEq, Seconds};
 
 use crate::error::CorepartError;
 
@@ -81,6 +82,17 @@ pub struct SystemConfig {
     /// above the ~6 MiB the longest paper workload (`ckey`, 5.2 M
     /// cycles) needs.
     pub trace_cap_bytes: usize,
+    /// Technology-node scaling table resolving [`SystemConfig::operating_point`]
+    /// into pure energy/time/area weights (default: the CMOS6-anchored
+    /// family).
+    pub scaling: NodeScalingTable,
+    /// Optional operating point `(node, vdd)` the design is *reported*
+    /// at. Simulation and replay always run at the base [`SystemConfig::process`]
+    /// — the executed event stream is node-invariant — and the point
+    /// enters only as a final weighting pass over the resulting counts
+    /// ([`ResolvedPoint::weigh`]). `None` (the default) reports at the
+    /// base process's native point, which weighs by exactly 1.
+    pub operating_point: Option<OperatingPoint>,
 }
 
 impl SystemConfig {
@@ -112,6 +124,8 @@ impl SystemConfig {
             optimize_ir: false,
             threads: 0,
             trace_cap_bytes: 128 << 20,
+            scaling: NodeScalingTable::cmos6_family(),
+            operating_point: None,
         }
     }
 
@@ -145,7 +159,51 @@ impl SystemConfig {
         if self.gate_margin <= 0.0 || self.gate_margin.is_nan() {
             return err("utilization gate margin must be positive");
         }
+        // An unresolvable operating point (unknown node, vdd outside the
+        // DVFS range) is a configuration error, not a panic.
+        self.point_weights()?;
         Ok(())
+    }
+
+    /// The pure weights of the configured operating point, or the
+    /// identity weights when none is set.
+    ///
+    /// # Errors
+    ///
+    /// [`CorepartError::Config`] when the point names a node absent from
+    /// [`SystemConfig::scaling`] or a supply outside that node's DVFS
+    /// range.
+    pub fn point_weights(&self) -> Result<PointWeights, CorepartError> {
+        match &self.operating_point {
+            None => Ok(PointWeights::identity()),
+            Some(point) => {
+                self.scaling
+                    .weights(&self.process, point)
+                    .map_err(|e| CorepartError::Config {
+                        message: e.to_string(),
+                    })
+            }
+        }
+    }
+
+    /// Resolves [`SystemConfig::operating_point`] into a weighting pass,
+    /// or `None` when the config reports at the native point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SystemConfig::point_weights`].
+    pub fn resolved_point(&self) -> Result<Option<ResolvedPoint>, CorepartError> {
+        match self.operating_point {
+            None => Ok(None),
+            Some(point) => {
+                let weights = self.point_weights()?;
+                Ok(Some(ResolvedPoint {
+                    point,
+                    weights,
+                    base_period: self.process.clock_period(),
+                }))
+            }
+        }
     }
 
     /// Returns a copy with different cache geometries (the §1-footnote
@@ -209,12 +267,71 @@ impl SystemConfig {
         self.trace_cap_bytes = cap_bytes;
         self
     }
+
+    /// Returns a copy reporting at the given operating point.
+    pub fn with_operating_point(mut self, point: OperatingPoint) -> Self {
+        self.operating_point = Some(point);
+        self
+    }
 }
 
 impl Default for SystemConfig {
     fn default() -> Self {
         SystemConfig::new()
     }
+}
+
+/// An operating point resolved against a config: the point, its three
+/// pure weights, and the base clock period that turns cycle counts into
+/// seconds. This is the *entire* interface between an operating point
+/// and the rest of the stack — simulation, replay and search never see
+/// it; it re-weighs their node-invariant counts after the fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedPoint {
+    /// The `(node, vdd)` pair.
+    pub point: OperatingPoint,
+    /// Energy/time/area multipliers over base-process metrics.
+    pub weights: PointWeights,
+    /// Clock period of the *base* process the counts were produced at.
+    pub base_period: Seconds,
+}
+
+impl ResolvedPoint {
+    /// Weighs base-process design metrics into this point's
+    /// energy/time/area tuple.
+    ///
+    /// Deterministic pure arithmetic: identical inputs give bit-identical
+    /// outputs, which is what lets a node×vdd sweep re-weigh one set of
+    /// memoized counts instead of re-simulating, with "re-weighted ==
+    /// from-scratch" holding byte-exactly.
+    pub fn weigh(&self, metrics: &DesignMetrics) -> WeightedMetrics {
+        self.weigh_raw(metrics.total_energy(), metrics.total_cycles(), metrics.geq)
+    }
+
+    /// Weighs a raw `(energy, cycles, geq)` triple measured at the base
+    /// process.
+    pub fn weigh_raw(&self, energy: Energy, cycles: Cycles, geq: GateEq) -> WeightedMetrics {
+        WeightedMetrics {
+            energy: Energy::from_joules(energy.joules() * self.weights.energy),
+            time: Seconds::from_secs(
+                cycles.count() as f64 * self.base_period.secs() * self.weights.time,
+            ),
+            area_cells: geq.cells() as f64 * self.weights.area,
+        }
+    }
+}
+
+/// A design point's totals re-weighed to an operating point. Time is in
+/// seconds (not cycles) because different nodes clock differently; area
+/// is fractional cells because area factors are real-valued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedMetrics {
+    /// Total system energy at the operating point.
+    pub energy: Energy,
+    /// Total execution wall time at the operating point.
+    pub time: Seconds,
+    /// ASIC hardware effort in (fractional) gate-equivalent cells.
+    pub area_cells: f64,
 }
 
 /// One design point's whole-system measurements — a Table 1 row.
@@ -333,6 +450,48 @@ mod tests {
             icache_miss_ratio: 0.0,
             dcache_miss_ratio: 0.0,
         }
+    }
+
+    #[test]
+    fn native_point_weighs_by_exactly_one() {
+        let config = SystemConfig::new().with_operating_point(OperatingPoint {
+            node_nm: 800,
+            vdd: 5.0,
+        });
+        let resolved = config.resolved_point().unwrap().unwrap();
+        let m = metrics(81.0, None, 1000, 0);
+        let w = resolved.weigh(&m);
+        assert_eq!(
+            w.energy.joules().to_bits(),
+            m.total_energy().joules().to_bits()
+        );
+        let native_secs = m.total_cycles().count() as f64 * config.process.clock_period().secs();
+        assert_eq!(w.time.secs().to_bits(), native_secs.to_bits());
+        assert_eq!(w.area_cells.to_bits(), (m.geq.cells() as f64).to_bits());
+    }
+
+    #[test]
+    fn unset_point_resolves_to_identity_weights() {
+        let config = SystemConfig::new();
+        assert!(config.resolved_point().unwrap().is_none());
+        let w = config.point_weights().unwrap();
+        assert_eq!((w.energy, w.time, w.area), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn bad_operating_points_are_config_errors() {
+        let unknown = SystemConfig::new().with_operating_point(OperatingPoint {
+            node_nm: 123,
+            vdd: 1.0,
+        });
+        let err = unknown.validate().unwrap_err();
+        assert!(err.to_string().contains("unknown technology node"));
+        let low_vdd = SystemConfig::new().with_operating_point(OperatingPoint {
+            node_nm: 800,
+            vdd: 0.5,
+        });
+        let err = low_vdd.validate().unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   [`resource::ResourceSet`]s.
 //! * [`energy`] — analytical per-event energy models for caches, main
 //!   memory and the shared system bus (paper §3.3/§4).
+//! * [`scaling`] — technology-node scaling tables and
+//!   [`scaling::OperatingPoint`]s: per-node vdd/frequency/energy/area
+//!   factors with Vth-bounded DVFS ranges, resolving to pure
+//!   [`scaling::PointWeights`] over base-process metrics.
 //!
 //! ## Example
 //!
@@ -39,9 +43,11 @@
 pub mod energy;
 pub mod process;
 pub mod resource;
+pub mod scaling;
 pub mod units;
 
 pub use energy::{BusEnergyModel, CacheEnergyModel, MemoryEnergyModel};
-pub use process::CmosProcess;
+pub use process::{CmosProcess, VoltageError};
 pub use resource::{OpClass, ResourceKind, ResourceLibrary, ResourceSet, ResourceSpec};
+pub use scaling::{NodeScaling, NodeScalingTable, OperatingPoint, PointWeights, ScalingError};
 pub use units::{Cycles, Energy, Frequency, GateEq, Power, Seconds};

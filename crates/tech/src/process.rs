@@ -11,7 +11,51 @@
 //! and is not modelled (as in the paper, which only accounts for
 //! switching energy).
 
+use std::fmt;
+
 use crate::units::{Energy, Frequency, Power, Seconds};
+
+/// Exponent of the alpha-power delay law `d ∝ V / (V − V_t)^α`.
+pub(crate) const ALPHA: f64 = 1.3;
+
+/// Clock-derating factor of running at `vdd` instead of `vnom`, per the
+/// alpha-power law `d(V) = V / (V − V_t)^α` with `α = 1.3`:
+/// `derate = d(vdd) / d(vnom)`.
+///
+/// Callers are responsible for the domain check `vth < vdd`; both the
+/// process methods and the node-scaling weights route through this one
+/// function so their deratings agree bit-for-bit.
+pub(crate) fn alpha_power_derate(vdd: f64, vnom: f64, vth: f64) -> f64 {
+    let delay = |v: f64| v / (v - vth).powf(ALPHA);
+    delay(vdd) / delay(vnom)
+}
+
+/// A supply voltage outside a process's valid DVFS range.
+///
+/// Returned by [`CmosProcess::try_at_voltage`] /
+/// [`CmosProcess::try_delay_derating`]; the panicking variants use the
+/// same message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageError {
+    /// The requested supply voltage (volts).
+    pub vdd: f64,
+    /// Exclusive lower bound (the threshold voltage).
+    pub low: f64,
+    /// Inclusive upper bound.
+    pub high: f64,
+}
+
+impl fmt::Display for VoltageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "voltage {} V outside ({}, {}]",
+            self.vdd, self.low, self.high
+        )
+    }
+}
+
+impl std::error::Error for VoltageError {}
 
 /// Parameters of a CMOS fabrication process.
 ///
@@ -28,6 +72,8 @@ pub struct CmosProcess {
     name: String,
     feature_size_um: f64,
     supply_voltage: f64,
+    /// Threshold voltage (volts); lower bound of the DVFS range.
+    threshold_voltage: f64,
     /// Switched capacitance of one gate equivalent (farads).
     gate_capacitance: f64,
     /// Default activity factor for "not actively used" circuits that keep
@@ -44,16 +90,43 @@ impl CmosProcess {
     /// Calibration: 5 V supply, ~60 fF of switched capacitance per gate
     /// equivalent (typical for 0.8µ standard cells including local
     /// wiring), 40 MHz system clock (SPARCLite-era). One full-swing gate
-    /// transition then costs `C·V² = 1.5 pJ`.
+    /// transition then costs `C·V² = 1.5 pJ`. Threshold voltage 0.8 V,
+    /// typical for 0.8µ.
     pub fn cmos6() -> Self {
         CmosProcess {
             name: "CMOS6 0.8u".to_owned(),
             feature_size_um: 0.8,
             supply_voltage: 5.0,
+            threshold_voltage: 0.8,
             gate_capacitance: 60e-15,
             idle_activity: 0.25,
             active_activity: 0.5,
             clock: Frequency::from_megahertz(40.0),
+        }
+    }
+
+    /// Crate-internal constructor for derived processes (node variants
+    /// built from a [`crate::scaling::NodeScalingTable`] row).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn with_params(
+        name: String,
+        feature_size_um: f64,
+        supply_voltage: f64,
+        threshold_voltage: f64,
+        gate_capacitance: f64,
+        idle_activity: f64,
+        active_activity: f64,
+        clock: Frequency,
+    ) -> Self {
+        CmosProcess {
+            name,
+            feature_size_um,
+            supply_voltage,
+            threshold_voltage,
+            gate_capacitance,
+            idle_activity,
+            active_activity,
+            clock,
         }
     }
 
@@ -62,6 +135,8 @@ impl CmosProcess {
     /// Linear shrink of feature size with quadratic capacitance scaling
     /// and linear voltage scaling — a first-order constant-field scaling
     /// model, useful for "what if we re-ran this at 0.35µ" exploration.
+    /// The threshold voltage scales with the supply, keeping the DVFS
+    /// range non-empty at every shrink.
     ///
     /// # Panics
     ///
@@ -73,6 +148,7 @@ impl CmosProcess {
             name: format!("{} scaled to {new_feature_um}u", self.name),
             feature_size_um: new_feature_um,
             supply_voltage: self.supply_voltage * s,
+            threshold_voltage: self.threshold_voltage * s,
             gate_capacitance: self.gate_capacitance * s,
             idle_activity: self.idle_activity,
             active_activity: self.active_activity,
@@ -86,32 +162,36 @@ impl CmosProcess {
     ///
     /// Switching energy falls quadratically with `vdd`; gate delay
     /// rises per the alpha-power law `d ∝ V / (V − V_t)^α` with
-    /// `α = 1.3` and `V_t = 0.8 V` (typical for 0.8µ), so the returned
-    /// process's clock is derated accordingly.
+    /// `α = 1.3` and `V_t` the process threshold voltage
+    /// ([`CmosProcess::threshold_voltage`]), so the returned process's
+    /// clock is derated accordingly.
     ///
     /// # Panics
     ///
     /// Panics unless `V_t < vdd <=` the current supply (this models
-    /// *down*-scaling an existing design).
+    /// *down*-scaling an existing design). [`CmosProcess::try_at_voltage`]
+    /// is the non-panicking variant.
     pub fn at_voltage(&self, vdd: f64) -> Self {
-        const VT: f64 = 0.8;
-        const ALPHA: f64 = 1.3;
-        assert!(
-            vdd > VT && vdd <= self.supply_voltage,
-            "voltage {vdd} V outside ({VT}, {}]",
-            self.supply_voltage
-        );
-        let delay = |v: f64| v / (v - VT).powf(ALPHA);
-        let derate = delay(vdd) / delay(self.supply_voltage);
-        CmosProcess {
+        match self.try_at_voltage(vdd) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`CmosProcess::at_voltage`]: returns a typed
+    /// [`VoltageError`] when `vdd` falls outside `(V_t, supply]`.
+    pub fn try_at_voltage(&self, vdd: f64) -> Result<Self, VoltageError> {
+        let derate = self.try_delay_derating(vdd)?;
+        Ok(CmosProcess {
             name: format!("{} @ {vdd:.1}V", self.name),
             feature_size_um: self.feature_size_um,
             supply_voltage: vdd,
+            threshold_voltage: self.threshold_voltage,
             gate_capacitance: self.gate_capacitance,
             idle_activity: self.idle_activity,
             active_activity: self.active_activity,
             clock: Frequency::from_hertz(self.clock.hertz() / derate),
-        }
+        })
     }
 
     /// The clock-derating factor of [`CmosProcess::at_voltage`] for a
@@ -119,9 +199,30 @@ impl CmosProcess {
     ///
     /// # Panics
     ///
-    /// Same domain as [`CmosProcess::at_voltage`].
+    /// Same domain as [`CmosProcess::at_voltage`];
+    /// [`CmosProcess::try_delay_derating`] is the non-panicking variant.
     pub fn delay_derating(&self, vdd: f64) -> f64 {
-        self.clock.hertz() / self.at_voltage(vdd).clock.hertz()
+        match self.try_delay_derating(vdd) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`CmosProcess::delay_derating`].
+    pub fn try_delay_derating(&self, vdd: f64) -> Result<f64, VoltageError> {
+        if vdd > self.threshold_voltage && vdd <= self.supply_voltage {
+            Ok(alpha_power_derate(
+                vdd,
+                self.supply_voltage,
+                self.threshold_voltage,
+            ))
+        } else {
+            Err(VoltageError {
+                vdd,
+                low: self.threshold_voltage,
+                high: self.supply_voltage,
+            })
+        }
     }
 
     /// Process name.
@@ -137,6 +238,12 @@ impl CmosProcess {
     /// Supply voltage in volts.
     pub fn supply_voltage(&self) -> f64 {
         self.supply_voltage
+    }
+
+    /// Threshold voltage in volts — the exclusive lower bound of the
+    /// valid supply range for [`CmosProcess::at_voltage`].
+    pub fn threshold_voltage(&self) -> f64 {
+        self.threshold_voltage
     }
 
     /// Switched capacitance per gate equivalent, in farads.
@@ -209,6 +316,7 @@ mod tests {
         let p = CmosProcess::cmos6();
         assert_eq!(p.feature_size_um(), 0.8);
         assert_eq!(p.supply_voltage(), 5.0);
+        assert_eq!(p.threshold_voltage(), 0.8);
         assert!((p.clock().megahertz() - 40.0).abs() < 1e-9);
         // C*V^2 = 60fF * 25 = 1.5 pJ
         assert!((p.gate_switch_energy().picojoules() - 1.5).abs() < 1e-9);
@@ -252,6 +360,17 @@ mod tests {
     }
 
     #[test]
+    fn scaled_process_keeps_dvfs_range_nonempty() {
+        // Before the threshold became a scaled field, a 0.25x shrink had
+        // supply 1.25 V against the hard-coded Vt = 0.8 V — a nearly
+        // unusable range; scaling below 0.128µ made it empty.
+        let p = CmosProcess::cmos6().scaled_to(0.1);
+        assert!(p.threshold_voltage() < p.supply_voltage());
+        let mid = (p.threshold_voltage() + p.supply_voltage()) / 2.0;
+        assert!(p.try_at_voltage(mid).is_ok());
+    }
+
+    #[test]
     fn voltage_scaling_quadratic_energy_slower_clock() {
         let p = CmosProcess::cmos6();
         let low = p.at_voltage(3.3);
@@ -272,6 +391,14 @@ mod tests {
     }
 
     #[test]
+    fn derating_consistent_with_at_voltage_clock() {
+        let p = CmosProcess::cmos6();
+        let d = p.delay_derating(3.3);
+        let via_clock = p.clock().hertz() / p.at_voltage(3.3).clock().hertz();
+        assert!((d - via_clock).abs() < 1e-12 * d);
+    }
+
+    #[test]
     #[should_panic(expected = "outside")]
     fn voltage_below_threshold_panics() {
         let _ = CmosProcess::cmos6().at_voltage(0.5);
@@ -281,6 +408,18 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn voltage_above_nominal_panics() {
         let _ = CmosProcess::cmos6().at_voltage(6.0);
+    }
+
+    #[test]
+    fn try_at_voltage_reports_typed_error() {
+        let p = CmosProcess::cmos6();
+        let err = p.try_at_voltage(0.5).unwrap_err();
+        assert_eq!(err.vdd, 0.5);
+        assert_eq!(err.low, 0.8);
+        assert_eq!(err.high, 5.0);
+        assert!(err.to_string().contains("outside"));
+        assert!(p.try_delay_derating(6.0).is_err());
+        assert!(p.try_delay_derating(3.3).is_ok());
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! Technology-node scaling tables and operating points.
+//!
+//! The paper evaluates one process (CMOS6, 0.8µ at 5 V). This module
+//! turns "which process, at which supply" into a first-class *operating
+//! point*: a `(node, vdd)` pair resolved through a per-node scaling
+//! table in the Lumos style — one row per node carrying vdd, frequency,
+//! energy and area factors relative to the base process, plus the node's
+//! threshold voltage bounding its DVFS range.
+//!
+//! The crucial property is that an operating point never changes *what
+//! executes*: instruction streams, cache events and bus transfers are
+//! node-invariant counts. A point only changes *what the counts weigh*,
+//! via [`PointWeights`] — three pure multipliers (energy, time, area)
+//! applied to metrics computed at the base process. The base process at
+//! its native point resolves to weights of exactly `1.0`, so weighting
+//! is bit-exact identity there.
+
+use std::fmt;
+
+use crate::process::{alpha_power_derate, CmosProcess};
+use crate::units::Frequency;
+
+/// DVFS over-drive ceiling: supplies up to `1.3 ×` a node's nominal vdd
+/// are accepted (the Lumos table convention); the floor is the node's
+/// threshold voltage, exclusive.
+pub const DVFS_UPPER_RATIO: f64 = 1.3;
+
+/// A `(technology node, supply voltage)` pair selecting how node-invariant
+/// replay counts are weighed into energy/time/area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Technology node in nanometres (e.g. `800` for the paper's 0.8µ).
+    pub node_nm: u32,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl OperatingPoint {
+    /// The native point of a base process: its own node at its own
+    /// nominal supply. Weights resolve to exactly `1.0` there.
+    pub fn native_of(base: &CmosProcess) -> Self {
+        OperatingPoint {
+            node_nm: (base.feature_size_um() * 1000.0).round() as u32,
+            vdd: base.supply_voltage(),
+        }
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm@{:.3}V", self.node_nm, self.vdd)
+    }
+}
+
+/// Why an operating point failed to resolve against a scaling table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalingError {
+    /// The requested node has no row in the table.
+    UnknownNode {
+        /// The requested node in nanometres.
+        node_nm: u32,
+        /// The nodes the table does carry.
+        known: Vec<u32>,
+    },
+    /// The requested supply is outside the node's DVFS range.
+    VoltageOutOfRange {
+        /// The requested supply voltage (volts).
+        vdd: f64,
+        /// Exclusive lower bound (the node's threshold voltage).
+        low: f64,
+        /// Inclusive upper bound (`1.3 ×` nominal).
+        high: f64,
+        /// The node whose range was violated.
+        node_nm: u32,
+    },
+}
+
+impl fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalingError::UnknownNode { node_nm, known } => {
+                write!(f, "unknown technology node {node_nm}nm (known: ")?;
+                for (i, n) in known.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                write!(f, ")")
+            }
+            ScalingError::VoltageOutOfRange {
+                vdd,
+                low,
+                high,
+                node_nm,
+            } => write!(
+                f,
+                "voltage {vdd} V outside ({low}, {high}] for node {node_nm}nm"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
+/// One row of a [`NodeScalingTable`]: factors relative to the table's
+/// base process, in the Lumos table shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeScaling {
+    /// Technology node in nanometres.
+    pub node_nm: u32,
+    /// Nominal supply as a fraction of the base supply.
+    pub vdd_factor: f64,
+    /// Clock frequency multiplier at nominal supply.
+    pub freq_factor: f64,
+    /// Per-event switching-energy multiplier at nominal supply.
+    pub energy_factor: f64,
+    /// Silicon-area multiplier for the same gate-equivalent count.
+    pub area_factor: f64,
+    /// Threshold voltage in volts (exclusive DVFS floor).
+    pub vth: f64,
+}
+
+impl NodeScaling {
+    /// Nominal supply voltage of this node, in volts.
+    pub fn nominal_vdd(&self, base: &CmosProcess) -> f64 {
+        base.supply_voltage() * self.vdd_factor
+    }
+
+    /// The node's valid supply range `(low, high]` in volts:
+    /// `(vth, 1.3 × nominal]`.
+    pub fn dvfs_range(&self, base: &CmosProcess) -> (f64, f64) {
+        (self.vth, DVFS_UPPER_RATIO * self.nominal_vdd(base))
+    }
+
+    /// The lowest supply a voltage sweep visits: well above threshold
+    /// (alpha-power delay diverges at `vth`) and no lower than 60% of
+    /// nominal, whichever is higher.
+    pub fn sweep_floor(&self, base: &CmosProcess) -> f64 {
+        let vnom = self.nominal_vdd(base);
+        (0.6 * vnom).max(self.vth + 0.1 * (vnom - self.vth))
+    }
+
+    /// A descending supply sweep from nominal to [`NodeScaling::sweep_floor`]
+    /// with `steps` points (`steps == 1` yields just the nominal; the
+    /// first point is always exactly nominal).
+    pub fn vdd_sweep(&self, base: &CmosProcess, steps: usize) -> Vec<f64> {
+        let vnom = self.nominal_vdd(base);
+        let steps = steps.max(1);
+        if steps == 1 {
+            return vec![vnom];
+        }
+        let floor = self.sweep_floor(base);
+        (0..steps)
+            .map(|i| vnom + (floor - vnom) * (i as f64 / (steps - 1) as f64))
+            .collect()
+    }
+
+    /// A concrete [`CmosProcess`] for this node at nominal supply,
+    /// derived from `base`. Its switch energy, clock and DVFS range are
+    /// consistent with this row's factors: `gate_switch_energy` is
+    /// `energy_factor ×` the base's, the clock is `freq_factor ×`, and
+    /// `delay_derating` agrees bit-for-bit with the derating inside
+    /// [`NodeScalingTable::weights`].
+    pub fn process(&self, base: &CmosProcess) -> CmosProcess {
+        let vnom = self.nominal_vdd(base);
+        // E = C·V² at both points: C_node = C_base · energy_factor / vdd_factor².
+        let cap =
+            base.gate_capacitance() * self.energy_factor / (self.vdd_factor * self.vdd_factor);
+        CmosProcess::with_params(
+            format!("{} node {}nm", base.name(), self.node_nm),
+            self.node_nm as f64 / 1000.0,
+            vnom,
+            self.vth,
+            cap,
+            base.idle_activity(),
+            base.active_activity(),
+            Frequency::from_hertz(base.clock().hertz() * self.freq_factor),
+        )
+    }
+}
+
+/// The three pure multipliers an operating point applies to base-process
+/// metrics. At the base process's native point all three are exactly
+/// `1.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointWeights {
+    /// Multiplier on every switching energy.
+    pub energy: f64,
+    /// Multiplier on wall-clock time for the same cycle count.
+    pub time: f64,
+    /// Multiplier on silicon area for the same gate-equivalent count.
+    pub area: f64,
+}
+
+impl PointWeights {
+    /// The identity weighting (native point).
+    pub fn identity() -> Self {
+        PointWeights {
+            energy: 1.0,
+            time: 1.0,
+            area: 1.0,
+        }
+    }
+}
+
+/// Per-node scaling factors for a family of processes sharing one base.
+///
+/// ```
+/// use corepart_tech::process::CmosProcess;
+/// use corepart_tech::scaling::{NodeScalingTable, OperatingPoint};
+///
+/// let base = CmosProcess::cmos6();
+/// let table = NodeScalingTable::cmos6_family();
+/// // The native point weighs everything by exactly 1.
+/// let w = table.weights(&base, &OperatingPoint { node_nm: 800, vdd: 5.0 }).unwrap();
+/// assert_eq!((w.energy, w.time, w.area), (1.0, 1.0, 1.0));
+/// // A deep-submicron point is dramatically cheaper.
+/// let w = table.weights(&base, &OperatingPoint { node_nm: 180, vdd: 1.8 }).unwrap();
+/// assert!(w.energy < 0.1 && w.time < 1.0 && w.area < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeScalingTable {
+    rows: Vec<NodeScaling>,
+}
+
+impl NodeScalingTable {
+    /// Build a table from explicit rows.
+    pub fn new(rows: Vec<NodeScaling>) -> Self {
+        NodeScalingTable { rows }
+    }
+
+    /// The CMOS6-anchored scaling family: the paper's 0.8µ node as the
+    /// identity row, followed by classic half-micron-to-deep-submicron
+    /// nodes. Factors follow first-order constant-field scaling bent
+    /// toward the historically reported supply/frequency points (the
+    /// Lumos-table shape: per-node vdd/frequency/energy/area factors
+    /// plus threshold voltage).
+    pub fn cmos6_family() -> Self {
+        let row = |node_nm, vdd_factor, freq_factor, energy_factor, area_factor, vth| NodeScaling {
+            node_nm,
+            vdd_factor,
+            freq_factor,
+            energy_factor,
+            area_factor,
+            vth,
+        };
+        NodeScalingTable::new(vec![
+            // node  vdd_f  freq_f  energy_f  area_f    vth
+            row(800, 1.0, 1.0, 1.0, 1.0, 0.80),
+            row(600, 0.66, 1.35, 0.48, 0.56, 0.70),
+            row(350, 0.66, 2.0, 0.35, 0.19, 0.58),
+            row(250, 0.5, 2.6, 0.19, 0.098, 0.47),
+            row(180, 0.36, 3.2, 0.096, 0.051, 0.39),
+            row(130, 0.24, 3.7, 0.042, 0.026, 0.33),
+            row(90, 0.2, 4.0, 0.026, 0.013, 0.28),
+            row(65, 0.2, 4.3, 0.017, 0.0084, 0.25),
+            row(45, 0.18, 4.6, 0.011, 0.0042, 0.22),
+            row(32, 0.17, 4.8, 0.0075, 0.0021, 0.20),
+        ])
+    }
+
+    /// The table's rows, largest node first.
+    pub fn rows(&self) -> &[NodeScaling] {
+        &self.rows
+    }
+
+    /// The nodes the table knows, in row order.
+    pub fn nodes(&self) -> Vec<u32> {
+        self.rows.iter().map(|r| r.node_nm).collect()
+    }
+
+    /// The row for a node, if present.
+    pub fn row(&self, node_nm: u32) -> Option<&NodeScaling> {
+        self.rows.iter().find(|r| r.node_nm == node_nm)
+    }
+
+    /// Resolve an operating point into its three weights.
+    ///
+    /// Validates the node against the table and the supply against the
+    /// node's DVFS range `(vth, 1.3 × nominal]`. The time weight is
+    /// `(1 / freq_factor) · derate` with the derate computed by the same
+    /// alpha-power law as [`CmosProcess::delay_derating`], so
+    /// `time(vdd) == time(vnom) · derate(vdd)` holds bit-exactly.
+    pub fn weights(
+        &self,
+        base: &CmosProcess,
+        point: &OperatingPoint,
+    ) -> Result<PointWeights, ScalingError> {
+        let row = self
+            .row(point.node_nm)
+            .ok_or_else(|| ScalingError::UnknownNode {
+                node_nm: point.node_nm,
+                known: self.nodes(),
+            })?;
+        let vnom = row.nominal_vdd(base);
+        let (low, high) = row.dvfs_range(base);
+        if !(point.vdd > low && point.vdd <= high) {
+            return Err(ScalingError::VoltageOutOfRange {
+                vdd: point.vdd,
+                low,
+                high,
+                node_nm: point.node_nm,
+            });
+        }
+        let derate = alpha_power_derate(point.vdd, vnom, row.vth);
+        let v_ratio = point.vdd / vnom;
+        Ok(PointWeights {
+            energy: row.energy_factor * v_ratio * v_ratio,
+            time: (1.0 / row.freq_factor) * derate,
+            area: row.area_factor,
+        })
+    }
+}
+
+impl Default for NodeScalingTable {
+    fn default() -> Self {
+        NodeScalingTable::cmos6_family()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_point_weights_are_exactly_one() {
+        let base = CmosProcess::cmos6();
+        let table = NodeScalingTable::cmos6_family();
+        let native = OperatingPoint::native_of(&base);
+        assert_eq!(
+            native,
+            OperatingPoint {
+                node_nm: 800,
+                vdd: 5.0
+            }
+        );
+        let w = table.weights(&base, &native).unwrap();
+        assert_eq!(w.energy.to_bits(), 1.0f64.to_bits());
+        assert_eq!(w.time.to_bits(), 1.0f64.to_bits());
+        assert_eq!(w.area.to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn every_row_has_usable_dvfs_range() {
+        let base = CmosProcess::cmos6();
+        let table = NodeScalingTable::cmos6_family();
+        for row in table.rows() {
+            let vnom = row.nominal_vdd(&base);
+            let (low, high) = row.dvfs_range(&base);
+            assert!(low < vnom && vnom <= high, "node {}", row.node_nm);
+            assert!(row.sweep_floor(&base) > low, "node {}", row.node_nm);
+            // Nominal weights resolve cleanly.
+            let p = OperatingPoint {
+                node_nm: row.node_nm,
+                vdd: vnom,
+            };
+            let w = table.weights(&base, &p).unwrap();
+            assert!(w.energy > 0.0 && w.time > 0.0 && w.area > 0.0);
+        }
+    }
+
+    #[test]
+    fn smaller_nodes_weigh_less() {
+        let base = CmosProcess::cmos6();
+        let table = NodeScalingTable::cmos6_family();
+        let mut prev: Option<PointWeights> = None;
+        for row in table.rows() {
+            let p = OperatingPoint {
+                node_nm: row.node_nm,
+                vdd: row.nominal_vdd(&base),
+            };
+            let w = table.weights(&base, &p).unwrap();
+            if let Some(prev) = prev {
+                assert!(w.energy < prev.energy, "node {}", row.node_nm);
+                assert!(w.area < prev.area, "node {}", row.node_nm);
+            }
+            prev = Some(w);
+        }
+    }
+
+    #[test]
+    fn lowering_vdd_within_range_never_raises_energy() {
+        let base = CmosProcess::cmos6();
+        let table = NodeScalingTable::cmos6_family();
+        for row in table.rows() {
+            let sweep = row.vdd_sweep(&base, 8);
+            assert_eq!(sweep.len(), 8);
+            assert_eq!(sweep[0].to_bits(), row.nominal_vdd(&base).to_bits());
+            let mut prev_energy = f64::INFINITY;
+            let mut prev_time = 0.0f64;
+            for vdd in sweep {
+                let p = OperatingPoint {
+                    node_nm: row.node_nm,
+                    vdd,
+                };
+                let w = table.weights(&base, &p).unwrap();
+                assert!(w.energy <= prev_energy, "node {} vdd {vdd}", row.node_nm);
+                assert!(w.time >= prev_time, "node {} vdd {vdd}", row.node_nm);
+                prev_energy = w.energy;
+                prev_time = w.time;
+            }
+        }
+    }
+
+    #[test]
+    fn time_weight_factors_through_delay_derating_bit_exactly() {
+        let base = CmosProcess::cmos6();
+        let table = NodeScalingTable::cmos6_family();
+        for row in table.rows() {
+            let node = row.process(&base);
+            let vnom = row.nominal_vdd(&base);
+            let w_nom = table
+                .weights(
+                    &base,
+                    &OperatingPoint {
+                        node_nm: row.node_nm,
+                        vdd: vnom,
+                    },
+                )
+                .unwrap();
+            for vdd in row.vdd_sweep(&base, 5) {
+                let w = table
+                    .weights(
+                        &base,
+                        &OperatingPoint {
+                            node_nm: row.node_nm,
+                            vdd,
+                        },
+                    )
+                    .unwrap();
+                let derate = node.delay_derating(vdd);
+                assert_eq!(
+                    w.time.to_bits(),
+                    (w_nom.time * derate).to_bits(),
+                    "node {} vdd {vdd}",
+                    row.node_nm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_process_consistent_with_factors() {
+        let base = CmosProcess::cmos6();
+        let table = NodeScalingTable::cmos6_family();
+        for row in table.rows() {
+            let node = row.process(&base);
+            let e_ratio = node.gate_switch_energy().joules() / base.gate_switch_energy().joules();
+            assert!(
+                (e_ratio - row.energy_factor).abs() < 1e-12 * row.energy_factor,
+                "node {}",
+                row.node_nm
+            );
+            let f_ratio = node.clock().hertz() / base.clock().hertz();
+            assert!((f_ratio - row.freq_factor).abs() < 1e-12 * row.freq_factor);
+            assert_eq!(node.threshold_voltage(), row.vth);
+        }
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let base = CmosProcess::cmos6();
+        let table = NodeScalingTable::cmos6_family();
+        let err = table
+            .weights(
+                &base,
+                &OperatingPoint {
+                    node_nm: 123,
+                    vdd: 1.0,
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown technology node 123"));
+        let err = table
+            .weights(
+                &base,
+                &OperatingPoint {
+                    node_nm: 800,
+                    vdd: 0.5,
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("outside"));
+        // Over-drive beyond 1.3x nominal is rejected too.
+        let err = table
+            .weights(
+                &base,
+                &OperatingPoint {
+                    node_nm: 800,
+                    vdd: 7.0,
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+}

@@ -270,6 +270,59 @@ fn unparseable_source_exits_one_with_parse_error() {
 }
 
 #[test]
+fn out_of_range_vdd_exits_one_with_config_error() {
+    // A supply below the threshold voltage is a typed configuration
+    // error surfaced before any simulation: exit 1, `error:` prefix,
+    // and the DVFS range in the message.
+    let f = sample_file();
+    let out = bin()
+        .args(["partition", f.path.to_str().expect("utf8"), "--vdd", "0.2"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1), "config failures exit 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error:"), "stderr: {err}");
+    assert!(err.contains("outside"), "names the valid range: {err}");
+    assert!(out.stdout.is_empty(), "no partial stdout on failure");
+
+    // Same contract for a node the scaling table does not know.
+    let out = bin()
+        .args(["partition", f.path.to_str().expect("utf8"), "--node", "123"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown technology node 123"), "{err}");
+}
+
+#[test]
+fn explore_nodes_emits_scaled_points() {
+    let f = sample_file();
+    let out = bin()
+        .args([
+            "explore",
+            f.path.to_str().expect("utf8"),
+            "--nodes",
+            "800,180",
+            "--vdd-steps",
+            "2",
+            "--json",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.trim_start().starts_with("{\"base\":{"), "{text}");
+    assert!(text.contains("\"node_nm\":800"), "{text}");
+    assert!(text.contains("\"node_nm\":180"), "{text}");
+    assert!(text.contains("\"pareto\":true"), "{text}");
+}
+
+#[test]
 fn usage_errors_exit_two() {
     // No arguments at all: usage text, exit 2 (distinct from the
     // exit-1 runtime failures so scripts can tell them apart).

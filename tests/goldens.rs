@@ -26,6 +26,7 @@ use corepart::report::Table1;
 use corepart::system::SystemConfig;
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
+use corepart_tech::scaling::OperatingPoint;
 use corepart_workloads::all;
 
 /// The `explore` sweep mirrors the CLI's default weight ladder.
@@ -99,6 +100,29 @@ fn table1_json_matches_golden() {
     let mut json = table1_to_json(&table);
     json.push('\n');
     assert_golden("table1.json", &json);
+}
+
+#[test]
+fn native_operating_point_reproduces_table1_golden() {
+    // Pinning an explicit operating point at the base process's own
+    // node and supply must be a no-op: simulation already runs there,
+    // and the native weights are exactly 1.0. The table JSON has to
+    // match the committed golden byte for byte.
+    let base = SystemConfig::new();
+    let native = OperatingPoint::native_of(&base.process);
+    let mut table = Table1::new();
+    for w in all() {
+        let result = DesignFlow::with_config(base.clone().with_operating_point(native))
+            .run_app(w.app().expect("lowers"), Workload::from_arrays(w.arrays(1)))
+            .expect("flow succeeds");
+        table.push(result.table1_entry());
+    }
+    let mut json = table1_to_json(&table);
+    json.push('\n');
+    let path = goldens_dir().join("table1.json");
+    let expected =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    assert_eq!(expected, json, "native point must not perturb the flow");
 }
 
 #[test]
