@@ -21,6 +21,10 @@
 //! (fresh preparation, baseline simulation and schedule cache per
 //! configuration, one thread) against the shared, parallel [`explore`]
 //! engine. Every section records the thread count it actually used.
+//! A final corpus section pushes 24 *generated* applications through
+//! the resumable sharded corpus runner ([`corepart::corpus`]) and
+//! reports apps/sec, the aggregate Pareto-frontier size, and a
+//! byte-identical determinism re-run.
 //! Everything lands in `BENCH_partition.json`.
 //!
 //! ```text
@@ -37,6 +41,7 @@ use std::time::Instant;
 use corepart::baselines::performance_partition;
 use corepart::cache::hierarchy::Hierarchy;
 use corepart::cache::HierarchyReport;
+use corepart::corpus::CorpusOptions;
 use corepart::engine::Engine;
 use corepart::evaluate::{evaluate_partition, evaluate_partition_with};
 use corepart::explore::{explore, hardware_weight_sweep, DesignPoint};
@@ -51,6 +56,7 @@ use corepart::store::{ArtifactStore, StoreOptions};
 use corepart::system::{ResolvedPoint, SystemConfig};
 use corepart::verify::{replay_batch_with, replay_run, BatchOptions};
 use corepart_bench::SEED;
+use corepart_conform::corpus::run_gen_corpus;
 use corepart_tech::scaling::OperatingPoint;
 use corepart_tech::units::GateEq;
 use corepart_workloads::{all, by_name, PaperWorkload};
@@ -823,10 +829,90 @@ fn main() {
     }
     let zipf_row = measure_serve_zipf(&serve_apps, &footprints, 24);
 
+    // Corpus factory: generated-workload throughput through the
+    // sharded, resumable runner, plus a back-to-back determinism
+    // re-run (same seed, fresh journal → byte-identical results file).
+    const CORPUS_APPS: u64 = 24;
+    println!("\ncorpus: generated-workload factory ({CORPUS_APPS} apps, seed {SEED})\n");
+    println!(
+        "{:>6} {:>6} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "apps", "chunk", "total ms", "apps/sec", "frontier", "buckets", "identical"
+    );
+    let corpus_row = {
+        let scratch = |tag: &str| {
+            std::env::temp_dir().join(format!(
+                "corepart-bench-corpus-{}-{tag}",
+                std::process::id()
+            ))
+        };
+        let mut options = CorpusOptions::new(SystemConfig::new());
+        options.chunk = 8;
+        let (out_a, journal_a) = (scratch("a.tsv"), scratch("a.journal"));
+        let start = Instant::now();
+        let outcome = run_gen_corpus(
+            SEED,
+            CORPUS_APPS,
+            options.clone(),
+            &journal_a,
+            &out_a,
+            false,
+        )
+        .expect("corpus runs");
+        let corpus_nanos = start.elapsed().as_nanos();
+
+        let (out_b, journal_b) = (scratch("b.tsv"), scratch("b.journal"));
+        run_gen_corpus(
+            SEED,
+            CORPUS_APPS,
+            options.clone(),
+            &journal_b,
+            &out_b,
+            false,
+        )
+        .expect("corpus re-runs");
+        let identical =
+            std::fs::read(&out_a).expect("results a") == std::fs::read(&out_b).expect("results b");
+        for p in [&out_a, &journal_a, &out_b, &journal_b] {
+            let _ = std::fs::remove_file(p);
+        }
+
+        let apps_per_sec = CORPUS_APPS as f64 / (corpus_nanos as f64 / 1e9);
+        println!(
+            "{:>6} {:>6} {:>10.1} {:>9.2} {:>9} {:>9} {:>10}",
+            CORPUS_APPS,
+            options.chunk,
+            corpus_nanos as f64 / 1e6,
+            apps_per_sec,
+            outcome.frontier.len(),
+            outcome.features.len(),
+            identical
+        );
+        assert!(
+            identical,
+            "corpus results file must be byte-identical across reruns"
+        );
+        format!(
+            concat!(
+                "{{\"apps\":{},\"chunk\":{},\"threads\":{},\"total_nanos\":{},",
+                "\"apps_per_sec\":{:.4},\"frontier_points\":{},",
+                "\"feature_buckets\":{},\"identical\":{}}}"
+            ),
+            CORPUS_APPS,
+            options.chunk,
+            threads,
+            corpus_nanos,
+            apps_per_sec,
+            outcome.frontier.len(),
+            outcome.features.len(),
+            identical
+        )
+    };
+
     let json = format!(
         concat!(
             "{{\"seed\":{},\"threads\":{},\"workloads\":[{}],\"batch\":[{}],",
-            "\"sweep\":[{}],\"nodes\":[{}],\"serve\":{{\"per_app\":[{}],\"zipf\":{}}}}}\n"
+            "\"sweep\":[{}],\"nodes\":[{}],\"serve\":{{\"per_app\":[{}],\"zipf\":{}}},",
+            "\"corpus\":{}}}\n"
         ),
         SEED,
         threads,
@@ -835,7 +921,8 @@ fn main() {
         sweep_rows.join(","),
         node_rows.join(","),
         serve_rows.join(","),
-        zipf_row
+        zipf_row,
+        corpus_row
     );
     let path = "BENCH_partition.json";
     std::fs::write(path, &json).expect("write BENCH_partition.json");

@@ -1,20 +1,32 @@
-//! The `conform` binary: CI entry point for the conformance sweep.
+//! The `conform` binary: CI entry point for the conformance sweep and
+//! the generated-workload corpus runner.
 //!
 //! ```text
 //! conform [--seed N] [--cases N] [--fault-every N] [--max-shrink N]
 //!         [--report PATH] [--verbose]
+//! conform corpus [--seed N] [--count N] [--out P] [--journal P]
+//!                [--chunk N] [--limit N] [--resume] [--threads N]
+//!                [--interrupt-after-chunks N] [--json]
 //! ```
 //!
-//! Exit codes: 0 all oracles held, 1 violations found (report written),
-//! 2 usage error.
+//! Exit codes: 0 all oracles held (or corpus ran), 1 violations found
+//! (report written) or corpus runtime error, 2 usage error.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use corepart::corpus::CorpusOptions;
+use corepart::json::corpus_to_json;
+use corepart::system::SystemConfig;
+use corepart_conform::corpus::run_gen_corpus;
 use corepart_conform::report::summary_to_json;
 use corepart_conform::runner::{run, RunnerOptions};
 
 const USAGE: &str = "usage: conform [--seed N] [--cases N] [--fault-every N] \
-                     [--max-shrink N] [--report PATH] [--verbose]";
+                     [--max-shrink N] [--report PATH] [--verbose]\n       \
+                     conform corpus [--seed N] [--count N] [--out P] [--journal P] \
+                     [--chunk N] [--limit N] [--resume] [--threads N] \
+                     [--interrupt-after-chunks N] [--json]";
 
 fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, String> {
     let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
@@ -46,8 +58,124 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(RunnerOptions, Stri
     Ok((options, report_path))
 }
 
+/// Flags of the `conform corpus` subcommand.
+struct CorpusArgs {
+    seed: u64,
+    count: u64,
+    out: PathBuf,
+    journal: Option<PathBuf>,
+    chunk: Option<usize>,
+    limit: Option<u64>,
+    resume: bool,
+    threads: usize,
+    interrupt_after_chunks: Option<usize>,
+    json: bool,
+}
+
+fn parse_corpus_args(args: impl Iterator<Item = String>) -> Result<CorpusArgs, String> {
+    let mut parsed = CorpusArgs {
+        seed: 1,
+        count: 100,
+        out: PathBuf::from("corpus.tsv"),
+        journal: None,
+        chunk: None,
+        limit: None,
+        resume: false,
+        threads: 0,
+        interrupt_after_chunks: None,
+        json: false,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => parsed.seed = parse_u64("--seed", args.next())?,
+            "--count" => parsed.count = parse_u64("--count", args.next())?,
+            "--out" => parsed.out = PathBuf::from(args.next().ok_or("--out needs a path")?),
+            "--journal" => {
+                parsed.journal = Some(PathBuf::from(args.next().ok_or("--journal needs a path")?));
+            }
+            "--chunk" => parsed.chunk = Some(parse_u64("--chunk", args.next())? as usize),
+            "--limit" => parsed.limit = Some(parse_u64("--limit", args.next())?),
+            "--resume" => parsed.resume = true,
+            "--threads" => parsed.threads = parse_u64("--threads", args.next())? as usize,
+            "--interrupt-after-chunks" => {
+                parsed.interrupt_after_chunks =
+                    Some(parse_u64("--interrupt-after-chunks", args.next())? as usize);
+            }
+            "--json" => parsed.json = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn corpus_main(args: CorpusArgs) -> ExitCode {
+    let mut options = CorpusOptions::new(SystemConfig::new());
+    if let Some(c) = args.chunk {
+        options.chunk = c;
+    }
+    options.threads = args.threads;
+    options.limit = args.limit;
+    options.interrupt_after_chunks = args.interrupt_after_chunks;
+    let journal = args
+        .journal
+        .unwrap_or_else(|| PathBuf::from(format!("{}.journal", args.out.display())));
+    let outcome = match run_gen_corpus(
+        args.seed,
+        args.count,
+        options,
+        &journal,
+        &args.out,
+        args.resume,
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.json {
+        println!("{}", corpus_to_json(&outcome));
+    } else if outcome.finished {
+        println!(
+            "corpus complete: seed {} | {} app(s) ({} evaluated, {} replayed) -> {}",
+            args.seed,
+            outcome.count,
+            outcome.evaluated,
+            outcome.replayed,
+            args.out.display()
+        );
+        println!(
+            "frontier: {} point(s); feature buckets: {}",
+            outcome.frontier.len(),
+            outcome.features.len()
+        );
+    } else {
+        println!(
+            "corpus interrupted after {}/{} chunk(s); rerun with --resume to continue",
+            outcome.chunks_done, outcome.chunks
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let (options, report_path) = match parse_args(std::env::args().skip(1)) {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("corpus") {
+        raw.next();
+        return match parse_corpus_args(raw) {
+            Ok(args) => corpus_main(args),
+            Err(message) => {
+                if !message.is_empty() {
+                    eprintln!("error: {message}");
+                }
+                eprintln!("{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let (options, report_path) = match parse_args(raw) {
         Ok(parsed) => parsed,
         Err(message) => {
             if !message.is_empty() {

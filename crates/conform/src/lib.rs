@@ -36,16 +36,24 @@
 //! ```text
 //! cargo run -p corepart-conform --release -- --seed 1 --cases 500
 //! ```
+//!
+//! A fourth layer, [`corpus`], feeds the same generator into
+//! [`corepart::corpus`]'s resumable sharded runner for corpus-scale
+//! exploration (`conform corpus --seed 7 --count 1000 ...`): one
+//! byte-stable columnar results file, an aggregate Pareto frontier,
+//! and per-feature saving statistics over thousands of generated apps.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod corpus;
 pub mod fault;
 pub mod gen;
 pub mod oracle;
 pub mod report;
 pub mod runner;
 
+pub use corpus::{gen_entry, run_gen_corpus};
 pub use gen::{generate, shrink_candidates, GenApp};
 pub use oracle::Violation;
 pub use runner::{run, Failure, RunnerOptions, Summary};

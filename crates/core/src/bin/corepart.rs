@@ -8,6 +8,8 @@
 //! corepart clusters  <file.bdl> [--array ...]...
 //! corepart disasm    <file.bdl>
 //! corepart schedule  <file.bdl> [--set-index I] [--array ...]...
+//! corepart corpus    <dir> [--out P] [--journal P] [--chunk N]
+//!                    [--limit N] [--resume] [--json] [--array ...]...
 //! corepart serve     [--port P] [--shards S] [--store-budget-mb M]
 //! ```
 //!
@@ -32,15 +34,25 @@
 //! * `disasm` — compile for the µP core and disassemble.
 //! * `schedule` — list-schedule the hottest cluster on one designer
 //!   resource set and render the Gantt chart.
+//! * `corpus` — run the full partition sweep over every `.bdl` file in
+//!   a directory (sorted by name) through the resumable sharded corpus
+//!   runner (see [`corepart::corpus`]): a columnar results file, an
+//!   aggregate Pareto frontier, per-feature saving statistics, and an
+//!   on-disk journal that lets an interrupted run continue from the
+//!   last completed chunk with `--resume`.
 //! * `serve` — run the long-lived JSON-lines-over-TCP daemon backed by
 //!   the sharded, byte-budgeted warm artifact store (see
 //!   [`corepart::serve`]).
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use corepart::corpus::{fingerprint64, run_corpus, source_features, CorpusEntry, CorpusOptions};
 use corepart::engine::Engine;
+use corepart::error::CorepartError;
 use corepart::explore::{explore, explore_nodes, hardware_weight_sweep};
 use corepart::flow::DesignFlow;
+use corepart::json::corpus_to_json;
 use corepart::json::{exploration_to_json, node_exploration_to_json, outcome_to_json_at};
 use corepart::partition::Partitioner;
 use corepart::prepare::Workload;
@@ -66,6 +78,11 @@ struct Args {
     nodes: Option<Vec<u32>>,
     vdd_steps: usize,
     serve: ServeOptions,
+    out: Option<String>,
+    journal: Option<String>,
+    chunk: Option<usize>,
+    limit: Option<u64>,
+    resume: bool,
 }
 
 fn usage() -> ExitCode {
@@ -74,6 +91,8 @@ fn usage() -> ExitCode {
          [--json] [--threads N] [--set-index I] [--n-max N] [--factor-f F] \
          [--factor-g G] [--node N] [--vdd V] [--nodes a,b,...] [--vdd-steps N] \
          [--array name=v1,v2,...]...\n       \
+         corepart corpus <dir> [--out P] [--journal P] [--chunk N] [--limit N] \
+         [--resume] [--json] [--threads N]\n       \
          corepart serve [--port P] [--shards S] [--store-budget-mb M] [--threads N]"
     );
     ExitCode::from(2)
@@ -104,6 +123,11 @@ fn parse_args() -> Result<Args, String> {
         nodes: None,
         vdd_steps: 4,
         serve: ServeOptions::default(),
+        out: None,
+        journal: None,
+        chunk: None,
+        limit: None,
+        resume: false,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -159,6 +183,21 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--vdd-steps needs a value")?;
                 args.vdd_steps = v.parse().map_err(|_| format!("bad step count `{v}`"))?;
             }
+            "--out" => {
+                args.out = Some(it.next().ok_or("--out needs a path")?);
+            }
+            "--journal" => {
+                args.journal = Some(it.next().ok_or("--journal needs a path")?);
+            }
+            "--chunk" => {
+                let v = it.next().ok_or("--chunk needs a value")?;
+                args.chunk = Some(v.parse().map_err(|_| format!("bad chunk size `{v}`"))?);
+            }
+            "--limit" => {
+                let v = it.next().ok_or("--limit needs a value")?;
+                args.limit = Some(v.parse().map_err(|_| format!("bad limit `{v}`"))?);
+            }
+            "--resume" => args.resume = true,
             "--array" => {
                 let spec = it.next().ok_or("--array needs name=v1,v2,...")?;
                 let (name, vals) = spec
@@ -218,9 +257,104 @@ fn serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the corpus verb over a directory of `.bdl` files: every file,
+/// sorted by name, becomes one corpus entry.
+fn corpus_over_dir(args: &Args) -> Result<(), String> {
+    let dir = PathBuf::from(&args.file);
+    let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "bdl"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .bdl files in {}", dir.display()));
+    }
+
+    let mut options = CorpusOptions::new(config_from(args));
+    if let Some(c) = args.chunk {
+        options.chunk = c;
+    }
+    if let Some(t) = args.threads {
+        options.threads = t;
+    }
+    options.limit = args.limit;
+    // The journal must refuse to resume over a *different* file set:
+    // fold the sorted file names into the provider tag.
+    let names: Vec<&str> = files
+        .iter()
+        .filter_map(|p| p.file_name().and_then(|n| n.to_str()))
+        .collect();
+    options.provider_tag = format!("dir-{:016x}", fingerprint64(names.join("\n").as_bytes()));
+
+    let workload = Workload::from_arrays(args.arrays.clone());
+    let provider = |index: u64| -> Result<CorpusEntry, CorepartError> {
+        let path = &files[index as usize];
+        let source = std::fs::read_to_string(path).map_err(|e| CorepartError::Config {
+            message: format!("{}: {e}", path.display()),
+        })?;
+        let program = parse(&source)?;
+        let features = source_features(&program);
+        let app = lower(&program)?;
+        Ok(CorpusEntry {
+            index,
+            seed: 0,
+            name: path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("entry")
+                .to_owned(),
+            app,
+            workload: workload.clone(),
+            features,
+        })
+    };
+
+    let out = PathBuf::from(args.out.as_deref().unwrap_or("corpus.tsv"));
+    let journal = args
+        .journal
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{}.journal", out.display())));
+    let outcome = run_corpus(
+        files.len() as u64,
+        provider,
+        &options,
+        &journal,
+        &out,
+        args.resume,
+    )
+    .map_err(|e| e.to_string())?;
+    if args.json {
+        println!("{}", corpus_to_json(&outcome));
+    } else if outcome.finished {
+        println!(
+            "corpus complete: {} app(s) ({} evaluated, {} replayed) -> {}",
+            outcome.count,
+            outcome.evaluated,
+            outcome.replayed,
+            out.display()
+        );
+        println!(
+            "frontier: {} point(s); feature buckets: {}",
+            outcome.frontier.len(),
+            outcome.features.len()
+        );
+    } else {
+        println!(
+            "corpus interrupted after {}/{} chunk(s); rerun with --resume to continue",
+            outcome.chunks_done, outcome.chunks
+        );
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     if args.command == "serve" {
         return serve(args);
+    }
+    if args.command == "corpus" {
+        return corpus_over_dir(args);
     }
     let source = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
     let config = config_from(args);

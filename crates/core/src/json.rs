@@ -7,6 +7,7 @@
 
 use std::fmt::Write as _;
 
+use crate::corpus::{CorpusOutcome, CorpusRow, FeatureStat};
 use crate::explore::{Exploration, NodeExploration};
 use crate::partition::PartitionOutcome;
 use crate::report::{Figure6Point, Table1, Table1Entry};
@@ -111,6 +112,98 @@ pub fn figure6_to_json(points: &[Figure6Point]) -> String {
         })
         .collect();
     format!("[{}]", rows.join(","))
+}
+
+fn corpus_row_to_json(r: &CorpusRow) -> String {
+    format!(
+        concat!(
+            "{{\"index\":{},\"seed\":{},\"name\":\"{}\",\"clusters\":{},",
+            "\"loop_clusters\":{},\"loop_depth\":{},\"array_bytes\":{},",
+            "\"stmts\":{},\"candidates\":{},\"estimated\":{},",
+            "\"growth_steps\":{},\"verifications\":{},\"hw_clusters\":{},",
+            "\"hw_blocks\":{},\"geq_cells\":{},\"initial_j\":{},",
+            "\"best_j\":{},\"saving_pct\":{},\"initial_cycles\":{},",
+            "\"best_cycles\":{},\"time_pct\":{}}}"
+        ),
+        r.index,
+        r.seed,
+        json_escape(&r.name),
+        r.clusters,
+        r.loop_clusters,
+        r.loop_depth,
+        r.array_bytes,
+        r.stmts,
+        r.candidates,
+        r.estimated,
+        r.growth_steps,
+        r.verifications,
+        r.hw_clusters,
+        r.hw_blocks,
+        r.geq_cells,
+        num(r.initial_j),
+        num(r.best_j),
+        num(r.saving_pct),
+        r.initial_cycles,
+        r.best_cycles,
+        num(r.time_pct),
+    )
+}
+
+fn feature_stat_to_json(s: &FeatureStat) -> String {
+    format!(
+        concat!(
+            "{{\"feature\":\"{}\",\"bucket\":{},\"apps\":{},",
+            "\"mean_saving_pct\":{},\"max_saving_pct\":{}}}"
+        ),
+        json_escape(s.feature),
+        s.bucket,
+        s.apps,
+        num(s.mean_saving_pct),
+        num(s.max_saving_pct),
+    )
+}
+
+/// Serializes a corpus run: the run summary, every evaluated row in
+/// corpus order, the aggregate Pareto frontier, and the per-feature
+/// saving statistics. Deterministic for a deterministic
+/// [`CorpusOutcome`] — this is what the corpus golden pins.
+pub fn corpus_to_json(outcome: &CorpusOutcome) -> String {
+    let rows: Vec<String> = outcome.rows.iter().map(corpus_row_to_json).collect();
+    let frontier: Vec<String> = outcome
+        .frontier
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "{{\"label\":\"{}\",\"energy_j\":{},\"cycles\":{},",
+                    "\"geq_cells\":{},\"saving_pct\":{},\"initial\":{}}}"
+                ),
+                json_escape(&p.label),
+                num(p.energy.joules()),
+                p.cycles.count(),
+                p.geq.cells(),
+                num(p.saving_percent),
+                p.is_initial,
+            )
+        })
+        .collect();
+    let features: Vec<String> = outcome.features.iter().map(feature_stat_to_json).collect();
+    format!(
+        concat!(
+            "{{\"count\":{},\"chunks\":{},\"chunks_done\":{},",
+            "\"evaluated\":{},\"replayed\":{},\"finished\":{},",
+            "\"rows\":[{}],\"frontier\":[{}],\"features\":[{}]}}"
+        ),
+        outcome.count,
+        outcome.chunks,
+        outcome.chunks_done,
+        outcome.evaluated,
+        outcome.replayed,
+        outcome.finished,
+        rows.join(","),
+        frontier.join(","),
+        features.join(","),
+    )
 }
 
 /// Serializes a partitioning outcome (initial + optional best +

@@ -51,6 +51,7 @@
 
 pub mod baselines;
 pub mod bus_transfer;
+pub mod corpus;
 pub mod engine;
 pub mod error;
 pub mod evaluate;
@@ -69,6 +70,9 @@ pub mod store;
 pub mod system;
 pub mod verify;
 
+pub use corpus::{
+    run_corpus, CorpusEntry, CorpusOptions, CorpusOutcome, CorpusRow, ParetoAccumulator,
+};
 pub use engine::{Baseline, Engine, Session, SessionStats};
 pub use error::CorepartError;
 pub use evaluate::{

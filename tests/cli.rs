@@ -57,6 +57,27 @@ mod tempfile {
             let _ = std::fs::remove_file(&self.path);
         }
     }
+
+    /// A scratch directory, removed recursively on drop.
+    pub struct NamedDir {
+        pub path: PathBuf,
+    }
+
+    impl NamedDir {
+        pub fn new() -> Self {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("corepart-cli-test-dir-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            NamedDir { path }
+        }
+    }
+
+    impl Drop for NamedDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
 }
 
 #[test]
@@ -320,6 +341,148 @@ fn explore_nodes_emits_scaled_points() {
     assert!(text.contains("\"node_nm\":800"), "{text}");
     assert!(text.contains("\"node_nm\":180"), "{text}");
     assert!(text.contains("\"pareto\":true"), "{text}");
+}
+
+/// Fills `dir` with `n` small distinct applications.
+fn fill_corpus_dir(dir: &std::path::Path, n: usize) {
+    for i in 0..n {
+        let source = format!(
+            r#"app corp{i};
+var x[32];
+var y[32];
+func main() {{
+    for (var i = 1; i < 31; i = i + 1) {{
+        y[i] = x[i] * {m} + x[i - 1];
+    }}
+    var s = 0;
+    for (var j = 0; j < 32; j = j + 1) {{ s = s + y[j]; }}
+    return s;
+}}
+"#,
+            m = i + 2
+        );
+        std::fs::write(dir.join(format!("app{i}.bdl")), source).expect("write corpus app");
+    }
+}
+
+#[test]
+fn corpus_usage_errors_exit_two() {
+    // The corpus verb without its directory argument is a usage error.
+    let out = bin().args(["corpus"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "missing dir is a usage error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage: corepart"), "stderr: {err}");
+    assert!(err.contains("corpus"), "usage names the verb: {err}");
+}
+
+#[test]
+fn corpus_bad_inputs_exit_one_with_error_line() {
+    // A nonexistent directory is a runtime error: exit 1, `error:`.
+    let out = bin()
+        .args(["corpus", "/nonexistent-corpus-dir"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error:"), "stderr: {err}");
+
+    // An empty directory has nothing to run over.
+    let dir = tempfile::NamedDir::new();
+    let out = bin()
+        .args(["corpus", dir.path.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error:"), "stderr: {err}");
+    assert!(err.contains("no .bdl files"), "{err}");
+
+    // A zero chunk size is a configuration error, not a crash.
+    fill_corpus_dir(&dir.path, 1);
+    let out = bin()
+        .args([
+            "corpus",
+            dir.path.to_str().expect("utf8"),
+            "--chunk",
+            "0",
+            "--out",
+            dir.path.join("out.tsv").to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error:"), "stderr: {err}");
+    assert!(err.contains("chunk"), "{err}");
+}
+
+#[test]
+fn corpus_limit_resume_round_trip_matches_one_shot() {
+    let dir = tempfile::NamedDir::new();
+    fill_corpus_dir(&dir.path, 3);
+    let dir_arg = dir.path.to_str().expect("utf8").to_owned();
+    let one_shot = dir.path.join("one-shot.tsv");
+    let stepped = dir.path.join("stepped.tsv");
+
+    let out = bin()
+        .args([
+            "corpus",
+            &dir_arg,
+            "--chunk",
+            "2",
+            "--out",
+            one_shot.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("corpus complete"));
+
+    // Limit to the first chunk, then resume to completion.
+    let out = bin()
+        .args([
+            "corpus",
+            &dir_arg,
+            "--chunk",
+            "2",
+            "--limit",
+            "1",
+            "--out",
+            stepped.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("--resume"),
+        "interrupted run points at --resume"
+    );
+    assert!(!stepped.exists(), "no results file until the run finishes");
+    let out = bin()
+        .args([
+            "corpus",
+            &dir_arg,
+            "--chunk",
+            "2",
+            "--resume",
+            "--out",
+            stepped.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let a = std::fs::read(&one_shot).expect("one-shot results");
+    let b = std::fs::read(&stepped).expect("resumed results");
+    assert_eq!(a, b, "limit+resume must match the one-shot run");
 }
 
 #[test]

@@ -1,0 +1,217 @@
+//! Corpus-runner integration tests: the incremental-Pareto property,
+//! byte-determinism of the columnar results file, and the
+//! interrupt/resume contract (the journal replay must reconstruct the
+//! exact run an uninterrupted invocation would have produced).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use proptest::prelude::*;
+
+use corepart::corpus::{CorpusOptions, ParetoAccumulator};
+use corepart::explore::{DesignPoint, Exploration};
+use corepart::system::SystemConfig;
+use corepart_conform::corpus::{gen_entry, run_gen_corpus};
+use corepart_tech::units::{Cycles, Energy, GateEq};
+
+/// A unique per-test scratch path (the OS temp dir plus pid + counter).
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "corepart-corpus-test-{}-{n}-{tag}",
+        std::process::id()
+    ))
+}
+
+/// RAII cleanup for the scratch files a test creates.
+struct Scratch(Vec<PathBuf>);
+
+impl Scratch {
+    fn path(&mut self, tag: &str) -> PathBuf {
+        let p = temp_path(tag);
+        self.0.push(p.clone());
+        p
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        for p in &self.0 {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+fn small_options() -> CorpusOptions {
+    let mut options = CorpusOptions::new(SystemConfig::new());
+    options.chunk = 2;
+    options.threads = 2;
+    options
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite 1: folding any chunking of a point stream through
+    /// [`ParetoAccumulator`] is bit-identical to one one-shot
+    /// [`Exploration::pareto_frontier`] over the concatenation. Small
+    /// coordinate ranges force plenty of dominance and coincidence.
+    #[test]
+    fn incremental_pareto_matches_one_shot(
+        raw in prop::collection::vec((0u32..24, 0u64..24, 0u64..24), 0..60),
+        chunk in 1usize..9,
+    ) {
+        let points: Vec<DesignPoint> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(e, c, g))| DesignPoint {
+                label: format!("p{i}"),
+                energy: Energy::from_microjoules(f64::from(e)),
+                cycles: Cycles::new(c),
+                geq: GateEq::new(g),
+                saving_percent: 0.0,
+                is_initial: false,
+            })
+            .collect();
+        let mut acc = ParetoAccumulator::new();
+        for batch in points.chunks(chunk) {
+            acc.add(batch.to_vec());
+        }
+        let one_shot: Vec<DesignPoint> = Exploration { points }
+            .pareto_frontier()
+            .into_iter()
+            .cloned()
+            .collect();
+        prop_assert_eq!(acc.frontier(), &one_shot[..]);
+    }
+}
+
+/// Satellite 3 (determinism): the same seed and configuration produce
+/// a byte-identical columnar results file across two independent runs.
+#[test]
+fn same_seed_yields_byte_identical_columnar_file() {
+    let mut scratch = Scratch(Vec::new());
+    let mut files = Vec::new();
+    for run in 0..2 {
+        let out = scratch.path(&format!("det-out-{run}.tsv"));
+        let journal = scratch.path(&format!("det-journal-{run}"));
+        let outcome =
+            run_gen_corpus(11, 6, small_options(), &journal, &out, false).expect("corpus runs");
+        assert!(outcome.finished);
+        assert_eq!(outcome.evaluated, 6);
+        files.push(std::fs::read(&out).expect("results file written"));
+    }
+    assert_eq!(files[0], files[1], "corpus output must be deterministic");
+}
+
+/// Satellite 3 (kill-and-resume): a run interrupted after its first
+/// chunk and then resumed produces a final results file AND journal
+/// byte-identical to an uninterrupted run — the journal replay
+/// reconstructs every row and frontier point bit-exactly.
+#[test]
+fn interrupted_and_resumed_run_matches_uninterrupted() {
+    let mut scratch = Scratch(Vec::new());
+    let out_a = scratch.path("resume-a.tsv");
+    let journal_a = scratch.path("resume-a.journal");
+    let full =
+        run_gen_corpus(23, 6, small_options(), &journal_a, &out_a, false).expect("corpus runs");
+    assert!(full.finished);
+
+    let out_b = scratch.path("resume-b.tsv");
+    let journal_b = scratch.path("resume-b.journal");
+    let mut interrupted_options = small_options();
+    interrupted_options.interrupt_after_chunks = Some(1);
+    let partial = run_gen_corpus(23, 6, interrupted_options, &journal_b, &out_b, false)
+        .expect("interrupted run still succeeds");
+    assert!(!partial.finished, "the interrupt must stop the run early");
+    assert_eq!(partial.chunks_done, 1);
+    assert!(!out_b.exists(), "no results file until every chunk is done");
+
+    let resumed =
+        run_gen_corpus(23, 6, small_options(), &journal_b, &out_b, true).expect("resume succeeds");
+    assert!(resumed.finished);
+    assert_eq!(resumed.replayed, 2, "the completed chunk is replayed");
+    assert_eq!(resumed.evaluated, 4, "only the missing chunks are computed");
+
+    let read = |p: &PathBuf| std::fs::read(p).expect("file exists");
+    assert_eq!(read(&out_a), read(&out_b), "final results files differ");
+    assert_eq!(read(&journal_a), read(&journal_b), "journals differ");
+}
+
+/// A truncated journal (killed mid-chunk-write) resumes cleanly: the
+/// partial trailing chunk is discarded and recomputed.
+#[test]
+fn truncated_journal_discards_the_partial_chunk() {
+    let mut scratch = Scratch(Vec::new());
+    let out = scratch.path("trunc.tsv");
+    let journal = scratch.path("trunc.journal");
+    let mut options = small_options();
+    options.interrupt_after_chunks = Some(2);
+    run_gen_corpus(31, 6, options, &journal, &out, false).expect("partial run");
+
+    // Chop the journal mid-way through its second chunk, simulating a
+    // kill between the chunk's first write and its `end` marker.
+    let text = std::fs::read_to_string(&journal).expect("journal written");
+    let second_chunk = text
+        .match_indices("\nchunk\t")
+        .nth(1)
+        .expect("chunk marker")
+        .0;
+    let cut = text[second_chunk + 1..]
+        .find("\nrow\t")
+        .map(|i| second_chunk + 1 + i + 8)
+        .expect("row line to cut");
+    std::fs::write(&journal, &text[..cut]).expect("truncate journal");
+
+    let resumed =
+        run_gen_corpus(31, 6, small_options(), &journal, &out, true).expect("resume succeeds");
+    assert!(resumed.finished);
+    assert!(
+        resumed.evaluated >= 4,
+        "the truncated chunk must be recomputed, evaluated {}",
+        resumed.evaluated
+    );
+
+    // And the recovered run still matches a clean one byte for byte.
+    let out_clean = scratch.path("trunc-clean.tsv");
+    let journal_clean = scratch.path("trunc-clean.journal");
+    run_gen_corpus(31, 6, small_options(), &journal_clean, &out_clean, false).expect("clean run");
+    assert_eq!(
+        std::fs::read(&out).expect("recovered"),
+        std::fs::read(&out_clean).expect("clean"),
+    );
+}
+
+/// Resuming under different parameters (another seed) is refused with
+/// a configuration error instead of silently mixing corpora.
+#[test]
+fn resume_refuses_a_mismatched_journal() {
+    let mut scratch = Scratch(Vec::new());
+    let out = scratch.path("mismatch.tsv");
+    let journal = scratch.path("mismatch.journal");
+    let mut options = small_options();
+    options.limit = Some(2);
+    run_gen_corpus(5, 6, options, &journal, &out, false).expect("partial run");
+
+    let err = run_gen_corpus(6, 6, small_options(), &journal, &out, true)
+        .expect_err("seed changed: resume must fail");
+    assert!(
+        err.to_string().contains("different parameters"),
+        "unexpected error: {err}"
+    );
+}
+
+/// The generator-side provider is itself deterministic and feeds the
+/// features the rows record.
+#[test]
+fn gen_entries_are_deterministic_and_featureful() {
+    for index in 0..4 {
+        let a = gen_entry(42, index).expect("generates");
+        let b = gen_entry(42, index).expect("generates");
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.features, b.features);
+        assert!(a.features.array_bytes > 0);
+    }
+}

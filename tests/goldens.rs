@@ -18,12 +18,15 @@
 
 use std::path::PathBuf;
 
+use corepart::corpus::CorpusOptions;
 use corepart::explore::{explore, hardware_weight_sweep};
 use corepart::flow::DesignFlow;
+use corepart::json::corpus_to_json;
 use corepart::json::{exploration_to_json, table1_to_json};
 use corepart::prepare::Workload;
 use corepart::report::Table1;
 use corepart::system::SystemConfig;
+use corepart_conform::corpus::run_gen_corpus;
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
 use corepart_tech::scaling::OperatingPoint;
@@ -123,6 +126,32 @@ fn native_operating_point_reproduces_table1_golden() {
     let expected =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
     assert_eq!(expected, json, "native point must not perturb the flow");
+}
+
+#[test]
+fn corpus_sample_json_matches_golden() {
+    // A 32-app generated corpus (run seed 9, the corpus defaults):
+    // every row, the aggregate frontier and the feature statistics,
+    // byte for byte. This is the regression net over the *generated*
+    // workload family — a numeric change anywhere in the flow shows up
+    // here across 32 structurally diverse apps at once.
+    let out =
+        std::env::temp_dir().join(format!("corepart-golden-corpus-{}.tsv", std::process::id()));
+    let journal = std::env::temp_dir().join(format!(
+        "corepart-golden-corpus-{}.journal",
+        std::process::id()
+    ));
+    let mut options = CorpusOptions::new(SystemConfig::new());
+    options.chunk = 8;
+    let outcome =
+        run_gen_corpus(9, 32, options, &journal, &out, false).expect("corpus run succeeds");
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(&journal);
+    assert!(outcome.finished);
+    assert_eq!(outcome.rows.len(), 32);
+    let mut json = corpus_to_json(&outcome);
+    json.push('\n');
+    assert_golden("corpus_sample.json", &json);
 }
 
 #[test]
