@@ -21,6 +21,10 @@
 //! (fresh preparation, baseline simulation and schedule cache per
 //! configuration, one thread) against the shared, parallel [`explore`]
 //! engine. Every section records the thread count it actually used.
+//! A serve section spawns real daemons to measure pipelined-vs-serial
+//! serving on one connection (responses pinned byte-identical) and a
+//! same-fingerprint verify storm through the cross-request coalescing
+//! path (lanes of one `replay_batch` call, again byte-identical).
 //! A final corpus section pushes 24 *generated* applications through
 //! the resumable sharded corpus runner ([`corepart::corpus`]) and
 //! reports apps/sec, the aggregate Pareto-frontier size, and a
@@ -36,6 +40,8 @@
 //! engine`.
 
 use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::time::Instant;
 
 use corepart::baselines::performance_partition;
@@ -47,11 +53,13 @@ use corepart::evaluate::{evaluate_partition, evaluate_partition_with};
 use corepart::explore::{explore, hardware_weight_sweep, DesignPoint};
 use corepart::ir::op::BlockId;
 use corepart::isa::simulator::{MemSink, RunStats, SimConfig, Simulator};
-use corepart::json::{outcome_to_json, result_field};
+use corepart::json::{outcome_to_json, parse_json, result_field, JsonValue};
 use corepart::parallel::resolve_threads;
 use corepart::partition::{PartitionOutcome, Partitioner};
 use corepart::prepare::{PreparedApp, Workload};
-use corepart::serve::{handle_line, respond_fresh, ComputeKind, ComputeRequest};
+use corepart::serve::{
+    handle_line, respond_fresh, ComputeKind, ComputeRequest, ServeOptions, Server,
+};
 use corepart::store::{ArtifactStore, StoreOptions};
 use corepart::system::{ResolvedPoint, SystemConfig};
 use corepart::verify::{replay_batch_with, replay_run, BatchOptions};
@@ -500,6 +508,279 @@ fn measure_serve_zipf(selected: &[PaperWorkload], per_app_bytes: &[u64], total: 
     )
 }
 
+/// A line-oriented TCP client against a spawned in-process [`Server`].
+struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    fn connect(addr: std::net::SocketAddr) -> ServeClient {
+        let stream = TcpStream::connect(addr).expect("connect to spawned server");
+        stream.set_nodelay(true).expect("nodelay");
+        ServeClient {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .expect("send request");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "daemon closed the connection");
+        line.trim_end().to_owned()
+    }
+
+    fn ask(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+/// The warm request mix over `apps`: partition, explore, and verify
+/// per app — the same shape the serve-smoke load driver fires.
+fn serve_mix(apps: &[PaperWorkload]) -> Vec<ComputeRequest> {
+    let mut reqs = Vec::new();
+    for w in apps {
+        let partition = serve_request(w);
+        let mut explore = partition.clone();
+        explore.kind = ComputeKind::Explore;
+        explore.weights = Some(vec![0.0, 1.0]);
+        let mut verify = partition.clone();
+        verify.kind = ComputeKind::Verify;
+        verify.clusters = vec![0];
+        reqs.push(partition);
+        reqs.push(explore);
+        reqs.push(verify);
+    }
+    reqs
+}
+
+/// Pipelined-vs-serial serving over a real socket: one connection to a
+/// spawned daemon, the warm mix sent one-at-a-time (a write/read
+/// round-trip per request) versus the same stream with every request
+/// in flight at once. Responses are pinned byte-identical between the
+/// two passes (ids aside, compared on the `result` field).
+fn measure_serve_pipelined(apps: &[PaperWorkload], repeats: usize) -> String {
+    let opts = ServeOptions {
+        port: 0,
+        shards: 2,
+        threads: 1,
+        ..ServeOptions::default()
+    };
+    let server = Server::spawn(SystemConfig::new(), &opts).expect("spawn server");
+    let mut client = ServeClient::connect(server.addr());
+
+    let mix = serve_mix(apps);
+    let mut id = 0u64;
+    // Warm the store once so both timed passes run the memoized path.
+    for req in &mix {
+        let mut req = req.clone();
+        id += 1;
+        req.id = Some(id);
+        let response = client.ask(&req.to_json());
+        assert!(response.contains("\"ok\":true"), "{response}");
+    }
+
+    let mut stream: Vec<ComputeRequest> = Vec::with_capacity(mix.len() * repeats);
+    for _ in 0..repeats {
+        stream.extend(mix.iter().cloned());
+    }
+
+    let serial_start = Instant::now();
+    let mut serial_results: Vec<String> = Vec::with_capacity(stream.len());
+    for req in &stream {
+        let mut req = req.clone();
+        id += 1;
+        req.id = Some(id);
+        let response = client.ask(&req.to_json());
+        serial_results.push(result_field(&response).expect("result field").to_owned());
+    }
+    let serial_nanos = serial_start.elapsed().as_nanos() as u64;
+
+    let pipelined_start = Instant::now();
+    let mut burst = String::new();
+    for req in &stream {
+        let mut req = req.clone();
+        id += 1;
+        req.id = Some(id);
+        burst.push_str(&req.to_json());
+        burst.push('\n');
+    }
+    client
+        .writer
+        .write_all(burst.as_bytes())
+        .and_then(|()| client.writer.flush())
+        .expect("send burst");
+    let mut identical = true;
+    for serial in &serial_results {
+        let response = client.recv();
+        identical &= result_field(&response) == Some(serial.as_str());
+    }
+    let pipelined_nanos = pipelined_start.elapsed().as_nanos() as u64;
+
+    id += 1;
+    let shutdown = client.ask(&format!("{{\"id\":{id},\"cmd\":\"shutdown\"}}"));
+    assert!(shutdown.contains("\"ok\":true"), "{shutdown}");
+    server.join();
+
+    let speedup = serial_nanos as f64 / pipelined_nanos.max(1) as f64;
+    println!(
+        "\npipelined: {} warm requests on one connection: serial {:.1} ms, \
+         pipelined {:.1} ms ({speedup:.2}x), identical {identical}",
+        stream.len(),
+        serial_nanos as f64 / 1e6,
+        pipelined_nanos as f64 / 1e6,
+    );
+    assert!(
+        identical,
+        "pipelined responses must be byte-identical to serial serving"
+    );
+    format!(
+        concat!(
+            "{{\"requests\":{},\"serial_nanos\":{},\"pipelined_nanos\":{},",
+            "\"speedup\":{:.4},\"identical\":{}}}"
+        ),
+        stream.len(),
+        serial_nanos,
+        pipelined_nanos,
+        speedup,
+        identical
+    )
+}
+
+/// The comparable span of a serve response: the raw `result` for
+/// successes (request stats legitimately differ between cold and
+/// memo-warmed answers), the whole line for typed errors — some chain
+/// clusters cannot be scheduled in hardware at all (e.g. a resource
+/// set with no divider), and those error lines must also survive
+/// coalescing byte-for-byte.
+fn comparable(response: &str) -> &str {
+    result_field(response).unwrap_or(response)
+}
+
+/// Cross-request batch coalescing: a same-fingerprint verify storm
+/// (cluster ids cycling the app's chain) fired all-at-once against a
+/// cold daemon, versus the same storm one-at-a-time against another
+/// cold daemon. The coalesced run answers from lanes of one
+/// `replay_batch` call; the responses stay byte-identical.
+fn measure_serve_coalescing(w: &PaperWorkload, storm: usize) -> String {
+    let workload = Workload::from_arrays(w.arrays(SEED));
+    let app = w.app().expect("bundled workload lowers");
+    let engine = Engine::new(SystemConfig::new()).expect("engine");
+    let chain_len = engine
+        .session(&app, &workload)
+        .prepared()
+        .expect("prepare")
+        .chain
+        .len();
+
+    let requests: Vec<ComputeRequest> = (0..storm)
+        .map(|k| {
+            let mut req = serve_request(w);
+            req.kind = ComputeKind::Verify;
+            req.clusters = vec![(k % chain_len) as u32];
+            req.id = Some(k as u64 + 1);
+            req
+        })
+        .collect();
+
+    let spawn = || {
+        let opts = ServeOptions {
+            port: 0,
+            shards: 1,
+            threads: 1,
+            ..ServeOptions::default()
+        };
+        Server::spawn(SystemConfig::new(), &opts).expect("spawn server")
+    };
+
+    // Serial reference: one round-trip per request, cold store.
+    let serial_server = spawn();
+    let mut client = ServeClient::connect(serial_server.addr());
+    let serial_start = Instant::now();
+    let mut serial_results: Vec<String> = Vec::with_capacity(storm);
+    for req in &requests {
+        let response = client.ask(&req.to_json());
+        serial_results.push(comparable(&response).to_owned());
+    }
+    let serial_nanos = serial_start.elapsed().as_nanos() as u64;
+    client.ask("{\"cmd\":\"shutdown\"}");
+    serial_server.join();
+
+    // Coalesced: the whole storm in flight before the cold first
+    // request finishes, so the shard worker drains and batch-verifies.
+    let coalesced_server = spawn();
+    let mut client = ServeClient::connect(coalesced_server.addr());
+    let coalesced_start = Instant::now();
+    let mut burst = String::new();
+    for req in &requests {
+        burst.push_str(&req.to_json());
+        burst.push('\n');
+    }
+    client
+        .writer
+        .write_all(burst.as_bytes())
+        .and_then(|()| client.writer.flush())
+        .expect("send storm");
+    let mut identical = true;
+    for serial in &serial_results {
+        let response = client.recv();
+        identical &= comparable(&response) == serial.as_str();
+    }
+    let coalesced_nanos = coalesced_start.elapsed().as_nanos() as u64;
+
+    let stats = client.ask("{\"id\":99,\"cmd\":\"stats\"}");
+    let parsed = parse_json(&stats).expect("stats parse");
+    let bucket = |k: &str| {
+        parsed
+            .get("result")
+            .and_then(|r| r.get("pipeline"))
+            .and_then(|p| p.get("coalesced"))
+            .and_then(|c| c.get(k))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    };
+    let (k2_4, k5_16) = (bucket("k2_4"), bucket("k5_16"));
+    client.ask("{\"cmd\":\"shutdown\"}");
+    coalesced_server.join();
+
+    let speedup = serial_nanos as f64 / coalesced_nanos.max(1) as f64;
+    println!(
+        "coalescing: {storm}-request verify storm on `{}` ({} cluster(s)): serial {:.1} ms, \
+         coalesced {:.1} ms ({speedup:.2}x), batches k2_4 {k2_4} / k5_16 {k5_16}, \
+         identical {identical}",
+        w.name,
+        chain_len,
+        serial_nanos as f64 / 1e6,
+        coalesced_nanos as f64 / 1e6,
+    );
+    assert!(
+        identical,
+        "coalesced verify responses must be byte-identical to serial serving"
+    );
+    assert!(
+        k2_4 + k5_16 > 0,
+        "the verify storm must coalesce at least one multi-request batch"
+    );
+    format!(
+        concat!(
+            "{{\"app\":\"{}\",\"storm\":{},\"serial_nanos\":{},",
+            "\"coalesced_nanos\":{},\"speedup\":{:.4},",
+            "\"coalesced_k2_4\":{},\"coalesced_k5_16\":{},\"identical\":{}}}"
+        ),
+        w.name, storm, serial_nanos, coalesced_nanos, speedup, k2_4, k5_16, identical
+    )
+}
+
 fn main() {
     let filter = std::env::args().nth(1);
     let selected: Vec<PaperWorkload> = match filter.as_deref() {
@@ -828,6 +1109,8 @@ fn main() {
         footprints.push(bytes);
     }
     let zipf_row = measure_serve_zipf(&serve_apps, &footprints, 24);
+    let pipelined_row = measure_serve_pipelined(&serve_apps, 8);
+    let coalesced_row = measure_serve_coalescing(&serve_apps[0], 16);
 
     // Corpus factory: generated-workload throughput through the
     // sharded, resumable runner, plus a back-to-back determinism
@@ -911,7 +1194,8 @@ fn main() {
     let json = format!(
         concat!(
             "{{\"seed\":{},\"threads\":{},\"workloads\":[{}],\"batch\":[{}],",
-            "\"sweep\":[{}],\"nodes\":[{}],\"serve\":{{\"per_app\":[{}],\"zipf\":{}}},",
+            "\"sweep\":[{}],\"nodes\":[{}],\"serve\":{{\"per_app\":[{}],\"zipf\":{},",
+            "\"pipelined\":{},\"coalesced\":{}}},",
             "\"corpus\":{}}}\n"
         ),
         SEED,
@@ -922,6 +1206,8 @@ fn main() {
         node_rows.join(","),
         serve_rows.join(","),
         zipf_row,
+        pipelined_row,
+        coalesced_row,
         corpus_row
     );
     let path = "BENCH_partition.json";

@@ -2,7 +2,7 @@
 //! serve` daemon (the CI serve-smoke client).
 //!
 //! ```text
-//! cargo run --release -p corepart-bench --bin serve_load [port]
+//! cargo run --release -p corepart-bench --bin serve_load [port] [--pipeline N]
 //! ```
 //!
 //! Connects to `127.0.0.1:port` (default: the daemon's default port),
@@ -11,12 +11,22 @@
 //! that the warm store actually served: hit rate above zero and a
 //! reported p99 latency. One partition response line is echoed to
 //! stdout so the CI job can grep the served session's `batch_shards`.
+//!
+//! With `--pipeline N`, a third pass re-fires the warm mix with N
+//! requests in flight on the one connection, printing throughput
+//! against the serial pass and the p50/p95/p99 latency split into
+//! queue-wait vs compute (from the per-response `queue_nanos` /
+//! `compute_nanos` stats). A same-fingerprint verify storm against a
+//! cold app then drives cross-request batch coalescing, and the
+//! daemon's `pipeline` stats object is echoed to stdout so CI can
+//! grep a nonzero coalesced-batch counter.
+//!
 //! Finishes with a `shutdown` request. Any failed expectation exits
 //! nonzero.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use corepart::json::{parse_json, JsonValue};
 use corepart::serve::{ComputeKind, ComputeRequest, DEFAULT_PORT};
@@ -54,12 +64,15 @@ impl Client {
         fail(&format!("cannot connect to 127.0.0.1:{port}: {last}"));
     }
 
-    fn ask(&mut self, line: &str) -> JsonValue {
+    fn send(&mut self, line: &str) {
         self.writer
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
             .and_then(|()| self.writer.flush())
             .unwrap_or_else(|e| fail(&format!("send failed: {e}")));
+    }
+
+    fn recv(&mut self) -> JsonValue {
         let mut response = String::new();
         self.reader
             .read_line(&mut response)
@@ -74,6 +87,21 @@ impl Client {
         }
         parsed
     }
+
+    fn ask(&mut self, line: &str) -> JsonValue {
+        self.send(line);
+        self.recv()
+    }
+}
+
+/// The `p`th percentile of `values` (nearest-rank on a sorted copy).
+fn percentile(values: &[u64], p: usize) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() - 1) * p / 100]
 }
 
 fn requests_for(w: &PaperWorkload) -> Vec<ComputeRequest> {
@@ -89,12 +117,21 @@ fn requests_for(w: &PaperWorkload) -> Vec<ComputeRequest> {
 }
 
 fn main() {
-    let port: u16 = match std::env::args().nth(1) {
-        Some(p) => p
-            .parse()
-            .unwrap_or_else(|_| fail(&format!("bad port `{p}`"))),
-        None => DEFAULT_PORT,
-    };
+    let mut port: u16 = DEFAULT_PORT;
+    let mut pipeline: usize = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--pipeline" {
+            let v = args.next().unwrap_or_else(|| fail("--pipeline needs N"));
+            pipeline = v
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("bad pipeline depth `{v}`")));
+        } else {
+            port = arg
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("bad port `{arg}`")));
+        }
+    }
     let mut client = Client::connect(port);
 
     // Two small apps, three commands each, the whole block twice: the
@@ -102,17 +139,32 @@ fn main() {
     let apps: Vec<PaperWorkload> = all().into_iter().take(2).collect();
     let mut id = 0u64;
     let mut partition_response = None;
+    let mut serial_warm = (Duration::ZERO, 0usize);
     for pass in 0..2 {
+        let start = Instant::now();
+        let mut sent = 0usize;
         for w in &apps {
             for mut req in requests_for(w) {
                 id += 1;
                 req.id = Some(id);
+                sent += 1;
                 let response = client.ask(&req.to_json());
-                if pass == 1 && req.kind == ComputeKind::Partition && partition_response.is_none() {
+                // Capture the cold pass's partition answer: only a
+                // fresh session carries the `batch_shards` counter CI
+                // greps for (warm memo hits skip the session).
+                if pass == 0 && req.kind == ComputeKind::Partition && partition_response.is_none() {
                     partition_response = Some(response);
                 }
             }
         }
+        if pass == 1 {
+            serial_warm = (start.elapsed(), sent);
+        }
+    }
+
+    if pipeline > 0 {
+        id = pipelined_pass(&mut client, &apps, pipeline, id, serial_warm);
+        id = coalescing_storm(&mut client, id);
     }
 
     // One served partition response on stdout — CI greps its session
@@ -152,6 +204,128 @@ fn main() {
 
     client.ask(&format!("{{\"id\":{},\"cmd\":\"shutdown\"}}", id + 2));
     eprintln!("serve_load: shutdown acknowledged");
+}
+
+/// The pipelined pass: the warm request mix re-fired with `depth`
+/// requests in flight on the one connection. Prints throughput vs the
+/// serial warm pass and the queue-wait/compute latency split.
+fn pipelined_pass(
+    client: &mut Client,
+    apps: &[PaperWorkload],
+    depth: usize,
+    mut id: u64,
+    serial_warm: (Duration, usize),
+) -> u64 {
+    // Repeat the warm mix a few times so the window stays full long
+    // enough to measure something.
+    let mut reqs = Vec::new();
+    for _ in 0..4 {
+        for w in apps {
+            for mut req in requests_for(w) {
+                id += 1;
+                req.id = Some(id);
+                reqs.push(req);
+            }
+        }
+    }
+    let mut queue_ns = Vec::with_capacity(reqs.len());
+    let mut compute_ns = Vec::with_capacity(reqs.len());
+    let start = Instant::now();
+    let mut next = 0usize;
+    let mut inflight = 0usize;
+    while next < reqs.len() || inflight > 0 {
+        while inflight < depth && next < reqs.len() {
+            client.send(&reqs[next].to_json());
+            next += 1;
+            inflight += 1;
+        }
+        let response = client.recv();
+        inflight -= 1;
+        if let Some(stats) = response.get("stats") {
+            if let Some(q) = stats.get("queue_nanos").and_then(JsonValue::as_u64) {
+                queue_ns.push(q);
+            }
+            if let Some(c) = stats.get("compute_nanos").and_then(JsonValue::as_u64) {
+                compute_ns.push(c);
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    if queue_ns.is_empty() || compute_ns.is_empty() {
+        fail("pipelined responses carried no queue/compute split");
+    }
+    let throughput = reqs.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    let serial_rps = serial_warm.1 as f64 / serial_warm.0.as_secs_f64().max(1e-9);
+    eprintln!(
+        "serve_load: pipelined depth {depth}: {} requests in {:.3}s ({throughput:.0} req/s; \
+         serial warm pass {serial_rps:.0} req/s)",
+        reqs.len(),
+        elapsed.as_secs_f64(),
+    );
+    eprintln!(
+        "serve_load: queue-wait p50/p95/p99 = {}/{}/{} ns; compute p50/p95/p99 = {}/{}/{} ns",
+        percentile(&queue_ns, 50),
+        percentile(&queue_ns, 95),
+        percentile(&queue_ns, 99),
+        percentile(&compute_ns, 50),
+        percentile(&compute_ns, 95),
+        percentile(&compute_ns, 99),
+    );
+    id
+}
+
+/// The coalescing storm: 16 same-fingerprint verify requests against
+/// an app no earlier pass touched, written back-to-back so the shard
+/// worker drains them as one batch while the cold first request is
+/// still computing. Prints the daemon's `pipeline` stats object to
+/// stdout (the CI grep target) and asserts at least one multi-request
+/// batch was coalesced.
+fn coalescing_storm(client: &mut Client, mut id: u64) -> u64 {
+    let apps = all();
+    let Some(w) = apps.get(2) else {
+        fail("need a third paper workload for the storm");
+    };
+    let mut burst = String::new();
+    let count = 16usize;
+    for _ in 0..count {
+        let mut req = ComputeRequest::new(ComputeKind::Verify, w.source);
+        req.arrays = w.arrays(SEED);
+        req.clusters = vec![0];
+        id += 1;
+        req.id = Some(id);
+        burst.push_str(&req.to_json());
+        burst.push('\n');
+    }
+    client
+        .writer
+        .write_all(burst.as_bytes())
+        .and_then(|()| client.writer.flush())
+        .unwrap_or_else(|e| fail(&format!("storm send failed: {e}")));
+    for _ in 0..count {
+        client.recv();
+    }
+
+    id += 1;
+    let stats = client.ask(&format!("{{\"id\":{id},\"cmd\":\"stats\"}}"));
+    let pipeline = stats
+        .get("result")
+        .and_then(|r| r.get("pipeline"))
+        .unwrap_or_else(|| fail("stats report no pipeline object"));
+    let bucket = |k: &str| {
+        pipeline
+            .get("coalesced")
+            .and_then(|c| c.get(k))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    };
+    println!(
+        "pipeline {}",
+        crate_response_line(pipeline).unwrap_or_else(|| fail("pipeline stats not an object"))
+    );
+    if bucket("k2_4") + bucket("k5_16") == 0 {
+        fail("the verify storm coalesced no multi-request batch");
+    }
+    id
 }
 
 /// Re-renders the captured partition response as one stdout line (the

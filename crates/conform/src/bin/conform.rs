@@ -7,7 +7,13 @@
 //! conform corpus [--seed N] [--count N] [--out P] [--journal P]
 //!                [--chunk N] [--limit N] [--resume] [--threads N]
 //!                [--interrupt-after-chunks N] [--json]
+//!                [--connect host:port] [--connections N]
 //! ```
+//!
+//! With `--connect`, corpus chunks are shipped to a running
+//! `corepart serve` daemon as pipelined requests over `--connections`
+//! persistent connections; TSV and journal stay byte-identical to a
+//! local run.
 //!
 //! Exit codes: 0 all oracles held (or corpus ran), 1 violations found
 //! (report written) or corpus runtime error, 2 usage error.
@@ -15,10 +21,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use corepart::corpus::CorpusOptions;
+use corepart::corpus::{CorpusOptions, RemoteOptions};
 use corepart::json::corpus_to_json;
 use corepart::system::SystemConfig;
-use corepart_conform::corpus::run_gen_corpus;
+use corepart_conform::corpus::run_gen_corpus_with;
 use corepart_conform::report::summary_to_json;
 use corepart_conform::runner::{run, RunnerOptions};
 
@@ -26,7 +32,8 @@ const USAGE: &str = "usage: conform [--seed N] [--cases N] [--fault-every N] \
                      [--max-shrink N] [--report PATH] [--verbose]\n       \
                      conform corpus [--seed N] [--count N] [--out P] [--journal P] \
                      [--chunk N] [--limit N] [--resume] [--threads N] \
-                     [--interrupt-after-chunks N] [--json]";
+                     [--interrupt-after-chunks N] [--json] \
+                     [--connect host:port] [--connections N]";
 
 fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, String> {
     let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
@@ -70,6 +77,8 @@ struct CorpusArgs {
     threads: usize,
     interrupt_after_chunks: Option<usize>,
     json: bool,
+    connect: Option<String>,
+    connections: usize,
 }
 
 fn parse_corpus_args(args: impl Iterator<Item = String>) -> Result<CorpusArgs, String> {
@@ -84,6 +93,8 @@ fn parse_corpus_args(args: impl Iterator<Item = String>) -> Result<CorpusArgs, S
         threads: 0,
         interrupt_after_chunks: None,
         json: false,
+        connect: None,
+        connections: 1,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -103,6 +114,12 @@ fn parse_corpus_args(args: impl Iterator<Item = String>) -> Result<CorpusArgs, S
                     Some(parse_u64("--interrupt-after-chunks", args.next())? as usize);
             }
             "--json" => parsed.json = true,
+            "--connect" => {
+                parsed.connect = Some(args.next().ok_or("--connect needs host:port")?);
+            }
+            "--connections" => {
+                parsed.connections = parse_u64("--connections", args.next())? as usize;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -121,13 +138,19 @@ fn corpus_main(args: CorpusArgs) -> ExitCode {
     let journal = args
         .journal
         .unwrap_or_else(|| PathBuf::from(format!("{}.journal", args.out.display())));
-    let outcome = match run_gen_corpus(
+    let remote = args.connect.as_deref().map(|addr| {
+        let mut r = RemoteOptions::new(addr);
+        r.connections = args.connections;
+        r
+    });
+    let outcome = match run_gen_corpus_with(
         args.seed,
         args.count,
         options,
         &journal,
         &args.out,
         args.resume,
+        remote.as_ref(),
     ) {
         Ok(outcome) => outcome,
         Err(e) => {

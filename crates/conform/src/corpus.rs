@@ -11,7 +11,9 @@
 
 use std::path::Path;
 
-use corepart::corpus::{run_corpus, source_features, CorpusEntry, CorpusOptions, CorpusOutcome};
+use corepart::corpus::{
+    run_corpus_with, source_features, CorpusEntry, CorpusOptions, CorpusOutcome, RemoteOptions,
+};
 use corepart::error::CorepartError;
 use corepart::prepare::Workload;
 use corepart_ir::lower::lower;
@@ -40,6 +42,7 @@ pub fn gen_entry(seed: u64, index: u64) -> Result<CorpusEntry, CorepartError> {
         index,
         seed: case,
         name: gen.name.clone(),
+        source,
         app,
         workload: Workload::from_arrays(gen.workload_arrays()),
         features,
@@ -47,30 +50,53 @@ pub fn gen_entry(seed: u64, index: u64) -> Result<CorpusEntry, CorepartError> {
 }
 
 /// Runs (or resumes) a generated corpus of `count` apps rooted at
-/// `seed` — see [`run_corpus`] for the journal/resume contract. The
+/// `seed` — see [`corepart::corpus::run_corpus`] for the journal/resume contract. The
 /// provider tag is derived from `seed`, so a journal written for one
 /// seed refuses to resume under another.
 ///
 /// # Errors
 ///
-/// Everything [`run_corpus`] can raise, plus generator parse/lower
+/// Everything [`corepart::corpus::run_corpus`] can raise, plus generator parse/lower
 /// failures from [`gen_entry`].
 pub fn run_gen_corpus(
+    seed: u64,
+    count: u64,
+    options: CorpusOptions,
+    journal_path: &Path,
+    out_path: &Path,
+    resume: bool,
+) -> Result<CorpusOutcome, CorepartError> {
+    run_gen_corpus_with(seed, count, options, journal_path, out_path, resume, None)
+}
+
+/// [`run_gen_corpus`] with an optional remote executor: with
+/// `remote = Some(..)` the chunks are shipped to a `corepart serve`
+/// daemon as pipelined requests (`conform corpus --connect`), with the
+/// journal and TSV byte-identical to a local run.
+///
+/// # Errors
+///
+/// Everything [`run_gen_corpus`] can raise, plus connection and
+/// protocol failures against the daemon.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gen_corpus_with(
     seed: u64,
     count: u64,
     mut options: CorpusOptions,
     journal_path: &Path,
     out_path: &Path,
     resume: bool,
+    remote: Option<&RemoteOptions>,
 ) -> Result<CorpusOutcome, CorepartError> {
     options.provider_tag = format!("gen seed={seed}");
-    run_corpus(
+    run_corpus_with(
         count,
         |index| gen_entry(seed, index),
         &options,
         journal_path,
         out_path,
         resume,
+        remote,
     )
 }
 

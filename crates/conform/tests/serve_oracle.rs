@@ -25,14 +25,22 @@ impl Client {
         }
     }
 
-    fn ask(&mut self, line: &str) -> String {
+    fn send(&mut self, line: &str) {
         self.writer.write_all(line.as_bytes()).unwrap();
         self.writer.write_all(b"\n").unwrap();
         self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
         let mut response = String::new();
         self.reader.read_line(&mut response).unwrap();
         assert!(response.ends_with('\n'), "truncated response: {response}");
         response.trim_end().to_owned()
+    }
+
+    fn ask(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
     }
 
     fn store_shape(&mut self) -> (u64, u64) {
@@ -91,6 +99,200 @@ fn served_generated_apps_match_fresh_engines() {
             }
         }
     }
+    client.ask("{\"cmd\":\"shutdown\"}");
+    server.join();
+}
+
+/// Builds the pipelined-oracle request mix: one partition and two
+/// identical verify requests (a coalescable pair) per generated seed,
+/// each paired with its fresh-engine reference response.
+fn pipelined_mix(base: &SystemConfig, ordered: bool) -> Vec<(ComputeRequest, String)> {
+    let mut mix = Vec::new();
+    for seed in 0..6u64 {
+        let app = generate(seed);
+        let mut partition = ComputeRequest::new(ComputeKind::Partition, &app.source());
+        partition.arrays = app.workload_arrays();
+        partition.ordered = ordered;
+        let mut verify = partition.clone();
+        verify.kind = ComputeKind::Verify;
+        verify.clusters = vec![0];
+        for mut req in [partition, verify.clone(), verify] {
+            req.id = Some(mix.len() as u64);
+            let fresh = respond_fresh(base, &req);
+            mix.push((req, fresh));
+        }
+    }
+    // Deterministic shuffle: i -> (7 i + 3) mod 18 is a permutation
+    // of the 18 requests because gcd(7, 18) = 1.
+    let len = mix.len();
+    (0..len).map(|i| mix[(7 * i + 3) % len].clone()).collect()
+}
+
+fn check_against_fresh(served: &str, fresh: &str, context: &str) {
+    if fresh.contains("\"ok\":false") {
+        assert_eq!(served, fresh, "{context}");
+    } else {
+        assert_eq!(
+            result_field(served),
+            result_field(fresh),
+            "{context}: served result drifted from fresh"
+        );
+    }
+}
+
+#[test]
+fn pipelined_shuffled_responses_match_serial_serving() {
+    let server = spawn_server();
+    let base = SystemConfig::new();
+    let mix = pipelined_mix(&base, true);
+    let mut client = Client::connect(&server);
+    // Burst every request before reading a single response; ordered
+    // (default) semantics promise responses in request order even
+    // though the shards finish out of order.
+    for (req, _) in &mix {
+        client.send(&req.to_json());
+    }
+    for (i, (req, fresh)) in mix.iter().enumerate() {
+        let served = client.recv();
+        let echoed = parse_json(&served)
+            .unwrap()
+            .get("id")
+            .and_then(|v| v.as_u64());
+        assert_eq!(echoed, req.id, "burst position {i} answered out of order");
+        check_against_fresh(&served, fresh, &format!("burst position {i}"));
+    }
+    client.ask("{\"cmd\":\"shutdown\"}");
+    server.join();
+}
+
+#[test]
+fn unordered_responses_are_matched_by_id() {
+    let server = spawn_server();
+    let base = SystemConfig::new();
+    let mix = pipelined_mix(&base, false);
+    let mut client = Client::connect(&server);
+    for (req, _) in &mix {
+        client.send(&req.to_json());
+    }
+    // `"ordered":false` waives the reorder buffer: responses arrive in
+    // completion order and the client matches them by echoed id.
+    let mut seen = vec![false; mix.len()];
+    for _ in 0..mix.len() {
+        let served = client.recv();
+        let id = parse_json(&served)
+            .unwrap()
+            .get("id")
+            .and_then(|v| v.as_u64())
+            .expect("unordered response lost its id") as usize;
+        assert!(!seen[id], "id {id} answered twice");
+        seen[id] = true;
+        let (_, fresh) = mix
+            .iter()
+            .find(|(req, _)| req.id == Some(id as u64))
+            .unwrap();
+        check_against_fresh(&served, fresh, &format!("id {id}"));
+    }
+    assert!(seen.iter().all(|&s| s), "some requests were never answered");
+    client.ask("{\"cmd\":\"shutdown\"}");
+    server.join();
+}
+
+#[test]
+fn connection_cap_answers_busy_and_closes() {
+    let server = Server::spawn(
+        SystemConfig::new(),
+        &ServeOptions {
+            port: 0,
+            shards: 2,
+            threads: 1,
+            max_connections: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let mut first = Client::connect(&server);
+    let app = generate(1);
+    let mut req = ComputeRequest::new(ComputeKind::Partition, &app.source());
+    req.arrays = app.workload_arrays();
+    assert!(first.ask(&req.to_json()).contains("\"ok\":true"));
+
+    // The over-cap connection gets exactly one typed `busy` line and
+    // an orderly close, with no request ever read from it.
+    let mut second = Client::connect(&server);
+    let busy = second.recv();
+    assert!(busy.contains("\"ok\":false"), "{busy}");
+    assert!(busy.contains("\"kind\":\"busy\""), "{busy}");
+    let mut rest = String::new();
+    assert_eq!(
+        second.reader.read_line(&mut rest).unwrap(),
+        0,
+        "not closed: {rest}"
+    );
+
+    // The admitted connection is unharmed — and once it hangs up, the
+    // freed slot admits a new client.
+    assert!(first.ask(&req.to_json()).contains("\"store_hit\":true"));
+    drop(first);
+    let mut third = None;
+    for attempt in 0..100 {
+        let mut candidate = Client::connect(&server);
+        candidate.send(&req.to_json());
+        let answer = candidate.recv();
+        if answer.contains("\"ok\":true") {
+            third = Some(candidate);
+            break;
+        }
+        assert!(answer.contains("\"kind\":\"busy\""), "{answer}");
+        assert!(attempt < 99, "slot never freed after disconnect");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    third.unwrap().ask("{\"cmd\":\"shutdown\"}");
+    server.join();
+}
+
+#[test]
+fn request_timeout_returns_typed_error_without_poisoning() {
+    let server = Server::spawn(
+        SystemConfig::new(),
+        &ServeOptions {
+            port: 0,
+            shards: 1,
+            threads: 1,
+            request_timeout_ms: 1,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&server);
+    let app = generate(0);
+    let mut req = ComputeRequest::new(ComputeKind::Partition, &app.source());
+    req.id = Some(7);
+    req.arrays = app.workload_arrays();
+
+    // A cold partition cannot finish inside 1 ms, so the writer
+    // synthesizes a typed timeout error while the shard keeps
+    // computing in the background.
+    let timed_out = client.ask(&req.to_json());
+    assert!(timed_out.contains("\"ok\":false"), "{timed_out}");
+    assert!(timed_out.contains("\"kind\":\"timeout\""), "{timed_out}");
+    assert!(timed_out.contains("\"id\":7"), "{timed_out}");
+
+    // The abandoned compute still memoizes: polling the same request
+    // eventually answers from the warm store, under the same 1 ms
+    // deadline, proving the engine was not poisoned mid-flight.
+    let mut warm = None;
+    for _ in 0..2000 {
+        let answer = client.ask(&req.to_json());
+        if answer.contains("\"ok\":true") {
+            warm = Some(answer);
+            break;
+        }
+        assert!(answer.contains("\"kind\":\"timeout\""), "{answer}");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let warm = warm.expect("request never completed after the timeout");
+    assert!(warm.contains("\"store_hit\":true"), "{warm}");
+
     client.ask("{\"cmd\":\"shutdown\"}");
     server.join();
 }

@@ -10,7 +10,9 @@
 //! corepart schedule  <file.bdl> [--set-index I] [--array ...]...
 //! corepart corpus    <dir> [--out P] [--journal P] [--chunk N]
 //!                    [--limit N] [--resume] [--json] [--array ...]...
+//!                    [--connect host:port] [--connections N]
 //! corepart serve     [--port P] [--shards S] [--store-budget-mb M]
+//!                    [--max-connections N] [--timeout-ms T]
 //! ```
 //!
 //! Every command also accepts the global `--threads N` flag (0 =
@@ -39,15 +41,22 @@
 //!   runner (see [`corepart::corpus`]): a columnar results file, an
 //!   aggregate Pareto frontier, per-feature saving statistics, and an
 //!   on-disk journal that lets an interrupted run continue from the
-//!   last completed chunk with `--resume`.
+//!   last completed chunk with `--resume`. With `--connect host:port`
+//!   the chunks are shipped to a running `corepart serve` daemon as
+//!   pipelined requests over `--connections N` persistent connections
+//!   — TSV, journal, and frontier byte-identical to the local run.
 //! * `serve` — run the long-lived JSON-lines-over-TCP daemon backed by
 //!   the sharded, byte-budgeted warm artifact store (see
-//!   [`corepart::serve`]).
+//!   [`corepart::serve`]), with pipelined connections, cross-request
+//!   verify coalescing, an optional connection cap
+//!   (`--max-connections`) and per-request timeout (`--timeout-ms`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use corepart::corpus::{fingerprint64, run_corpus, source_features, CorpusEntry, CorpusOptions};
+use corepart::corpus::{
+    fingerprint64, run_corpus_with, source_features, CorpusEntry, CorpusOptions, RemoteOptions,
+};
 use corepart::engine::Engine;
 use corepart::error::CorepartError;
 use corepart::explore::{explore, explore_nodes, hardware_weight_sweep};
@@ -83,6 +92,8 @@ struct Args {
     chunk: Option<usize>,
     limit: Option<u64>,
     resume: bool,
+    connect: Option<String>,
+    connections: usize,
 }
 
 fn usage() -> ExitCode {
@@ -92,8 +103,9 @@ fn usage() -> ExitCode {
          [--factor-g G] [--node N] [--vdd V] [--nodes a,b,...] [--vdd-steps N] \
          [--array name=v1,v2,...]...\n       \
          corepart corpus <dir> [--out P] [--journal P] [--chunk N] [--limit N] \
-         [--resume] [--json] [--threads N]\n       \
-         corepart serve [--port P] [--shards S] [--store-budget-mb M] [--threads N]"
+         [--resume] [--json] [--threads N] [--connect host:port] [--connections N]\n       \
+         corepart serve [--port P] [--shards S] [--store-budget-mb M] [--threads N] \
+         [--max-connections N] [--timeout-ms T]"
     );
     ExitCode::from(2)
 }
@@ -128,6 +140,8 @@ fn parse_args() -> Result<Args, String> {
         chunk: None,
         limit: None,
         resume: false,
+        connect: None,
+        connections: 1,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -144,6 +158,25 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--store-budget-mb needs a value")?;
                 let mb: u64 = v.parse().map_err(|_| format!("bad budget `{v}`"))?;
                 args.serve.budget_bytes = mb << 20;
+            }
+            "--max-connections" => {
+                let v = it.next().ok_or("--max-connections needs a value")?;
+                args.serve.max_connections =
+                    v.parse().map_err(|_| format!("bad connection cap `{v}`"))?;
+            }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                args.serve.request_timeout_ms =
+                    v.parse().map_err(|_| format!("bad timeout `{v}`"))?;
+            }
+            "--connect" => {
+                args.connect = Some(it.next().ok_or("--connect needs host:port")?);
+            }
+            "--connections" => {
+                let v = it.next().ok_or("--connections needs a value")?;
+                args.connections = v
+                    .parse()
+                    .map_err(|_| format!("bad connection count `{v}`"))?;
             }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
@@ -304,6 +337,7 @@ fn corpus_over_dir(args: &Args) -> Result<(), String> {
                 .and_then(|s| s.to_str())
                 .unwrap_or("entry")
                 .to_owned(),
+            source,
             app,
             workload: workload.clone(),
             features,
@@ -316,13 +350,19 @@ fn corpus_over_dir(args: &Args) -> Result<(), String> {
         .clone()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from(format!("{}.journal", out.display())));
-    let outcome = run_corpus(
+    let remote = args.connect.as_deref().map(|addr| {
+        let mut r = RemoteOptions::new(addr);
+        r.connections = args.connections;
+        r
+    });
+    let outcome = run_corpus_with(
         files.len() as u64,
         provider,
         &options,
         &journal,
         &out,
         args.resume,
+        remote.as_ref(),
     )
     .map_err(|e| e.to_string())?;
     if args.json {

@@ -36,7 +36,8 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
 use std::path::Path;
 
 use corepart_ir::ast::{Program, Stmt};
@@ -45,9 +46,11 @@ use corepart_ir::cdfg::Application;
 use crate::engine::Engine;
 use crate::error::CorepartError;
 use crate::explore::{DesignPoint, Exploration};
+use crate::json::{parse_json, JsonValue};
 use crate::parallel::{par_map, resolve_threads};
 use crate::partition::Partitioner;
 use crate::prepare::Workload;
+use crate::serve::{ComputeKind, ComputeRequest, CorpusMeta};
 use crate::system::SystemConfig;
 use corepart_tech::units::GateEq;
 
@@ -123,6 +126,11 @@ pub struct CorpusEntry {
     pub seed: u64,
     /// The entry name (sanitized into one results-file cell).
     pub name: String,
+    /// The raw BDL source text. The distributed client ships it
+    /// verbatim to the serve daemon, which re-parses and re-lowers it —
+    /// so both sides derive features and applications from the same
+    /// bytes.
+    pub source: String,
     /// The lowered application.
     pub app: Application,
     /// The workload every evaluation runs under.
@@ -201,6 +209,28 @@ impl CorpusOptions {
             sanitize(&self.provider_tag),
             fingerprint64(format!("{:?}", self.base).as_bytes()),
         )
+    }
+}
+
+/// Distributed execution: where and how to ship corpus chunks to a
+/// running `corepart serve` daemon instead of evaluating in-process.
+#[derive(Debug, Clone)]
+pub struct RemoteOptions {
+    /// The daemon's `host:port`.
+    pub addr: String,
+    /// Persistent connections to pipeline requests over (`0` = 1).
+    /// Each chunk is split round-robin across them, all requests
+    /// written before any response is read.
+    pub connections: usize,
+}
+
+impl RemoteOptions {
+    /// Options for one connection to `addr`.
+    pub fn new(addr: &str) -> Self {
+        RemoteOptions {
+            addr: addr.to_owned(),
+            connections: 1,
+        }
     }
 }
 
@@ -515,7 +545,11 @@ struct ChunkRecord {
     points: Vec<DesignPoint>,
 }
 
-fn point_to_line(p: &DesignPoint) -> String {
+/// Renders one design point as a tagged journal line (`point\t...`).
+/// Public because the serve daemon's `corpus` command ships points as
+/// these exact lines, so the distributed client folds them into its
+/// journal byte-identically to local evaluation.
+pub fn point_to_line(p: &DesignPoint) -> String {
     format!(
         "point\t{}\t{}\t{}\t{}\t{}\t{}",
         sanitize(&p.label).replace('\t', "_"),
@@ -525,6 +559,19 @@ fn point_to_line(p: &DesignPoint) -> String {
         p.saving_percent,
         u8::from(p.is_initial),
     )
+}
+
+/// Parses a tagged point line produced by [`point_to_line`] — the
+/// inverse the distributed client applies to server responses.
+/// Round-trips every `f64` bit-exactly.
+pub fn point_from_line(line: &str) -> Result<DesignPoint, CorepartError> {
+    let rest = line
+        .strip_prefix("point\t")
+        .ok_or_else(|| CorepartError::Config {
+            message: format!("not a point line: {line:?}"),
+        })?;
+    let cells: Vec<&str> = rest.split('\t').collect();
+    point_from_cells(&cells)
 }
 
 fn point_from_cells(cells: &[&str]) -> Result<DesignPoint, CorepartError> {
@@ -755,7 +802,52 @@ pub fn run_corpus<P>(
 where
     P: Fn(u64) -> Result<CorpusEntry, CorepartError> + Sync,
 {
+    run_corpus_with(
+        count,
+        provider,
+        options,
+        journal_path,
+        out_path,
+        resume,
+        None,
+    )
+}
+
+/// [`run_corpus`] with an optional remote executor: with
+/// `remote = Some(..)`, chunks are shipped to a `corepart serve`
+/// daemon as pipelined `corpus` requests over N persistent connections
+/// instead of being evaluated in-process. The journal parameter line,
+/// chunk records, TSV, and frontier are byte-identical either way (the
+/// server evaluates through the same [`evaluate_corpus_entry`] and
+/// ships rows/points as the exact journal lines), so a run may even be
+/// interrupted locally and resumed remotely or vice versa.
+///
+/// # Errors
+///
+/// Everything [`run_corpus`] can raise, plus connection and protocol
+/// failures against the daemon — raised *before* the journal is
+/// touched when no connection can be established at all.
+pub fn run_corpus_with<P>(
+    count: u64,
+    provider: P,
+    options: &CorpusOptions,
+    journal_path: &Path,
+    out_path: &Path,
+    resume: bool,
+    remote: Option<&RemoteOptions>,
+) -> Result<CorpusOutcome, CorepartError>
+where
+    P: Fn(u64) -> Result<CorpusEntry, CorepartError> + Sync,
+{
     options.validate(count)?;
+    if remote.is_some() && options.base.operating_point.is_some() {
+        return Err(CorepartError::Config {
+            message: "distributed corpus runs do not support operating-point re-weighting".into(),
+        });
+    }
+    // Connect before creating or rewriting the journal: a dead address
+    // must not disturb a resumable run on disk.
+    let mut remote_conns = remote.map(RemoteCorpus::connect).transpose()?;
     let params = options.params(count);
     let (mut journal, mut done) = if resume && journal_path.exists() {
         Journal::resume(journal_path, &params)?
@@ -804,7 +896,10 @@ where
                 }
                 let entries: Vec<CorpusEntry> =
                     (lo..hi).map(&provider).collect::<Result<_, _>>()?;
-                let record = evaluate_chunk(&entries, options, threads)?;
+                let record = match remote_conns.as_mut() {
+                    Some(rc) => rc.evaluate_chunk(&entries, options)?,
+                    None => evaluate_chunk(&entries, options, threads)?,
+                };
                 journal.append_chunk(k, &record)?;
                 evaluated += record.rows.len() as u64;
                 fresh_chunks += 1;
@@ -845,7 +940,7 @@ fn evaluate_chunk(
 ) -> Result<ChunkRecord, CorepartError> {
     let engine = Engine::new(options.base.clone().with_threads(1))?;
     let results = par_map(entries, threads, |_, entry| {
-        evaluate_entry(&engine, entry, options)
+        evaluate_corpus_entry(&engine, entry, options)
     });
     let mut record = ChunkRecord::default();
     for result in results {
@@ -856,11 +951,196 @@ fn evaluate_chunk(
     Ok(record)
 }
 
+/// The distributed executor: N persistent connections to one serve
+/// daemon, each chunk shipped as pipelined `corpus` requests (all
+/// writes before any read) split round-robin across the connections.
+/// Responses come back in request order per connection, so reassembly
+/// into corpus order needs no buffering beyond the daemon's own
+/// reorder logic.
+struct RemoteCorpus {
+    addr: String,
+    conns: Vec<(BufReader<TcpStream>, TcpStream)>,
+}
+
+impl RemoteCorpus {
+    /// Opens every connection up front, so a dead address fails the
+    /// run before any journal state is touched.
+    fn connect(options: &RemoteOptions) -> Result<RemoteCorpus, CorepartError> {
+        let n = options.connections.max(1);
+        let mut conns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let stream = TcpStream::connect(&options.addr).map_err(|e| CorepartError::Config {
+                message: format!("cannot connect to serve daemon {}: {e}", options.addr),
+            })?;
+            let _ = stream.set_nodelay(true);
+            let writer = stream.try_clone().map_err(|e| CorepartError::Config {
+                message: format!("cannot clone connection to {}: {e}", options.addr),
+            })?;
+            conns.push((BufReader::new(stream), writer));
+        }
+        Ok(RemoteCorpus {
+            addr: options.addr.clone(),
+            conns,
+        })
+    }
+
+    /// Ships one chunk and reassembles the server's rows and points
+    /// into a [`ChunkRecord`] in corpus-entry order.
+    fn evaluate_chunk(
+        &mut self,
+        entries: &[CorpusEntry],
+        options: &CorpusOptions,
+    ) -> Result<ChunkRecord, CorepartError> {
+        let addr = self.addr.clone();
+        let net = |e: std::io::Error| CorepartError::Config {
+            message: format!("serve daemon {addr}: connection failed mid-chunk: {e}"),
+        };
+        let mut batches: Vec<Vec<&CorpusEntry>> = vec![Vec::new(); self.conns.len()];
+        for (i, entry) in entries.iter().enumerate() {
+            batches[i % self.conns.len()].push(entry);
+        }
+        // Write phase: every request of the chunk is in flight before
+        // the first response is read — the pipelining that lets one
+        // client keep every store shard busy.
+        for ((_, writer), batch) in self.conns.iter_mut().zip(&batches) {
+            let mut text = String::new();
+            for entry in batch {
+                text.push_str(&corpus_request(entry, options).to_json());
+                text.push('\n');
+            }
+            writer
+                .write_all(text.as_bytes())
+                .and_then(|()| writer.flush())
+                .map_err(net)?;
+        }
+        // Read phase: per connection, responses arrive in request
+        // order (corpus requests stay `ordered`).
+        let mut results: Vec<Option<(CorpusRow, Vec<DesignPoint>)>> =
+            entries.iter().map(|_| None).collect();
+        for (c, batch) in batches.iter().enumerate() {
+            for entry in batch {
+                let mut line = String::new();
+                let read = self.conns[c].0.read_line(&mut line).map_err(net)?;
+                if read == 0 {
+                    return Err(CorepartError::Config {
+                        message: format!(
+                            "serve daemon {addr} closed the connection mid-chunk \
+                             (entry {} unanswered); re-run with --resume",
+                            entry.index
+                        ),
+                    });
+                }
+                // Entries are consecutive corpus indices, so the slot
+                // follows from the first entry's index.
+                let pos = (entry.index - entries[0].index) as usize;
+                results[pos] = Some(parse_corpus_response(line.trim_end(), entry, &addr)?);
+            }
+        }
+        let mut record = ChunkRecord::default();
+        for result in results {
+            let (row, points) = result.expect("every entry was assigned a connection");
+            record.rows.push(row);
+            record.points.extend(points);
+        }
+        Ok(record)
+    }
+}
+
+/// Builds the wire request for one corpus entry: source and workload
+/// shipped verbatim, the searchable knobs pinned explicitly so the
+/// daemon's own base configuration cannot leak into the results.
+/// (`factor_g` is irrelevant — [`evaluate_corpus_entry`] overrides it
+/// per sweep step; every *other* configuration axis must already match
+/// between client and daemon, which the journal's config fingerprint
+/// cross-checks on resume.)
+fn corpus_request(entry: &CorpusEntry, options: &CorpusOptions) -> ComputeRequest {
+    let mut req = ComputeRequest::new(ComputeKind::Corpus, &entry.source);
+    req.id = Some(entry.index);
+    req.arrays = entry.workload.arrays.clone();
+    req.n_max = Some(options.base.n_max);
+    req.factor_f = Some(options.base.factor_f);
+    req.weights = Some(options.g_sweep.clone());
+    req.corpus = Some(CorpusMeta {
+        index: entry.index,
+        seed: entry.seed,
+        name: entry.name.clone(),
+    });
+    req
+}
+
+/// Parses one `corpus` response line back into the row and points
+/// local evaluation would have produced — bit-exactly, because both
+/// travel as the journal's own tab-separated renderings.
+fn parse_corpus_response(
+    line: &str,
+    entry: &CorpusEntry,
+    addr: &str,
+) -> Result<(CorpusRow, Vec<DesignPoint>), CorepartError> {
+    let bad = |what: String| CorepartError::Config {
+        message: format!("serve daemon {addr}: {what}"),
+    };
+    let v = parse_json(line).map_err(|e| bad(format!("unparseable response: {e}")))?;
+    if v.get("id").and_then(JsonValue::as_u64) != Some(entry.index) {
+        return Err(bad(format!(
+            "response out of order: expected id {}, got {line:?}",
+            entry.index
+        )));
+    }
+    if !matches!(v.get("ok"), Some(JsonValue::Bool(true))) {
+        let kind = v
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown");
+        let message = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("");
+        return Err(bad(format!(
+            "entry {} ({}) rejected [{kind}]: {message}",
+            entry.index, entry.name
+        )));
+    }
+    let result = v
+        .get("result")
+        .ok_or_else(|| bad("response has no result".into()))?;
+    let row_line = result
+        .get("row")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| bad("corpus result has no row".into()))?;
+    let row = CorpusRow::parse_line(row_line)?;
+    if row.index != entry.index {
+        return Err(bad(format!(
+            "row index {} does not match entry {}",
+            row.index, entry.index
+        )));
+    }
+    let rendered = result
+        .get("points")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| bad("corpus result has no points".into()))?;
+    let mut points = Vec::with_capacity(rendered.len());
+    for p in rendered {
+        let text = p
+            .as_str()
+            .ok_or_else(|| bad("corpus points must be strings".into()))?;
+        points.push(point_from_line(text)?);
+    }
+    Ok((row, points))
+}
+
 /// Runs the `G` sweep on one entry and reduces it to a row plus its
 /// design points. The row's search/hardware columns come from the
 /// sweep configuration whose chosen design has the lowest energy
 /// (ties broken toward the earlier weight).
-fn evaluate_entry(
+///
+/// Public because the serve daemon's `corpus` command evaluates
+/// through this exact function — the distributed client's byte-
+/// identity to local runs rests on both paths sharing it. Only
+/// `options.base` and `options.g_sweep` matter here (each sweep step
+/// forces `threads = 1`); the chunk/journal knobs are the runner's.
+pub fn evaluate_corpus_entry(
     engine: &Engine,
     entry: &CorpusEntry,
     options: &CorpusOptions,

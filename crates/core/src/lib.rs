@@ -71,7 +71,8 @@ pub mod system;
 pub mod verify;
 
 pub use corpus::{
-    run_corpus, CorpusEntry, CorpusOptions, CorpusOutcome, CorpusRow, ParetoAccumulator,
+    run_corpus, run_corpus_with, CorpusEntry, CorpusOptions, CorpusOutcome, CorpusRow,
+    ParetoAccumulator, RemoteOptions,
 };
 pub use engine::{Baseline, Engine, Session, SessionStats};
 pub use error::CorepartError;
@@ -87,7 +88,7 @@ pub use partition::{PartitionOutcome, Partitioner, ScheduleKey, SearchStats};
 pub use prepare::{prepare, PreparedApp, Workload};
 pub use report::{figure6, render_figure6, Figure6Point, Table1, Table1Entry};
 pub use serve::{ServeOptions, Server};
-pub use store::{ArtifactStore, StoreOptions, StoreStats};
+pub use store::{ArtifactStore, PipelineStats, StoreOptions, StoreStats};
 pub use system::{DesignMetrics, SystemConfig};
 pub use verify::{replay_run, ReplayEngine, VerifiedRun};
 

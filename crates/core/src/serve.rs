@@ -3,14 +3,19 @@
 //!
 //! # Protocol
 //!
-//! One request per line, one response line per request, in order:
+//! One request per line, one response line per request, in request
+//! order (clients may pipeline: many requests in flight on one
+//! connection; a request carrying `"ordered":false` opts out of
+//! ordering and is answered — matched by `id` — the moment its shard
+//! finishes):
 //!
 //! ```text
 //! {"id":1,"cmd":"partition","source":"app d; ...","arrays":{"x":[1,2]}}
 //! {"id":2,"cmd":"explore","source":"...","weights":[0.0,1.0]}
 //! {"id":3,"cmd":"verify","source":"...","clusters":[0],"set_index":2}
-//! {"id":4,"cmd":"stats"}
-//! {"id":5,"cmd":"shutdown"}
+//! {"id":4,"cmd":"corpus","source":"...","weights":[0.0,1.0],"index":7,"seed":"9","name":"gen7"}
+//! {"id":5,"cmd":"stats"}
+//! {"id":6,"cmd":"shutdown"}
 //! ```
 //!
 //! Compute requests may override the searchable knobs (`n_max`,
@@ -49,21 +54,25 @@
 //! the hot artifact-lookup path never contends on a global lock — see
 //! [`ArtifactStore`].
 
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 use corepart_ir::cdfg::Application;
 use corepart_ir::cluster::ClusterId;
 use corepart_ir::lower::lower;
 use corepart_ir::parser::parse;
 
+use crate::corpus::{evaluate_corpus_entry, point_to_line, source_features, CorpusEntry};
 use crate::engine::{session_identity, Engine, SessionStats};
 use crate::error::CorepartError;
 use crate::evaluate::Partition;
 use crate::explore::{explore_in, hardware_weight_sweep};
+use crate::verify::BatchOptions;
 use corepart_tech::scaling::OperatingPoint;
 
 use crate::json::{
@@ -95,6 +104,15 @@ pub struct ServeOptions {
     /// Verification threads per served session (0 = automatic) — the
     /// sharded batched-replay kernel's worker count.
     pub threads: usize,
+    /// Maximum simultaneous client connections (0 = unlimited).
+    /// Over-cap connects are answered with one `busy` error line and
+    /// closed.
+    pub max_connections: usize,
+    /// Per-request wall-clock timeout in milliseconds (0 = none). A
+    /// request past its deadline is answered with a `timeout` error;
+    /// its compute still finishes on the shard worker (and is
+    /// memoized), so the engine is never poisoned mid-flight.
+    pub request_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -105,11 +123,13 @@ impl Default for ServeOptions {
             shards: store.shards,
             budget_bytes: store.budget_bytes,
             threads: 0,
+            max_connections: 0,
+            request_timeout_ms: 0,
         }
     }
 }
 
-/// The three compute commands of the serve protocol.
+/// The four compute commands of the serve protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ComputeKind {
     /// Run the full design flow (`outcome_result_json` payload).
@@ -118,6 +138,10 @@ pub enum ComputeKind {
     Explore,
     /// Evaluate one explicit partition (`verify_result_json` payload).
     Verify,
+    /// Evaluate one corpus entry — the `G` sweep reduced to a results
+    /// row plus its design points (the distributed corpus client's
+    /// request; `weights` carries the sweep).
+    Corpus,
 }
 
 impl ComputeKind {
@@ -127,8 +151,21 @@ impl ComputeKind {
             ComputeKind::Partition => "partition",
             ComputeKind::Explore => "explore",
             ComputeKind::Verify => "verify",
+            ComputeKind::Corpus => "corpus",
         }
     }
+}
+
+/// Corpus-entry metadata a `corpus` request carries verbatim into its
+/// results row (the server recomputes everything else from `source`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusMeta {
+    /// The entry's corpus index.
+    pub index: u64,
+    /// The deterministic per-entry seed.
+    pub seed: u64,
+    /// The entry name.
+    pub name: String,
 }
 
 /// One parsed compute request.
@@ -157,6 +194,14 @@ pub struct ComputeRequest {
     /// Optional operating point the answer is re-weighed to (the
     /// simulation itself always runs at the base process).
     pub operating_point: Option<OperatingPoint>,
+    /// Whether the response must come back in request order (the
+    /// default). With `false` the client matches responses by `id`,
+    /// and a pipelined connection returns each answer as soon as its
+    /// shard finishes. Never part of the result memo key — ordering is
+    /// transport, not content.
+    pub ordered: bool,
+    /// Corpus-entry metadata (`corpus` requests only).
+    pub corpus: Option<CorpusMeta>,
 }
 
 impl ComputeRequest {
@@ -174,6 +219,8 @@ impl ComputeRequest {
             clusters: Vec::new(),
             set_index: 2,
             operating_point: None,
+            ordered: true,
+            corpus: None,
         }
     }
 
@@ -220,6 +267,16 @@ impl ComputeRequest {
                 "\"operating_point\":{{\"node_nm\":{},\"vdd\":{}}}",
                 p.node_nm, p.vdd
             ));
+        }
+        if let Some(meta) = &self.corpus {
+            fields.push(format!("\"index\":{}", meta.index));
+            // A full 64-bit case seed does not survive a float round
+            // trip, so the wire carries it as a decimal string.
+            fields.push(format!("\"seed\":\"{}\"", meta.seed));
+            fields.push(format!("\"name\":\"{}\"", json_escape(&meta.name)));
+        }
+        if !self.ordered {
+            fields.push("\"ordered\":false".to_owned());
         }
         format!("{{{}}}", fields.join(","))
     }
@@ -269,6 +326,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
         "partition" => ComputeKind::Partition,
         "explore" => ComputeKind::Explore,
         "verify" => ComputeKind::Verify,
+        "corpus" => ComputeKind::Corpus,
         other => return Err(format!("unknown cmd `{other}`")),
     };
     let source = v
@@ -346,6 +404,39 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 node_nm: node_nm as u32,
                 vdd,
             });
+        }
+    }
+    match v.get("ordered") {
+        None | Some(JsonValue::Null) => {}
+        Some(JsonValue::Bool(b)) => req.ordered = *b,
+        Some(_) => return Err("`ordered` must be a boolean".into()),
+    }
+    if kind == ComputeKind::Corpus {
+        let index = opt_u64(&v, "index")?.ok_or("corpus requests need an `index`")?;
+        let seed_value = v
+            .get("seed")
+            .ok_or_else(|| "corpus requests need a `seed`".to_string())?;
+        let seed = match seed_value.as_str() {
+            // The canonical wire format: a decimal string, because a
+            // full 64-bit seed does not survive a float round trip.
+            Some(text) => text
+                .parse::<u64>()
+                .map_err(|_| format!("`seed` must be a decimal u64, got '{text}'"))?,
+            None => seed_value
+                .as_u64()
+                .ok_or_else(|| "`seed` must be a decimal string or integer".to_string())?,
+        };
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("corpus requests need a string `name`")?;
+        req.corpus = Some(CorpusMeta {
+            index,
+            seed,
+            name: name.to_owned(),
+        });
+        if req.weights.as_ref().is_none_or(Vec::is_empty) {
+            return Err("corpus requests need a non-empty `weights` G sweep".into());
         }
     }
     Ok(req.into())
@@ -461,6 +552,49 @@ fn compute_result(
             let ex = explore_in(engine, app, workload, &configs)?;
             Ok((exploration_to_json_at(&ex, point.as_ref()), None))
         }
+        ComputeKind::Corpus => {
+            let meta = req.corpus.as_ref().ok_or_else(|| CorepartError::Config {
+                message: "corpus requests need entry metadata".into(),
+            })?;
+            let g_sweep = req
+                .weights
+                .clone()
+                .filter(|w| !w.is_empty())
+                .ok_or_else(|| CorepartError::Config {
+                    message: "corpus requests need a non-empty `weights` G sweep".into(),
+                })?;
+            // The corpus evaluation never re-weighs to an operating
+            // point (points are re-weighed downstream, never during
+            // search), so the knob is stripped — a pointed request
+            // still answers bit-identically to an unpointed one.
+            let mut base = config;
+            base.operating_point = None;
+            let mut options = crate::corpus::CorpusOptions::new(base);
+            options.g_sweep = g_sweep;
+            let features = source_features(&parse(&req.source)?);
+            let entry = CorpusEntry {
+                index: meta.index,
+                seed: meta.seed,
+                name: meta.name.clone(),
+                source: req.source.clone(),
+                app: app.clone(),
+                workload: workload.clone(),
+                features,
+            };
+            let (row, points) = evaluate_corpus_entry(engine, &entry, &options)?;
+            let rendered: Vec<String> = points
+                .iter()
+                .map(|p| format!("\"{}\"", json_escape(&point_to_line(p))))
+                .collect();
+            Ok((
+                format!(
+                    "{{\"row\":\"{}\",\"points\":[{}]}}",
+                    json_escape(&row.to_line()),
+                    rendered.join(",")
+                ),
+                None,
+            ))
+        }
     }
 }
 
@@ -556,18 +690,37 @@ pub fn stats_response(store: &ArtifactStore, id: Option<u64>) -> String {
             format!(
                 concat!(
                     "{{\"requests\":{},\"hits\":{},\"evictions\":{},",
-                    "\"declined\":{},\"entries\":{},\"bytes\":{}}}"
+                    "\"declined\":{},\"entries\":{},\"bytes\":{},",
+                    "\"depth\":{},\"depth_max\":{}}}"
                 ),
-                sh.requests, sh.hits, sh.evictions, sh.declined, sh.entries, sh.bytes,
+                sh.requests,
+                sh.hits,
+                sh.evictions,
+                sh.declined,
+                sh.entries,
+                sh.bytes,
+                sh.depth,
+                sh.depth_max,
             )
         })
         .collect();
+    let pipeline = format!(
+        concat!(
+            "{{\"queue_wait_nanos\":{},\"compute_nanos\":{},",
+            "\"coalesced\":{{\"k1\":{},\"k2_4\":{},\"k5_16\":{}}}}}"
+        ),
+        s.pipeline.queue_wait_nanos,
+        s.pipeline.compute_nanos,
+        s.pipeline.coalesced_k1,
+        s.pipeline.coalesced_k2_4,
+        s.pipeline.coalesced_k5_16,
+    );
     format!(
         concat!(
             "{{\"id\":{},\"ok\":true,\"cmd\":\"stats\",\"result\":",
             "{{\"budget_bytes\":{},\"bytes\":{},\"requests\":{},\"hits\":{},",
             "\"hit_rate\":{},\"evictions\":{},\"declined\":{},",
-            "\"latency\":{},\"shards\":[{}]}}}}"
+            "\"latency\":{},\"pipeline\":{},\"shards\":[{}]}}}}"
         ),
         id_json(id),
         s.budget_bytes,
@@ -578,6 +731,7 @@ pub fn stats_response(store: &ArtifactStore, id: Option<u64>) -> String {
         s.evictions,
         s.declined,
         latency_json(&s.latency),
+        pipeline,
         shards.join(","),
     )
 }
@@ -588,7 +742,7 @@ pub fn stats_response(store: &ArtifactStore, id: Option<u64>) -> String {
 /// the second from its memo without touching the engine.
 fn request_result_key(identity: &str, req: &ComputeRequest) -> String {
     format!(
-        "{identity}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}",
+        "{identity}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
         req.kind.name(),
         req.n_max,
         req.factor_f,
@@ -597,6 +751,7 @@ fn request_result_key(identity: &str, req: &ComputeRequest) -> String {
         req.clusters,
         req.set_index,
         req.operating_point,
+        req.corpus,
     )
 }
 
@@ -649,21 +804,190 @@ pub fn handle_line(store: &ArtifactStore, line: &str) -> (String, bool) {
     match parse_request(line) {
         Err(message) => (error_response_kind(None, "request", &message), false),
         Ok(Request::Stats { id }) => (stats_response(store, id), false),
-        Ok(Request::Shutdown { id }) => (
-            format!(
-                "{{\"id\":{},\"ok\":true,\"cmd\":\"shutdown\",\"result\":null}}",
-                id_json(id)
-            ),
-            true,
-        ),
+        Ok(Request::Shutdown { id }) => (shutdown_response(id), true),
         Ok(Request::Compute(req)) => (respond_compute(store, &req), false),
     }
 }
 
-/// One routed compute job: the raw request line and its reply slot.
+fn shutdown_response(id: Option<u64>) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"cmd\":\"shutdown\",\"result\":null}}",
+        id_json(id)
+    )
+}
+
+/// One routed compute job: the parsed request, its connection-local
+/// sequence number, and the reply slot into the connection's writer.
 struct Job {
-    line: String,
-    reply: mpsc::Sender<String>,
+    seq: u64,
+    req: Box<ComputeRequest>,
+    enqueued: Instant,
+    reply: mpsc::Sender<WriterMsg>,
+}
+
+/// Messages into a connection's writer thread.
+enum WriterMsg {
+    /// The reader announces every request in sequence order before
+    /// routing it, so the writer knows what to wait for (and when to
+    /// give up on it).
+    Expect {
+        seq: u64,
+        id: Option<u64>,
+        ordered: bool,
+        deadline: Option<Instant>,
+    },
+    /// A response for `seq` is ready (from a shard worker, or inline
+    /// from the reader for stats/shutdown/parse errors).
+    Done {
+        seq: u64,
+        response: String,
+        stop: bool,
+    },
+}
+
+/// How many queued jobs one worker drain inspects for coalescing —
+/// also the widest verify batch one drain can form (the PR 5/6 kernel
+/// peaks around K=16).
+const MAX_DRAIN: usize = 16;
+
+/// One shard worker: drain the queue, coalesce same-trace verifies
+/// into one batched replay prewarm, then answer every job through the
+/// unchanged solo compute path (whose responses are byte-identical to
+/// serial serving — the prewarm only populates memos the solo path
+/// reads).
+fn worker_loop(store: &ArtifactStore, shard: usize, rx: &mpsc::Receiver<Job>) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < MAX_DRAIN {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        coalesce_verifies(store, &batch);
+        for job in batch {
+            store.note_dequeued(shard);
+            let queue_nanos = job.enqueued.elapsed().as_nanos() as u64;
+            let started = Instant::now();
+            let response = respond_compute(store, &job.req);
+            let compute_nanos = started.elapsed().as_nanos() as u64;
+            store.note_request_split(queue_nanos, compute_nanos);
+            let response = splice_timing(response, queue_nanos, compute_nanos);
+            let _ = job.reply.send(WriterMsg::Done {
+                seq: job.seq,
+                response,
+                stop: false,
+            });
+        }
+    }
+}
+
+/// The coalescing key: verify requests that may share one batched
+/// replay walk. Everything that could change the prepared chain or the
+/// replayed trace is included; the operating point is not (it re-weighs
+/// rendering only and is excluded from the engine's artifact identity).
+type CoalesceKey = (u64, Option<usize>, Option<u64>, Option<u64>);
+
+fn coalesce_key(req: &ComputeRequest) -> CoalesceKey {
+    (
+        request_fingerprint(req),
+        req.n_max,
+        req.factor_f.map(f64::to_bits),
+        req.factor_g.map(f64::to_bits),
+    )
+}
+
+/// Groups the drained batch's verify requests by [`coalesce_key`],
+/// records each group in the coalescing histogram, and prewarms every
+/// group of two or more.
+fn coalesce_verifies(store: &ArtifactStore, batch: &[Job]) {
+    let mut groups: HashMap<CoalesceKey, Vec<&ComputeRequest>> = HashMap::new();
+    let mut order = Vec::new();
+    for job in batch {
+        if job.req.kind == ComputeKind::Verify {
+            let key = coalesce_key(&job.req);
+            let group = groups.entry(key).or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            });
+            group.push(&*job.req);
+        }
+    }
+    for key in order {
+        let group = &groups[&key];
+        store.note_coalesced(group.len());
+        if group.len() >= 2 {
+            prewarm_verify_group(store, group);
+        }
+    }
+}
+
+/// Verifies a same-trace group's hardware sets as lanes of ONE
+/// batched replay call, publishing each lane into the shard engine's
+/// replay memo. The batch kernel is pinned bit-identical to sequential
+/// verification, so the solo responses that follow (all memo hits) are
+/// byte-identical to serial serving; only wall time changes. Any
+/// failure here is simply skipped — the solo path recomputes (and
+/// properly reports) whatever the batch could not, including memoized
+/// per-lane errors.
+fn prewarm_verify_group(store: &ArtifactStore, group: &[&ComputeRequest]) {
+    let first = group[0];
+    let Ok(app) = parse_app(&first.source) else {
+        return;
+    };
+    let workload = Workload::from_arrays(first.arrays.clone());
+    let mut config = effective_config(store.base_config(), first);
+    config.operating_point = None;
+    let engine = store.shard_engine(request_fingerprint(first));
+    let Ok(session) = engine.session_with_config(&app, &workload, config) else {
+        return;
+    };
+    let Ok(prepared) = session.prepared() else {
+        return;
+    };
+    let chain_len = prepared.chain.len();
+    let mut lanes: Vec<HashSet<corepart_ir::op::BlockId>> = Vec::with_capacity(group.len());
+    for req in group {
+        if req.clusters.is_empty() || req.clusters.iter().any(|&c| c as usize >= chain_len) {
+            continue;
+        }
+        let mut hw = HashSet::new();
+        for &cid in &req.clusters {
+            hw.extend(
+                prepared
+                    .chain
+                    .cluster(ClusterId(cid))
+                    .blocks
+                    .iter()
+                    .copied(),
+            );
+        }
+        lanes.push(hw);
+    }
+    if lanes.len() < 2 {
+        return;
+    }
+    let Ok(Some(replay)) = session.replay_engine() else {
+        return;
+    };
+    let _ = replay.verify_batch_with(
+        session.config(),
+        &lanes,
+        BatchOptions::threaded(session.threads()),
+    );
+}
+
+/// Splices the queue-wait/compute split into a success response's
+/// advisory `stats` object. Error responses are left byte-identical to
+/// the fresh oracle's (the conformance oracle compares them whole).
+fn splice_timing(response: String, queue_nanos: u64, compute_nanos: u64) -> String {
+    if !response.contains("\"ok\":true,") || !response.ends_with("}}") {
+        return response;
+    }
+    format!(
+        "{},\"queue_nanos\":{queue_nanos},\"compute_nanos\":{compute_nanos}}}}}",
+        &response[..response.len() - 2]
+    )
 }
 
 /// A running serve daemon: the listener, one worker thread per store
@@ -710,6 +1034,9 @@ impl Server {
             message: format!("cannot resolve the listen address: {e}"),
         })?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let timeout =
+            (opts.request_timeout_ms > 0).then(|| Duration::from_millis(opts.request_timeout_ms));
+        let max_connections = opts.max_connections;
 
         let mut senders = Vec::with_capacity(store.shards());
         for shard in 0..store.shards() {
@@ -718,12 +1045,7 @@ impl Server {
             let worker_store = Arc::clone(&store);
             thread::Builder::new()
                 .name(format!("corepart-shard-{shard}"))
-                .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        let (response, _) = handle_line(&worker_store, &job.line);
-                        let _ = job.reply.send(response);
-                    }
-                })
+                .spawn(move || worker_loop(&worker_store, shard, &rx))
                 .map_err(spawn_err)?;
         }
         let senders = Arc::new(senders);
@@ -733,25 +1055,44 @@ impl Server {
         let listener_handle = thread::Builder::new()
             .name("corepart-accept".into())
             .spawn(move || {
+                let active = Arc::new(AtomicUsize::new(0));
                 for stream in listener.incoming() {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(stream) = stream else { continue };
+                    let Ok(mut stream) = stream else { continue };
+                    if max_connections > 0 && active.load(Ordering::SeqCst) >= max_connections {
+                        let busy = error_response_kind(
+                            None,
+                            "busy",
+                            &format!("connection limit of {max_connections} reached"),
+                        );
+                        let _ = stream.write_all(busy.as_bytes());
+                        let _ = stream.write_all(b"\n");
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::SeqCst);
                     let conn_store = Arc::clone(&accept_store);
                     let conn_senders = Arc::clone(&senders);
                     let conn_shutdown = Arc::clone(&accept_shutdown);
-                    let _ = thread::Builder::new()
-                        .name("corepart-conn".into())
-                        .spawn(move || {
-                            serve_connection(
-                                stream,
-                                &conn_store,
-                                &conn_senders,
-                                &conn_shutdown,
-                                addr,
-                            );
-                        });
+                    let conn_active = Arc::clone(&active);
+                    let spawned =
+                        thread::Builder::new()
+                            .name("corepart-conn".into())
+                            .spawn(move || {
+                                serve_connection(
+                                    stream,
+                                    &conn_store,
+                                    &conn_senders,
+                                    &conn_shutdown,
+                                    addr,
+                                    timeout,
+                                );
+                                conn_active.fetch_sub(1, Ordering::SeqCst);
+                            });
+                    if spawned.is_err() {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
                 }
             })
             .map_err(spawn_err)?;
@@ -791,57 +1132,259 @@ impl Server {
     }
 }
 
-/// Reads request lines from one client until it disconnects (or sends
-/// `shutdown`), routing compute work to the owning shard's worker.
+/// One connection, pipelined: this thread reads request lines, tags
+/// each with a sequence number, and routes compute jobs to their
+/// shard's worker *without waiting for the answer* — a dedicated
+/// writer thread re-serializes responses in request order (or by `id`
+/// when the request opted into `"ordered":false`). One connection can
+/// therefore keep every store shard busy at once.
 fn serve_connection(
     stream: TcpStream,
     store: &ArtifactStore,
     senders: &[mpsc::Sender<Job>],
-    shutdown: &AtomicBool,
+    shutdown: &Arc<AtomicBool>,
     addr: SocketAddr,
+    timeout: Option<Duration>,
 ) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut writer = stream;
+    let (tx, rx) = mpsc::channel::<WriterMsg>();
+    let write_shutdown = Arc::clone(shutdown);
+    let Ok(writer) = thread::Builder::new()
+        .name("corepart-write".into())
+        .spawn(move || writer_loop(stream, &rx, &write_shutdown, addr))
+    else {
+        return;
+    };
+
     let reader = BufReader::new(read_half);
+    let mut seq: u64 = 0;
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
-        let (response, stop) = match parse_request(&line) {
+        let this = seq;
+        seq += 1;
+        match parse_request(&line) {
             Ok(Request::Compute(req)) => {
-                // The worker re-parses the line; requests are tiny next
-                // to the compute they trigger, and one code path
-                // (`handle_line`) answers everything.
+                let announced = tx.send(WriterMsg::Expect {
+                    seq: this,
+                    id: req.id,
+                    ordered: req.ordered,
+                    deadline: timeout.map(|t| Instant::now() + t),
+                });
+                if announced.is_err() {
+                    break;
+                }
                 let shard = store.shard_of(request_fingerprint(&req));
-                let (tx, rx) = mpsc::channel();
+                store.note_enqueued(shard);
                 let sent = senders[shard]
                     .send(Job {
-                        line: line.clone(),
-                        reply: tx,
+                        seq: this,
+                        req,
+                        enqueued: Instant::now(),
+                        reply: tx.clone(),
                     })
                     .is_ok();
-                match sent.then(|| rx.recv().ok()).flatten() {
-                    Some(response) => (response, false),
-                    None => break,
+                if !sent {
+                    store.note_dequeued(shard);
+                    break;
                 }
             }
-            _ => handle_line(store, &line),
-        };
-        if writer.write_all(response.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
-            break;
-        }
-        if stop {
-            shutdown.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(addr);
-            break;
+            other => {
+                // Stats, shutdown and parse errors are answered inline,
+                // but still flow through the writer so they keep their
+                // place in the response order.
+                let (response, stop) = match other {
+                    Ok(Request::Stats { id }) => (stats_response(store, id), false),
+                    Ok(Request::Shutdown { id }) => (shutdown_response(id), true),
+                    Err(message) => (error_response_kind(None, "request", &message), false),
+                    Ok(Request::Compute(_)) => unreachable!("compute handled above"),
+                };
+                let sent = tx
+                    .send(WriterMsg::Expect {
+                        seq: this,
+                        id: None,
+                        ordered: true,
+                        deadline: None,
+                    })
+                    .and_then(|()| {
+                        tx.send(WriterMsg::Done {
+                            seq: this,
+                            response,
+                            stop,
+                        })
+                    })
+                    .is_ok();
+                if !sent || stop {
+                    break;
+                }
+            }
         }
     }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// The writer's per-sequence-number slot state.
+enum Slot {
+    /// Announced by the reader; response still pending.
+    Waiting {
+        id: Option<u64>,
+        ordered: bool,
+        deadline: Option<Instant>,
+    },
+    /// Response ready, waiting for its in-order turn.
+    Ready { response: String, stop: bool },
+    /// Already written out of order (unordered response, or a
+    /// synthesized timeout error); a late real response is dropped.
+    Written,
+}
+
+/// The connection's writer: re-serializes worker responses into
+/// request order, writes `"ordered":false` responses the moment they
+/// land, and synthesizes `timeout` errors for requests past their
+/// deadline (the real compute still finishes on its worker — and is
+/// memoized — so a runaway request never poisons its shard's engine;
+/// its late response is dropped here).
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: &mpsc::Receiver<WriterMsg>,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let mut slots: BTreeMap<u64, Slot> = BTreeMap::new();
+    let mut next: u64 = 0;
+    'conn: loop {
+        let earliest = slots
+            .values()
+            .filter_map(|s| match s {
+                Slot::Waiting {
+                    deadline: Some(d), ..
+                } => Some(*d),
+                _ => None,
+            })
+            .min();
+        let msg = match earliest {
+            None => match rx.recv() {
+                Ok(msg) => Some(msg),
+                Err(_) => break 'conn,
+            },
+            Some(deadline) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(msg) => Some(msg),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break 'conn,
+                }
+            }
+        };
+        match msg {
+            Some(WriterMsg::Expect {
+                seq,
+                id,
+                ordered,
+                deadline,
+            }) => {
+                slots.insert(
+                    seq,
+                    Slot::Waiting {
+                        id,
+                        ordered,
+                        deadline,
+                    },
+                );
+            }
+            Some(WriterMsg::Done {
+                seq,
+                response,
+                stop,
+            }) => match slots.get(&seq) {
+                Some(Slot::Waiting { ordered: false, .. }) => {
+                    if write_line(&mut stream, &response).is_err() {
+                        break 'conn;
+                    }
+                    slots.insert(seq, Slot::Written);
+                }
+                Some(Slot::Waiting { .. }) => {
+                    slots.insert(seq, Slot::Ready { response, stop });
+                }
+                // Timed out (already answered) or never announced.
+                _ => {}
+            },
+            None => {
+                // A deadline passed: answer every expired request with
+                // a typed timeout error.
+                let now = Instant::now();
+                let expired: Vec<u64> = slots
+                    .iter()
+                    .filter_map(|(seq, slot)| match slot {
+                        Slot::Waiting {
+                            deadline: Some(d), ..
+                        } if *d <= now => Some(*seq),
+                        _ => None,
+                    })
+                    .collect();
+                for seq in expired {
+                    let Some(Slot::Waiting { id, ordered, .. }) = slots.remove(&seq) else {
+                        continue;
+                    };
+                    let response = error_response_kind(
+                        id,
+                        "timeout",
+                        "request timed out; its compute continues and its result is memoized",
+                    );
+                    if ordered {
+                        slots.insert(
+                            seq,
+                            Slot::Ready {
+                                response,
+                                stop: false,
+                            },
+                        );
+                    } else {
+                        if write_line(&mut stream, &response).is_err() {
+                            break 'conn;
+                        }
+                        slots.insert(seq, Slot::Written);
+                    }
+                }
+            }
+        }
+        // In-order flush from `next`: skip already-written slots, write
+        // every ready one, stop at the first still-pending response.
+        while let Some(slot) = slots.get(&next) {
+            match slot {
+                Slot::Waiting { .. } => break,
+                Slot::Written => {
+                    slots.remove(&next);
+                    next += 1;
+                }
+                Slot::Ready { .. } => {
+                    let Some(Slot::Ready { response, stop }) = slots.remove(&next) else {
+                        unreachable!("matched Ready above");
+                    };
+                    next += 1;
+                    if write_line(&mut stream, &response).is_err() {
+                        break 'conn;
+                    }
+                    if stop {
+                        shutdown.store(true, Ordering::SeqCst);
+                        let _ = TcpStream::connect(addr);
+                        break 'conn;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
 }
 
 #[cfg(test)]
@@ -885,6 +1428,60 @@ mod tests {
         assert_eq!(parsed.clusters, vec![0, 2]);
         assert_eq!(parsed.set_index, 1);
         assert_eq!(request_fingerprint(&parsed), request_fingerprint(&req));
+    }
+
+    #[test]
+    fn corpus_and_ordered_fields_round_trip_on_the_wire() {
+        let mut req = request(ComputeKind::Corpus);
+        req.ordered = false;
+        req.n_max = Some(4);
+        req.factor_f = Some(1.25);
+        req.weights = Some(vec![0.0, 0.2, 1.0]);
+        req.corpus = Some(CorpusMeta {
+            index: 9,
+            seed: 0xDEAD_BEEF,
+            name: "gen-9".into(),
+        });
+        let line = req.to_json();
+        assert!(line.contains("\"ordered\":false"), "{line}");
+        // The seed rides as a decimal string: 2^64-scale seeds must
+        // not be squeezed through an f64.
+        assert!(line.contains("\"seed\":\"3735928559\""), "{line}");
+        let Ok(Request::Compute(parsed)) = parse_request(&line) else {
+            panic!("round trip failed: {line}");
+        };
+        assert!(!parsed.ordered);
+        assert_eq!(parsed.weights, Some(vec![0.0, 0.2, 1.0]));
+        let meta = parsed.corpus.expect("corpus meta survives the wire");
+        assert_eq!(meta.index, 9);
+        assert_eq!(meta.seed, 0xDEAD_BEEF);
+        assert_eq!(meta.name, "gen-9");
+        // `ordered` defaults to true when absent.
+        let plain = request(ComputeKind::Partition).to_json();
+        assert!(!plain.contains("ordered"), "{plain}");
+        let Ok(Request::Compute(default_req)) = parse_request(&plain) else {
+            panic!("round trip failed: {plain}");
+        };
+        assert!(default_req.ordered);
+    }
+
+    #[test]
+    fn corpus_requests_need_meta_and_weights() {
+        let store = store();
+        // A corpus command without its entry metadata…
+        let mut missing_meta = request(ComputeKind::Corpus);
+        missing_meta.weights = Some(vec![0.0, 1.0]);
+        let (response, _) = handle_line(&store, &missing_meta.to_json());
+        assert!(response.contains("\"kind\":\"request\""), "{response}");
+        // …or without an explicit G sweep is rejected before compute.
+        let mut missing_weights = request(ComputeKind::Corpus);
+        missing_weights.corpus = Some(CorpusMeta {
+            index: 0,
+            seed: 1,
+            name: "gen-0".into(),
+        });
+        let (response, _) = handle_line(&store, &missing_weights.to_json());
+        assert!(response.contains("\"kind\":\"request\""), "{response}");
     }
 
     #[test]

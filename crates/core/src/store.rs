@@ -103,6 +103,11 @@ struct StoreShard {
     hits: AtomicU64,
     evictions: AtomicU64,
     declined: AtomicU64,
+    /// Jobs currently enqueued on (or being drained by) this shard's
+    /// serve worker.
+    depth: AtomicU64,
+    /// High-water mark of `depth`.
+    depth_max: AtomicU64,
 }
 
 /// Per-request accounting returned by [`ArtifactStore::with_engine`].
@@ -147,6 +152,28 @@ pub struct ShardStats {
     pub entries: u64,
     /// Accounted bytes currently held.
     pub bytes: u64,
+    /// Jobs currently queued on the shard's serve worker.
+    pub depth: u64,
+    /// High-water mark of the shard's queue depth.
+    pub depth_max: u64,
+}
+
+/// Pipelining counters over every serve worker: how much of each
+/// request's latency was queueing vs compute, and how large the
+/// coalesced verify batches ran.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Total nanoseconds compute jobs spent queued before a worker
+    /// picked them up.
+    pub queue_wait_nanos: u64,
+    /// Total nanoseconds workers spent computing responses.
+    pub compute_nanos: u64,
+    /// Same-fingerprint verify groups of exactly one request.
+    pub coalesced_k1: u64,
+    /// Verify groups coalesced at 2–4 lanes.
+    pub coalesced_k2_4: u64,
+    /// Verify groups coalesced at 5–16 lanes.
+    pub coalesced_k5_16: u64,
 }
 
 /// A point-in-time snapshot of the whole store.
@@ -166,6 +193,8 @@ pub struct StoreStats {
     pub declined: u64,
     /// Request-latency percentiles over all shards.
     pub latency: LatencyStats,
+    /// Pipelining counters (queue-wait/compute split, coalescing).
+    pub pipeline: PipelineStats,
     /// Per-shard counters.
     pub shards: Vec<ShardStats>,
 }
@@ -193,6 +222,12 @@ pub struct ArtifactStore {
     used: AtomicU64,
     /// Global LRU clock, advanced once per request.
     tick: AtomicU64,
+    /// Queue-wait nanoseconds summed over every compute job.
+    queue_wait_nanos: AtomicU64,
+    /// Compute nanoseconds summed over every compute job.
+    compute_nanos: AtomicU64,
+    /// Coalesced-verify-group size histogram: K=1 / 2–4 / 5–16+.
+    coalesced: [AtomicU64; 3],
 }
 
 impl ArtifactStore {
@@ -221,6 +256,8 @@ impl ArtifactStore {
                 hits: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
                 declined: AtomicU64::new(0),
+                depth: AtomicU64::new(0),
+                depth_max: AtomicU64::new(0),
             });
         }
         Ok(ArtifactStore {
@@ -229,6 +266,9 @@ impl ArtifactStore {
             hot_touches: opts.hot_touches.max(1),
             used: AtomicU64::new(0),
             tick: AtomicU64::new(0),
+            queue_wait_nanos: AtomicU64::new(0),
+            compute_nanos: AtomicU64::new(0),
+            coalesced: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         })
     }
 
@@ -245,6 +285,46 @@ impl ArtifactStore {
     /// The base configuration every shard engine was built over.
     pub fn base_config(&self) -> &SystemConfig {
         self.shards[0].engine.config()
+    }
+
+    /// Direct access to the warm engine of `fingerprint`'s shard,
+    /// *without* settling the byte ledger — the serve worker's
+    /// coalescing prewarm runs batched verifications through it, and
+    /// the solo requests that follow settle whatever the prewarm
+    /// published (same worker thread, so no settle is ever skipped).
+    pub fn shard_engine(&self, fingerprint: u64) -> &Engine {
+        &self.shards[self.shard_of(fingerprint)].engine
+    }
+
+    /// Records one compute job entering shard `shard`'s worker queue.
+    pub fn note_enqueued(&self, shard: usize) {
+        let s = &self.shards[shard];
+        let depth = s.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        s.depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one compute job leaving shard `shard`'s worker queue.
+    pub fn note_dequeued(&self, shard: usize) {
+        self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one drained same-fingerprint verify group of `group`
+    /// requests in the coalescing histogram.
+    pub fn note_coalesced(&self, group: usize) {
+        let bucket = match group {
+            0 | 1 => 0,
+            2..=4 => 1,
+            _ => 2,
+        };
+        self.coalesced[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one compute job's queue-wait vs compute latency split.
+    pub fn note_request_split(&self, queue_nanos: u64, compute_nanos: u64) {
+        self.queue_wait_nanos
+            .fetch_add(queue_nanos, Ordering::Relaxed);
+        self.compute_nanos
+            .fetch_add(compute_nanos, Ordering::Relaxed);
     }
 
     /// The routing fingerprint of an `(application, workload)` pair —
@@ -569,6 +649,8 @@ impl ArtifactStore {
                 declined: shard.declined.load(Ordering::Relaxed),
                 entries,
                 bytes,
+                depth: shard.depth.load(Ordering::Relaxed),
+                depth_max: shard.depth_max.load(Ordering::Relaxed),
             };
             out.requests += s.requests;
             out.hits += s.hits;
@@ -579,6 +661,13 @@ impl ArtifactStore {
             all_latencies.extend_from_slice(&shard.latencies.lock().expect("latency ledger"));
         }
         out.latency = latency_stats(&mut all_latencies);
+        out.pipeline = PipelineStats {
+            queue_wait_nanos: self.queue_wait_nanos.load(Ordering::Relaxed),
+            compute_nanos: self.compute_nanos.load(Ordering::Relaxed),
+            coalesced_k1: self.coalesced[0].load(Ordering::Relaxed),
+            coalesced_k2_4: self.coalesced[1].load(Ordering::Relaxed),
+            coalesced_k5_16: self.coalesced[2].load(Ordering::Relaxed),
+        };
         out
     }
 }
